@@ -1,0 +1,107 @@
+// Ablation — RMR accounting models (paper, Section 2 / Section 6).
+//
+// The lower bound is proved in the *combined* DSM+CC model, where a
+// step is charged only if it is remote under BOTH classic accountings —
+// the weakest counting, hence the strongest lower bound.  This bench
+// measures the same executions under DSM-only, CC-only and combined
+// accounting to show the combined count is dominated by both, and by
+// how much for each lock (the gap depends on the segment layout).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+using core::SegmentPolicy;
+
+sim::StepCounts measure(int n, const core::LockFactory& factory) {
+  auto os = core::buildCountSystem(sim::MemoryModel::PSO, n, factory);
+  sim::Config cfg = sim::initialConfig(os.sys);
+  auto exec = sim::runSequential(os.sys, cfg, util::identityPermutation(n));
+  return sim::countSteps(exec, n);
+}
+
+void printAblationTable(int n) {
+  struct Row {
+    const char* name;
+    core::LockFactory factory;
+  };
+  const Row rows[] = {
+      {"bakery / per-process segments",
+       core::bakeryFactory(core::BakeryVariant::Lamport,
+                           SegmentPolicy::PerProcess)},
+      {"bakery / unowned segments",
+       core::bakeryFactory(core::BakeryVariant::Lamport,
+                           SegmentPolicy::Unowned)},
+      {"GT_2 / per-process segments",
+       core::gtFactory(2, core::BakeryVariant::Lamport,
+                       SegmentPolicy::PerProcess)},
+      {"GT_2 / unowned segments",
+       core::gtFactory(2, core::BakeryVariant::Lamport,
+                       SegmentPolicy::Unowned)},
+      {"tournament / per-process segments",
+       core::tournamentFactory(core::BakeryVariant::Lamport,
+                               SegmentPolicy::PerProcess)},
+      {"tournament / unowned segments",
+       core::tournamentFactory(core::BakeryVariant::Lamport,
+                               SegmentPolicy::Unowned)},
+  };
+  util::Table table({"lock / layout", "DSM-only RMRs", "CC-only RMRs",
+                     "combined RMRs", "combined <= min?"});
+  for (const auto& row : rows) {
+    const auto c = measure(n, row.factory);
+    const auto minOf = std::min(c.rmrsDsm, c.rmrsCc);
+    table.addRow({row.name,
+                  util::Table::cell(c.rmrsDsm / n),
+                  util::Table::cell(c.rmrsCc / n),
+                  util::Table::cell(c.rmrs / n),
+                  c.rmrs <= minOf ? "yes" : "NO (accounting bug!)"});
+  }
+  std::printf(
+      "%s\n",
+      table
+          .render("RMR accounting ablation, per passage, n = " +
+                  std::to_string(n) +
+                  " (sequential passages, PSO simulator; combined = the "
+                  "paper's lower-bound model)")
+          .c_str());
+}
+
+void BM_SequentialCountBakery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto os = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                   core::bakeryFactory());
+  double combined = 0, dsm = 0, cc = 0;
+  for (auto _ : state) {
+    sim::Config cfg = sim::initialConfig(os.sys);
+    auto exec =
+        sim::runSequential(os.sys, cfg, util::identityPermutation(n));
+    auto c = sim::countSteps(exec, n);
+    combined = static_cast<double>(c.rmrs) / n;
+    dsm = static_cast<double>(c.rmrsDsm) / n;
+    cc = static_cast<double>(c.rmrsCc) / n;
+  }
+  state.counters["combined"] = combined;
+  state.counters["dsm"] = dsm;
+  state.counters["cc"] = cc;
+}
+BENCHMARK(BM_SequentialCountBakery)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printAblationTable(16);
+  fencetrade::printAblationTable(64);
+  fencetrade::printAblationTable(256);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// EXP-BT — the paper's headline comparison (Sections 1 and 3):
+//   Bakery      — O(1) fences, Θ(n) RMRs per passage;
+//   tournament  — Θ(log n) fences, Θ(log n) RMRs per passage;
+// and both sit on the tradeoff curve: f·log(r/f + 1) = Θ(log n).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/tradeoff.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+void printComparisonTable(const std::vector<int>& ns) {
+  util::Table table({"n", "bakery fences", "bakery RMRs", "tourn fences",
+                     "tourn RMRs", "bakery Eq.(1)/log n",
+                     "tourn Eq.(1)/log n", "RMR winner", "fence winner"});
+  for (int n : ns) {
+    auto bak = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                      core::bakeryFactory());
+    auto tour = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                       core::tournamentFactory());
+    const auto cb = bench::sequentialPassageCost(bak.sys);
+    const auto ct = bench::sequentialPassageCost(tour.sys);
+    const double logn = std::log2(static_cast<double>(n));
+    const double vb = core::tradeoffValue(
+        static_cast<std::int64_t>(cb.fences - 1),
+        static_cast<std::int64_t>(cb.rmrs));
+    const double vt = core::tradeoffValue(
+        static_cast<std::int64_t>(ct.fences - 1),
+        static_cast<std::int64_t>(ct.rmrs));
+    table.addRow({util::Table::cell(static_cast<std::int64_t>(n)),
+                  util::Table::cell(cb.fences - 1, 1),
+                  util::Table::cell(cb.rmrs, 1),
+                  util::Table::cell(ct.fences - 1, 1),
+                  util::Table::cell(ct.rmrs, 1),
+                  util::Table::cell(vb / logn, 2),
+                  util::Table::cell(vt / logn, 2),
+                  ct.rmrs < cb.rmrs ? "tournament" : "bakery",
+                  cb.fences < ct.fences ? "bakery" : "tournament"});
+  }
+  std::printf("%s\n",
+              table
+                  .render("Bakery vs tournament tree — per-passage costs "
+                          "(sequential passages, PSO simulator; Count CS "
+                          "fence excluded)")
+                  .c_str());
+}
+
+void BM_BakeryPassage(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto os = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                   core::bakeryFactory());
+  for (auto _ : state) {
+    sim::Config cfg = sim::initialConfig(os.sys);
+    bool ok = sim::runSolo(os.sys, cfg, 0, nullptr);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_BakeryPassage)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TournamentPassage(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto os = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                   core::tournamentFactory());
+  for (auto _ : state) {
+    sim::Config cfg = sim::initialConfig(os.sys);
+    bool ok = sim::runSolo(os.sys, cfg, 0, nullptr);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_TournamentPassage)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printComparisonTable({8, 16, 32, 64, 128, 256, 512});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

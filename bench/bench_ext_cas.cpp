@@ -1,0 +1,111 @@
+// Extension — comparison primitives (paper, Section 6).
+//
+// The lower bound extends (via [9, 12]) to algorithms using CAS.  This
+// bench contrasts the synchronization cost profile of the read/write
+// family with the CAS locks: uncontended, a CAS lock needs O(1) LOCK'd
+// RMWs and O(1) RMRs at any n (it escapes the read/write fence
+// machinery), while under contention TAS pays an RMR per failed attempt
+// where TTAS spins in cache.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/bakery.h"
+#include "core/caslocks.h"
+#include "core/gt.h"
+#include "core/peterson.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+void printUncontendedTable(int n) {
+  struct Row {
+    const char* name;
+    core::LockFactory factory;
+  };
+  const Row rows[] = {
+      {"bakery (read/write)", core::bakeryFactory()},
+      {"GT_2 (read/write)", core::gtFactory(2)},
+      {"tournament (read/write)", core::tournamentFactory()},
+      {"peterson tournament (read/write)", core::petersonTournamentFactory()},
+      {"TAS (CAS)", core::tasFactory()},
+      {"TTAS (CAS)", core::ttasFactory()},
+  };
+  util::Table table({"lock", "fences/passage", "CAS ops/passage",
+                     "RMRs/passage"});
+  for (const auto& row : rows) {
+    auto os = core::buildCountSystem(sim::MemoryModel::PSO, n, row.factory);
+    sim::Config cfg = sim::initialConfig(os.sys);
+    sim::Execution exec;
+    FT_CHECK(sim::runSolo(os.sys, cfg, 0, &exec));
+    auto c = sim::countSteps(exec, n);
+    table.addRow({row.name,
+                  util::Table::cell(c.fencesPerProc[0] - 1),  // minus CS
+                  util::Table::cell(c.casSteps),
+                  util::Table::cell(c.rmrsPerProc[0])});
+  }
+  std::printf("%s\n",
+              table
+                  .render("Read/write vs comparison-primitive locks — "
+                          "uncontended passage, n = " +
+                          std::to_string(n) + " (PSO simulator)")
+                  .c_str());
+}
+
+void printSpinContrastTable() {
+  // Two waiters alternate while the lock is held: coherence traffic of
+  // the spin phase per 400 schedule elements.
+  struct Row {
+    const char* name;
+    core::LockFactory factory;
+  };
+  const Row rows[] = {
+      {"TAS", core::tasFactory()},
+      {"TTAS", core::ttasFactory()},
+  };
+  util::Table table({"lock", "remote steps while spinning (400 elems)"});
+  for (const auto& row : rows) {
+    auto os = core::buildCountSystem(sim::MemoryModel::PSO, 3, row.factory);
+    sim::Config cfg = sim::initialConfig(os.sys);
+    while (!sim::inCriticalSection(os.sys, cfg, 0)) {
+      sim::execElem(os.sys, cfg, 0, sim::kNoReg);
+    }
+    std::int64_t remote = 0;
+    for (int i = 0; i < 400; ++i) {
+      auto s = sim::execElem(os.sys, cfg, 1 + (i & 1), sim::kNoReg);
+      if (s && s->remote) ++remote;
+    }
+    table.addRow({row.name, util::Table::cell(remote)});
+  }
+  std::printf("%s\n",
+              table
+                  .render("Spin-phase coherence traffic: TAS ping-pongs "
+                          "the line, TTAS spins in cache")
+                  .c_str());
+}
+
+void BM_TtasPassage(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto os = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                   core::ttasFactory());
+  for (auto _ : state) {
+    sim::Config cfg = sim::initialConfig(os.sys);
+    bool ok = sim::runSolo(os.sys, cfg, 0, nullptr);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_TtasPassage)->Arg(16)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printUncontendedTable(16);
+  fencetrade::printUncontendedTable(256);
+  fencetrade::printSpinContrastTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

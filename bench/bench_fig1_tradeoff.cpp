@@ -1,0 +1,83 @@
+// EXP-F1 — Figure 1 / Equation (2): the GT_f fence/RMR spectrum.
+//
+// For each n, sweeping the tree height f from 1 (Bakery) to ceil(log2 n)
+// (binary tournament) trades fences for RMRs along r = Θ(f · n^{1/f})
+// while the tradeoff value f·(log(r/f)+1) of Eq. (1) stays Θ(log n).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/gt.h"
+#include "core/tradeoff.h"
+#include "util/mathx.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+void printSpectrumTable(int n) {
+  util::Table table({"f", "branch b", "fences/passage", "RMRs/passage",
+                     "predicted 4f", "predicted f*b", "Eq.(1) value",
+                     "value / log2(n)"});
+  const int maxF = n > 1 ? util::ilog2Ceil(static_cast<std::uint64_t>(n)) : 1;
+  const double logn = std::log2(static_cast<double>(n));
+  for (int f = 1; f <= maxF; ++f) {
+    auto os = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                     core::gtFactory(f));
+    const auto cost = bench::sequentialPassageCost(os.sys);
+    // Subtract the Count CS fence to isolate the lock's cost.
+    const double lockFences = cost.fences - 1.0;
+    const double value = core::tradeoffValue(
+        static_cast<std::int64_t>(lockFences),
+        static_cast<std::int64_t>(cost.rmrs));
+    table.addRow({util::Table::cell(static_cast<std::int64_t>(f)),
+                  util::Table::cell(static_cast<std::int64_t>(
+                      util::branchingFactor(n, f))),
+                  util::Table::cell(lockFences, 1),
+                  util::Table::cell(cost.rmrs, 1),
+                  util::Table::cell(core::gtFenceCost(f)),
+                  util::Table::cell(core::gtRmrBound(n, f)),
+                  util::Table::cell(value, 2),
+                  util::Table::cell(value / logn, 2)});
+  }
+  std::printf("%s\n",
+              table
+                  .render("Figure 1 / Eq. (2) — GT_f spectrum, n = " +
+                          std::to_string(n) +
+                          " (sequential passages, PSO simulator)")
+                  .c_str());
+}
+
+void BM_GtSequentialPassages(benchmark::State& state) {
+  const int n = 64;
+  const int f = static_cast<int>(state.range(0));
+  auto os = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                   core::gtFactory(f));
+  double fences = 0, rmrs = 0;
+  for (auto _ : state) {
+    sim::Config cfg = sim::initialConfig(os.sys);
+    auto exec = sim::runSequential(os.sys, cfg,
+                                   util::identityPermutation(n));
+    auto counts = sim::countSteps(exec, n);
+    fences = static_cast<double>(counts.fences) / n;
+    rmrs = static_cast<double>(counts.rmrs) / n;
+    benchmark::DoNotOptimize(cfg);
+  }
+  state.counters["fences/passage"] = fences;
+  state.counters["rmrs/passage"] = rmrs;
+}
+BENCHMARK(BM_GtSequentialPassages)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  for (int n : {16, 64, 256, 1024}) {
+    fencetrade::printSpectrumTable(n);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// EXP-LB — Theorem 4.2: β(E)·(log(ρ(E)/β(E)) + 1) ∈ Ω(n log n).
+//
+// Constructs and encodes E_π for random permutations, reporting the code
+// length B(E_π) against the information-theoretic floor log2(n!) and the
+// tradeoff expression against n·log n.  The Ω(n log n) shape must hold
+// for every ordering algorithm; we sweep the whole lock family.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/peterson.h"
+#include "core/objects.h"
+#include "encoding/codec.h"
+#include "encoding/encoder.h"
+#include "util/permutation.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+void printLowerBoundTable(const char* lockName,
+                          const core::LockFactory& factory,
+                          const std::vector<int>& ns, int reps) {
+  util::Table table({"n", "beta(E)", "rho(E)", "beta(log(rho/beta)+1)",
+                     "/ n*log2(n)", "serialized bits", "log2(n!)",
+                     "bits / log2(n!)"});
+  util::Rng rng(99);
+  for (int n : ns) {
+    util::Accumulator beta, rho, value, bits;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto pi = util::randomPermutation(n, rng);
+      auto os = core::buildCountSystem(sim::MemoryModel::PSO, n, factory);
+      enc::Encoder encoder(&os.sys);
+      auto res = encoder.encode(pi);
+      const double b = static_cast<double>(res.counts.fences);
+      const double r = static_cast<double>(res.counts.rmrs);
+      beta.add(b);
+      rho.add(r);
+      value.add(b * (std::log2(std::max(r, b) / b) + 1.0));
+      bits.add(static_cast<double>(serializeStacks(res.stacks).bits));
+    }
+    const double nlogn = n * std::log2(static_cast<double>(n));
+    const double entropy = util::log2Factorial(n);
+    table.addRow({util::Table::cell(static_cast<std::int64_t>(n)),
+                  util::Table::cell(beta.mean(), 0),
+                  util::Table::cell(rho.mean(), 0),
+                  util::Table::cell(value.mean(), 1),
+                  util::Table::cell(value.mean() / nlogn, 3),
+                  util::Table::cell(bits.mean(), 0),
+                  util::Table::cell(entropy, 0),
+                  util::Table::cell(bits.mean() / entropy, 2)});
+  }
+  std::printf("%s\n",
+              table
+                  .render(std::string("Theorem 4.2 — lower-bound "
+                                      "construction over ") +
+                          lockName + " (mean of " + std::to_string(reps) +
+                          " random permutations)")
+                  .c_str());
+}
+
+void BM_EncodePerPermutation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto os = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                   core::bakeryFactory());
+  util::Rng rng(3);
+  double bitsPerEntropy = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto pi = util::randomPermutation(n, rng);
+    state.ResumeTiming();
+    enc::Encoder encoder(&os.sys);
+    auto res = encoder.encode(pi);
+    bitsPerEntropy = res.codeBits() / util::log2Factorial(n);
+    benchmark::DoNotOptimize(res.iterations);
+  }
+  state.counters["bits/log2(n!)"] = bitsPerEntropy;
+}
+BENCHMARK(BM_EncodePerPermutation)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  using namespace fencetrade;
+  printLowerBoundTable("count/bakery", core::bakeryFactory(),
+                       {4, 8, 16, 32, 48}, 3);
+  printLowerBoundTable("count/GT_2", core::gtFactory(2), {4, 8, 16, 32}, 3);
+  printLowerBoundTable("count/tournament", core::tournamentFactory(),
+                       {4, 8, 16, 32}, 3);
+  printLowerBoundTable("count/peterson-tournament",
+                       core::petersonTournamentFactory(), {4, 8, 16, 32}, 3);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

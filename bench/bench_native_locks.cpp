@@ -1,0 +1,209 @@
+// EXP-NAT — the native std::atomic lock library.
+//
+// Reports (a) exact fences per passage (machine-independent, the paper's
+// f) and (b) wall-clock throughput of the Count object under thread
+// contention.  Wall-clock numbers on this box are indicative only; the
+// fence counts are the quantity the tradeoff is about.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "native/bakery_lock.h"
+#include "native/cas_locks.h"
+#include "native/fences.h"
+#include "native/gt_lock.h"
+#include "native/mcs_lock.h"
+#include "native/objects.h"
+#include "native/peterson_lock.h"
+#include "util/mathx.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+void printFenceTable() {
+  util::Table table({"lock", "n", "height f", "branching b",
+                     "fences/passage", "RMWs/passage", "fence formula"});
+  for (int n : {16, 64, 256}) {
+    auto measure = [&](const std::string& name, auto& lock,
+                       const std::string& height,
+                       const std::string& branching,
+                       const std::string& formula) {
+      native::resetCasOpCount();
+      native::FenceCountScope scope;
+      lock.lock(0);
+      lock.unlock(0);
+      table.addRow({name, util::Table::cell(std::int64_t{n}), height,
+                    branching,
+                    util::Table::cell(static_cast<std::int64_t>(scope.count())),
+                    util::Table::cell(
+                        static_cast<std::int64_t>(native::casOpCount())),
+                    formula});
+    };
+    {
+      native::BakeryLock lock(n);
+      measure("bakery", lock, "1", std::to_string(n), "4");
+    }
+    const int maxF = util::ilog2Ceil(static_cast<std::uint64_t>(n));
+    for (int f : {2, maxF}) {
+      native::GeneralizedTournamentLock lock(n, f);
+      measure(f == maxF ? "tournament" : "GT_2", lock,
+              std::to_string(lock.height()),
+              std::to_string(lock.branching()),
+              "4f = " + std::to_string(4 * lock.height()));
+    }
+    {
+      native::PetersonTournamentLock lock(n);
+      measure("peterson", lock, std::to_string(lock.height()), "2",
+              "3f = " + std::to_string(3 * lock.height()));
+    }
+    {
+      native::TasLock lock(n);
+      measure("TAS", lock, "-", "-", "0 (RMW only)");
+    }
+    {
+      native::TtasLock lock(n);
+      measure("TTAS", lock, "-", "-", "0 (RMW only)");
+    }
+    {
+      native::McsLock lock(n);
+      measure("MCS", lock, "-", "-", "0 (RMW only)");
+    }
+  }
+  std::printf(
+      "%s\n",
+      table
+          .render("Native locks — exact fences and LOCK'd RMWs per "
+                  "uncontended passage")
+          .c_str());
+}
+
+template <typename Lock, typename... Args>
+double throughput(int threads, int itersPerThread, Args&&... args) {
+  native::LockedCounter<Lock> counter(std::forward<Args>(args)...);
+  std::vector<std::thread> pool;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < itersPerThread; ++i) counter.fetchAdd(t);
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(threads) * itersPerThread / secs;
+}
+
+void printThroughputTable() {
+  util::Table table(
+      {"lock", "1 thread (ops/s)", "2 threads", "4 threads"});
+  // Modest iteration count: spin locks time-slicing on few cores make
+  // contended passages expensive; the wall-clock numbers are indicative
+  // only (the fence table above carries the machine-independent story).
+  constexpr int kIters = 2500;
+  {
+    std::vector<std::string> row{"bakery(16)"};
+    for (int t : {1, 2, 4}) {
+      row.push_back(util::Table::cell(
+          throughput<native::BakeryLock>(t, kIters, 16), 0));
+    }
+    table.addRow(row);
+  }
+  {
+    std::vector<std::string> row{"GT_2(16)"};
+    for (int t : {1, 2, 4}) {
+      row.push_back(util::Table::cell(
+          throughput<native::GeneralizedTournamentLock>(t, kIters, 16, 2),
+          0));
+    }
+    table.addRow(row);
+  }
+  {
+    std::vector<std::string> row{"tournament(16)"};
+    for (int t : {1, 2, 4}) {
+      row.push_back(util::Table::cell(
+          throughput<native::TournamentLock>(t, kIters, 16), 0));
+    }
+    table.addRow(row);
+  }
+  {
+    std::vector<std::string> row{"peterson(16)"};
+    for (int t : {1, 2, 4}) {
+      row.push_back(util::Table::cell(
+          throughput<native::PetersonTournamentLock>(t, kIters, 16), 0));
+    }
+    table.addRow(row);
+  }
+  {
+    std::vector<std::string> row{"ttas(16)"};
+    for (int t : {1, 2, 4}) {
+      row.push_back(util::Table::cell(
+          throughput<native::TtasLock>(t, kIters, 16), 0));
+    }
+    table.addRow(row);
+  }
+  {
+    std::vector<std::string> row{"mcs(16)"};
+    for (int t : {1, 2, 4}) {
+      row.push_back(util::Table::cell(
+          throughput<native::McsLock>(t, kIters, 16), 0));
+    }
+    table.addRow(row);
+  }
+  std::printf(
+      "%s\n",
+      table
+          .render("Native Count throughput (wall clock; single-core box — "
+                  "indicative only)")
+          .c_str());
+}
+
+void BM_NativeBakeryPassage(benchmark::State& state) {
+  native::BakeryLock lock(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    lock.lock(0);
+    lock.unlock(0);
+  }
+}
+BENCHMARK(BM_NativeBakeryPassage)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_NativeGtPassage(benchmark::State& state) {
+  native::GeneralizedTournamentLock lock(64,
+                                         static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    lock.lock(0);
+    lock.unlock(0);
+  }
+}
+BENCHMARK(BM_NativeGtPassage)->DenseRange(1, 6);
+
+void BM_NativeCounterContended(benchmark::State& state) {
+  // One shared counter across all benchmark threads (deliberately
+  // leaked: threads of different repetitions may still reference it).
+  static auto* counter =
+      new native::LockedCounter<native::TournamentLock>(8);
+  for (auto _ : state) {
+    counter->fetchAdd(state.thread_index());
+  }
+}
+BENCHMARK(BM_NativeCounterContended)
+    ->Threads(1)
+    ->Threads(2)
+    ->Iterations(5000)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printFenceTable();
+  fencetrade::printThroughputTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,273 @@
+// EXP-SEP — separating memory models (paper, Section 1).
+//
+// (a) Minimal-fence search: for each litmus shape and memory model,
+//     exhaustively explore every fence placement and report the fewest
+//     fences that make the weak-behaviour outcome unreachable.  Message
+//     passing (the queue hand-off) needs 0 fences under TSO but 1 under
+//     PSO — the model separation at the heart of the paper, machine-
+//     checked.  Store buffering needs 2 under both TSO and PSO (that
+//     reordering is read-vs-write, which even TSO allows).
+// (b) Tradeoff floor under PSO: every lock in the family, run through
+//     the Section-5 construction, pays f·(log(r/f)+1) = Ω(log n) per
+//     process — no fence placement can beat it, per Theorem 4.2.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/peterson.h"
+#include "core/objects.h"
+#include "encoding/encoder.h"
+#include "sim/builder.h"
+#include "sim/explore.h"
+#include "util/permutation.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+using sim::MemoryModel;
+
+/// MP with optional fence between the two data writes (bit 0 of mask).
+sim::System makeMP(MemoryModel m, unsigned mask) {
+  sim::System sys;
+  sys.model = m;
+  sim::Reg d = sys.layout.alloc(sim::kNoOwner, "D");
+  sim::Reg f = sys.layout.alloc(sim::kNoOwner, "F");
+  {
+    sim::ProgramBuilder b("writer");
+    b.writeRegImm(d, 1);
+    if (mask & 1u) b.fence();
+    b.writeRegImm(f, 1);
+    b.fence();
+    b.retImm(0);
+    sys.programs.push_back(b.build());
+  }
+  {
+    sim::ProgramBuilder b("reader");
+    sim::LocalId df = b.local("f");
+    sim::LocalId dd = b.local("d");
+    b.readReg(df, f);
+    b.readReg(dd, d);
+    b.fence();
+    b.ret(b.add(b.mul(b.L(df), b.imm(2)), b.L(dd)));
+    sys.programs.push_back(b.build());
+  }
+  return sys;
+}
+
+/// SB with optional per-thread fence between write and read (bits 0, 1).
+sim::System makeSB(MemoryModel m, unsigned mask) {
+  sim::System sys;
+  sys.model = m;
+  sim::Reg x = sys.layout.alloc(sim::kNoOwner, "X");
+  sim::Reg y = sys.layout.alloc(sim::kNoOwner, "Y");
+  auto thread = [&](const std::string& name, sim::Reg mine, sim::Reg other,
+                    bool fenced) {
+    sim::ProgramBuilder b(name);
+    sim::LocalId t = b.local("t");
+    b.writeRegImm(mine, 1);
+    if (fenced) b.fence();
+    b.readReg(t, other);
+    b.fence();
+    b.ret(b.L(t));
+    return b.build();
+  };
+  sys.programs.push_back(thread("sb0", x, y, (mask & 1u) != 0));
+  sys.programs.push_back(thread("sb1", y, x, (mask & 2u) != 0));
+  return sys;
+}
+
+/// Write batch A,B,C with optional fences after A (bit 0) and B (bit 1).
+sim::System makeBatch(MemoryModel m, unsigned mask) {
+  sim::System sys;
+  sys.model = m;
+  sim::Reg a = sys.layout.alloc(sim::kNoOwner, "A");
+  sim::Reg bb = sys.layout.alloc(sim::kNoOwner, "B");
+  sim::Reg c = sys.layout.alloc(sim::kNoOwner, "C");
+  {
+    sim::ProgramBuilder b("writer");
+    b.writeRegImm(a, 1);
+    if (mask & 1u) b.fence();
+    b.writeRegImm(bb, 1);
+    if (mask & 2u) b.fence();
+    b.writeRegImm(c, 1);
+    b.fence();
+    b.retImm(0);
+    sys.programs.push_back(b.build());
+  }
+  {
+    sim::ProgramBuilder b("reader");
+    sim::LocalId rc = b.local("c");
+    sim::LocalId ra = b.local("a");
+    b.readReg(rc, c);
+    b.readReg(ra, a);
+    b.fence();
+    b.ret(b.add(b.mul(b.L(rc), b.imm(2)), b.L(ra)));
+    sys.programs.push_back(b.build());
+  }
+  return sys;
+}
+
+struct Shape {
+  const char* name;
+  unsigned maskBits;  // number of optional fence positions
+  sim::System (*make)(MemoryModel, unsigned);
+  std::vector<sim::Value> forbidden;  // the weak-behaviour outcome
+};
+
+int popcount(unsigned v) { return __builtin_popcount(v); }
+
+/// Fewest optional fences whose placement makes `forbidden` unreachable;
+/// -1 if no placement works.
+int minimalFences(const Shape& shape, MemoryModel m) {
+  const unsigned maskLimit = 1u << shape.maskBits;
+  for (int budget = 0; budget <= static_cast<int>(shape.maskBits);
+       ++budget) {
+    for (unsigned mask = 0; mask < maskLimit; ++mask) {
+      if (popcount(mask) != budget) continue;
+      auto res = sim::explore(shape.make(m, mask));
+      if (res.outcomes.count(shape.forbidden) == 0) return budget;
+    }
+  }
+  return -1;
+}
+
+void printMinimalFenceTable() {
+  const Shape shapes[] = {
+      {"message passing (queue hand-off)", 1, &makeMP, {0, 2}},
+      {"store buffering", 2, &makeSB, {0, 0}},
+      {"write batch (3 stores)", 2, &makeBatch, {0, 2}},
+  };
+  util::Table table({"litmus shape", "weak outcome", "SC", "TSO", "PSO"});
+  for (const auto& shape : shapes) {
+    std::string outcome = "(";
+    for (std::size_t i = 0; i < shape.forbidden.size(); ++i) {
+      if (i) outcome += ",";
+      outcome += std::to_string(shape.forbidden[i]);
+    }
+    outcome += ")";
+    auto cell = [&](MemoryModel m) {
+      const int k = minimalFences(shape, m);
+      return k < 0 ? std::string("impossible") : std::to_string(k);
+    };
+    table.addRow({shape.name, outcome, cell(MemoryModel::SC),
+                  cell(MemoryModel::TSO), cell(MemoryModel::PSO)});
+  }
+  std::printf(
+      "%s\n",
+      table
+          .render("Minimal fences to forbid the weak outcome (exhaustive "
+                  "exploration over every fence placement)")
+          .c_str());
+  std::printf("TSO/PSO separation: the message-passing hand-off is free "
+              "under TSO but costs a fence under PSO.\n\n");
+}
+
+void printTradeoffFloorTable() {
+  struct LockSpec {
+    const char* name;
+    core::LockFactory factory;
+  };
+  const int n = 12;
+  const LockSpec locks[] = {
+      {"bakery (GT_1)", core::bakeryFactory()},
+      {"GT_2", core::gtFactory(2)},
+      {"GT_3", core::gtFactory(3)},
+      {"tournament (GT_log n)", core::tournamentFactory()},
+  };
+  util::Table table({"lock", "beta/n", "rho/n", "per-proc Eq.(1)",
+                     "log2(n)", ">= 0.5*log2(n)?"});
+  util::Rng rng(4242);
+  auto pi = util::randomPermutation(n, rng);
+  const double logn = std::log2(static_cast<double>(n));
+  for (const auto& lock : locks) {
+    auto os = core::buildCountSystem(MemoryModel::PSO, n, lock.factory);
+    enc::Encoder encoder(&os.sys);
+    auto res = encoder.encode(pi);
+    const double beta = static_cast<double>(res.counts.fences) / n;
+    const double rho = static_cast<double>(res.counts.rmrs) / n;
+    const double value =
+        beta * (std::log2(std::max(rho, beta) / beta) + 1.0);
+    table.addRow({lock.name, util::Table::cell(beta, 1),
+                  util::Table::cell(rho, 1), util::Table::cell(value, 2),
+                  util::Table::cell(logn, 2),
+                  value >= 0.5 * logn ? "yes" : "NO (bound violated!)"});
+  }
+  std::printf("%s\n",
+              table
+                  .render("Theorem 4.2 floor under PSO, n = " +
+                          std::to_string(n) +
+                          " — no lock beats f(log(r/f)+1) = Ω(log n)")
+                  .c_str());
+}
+
+void printLockSeparationTable() {
+  // Lock-level separation: Peterson's entry with a single trailing fence
+  // is sound exactly on machines that keep stores in order.  Verified
+  // exhaustively for n = 2 under each model.
+  util::Table table({"Peterson entry fencing", "fences/level", "SC", "TSO",
+                     "PSO"});
+  struct Row {
+    const char* name;
+    core::PetersonVariant variant;
+    const char* fences;
+  };
+  const Row rows[] = {
+      {"flag; FENCE; turn; FENCE (PsoSafe)", core::PetersonVariant::PsoSafe,
+       "3"},
+      {"flag; turn; FENCE (TsoFence)", core::PetersonVariant::TsoFence,
+       "2"},
+  };
+  for (const auto& row : rows) {
+    auto cell = [&](MemoryModel m) {
+      auto os = core::buildCountSystem(
+          m, 2,
+          core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
+                                          row.variant));
+      auto res = sim::explore(os.sys);
+      return std::string(res.mutexViolation ? "MUTEX BROKEN" : "correct");
+    };
+    table.addRow({row.name, row.fences, cell(MemoryModel::SC),
+                  cell(MemoryModel::TSO), cell(MemoryModel::PSO)});
+  }
+  std::printf("%s\n",
+              table
+                  .render("Lock-level separation — Peterson tournament, "
+                          "n = 2, exhaustive state exploration")
+                  .c_str());
+  std::printf("One fence per level suffices on TSO; PSO demands the "
+              "store-store fence — exactly the extra cost Theorem 4.2 "
+              "makes unavoidable in aggregate.\n\n");
+}
+
+void BM_ExploreMP(benchmark::State& state) {
+  const auto m = static_cast<MemoryModel>(state.range(0));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    auto res = sim::explore(makeMP(m, 0));
+    states = res.statesVisited;
+    benchmark::DoNotOptimize(res.outcomes);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.SetLabel(sim::memoryModelName(m));
+}
+BENCHMARK(BM_ExploreMP)
+    ->Arg(static_cast<int>(MemoryModel::SC))
+    ->Arg(static_cast<int>(MemoryModel::TSO))
+    ->Arg(static_cast<int>(MemoryModel::PSO))
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printMinimalFenceTable();
+  fencetrade::printLockSeparationTable();
+  fencetrade::printTradeoffFloorTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

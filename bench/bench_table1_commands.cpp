@@ -1,0 +1,127 @@
+// EXP-T1 — Table 1: the encoding's command census.
+//
+// Runs the Section-5.2 construction on random permutations and reports,
+// per command type, how many commands the codes contain and what their
+// parameter values sum to — the quantities Sections 5.3.1-5.3.3 relate
+// to ρ(E) and β(E).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "encoding/encoder.h"
+#include "util/permutation.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+struct SystemSpec {
+  const char* name;
+  core::OrderingSystem (*build)(sim::MemoryModel, int,
+                                const core::LockFactory&);
+  int f;  // 0 = Bakery, -1 = tournament, otherwise GT_f
+  core::SegmentPolicy policy = core::SegmentPolicy::PerProcess;
+};
+
+core::LockFactory factoryFor(const SystemSpec& s) {
+  if (s.f == 0) {
+    return core::bakeryFactory(core::BakeryVariant::Lamport, s.policy);
+  }
+  if (s.f == -1) {
+    return core::tournamentFactory(core::BakeryVariant::Lamport, s.policy);
+  }
+  return core::gtFactory(s.f, core::BakeryVariant::Lamport, s.policy);
+}
+
+constexpr SystemSpec kSystems[] = {
+    {"count/bakery", &core::buildCountSystem, 0},
+    {"count/GT_2", &core::buildCountSystem, 2},
+    {"count/tournament", &core::buildCountSystem, -1},
+    {"fai/bakery", &core::buildFaiSystem, 0},
+    {"queue/bakery", &core::buildQueueSystem, 0},
+    // Unowned layout + pre-doorway scratch write: the shape that makes
+    // write batches get *hidden* (Section 5's wait-hidden-commit).
+    {"scratch/bakery-unowned", &core::buildScratchCountSystem, 0,
+     core::SegmentPolicy::Unowned},
+};
+
+void printCensus(int n, int reps) {
+  util::Table table({"algorithm", "cmds m", "proceed", "commit",
+                     "wait-hidden (Σk)", "wait-read (Σk)",
+                     "wait-local (Σk)", "hidden commits", "code bits"});
+  util::Rng rng(2026);
+  for (const auto& spec : kSystems) {
+    enc::StackSequenceStats total{};
+    std::int64_t hidden = 0;
+    double bits = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto pi = util::randomPermutation(n, rng);
+      auto os = spec.build(sim::MemoryModel::PSO, n, factoryFor(spec));
+      enc::Encoder encoder(&os.sys);
+      auto res = encoder.encode(pi);
+      const auto& s = res.stackStats;
+      total.commands += s.commands;
+      for (int k = 0; k < 5; ++k) {
+        total.countOf[k] += s.countOf[k];
+        total.valueSumOf[k] += s.valueSumOf[k];
+      }
+      hidden += res.finalDecode.hiddenCommits;
+      bits += res.codeBits();
+    }
+    auto kindCell = [&](enc::CommandKind k) {
+      const int i = static_cast<int>(k);
+      return std::to_string(total.countOf[i] / reps) + " (" +
+             std::to_string(total.valueSumOf[i] / reps) + ")";
+    };
+    table.addRow(
+        {spec.name, util::Table::cell(total.commands / reps),
+         std::to_string(
+             total.countOf[static_cast<int>(enc::CommandKind::Proceed)] /
+             reps),
+         std::to_string(
+             total.countOf[static_cast<int>(enc::CommandKind::Commit)] /
+             reps),
+         kindCell(enc::CommandKind::WaitHiddenCommit),
+         kindCell(enc::CommandKind::WaitReadFinish),
+         kindCell(enc::CommandKind::WaitLocalFinish),
+         util::Table::cell(hidden / reps),
+         util::Table::cell(bits / reps, 0)});
+  }
+  std::printf(
+      "%s\n",
+      table
+          .render("Table 1 — command census of encoded executions, n = " +
+                  std::to_string(n) + " (mean over " +
+                  std::to_string(reps) + " random permutations)")
+          .c_str());
+}
+
+void BM_EncodeCountBakery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  auto pi = util::randomPermutation(n, rng);
+  auto os = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                   core::bakeryFactory());
+  for (auto _ : state) {
+    enc::Encoder encoder(&os.sys);
+    auto res = encoder.encode(pi);
+    benchmark::DoNotOptimize(res.iterations);
+  }
+}
+BENCHMARK(BM_EncodeCountBakery)->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printCensus(8, 3);
+  fencetrade::printCensus(16, 3);
+  fencetrade::printCensus(24, 2);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

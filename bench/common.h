@@ -1,0 +1,53 @@
+// Shared measurement helpers for the benchmark binaries.
+//
+// Each bench binary prints the paper-style tables (DESIGN.md §4) first,
+// then runs its google-benchmark timing suites.
+#pragma once
+
+#include <cstdio>
+
+#include "core/lockspec.h"
+#include "core/objects.h"
+#include "sim/schedule.h"
+#include "util/check.h"
+#include "util/permutation.h"
+
+namespace fencetrade::bench {
+
+/// Per-passage cost of an ordering system measured over a full
+/// sequential execution (every process runs once, in id order).
+struct PassageCost {
+  double fences = 0;  // per passage
+  double rmrs = 0;    // per passage
+  std::int64_t steps = 0;
+};
+
+inline PassageCost sequentialPassageCost(const sim::System& sys) {
+  const int n = sys.n();
+  sim::Config cfg = sim::initialConfig(sys);
+  sim::Execution exec =
+      sim::runSequential(sys, cfg, util::identityPermutation(n));
+  const auto counts = sim::countSteps(exec, n);
+  PassageCost cost;
+  cost.fences = static_cast<double>(counts.fences) / n;
+  cost.rmrs = static_cast<double>(counts.rmrs) / n;
+  cost.steps = counts.steps;
+  return cost;
+}
+
+/// Cost of process 0's passage running completely alone (the classical
+/// uncontended measurement).
+inline PassageCost soloPassageCost(const sim::System& sys) {
+  sim::Config cfg = sim::initialConfig(sys);
+  sim::Execution exec;
+  const bool done = sim::runSolo(sys, cfg, 0, &exec);
+  FT_CHECK(done) << "solo passage did not finish";
+  const auto counts = sim::countSteps(exec, sys.n());
+  PassageCost cost;
+  cost.fences = static_cast<double>(counts.fencesPerProc[0]);
+  cost.rmrs = static_cast<double>(counts.rmrsPerProc[0]);
+  cost.steps = counts.steps;
+  return cost;
+}
+
+}  // namespace fencetrade::bench

@@ -1,0 +1,80 @@
+// Encoder demo: run the paper's Section-5 construction end to end.
+//
+//   $ ./encoder_demo [n] [seed]
+//
+// Picks a random permutation π of [n], constructs the execution E_π of
+// Count-over-Bakery in which processes acquire the lock in π order while
+// remaining unaware of later processes, prints the per-process command
+// stacks (the code), and then hands the code to a fresh decoder to show
+// that π is fully reconstructible — the information-theoretic heart of
+// the Ω(n log n) lower bound.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bakery.h"
+#include "core/objects.h"
+#include "encoding/codec.h"
+#include "encoding/encoder.h"
+#include "util/permutation.h"
+
+int main(int argc, char** argv) {
+  using namespace fencetrade;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 5;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  if (n < 1 || n > 24) {
+    std::fprintf(stderr, "usage: %s [n in 1..24] [seed]\n", argv[0]);
+    return 1;
+  }
+
+  util::Rng rng(seed);
+  auto pi = util::randomPermutation(n, rng);
+  std::printf("permutation pi (acquisition order): ");
+  for (int p : pi) std::printf("%d ", p);
+  std::printf("\n\n");
+
+  auto os = core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                   core::bakeryFactory());
+  enc::Encoder encoder(&os.sys);
+  auto res = encoder.encode(pi);
+
+  std::printf("command stacks (the code for E_pi):\n");
+  for (int p = 0; p < n; ++p) {
+    std::printf("  St_%d = %s\n", p, res.stacks[p].toString().c_str());
+  }
+
+  const double beta = static_cast<double>(res.counts.fences);
+  const double rho = static_cast<double>(res.counts.rmrs);
+  std::printf("\nE_pi: %lld steps, beta (fences) = %.0f, rho (RMRs) = %.0f, "
+              "%lld hidden commits\n",
+              static_cast<long long>(res.counts.steps), beta, rho,
+              static_cast<long long>(res.finalDecode.hiddenCommits));
+  auto wire = enc::serializeStacks(res.stacks);
+  std::printf("code: %lld commands, value sum %lld, B(E_pi) = %.0f bits "
+              "(serialized: %zu bits = %zu bytes)\n",
+              static_cast<long long>(res.stackStats.commands),
+              static_cast<long long>(res.stackStats.valueSum),
+              res.codeBits(), wire.bits, wire.bytes.size());
+  std::printf("beta*(log2(rho/beta)+1) = %.1f   vs   n*log2(n) = %.1f   "
+              "vs   log2(n!) = %.1f\n\n",
+              beta * (std::log2(std::max(rho, beta) / beta) + 1.0),
+              n * std::log2(static_cast<double>(n)),
+              util::log2Factorial(n));
+
+  // Reconstruct pi from the code alone.
+  enc::Decoder decoder(&os.sys);
+  auto replay = decoder.decode(res.stacks);
+  util::Permutation recovered(n);
+  for (int p = 0; p < n; ++p) {
+    if (!replay.config.procs[p].final) {
+      std::printf("reconstruction FAILED: process %d never finished\n", p);
+      return 1;
+    }
+    recovered[static_cast<std::size_t>(replay.config.procs[p].retval)] = p;
+  }
+  std::printf("reconstructed pi from the code: ");
+  for (int p : recovered) std::printf("%d ", p);
+  std::printf("  -> %s\n",
+              recovered == pi ? "matches (n! distinct codes!)" : "MISMATCH");
+  return recovered == pi ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// Ticket office: a realistic multi-threaded workload on the native
+// library — M clerk threads draw strictly increasing ticket numbers
+// from a shared dispenser (the paper's Count object) protected by a
+// selectable lock, then "serve" for a pseudo-random time.
+//
+// Reports throughput, per-thread fairness (min/max tickets drawn) and
+// the exact fence/RMW bill per ticket — the quantities the tradeoff is
+// about.
+//
+//   $ ./ticket_office [lock] [threads] [tickets]
+//   lock ∈ {bakery, gt2, tournament, peterson, ttas, mcs}
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "native/bakery_lock.h"
+#include "native/cas_locks.h"
+#include "native/fences.h"
+#include "native/gt_lock.h"
+#include "native/mcs_lock.h"
+#include "native/objects.h"
+#include "native/peterson_lock.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fencetrade;
+
+struct Report {
+  std::int64_t total = 0;
+  std::vector<std::int64_t> perThread;
+  std::vector<std::uint64_t> fences;
+  std::vector<std::uint64_t> rmws;
+  double seconds = 0;
+  bool valid = false;
+};
+
+template <typename Lock, typename... Args>
+Report run(int threads, std::int64_t tickets, Args&&... lockArgs) {
+  native::LockedCounter<Lock> dispenser(std::forward<Args>(lockArgs)...);
+  std::vector<std::vector<char>> drawn(
+      threads);  // bitmap of tickets per thread
+  Report rep;
+  rep.perThread.assign(threads, 0);
+  rep.fences.assign(threads, 0);
+  rep.rmws.assign(threads, 0);
+  for (auto& v : drawn) v.assign(static_cast<std::size_t>(tickets), 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      native::resetFenceCount();
+      native::resetCasOpCount();
+      util::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (;;) {
+        const std::int64_t ticket = dispenser.fetchAdd(t);
+        if (ticket >= tickets) break;
+        drawn[t][static_cast<std::size_t>(ticket)] = 1;
+        ++rep.perThread[t];
+        // "Serve the customer": a tiny variable-length busy loop.
+        volatile std::uint64_t sink = 0;
+        for (std::uint64_t k = rng.below(64); k > 0; --k) {
+          sink = sink + k;  // plain assignment: compound ops on volatile
+                            // are deprecated in C++20
+        }
+      }
+      rep.fences[t] = native::fenceCount();
+      rep.rmws[t] = native::casOpCount();
+    });
+  }
+  for (auto& th : pool) th.join();
+  rep.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+
+  // Validate: every ticket in [0, tickets) drawn by exactly one thread.
+  rep.valid = true;
+  for (std::int64_t k = 0; k < tickets; ++k) {
+    int owners = 0;
+    for (int t = 0; t < threads; ++t) {
+      owners += drawn[t][static_cast<std::size_t>(k)];
+    }
+    if (owners != 1) rep.valid = false;
+  }
+  for (int t = 0; t < threads; ++t) rep.total += rep.perThread[t];
+  return rep;
+}
+
+void print(const std::string& lock, int threads, std::int64_t tickets,
+           const Report& rep) {
+  std::printf("%s: %lld tickets by %d clerks in %.3fs (%.0f tickets/s) — "
+              "%s\n",
+              lock.c_str(), static_cast<long long>(rep.total), threads,
+              rep.seconds, rep.total / rep.seconds,
+              rep.valid ? "every ticket issued exactly once"
+                        : "DUPLICATE/LOST TICKETS");
+  for (int t = 0; t < threads; ++t) {
+    const double passes =
+        static_cast<double>(rep.perThread[t]) + 1;  // incl. final probe
+    std::printf("  clerk %d: %6lld tickets, %.1f fences/ticket, "
+                "%.1f RMWs/ticket\n",
+                t, static_cast<long long>(rep.perThread[t]),
+                static_cast<double>(rep.fences[t]) / passes,
+                static_cast<double>(rep.rmws[t]) / passes);
+  }
+  (void)tickets;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string lock = argc > 1 ? argv[1] : "peterson";
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::int64_t tickets = argc > 3 ? std::atoll(argv[3]) : 20000;
+  if (threads < 1 || threads > 64 || tickets < 1) {
+    std::fprintf(stderr, "usage: %s [lock] [threads 1..64] [tickets]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  Report rep;
+  if (lock == "bakery") {
+    rep = run<native::BakeryLock>(threads, tickets, threads);
+  } else if (lock == "gt2") {
+    rep = run<native::GeneralizedTournamentLock>(threads, tickets, threads,
+                                                 2);
+  } else if (lock == "tournament") {
+    rep = run<native::TournamentLock>(threads, tickets, threads);
+  } else if (lock == "peterson") {
+    rep = run<native::PetersonTournamentLock>(threads, tickets, threads);
+  } else if (lock == "ttas") {
+    rep = run<native::TtasLock>(threads, tickets, threads);
+  } else if (lock == "mcs") {
+    rep = run<native::McsLock>(threads, tickets, threads);
+  } else {
+    std::fprintf(stderr,
+                 "unknown lock '%s' (bakery|gt2|tournament|peterson|ttas|"
+                 "mcs)\n",
+                 lock.c_str());
+    return 2;
+  }
+  print(lock, threads, tickets, rep);
+  return rep.valid ? 0 : 1;
+}

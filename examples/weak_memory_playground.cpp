@@ -1,0 +1,107 @@
+// Weak-memory playground: run the classic litmus tests on the paper's
+// write-buffer machine under SC, TSO and PSO, exhaustively enumerating
+// every schedule, and print which outcomes each model admits — including
+// a step-by-step witness of the PSO message-passing anomaly that makes
+// a fence-free queue hand-off unsound.
+#include <cstdio>
+
+#include "sim/builder.h"
+#include "sim/explore.h"
+#include "sim/litmus.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fencetrade;
+
+std::string outcomeCell(const sim::ExploreResult& r,
+                        std::vector<sim::Value> probe) {
+  return r.outcomes.count(probe) ? "allowed" : "forbidden";
+}
+
+void litmusMatrix() {
+  util::Table table({"litmus", "weak outcome", "SC", "TSO", "PSO"});
+  struct Row {
+    const char* name;
+    sim::System (*make)(sim::MemoryModel);
+    std::vector<sim::Value> probe;
+    const char* meaning;
+  };
+  const Row rows[] = {
+      {"SB  (store buffering)",
+       [](sim::MemoryModel m) { return sim::litmusSB(m, false); },
+       {0, 0},
+       "both reads miss both writes"},
+      {"MP  (message passing)",
+       [](sim::MemoryModel m) { return sim::litmusMP(m, false); },
+       {0, 2},
+       "flag visible, data stale"},
+      {"WB  (3-store batch)",
+       [](sim::MemoryModel m) { return sim::litmusWriteBatch(m); },
+       {0, 2},
+       "last store visible, first stale"},
+      {"CoRR (read coherence)",
+       [](sim::MemoryModel m) { return sim::litmusCoRR(m); },
+       {0, 2},
+       "new value then old value"},
+  };
+  for (const auto& row : rows) {
+    auto sc = sim::explore(row.make(sim::MemoryModel::SC));
+    auto tso = sim::explore(row.make(sim::MemoryModel::TSO));
+    auto pso = sim::explore(row.make(sim::MemoryModel::PSO));
+    table.addRow({row.name, row.meaning, outcomeCell(sc, row.probe),
+                  outcomeCell(tso, row.probe), outcomeCell(pso, row.probe)});
+  }
+  std::printf("%s\n",
+              table.render("Litmus outcomes per memory model "
+                           "(exhaustive exploration)").c_str());
+}
+
+/// Find and print a schedule that exhibits the PSO MP anomaly.
+void mpAnomalyWitness() {
+  sim::System sys = sim::litmusMP(sim::MemoryModel::PSO, false);
+  std::printf("Searching for a PSO schedule where the reader sees the "
+              "flag but stale data...\n");
+
+  // Drive the anomaly by hand: writer buffers D and F, commits F first.
+  sim::Config cfg = sim::initialConfig(sys);
+  std::vector<std::pair<sim::ProcId, sim::Reg>> schedule = {
+      {0, sim::kNoReg},  // writer: write D (buffered)
+      {0, sim::kNoReg},  // writer: write F (buffered)
+      {0, 1},            // system commits F *first* — PSO allows it
+      {1, sim::kNoReg},  // reader: reads F = 1
+      {1, sim::kNoReg},  // reader: reads D = 0  (stale!)
+  };
+  for (auto [p, r] : schedule) {
+    auto step = sim::execElem(sys, cfg, p, r);
+    if (step) {
+      std::printf("  %s\n", step->toString(sys.layout).c_str());
+    }
+  }
+  std::printf("Reader observed flag=1 but data=0 — the write batch "
+              "reordered.  Under TSO the commit of F before D is "
+              "impossible (FIFO buffer), and indeed:\n");
+
+  auto tso = sim::explore(sim::litmusMP(sim::MemoryModel::TSO, false));
+  std::printf("  TSO outcome set: %s\n",
+              sim::outcomesToString(tso.outcomes).c_str());
+  auto pso = sim::explore(sim::litmusMP(sim::MemoryModel::PSO, false));
+  std::printf("  PSO outcome set: %s   (2 = the anomaly)\n\n",
+              sim::outcomesToString(pso.outcomes).c_str());
+
+  auto fixed = sim::explore(sim::litmusMP(sim::MemoryModel::PSO, true));
+  std::printf("With one fence between the writes, PSO outcome set: %s — "
+              "repaired.\n",
+              sim::outcomesToString(fixed.outcomes).c_str());
+  std::printf("This is the TSO/PSO separation the paper generalizes: for "
+              "locks, counters and queues, write reordering makes fences "
+              "(or RMRs) unavoidable.\n");
+}
+
+}  // namespace
+
+int main() {
+  litmusMatrix();
+  mpAnomalyWitness();
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "core/bakery.h"
+
+#include "util/check.h"
+
+namespace fencetrade::core {
+
+using sim::ExprId;
+using sim::LocalId;
+using sim::ProgramBuilder;
+
+BakeryInstance::BakeryInstance(sim::MemoryLayout& layout,
+                               const std::vector<sim::ProcId>& owners,
+                               const std::string& name, BakeryVariant variant)
+    : slots_(static_cast<int>(owners.size())), variant_(variant) {
+  FT_CHECK(slots_ >= 1) << "BakeryInstance needs at least one slot";
+  c_ = layout.allocArray(owners, name + ".C");
+  t_ = layout.allocArray(owners, name + ".T");
+}
+
+sim::Reg BakeryInstance::doorwayReg(int slot) const {
+  FT_CHECK(slot >= 0 && slot < slots_);
+  return c_ + slot;
+}
+
+sim::Reg BakeryInstance::ticketReg(int slot) const {
+  FT_CHECK(slot >= 0 && slot < slots_);
+  return t_ + slot;
+}
+
+void BakeryInstance::emitAcquire(ProgramBuilder& b, int slot,
+                                 bool markDoorway) const {
+  FT_CHECK(slot >= 0 && slot < slots_);
+  if (markDoorway) b.dwBegin();
+  LocalId tmp = b.local("bk_tmp");
+  LocalId t = b.local("bk_t");
+  LocalId j = b.local("bk_j");
+
+  // Slot indices are runtime locals (dynamic register addressing), so
+  // the emitted code is O(1) per instance rather than O(slots).
+  auto doorwayAt = [&](LocalId idx) { return b.add(b.imm(c_), b.L(idx)); };
+  auto ticketAt = [&](LocalId idx) { return b.add(b.imm(t_), b.L(idx)); };
+
+  // Doorway: announce, then take a ticket above every visible ticket.
+  b.writeRegImm(doorwayReg(slot), 1);
+  b.fence();  // make the doorway bit visible before scanning tickets
+
+  b.set(tmp, b.imm(0));
+  b.forRange(j, 0, slots_, [&] {
+    b.read(t, ticketAt(j));
+    b.set(tmp, b.max(b.L(tmp), b.L(t)));
+  });
+  b.set(tmp, b.add(b.L(tmp), b.imm(1)));
+
+  if (variant_ == BakeryVariant::Lamport) {
+    // Publish the ticket, then leave the doorway.
+    b.writeReg(ticketReg(slot), b.L(tmp));
+    b.fence();
+    b.writeRegImm(doorwayReg(slot), 0);
+    b.fence();
+  } else {
+    // The paper listing's order (lines 6–7): leave the doorway first.
+    // Kept verbatim so the explorer can exhibit the race; do not use.
+    b.writeRegImm(doorwayReg(slot), 0);
+    b.fence();
+    b.writeReg(ticketReg(slot), b.L(tmp));
+    b.fence();
+  }
+
+  if (markDoorway) b.dwEnd();
+
+  // Wait phase: let every slot with doorway open and smaller
+  // (ticket, slot) pair go first.
+  b.forRange(j, 0, slots_, [&] {
+    b.ifThen(b.ne(b.L(j), b.imm(slot)), [&] {
+      // wait until C[j] == 0
+      b.loop([&] {
+        b.read(t, doorwayAt(j));
+        b.exitIf(b.eq(b.L(t), b.imm(0)));
+      });
+      // wait until T[j] == 0 or (T[slot], slot) < (T[j], j)
+      b.loop([&] {
+        b.read(t, ticketAt(j));
+        ExprId passed =
+            b.lor(b.eq(b.L(t), b.imm(0)),
+                  b.lor(b.lt(b.L(tmp), b.L(t)),
+                        b.land(b.eq(b.L(tmp), b.L(t)),
+                               b.lt(b.imm(slot), b.L(j)))));
+        b.exitIf(passed);
+      });
+    });
+  });
+}
+
+void BakeryInstance::emitRelease(ProgramBuilder& b, int slot) const {
+  b.writeRegImm(ticketReg(slot), 0);
+  b.fence();
+}
+
+BakeryLock::BakeryLock(sim::MemoryLayout& layout, int n,
+                       BakeryVariant variant, SegmentPolicy policy)
+    : n_(n),
+      instance_(layout,
+                [&] {
+                  std::vector<sim::ProcId> owners;
+                  for (int p = 0; p < n; ++p) {
+                    owners.push_back(policy == SegmentPolicy::PerProcess
+                                         ? p
+                                         : sim::kNoOwner);
+                  }
+                  return owners;
+                }(),
+                "bakery", variant),
+      variant_(variant) {}
+
+void BakeryLock::emitAcquire(ProgramBuilder& b, sim::ProcId p) const {
+  instance_.emitAcquire(b, p, /*markDoorway=*/true);
+}
+
+void BakeryLock::emitRelease(ProgramBuilder& b, sim::ProcId p) const {
+  instance_.emitRelease(b, p);
+}
+
+std::string BakeryLock::name() const {
+  return variant_ == BakeryVariant::Lamport ? "bakery" : "bakery-paper-listing";
+}
+
+std::int64_t BakeryLock::fencesPerPassage() const {
+  return BakeryInstance::kAcquireFences + BakeryInstance::kReleaseFences;
+}
+
+LockFactory bakeryFactory(BakeryVariant variant, SegmentPolicy policy) {
+  return [variant, policy](sim::MemoryLayout& layout, int n) {
+    return std::make_unique<BakeryLock>(layout, n, variant, policy);
+  };
+}
+
+}  // namespace fencetrade::core

@@ -1,0 +1,91 @@
+// Lamport's Bakery lock (paper, Algorithm 1) as emitted simulator code.
+//
+// One end of the fence/RMR spectrum: a passage costs a constant number
+// of fences (3 in Acquire, 1 in Release) but Θ(n) RMRs, because the
+// waiting loop reads every other process's doorway bit and ticket.
+//
+// NOTE on the doorway order: the paper's listing writes C[i] back to 0
+// (line 6) *before* publishing the ticket T[i] (line 7).  That order
+// admits a mutual-exclusion violation even under sequential consistency
+// (two processes can each see the other's ticket as 0 and both enter) —
+// our exhaustive explorer finds the violating schedule; see
+// tests/core/bakery_variant_test.cpp.  Lamport's original publishes the
+// ticket first and then leaves the doorway, which is what
+// BakeryVariant::Lamport (the default everywhere) does.
+// BakeryVariant::PaperListing reproduces the listing verbatim as a
+// checker demonstration.
+#pragma once
+
+#include <vector>
+
+#include "core/lockspec.h"
+#include "sim/ids.h"
+
+namespace fencetrade::core {
+
+enum class BakeryVariant {
+  Lamport,       ///< write T[i]=tmp; fence; write C[i]=0; fence (correct)
+  PaperListing,  ///< write C[i]=0; fence; write T[i]=tmp; fence (buggy)
+};
+
+/// A Bakery instance over `slots` competitors, embeddable as one node of
+/// a tournament tree.  Slot s's registers are owned by process owners[s]
+/// (DSM segment assignment).
+class BakeryInstance {
+ public:
+  BakeryInstance(sim::MemoryLayout& layout, const std::vector<sim::ProcId>& owners,
+                 const std::string& name,
+                 BakeryVariant variant = BakeryVariant::Lamport);
+
+  /// Emit Acquire for the competitor occupying `slot`.  With
+  /// `markDoorway`, the builder's doorway range is set around the
+  /// ticket-taking prefix (lines 4-7 of Algorithm 1) for FCFS property
+  /// tests — valid only when this is the program's sole lock.
+  void emitAcquire(sim::ProgramBuilder& b, int slot,
+                   bool markDoorway = false) const;
+
+  /// Emit Release for the competitor occupying `slot`.
+  void emitRelease(sim::ProgramBuilder& b, int slot) const;
+
+  int slots() const { return slots_; }
+  sim::Reg doorwayReg(int slot) const;
+  sim::Reg ticketReg(int slot) const;
+
+  /// Fences in one Acquire (3) / one Release (1).
+  static constexpr std::int64_t kAcquireFences = 3;
+  static constexpr std::int64_t kReleaseFences = 1;
+
+ private:
+  int slots_;
+  sim::Reg c_;  // doorway bits  C[0..slots)
+  sim::Reg t_;  // tickets       T[0..slots)
+  BakeryVariant variant_;
+};
+
+/// The n-process Bakery lock (GT_1).
+class BakeryLock : public LockAlgorithm {
+ public:
+  BakeryLock(sim::MemoryLayout& layout, int n,
+             BakeryVariant variant = BakeryVariant::Lamport,
+             SegmentPolicy policy = SegmentPolicy::PerProcess);
+
+  void emitAcquire(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  void emitRelease(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  std::string name() const override;
+  int n() const override { return n_; }
+  std::int64_t fencesPerPassage() const override;
+  std::int64_t rmrBoundPerPassage() const override { return n_; }
+
+  const BakeryInstance& instance() const { return instance_; }
+
+ private:
+  int n_;
+  BakeryInstance instance_;
+  BakeryVariant variant_;
+};
+
+/// Factory for use in system builders.
+LockFactory bakeryFactory(BakeryVariant variant = BakeryVariant::Lamport,
+                          SegmentPolicy policy = SegmentPolicy::PerProcess);
+
+}  // namespace fencetrade::core

@@ -1,0 +1,65 @@
+#include "core/caslocks.h"
+
+#include "util/check.h"
+
+namespace fencetrade::core {
+
+using sim::LocalId;
+using sim::ProgramBuilder;
+
+TasLock::TasLock(sim::MemoryLayout& layout, int n) : n_(n) {
+  FT_CHECK(n >= 1);
+  lock_ = layout.alloc(sim::kNoOwner, "tas.L");
+}
+
+void TasLock::emitAcquire(ProgramBuilder& b, sim::ProcId) const {
+  LocalId old = b.local("tas_old");
+  b.loop([&] {
+    b.casReg(old, lock_, b.imm(0), b.imm(1));
+    b.exitIf(b.eq(b.L(old), b.imm(0)));
+  });
+}
+
+void TasLock::emitRelease(ProgramBuilder& b, sim::ProcId) const {
+  b.writeRegImm(lock_, 0);
+  b.fence();
+}
+
+TtasLock::TtasLock(sim::MemoryLayout& layout, int n) : n_(n) {
+  FT_CHECK(n >= 1);
+  lock_ = layout.alloc(sim::kNoOwner, "ttas.L");
+}
+
+void TtasLock::emitAcquire(ProgramBuilder& b, sim::ProcId) const {
+  LocalId t = b.local("ttas_t");
+  LocalId old = b.local("ttas_old");
+  b.loop([&] {
+    // Local spin: re-reads of the cached value are free under the CC
+    // rule; only the value change after a release costs an RMR.
+    b.loop([&] {
+      b.readReg(t, lock_);
+      b.exitIf(b.eq(b.L(t), b.imm(0)));
+    });
+    b.casReg(old, lock_, b.imm(0), b.imm(1));
+    b.exitIf(b.eq(b.L(old), b.imm(0)));
+  });
+}
+
+void TtasLock::emitRelease(ProgramBuilder& b, sim::ProcId) const {
+  b.writeRegImm(lock_, 0);
+  b.fence();
+}
+
+LockFactory tasFactory() {
+  return [](sim::MemoryLayout& layout, int n) {
+    return std::make_unique<TasLock>(layout, n);
+  };
+}
+
+LockFactory ttasFactory() {
+  return [](sim::MemoryLayout& layout, int n) {
+    return std::make_unique<TtasLock>(layout, n);
+  };
+}
+
+}  // namespace fencetrade::core

@@ -1,0 +1,62 @@
+// Spin locks built from the comparison primitive (paper, Section 6).
+//
+// The paper's lower bound, following [9, 12], also covers algorithms
+// that use comparison primitives such as compare-and-swap in addition to
+// reads and writes.  These two classic CAS locks make the extension
+// concrete on the simulator:
+//
+//   TAS  — test-and-set: spin on CAS(L, 0, 1).  O(1) "fences" (each CAS
+//          drains the buffer like a LOCK'd RMW) but every failed CAS is
+//          a remote step — unbounded RMRs under contention.
+//   TTAS — test-and-test-and-set: spin reading L until it is 0, then
+//          CAS.  The read spin is served from the cache (local under the
+//          CC rule), so RMRs per passage are bounded by the number of
+//          lock handoffs — the classical contrast to TAS.
+#pragma once
+
+#include "core/lockspec.h"
+
+namespace fencetrade::core {
+
+/// Test-and-set spin lock over one register.
+class TasLock : public LockAlgorithm {
+ public:
+  TasLock(sim::MemoryLayout& layout, int n);
+
+  void emitAcquire(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  void emitRelease(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  std::string name() const override { return "tas"; }
+  int n() const override { return n_; }
+  std::int64_t fencesPerPassage() const override { return 1; }
+  std::int64_t rmrBoundPerPassage() const override { return 2; }  // solo
+
+  sim::Reg lockReg() const { return lock_; }
+
+ private:
+  int n_;
+  sim::Reg lock_;
+};
+
+/// Test-and-test-and-set spin lock (local spinning on the cached value).
+class TtasLock : public LockAlgorithm {
+ public:
+  TtasLock(sim::MemoryLayout& layout, int n);
+
+  void emitAcquire(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  void emitRelease(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  std::string name() const override { return "ttas"; }
+  int n() const override { return n_; }
+  std::int64_t fencesPerPassage() const override { return 1; }
+  std::int64_t rmrBoundPerPassage() const override { return 3; }  // solo
+
+  sim::Reg lockReg() const { return lock_; }
+
+ private:
+  int n_;
+  sim::Reg lock_;
+};
+
+LockFactory tasFactory();
+LockFactory ttasFactory();
+
+}  // namespace fencetrade::core

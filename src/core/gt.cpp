@@ -1,0 +1,107 @@
+#include "core/gt.h"
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace fencetrade::core {
+
+GeneralizedTournamentLock::GeneralizedTournamentLock(
+    sim::MemoryLayout& layout, int n, int f, BakeryVariant variant,
+    SegmentPolicy policy)
+    : n_(n), f_(f) {
+  FT_CHECK(n >= 1) << "GT lock needs n >= 1";
+  FT_CHECK(f >= 1) << "GT lock needs f >= 1";
+  // Heights beyond ceil(log2 n) cannot shrink the branching factor below
+  // 2; clamp so GT_f is well-defined for every 1 <= f (paper: f <= log n).
+  const int maxUseful = n > 1 ? util::ilog2Ceil(static_cast<std::uint64_t>(n))
+                              : 1;
+  if (f_ > maxUseful) f_ = maxUseful;
+  b_ = util::branchingFactor(n, f_);
+
+  // Level t (1-based, root at t = f): node k covers leaves
+  // [k·b^t, (k+1)·b^t); its slot s is the subtree starting at leaf
+  // k·b^t + s·b^(t-1) and is active iff that leaf exists.
+  levels_.resize(static_cast<std::size_t>(f_));
+  for (int t = 1; t <= f_; ++t) {
+    const std::int64_t span = util::ipow(b_, t);
+    const std::int64_t childSpan = util::ipow(b_, t - 1);
+    const std::int64_t numNodes = util::ceilDiv(n, span);
+    auto& level = levels_[static_cast<std::size_t>(t - 1)];
+    for (std::int64_t k = 0; k < numNodes; ++k) {
+      std::vector<sim::ProcId> owners;
+      for (std::int64_t s = 0; s < b_; ++s) {
+        const std::int64_t firstLeaf = k * span + s * childSpan;
+        if (firstLeaf >= n) break;  // inactive tail slot
+        owners.push_back(policy == SegmentPolicy::PerProcess
+                             ? static_cast<sim::ProcId>(firstLeaf)
+                             : sim::kNoOwner);
+      }
+      level.nodes.push_back(std::make_unique<BakeryInstance>(
+          layout, owners,
+          "gt.L" + std::to_string(t) + ".N" + std::to_string(k), variant));
+    }
+  }
+}
+
+int GeneralizedTournamentLock::nodeOf(sim::ProcId p, int level) const {
+  FT_CHECK(level >= 1 && level <= f_);
+  return static_cast<int>(p / util::ipow(b_, level));
+}
+
+int GeneralizedTournamentLock::slotOf(sim::ProcId p, int level) const {
+  FT_CHECK(level >= 1 && level <= f_);
+  return static_cast<int>((p / util::ipow(b_, level - 1)) % b_);
+}
+
+const BakeryInstance& GeneralizedTournamentLock::node(int level,
+                                                      int index) const {
+  return *levels_[static_cast<std::size_t>(level - 1)]
+              .nodes[static_cast<std::size_t>(index)];
+}
+
+void GeneralizedTournamentLock::emitAcquire(sim::ProgramBuilder& b,
+                                            sim::ProcId p) const {
+  FT_CHECK(p >= 0 && p < n_);
+  for (int t = 1; t <= f_; ++t) {
+    node(t, nodeOf(p, t)).emitAcquire(b, slotOf(p, t));
+  }
+}
+
+void GeneralizedTournamentLock::emitRelease(sim::ProgramBuilder& b,
+                                            sim::ProcId p) const {
+  // Top-down: the root is released first so a successor can make
+  // progress immediately.
+  for (int t = f_; t >= 1; --t) {
+    node(t, nodeOf(p, t)).emitRelease(b, slotOf(p, t));
+  }
+}
+
+std::string GeneralizedTournamentLock::name() const {
+  return "GT_" + std::to_string(f_) + "(b=" + std::to_string(b_) + ")";
+}
+
+std::int64_t GeneralizedTournamentLock::fencesPerPassage() const {
+  return f_ * (BakeryInstance::kAcquireFences + BakeryInstance::kReleaseFences);
+}
+
+std::int64_t GeneralizedTournamentLock::rmrBoundPerPassage() const {
+  return static_cast<std::int64_t>(f_) * b_;
+}
+
+LockFactory gtFactory(int f, BakeryVariant variant, SegmentPolicy policy) {
+  return [f, variant, policy](sim::MemoryLayout& layout, int n) {
+    return std::make_unique<GeneralizedTournamentLock>(layout, n, f, variant,
+                                                       policy);
+  };
+}
+
+LockFactory tournamentFactory(BakeryVariant variant, SegmentPolicy policy) {
+  return [variant, policy](sim::MemoryLayout& layout, int n) {
+    const int f =
+        n > 1 ? util::ilog2Ceil(static_cast<std::uint64_t>(n)) : 1;
+    return std::make_unique<GeneralizedTournamentLock>(layout, n, f, variant,
+                                                       policy);
+  };
+}
+
+}  // namespace fencetrade::core

@@ -1,0 +1,72 @@
+// The generalized tournament lock GT_f (paper, Section 3 and Figure 1).
+//
+// A tree with n leaves, height f and branching factor b = ceil(n^{1/f}).
+// Each internal node holds a Bakery instance over its (at most b)
+// children; to acquire the lock, a process wins the Bakery locks on the
+// path from its leaf to the root, bottom-up, and releases them top-down.
+//
+// Costs per passage: Θ(f) fences and O(f · n^{1/f}) RMRs — the
+// intermediate points of the tradeoff Eq. (2).  GT_1 degenerates to the
+// Bakery lock, GT_{ceil(log2 n)} to the binary tournament tree.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/bakery.h"
+#include "core/lockspec.h"
+
+namespace fencetrade::core {
+
+class GeneralizedTournamentLock : public LockAlgorithm {
+ public:
+  /// f = tree height, 1 <= f; the branching factor is derived as the
+  /// smallest b with b^f >= n.
+  GeneralizedTournamentLock(sim::MemoryLayout& layout, int n, int f,
+                            BakeryVariant variant = BakeryVariant::Lamport,
+                            SegmentPolicy policy = SegmentPolicy::PerProcess);
+
+  void emitAcquire(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  void emitRelease(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  std::string name() const override;
+  int n() const override { return n_; }
+
+  /// 4 fences per level (3 acquire + 1 release) on the path of length f.
+  std::int64_t fencesPerPassage() const override;
+  std::int64_t rmrBoundPerPassage() const override;
+
+  int height() const { return f_; }
+  int branching() const { return b_; }
+
+  /// Node index of process p's path at level t (1 = lowest internal
+  /// level, f = root) and p's slot within that node.
+  int nodeOf(sim::ProcId p, int level) const;
+  int slotOf(sim::ProcId p, int level) const;
+
+ private:
+  /// Per-level Bakery instances, indexed by node.
+  struct Level {
+    std::vector<std::unique_ptr<BakeryInstance>> nodes;
+    /// First active slot count per node (nodes covering the tail of the
+    /// leaf range may have fewer than b competitors).
+  };
+
+  const BakeryInstance& node(int level, int index) const;
+
+  int n_;
+  int f_;
+  int b_;
+  std::vector<Level> levels_;  // levels_[t-1] = level t
+};
+
+/// Factory: GT with fixed height f (f is clamped to ceil(log2 n) since
+/// greater heights cannot reduce the branching factor below 2).
+LockFactory gtFactory(int f, BakeryVariant variant = BakeryVariant::Lamport,
+                      SegmentPolicy policy = SegmentPolicy::PerProcess);
+
+/// Factory: the binary tournament tree (GT with f = ceil(log2 n)).
+LockFactory tournamentFactory(
+    BakeryVariant variant = BakeryVariant::Lamport,
+    SegmentPolicy policy = SegmentPolicy::PerProcess);
+
+}  // namespace fencetrade::core

@@ -1,0 +1,59 @@
+// Abstraction for a mutual-exclusion lock expressed as emitted
+// simulator code (paper, Section 3).
+//
+// A LockAlgorithm owns its register layout (allocated at construction
+// from the system's MemoryLayout) and emits the Acquire/Release
+// instruction sequences for a given process into a ProgramBuilder.
+// Implementations: Bakery (= GT_1), GeneralizedTournament GT_f,
+// binary tournament tree (= GT_{log n}).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/builder.h"
+#include "sim/layout.h"
+
+namespace fencetrade::core {
+
+/// DSM segment assignment of a lock's registers.
+///
+/// PerProcess — slot s's doorway/ticket registers live in the segment of
+///   the process statically assigned to s (the classical local-spin
+///   layout; reads of them by others count as segment accesses, which
+///   makes the encoder emit wait-local-finish barriers).
+/// Unowned — no register belongs to any process's segment.  Every first
+///   access is remote, and — because no process ever touches another's
+///   segment — the encoder's wait-local-finish case E1 never fires, so
+///   later processes race ahead and their write batches get *hidden*
+///   (the wait-hidden-commit machinery of Section 5).
+enum class SegmentPolicy { PerProcess, Unowned };
+
+class LockAlgorithm {
+ public:
+  virtual ~LockAlgorithm() = default;
+
+  /// Emit the Acquire() body for process p.
+  virtual void emitAcquire(sim::ProgramBuilder& b, sim::ProcId p) const = 0;
+
+  /// Emit the Release() body for process p.
+  virtual void emitRelease(sim::ProgramBuilder& b, sim::ProcId p) const = 0;
+
+  virtual std::string name() const = 0;
+  virtual int n() const = 0;
+
+  /// Exact fences per passage (acquire + release) — the f of Eq. (1).
+  virtual std::int64_t fencesPerPassage() const = 0;
+
+  /// Asymptotic RMR bound per passage used in the comparison tables —
+  /// the r of Eq. (2): Bakery n, GT_f f·ceil(n^{1/f}), tournament log n.
+  virtual std::int64_t rmrBoundPerPassage() const = 0;
+};
+
+/// Creates a lock for n processes, allocating registers from `layout`.
+using LockFactory = std::function<std::unique_ptr<LockAlgorithm>(
+    sim::MemoryLayout& layout, int n)>;
+
+}  // namespace fencetrade::core

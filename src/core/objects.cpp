@@ -1,0 +1,130 @@
+#include "core/objects.h"
+
+#include <functional>
+#include <memory>
+
+#include "util/check.h"
+
+namespace fencetrade::core {
+
+namespace {
+
+using Body = std::function<void(sim::ProgramBuilder&, sim::ProcId,
+                                sim::LocalId /*ret*/)>;
+
+/// Shared shape: [preAcquire;] acquire; csBegin; body (must end with a
+/// fence); csEnd; release; return ret.  The release's trailing fence
+/// satisfies the paper's Section 5 assumption of a fence just before
+/// return.  `setup` allocates the object's own registers from the
+/// system layout (before the lock's) and returns the critical-section
+/// body; `preAcquire` (optional) emits code before the Acquire.
+OrderingSystem buildLockedSystem(
+    sim::MemoryModel m, int n, const LockFactory& lockFactory,
+    const std::string& name,
+    const std::function<Body(OrderingSystem&)>& setup,
+    const Body& preAcquire = nullptr) {
+  FT_CHECK(n >= 1);
+  OrderingSystem out;
+  out.name = name;
+  out.sys.model = m;
+  Body body = setup(out);
+  auto lock = lockFactory(out.sys.layout, n);
+  for (sim::ProcId p = 0; p < n; ++p) {
+    sim::ProgramBuilder b(name + "/" + lock->name() + "#" + std::to_string(p));
+    sim::LocalId ret = b.local("ret");
+    if (preAcquire) preAcquire(b, p, ret);
+    lock->emitAcquire(b, p);
+    b.csBegin();
+    body(b, p, ret);
+    b.csEnd();
+    lock->emitRelease(b, p);
+    b.ret(b.L(ret));
+    out.sys.programs.push_back(b.build());
+  }
+  return out;
+}
+
+}  // namespace
+
+OrderingSystem buildCountSystem(sim::MemoryModel m, int n,
+                                const LockFactory& lockFactory) {
+  return buildLockedSystem(
+      m, n, lockFactory, "count", [](OrderingSystem& out) -> Body {
+        out.counter = out.sys.layout.alloc(sim::kNoOwner, "C");
+        const sim::Reg c = out.counter;
+        return [c](sim::ProgramBuilder& b, sim::ProcId, sim::LocalId ret) {
+          b.readReg(ret, c);
+          b.writeReg(c, b.add(b.L(ret), b.imm(1)));
+          b.fence();
+        };
+      });
+}
+
+OrderingSystem buildFaiSystem(sim::MemoryModel m, int n,
+                              const LockFactory& lockFactory) {
+  return buildLockedSystem(
+      m, n, lockFactory, "fai", [n](OrderingSystem& out) -> Body {
+        out.counter = out.sys.layout.alloc(sim::kNoOwner, "C");
+        std::vector<sim::ProcId> owners;
+        for (int p = 0; p < n; ++p) owners.push_back(p);
+        out.arrayBase = out.sys.layout.allocArray(owners, "A");
+        const sim::Reg c = out.counter;
+        const sim::Reg a = out.arrayBase;
+        return [c, a](sim::ProgramBuilder& b, sim::ProcId p,
+                      sim::LocalId ret) {
+          b.readReg(ret, c);
+          b.writeReg(a + p, b.L(ret));  // announce my value
+          b.writeReg(c, b.add(b.L(ret), b.imm(1)));
+          b.fence();
+        };
+      });
+}
+
+OrderingSystem buildQueueSystem(sim::MemoryModel m, int n,
+                                const LockFactory& lockFactory) {
+  return buildLockedSystem(
+      m, n, lockFactory, "queue", [n](OrderingSystem& out) -> Body {
+        out.counter = out.sys.layout.alloc(sim::kNoOwner, "tail");
+        out.arrayBase = out.sys.layout.allocArray(
+            std::vector<sim::ProcId>(static_cast<std::size_t>(n),
+                                     sim::kNoOwner),
+            "Q");
+        const sim::Reg tail = out.counter;
+        const sim::Reg q = out.arrayBase;
+        return [tail, q](sim::ProgramBuilder& b, sim::ProcId p,
+                         sim::LocalId ret) {
+          b.readReg(ret, tail);
+          // Q[tail] = p + 1 (dynamic address: slot is the value read)
+          b.write(b.add(b.imm(q), b.L(ret)), b.imm(p + 1));
+          b.writeReg(tail, b.add(b.L(ret), b.imm(1)));
+          b.fence();
+        };
+      });
+}
+
+OrderingSystem buildScratchCountSystem(sim::MemoryModel m, int n,
+                                       const LockFactory& lockFactory) {
+  // The scratch register is allocated in setup() but referenced by the
+  // pre-acquire hook, which is constructed earlier — share it.
+  auto scratch = std::make_shared<sim::Reg>(sim::kNoReg);
+  return buildLockedSystem(
+      m, n, lockFactory, "scratch-count",
+      [scratch](OrderingSystem& out) -> Body {
+        *scratch = out.sys.layout.alloc(sim::kNoOwner, "S");
+        out.arrayBase = *scratch;
+        out.counter = out.sys.layout.alloc(sim::kNoOwner, "C");
+        const sim::Reg c = out.counter;
+        return [c](sim::ProgramBuilder& b, sim::ProcId, sim::LocalId ret) {
+          b.readReg(ret, c);
+          b.writeReg(c, b.add(b.L(ret), b.imm(1)));
+          b.fence();
+        };
+      },
+      [scratch](sim::ProgramBuilder& b, sim::ProcId p, sim::LocalId) {
+        // Announce into the shared scratch word; deliberately unfenced,
+        // so the write shares a batch with the lock's doorway write.
+        b.writeReg(*scratch, b.imm(p + 1));
+      });
+}
+
+}  // namespace fencetrade::core

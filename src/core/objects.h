@@ -1,0 +1,52 @@
+// Ordering algorithms (paper, Section 4) built from a lock.
+//
+// `Count` is the paper's canonical ordering algorithm: inside the
+// critical section each process reads a shared counter C, writes back
+// C+1 and fences; the value read is its return value, so a sequential
+// execution returns 0, 1, ..., n-1 — exactly Definition 4.1.  The
+// fetch-and-increment and queue variants exercise larger write batches
+// (two buffered writes per critical section), which feeds the encoder's
+// wait-hidden-commit machinery.
+#pragma once
+
+#include <string>
+
+#include "core/lockspec.h"
+#include "sim/machine.h"
+
+namespace fencetrade::core {
+
+/// A built ordering system plus the registers of interest.
+struct OrderingSystem {
+  std::string name;
+  sim::System sys;
+  sim::Reg counter = sim::kNoReg;    ///< C (Count/FAI) or tail (queue)
+  sim::Reg arrayBase = sim::kNoReg;  ///< A (FAI) or Q (queue), else kNoReg
+};
+
+/// Count: CS body { ret = read C; write C = ret+1; fence }.
+OrderingSystem buildCountSystem(sim::MemoryModel m, int n,
+                                const LockFactory& lockFactory);
+
+/// Fetch-and-increment with an announce array:
+/// CS body { ret = read C; write A[p] = ret; write C = ret+1; fence }.
+OrderingSystem buildFaiSystem(sim::MemoryModel m, int n,
+                              const LockFactory& lockFactory);
+
+/// Queue enqueue, returning the enqueue position:
+/// CS body { ret = read tail; write Q[ret] = p+1; write tail = ret+1;
+///           fence }.
+OrderingSystem buildQueueSystem(sim::MemoryModel m, int n,
+                                const LockFactory& lockFactory);
+
+/// Count with a shared *scratch* register written before the Acquire,
+/// with no fence of its own — the write rides in the buffer with the
+/// lock's first doorway write.  Combined with an Unowned segment layout
+/// this is the shape that makes the encoder hide write batches: a later
+/// process's scratch write is overwritten (unread) by an earlier
+/// process's commit, driving the wait-hidden-commit command of
+/// Section 5 through the full construction.
+OrderingSystem buildScratchCountSystem(sim::MemoryModel m, int n,
+                                       const LockFactory& lockFactory);
+
+}  // namespace fencetrade::core

@@ -1,0 +1,124 @@
+#include "core/peterson.h"
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace fencetrade::core {
+
+using sim::LocalId;
+using sim::ProgramBuilder;
+
+PetersonInstance::PetersonInstance(sim::MemoryLayout& layout,
+                                   const std::vector<sim::ProcId>& owners,
+                                   const std::string& name,
+                                   PetersonVariant variant)
+    : variant_(variant) {
+  FT_CHECK(owners.size() == 2) << "Peterson instance needs two owners";
+  flags_ = layout.allocArray(owners, name + ".flag");
+  turn_ = layout.alloc(owners[0], name + ".turn");
+}
+
+sim::Reg PetersonInstance::flagReg(int side) const {
+  FT_CHECK(side == 0 || side == 1);
+  return flags_ + side;
+}
+
+void PetersonInstance::emitAcquire(ProgramBuilder& b, int side) const {
+  FT_CHECK(side == 0 || side == 1);
+  const int other = 1 - side;
+  LocalId f = b.local("pt_f");
+  LocalId t = b.local("pt_t");
+
+  b.writeRegImm(flagReg(side), 1);
+  if (variant_ == PetersonVariant::PsoSafe) {
+    b.fence();  // flag must reach memory before turn (store-store order)
+  }
+  b.writeRegImm(turnReg(), other + 1);  // 1-based so 0 stays "unset"
+  b.fence();  // both stores visible before inspecting the peer
+
+  // wait until flag[other] == 0 or turn == side+1
+  b.loop([&] {
+    b.readReg(f, flagReg(other));
+    b.exitIf(b.eq(b.L(f), b.imm(0)));
+    b.readReg(t, turnReg());
+    b.exitIf(b.eq(b.L(t), b.imm(side + 1)));
+  });
+}
+
+void PetersonInstance::emitRelease(ProgramBuilder& b, int side) const {
+  b.writeRegImm(flagReg(side), 0);
+  b.fence();
+}
+
+PetersonTournamentLock::PetersonTournamentLock(sim::MemoryLayout& layout,
+                                               int n, SegmentPolicy policy,
+                                               PetersonVariant variant)
+    : n_(n), variant_(variant) {
+  FT_CHECK(n >= 1) << "Peterson tournament needs n >= 1";
+  f_ = n > 1 ? util::ilog2Ceil(static_cast<std::uint64_t>(n)) : 1;
+  levels_.resize(static_cast<std::size_t>(f_));
+  for (int t = 1; t <= f_; ++t) {
+    const std::int64_t span = std::int64_t{1} << t;
+    const std::int64_t childSpan = span / 2;
+    const std::int64_t numNodes = util::ceilDiv(n, span);
+    auto& level = levels_[static_cast<std::size_t>(t - 1)];
+    for (std::int64_t k = 0; k < numNodes; ++k) {
+      std::vector<sim::ProcId> owners(2, sim::kNoOwner);
+      if (policy == SegmentPolicy::PerProcess) {
+        for (int s = 0; s < 2; ++s) {
+          const std::int64_t firstLeaf = k * span + s * childSpan;
+          // Tail nodes may have an absent right child; its flag register
+          // stays with the left owner (it is never written).
+          owners[static_cast<std::size_t>(s)] =
+              firstLeaf < n ? static_cast<sim::ProcId>(firstLeaf)
+                            : static_cast<sim::ProcId>(k * span);
+        }
+      }
+      level.push_back(std::make_unique<PetersonInstance>(
+          layout, owners,
+          "pt.L" + std::to_string(t) + ".N" + std::to_string(k), variant));
+    }
+  }
+}
+
+const PetersonInstance& PetersonTournamentLock::node(int level,
+                                                     int index) const {
+  return *levels_[static_cast<std::size_t>(level - 1)]
+              [static_cast<std::size_t>(index)];
+}
+
+void PetersonTournamentLock::emitAcquire(ProgramBuilder& b,
+                                         sim::ProcId p) const {
+  FT_CHECK(p >= 0 && p < n_);
+  for (int t = 1; t <= f_; ++t) {
+    node(t, p >> t).emitAcquire(b, (p >> (t - 1)) & 1);
+  }
+}
+
+void PetersonTournamentLock::emitRelease(ProgramBuilder& b,
+                                         sim::ProcId p) const {
+  for (int t = f_; t >= 1; --t) {
+    node(t, p >> t).emitRelease(b, (p >> (t - 1)) & 1);
+  }
+}
+
+std::int64_t PetersonTournamentLock::fencesPerPassage() const {
+  const std::int64_t perLevel =
+      (variant_ == PetersonVariant::PsoSafe ? 2 : 1) +
+      PetersonInstance::kReleaseFences;
+  return static_cast<std::int64_t>(f_) * perLevel;
+}
+
+std::int64_t PetersonTournamentLock::rmrBoundPerPassage() const {
+  return 4LL * f_;
+}
+
+LockFactory petersonTournamentFactory(SegmentPolicy policy,
+                                      PetersonVariant variant) {
+  return [policy, variant](sim::MemoryLayout& layout, int n) {
+    return std::make_unique<PetersonTournamentLock>(layout, n, policy,
+                                                    variant);
+  };
+}
+
+}  // namespace fencetrade::core

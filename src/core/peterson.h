@@ -1,0 +1,105 @@
+// Peterson's two-process lock and the Peterson–Fischer tournament tree
+// (the paper's references [22, 23]) as emitted simulator code.
+//
+// The classic binary tournament is built from two-process locks rather
+// than Bakery instances.  Peterson's entry protocol needs one
+// store→load fence (publish flag+turn, then read the peer's state), and
+// release needs one — so a passage through a tree of height
+// ceil(log2 n) costs 2·log n fences and Θ(log n) RMRs: the same
+// asymptotics as GT_{log n} with half the fence constant.
+//
+//   Acquire(side):  flag[side] = 1; [fence;] turn = other; fence;
+//                   wait until flag[other] == 0 or turn == side
+//   Release(side):  flag[side] = 0; fence
+//
+// FENCE PLACEMENT SEPARATES THE MODELS.  Peterson's proof needs
+// flag[side] to reach shared memory *before* turn: if the two stores
+// commit out of order, the peer can slip past the flag check while the
+// stale turn value waves this process through — both enter the critical
+// section.  Under TSO the store order is free (FIFO buffer), so
+// PetersonVariant::TsoFence (one fence, after both stores) is correct;
+// under PSO the same code is broken — our exhaustive explorer finds the
+// violating schedule — and PetersonVariant::PsoSafe inserts the
+// store-store fence.  This is the paper's separation exhibited by a
+// real lock: the cheaper fence count is sound on the stronger model
+// only.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/lockspec.h"
+#include "sim/ids.h"
+
+namespace fencetrade::core {
+
+/// Fence discipline of the Peterson entry protocol (see file comment).
+enum class PetersonVariant {
+  PsoSafe,   ///< flag; fence; turn; fence — correct on every model
+  TsoFence,  ///< flag; turn; fence — correct on SC/TSO, broken on PSO
+};
+
+/// One two-process Peterson instance, embeddable as a tree node.
+class PetersonInstance {
+ public:
+  /// owners[0], owners[1] own the two flag registers' segments; the
+  /// turn register is placed in owners[0]'s segment.
+  PetersonInstance(sim::MemoryLayout& layout,
+                   const std::vector<sim::ProcId>& owners,
+                   const std::string& name,
+                   PetersonVariant variant = PetersonVariant::PsoSafe);
+
+  void emitAcquire(sim::ProgramBuilder& b, int side) const;
+  void emitRelease(sim::ProgramBuilder& b, int side) const;
+
+  sim::Reg flagReg(int side) const;
+  sim::Reg turnReg() const { return turn_; }
+
+  static constexpr std::int64_t kReleaseFences = 1;
+  std::int64_t acquireFences() const {
+    return variant_ == PetersonVariant::PsoSafe ? 2 : 1;
+  }
+
+ private:
+  sim::Reg flags_;  // flag[0], flag[1]
+  sim::Reg turn_;
+  PetersonVariant variant_;
+};
+
+/// Binary tournament of Peterson locks for n processes.
+class PetersonTournamentLock : public LockAlgorithm {
+ public:
+  PetersonTournamentLock(sim::MemoryLayout& layout, int n,
+                         SegmentPolicy policy = SegmentPolicy::PerProcess,
+                         PetersonVariant variant = PetersonVariant::PsoSafe);
+
+  void emitAcquire(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  void emitRelease(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  std::string name() const override {
+    return variant_ == PetersonVariant::PsoSafe
+               ? "peterson-tournament"
+               : "peterson-tournament-tso";
+  }
+  int n() const override { return n_; }
+
+  /// PsoSafe: 3 fences per level (2 acquire + 1 release);
+  /// TsoFence: 2 per level.  Height is ceil(log2 n).
+  std::int64_t fencesPerPassage() const override;
+  std::int64_t rmrBoundPerPassage() const override;
+
+  int height() const { return f_; }
+
+ private:
+  const PetersonInstance& node(int level, int index) const;
+
+  int n_;
+  int f_;
+  PetersonVariant variant_;
+  std::vector<std::vector<std::unique_ptr<PetersonInstance>>> levels_;
+};
+
+LockFactory petersonTournamentFactory(
+    SegmentPolicy policy = SegmentPolicy::PerProcess,
+    PetersonVariant variant = PetersonVariant::PsoSafe);
+
+}  // namespace fencetrade::core

@@ -1,0 +1,23 @@
+#include "core/tradeoff.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace fencetrade::core {
+
+double tradeoffValue(std::int64_t f, std::int64_t r) {
+  FT_CHECK(f >= 1) << "tradeoffValue requires f >= 1";
+  const double ratio =
+      static_cast<double>(r < f ? f : r) / static_cast<double>(f);
+  return static_cast<double>(f) * (std::log2(ratio) + 1.0);
+}
+
+std::int64_t gtRmrBound(int n, int f) {
+  return static_cast<std::int64_t>(f) * util::branchingFactor(n, f);
+}
+
+std::int64_t gtFenceCost(int f) { return 4LL * f; }
+
+}  // namespace fencetrade::core

@@ -1,0 +1,20 @@
+// The fence/RMR tradeoff formulas (paper, Equations (1) and (2)).
+#pragma once
+
+#include <cstdint>
+
+namespace fencetrade::core {
+
+/// The left-hand side of Eq. (1): f · (log2(r/f) + 1).  Defined for
+/// f >= 1; r < f is clamped to r = f (the log term floors at 0... i.e.,
+/// the +1 keeps the value f).
+double tradeoffValue(std::int64_t f, std::int64_t r);
+
+/// The matching upper bound of Eq. (2) for GT_f: f · ceil(n^{1/f}),
+/// computed with the integer branching factor the implementation uses.
+std::int64_t gtRmrBound(int n, int f);
+
+/// Number of fences GT_f spends per passage (4 per level).
+std::int64_t gtFenceCost(int f);
+
+}  // namespace fencetrade::core

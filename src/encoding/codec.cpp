@@ -1,0 +1,85 @@
+#include "encoding/codec.h"
+
+#include "util/bitstream.h"
+#include "util/check.h"
+
+namespace fencetrade::enc {
+
+namespace {
+
+constexpr int kOpcodeBits = 3;
+
+std::uint64_t opcodeOf(CommandKind k) { return static_cast<std::uint64_t>(k); }
+
+bool hasParameter(CommandKind k) {
+  return k == CommandKind::WaitHiddenCommit ||
+         k == CommandKind::WaitReadFinish ||
+         k == CommandKind::WaitLocalFinish;
+}
+
+}  // namespace
+
+SerializedCode serializeStacks(const StackSequence& stacks) {
+  util::BitWriter w;
+  for (const CommandStack& st : stacks) {
+    // Stack length (+1 so empty stacks are gamma-codable).
+    w.writeGamma(st.size() + 1);
+    for (const Command& cmd : st.commands()) {
+      FT_CHECK(cmd.waitSet.empty())
+          << "serializeStacks: only pristine encoder output is a code";
+      w.writeBits(opcodeOf(cmd.kind), kOpcodeBits);
+      if (hasParameter(cmd.kind)) {
+        FT_CHECK(cmd.k >= 1) << "serializeStacks: wait command with k < 1";
+        w.writeGamma(static_cast<std::uint64_t>(cmd.k));
+      }
+    }
+  }
+  SerializedCode code;
+  code.bytes = w.bytes();
+  code.bits = w.bitCount();
+  return code;
+}
+
+StackSequence parseStacks(const SerializedCode& code, int n) {
+  FT_CHECK(n >= 0);
+  util::BitReader r(code.bytes, code.bits);
+  StackSequence stacks(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    const std::uint64_t size = r.readGamma() - 1;
+    for (std::uint64_t i = 0; i < size; ++i) {
+      const std::uint64_t op = r.readBits(kOpcodeBits);
+      FT_CHECK(op <= static_cast<std::uint64_t>(
+                         CommandKind::WaitLocalFinish))
+          << "parseStacks: bad opcode " << op;
+      const auto kind = static_cast<CommandKind>(op);
+      Command cmd;
+      cmd.kind = kind;
+      if (hasParameter(kind)) {
+        cmd.k = static_cast<std::int64_t>(r.readGamma());
+      }
+      stacks[static_cast<std::size_t>(p)].pushBottom(cmd);
+    }
+  }
+  FT_CHECK(r.position() == code.bits)
+      << "parseStacks: trailing data (" << code.bits - r.position()
+      << " bits)";
+  return stacks;
+}
+
+bool stacksEqual(const StackSequence& a, const StackSequence& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    const auto& ca = a[p].commands();
+    const auto& cb = b[p].commands();
+    if (ca.size() != cb.size()) return false;
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      if (ca[i].kind != cb[i].kind || ca[i].value() != cb[i].value()) {
+        return false;
+      }
+      if (!ca[i].waitSet.empty() || !cb[i].waitSet.empty()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fencetrade::enc

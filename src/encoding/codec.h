@@ -1,0 +1,38 @@
+// Bit-level serialization of command-stack codes.
+//
+// The lower-bound argument counts *bits*: n! permutations need n!
+// distinct codes, so some code has Ω(log n!) bits.  This codec turns a
+// stack sequence into an actual bitstring — 3-bit opcodes, Elias-gamma
+// parameters — and parses it back, so the measured length of a real
+// serialized artifact (not just an accounting formula) can be compared
+// against log2(n!) and β(log(ρ/β)+1).
+//
+// Only encoder-produced stacks are serializable: their wait commands
+// carry empty wait-sets (the decoder reconstructs S during replay).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/stack.h"
+
+namespace fencetrade::enc {
+
+struct SerializedCode {
+  std::vector<std::uint8_t> bytes;
+  std::size_t bits = 0;  ///< exact bit length (bytes are padded)
+};
+
+/// Serialize a stack sequence.  Throws if any command carries a
+/// non-empty wait-set (only pristine encoder output is a code).
+SerializedCode serializeStacks(const StackSequence& stacks);
+
+/// Parse a code back into stacks for `n` processes.  Throws on
+/// malformed input.
+StackSequence parseStacks(const SerializedCode& code, int n);
+
+/// Structural equality of stack sequences (kind and parameter of every
+/// command; wait-sets must be empty on both sides).
+bool stacksEqual(const StackSequence& a, const StackSequence& b);
+
+}  // namespace fencetrade::enc

@@ -1,0 +1,67 @@
+#include "encoding/command.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fencetrade::enc {
+
+const char* commandKindName(CommandKind k) {
+  switch (k) {
+    case CommandKind::Proceed: return "proceed";
+    case CommandKind::Commit: return "commit";
+    case CommandKind::WaitHiddenCommit: return "wait-hidden-commit";
+    case CommandKind::WaitReadFinish: return "wait-read-finish";
+    case CommandKind::WaitLocalFinish: return "wait-local-finish";
+  }
+  return "?";
+}
+
+std::int64_t Command::value() const {
+  switch (kind) {
+    case CommandKind::Proceed:
+    case CommandKind::Commit:
+      return 1;
+    default:
+      return k;
+  }
+}
+
+double Command::bits() const {
+  // 3 bits select among the five opcodes; wait commands add a
+  // log2(k)+1-bit parameter (k >= 1 when pushed by the encoder).
+  constexpr double kOpcodeBits = 3.0;
+  switch (kind) {
+    case CommandKind::Proceed:
+    case CommandKind::Commit:
+      return kOpcodeBits;
+    default:
+      FT_CHECK(k >= 1) << "wait command with k < 1";
+      return kOpcodeBits + std::log2(static_cast<double>(k)) + 1.0;
+  }
+}
+
+std::string Command::toString() const {
+  std::ostringstream out;
+  out << commandKindName(kind);
+  if (kind == CommandKind::WaitHiddenCommit ||
+      kind == CommandKind::WaitReadFinish ||
+      kind == CommandKind::WaitLocalFinish) {
+    out << "(" << k;
+    if (!waitSet.empty()) {
+      out << ", {";
+      bool first = true;
+      for (sim::ProcId p : waitSet) {
+        if (!first) out << ",";
+        first = false;
+        out << p;
+      }
+      out << "}";
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+}  // namespace fencetrade::enc

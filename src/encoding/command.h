@@ -1,0 +1,61 @@
+// Commands of the execution encoding (paper, Table 1 and Section 5.1).
+//
+// Each process has a command stack; collectively the stacks encode an
+// execution E_π for a permutation π.  Command values (Section 5.3):
+// proceed and commit have value 1; the three wait commands have value k.
+// The code length of a stack sequence is  Σ (log2(value_i) + O(1))  bits,
+// which is what Theorem 4.2 lower-bounds by Ω(n log n).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "sim/ids.h"
+
+namespace fencetrade::enc {
+
+enum class CommandKind : std::uint8_t {
+  Proceed,           ///< take steps until a fence with a non-empty buffer
+  Commit,            ///< commit the whole pending write batch
+  WaitHiddenCommit,  ///< k write commits must be hidden by earlier procs
+  WaitReadFinish,    ///< k early processes that read a pending write must
+                     ///< finish before committing
+  WaitLocalFinish,   ///< k early processes that access my segment must
+                     ///< finish before I take my first step
+};
+
+const char* commandKindName(CommandKind k);
+
+struct Command {
+  CommandKind kind = CommandKind::Proceed;
+  /// Remaining count for the wait commands (the paper's k).
+  std::int64_t k = 0;
+  /// Processes currently being waited for (the paper's S parameter of
+  /// wait-read-finish / wait-local-finish).  Populated by the decoder;
+  /// always empty when the encoder pushes the command (cases E1/E2b).
+  std::set<sim::ProcId> waitSet;
+
+  static Command proceed() { return {CommandKind::Proceed, 0, {}}; }
+  static Command commit() { return {CommandKind::Commit, 0, {}}; }
+  static Command waitHiddenCommit(std::int64_t k) {
+    return {CommandKind::WaitHiddenCommit, k, {}};
+  }
+  static Command waitReadFinish(std::int64_t k) {
+    return {CommandKind::WaitReadFinish, k, {}};
+  }
+  static Command waitLocalFinish(std::int64_t k) {
+    return {CommandKind::WaitLocalFinish, k, {}};
+  }
+
+  /// val(cmd): 1 for proceed/commit, k for the wait commands.
+  std::int64_t value() const;
+
+  /// Bits to encode this command: a constant-size opcode plus, for the
+  /// wait commands, log2(k)+1 bits of parameter.
+  double bits() const;
+
+  std::string toString() const;
+};
+
+}  // namespace fencetrade::enc

@@ -1,0 +1,240 @@
+#include "encoding/decoder.h"
+
+#include "util/check.h"
+
+namespace fencetrade::enc {
+
+using sim::Config;
+using sim::kNoReg;
+using sim::ProcId;
+using sim::Reg;
+using sim::StepKind;
+
+Decoder::Decoder(const sim::System* sys) : sys_(sys), solo_(sys) {
+  FT_CHECK(sys_->model == sim::MemoryModel::PSO)
+      << "the encoding construction is defined over the PSO write-buffer "
+         "machine";
+  for (const auto& prog : sys_->programs) {
+    FT_CHECK(!prog.usesCas())
+        << "the encoding construction covers read/write programs only; "
+        << prog.name << " uses a comparison primitive";
+  }
+}
+
+ProcClass Decoder::classify(const Config& cfg, const StackSequence& stacks,
+                            ProcId p) {
+  const auto& ps = cfg.procs[static_cast<std::size_t>(p)];
+  if (ps.final) return ProcClass::Finished;
+  const CommandStack& st = stacks[static_cast<std::size_t>(p)];
+  if (st.empty()) return ProcClass::Waiting;
+
+  const sim::Op* op = sim::nextOp(cfg, p);
+  FT_CHECK(op != nullptr);
+  const auto& wb = cfg.buffers[static_cast<std::size_t>(p)];
+
+  if (st.top().kind == CommandKind::Commit) {
+    if (op->kind == sim::InstrKind::Fence && !wb.empty()) {
+      return ProcClass::CommitEnabled;
+    }
+    return ProcClass::Waiting;
+  }
+
+  if (st.top().kind == CommandKind::Proceed) {
+    // The step-type conditions are cheap; check them before the solo run.
+    bool stepOk = false;
+    switch (op->kind) {
+      case sim::InstrKind::Read:
+      case sim::InstrKind::Write:
+        stepOk = true;
+        break;
+      case sim::InstrKind::Return:
+        stepOk = (op->val == cfg.nbFinal);
+        break;
+      case sim::InstrKind::Fence:
+        stepOk = wb.empty();
+        break;
+      default:
+        break;
+    }
+    if (stepOk && solo_.terminates(cfg, p)) {
+      return ProcClass::NonCommitEnabled;
+    }
+  }
+  return ProcClass::Waiting;
+}
+
+DecodeResult Decoder::decode(const StackSequence& stacks,
+                             std::int64_t maxSteps) {
+  const int n = sys_->n();
+  FT_CHECK(static_cast<int>(stacks.size()) == n)
+      << "decode: stack sequence size mismatch";
+
+  DecodeResult res;
+  res.config = sim::initialConfig(*sys_);
+  res.stacks = stacks;
+  res.firstEmptyStep.assign(static_cast<std::size_t>(n), -1);
+
+  auto noteEmpty = [&](ProcId p) {
+    auto& first = res.firstEmptyStep[static_cast<std::size_t>(p)];
+    if (first == -1 && res.stacks[static_cast<std::size_t>(p)].empty()) {
+      first = static_cast<std::int64_t>(res.exec.size());
+    }
+  };
+  for (ProcId p = 0; p < n; ++p) noteEmpty(p);
+
+  Config& cfg = res.config;
+
+  for (std::int64_t iter = 0;; ++iter) {
+    FT_CHECK(iter < maxSteps) << "decode: step cap exceeded";
+
+    // --- Find the smallest-id commit enabled process (rule D1). --------
+    ProcId committer = -1;
+    for (ProcId p = 0; p < n; ++p) {
+      const CommandStack& st = res.stacks[static_cast<std::size_t>(p)];
+      if (st.empty() || st.top().kind != CommandKind::Commit) continue;
+      if (classify(cfg, res.stacks, p) == ProcClass::CommitEnabled) {
+        committer = p;
+        break;
+      }
+    }
+
+    if (committer != -1) {
+      const auto& wb = cfg.buffers[static_cast<std::size_t>(committer)];
+      const Reg r = wb.nextForcedReg();  // smallest buffered register
+
+      // A waiting process with wait-hidden-commit(k > 0) on top and a
+      // pending write to R commits first (hidden).
+      ProcId actor = committer;
+      bool isHidden = false;
+      for (ProcId q = 0; q < n; ++q) {
+        if (q == committer) continue;
+        const CommandStack& st = res.stacks[static_cast<std::size_t>(q)];
+        if (st.empty()) continue;
+        const Command& top = st.top();
+        if (top.kind == CommandKind::WaitHiddenCommit && top.k > 0 &&
+            cfg.buffers[static_cast<std::size_t>(q)].containsReg(r)) {
+          actor = q;
+          isHidden = true;
+          break;  // smallest id wins
+        }
+      }
+
+      const std::size_t preSize =
+          cfg.buffers[static_cast<std::size_t>(actor)].size();
+      auto step = sim::execElem(*sys_, cfg, actor, r);
+      FT_CHECK(step && step->kind == StepKind::Commit)
+          << "decode: D1 did not produce a commit step";
+      res.exec.push_back(*step);
+      res.hidden.push_back(isHidden ? 1 : 0);
+      if (isHidden) {
+        ++res.hiddenCommits;
+      } else {
+        ++res.visibleCommits;
+      }
+
+      // Stack updates D1a / D1b.
+      CommandStack& actorStack = res.stacks[static_cast<std::size_t>(actor)];
+      if (!isHidden) {
+        // (D1a) the batch finished when this was the last buffered write.
+        if (preSize == 1) {
+          FT_CHECK(actorStack.top().kind == CommandKind::Commit);
+          actorStack.pop();
+          noteEmpty(actor);
+        }
+      } else {
+        // (D1b) one hidden commit consumed.
+        Command top = actorStack.top();
+        actorStack.pop();
+        if (top.k - 1 > 0) {
+          top.k -= 1;
+          actorStack.pushTop(top);
+        }
+        noteEmpty(actor);
+      }
+
+      // (D1c) processes waiting for accesses of their segment observe
+      // the committer touching register R in their segment.
+      const ProcId segOwner = sys_->layout.owner(r);
+      if (segOwner != sim::kNoOwner && segOwner != actor) {
+        CommandStack& st = res.stacks[static_cast<std::size_t>(segOwner)];
+        if (!st.empty() && st.top().kind == CommandKind::WaitLocalFinish) {
+          st.top().waitSet.insert(actor);
+        }
+      }
+      continue;
+    }
+
+    // --- Otherwise the smallest-id non-commit enabled process steps
+    //     (rule D2). -------------------------------------------------------
+    ProcId stepper = -1;
+    for (ProcId p = 0; p < n; ++p) {
+      if (classify(cfg, res.stacks, p) == ProcClass::NonCommitEnabled) {
+        stepper = p;
+        break;
+      }
+    }
+    if (stepper == -1) break;  // (D3) everyone waiting or finished
+
+    auto step = sim::execElem(*sys_, cfg, stepper, kNoReg);
+    FT_CHECK(step && step->kind != StepKind::Commit)
+        << "decode: D2 produced a commit step";
+    res.exec.push_back(*step);
+    res.hidden.push_back(0);
+
+    // (D2a) pop the proceed when p is now poised at fence/return/final.
+    {
+      CommandStack& st = res.stacks[static_cast<std::size_t>(stepper)];
+      FT_CHECK(!st.empty() && st.top().kind == CommandKind::Proceed);
+      const sim::Op* op = sim::nextOp(cfg, stepper);
+      const bool popIt = op == nullptr ||
+                         op->kind == sim::InstrKind::Fence ||
+                         op->kind == sim::InstrKind::Return;
+      if (popIt) {
+        st.pop();
+        noteEmpty(stepper);
+      }
+    }
+
+    for (ProcId q = 0; q < n; ++q) {
+      if (q == stepper) continue;
+      CommandStack& st = res.stacks[static_cast<std::size_t>(q)];
+      if (st.empty()) continue;
+      Command& top = st.top();
+
+      // (D2b) a return releases every process waiting on the returner.
+      if (step->kind == StepKind::Return &&
+          (top.kind == CommandKind::WaitReadFinish ||
+           top.kind == CommandKind::WaitLocalFinish) &&
+          top.waitSet.count(stepper) != 0) {
+        Command cmd = top;
+        st.pop();
+        if (cmd.k - 1 > 0) {
+          cmd.k -= 1;
+          st.pushTop(cmd);
+        }
+        noteEmpty(q);
+        continue;
+      }
+
+      // (D2c) a shared-memory read of a register q is about to write.
+      if (step->kind == StepKind::Read && !step->fromBuffer &&
+          top.kind == CommandKind::WaitReadFinish &&
+          cfg.buffers[static_cast<std::size_t>(q)].containsReg(step->reg)) {
+        top.waitSet.insert(stepper);
+        continue;
+      }
+
+      // (D2d) a shared-memory read of q's segment.
+      if (step->kind == StepKind::Read && !step->fromBuffer &&
+          top.kind == CommandKind::WaitLocalFinish &&
+          sys_->layout.owner(step->reg) == q) {
+        top.waitSet.insert(stepper);
+        continue;
+      }
+    }
+  }
+
+  return res;
+}
+
+}  // namespace fencetrade::enc

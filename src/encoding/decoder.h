@@ -1,0 +1,76 @@
+// The decoding of command stacks into an execution (paper, Section 5.1).
+//
+// An extended configuration Γ = (C; St_0, ..., St_{n-1}) determines the
+// execution E(Γ) one step at a time:
+//
+//   D1 (commit step)   — some process is commit enabled: the smallest-id
+//        one, p, is about to commit its smallest buffered register R;
+//        if a waiting process q holds wait-hidden-commit(k>0) and has a
+//        pending write to R, q commits to R *first* (a hidden commit —
+//        p's own commit will overwrite it before anyone reads it).
+//   D2 (program step)  — otherwise the smallest-id non-commit-enabled
+//        process performs its pending read/write/fence/return.
+//   D3 (end)           — everyone is waiting or finished.
+//
+// Process classification (Section 5.1):
+//   finished            — in a final state;
+//   commit enabled      — top(St) = commit, poised at fence(), WB ≠ ∅;
+//   non-commit enabled  — top(St) = proceed, p terminates running solo,
+//        and next is a read/write, a fence with empty WB, or return(r)
+//        with r = NbFinal(C);
+//   waiting             — everything else.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/stack.h"
+#include "sim/machine.h"
+#include "sim/solo.h"
+
+namespace fencetrade::enc {
+
+enum class ProcClass : std::uint8_t {
+  Finished,
+  CommitEnabled,
+  NonCommitEnabled,
+  Waiting,
+};
+
+struct DecodeResult {
+  sim::Config config;       ///< configuration at the end of E(Γ)
+  StackSequence stacks;     ///< remaining stacks at the end of E(Γ)
+  sim::Execution exec;      ///< the execution E(Γ)
+  std::vector<char> hidden; ///< per step: 1 iff it is a hidden commit
+
+  /// Per process: index into exec after which the process's stack was
+  /// empty for the first time (0 when it started empty, -1 if it never
+  /// emptied).  Defines the E* / E** split of encoding case E2b.
+  std::vector<std::int64_t> firstEmptyStep;
+
+  std::int64_t hiddenCommits = 0;
+  std::int64_t visibleCommits = 0;
+};
+
+class Decoder {
+ public:
+  /// The construction is defined over the paper's write-buffer machine;
+  /// the system must use MemoryModel::PSO.
+  explicit Decoder(const sim::System* sys);
+
+  /// Decode E(C_init; stacks).
+  DecodeResult decode(const StackSequence& stacks,
+                      std::int64_t maxSteps = std::int64_t{1} << 26);
+
+  /// Classify process p in (cfg; stacks) — exposed for tests.
+  ProcClass classify(const sim::Config& cfg, const StackSequence& stacks,
+                     sim::ProcId p);
+
+  const sim::SoloTerminationDecider& soloDecider() const { return solo_; }
+
+ private:
+  const sim::System* sys_;
+  sim::SoloTerminationDecider solo_;
+};
+
+}  // namespace fencetrade::enc

@@ -1,0 +1,153 @@
+#include "encoding/encoder.h"
+
+#include <set>
+
+#include "encoding/invariants.h"
+#include "util/check.h"
+
+namespace fencetrade::enc {
+
+using sim::ProcId;
+using sim::Reg;
+using sim::StepKind;
+
+Encoder::Encoder(const sim::System* sys) : sys_(sys), decoder_(sys) {}
+
+EncodeResult Encoder::encode(const util::Permutation& pi,
+                             const EncodeOptions& opts) {
+  const int n = sys_->n();
+  FT_CHECK(static_cast<int>(pi.size()) == n && util::isPermutation(pi))
+      << "encode: pi must be a permutation of [n]";
+
+  EncodeResult res;
+  res.stacks.assign(static_cast<std::size_t>(n), CommandStack{});
+
+  for (std::int64_t iter = 0;; ++iter) {
+    FT_CHECK(iter < opts.maxIterations) << "encode: iteration cap exceeded";
+    res.iterations = iter;
+
+    DecodeResult dec = decoder_.decode(res.stacks, opts.maxDecodeSteps);
+
+    if (opts.checkInvariants) {
+      checkConstructionInvariants(*sys_, pi, res.stacks, dec);
+    }
+
+    // Done when the last process of the permutation is final.
+    const ProcId last = pi[static_cast<std::size_t>(n - 1)];
+    if (dec.config.procs[static_cast<std::size_t>(last)].final) {
+      res.finalDecode = std::move(dec);
+      break;
+    }
+
+    // τ_i: largest index with a non-empty (construction) stack.
+    int tau = -1;
+    for (int k = n - 1; k >= 0; --k) {
+      if (!res.stacks[static_cast<std::size_t>(pi[static_cast<std::size_t>(k)])]
+               .empty()) {
+        tau = k;
+        break;
+      }
+    }
+
+    // Frontier index ℓ (Equation (3)).
+    int ell;
+    if (tau == -1 ||
+        dec.config.procs[static_cast<std::size_t>(
+                             pi[static_cast<std::size_t>(tau)])]
+            .final) {
+      ell = tau + 1;
+    } else {
+      ell = tau;
+    }
+    FT_CHECK(ell >= 0 && ell < n) << "encode: frontier out of range";
+    const ProcId pl = pi[static_cast<std::size_t>(ell)];
+
+    Command cmd = Command::proceed();
+    bool chosen = false;
+
+    // Case E1: first command, and earlier processes touch p_ℓ's segment.
+    if (res.stacks[static_cast<std::size_t>(pl)].empty()) {
+      std::set<ProcId> accessors;
+      for (const sim::Step& s : dec.exec) {
+        if (s.p == pl) continue;
+        const bool segmentAccess =
+            (s.kind == StepKind::Read && !s.fromBuffer &&
+             sys_->layout.owner(s.reg) == pl) ||
+            (s.kind == StepKind::Commit && sys_->layout.owner(s.reg) == pl);
+        if (segmentAccess) accessors.insert(s.p);
+      }
+      if (!accessors.empty()) {
+        cmd = Command::waitLocalFinish(
+            static_cast<std::int64_t>(accessors.size()));
+        chosen = true;
+      }
+    }
+
+    // Case E2.
+    if (!chosen) {
+      const sim::Op* op = sim::nextOp(dec.config, pl);
+      FT_CHECK(op != nullptr)
+          << "encode: frontier process already final but not last";
+      const auto& wb = dec.config.buffers[static_cast<std::size_t>(pl)];
+
+      if (op->kind != sim::InstrKind::Fence || wb.empty()) {
+        cmd = Command::proceed();  // (E2a)
+      } else {
+        // (E2b): split E_i at the point p_ℓ's stack first emptied.
+        const std::int64_t start =
+            dec.firstEmptyStep[static_cast<std::size_t>(pl)];
+        FT_CHECK(start >= 0) << "encode: E2b requires the stack to have "
+                                "emptied during the decode (I6)";
+        const auto wbRegs = wb.distinctRegs();
+        auto inWb = [&](Reg r) {
+          for (Reg w : wbRegs) {
+            if (w == r) return true;
+          }
+          return false;
+        };
+
+        std::set<Reg> committedRegs;      // for γ
+        std::set<ProcId> readerProcs;     // for ζ
+        for (std::size_t i = static_cast<std::size_t>(start);
+             i < dec.exec.size(); ++i) {
+          const sim::Step& s = dec.exec[i];
+          FT_CHECK(s.p != pl)
+              << "encode: frontier process stepped after its stack emptied";
+          if (s.kind == StepKind::Commit && inWb(s.reg)) {
+            committedRegs.insert(s.reg);
+          } else if (s.kind == StepKind::Read && !s.fromBuffer &&
+                     inWb(s.reg)) {
+            readerProcs.insert(s.p);
+          }
+        }
+
+        if (!committedRegs.empty()) {
+          cmd = Command::waitHiddenCommit(
+              static_cast<std::int64_t>(committedRegs.size()));
+        } else if (!readerProcs.empty()) {
+          cmd = Command::waitReadFinish(
+              static_cast<std::int64_t>(readerProcs.size()));
+        } else {
+          cmd = Command::commit();
+        }
+      }
+    }
+
+    res.stacks[static_cast<std::size_t>(pl)].pushBottom(cmd);
+  }
+
+  // Ordering property (paper, Lemma 5.1 (I2)): p_k returned k.
+  for (int k = 0; k < n; ++k) {
+    const ProcId p = pi[static_cast<std::size_t>(k)];
+    const auto& ps = res.finalDecode.config.procs[static_cast<std::size_t>(p)];
+    FT_CHECK(ps.final && ps.retval == k)
+        << "encode: process " << p << " (position " << k
+        << " of pi) returned " << ps.retval << " — algorithm not ordering?";
+  }
+
+  res.stackStats = summarize(res.stacks);
+  res.counts = sim::countSteps(res.finalDecode.exec, n);
+  return res;
+}
+
+}  // namespace fencetrade::enc

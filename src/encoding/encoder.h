@@ -1,0 +1,65 @@
+// The inductive encoding of executions (paper, Section 5.2).
+//
+// Given a permutation π = (p_0, ..., p_{n-1}) the encoder builds stack
+// sequences ~S_0, ~S_1, ... by repeatedly decoding the current sequence
+// and appending exactly one command to the bottom of the stack of the
+// "frontier" process p_ℓ:
+//
+//   E1  — p_ℓ's stack is empty and λ > 0 earlier processes access p_ℓ's
+//         memory segment in E_i:          wait-local-finish(λ)
+//   E2a — p_ℓ is not poised at a fence with pending writes:  proceed
+//   E2b — p_ℓ is poised at a fence with pending writes; with E** the
+//         steps after p_ℓ's stack first emptied:
+//           γ > 0 buffered registers get committed by others in E**
+//                                         -> wait-hidden-commit(γ)
+//           γ = 0, ζ > 0 processes read a buffered register in E**
+//                                         -> wait-read-finish(ζ)
+//           otherwise                     -> commit
+//
+// The construction ends when p_{n-1} is final; by the ordering property
+// each p_k then returned k, so the stacks uniquely encode π, and the
+// total code length obeys B(E_π) = O(β(log(ρ/β) + 1)) bits.
+#pragma once
+
+#include <cstdint>
+
+#include "encoding/decoder.h"
+#include "util/permutation.h"
+
+namespace fencetrade::enc {
+
+struct EncodeOptions {
+  std::int64_t maxIterations = std::int64_t{1} << 20;
+  std::int64_t maxDecodeSteps = std::int64_t{1} << 26;
+  /// Check Lemma 5.1 invariants and Claim 5.2 at every iteration
+  /// (slow; used by tests).
+  bool checkInvariants = false;
+};
+
+struct EncodeResult {
+  StackSequence stacks;      ///< the final code ~S_mπ
+  DecodeResult finalDecode;  ///< decode of the final code: E_π
+  std::int64_t iterations = 0;
+
+  StackSequenceStats stackStats;  ///< commands m, value sum v, bits B
+  sim::StepCounts counts;         ///< β(E_π) = fences, ρ(E_π) = rmrs
+
+  /// B(E_π) in bits: Σ per-command (opcode + parameter) cost.
+  double codeBits() const { return stackStats.bits; }
+};
+
+class Encoder {
+ public:
+  explicit Encoder(const sim::System* sys);
+
+  /// Construct and encode E_π.  Verifies the ordering property (each
+  /// process π[k] returns k) at the end.
+  EncodeResult encode(const util::Permutation& pi,
+                      const EncodeOptions& opts = {});
+
+ private:
+  const sim::System* sys_;
+  Decoder decoder_;
+};
+
+}  // namespace fencetrade::enc

@@ -1,0 +1,182 @@
+#include "encoding/invariants.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace fencetrade::enc {
+
+using sim::ProcId;
+
+void checkConstructionInvariants(const sim::System& sys,
+                                 const util::Permutation& pi,
+                                 const StackSequence& stacks,
+                                 const DecodeResult& dec) {
+  const int n = sys.n();
+
+  // τ_i: largest index with a non-empty construction stack.
+  int tau = -1;
+  for (int k = n - 1; k >= 0; --k) {
+    if (!stacks[static_cast<std::size_t>(pi[static_cast<std::size_t>(k)])]
+             .empty()) {
+      tau = k;
+      break;
+    }
+  }
+
+  // (I1) stacks[π[k]] empty iff k > τ.
+  for (int k = 0; k < n; ++k) {
+    const bool empty =
+        stacks[static_cast<std::size_t>(pi[static_cast<std::size_t>(k)])]
+            .empty();
+    FT_CHECK(empty == (k > tau))
+        << "(I1) violated at position " << k << ", tau=" << tau;
+  }
+
+  // Steps taken per process during the decode.
+  std::vector<std::int64_t> stepsBy(static_cast<std::size_t>(n), 0);
+  for (const sim::Step& s : dec.exec) {
+    ++stepsBy[static_cast<std::size_t>(s.p)];
+  }
+
+  // (I2) π[k] final with value k for k < τ; no steps for k > τ.
+  for (int k = 0; k < n; ++k) {
+    const ProcId p = pi[static_cast<std::size_t>(k)];
+    const auto& ps = dec.config.procs[static_cast<std::size_t>(p)];
+    if (k < tau) {
+      FT_CHECK(ps.final) << "(I2) violated: position " << k << " (process "
+                         << p << ") not final although k < tau=" << tau;
+    }
+    if (k > tau) {
+      FT_CHECK(stepsBy[static_cast<std::size_t>(p)] == 0)
+          << "(I2) violated: position " << k << " (process " << p
+          << ") took steps although k > tau=" << tau;
+    }
+    if (ps.final) {
+      FT_CHECK(ps.retval == k)
+          << "(I2) violated: process " << p << " at position " << k
+          << " returned " << ps.retval;
+    }
+  }
+
+  // (I4) and (I10) on every construction stack.
+  for (int p = 0; p < n; ++p) {
+    const auto& cmds = stacks[static_cast<std::size_t>(p)].commands();
+    int localFinishCount = 0;
+    for (std::size_t i = 0; i < cmds.size(); ++i) {
+      if (cmds[i].kind == CommandKind::WaitLocalFinish) {
+        ++localFinishCount;
+        FT_CHECK(i == 0) << "(I4) violated: wait-local-finish below the "
+                            "top of process "
+                         << p << "'s stack";
+      }
+      if (i + 1 < cmds.size()) {
+        const CommandKind below = cmds[i + 1].kind;
+        switch (cmds[i].kind) {
+          case CommandKind::WaitReadFinish:
+            FT_CHECK(below == CommandKind::Commit)
+                << "(I10) violated: " << commandKindName(below)
+                << " below wait-read-finish";
+            break;
+          case CommandKind::WaitHiddenCommit:
+            FT_CHECK(below == CommandKind::WaitReadFinish ||
+                     below == CommandKind::Proceed ||
+                     below == CommandKind::Commit)
+                << "(I10) violated: " << commandKindName(below)
+                << " below wait-hidden-commit";
+            break;
+          case CommandKind::Commit:
+            FT_CHECK(below == CommandKind::Proceed)
+                << "(I10) violated: " << commandKindName(below)
+                << " below commit";
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    FT_CHECK(localFinishCount <= 1)
+        << "(I4) violated: " << localFinishCount
+        << " wait-local-finish commands on process " << p << "'s stack";
+  }
+
+  // (I6) the decode ended with π[τ]'s stack consumed.
+  if (tau >= 0) {
+    const ProcId ptau = pi[static_cast<std::size_t>(tau)];
+    FT_CHECK(dec.stacks[static_cast<std::size_t>(ptau)].empty())
+        << "(I6) violated: frontier stack not empty at end of decode";
+    FT_CHECK(dec.firstEmptyStep[static_cast<std::size_t>(ptau)] >= 0);
+  }
+
+  // Claim 5.2 with ℓ per Equation (3).
+  int ell;
+  if (tau == -1 ||
+      dec.config
+          .procs[static_cast<std::size_t>(pi[static_cast<std::size_t>(tau)])]
+          .final) {
+    ell = tau + 1;
+  } else {
+    ell = tau;
+  }
+  if (ell < n) {
+    for (int k = 0; k < n; ++k) {
+      const ProcId p = pi[static_cast<std::size_t>(k)];
+      const auto& ps = dec.config.procs[static_cast<std::size_t>(p)];
+      if (k < ell) {
+        FT_CHECK(ps.final)
+            << "(Claim 5.2) violated: position " << k << " not final";
+      } else if (k == ell) {
+        FT_CHECK(!ps.final)
+            << "(Claim 5.2) violated: frontier process already final";
+      } else {
+        FT_CHECK(stepsBy[static_cast<std::size_t>(p)] == 0)
+            << "(Claim 5.2) violated: position " << k << " took steps";
+      }
+      if (k != ell) {
+        FT_CHECK(dec.config.buffers[static_cast<std::size_t>(p)].empty())
+            << "(Claim 5.2) violated: non-frontier write buffer not empty "
+               "at position "
+            << k;
+      }
+    }
+  }
+}
+
+void checkProjectionInvariant(const sim::System& sys,
+                              const util::Permutation& pi,
+                              const StackSequence& stacks, int k) {
+  const int n = sys.n();
+  FT_CHECK(k >= 0 && k < n);
+
+  Decoder decoder(&sys);
+  DecodeResult full = decoder.decode(stacks);
+
+  // Truncated sequence ~S^(k): stacks of π[0..k], empty elsewhere.
+  StackSequence truncated(static_cast<std::size_t>(n));
+  for (int j = 0; j <= k; ++j) {
+    const ProcId p = pi[static_cast<std::size_t>(j)];
+    truncated[static_cast<std::size_t>(p)] =
+        stacks[static_cast<std::size_t>(p)];
+  }
+  DecodeResult proj = decoder.decode(truncated);
+
+  // E_i | {π[0..k]} must equal E(~S^(k)) step by step.
+  std::vector<bool> inSet(static_cast<std::size_t>(n), false);
+  for (int j = 0; j <= k; ++j) {
+    inSet[static_cast<std::size_t>(pi[static_cast<std::size_t>(j)])] = true;
+  }
+  std::size_t at = 0;
+  for (const sim::Step& s : full.exec) {
+    if (!inSet[static_cast<std::size_t>(s.p)]) continue;
+    FT_CHECK(at < proj.exec.size())
+        << "(I7) violated: projection longer than truncated decode";
+    const sim::Step& t = proj.exec[at++];
+    FT_CHECK(s.p == t.p && s.kind == t.kind && s.reg == t.reg &&
+             s.val == t.val)
+        << "(I7) violated at projected step " << (at - 1);
+  }
+  FT_CHECK(at == proj.exec.size())
+      << "(I7) violated: truncated decode has extra steps";
+}
+
+}  // namespace fencetrade::enc

@@ -1,0 +1,39 @@
+// Machine-checked structural invariants of the encoding construction
+// (paper, Lemma 5.1 and Claim 5.2).
+//
+// The paper omits the induction proof for space; here every property
+// that is observable from a (stack sequence, decode) pair is asserted
+// directly, so the test suite re-establishes the lemma empirically on
+// every constructed execution.
+#pragma once
+
+#include "encoding/decoder.h"
+#include "util/permutation.h"
+
+namespace fencetrade::enc {
+
+/// Checks, for the construction state after decoding ~S_i:
+///   I1  — stacks[π[k]] is empty iff k > τ_i;
+///   I2  — in C_i, π[k] is final with value k for k < τ_i and has taken
+///         no step for k > τ_i;
+///   I4  — at most one wait-local-finish per stack, only at the top;
+///   I6  — the decode terminated with π[τ_i]'s stack empty;
+///   I10 — command adjacency: below wait-read-finish only commit; below
+///         wait-hidden-commit only wait-read-finish/proceed/commit;
+///         below commit only proceed;
+///   Claim 5.2 — π[0..ℓ-1] final, π[ℓ] not final, π[ℓ+1..] in their
+///         initial states, and every write-buffer except π[ℓ]'s empty.
+/// Throws util::CheckError on the first violation.
+void checkConstructionInvariants(const sim::System& sys,
+                                 const util::Permutation& pi,
+                                 const StackSequence& stacks,
+                                 const DecodeResult& dec);
+
+/// Property I7: the execution decoded from (~S|π[0], ..., ~S|π[k], ∅...)
+/// equals E_i projected on {π[0], ..., π[k]}.  Quadratic in the decode
+/// cost; used by dedicated tests.
+void checkProjectionInvariant(const sim::System& sys,
+                              const util::Permutation& pi,
+                              const StackSequence& stacks, int k);
+
+}  // namespace fencetrade::enc

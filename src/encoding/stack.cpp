@@ -1,0 +1,67 @@
+#include "encoding/stack.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fencetrade::enc {
+
+const Command& CommandStack::top() const {
+  FT_CHECK(!cmds_.empty()) << "top() on empty command stack";
+  return cmds_.front();
+}
+
+Command& CommandStack::top() {
+  FT_CHECK(!cmds_.empty()) << "top() on empty command stack";
+  return cmds_.front();
+}
+
+void CommandStack::pop() {
+  FT_CHECK(!cmds_.empty()) << "pop() on empty command stack";
+  cmds_.pop_front();
+}
+
+void CommandStack::pushTop(Command c) { cmds_.push_front(std::move(c)); }
+
+void CommandStack::pushBottom(Command c) { cmds_.push_back(std::move(c)); }
+
+std::int64_t CommandStack::valueSum() const {
+  std::int64_t sum = 0;
+  for (const Command& c : cmds_) sum += c.value();
+  return sum;
+}
+
+double CommandStack::bitLength() const {
+  double bits = 0.0;
+  for (const Command& c : cmds_) bits += c.bits();
+  return bits;
+}
+
+std::string CommandStack::toString() const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const Command& c : cmds_) {
+    if (!first) out << " | ";
+    first = false;
+    out << c.toString();
+  }
+  out << "]";
+  return out.str();
+}
+
+StackSequenceStats summarize(const StackSequence& stacks) {
+  StackSequenceStats s;
+  for (const CommandStack& st : stacks) {
+    for (const Command& c : st.commands()) {
+      ++s.commands;
+      s.valueSum += c.value();
+      s.bits += c.bits();
+      ++s.countOf[static_cast<int>(c.kind)];
+      s.valueSumOf[static_cast<int>(c.kind)] += c.value();
+    }
+  }
+  return s;
+}
+
+}  // namespace fencetrade::enc

@@ -1,0 +1,56 @@
+// Per-process command stacks (paper, Section 5.1).
+//
+// The decoder pops/replaces the *top*; the encoder's inductive
+// construction appends exactly one command to the *bottom* per iteration
+// (Section 5.2).  Represented as a deque: front = top, back = bottom.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "encoding/command.h"
+
+namespace fencetrade::enc {
+
+class CommandStack {
+ public:
+  bool empty() const { return cmds_.empty(); }
+  std::size_t size() const { return cmds_.size(); }
+
+  const Command& top() const;
+  Command& top();
+  void pop();
+  void pushTop(Command c);     ///< decoder: replace/push at the top
+  void pushBottom(Command c);  ///< encoder: append below everything
+
+  /// Commands from top to bottom.
+  const std::deque<Command>& commands() const { return cmds_; }
+
+  /// Σ val(cmd) over the stack (Section 5.3).
+  std::int64_t valueSum() const;
+  /// Σ bits(cmd): encoded length of this stack.
+  double bitLength() const;
+
+  std::string toString() const;
+
+ private:
+  std::deque<Command> cmds_;
+};
+
+/// The stack sequence ~S = (St_0, ..., St_{n-1}), indexed by process id.
+using StackSequence = std::vector<CommandStack>;
+
+/// Total command count, value sum and bit length across a sequence.
+struct StackSequenceStats {
+  std::int64_t commands = 0;
+  std::int64_t valueSum = 0;
+  double bits = 0.0;
+  std::int64_t countOf[5] = {0, 0, 0, 0, 0};       ///< per CommandKind
+  std::int64_t valueSumOf[5] = {0, 0, 0, 0, 0};    ///< per CommandKind
+};
+
+StackSequenceStats summarize(const StackSequence& stacks);
+
+}  // namespace fencetrade::enc

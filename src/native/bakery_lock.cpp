@@ -1,0 +1,61 @@
+#include "native/bakery_lock.h"
+
+#include <thread>
+
+#include "util/check.h"
+
+namespace fencetrade::native {
+
+BakeryLock::BakeryLock(int capacity)
+    : capacity_(capacity),
+      choosing_(static_cast<std::size_t>(capacity)),
+      ticket_(static_cast<std::size_t>(capacity)) {
+  FT_CHECK(capacity >= 1) << "BakeryLock capacity must be >= 1";
+}
+
+void BakeryLock::lock(int id) {
+  FT_CHECK(id >= 0 && id < capacity_) << "BakeryLock: bad slot " << id;
+  const std::size_t i = static_cast<std::size_t>(id);
+
+  // Doorway: announce that a ticket is being chosen.
+  choosing_[i].v.store(1, std::memory_order_relaxed);
+  fullFence();  // C[i]=1 visible before scanning tickets
+
+  std::uint64_t maxTicket = 0;
+  for (std::size_t j = 0; j < static_cast<std::size_t>(capacity_); ++j) {
+    const std::uint64_t t = ticket_[j].v.load(std::memory_order_relaxed);
+    if (t > maxTicket) maxTicket = t;
+  }
+  const std::uint64_t myTicket = maxTicket + 1;
+
+  // Publish the ticket, then leave the doorway (Lamport's order — see
+  // core/bakery.h for why the reverse order is unsound).
+  ticket_[i].v.store(myTicket, std::memory_order_relaxed);
+  fullFence();  // T[i] visible before C[i]=0
+  choosing_[i].v.store(0, std::memory_order_relaxed);
+  fullFence();  // C[i]=0 visible before waiting on others
+
+  for (std::size_t j = 0; j < static_cast<std::size_t>(capacity_); ++j) {
+    if (j == i) continue;
+    // Wait until j is out of its doorway.  Yielding in the spin keeps
+    // oversubscribed cores live (the holder needs CPU time to leave).
+    while (choosing_[j].v.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    // Wait until j is not competing or (T[i], i) < (T[j], j).
+    for (;;) {
+      const std::uint64_t t = ticket_[j].v.load(std::memory_order_acquire);
+      if (t == 0 || t > myTicket || (t == myTicket && j > i)) break;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void BakeryLock::unlock(int id) {
+  FT_CHECK(id >= 0 && id < capacity_) << "BakeryLock: bad slot " << id;
+  ticket_[static_cast<std::size_t>(id)].v.store(0,
+                                                std::memory_order_release);
+  fullFence();
+}
+
+}  // namespace fencetrade::native

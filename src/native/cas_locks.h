@@ -1,0 +1,83 @@
+// Native TAS / TTAS spin locks (comparison primitives; paper §6).
+//
+// Included as the comparison-primitive baselines: one LOCK'd RMW per
+// acquisition instead of plain-write + fence discipline.  The RMW itself
+// carries full ordering, so the locks need no explicit fences; the
+// atomic operations are counted separately (casCount).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "util/check.h"
+
+namespace fencetrade::native {
+
+namespace detail {
+inline thread_local std::uint64_t tlCasOps = 0;
+}  // namespace detail
+
+/// LOCK'd RMW operations issued by this thread (analogous to fenceCount).
+inline std::uint64_t casOpCount() { return detail::tlCasOps; }
+inline void resetCasOpCount() { detail::tlCasOps = 0; }
+
+/// Test-and-set lock: spin on exchange.
+class TasLock {
+ public:
+  explicit TasLock(int capacity) : capacity_(capacity) {
+    FT_CHECK(capacity >= 1);
+  }
+
+  void lock(int id) {
+    FT_CHECK(id >= 0 && id < capacity_);
+    while (true) {
+      ++detail::tlCasOps;
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+  }
+
+  void unlock(int id) {
+    FT_CHECK(id >= 0 && id < capacity_);
+    flag_.store(false, std::memory_order_release);
+  }
+
+  int capacity() const { return capacity_; }
+
+ private:
+  int capacity_;
+  alignas(64) std::atomic<bool> flag_{false};
+};
+
+/// Test-and-test-and-set: spin on a plain load, RMW only when free.
+class TtasLock {
+ public:
+  explicit TtasLock(int capacity) : capacity_(capacity) {
+    FT_CHECK(capacity >= 1);
+  }
+
+  void lock(int id) {
+    FT_CHECK(id >= 0 && id < capacity_);
+    while (true) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();  // local spin on the cached line
+      }
+      ++detail::tlCasOps;
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+    }
+  }
+
+  void unlock(int id) {
+    FT_CHECK(id >= 0 && id < capacity_);
+    flag_.store(false, std::memory_order_release);
+  }
+
+  int capacity() const { return capacity_; }
+
+ private:
+  int capacity_;
+  alignas(64) std::atomic<bool> flag_{false};
+};
+
+}  // namespace fencetrade::native

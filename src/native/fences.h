@@ -1,0 +1,40 @@
+// Instrumented memory fences for the native lock library.
+//
+// Every fence the locks issue goes through fullFence(), which bumps a
+// thread-local counter before issuing std::atomic_thread_fence(seq_cst).
+// Benchmarks read the counter to report *exact* fences-per-passage —
+// the machine-independent quantity of the paper's tradeoff — alongside
+// wall-clock numbers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fencetrade::native {
+
+namespace detail {
+inline thread_local std::uint64_t tlFullFences = 0;
+}  // namespace detail
+
+/// A full (sequentially consistent) fence; the unit the paper counts.
+inline void fullFence() {
+  ++detail::tlFullFences;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+/// Fences issued by the calling thread since the last reset.
+inline std::uint64_t fenceCount() { return detail::tlFullFences; }
+
+inline void resetFenceCount() { detail::tlFullFences = 0; }
+
+/// RAII scope measuring the fences issued inside it.
+class FenceCountScope {
+ public:
+  FenceCountScope() : start_(fenceCount()) {}
+  std::uint64_t count() const { return fenceCount() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace fencetrade::native

@@ -1,0 +1,68 @@
+#include "native/gt_lock.h"
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace fencetrade::native {
+
+GeneralizedTournamentLock::GeneralizedTournamentLock(int capacity, int f)
+    : capacity_(capacity), f_(f) {
+  FT_CHECK(capacity >= 1) << "GT lock capacity must be >= 1";
+  FT_CHECK(f >= 1) << "GT lock height must be >= 1";
+  const int maxUseful =
+      capacity > 1 ? util::ilog2Ceil(static_cast<std::uint64_t>(capacity))
+                   : 1;
+  if (f_ > maxUseful) f_ = maxUseful;
+  b_ = util::branchingFactor(capacity, f_);
+
+  levels_.resize(static_cast<std::size_t>(f_));
+  for (int t = 1; t <= f_; ++t) {
+    const std::int64_t span = util::ipow(b_, t);
+    const std::int64_t childSpan = util::ipow(b_, t - 1);
+    const std::int64_t numNodes = util::ceilDiv(capacity, span);
+    auto& level = levels_[static_cast<std::size_t>(t - 1)];
+    for (std::int64_t k = 0; k < numNodes; ++k) {
+      // Active slots: children whose leaf range intersects [0, capacity).
+      int slots = 0;
+      for (std::int64_t s = 0; s < b_; ++s) {
+        if (k * span + s * childSpan < capacity) ++slots;
+      }
+      level.push_back(std::make_unique<BakeryLock>(slots));
+    }
+  }
+}
+
+int GeneralizedTournamentLock::nodeOf(int id, int level) const {
+  return static_cast<int>(id / util::ipow(b_, level));
+}
+
+int GeneralizedTournamentLock::slotOf(int id, int level) const {
+  return static_cast<int>((id / util::ipow(b_, level - 1)) % b_);
+}
+
+void GeneralizedTournamentLock::lock(int id) {
+  FT_CHECK(id >= 0 && id < capacity_) << "GT lock: bad slot " << id;
+  for (int t = 1; t <= f_; ++t) {
+    levels_[static_cast<std::size_t>(t - 1)]
+        [static_cast<std::size_t>(nodeOf(id, t))]
+            ->lock(slotOf(id, t));
+  }
+}
+
+void GeneralizedTournamentLock::unlock(int id) {
+  FT_CHECK(id >= 0 && id < capacity_) << "GT lock: bad slot " << id;
+  for (int t = f_; t >= 1; --t) {
+    levels_[static_cast<std::size_t>(t - 1)]
+        [static_cast<std::size_t>(nodeOf(id, t))]
+            ->unlock(slotOf(id, t));
+  }
+}
+
+TournamentLock::TournamentLock(int capacity)
+    : GeneralizedTournamentLock(
+          capacity,
+          capacity > 1
+              ? util::ilog2Ceil(static_cast<std::uint64_t>(capacity))
+              : 1) {}
+
+}  // namespace fencetrade::native

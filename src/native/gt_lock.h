@@ -1,0 +1,58 @@
+// The generalized tournament lock GT_f over std::atomic (paper,
+// Section 3 / Figure 1) — the library's headline primitive.
+//
+// A tree of height f with branching ceil(n^{1/f}) and a BakeryLock per
+// internal node: a thread wins every node on its leaf-to-root path.
+// Choosing f dials the fence/RMR tradeoff:
+//   f = 1          -> plain Bakery   (4 fences,   Θ(n) remote reads)
+//   f = ceil(lg n) -> binary tournament (4·lg n fences, Θ(lg n) reads)
+//   in between     -> 4f fences, O(f · n^{1/f}) remote reads (Eq. (2)).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "native/bakery_lock.h"
+
+namespace fencetrade::native {
+
+class GeneralizedTournamentLock {
+ public:
+  /// Lock for up to `capacity` threads with tree height `f` (clamped to
+  /// ceil(log2 capacity) — taller trees cannot shrink the branching
+  /// factor below 2).
+  GeneralizedTournamentLock(int capacity, int f);
+
+  GeneralizedTournamentLock(const GeneralizedTournamentLock&) = delete;
+  GeneralizedTournamentLock& operator=(const GeneralizedTournamentLock&) =
+      delete;
+
+  void lock(int id);
+  void unlock(int id);
+  int capacity() const { return capacity_; }
+
+  int height() const { return f_; }
+  int branching() const { return b_; }
+  std::uint64_t fencesPerPassage() const {
+    return static_cast<std::uint64_t>(f_) * BakeryLock::kFencesPerPassage;
+  }
+
+ private:
+  int nodeOf(int id, int level) const;
+  int slotOf(int id, int level) const;
+
+  int capacity_;
+  int f_;
+  int b_;
+  /// levels_[t-1][k] = Bakery node k at level t (1 = lowest).
+  std::vector<std::vector<std::unique_ptr<BakeryLock>>> levels_;
+};
+
+/// The binary tournament tree: GT with f = ceil(log2 capacity).
+class TournamentLock : public GeneralizedTournamentLock {
+ public:
+  explicit TournamentLock(int capacity);
+};
+
+}  // namespace fencetrade::native

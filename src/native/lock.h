@@ -1,0 +1,34 @@
+// Common interface of the native numbered locks.
+//
+// The paper's algorithms are "numbered": each thread owns a slot id in
+// [0, n).  lock(id)/unlock(id) take that slot, mirroring the per-process
+// register assignment of the theoretical model.
+#pragma once
+
+#include <concepts>
+
+namespace fencetrade::native {
+
+template <typename L>
+concept NumberedLock = requires(L lock, int id) {
+  { lock.lock(id) } -> std::same_as<void>;
+  { lock.unlock(id) } -> std::same_as<void>;
+  { lock.capacity() } -> std::convertible_to<int>;
+};
+
+/// RAII guard for a NumberedLock.
+template <NumberedLock L>
+class LockGuard {
+ public:
+  LockGuard(L& lock, int id) : lock_(lock), id_(id) { lock_.lock(id_); }
+  ~LockGuard() { lock_.unlock(id_); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  L& lock_;
+  int id_;
+};
+
+}  // namespace fencetrade::native

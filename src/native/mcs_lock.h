@@ -1,0 +1,82 @@
+// MCS queue lock (Mellor-Crummey & Scott) — the classic local-spin
+// comparison-primitive lock, included as the modern baseline the
+// read/write family is usually compared against.
+//
+// Each thread owns a queue node; lock() enqueues it with one atomic
+// exchange and spins on its *own* flag (purely local — O(1) remote
+// operations per passage in the CC model), unlock() hands the flag to
+// the successor or swings the tail back with one CAS.  FIFO fair by
+// construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "native/cas_locks.h"  // casOpCount instrumentation
+#include "util/check.h"
+
+namespace fencetrade::native {
+
+class McsLock {
+ public:
+  explicit McsLock(int capacity)
+      : capacity_(capacity), nodes_(static_cast<std::size_t>(capacity)) {
+    FT_CHECK(capacity >= 1) << "McsLock capacity must be >= 1";
+  }
+
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void lock(int id) {
+    FT_CHECK(id >= 0 && id < capacity_) << "McsLock: bad slot " << id;
+    Node& me = nodes_[static_cast<std::size_t>(id)];
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.locked.store(true, std::memory_order_relaxed);
+
+    ++detail::tlCasOps;
+    Node* pred = tail_.exchange(&me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      // The release store on pred->next publishes me.locked = true.
+      pred->next.store(&me, std::memory_order_release);
+      while (me.locked.load(std::memory_order_acquire)) {
+        std::this_thread::yield();  // local spin on my own cache line
+      }
+    }
+  }
+
+  void unlock(int id) {
+    FT_CHECK(id >= 0 && id < capacity_) << "McsLock: bad slot " << id;
+    Node& me = nodes_[static_cast<std::size_t>(id)];
+    Node* next = me.next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      // No known successor: try to swing the tail back to empty.
+      Node* expected = &me;
+      ++detail::tlCasOps;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel)) {
+        return;
+      }
+      // A successor is mid-enqueue; wait for its link.
+      while ((next = me.next.load(std::memory_order_acquire)) == nullptr) {
+        std::this_thread::yield();
+      }
+    }
+    next->locked.store(false, std::memory_order_release);
+  }
+
+  int capacity() const { return capacity_; }
+
+ private:
+  struct alignas(64) Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  int capacity_;
+  std::vector<Node> nodes_;
+  alignas(64) std::atomic<Node*> tail_{nullptr};
+};
+
+}  // namespace fencetrade::native

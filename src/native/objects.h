@@ -1,0 +1,80 @@
+// Lock-based shared objects (paper, Section 4): counter,
+// fetch-and-increment and FIFO queue — the object class the tradeoff
+// covers, built on any NumberedLock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "native/lock.h"
+
+namespace fencetrade::native {
+
+/// Shared counter; fetchAdd is the `Count` ordering algorithm: in a
+/// sequential execution the k-th caller observes k-1 increments.
+template <NumberedLock L>
+class LockedCounter {
+ public:
+  template <typename... Args>
+  explicit LockedCounter(Args&&... lockArgs)
+      : lock_(std::forward<Args>(lockArgs)...) {}
+
+  /// Returns the value *before* the addition.
+  std::int64_t fetchAdd(int id, std::int64_t delta = 1) {
+    LockGuard<L> g(lock_, id);
+    const std::int64_t old = value_;
+    value_ += delta;
+    return old;
+  }
+
+  std::int64_t read(int id) {
+    LockGuard<L> g(lock_, id);
+    return value_;
+  }
+
+  L& lock() { return lock_; }
+
+ private:
+  L lock_;
+  std::int64_t value_ = 0;
+};
+
+/// FIFO queue protected by a numbered lock.
+template <NumberedLock L>
+class LockedQueue {
+ public:
+  template <typename... Args>
+  explicit LockedQueue(Args&&... lockArgs)
+      : lock_(std::forward<Args>(lockArgs)...) {}
+
+  /// Returns the position the element was enqueued at (the ordering
+  /// value of the queue-based ordering algorithm).
+  std::int64_t enqueue(int id, std::int64_t value) {
+    LockGuard<L> g(lock_, id);
+    items_.push_back(value);
+    return static_cast<std::int64_t>(++enqueued_) - 1;
+  }
+
+  std::optional<std::int64_t> dequeue(int id) {
+    LockGuard<L> g(lock_, id);
+    if (items_.empty()) return std::nullopt;
+    std::int64_t v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+  std::size_t size(int id) {
+    LockGuard<L> g(lock_, id);
+    return items_.size();
+  }
+
+  L& lock() { return lock_; }
+
+ private:
+  L lock_;
+  std::deque<std::int64_t> items_;
+  std::uint64_t enqueued_ = 0;
+};
+
+}  // namespace fencetrade::native

@@ -1,0 +1,69 @@
+#include "native/peterson_lock.h"
+
+#include <thread>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace fencetrade::native {
+
+PetersonTournamentLock::PetersonTournamentLock(int capacity,
+                                               PetersonFencing fencing)
+    : capacity_(capacity), fencing_(fencing) {
+  FT_CHECK(capacity >= 1) << "Peterson tournament capacity must be >= 1";
+  f_ = capacity > 1 ? util::ilog2Ceil(static_cast<std::uint64_t>(capacity))
+                    : 1;
+  levels_.resize(static_cast<std::size_t>(f_));
+  for (int t = 1; t <= f_; ++t) {
+    const std::int64_t numNodes =
+        util::ceilDiv(capacity, std::int64_t{1} << t);
+    levels_[static_cast<std::size_t>(t - 1)] =
+        std::vector<Node>(static_cast<std::size_t>(numNodes));
+  }
+}
+
+PetersonTournamentLock::Node& PetersonTournamentLock::node(int level,
+                                                           int index) {
+  return levels_[static_cast<std::size_t>(level - 1)]
+                [static_cast<std::size_t>(index)];
+}
+
+void PetersonTournamentLock::lock(int id) {
+  FT_CHECK(id >= 0 && id < capacity_) << "Peterson: bad slot " << id;
+  for (int t = 1; t <= f_; ++t) {
+    Node& nd = node(t, id >> t);
+    const int side = (id >> (t - 1)) & 1;
+    auto& mine = side == 0 ? nd.flag0 : nd.flag1;
+    auto& theirs = side == 0 ? nd.flag1 : nd.flag0;
+
+    mine.store(1, std::memory_order_relaxed);
+    if (fencing_ == PetersonFencing::PsoSafe) {
+      fullFence();  // flag visible before turn (store-store order)
+    }
+    nd.turn.store(static_cast<std::uint64_t>(2 - side),  // other + 1
+                  std::memory_order_relaxed);
+    fullFence();  // both stores visible before inspecting the peer
+
+    for (;;) {
+      if (theirs.load(std::memory_order_acquire) == 0) break;
+      if (nd.turn.load(std::memory_order_acquire) ==
+          static_cast<std::uint64_t>(side + 1)) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+void PetersonTournamentLock::unlock(int id) {
+  FT_CHECK(id >= 0 && id < capacity_) << "Peterson: bad slot " << id;
+  for (int t = f_; t >= 1; --t) {
+    Node& nd = node(t, id >> t);
+    const int side = (id >> (t - 1)) & 1;
+    (side == 0 ? nd.flag0 : nd.flag1)
+        .store(0, std::memory_order_relaxed);
+    fullFence();
+  }
+}
+
+}  // namespace fencetrade::native

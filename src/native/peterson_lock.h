@@ -1,0 +1,57 @@
+// Peterson–Fischer binary tournament lock over std::atomic.
+//
+// Two-process Peterson nodes composed into a binary tree: 3 fences per
+// level (PsoSafe discipline — flag published before turn, both before
+// the wait loop) or 2 per level (TsoOnly — sound only where stores
+// commit in order, i.e. x86/TSO; the simulator exhibits the PSO
+// violation, see core/peterson.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "native/fences.h"
+
+namespace fencetrade::native {
+
+enum class PetersonFencing {
+  PsoSafe,  ///< flag; FENCE; turn; FENCE — portable
+  TsoOnly,  ///< flag; turn; FENCE — x86/TSO only, 1 fewer fence/level
+};
+
+class PetersonTournamentLock {
+ public:
+  explicit PetersonTournamentLock(
+      int capacity, PetersonFencing fencing = PetersonFencing::PsoSafe);
+
+  PetersonTournamentLock(const PetersonTournamentLock&) = delete;
+  PetersonTournamentLock& operator=(const PetersonTournamentLock&) = delete;
+
+  void lock(int id);
+  void unlock(int id);
+  int capacity() const { return capacity_; }
+
+  int height() const { return f_; }
+  std::uint64_t fencesPerPassage() const {
+    return static_cast<std::uint64_t>(f_) *
+           (fencing_ == PetersonFencing::PsoSafe ? 3 : 2);
+  }
+
+ private:
+  struct alignas(64) Node {
+    std::atomic<std::uint64_t> flag0{0};
+    std::atomic<std::uint64_t> flag1{0};
+    std::atomic<std::uint64_t> turn{0};
+  };
+
+  Node& node(int level, int index);
+
+  int capacity_;
+  int f_;
+  PetersonFencing fencing_;
+  std::vector<std::vector<Node>> levels_;
+};
+
+}  // namespace fencetrade::native

@@ -1,0 +1,100 @@
+// Sequence lock — an optimistic single-writer/multi-reader primitive
+// whose correctness rests entirely on *write order*, making it the third
+// separation artifact alongside the SPSC queue and the one-fence
+// Peterson entry (paper, Section 1).
+//
+// Writer: bump the sequence to odd, write the payload, bump to even.
+// Reader: read seq; read payload; re-read seq; retry unless both reads
+// returned the same even value.
+//
+// The protocol is sound only if (a) the odd bump reaches memory before
+// the payload writes and (b) the payload writes precede the even bump —
+// both pure store-store edges.  On a write-reordering machine each edge
+// needs a fence; the Ordering::Relaxed variant documents the TSO
+// hardware behaviour (like SpscQueue, the simulator's litmusWriteBatch
+// shows the PSO failure).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace fencetrade::native {
+
+enum class SeqlockOrdering {
+  Relaxed,         ///< TSO-hardware demo only: plain relaxed stores
+  ReleaseAcquire,  ///< portable: release bumps, acquire reads
+};
+
+/// Seqlock over a fixed-size payload of N words.
+template <std::size_t N, SeqlockOrdering O = SeqlockOrdering::ReleaseAcquire>
+class SeqLock {
+ public:
+  using Payload = std::array<std::int64_t, N>;
+
+  /// Writer side (single writer).
+  void write(const Payload& value) {
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);  // odd: write in flight
+    // Edge (a): the payload stores must not pass the odd bump.  A
+    // release *store* would not stop later relaxed stores from hoisting
+    // above it; a release fence does.
+    if constexpr (O == SeqlockOrdering::ReleaseAcquire) {
+      std::atomic_thread_fence(std::memory_order_release);
+    }
+    for (std::size_t i = 0; i < N; ++i) {
+      data_[i].store(value[i], std::memory_order_relaxed);
+    }
+    // Edge (b): the even bump must not pass the payload stores — a
+    // release store orders every prior write before it.
+    seq_.store(s + 2, storeOrder());
+  }
+
+  /// Reader side: retries until it observes a stable even sequence.
+  Payload read() const {
+    for (;;) {
+      const std::uint64_t before = seq_.load(loadOrder());
+      if (before & 1) continue;  // writer in flight
+      Payload out;
+      for (std::size_t i = 0; i < N; ++i) {
+        out[i] = data_[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t after = seq_.load(std::memory_order_relaxed);
+      if (before == after) return out;
+    }
+  }
+
+  /// One non-retrying read attempt — returns false when a concurrent
+  /// write was detected (used by tests to measure retry behaviour).
+  bool tryRead(Payload& out) const {
+    const std::uint64_t before = seq_.load(loadOrder());
+    if (before & 1) return false;
+    for (std::size_t i = 0; i < N; ++i) {
+      out[i] = data_[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) == before;
+  }
+
+  std::uint64_t sequence() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::memory_order storeOrder() {
+    return O == SeqlockOrdering::Relaxed ? std::memory_order_relaxed
+                                         : std::memory_order_release;
+  }
+  static constexpr std::memory_order loadOrder() {
+    return O == SeqlockOrdering::Relaxed ? std::memory_order_relaxed
+                                         : std::memory_order_acquire;
+  }
+
+  alignas(64) std::atomic<std::uint64_t> seq_{0};
+  std::array<std::atomic<std::int64_t>, N> data_{};
+};
+
+}  // namespace fencetrade::native

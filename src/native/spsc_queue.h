@@ -1,0 +1,79 @@
+// Bounded single-producer/single-consumer queue — the library-level
+// face of the TSO/PSO separation (EXP-SEP).
+//
+// Correctness of the hand-off rests purely on *write order*: the
+// producer writes the slot, then advances the head index.  On a machine
+// that keeps writes in order (TSO / x86) no fence is needed between the
+// two stores; on a machine that reorders writes (PSO/RMO — ARM, POWER)
+// an ordering edge (release store, i.e. a store-store fence) is
+// mandatory, exactly the phenomenon the paper's litmusMP models and its
+// lower bound generalizes.  Template parameter:
+//
+//   Ordering::Relaxed       — plain relaxed stores.  Works on TSO
+//       hardware; formally admits the stale-data outcome the simulator
+//       exhibits under PSO (sim::litmusMP).  Demo only.
+//   Ordering::ReleaseAcquire — portable: release store on the index,
+//       acquire load on the consumer side.  Free on x86 (TSO already
+//       orders the stores), an explicit barrier on ARM/POWER.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fencetrade::native {
+
+enum class Ordering { Relaxed, ReleaseAcquire };
+
+template <typename T, Ordering O = Ordering::ReleaseAcquire>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : capacity_(capacity + 1), slots_(capacity + 1) {
+    FT_CHECK(capacity >= 1) << "SpscQueue capacity must be >= 1";
+  }
+
+  /// Producer side.  Returns false when full.
+  bool tryPush(const T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) % capacity_;
+    if (next == tail_.load(loadOrder())) return false;
+    slots_[head] = value;  // data write ...
+    head_.store(next, storeOrder());  // ... must not pass this index write
+    return true;
+  }
+
+  /// Consumer side.  Returns nullopt when empty.
+  std::optional<T> tryPop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(loadOrder())) return std::nullopt;
+    T value = slots_[tail];
+    tail_.store((tail + 1) % capacity_, storeOrder());
+    return value;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_relaxed) ==
+           head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::memory_order storeOrder() {
+    return O == Ordering::Relaxed ? std::memory_order_relaxed
+                                  : std::memory_order_release;
+  }
+  static constexpr std::memory_order loadOrder() {
+    return O == Ordering::Relaxed ? std::memory_order_relaxed
+                                  : std::memory_order_acquire;
+  }
+
+  std::size_t capacity_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace fencetrade::native

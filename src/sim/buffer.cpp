@@ -1,0 +1,111 @@
+#include "sim/buffer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fencetrade::sim {
+
+WriteBuffer::WriteBuffer(MemoryModel model) : model_(model) {}
+
+bool WriteBuffer::empty() const {
+  return model_ == MemoryModel::TSO ? fifo_.empty() : set_.empty();
+}
+
+std::size_t WriteBuffer::size() const {
+  return model_ == MemoryModel::TSO ? fifo_.size() : set_.size();
+}
+
+bool WriteBuffer::containsReg(Reg r) const {
+  if (model_ == MemoryModel::TSO) {
+    return std::any_of(fifo_.begin(), fifo_.end(),
+                       [r](const auto& e) { return e.first == r; });
+  }
+  return set_.count(r) != 0;
+}
+
+std::optional<Value> WriteBuffer::forwardValue(Reg r) const {
+  if (model_ == MemoryModel::TSO) {
+    // Newest pending write to r wins (store-to-load forwarding).
+    for (auto it = fifo_.rbegin(); it != fifo_.rend(); ++it) {
+      if (it->first == r) return it->second;
+    }
+    return std::nullopt;
+  }
+  auto it = set_.find(r);
+  if (it == set_.end()) return std::nullopt;
+  return it->second;
+}
+
+void WriteBuffer::addWrite(Reg r, Value x) {
+  FT_CHECK(model_ != MemoryModel::SC)
+      << "SC machine must not buffer writes";
+  if (model_ == MemoryModel::TSO) {
+    fifo_.emplace_back(r, x);
+  } else {
+    set_[r] = x;  // replaces any pending write to r (paper's WB update)
+  }
+}
+
+bool WriteBuffer::canCommitReg(Reg r) const {
+  if (model_ == MemoryModel::TSO) {
+    return !fifo_.empty() && fifo_.front().first == r;
+  }
+  return containsReg(r);
+}
+
+Value WriteBuffer::commitReg(Reg r) {
+  FT_CHECK(canCommitReg(r)) << "commitReg: register " << r
+                            << " not committable";
+  if (model_ == MemoryModel::TSO) {
+    Value v = fifo_.front().second;
+    fifo_.pop_front();
+    return v;
+  }
+  auto it = set_.find(r);
+  Value v = it->second;
+  set_.erase(it);
+  return v;
+}
+
+Reg WriteBuffer::nextForcedReg() const {
+  FT_CHECK(!empty()) << "nextForcedReg on empty buffer";
+  if (model_ == MemoryModel::TSO) return fifo_.front().first;
+  return set_.begin()->first;  // std::map keeps keys sorted
+}
+
+std::vector<Reg> WriteBuffer::distinctRegs() const {
+  std::vector<Reg> out;
+  if (model_ == MemoryModel::TSO) {
+    for (const auto& [r, v] : fifo_) out.push_back(r);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  } else {
+    for (const auto& [r, v] : set_) out.push_back(r);
+  }
+  return out;
+}
+
+std::uint64_t WriteBuffer::hash() const {
+  std::uint64_t h = 0x42;
+  if (model_ == MemoryModel::TSO) {
+    for (const auto& [r, v] : fifo_) {
+      h = util::hashCombine(h, util::hashMix(static_cast<std::uint64_t>(r),
+                                             static_cast<std::uint64_t>(v)));
+    }
+  } else {
+    for (const auto& [r, v] : set_) {
+      h = util::hashCombine(h, util::hashMix(static_cast<std::uint64_t>(r),
+                                             static_cast<std::uint64_t>(v)));
+    }
+  }
+  return h;
+}
+
+bool WriteBuffer::operator==(const WriteBuffer& other) const {
+  return model_ == other.model_ && set_ == other.set_ &&
+         fifo_ == other.fifo_;
+}
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,67 @@
+// Per-process write buffers (paper, Section 2).
+//
+// PSO: the paper's model verbatim — an unordered set WB_p ⊆ R × D without
+//      duplicate registers; write(R,x) replaces any pending write to R;
+//      the system may commit any buffered write at any time.
+// TSO: a FIFO queue; only the oldest write can commit, so writes reach
+//      shared memory in program order (x86-like).  Reads forward from the
+//      newest matching entry.
+// SC:  no buffering; the machine commits writes at the write step and
+//      this class is unused for data (kept empty).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/ids.h"
+
+namespace fencetrade::sim {
+
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(MemoryModel model = MemoryModel::PSO);
+
+  MemoryModel model() const { return model_; }
+  bool empty() const;
+  std::size_t size() const;
+
+  /// Is there a pending write to `r`?
+  bool containsReg(Reg r) const;
+
+  /// Value a read(r) by the owning process would forward, if any.
+  std::optional<Value> forwardValue(Reg r) const;
+
+  /// Buffer write(r, x).  Must not be called under SC.
+  void addWrite(Reg r, Value x);
+
+  /// May the system commit the pending write to `r` right now?
+  /// PSO: containsReg(r).  TSO: r is the oldest entry.
+  bool canCommitReg(Reg r) const;
+
+  /// Commit and remove the pending write to `r`; returns its value.
+  Value commitReg(Reg r);
+
+  /// The register the forced pre-fence commit picks: the smallest
+  /// buffered register under PSO (paper's Exec definition), the oldest
+  /// entry under TSO.  Buffer must be non-empty.
+  Reg nextForcedReg() const;
+
+  /// Distinct buffered registers, ascending.
+  std::vector<Reg> distinctRegs() const;
+
+  /// Order-insensitive content hash (TSO additionally folds in order).
+  std::uint64_t hash() const;
+
+  bool operator==(const WriteBuffer& other) const;
+
+ private:
+  MemoryModel model_;
+  std::map<Reg, Value> set_;             // PSO
+  std::deque<std::pair<Reg, Value>> fifo_;  // TSO
+};
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,208 @@
+#include "sim/builder.h"
+
+#include "util/check.h"
+
+namespace fencetrade::sim {
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  prog_.name = std::move(name);
+}
+
+LocalId ProgramBuilder::local(const std::string& dbgName) {
+  localNames_.push_back(dbgName);
+  return prog_.numLocals++;
+}
+
+ExprId ProgramBuilder::pushExpr(ExprNode n) {
+  prog_.exprs.push_back(n);
+  return static_cast<ExprId>(prog_.exprs.size() - 1);
+}
+
+void ProgramBuilder::pushInstr(Instr ins) {
+  FT_CHECK(!built_) << "ProgramBuilder used after build()";
+  prog_.code.push_back(ins);
+}
+
+ExprId ProgramBuilder::imm(Value v) {
+  return pushExpr({ExprOp::Imm, 0, 0, v});
+}
+ExprId ProgramBuilder::L(LocalId l) {
+  FT_CHECK(l >= 0 && l < prog_.numLocals) << "L: unknown local " << l;
+  return pushExpr({ExprOp::Local, l, 0, 0});
+}
+
+#define FT_BIN(NAME, OP)                                \
+  ExprId ProgramBuilder::NAME(ExprId a, ExprId b) {     \
+    return pushExpr({ExprOp::OP, a, b, 0});             \
+  }
+FT_BIN(add, Add)
+FT_BIN(sub, Sub)
+FT_BIN(mul, Mul)
+FT_BIN(div, Div)
+FT_BIN(mod, Mod)
+FT_BIN(min, Min)
+FT_BIN(max, Max)
+FT_BIN(lt, Lt)
+FT_BIN(le, Le)
+FT_BIN(eq, Eq)
+FT_BIN(ne, Ne)
+FT_BIN(land, LAnd)
+FT_BIN(lor, LOr)
+#undef FT_BIN
+
+ExprId ProgramBuilder::lnot(ExprId a) {
+  return pushExpr({ExprOp::LNot, a, 0, 0});
+}
+
+void ProgramBuilder::set(LocalId dst, ExprId e) {
+  pushInstr({InstrKind::Set, dst, e, -1});
+}
+void ProgramBuilder::read(LocalId dst, ExprId addr) {
+  pushInstr({InstrKind::Read, dst, addr, -1});
+}
+void ProgramBuilder::readReg(LocalId dst, Reg r) { read(dst, imm(r)); }
+void ProgramBuilder::write(ExprId addr, ExprId val) {
+  pushInstr({InstrKind::Write, 0, addr, val});
+}
+void ProgramBuilder::writeReg(Reg r, ExprId val) { write(imm(r), val); }
+void ProgramBuilder::writeRegImm(Reg r, Value v) { write(imm(r), imm(v)); }
+void ProgramBuilder::fence() { pushInstr({InstrKind::Fence, 0, -1, -1}); }
+void ProgramBuilder::cas(LocalId dst, ExprId addr, ExprId expected,
+                         ExprId desired) {
+  pushInstr({InstrKind::Cas, dst, addr, expected, desired});
+}
+void ProgramBuilder::casReg(LocalId dst, Reg r, ExprId expected,
+                            ExprId desired) {
+  cas(dst, imm(r), expected, desired);
+}
+void ProgramBuilder::faa(LocalId dst, ExprId addr, ExprId delta) {
+  pushInstr({InstrKind::Faa, dst, addr, delta});
+}
+void ProgramBuilder::faaReg(LocalId dst, Reg r, ExprId delta) {
+  faa(dst, imm(r), delta);
+}
+void ProgramBuilder::ret(ExprId v) {
+  pushInstr({InstrKind::Return, 0, v, -1});
+}
+void ProgramBuilder::retImm(Value v) { ret(imm(v)); }
+
+int ProgramBuilder::newLabel() {
+  labelPos_.push_back(-1);
+  fixups_.emplace_back();
+  return static_cast<int>(labelPos_.size() - 1);
+}
+
+void ProgramBuilder::bind(int label) {
+  FT_CHECK(label >= 0 && static_cast<std::size_t>(label) < labelPos_.size())
+      << "bind: unknown label " << label;
+  FT_CHECK(labelPos_[static_cast<std::size_t>(label)] == -1)
+      << "bind: label " << label << " bound twice";
+  labelPos_[static_cast<std::size_t>(label)] =
+      static_cast<std::int32_t>(prog_.code.size());
+}
+
+void ProgramBuilder::jmp(int label) {
+  fixups_[static_cast<std::size_t>(label)].push_back(prog_.code.size());
+  pushInstr({InstrKind::Jmp, -1, -1, -1});
+}
+
+void ProgramBuilder::jz(ExprId cond, int label) {
+  fixups_[static_cast<std::size_t>(label)].push_back(prog_.code.size());
+  pushInstr({InstrKind::Jz, -1, cond, -1});
+}
+
+void ProgramBuilder::loop(const std::function<void()>& body) {
+  int start = newLabel();
+  int exit = newLabel();
+  bind(start);
+  loopExitLabels_.push_back(exit);
+  body();
+  loopExitLabels_.pop_back();
+  jmp(start);
+  bind(exit);
+}
+
+void ProgramBuilder::exitIf(ExprId cond) {
+  FT_CHECK(!loopExitLabels_.empty()) << "exitIf outside loop()";
+  // Jz jumps when cond == 0, so jump past the break when the condition
+  // fails, then break unconditionally.
+  int stay = newLabel();
+  jz(cond, stay);
+  jmp(loopExitLabels_.back());
+  bind(stay);
+}
+
+void ProgramBuilder::exitLoop() {
+  FT_CHECK(!loopExitLabels_.empty()) << "exitLoop outside loop()";
+  jmp(loopExitLabels_.back());
+}
+
+void ProgramBuilder::ifThen(ExprId cond, const std::function<void()>& body) {
+  int end = newLabel();
+  jz(cond, end);
+  body();
+  bind(end);
+}
+
+void ProgramBuilder::ifThenElse(ExprId cond,
+                                const std::function<void()>& thenBody,
+                                const std::function<void()>& elseBody) {
+  int elseL = newLabel();
+  int end = newLabel();
+  jz(cond, elseL);
+  thenBody();
+  jmp(end);
+  bind(elseL);
+  elseBody();
+  bind(end);
+}
+
+void ProgramBuilder::forRange(LocalId i, Value lo, Value hi,
+                              const std::function<void()>& body) {
+  set(i, imm(lo));
+  loop([&] {
+    exitIf(lnot(lt(L(i), imm(hi))));
+    body();
+    set(i, add(L(i), imm(1)));
+  });
+}
+
+void ProgramBuilder::csBegin() {
+  FT_CHECK(prog_.csBegin == -1) << "csBegin called twice";
+  prog_.csBegin = static_cast<std::int32_t>(prog_.code.size());
+}
+
+void ProgramBuilder::csEnd() {
+  FT_CHECK(prog_.csBegin != -1 && prog_.csEnd == -1)
+      << "csEnd without matching csBegin";
+  prog_.csEnd = static_cast<std::int32_t>(prog_.code.size());
+}
+
+void ProgramBuilder::dwBegin() {
+  FT_CHECK(prog_.dwBegin == -1) << "dwBegin called twice";
+  prog_.dwBegin = static_cast<std::int32_t>(prog_.code.size());
+}
+
+void ProgramBuilder::dwEnd() {
+  FT_CHECK(prog_.dwBegin != -1 && prog_.dwEnd == -1)
+      << "dwEnd without matching dwBegin";
+  prog_.dwEnd = static_cast<std::int32_t>(prog_.code.size());
+}
+
+Program ProgramBuilder::build() {
+  FT_CHECK(!built_) << "build() called twice";
+  built_ = true;
+  for (std::size_t label = 0; label < labelPos_.size(); ++label) {
+    if (fixups_[label].empty()) continue;
+    FT_CHECK(labelPos_[label] != -1)
+        << "build: label " << label << " used but never bound in "
+        << prog_.name;
+    for (std::size_t at : fixups_[label]) {
+      prog_.code[at].a = labelPos_[label];
+    }
+  }
+  prog_.validate();
+  return prog_;
+}
+
+}  // namespace fencetrade::sim

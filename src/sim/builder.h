@@ -1,0 +1,104 @@
+// Structured builder for sim::Program.
+//
+// Provides locals, a small pure-expression EDSL, labels/jumps, and
+// structured helpers (loop/exitIf/ifThen/forRange) so algorithm emitters
+// (core/) read close to the paper's pseudocode.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/program.h"
+
+namespace fencetrade::sim {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // ---- locals -----------------------------------------------------------
+  LocalId local(const std::string& dbgName);
+
+  // ---- expressions (pure; evaluated when the op is performed) ------------
+  ExprId imm(Value v);
+  ExprId L(LocalId l);  ///< reference a local
+  ExprId add(ExprId a, ExprId b);
+  ExprId sub(ExprId a, ExprId b);
+  ExprId mul(ExprId a, ExprId b);
+  ExprId div(ExprId a, ExprId b);
+  ExprId mod(ExprId a, ExprId b);
+  ExprId min(ExprId a, ExprId b);
+  ExprId max(ExprId a, ExprId b);
+  ExprId lt(ExprId a, ExprId b);
+  ExprId le(ExprId a, ExprId b);
+  ExprId eq(ExprId a, ExprId b);
+  ExprId ne(ExprId a, ExprId b);
+  ExprId land(ExprId a, ExprId b);
+  ExprId lor(ExprId a, ExprId b);
+  ExprId lnot(ExprId a);
+
+  // ---- statements ---------------------------------------------------------
+  void set(LocalId dst, ExprId e);
+  void read(LocalId dst, ExprId addr);
+  void readReg(LocalId dst, Reg r);
+  void write(ExprId addr, ExprId val);
+  void writeReg(Reg r, ExprId val);
+  void writeRegImm(Reg r, Value v);
+  void fence();
+  /// locals[dst] = atomic compare-and-swap: if *addr == expected then
+  /// *addr = desired; returns the OLD value either way.
+  void cas(LocalId dst, ExprId addr, ExprId expected, ExprId desired);
+  void casReg(LocalId dst, Reg r, ExprId expected, ExprId desired);
+  /// locals[dst] = atomic fetch-and-add: old value of *addr, then
+  /// *addr += delta.
+  void faa(LocalId dst, ExprId addr, ExprId delta);
+  void faaReg(LocalId dst, Reg r, ExprId delta);
+  void ret(ExprId v);
+  void retImm(Value v);
+
+  // ---- labels and jumps ---------------------------------------------------
+  int newLabel();
+  void bind(int label);
+  void jmp(int label);
+  void jz(ExprId cond, int label);  ///< jump when cond == 0
+
+  // ---- structured control flow -------------------------------------------
+  /// Infinite loop around `body`; leave with exitIf()/exitLoop().
+  void loop(const std::function<void()>& body);
+  /// Break the innermost loop() when cond != 0.  Only valid inside loop().
+  void exitIf(ExprId cond);
+  /// Unconditional break of the innermost loop().
+  void exitLoop();
+  /// Execute body when cond != 0.
+  void ifThen(ExprId cond, const std::function<void()>& body);
+  void ifThenElse(ExprId cond, const std::function<void()>& thenBody,
+                  const std::function<void()>& elseBody);
+  /// for (i = lo; i < hi; ++i) body();  — bounds are constants.
+  void forRange(LocalId i, Value lo, Value hi,
+                const std::function<void()>& body);
+
+  // ---- critical-section markers (for the explorer's mutex check) ----------
+  void csBegin();
+  void csEnd();
+
+  // ---- doorway markers (for FCFS property tests) ---------------------------
+  void dwBegin();
+  void dwEnd();
+
+  /// Finalize: patch labels, validate, and return the program.
+  Program build();
+
+ private:
+  ExprId pushExpr(ExprNode n);
+  void pushInstr(Instr ins);
+
+  Program prog_;
+  std::vector<std::string> localNames_;
+  std::vector<std::int32_t> labelPos_;         // -1 = unbound
+  std::vector<std::vector<std::size_t>> fixups_;  // instr indices per label
+  std::vector<int> loopExitLabels_;
+  bool built_ = false;
+};
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,66 @@
+#include "sim/config.h"
+
+#include "util/rng.h"
+
+namespace fencetrade::sim {
+
+namespace {
+
+inline std::uint64_t entryMix(Reg r, Value v) {
+  return util::hashMix(static_cast<std::uint64_t>(r) + 1,
+                       static_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::uint64_t ProcState::hash() const {
+  std::uint64_t h = util::hashMix(static_cast<std::uint64_t>(pc),
+                                  final ? 0x1ULL : 0x2ULL);
+  h = util::hashCombine(h, static_cast<std::uint64_t>(retval));
+  for (Value v : locals) {
+    h = util::hashCombine(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+Value Config::readMem(Reg r) const {
+  auto it = memory.find(r);
+  return it == memory.end() ? kInitValue : it->second;
+}
+
+void Config::writeMem(Reg r, Value v) {
+  // memHash is the XOR over entries whose value differs from kInitValue,
+  // so a register explicitly reset to the initial value hashes the same
+  // as a never-written one (canonical form).
+  auto contribution = [&](Value x) {
+    return x == kInitValue ? 0 : entryMix(r, x);
+  };
+  auto it = memory.find(r);
+  if (it == memory.end()) {
+    memHash ^= contribution(v);
+    memory.emplace(r, v);
+  } else {
+    memHash ^= contribution(it->second) ^ contribution(v);
+    it->second = v;
+  }
+}
+
+std::uint64_t Config::behavioralHash(std::uint64_t salt) const {
+  std::uint64_t h = salt;
+  for (const auto& ps : procs) h = util::hashCombine(h, ps.hash());
+  for (const auto& wb : buffers) h = util::hashCombine(h, wb.hash());
+  for (const auto& [r, v] : memory) {
+    if (v == kInitValue) continue;  // canonical: 0 == never written
+    h = util::hashCombine(h, entryMix(r, v));
+  }
+  return h;
+}
+
+std::vector<Value> Config::returnValues() const {
+  std::vector<Value> out;
+  out.reserve(procs.size());
+  for (const auto& ps : procs) out.push_back(ps.final ? ps.retval : -1);
+  return out;
+}
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,80 @@
+// System configurations (paper, Section 2): the state of every process,
+// register and write-buffer — plus the accounting state the combined
+// DSM+CC RMR definition needs (per-process value caches and per-register
+// last committer).
+//
+// Config is a plain value type: copyable, comparable and hashable.  The
+// encoder's replay, the solo-termination decider and the exhaustive
+// explorer all rely on this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/buffer.h"
+#include "sim/ids.h"
+#include "sim/layout.h"
+#include "sim/program.h"
+
+namespace fencetrade::sim {
+
+/// A pending model-visible operation, decoded from the program.
+struct Op {
+  InstrKind kind = InstrKind::Fence;  // Read/Write/Fence/Cas/Return
+  Reg reg = kNoReg;                   // Read/Write/Cas target
+  Value val = 0;                      // Write/Return/Cas-desired value
+  Value expected = 0;                 // Cas expected value
+  LocalId dst = -1;                   // Read/Cas destination local
+};
+
+/// Dynamic state of one process.  `pending` caches next_p(C): the
+/// machine eagerly executes free local computation (Set/Jz/Jmp) until the
+/// process is poised at a model-visible operation.
+struct ProcState {
+  std::int32_t pc = 0;
+  std::vector<Value> locals;
+  bool final = false;
+  Value retval = -1;
+  bool hasPending = false;
+  Op pending{};
+
+  std::uint64_t hash() const;
+};
+
+/// The complete system configuration.
+struct Config {
+  std::vector<ProcState> procs;
+  std::vector<WriteBuffer> buffers;
+  std::map<Reg, Value> memory;  ///< absent entries hold kInitValue
+
+  // --- RMR accounting state (part of the configuration; copyable) -------
+  /// CC-model cache: (R, x) pairs process p has written or read; a read
+  /// of R returning x with (R, x) in the set is a cache hit (local).
+  std::vector<std::set<std::pair<Reg, Value>>> seen;
+  /// Last process to commit a write to each register ("cache-line owner"
+  /// for the commit-locality rule).  Absent = never committed.
+  std::map<Reg, ProcId> lastCommitter;
+
+  int nbFinal = 0;  ///< NbFinal(C): number of processes in a final state
+
+  /// Incrementally-maintained hash of `memory` (order-insensitive XOR of
+  /// per-entry mixes) — cheap key material for the solo-run memo.
+  std::uint64_t memHash = 0;
+
+  Value readMem(Reg r) const;
+  void writeMem(Reg r, Value v);  ///< updates memHash
+
+  /// Hash of behaviorally relevant state only (procs, buffers, memory —
+  /// not the RMR accounting), canonicalizing value-0 entries so that a
+  /// register explicitly holding 0 equals a never-written register.
+  /// Used as the explorer's visited-set key.
+  std::uint64_t behavioralHash(std::uint64_t salt) const;
+
+  /// Vector of return values, -1 for processes not yet final.
+  std::vector<Value> returnValues() const;
+};
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,196 @@
+#include "sim/explore.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace fencetrade::sim {
+
+namespace {
+
+using Elem = std::pair<ProcId, Reg>;
+
+std::vector<Elem> movesOf(const Config& cfg) {
+  std::vector<Elem> moves;
+  for (std::size_t p = 0; p < cfg.procs.size(); ++p) {
+    if (cfg.procs[p].final) continue;
+    moves.emplace_back(static_cast<ProcId>(p), kNoReg);
+    for (Reg r : cfg.buffers[p].distinctRegs()) {
+      if (cfg.buffers[p].canCommitReg(r)) {
+        moves.emplace_back(static_cast<ProcId>(p), r);
+      }
+    }
+  }
+  return moves;
+}
+
+int csOccupancy(const System& sys, const Config& cfg) {
+  int occ = 0;
+  for (int p = 0; p < sys.n(); ++p) {
+    if (inCriticalSection(sys, cfg, p)) ++occ;
+  }
+  return occ;
+}
+
+struct Frame {
+  Config cfg;
+  std::vector<Elem> moves;
+  std::size_t next = 0;
+};
+
+}  // namespace
+
+ExploreResult explore(const System& sys, const ExploreOptions& opts) {
+  ExploreResult res;
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<Frame> stack;
+  std::vector<Elem> path;
+
+  auto enter = [&](Config cfg) -> bool {
+    // Returns false when the state was seen before or the cap is hit.
+    const std::uint64_t h = cfg.behavioralHash(0xF37CE7ADEULL);
+    if (!visited.insert(h).second) return false;
+    ++res.statesVisited;
+    if (res.statesVisited >= opts.maxStates) res.capped = true;
+
+    if (opts.checkMutualExclusion) {
+      const int occ = csOccupancy(sys, cfg);
+      if (occ > res.maxCsOccupancy) res.maxCsOccupancy = occ;
+      if (occ >= 2 && !res.mutexViolation) {
+        res.mutexViolation = true;
+        res.witness = path;
+      }
+    }
+    if (allFinal(cfg)) {
+      res.outcomes.insert(cfg.returnValues());
+      return false;  // terminal: nothing to expand
+    }
+    Frame f;
+    f.moves = movesOf(cfg);
+    f.cfg = std::move(cfg);
+    stack.push_back(std::move(f));
+    return true;
+  };
+
+  enter(initialConfig(sys));
+
+  while (!stack.empty()) {
+    if (res.capped) break;
+    if (res.mutexViolation && opts.stopOnViolation) break;
+    Frame& top = stack.back();
+    if (top.next >= top.moves.size()) {
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+    const Elem elem = top.moves[top.next++];
+    Config child = top.cfg;  // copy, then apply the move
+    auto step = execElem(sys, child, elem.first, elem.second);
+    FT_CHECK(step.has_value()) << "explore: move produced no step";
+    path.push_back(elem);
+    if (!enter(std::move(child))) path.pop_back();
+  }
+  return res;
+}
+
+LivenessResult checkLiveness(const System& sys,
+                             const LivenessOptions& opts) {
+  LivenessResult res;
+
+  // Forward exploration building the reversed edge relation.
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  std::vector<std::vector<std::uint32_t>> preds;
+  std::vector<char> terminal;
+  std::vector<Config> frontier;  // configs awaiting expansion
+  std::vector<std::uint32_t> frontierIdx;
+
+  auto intern = [&](const Config& cfg) -> std::pair<std::uint32_t, bool> {
+    const std::uint64_t h = cfg.behavioralHash(0x11BE11E55ULL);
+    auto [it, inserted] =
+        index.emplace(h, static_cast<std::uint32_t>(preds.size()));
+    if (inserted) {
+      preds.emplace_back();
+      terminal.push_back(allFinal(cfg) ? 1 : 0);
+    }
+    return {it->second, inserted};
+  };
+
+  {
+    Config init = initialConfig(sys);
+    auto [idx, fresh] = intern(init);
+    frontier.push_back(std::move(init));
+    frontierIdx.push_back(idx);
+  }
+
+  while (!frontier.empty()) {
+    if (preds.size() >= opts.maxStates) return res;  // capped: incomplete
+    Config cfg = std::move(frontier.back());
+    frontier.pop_back();
+    const std::uint32_t from = frontierIdx.back();
+    frontierIdx.pop_back();
+    if (terminal[from]) continue;
+
+    for (const auto& [p, r] : movesOf(cfg)) {
+      Config child = cfg;
+      auto step = execElem(sys, child, p, r);
+      FT_CHECK(step.has_value()) << "liveness: move produced no step";
+      auto [to, fresh] = intern(child);
+      preds[to].push_back(from);
+      if (fresh) {
+        frontier.push_back(std::move(child));
+        frontierIdx.push_back(to);
+      }
+    }
+  }
+
+  res.complete = true;
+  res.states = preds.size();
+
+  // Reverse BFS from terminal states.
+  std::vector<char> canTerminate(preds.size(), 0);
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t s = 0; s < preds.size(); ++s) {
+    if (terminal[s]) {
+      ++res.terminalStates;
+      canTerminate[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t s = queue.back();
+    queue.pop_back();
+    for (std::uint32_t pre : preds[s]) {
+      if (!canTerminate[pre]) {
+        canTerminate[pre] = 1;
+        queue.push_back(pre);
+      }
+    }
+  }
+  for (std::uint32_t s = 0; s < preds.size(); ++s) {
+    if (!canTerminate[s]) ++res.stuckStates;
+  }
+  res.allCanTerminate = (res.stuckStates == 0);
+  return res;
+}
+
+std::string outcomesToString(const std::set<std::vector<Value>>& outcomes) {
+  std::ostringstream out;
+  out << "{";
+  bool firstVec = true;
+  for (const auto& v : outcomes) {
+    if (!firstVec) out << ", ";
+    firstVec = false;
+    out << "(";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out << ",";
+      out << v[i];
+    }
+    out << ")";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace fencetrade::sim

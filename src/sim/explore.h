@@ -1,0 +1,75 @@
+// Exhaustive state-space exploration of a simulated system.
+//
+// Enumerates, from the initial configuration, every schedule choice the
+// model admits: for each non-final process the program step (p, ⊥), plus
+// (p, R) for each committable buffered register R.  Used to
+//   * verify mutual exclusion of the lock family under PSO for small n,
+//   * compute the exact outcome sets of litmus tests per memory model,
+//   * search for minimal fence placements (EXP-SEP).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace fencetrade::sim {
+
+struct ExploreOptions {
+  /// Abort (capped=true) after visiting this many distinct states.
+  std::uint64_t maxStates = 2'000'000;
+  /// Check the critical-section occupancy invariant at every state.
+  bool checkMutualExclusion = true;
+  /// Stop at the first mutual-exclusion violation.
+  bool stopOnViolation = true;
+};
+
+struct ExploreResult {
+  /// Return-value vectors of every reachable terminal configuration.
+  std::set<std::vector<Value>> outcomes;
+  std::uint64_t statesVisited = 0;
+  bool capped = false;
+
+  bool mutexViolation = false;
+  /// Schedule reaching a violating configuration (replayable witness).
+  std::vector<std::pair<ProcId, Reg>> witness;
+  /// Largest number of processes simultaneously inside their CS.
+  int maxCsOccupancy = 0;
+};
+
+ExploreResult explore(const System& sys, const ExploreOptions& opts = {});
+
+/// Pretty-print an outcome set as {(a,b), (c,d), ...}.
+std::string outcomesToString(const std::set<std::vector<Value>>& outcomes);
+
+// ---------------------------------------------------------------------------
+// Termination reachability (deadlock/livelock freedom).
+//
+// Builds the full reachable state graph and checks, by reverse
+// reachability from the terminal (all-final) states, that *every*
+// reachable state can still reach completion.  This is the exhaustive
+// form of the deadlock-freedom requirement in the paper's lock
+// definition: no schedule can drive the system into a state from which
+// finishing is impossible.
+// ---------------------------------------------------------------------------
+
+struct LivenessOptions {
+  std::uint64_t maxStates = 500'000;
+};
+
+struct LivenessResult {
+  bool complete = false;        ///< graph fully built (not capped)
+  std::uint64_t states = 0;
+  std::uint64_t terminalStates = 0;
+  /// Every reachable state can reach a terminal state.  Only meaningful
+  /// when `complete`.
+  bool allCanTerminate = false;
+  std::uint64_t stuckStates = 0;  ///< states with no path to a terminal
+};
+
+LivenessResult checkLiveness(const System& sys,
+                             const LivenessOptions& opts = {});
+
+}  // namespace fencetrade::sim

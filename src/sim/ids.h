@@ -1,0 +1,44 @@
+// Basic identifier and value types of the simulated shared-memory system
+// (paper, Section 2).
+#pragma once
+
+#include <cstdint>
+
+namespace fencetrade::sim {
+
+/// Process identifier in [0, n).
+using ProcId = int;
+
+/// Register identifier.  The paper assumes the register set is totally
+/// ordered; we use dense integers so "smallest register" (the forced
+/// pre-fence commit rule) is just the numeric minimum.
+using Reg = std::int32_t;
+
+/// Register values.  The paper's initial value ⊤ is modelled as 0, which
+/// is also what Bakery expects of its arrays.
+using Value = std::int64_t;
+
+/// Schedule element register slot ⊥ ("take a program step").
+inline constexpr Reg kNoReg = -1;
+
+/// Segment owner for registers not local to any process.
+inline constexpr ProcId kNoOwner = -1;
+
+/// Initial value of every register.
+inline constexpr Value kInitValue = 0;
+
+/// Which reorderings the simulated machine permits.
+///
+/// * SC  — no write buffer; writes commit at the write step.
+/// * TSO — FIFO write buffer with read forwarding (x86-like): reads may
+///         bypass earlier writes, but writes commit in program order.
+/// * PSO — unordered write buffer (the paper's model, Section 2): any
+///         buffered write may commit at any time, so writes to different
+///         registers reorder freely.  This is the model the lower bound
+///         is proved in; RMO behaves identically for the write/fence
+///         structure the bound is about.
+enum class MemoryModel { SC, TSO, PSO };
+
+const char* memoryModelName(MemoryModel m);
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,45 @@
+#include "sim/layout.h"
+
+#include "util/check.h"
+
+namespace fencetrade::sim {
+
+const char* memoryModelName(MemoryModel m) {
+  switch (m) {
+    case MemoryModel::SC:
+      return "SC";
+    case MemoryModel::TSO:
+      return "TSO";
+    case MemoryModel::PSO:
+      return "PSO";
+  }
+  return "?";
+}
+
+Reg MemoryLayout::alloc(ProcId owner, std::string name) {
+  owners_.push_back(owner);
+  names_.push_back(std::move(name));
+  return static_cast<Reg>(owners_.size() - 1);
+}
+
+Reg MemoryLayout::allocArray(const std::vector<ProcId>& owners,
+                             const std::string& name) {
+  FT_CHECK(!owners.empty()) << "allocArray needs at least one element";
+  Reg base = static_cast<Reg>(owners_.size());
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    alloc(owners[i], name + "[" + std::to_string(i) + "]");
+  }
+  return base;
+}
+
+ProcId MemoryLayout::owner(Reg r) const {
+  FT_CHECK(r >= 0 && r < count()) << "owner: register " << r << " out of range";
+  return owners_[static_cast<std::size_t>(r)];
+}
+
+const std::string& MemoryLayout::name(Reg r) const {
+  FT_CHECK(r >= 0 && r < count()) << "name: register " << r << " out of range";
+  return names_[static_cast<std::size_t>(r)];
+}
+
+}  // namespace fencetrade::sim

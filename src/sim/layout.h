@@ -1,0 +1,35 @@
+// Register allocation and the DSM segment partition R_0, ..., R_{n-1}.
+//
+// The paper partitions the register set into per-process memory segments;
+// whether an access is an RMR depends on the owner of the accessed
+// register (combined DSM+CC model, Section 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/ids.h"
+
+namespace fencetrade::sim {
+
+/// Allocates registers with a segment owner and a debug name.
+class MemoryLayout {
+ public:
+  /// Allocate one register owned by `owner`'s segment (kNoOwner allowed,
+  /// making the register remote to every process).
+  Reg alloc(ProcId owner, std::string name);
+
+  /// Allocate `count` consecutive registers ("array"); element i is owned
+  /// by owners[i].  Returns the base register.
+  Reg allocArray(const std::vector<ProcId>& owners, const std::string& name);
+
+  ProcId owner(Reg r) const;
+  const std::string& name(Reg r) const;
+  Reg count() const { return static_cast<Reg>(owners_.size()); }
+
+ private:
+  std::vector<ProcId> owners_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,124 @@
+#include "sim/litmus.h"
+
+#include "sim/builder.h"
+
+namespace fencetrade::sim {
+
+namespace {
+
+/// Writer thread: writes each (reg, value), optionally fencing between
+/// writes, then fences and returns 0.
+Program writerProgram(const std::string& name,
+                      const std::vector<std::pair<Reg, Value>>& writes,
+                      bool fenceBetween) {
+  ProgramBuilder b(name);
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    b.writeRegImm(writes[i].first, writes[i].second);
+    if (fenceBetween && i + 1 < writes.size()) b.fence();
+  }
+  b.fence();
+  b.retImm(0);
+  return b.build();
+}
+
+/// Reader thread: reads the registers in order and returns the base-2
+/// encoding (first read is the highest bit).
+Program readerProgram(const std::string& name, const std::vector<Reg>& regs) {
+  ProgramBuilder b(name);
+  LocalId acc = b.local("acc");
+  LocalId tmp = b.local("tmp");
+  b.set(acc, b.imm(0));
+  for (Reg r : regs) {
+    b.readReg(tmp, r);
+    b.set(acc, b.add(b.mul(b.L(acc), b.imm(2)), b.L(tmp)));
+  }
+  b.fence();
+  b.ret(b.L(acc));
+  return b.build();
+}
+
+}  // namespace
+
+System litmusSB(MemoryModel m, bool fenceAfterWrite) {
+  System sys;
+  sys.model = m;
+  Reg x = sys.layout.alloc(kNoOwner, "X");
+  Reg y = sys.layout.alloc(kNoOwner, "Y");
+  auto thread = [&](const std::string& name, Reg mine, Reg other) {
+    ProgramBuilder b(name);
+    LocalId t = b.local("t");
+    b.writeRegImm(mine, 1);
+    if (fenceAfterWrite) b.fence();
+    b.readReg(t, other);
+    b.fence();
+    b.ret(b.L(t));
+    return b.build();
+  };
+  sys.programs.push_back(thread("sb0", x, y));
+  sys.programs.push_back(thread("sb1", y, x));
+  return sys;
+}
+
+System litmusMP(MemoryModel m, bool fenceBetweenWrites) {
+  System sys;
+  sys.model = m;
+  Reg d = sys.layout.alloc(kNoOwner, "D");
+  Reg f = sys.layout.alloc(kNoOwner, "F");
+  sys.programs.push_back(
+      writerProgram("mp-writer", {{d, 1}, {f, 1}}, fenceBetweenWrites));
+  sys.programs.push_back(readerProgram("mp-reader", {f, d}));
+  return sys;
+}
+
+System litmusCoRR(MemoryModel m) {
+  System sys;
+  sys.model = m;
+  Reg x = sys.layout.alloc(kNoOwner, "X");
+  sys.programs.push_back(writerProgram("corr-writer", {{x, 1}}, false));
+  sys.programs.push_back(readerProgram("corr-reader", {x, x}));
+  return sys;
+}
+
+System litmusWriteBatch(MemoryModel m) {
+  System sys;
+  sys.model = m;
+  Reg a = sys.layout.alloc(kNoOwner, "A");
+  Reg b = sys.layout.alloc(kNoOwner, "B");
+  Reg c = sys.layout.alloc(kNoOwner, "C");
+  sys.programs.push_back(
+      writerProgram("batch-writer", {{a, 1}, {b, 1}, {c, 1}}, false));
+  sys.programs.push_back(readerProgram("batch-reader", {c, a}));
+  return sys;
+}
+
+System litmusSeqlock(MemoryModel m) {
+  System sys;
+  sys.model = m;
+  Reg seq = sys.layout.alloc(kNoOwner, "SEQ");
+  Reg d = sys.layout.alloc(kNoOwner, "D");
+  {
+    ProgramBuilder b("seqlock-writer");
+    b.writeRegImm(seq, 1);
+    b.writeRegImm(d, 1);
+    b.writeRegImm(seq, 2);
+    b.fence();
+    b.retImm(0);
+    sys.programs.push_back(b.build());
+  }
+  {
+    ProgramBuilder b("seqlock-reader");
+    LocalId s1 = b.local("s1");
+    LocalId dd = b.local("d");
+    LocalId s2 = b.local("s2");
+    b.readReg(s1, seq);
+    b.readReg(dd, d);
+    b.readReg(s2, seq);
+    b.fence();
+    b.ret(b.add(b.mul(b.L(s1), b.imm(100)),
+                b.add(b.mul(b.L(dd), b.imm(10)), b.L(s2))));
+    sys.programs.push_back(b.build());
+  }
+  return sys;
+}
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,53 @@
+// Canonical litmus tests over the simulated machine.
+//
+// These pin down exactly which reorderings each MemoryModel admits and
+// are the machine-checked basis of the TSO/PSO separation experiment
+// (EXP-SEP): message passing is correct with zero fences under TSO and
+// broken under PSO.
+#pragma once
+
+#include <string>
+
+#include "sim/machine.h"
+
+namespace fencetrade::sim {
+
+/// Store buffering (SB):
+///   p0: X=1; read Y -> returns y     p1: Y=1; read X -> returns x
+/// Outcome (0,0) is forbidden under SC, allowed under TSO and PSO.
+/// With `fenceAfterWrite`, the fence flushes the store before the read
+/// and (0,0) is forbidden under every model.
+System litmusSB(MemoryModel m, bool fenceAfterWrite);
+
+/// Message passing (MP):
+///   p0: D=1; F=1; returns 0          p1: f=read F; d=read D; returns 2f+d
+/// Outcome 2 (flag seen, data stale) is forbidden under SC and TSO,
+/// allowed under PSO.  With `fenceBetweenWrites` it is forbidden under
+/// every model — the minimal PSO repair.
+System litmusMP(MemoryModel m, bool fenceBetweenWrites);
+
+/// Coherence of reads of one location (CoRR):
+///   p0: X=1; returns 0               p1: a=read X; b=read X; returns 2a+b
+/// Outcome 2 (new value then old value) is forbidden under every model.
+System litmusCoRR(MemoryModel m);
+
+/// Write-order visibility with three writes (the "batch" shape the
+/// paper's encoding exploits):
+///   p0: A=1; B=1; C=1; returns 0
+///   p1: c=read C; a=read A; returns 2c+a
+/// Outcome 2 (latest write visible, earliest not) requires write
+/// reordering: forbidden under SC and TSO, allowed under PSO.
+System litmusWriteBatch(MemoryModel m);
+
+/// Seqlock publication (single writer, one-shot reader):
+///   p0: SEQ=1; D=1; SEQ=2; fence; returns 0
+///   p1: s1=read SEQ; d=read D; s2=read SEQ; returns s1*100 + d*10 + s2
+/// The reader accepts iff s1 == s2 == even.  Outcome 202 (accepted read
+/// with stale data) requires the SEQ=2 commit to overtake the D commit:
+/// forbidden under SC and TSO, allowed under PSO — the simulator face of
+/// native::SeqLock's ordering requirement.  Note the PSO write buffer
+/// holds at most one pending write per register, so SEQ=2 *replaces*
+/// the pending SEQ=1 (the paper's WB update rule).
+System litmusSeqlock(MemoryModel m);
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,320 @@
+#include "sim/machine.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fencetrade::sim {
+
+namespace {
+
+// Budget for free local computation between two model-visible operations;
+// exceeding it means the program loops without touching shared memory.
+constexpr int kPureStepLimit = 1 << 20;
+
+/// Run Set/Jz/Jmp until the process is poised at a model-visible
+/// operation, then cache it in ps.pending.
+void advanceToOp(const Program& prog, ProcState& ps) {
+  if (ps.final || ps.hasPending) return;
+  int guard = 0;
+  for (;;) {
+    FT_CHECK(++guard < kPureStepLimit)
+        << "program " << prog.name << " loops without shared-memory steps";
+    FT_CHECK(ps.pc >= 0 && static_cast<std::size_t>(ps.pc) < prog.code.size())
+        << "pc out of range in " << prog.name;
+    const Instr& ins = prog.code[static_cast<std::size_t>(ps.pc)];
+    switch (ins.kind) {
+      case InstrKind::Set:
+        ps.locals[static_cast<std::size_t>(ins.a)] =
+            prog.eval(ins.expr0, ps.locals);
+        ++ps.pc;
+        break;
+      case InstrKind::Jz:
+        ps.pc = prog.eval(ins.expr0, ps.locals) == 0 ? ins.a : ps.pc + 1;
+        break;
+      case InstrKind::Jmp:
+        ps.pc = ins.a;
+        break;
+      case InstrKind::Read:
+        ps.pending = {InstrKind::Read,
+                      static_cast<Reg>(prog.eval(ins.expr0, ps.locals)), 0,
+                      0, ins.a};
+        ps.hasPending = true;
+        return;
+      case InstrKind::Write:
+        ps.pending = {InstrKind::Write,
+                      static_cast<Reg>(prog.eval(ins.expr0, ps.locals)),
+                      prog.eval(ins.expr1, ps.locals), 0, -1};
+        ps.hasPending = true;
+        return;
+      case InstrKind::Fence:
+        ps.pending = {InstrKind::Fence, kNoReg, 0, 0, -1};
+        ps.hasPending = true;
+        return;
+      case InstrKind::Cas:
+        ps.pending = {InstrKind::Cas,
+                      static_cast<Reg>(prog.eval(ins.expr0, ps.locals)),
+                      prog.eval(ins.expr2, ps.locals),
+                      prog.eval(ins.expr1, ps.locals), ins.a};
+        ps.hasPending = true;
+        return;
+      case InstrKind::Faa:
+        // val carries the delta; expected is unused.
+        ps.pending = {InstrKind::Faa,
+                      static_cast<Reg>(prog.eval(ins.expr0, ps.locals)),
+                      prog.eval(ins.expr1, ps.locals), 0, ins.a};
+        ps.hasPending = true;
+        return;
+      case InstrKind::Return:
+        ps.pending = {InstrKind::Return, kNoReg,
+                      prog.eval(ins.expr0, ps.locals), 0, -1};
+        ps.hasPending = true;
+        return;
+    }
+  }
+}
+
+/// Commit the buffered write (r, ·) of process p; classifies locality by
+/// the paper's commit rule and updates the ownership state.
+Step doCommit(const System& sys, Config& cfg, ProcId p, Reg r) {
+  Value v = cfg.buffers[static_cast<std::size_t>(p)].commitReg(r);
+  auto owner = cfg.lastCommitter.find(r);
+  const bool dsmRemote = sys.layout.owner(r) != p;
+  const bool ccRemote =
+      owner == cfg.lastCommitter.end() || owner->second != p;
+  cfg.writeMem(r, v);
+  cfg.lastCommitter[r] = p;
+  Step s{p, StepKind::Commit, r, v, false, dsmRemote, ccRemote, false};
+  s.remote = dsmRemote && ccRemote;
+  return s;
+}
+
+}  // namespace
+
+const char* stepKindName(StepKind k) {
+  switch (k) {
+    case StepKind::Read: return "read";
+    case StepKind::Write: return "write";
+    case StepKind::Fence: return "fence";
+    case StepKind::Return: return "return";
+    case StepKind::Commit: return "commit";
+    case StepKind::Cas: return "cas";
+  }
+  return "?";
+}
+
+std::string Step::toString(const MemoryLayout& layout) const {
+  std::ostringstream out;
+  out << "p" << p << " " << stepKindName(kind);
+  if (kind == StepKind::Read || kind == StepKind::Write ||
+      kind == StepKind::Commit) {
+    out << " " << layout.name(reg) << " = " << val;
+  } else if (kind == StepKind::Cas) {
+    out << " " << layout.name(reg) << (casApplied ? " [swapped]" : " [failed]");
+  } else if (kind == StepKind::Return) {
+    out << " " << val;
+  }
+  if (remote) out << " [RMR]";
+  if (fromBuffer) out << " [fwd]";
+  return out.str();
+}
+
+Config initialConfig(const System& sys) {
+  FT_CHECK(sys.n() > 0) << "system has no processes";
+  Config cfg;
+  cfg.procs.resize(static_cast<std::size_t>(sys.n()));
+  cfg.buffers.assign(static_cast<std::size_t>(sys.n()),
+                     WriteBuffer(sys.model));
+  cfg.seen.resize(static_cast<std::size_t>(sys.n()));
+  for (int p = 0; p < sys.n(); ++p) {
+    auto& ps = cfg.procs[static_cast<std::size_t>(p)];
+    ps.locals.assign(
+        static_cast<std::size_t>(sys.programs[static_cast<std::size_t>(p)]
+                                     .numLocals),
+        0);
+    advanceToOp(sys.programs[static_cast<std::size_t>(p)], ps);
+  }
+  return cfg;
+}
+
+const Op* nextOp(const Config& cfg, ProcId p) {
+  const ProcState& ps = cfg.procs[static_cast<std::size_t>(p)];
+  if (ps.final) return nullptr;
+  FT_CHECK(ps.hasPending) << "process " << p << " has no pending operation";
+  return &ps.pending;
+}
+
+bool allFinal(const Config& cfg) {
+  return cfg.nbFinal == static_cast<int>(cfg.procs.size());
+}
+
+std::optional<Step> execElem(const System& sys, Config& cfg, ProcId p,
+                             Reg r) {
+  FT_CHECK(p >= 0 && p < sys.n()) << "execElem: bad process id " << p;
+  ProcState& ps = cfg.procs[static_cast<std::size_t>(p)];
+  if (ps.final) return std::nullopt;
+
+  WriteBuffer& wb = cfg.buffers[static_cast<std::size_t>(p)];
+
+  // Rule 2: an explicitly named committable write commits.
+  if (r != kNoReg && wb.canCommitReg(r)) {
+    return doCommit(sys, cfg, p, r);
+  }
+
+  const Op& op = ps.pending;
+
+  // Rule 3: a fence — or a CAS, which drains the buffer like a LOCK'd
+  // RMW — with a non-empty buffer forces a commit (smallest register
+  // under PSO, oldest entry under TSO).
+  if ((op.kind == InstrKind::Fence || op.kind == InstrKind::Cas ||
+       op.kind == InstrKind::Faa) &&
+      !wb.empty()) {
+    return doCommit(sys, cfg, p, wb.nextForcedReg());
+  }
+
+  // Rule 4: perform the pending operation.
+  const Program& prog = sys.programs[static_cast<std::size_t>(p)];
+  auto& seen = cfg.seen[static_cast<std::size_t>(p)];
+  Step step{};
+  step.p = p;
+
+  switch (op.kind) {
+    case InstrKind::Read: {
+      auto fwd = wb.forwardValue(op.reg);
+      const Value v = fwd ? *fwd : cfg.readMem(op.reg);
+      step.kind = StepKind::Read;
+      step.reg = op.reg;
+      step.val = v;
+      step.fromBuffer = fwd.has_value();
+      step.remoteDsm = sys.layout.owner(op.reg) != p;
+      step.remoteCc = seen.count({op.reg, v}) == 0;  // value-cache miss
+      step.remote = step.remoteDsm && step.remoteCc;
+      seen.insert({op.reg, v});
+      ps.locals[static_cast<std::size_t>(op.dst)] = v;
+      break;
+    }
+    case InstrKind::Write: {
+      seen.insert({op.reg, op.val});
+      step.kind = StepKind::Write;
+      step.reg = op.reg;
+      step.val = op.val;
+      if (sys.model == MemoryModel::SC) {
+        // No buffering: the write commits here and is classified by the
+        // commit rule (segment-local or line ownership).
+        auto owner = cfg.lastCommitter.find(op.reg);
+        step.remoteDsm = sys.layout.owner(op.reg) != p;
+        step.remoteCc =
+            owner == cfg.lastCommitter.end() || owner->second != p;
+        step.remote = step.remoteDsm && step.remoteCc;
+        cfg.writeMem(op.reg, op.val);
+        cfg.lastCommitter[op.reg] = p;
+      } else {
+        wb.addWrite(op.reg, op.val);
+      }
+      break;
+    }
+    case InstrKind::Fence:
+      // Buffer is empty here (rule 3 handled the other case): a fence
+      // step is local and has no memory effect.
+      step.kind = StepKind::Fence;
+      break;
+    case InstrKind::Cas: {
+      // Atomic compare-and-swap against shared memory (buffer is empty
+      // here).  Like a MESI RMW, a CAS acquires the line exclusively
+      // whether or not the swap applies, so locality follows the
+      // ownership rule in both cases and the CAS steals the line: a
+      // spinning CAS on a held lock is why TAS generates coherence
+      // traffic that TTAS's read spin does not.
+      const Value cur = cfg.readMem(op.reg);
+      const bool applied = (cur == op.expected);
+      step.kind = StepKind::Cas;
+      step.reg = op.reg;
+      step.val = cur;  // CAS returns the old value
+      step.casApplied = applied;
+      step.remoteDsm = sys.layout.owner(op.reg) != p;
+      auto owner = cfg.lastCommitter.find(op.reg);
+      step.remoteCc =
+          owner == cfg.lastCommitter.end() || owner->second != p;
+      step.remote = step.remoteDsm && step.remoteCc;
+      if (applied) {
+        cfg.writeMem(op.reg, op.val);
+        seen.insert({op.reg, op.val});
+      }
+      cfg.lastCommitter[op.reg] = p;  // exclusive access either way
+      seen.insert({op.reg, cur});
+      ps.locals[static_cast<std::size_t>(op.dst)] = cur;
+      break;
+    }
+    case InstrKind::Faa: {
+      // Atomic fetch-and-add: same exclusive-line semantics as Cas.
+      const Value cur = cfg.readMem(op.reg);
+      step.kind = StepKind::Cas;  // accounted as an RMW step
+      step.reg = op.reg;
+      step.val = cur;
+      step.casApplied = true;
+      step.remoteDsm = sys.layout.owner(op.reg) != p;
+      auto owner = cfg.lastCommitter.find(op.reg);
+      step.remoteCc =
+          owner == cfg.lastCommitter.end() || owner->second != p;
+      step.remote = step.remoteDsm && step.remoteCc;
+      cfg.writeMem(op.reg, cur + op.val);
+      cfg.lastCommitter[op.reg] = p;
+      seen.insert({op.reg, cur});
+      seen.insert({op.reg, cur + op.val});
+      ps.locals[static_cast<std::size_t>(op.dst)] = cur;
+      break;
+    }
+    case InstrKind::Return: {
+      ps.final = true;
+      ps.retval = op.val;
+      ps.hasPending = false;
+      ++cfg.nbFinal;
+      step.kind = StepKind::Return;
+      step.val = op.val;
+      return step;
+    }
+    default:
+      FT_CHECK(false) << "pending op has non-operation kind";
+  }
+
+  ++ps.pc;
+  ps.hasPending = false;
+  advanceToOp(prog, ps);
+  return step;
+}
+
+StepCounts countSteps(const Execution& e, int n) {
+  StepCounts c;
+  c.fencesPerProc.assign(static_cast<std::size_t>(n), 0);
+  c.rmrsPerProc.assign(static_cast<std::size_t>(n), 0);
+  for (const Step& s : e) {
+    ++c.steps;
+    switch (s.kind) {
+      case StepKind::Read: ++c.reads; break;
+      case StepKind::Write: ++c.writes; break;
+      case StepKind::Commit: ++c.commits; break;
+      case StepKind::Cas: ++c.casSteps; break;
+      case StepKind::Fence:
+        ++c.fences;
+        ++c.fencesPerProc[static_cast<std::size_t>(s.p)];
+        break;
+      case StepKind::Return: break;
+    }
+    if (s.remote) {
+      ++c.rmrs;
+      ++c.rmrsPerProc[static_cast<std::size_t>(s.p)];
+    }
+    if (s.remoteDsm) ++c.rmrsDsm;
+    if (s.remoteCc) ++c.rmrsCc;
+  }
+  return c;
+}
+
+bool inCriticalSection(const System& sys, const Config& cfg, ProcId p) {
+  const Program& prog = sys.programs[static_cast<std::size_t>(p)];
+  if (prog.csBegin < 0) return false;
+  const ProcState& ps = cfg.procs[static_cast<std::size_t>(p)];
+  return !ps.final && ps.pc >= prog.csBegin && ps.pc < prog.csEnd;
+}
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,102 @@
+// One-step execution semantics Exec_A(C; (p, R)) (paper, Section 2) and
+// the combined DSM+CC RMR classification of steps.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/ids.h"
+#include "sim/layout.h"
+#include "sim/program.h"
+
+namespace fencetrade::sim {
+
+/// A complete system: memory layout, one program per process, and the
+/// memory model the machine runs under.
+struct System {
+  MemoryModel model = MemoryModel::PSO;
+  MemoryLayout layout;
+  std::vector<Program> programs;
+
+  int n() const { return static_cast<int>(programs.size()); }
+};
+
+enum class StepKind : std::uint8_t {
+  Read,
+  Write,
+  Fence,
+  Return,
+  Commit,
+  Cas,  ///< comparison primitive: atomic RMW against shared memory
+};
+
+const char* stepKindName(StepKind k);
+
+/// One step of an execution, with its RMR classification.
+///
+/// The paper's lower bound is proved in the *combined* DSM+CC model: a
+/// step is remote only if it is remote under BOTH classic accountings
+/// (not in the process's memory segment AND a cache miss / line-owner
+/// change), so `remote = remoteDsm && remoteCc`.  The individual flags
+/// are kept for the accounting ablation (bench_ablation_rmr).
+struct Step {
+  ProcId p = -1;
+  StepKind kind = StepKind::Fence;
+  Reg reg = kNoReg;    // Read/Write/Commit target
+  Value val = 0;       // value read / written / committed / returned
+  bool remote = false;       // RMR under the combined DSM+CC model
+  bool remoteDsm = false;    // register not in the process's segment
+  bool remoteCc = false;     // cache miss (reads) / line-owner change
+  bool fromBuffer = false;   // reads only: served from own write-buffer
+  bool casApplied = false;   // Cas only: the swap succeeded
+
+  std::string toString(const MemoryLayout& layout) const;
+};
+
+using Execution = std::vector<Step>;
+
+/// The initial configuration C_init: programs at pc 0, empty buffers,
+/// all registers holding the initial value.
+Config initialConfig(const System& sys);
+
+/// next_p(C): the operation process p is poised to execute, or nullptr if
+/// p is in a final state.
+const Op* nextOp(const Config& cfg, ProcId p);
+
+/// True when every process is in a final state.
+bool allFinal(const Config& cfg);
+
+/// Execute one schedule element (p, r) — the paper's Exec semantics:
+///   1. p final                                  -> no step (nullopt)
+///   2. r names a committable buffered write     -> commit step
+///   3. p poised at a fence OR a CAS with a non-empty buffer -> forced
+///      commit of the smallest buffered register (TSO: the oldest entry;
+///      a CAS, like a LOCK'd RMW, drains the buffer before executing)
+///   4. otherwise                                -> p's pending operation
+/// Under SC a Write commits immediately (classified by the commit rule).
+std::optional<Step> execElem(const System& sys, Config& cfg, ProcId p,
+                             Reg r);
+
+/// Aggregate step counts of an execution.
+struct StepCounts {
+  std::int64_t steps = 0;
+  std::int64_t fences = 0;   // β(E)
+  std::int64_t rmrs = 0;     // ρ(E): remote steps (combined model)
+  std::int64_t rmrsDsm = 0;  // RMRs under DSM-only accounting
+  std::int64_t rmrsCc = 0;   // RMRs under CC-only accounting
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t commits = 0;
+  std::int64_t casSteps = 0;  ///< comparison-primitive operations
+  std::vector<std::int64_t> fencesPerProc;
+  std::vector<std::int64_t> rmrsPerProc;
+};
+
+StepCounts countSteps(const Execution& e, int n);
+
+/// Is process p's program counter inside its critical-section range?
+bool inCriticalSection(const System& sys, const Config& cfg, ProcId p);
+
+}  // namespace fencetrade::sim

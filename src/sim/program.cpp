@@ -1,0 +1,230 @@
+#include "sim/program.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fencetrade::sim {
+
+Value Program::eval(ExprId e, const std::vector<Value>& locals) const {
+  FT_CHECK(e >= 0 && static_cast<std::size_t>(e) < exprs.size())
+      << "eval: expression id " << e << " out of range in " << name;
+  const ExprNode& n = exprs[static_cast<std::size_t>(e)];
+  switch (n.op) {
+    case ExprOp::Imm:
+      return n.imm;
+    case ExprOp::Local:
+      FT_CHECK(n.a >= 0 && static_cast<std::size_t>(n.a) < locals.size())
+          << "eval: local " << n.a << " out of range in " << name;
+      return locals[static_cast<std::size_t>(n.a)];
+    case ExprOp::LNot:
+      return eval(n.a, locals) == 0 ? 1 : 0;
+    default:
+      break;
+  }
+  const Value x = eval(n.a, locals);
+  const Value y = eval(n.b, locals);
+  switch (n.op) {
+    case ExprOp::Add: return x + y;
+    case ExprOp::Sub: return x - y;
+    case ExprOp::Mul: return x * y;
+    case ExprOp::Div:
+      FT_CHECK(y != 0) << "eval: division by zero in " << name;
+      return x / y;
+    case ExprOp::Mod:
+      FT_CHECK(y != 0) << "eval: modulo by zero in " << name;
+      return x % y;
+    case ExprOp::Min: return x < y ? x : y;
+    case ExprOp::Max: return x > y ? x : y;
+    case ExprOp::Lt: return x < y ? 1 : 0;
+    case ExprOp::Le: return x <= y ? 1 : 0;
+    case ExprOp::Eq: return x == y ? 1 : 0;
+    case ExprOp::Ne: return x != y ? 1 : 0;
+    case ExprOp::LAnd: return (x != 0 && y != 0) ? 1 : 0;
+    case ExprOp::LOr: return (x != 0 || y != 0) ? 1 : 0;
+    default:
+      FT_CHECK(false) << "eval: unhandled operator";
+      return 0;
+  }
+}
+
+namespace {
+
+void checkExpr(const Program& p, ExprId e) {
+  FT_CHECK(e >= 0 && static_cast<std::size_t>(e) < p.exprs.size())
+      << "validate: expression id " << e << " out of range in " << p.name;
+  const ExprNode& n = p.exprs[static_cast<std::size_t>(e)];
+  switch (n.op) {
+    case ExprOp::Imm:
+      return;
+    case ExprOp::Local:
+      FT_CHECK(n.a >= 0 && n.a < p.numLocals)
+          << "validate: local " << n.a << " out of range in " << p.name;
+      return;
+    case ExprOp::LNot:
+      // Children must have smaller ids — the pool is built bottom-up, so
+      // this guarantees acyclicity.
+      FT_CHECK(n.a < e) << "validate: forward expr reference in " << p.name;
+      checkExpr(p, n.a);
+      return;
+    default:
+      FT_CHECK(n.a < e && n.b < e)
+          << "validate: forward expr reference in " << p.name;
+      checkExpr(p, n.a);
+      checkExpr(p, n.b);
+      return;
+  }
+}
+
+}  // namespace
+
+bool Program::usesCas() const {
+  for (const Instr& ins : code) {
+    if (ins.kind == InstrKind::Cas || ins.kind == InstrKind::Faa) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Program::validate() const {
+  FT_CHECK(!code.empty()) << "validate: empty program " << name;
+  FT_CHECK(numLocals >= 0);
+  bool sawReturn = false;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Instr& ins = code[i];
+    switch (ins.kind) {
+      case InstrKind::Set:
+        FT_CHECK(ins.a >= 0 && ins.a < numLocals)
+            << "validate: Set dst out of range in " << name << " @" << i;
+        checkExpr(*this, ins.expr0);
+        break;
+      case InstrKind::Read:
+        FT_CHECK(ins.a >= 0 && ins.a < numLocals)
+            << "validate: Read dst out of range in " << name << " @" << i;
+        checkExpr(*this, ins.expr0);
+        break;
+      case InstrKind::Cas:
+        FT_CHECK(ins.a >= 0 && ins.a < numLocals)
+            << "validate: Cas dst out of range in " << name << " @" << i;
+        checkExpr(*this, ins.expr0);
+        checkExpr(*this, ins.expr1);
+        checkExpr(*this, ins.expr2);
+        break;
+      case InstrKind::Faa:
+        FT_CHECK(ins.a >= 0 && ins.a < numLocals)
+            << "validate: Faa dst out of range in " << name << " @" << i;
+        checkExpr(*this, ins.expr0);
+        checkExpr(*this, ins.expr1);
+        break;
+      case InstrKind::Write:
+        checkExpr(*this, ins.expr0);
+        checkExpr(*this, ins.expr1);
+        break;
+      case InstrKind::Fence:
+        break;
+      case InstrKind::Return:
+        checkExpr(*this, ins.expr0);
+        sawReturn = true;
+        break;
+      case InstrKind::Jz:
+        checkExpr(*this, ins.expr0);
+        [[fallthrough]];
+      case InstrKind::Jmp:
+        FT_CHECK(ins.a >= 0 &&
+                 static_cast<std::size_t>(ins.a) < code.size())
+            << "validate: jump target out of range in " << name << " @" << i;
+        break;
+    }
+  }
+  FT_CHECK(sawReturn) << "validate: program " << name << " has no Return";
+  // Falling off the end of the code is an error at run time; the last
+  // instruction must be an unconditional transfer or a Return.
+  const Instr& last = code.back();
+  FT_CHECK(last.kind == InstrKind::Return || last.kind == InstrKind::Jmp)
+      << "validate: program " << name << " can fall off the end";
+  if (csBegin >= 0 || csEnd >= 0) {
+    FT_CHECK(csBegin >= 0 && csEnd >= csBegin &&
+             static_cast<std::size_t>(csEnd) <= code.size())
+        << "validate: bad critical-section range in " << name;
+  }
+}
+
+namespace {
+
+std::string exprToString(const Program& p, ExprId e) {
+  const ExprNode& n = p.exprs[static_cast<std::size_t>(e)];
+  auto bin = [&](const char* op) {
+    return "(" + exprToString(p, n.a) + " " + op + " " +
+           exprToString(p, n.b) + ")";
+  };
+  switch (n.op) {
+    case ExprOp::Imm: return std::to_string(n.imm);
+    case ExprOp::Local: return "L" + std::to_string(n.a);
+    case ExprOp::Add: return bin("+");
+    case ExprOp::Sub: return bin("-");
+    case ExprOp::Mul: return bin("*");
+    case ExprOp::Div: return bin("/");
+    case ExprOp::Mod: return bin("%");
+    case ExprOp::Min: return bin("min");
+    case ExprOp::Max: return bin("max");
+    case ExprOp::Lt: return bin("<");
+    case ExprOp::Le: return bin("<=");
+    case ExprOp::Eq: return bin("==");
+    case ExprOp::Ne: return bin("!=");
+    case ExprOp::LAnd: return bin("&&");
+    case ExprOp::LOr: return bin("||");
+    case ExprOp::LNot: return "!" + exprToString(p, n.a);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Program::disassemble() const {
+  std::ostringstream out;
+  out << "program " << name << " (locals=" << numLocals << ")\n";
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Instr& ins = code[i];
+    out << "  " << i << ": ";
+    if (static_cast<std::int32_t>(i) == csBegin) out << "[cs-begin] ";
+    switch (ins.kind) {
+      case InstrKind::Set:
+        out << "L" << ins.a << " = " << exprToString(*this, ins.expr0);
+        break;
+      case InstrKind::Read:
+        out << "L" << ins.a << " = read(" << exprToString(*this, ins.expr0)
+            << ")";
+        break;
+      case InstrKind::Write:
+        out << "write(" << exprToString(*this, ins.expr0) << ", "
+            << exprToString(*this, ins.expr1) << ")";
+        break;
+      case InstrKind::Fence:
+        out << "fence()";
+        break;
+      case InstrKind::Cas:
+        out << "L" << ins.a << " = cas(" << exprToString(*this, ins.expr0)
+            << ", " << exprToString(*this, ins.expr1) << ", "
+            << exprToString(*this, ins.expr2) << ")";
+        break;
+      case InstrKind::Faa:
+        out << "L" << ins.a << " = faa(" << exprToString(*this, ins.expr0)
+            << ", " << exprToString(*this, ins.expr1) << ")";
+        break;
+      case InstrKind::Return:
+        out << "return " << exprToString(*this, ins.expr0);
+        break;
+      case InstrKind::Jz:
+        out << "jz " << exprToString(*this, ins.expr0) << " -> " << ins.a;
+        break;
+      case InstrKind::Jmp:
+        out << "jmp -> " << ins.a;
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fencetrade::sim

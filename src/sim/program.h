@@ -1,0 +1,110 @@
+// The step-program representation executed by the simulated machine.
+//
+// Algorithms (Bakery, GT_f, Count, litmus snippets, ...) are compiled into
+// this small register-machine IR.  A process's whole dynamic state is
+// (pc, locals) — trivially copyable and hashable, which is what the
+// encoder's replay, the solo-termination decider and the exhaustive
+// explorer all require (DESIGN.md §6).
+//
+// Shared-memory operations (READ/WRITE/FENCE/RETURN) are the only
+// model-visible steps; SET/JZ/JMP are free local computation, matching the
+// paper's cost model where only memory operations are steps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ids.h"
+
+namespace fencetrade::sim {
+
+/// Index of a local variable within a program.
+using LocalId = int;
+
+/// Index into a Program's expression pool.
+using ExprId = int;
+
+/// Expression node operators.  Expressions read locals only (never shared
+/// memory), so they can be evaluated eagerly when an operation is decoded.
+enum class ExprOp : std::uint8_t {
+  Imm,    ///< constant (field imm)
+  Local,  ///< locals[a]
+  Add, Sub, Mul, Div, Mod, Min, Max,       // arithmetic (children a, b)
+  Lt, Le, Eq, Ne,                          // comparisons (1/0)
+  LAnd, LOr,                               // logical on (non)zero
+  LNot,                                    // logical not (child a)
+};
+
+struct ExprNode {
+  ExprOp op = ExprOp::Imm;
+  std::int32_t a = 0;  ///< child ExprId, or LocalId for Local
+  std::int32_t b = 0;  ///< child ExprId
+  Value imm = 0;       ///< constant for Imm
+};
+
+enum class InstrKind : std::uint8_t {
+  Set,     ///< locals[a] = eval(expr0)
+  Read,    ///< locals[a] = READ(eval(expr0))           — model-visible
+  Write,   ///< WRITE(eval(expr0), eval(expr1))         — model-visible
+  Fence,   ///< FENCE()                                  — model-visible
+  Cas,     ///< locals[a] = CAS(eval(expr0), eval(expr1), eval(expr2)),
+           ///< returning the OLD value — model-visible.  A comparison
+           ///< primitive (paper, Section 6): executes atomically against
+           ///< shared memory and, like a real LOCK'd RMW, drains the
+           ///< issuing process's write buffer first.
+  Faa,     ///< locals[a] = fetch-and-add(eval(expr0), eval(expr1)) —
+           ///< model-visible.  An *arithmetic* RMW: strictly stronger
+           ///< than the comparison primitives the paper's extension
+           ///< covers, included to exhibit the boundary of Theorem 4.2
+           ///< (a hardware FAA implements the FAI object with O(1)
+           ///< everything).  Same buffer-drain semantics as Cas.
+  Return,  ///< RETURN(eval(expr0)); process final       — model-visible
+  Jz,      ///< if eval(expr0) == 0 goto a
+  Jmp,     ///< goto a
+};
+
+struct Instr {
+  InstrKind kind;
+  std::int32_t a = 0;      ///< dst local (Set/Read/Cas) or jump target
+  ExprId expr0 = -1;       ///< address / value / condition
+  ExprId expr1 = -1;       ///< value (Write) / expected (Cas)
+  ExprId expr2 = -1;       ///< new value (Cas)
+};
+
+/// An immutable compiled program.  Built by sim::ProgramBuilder.
+struct Program {
+  std::string name;
+  std::vector<Instr> code;
+  std::vector<ExprNode> exprs;
+  int numLocals = 0;
+
+  /// Critical-section pc range [csBegin, csEnd), or [-1, -1) if none.
+  /// Used by the explorer's mutual-exclusion check.
+  std::int32_t csBegin = -1;
+  std::int32_t csEnd = -1;
+
+  /// Doorway pc range [dwBegin, dwEnd) — the wait-free prefix of a lock
+  /// acquisition (Lamport's FCFS definition: if p completes its doorway
+  /// before q enters its doorway, p enters the CS first).  Optional.
+  std::int32_t dwBegin = -1;
+  std::int32_t dwEnd = -1;
+
+  /// Evaluate expression `e` against `locals`.
+  Value eval(ExprId e, const std::vector<Value>& locals) const;
+
+  /// Structural sanity: jump targets in range, expr children acyclic and
+  /// in range, locals in range, every path ends in Return.  Throws
+  /// CheckError on violation.
+  void validate() const;
+
+  /// True iff the program uses an RMW instruction (Cas/Faa) — such
+  /// programs are outside the read/write class the encoding
+  /// construction covers.
+  bool usesCas() const;
+
+  /// Human-readable disassembly (debugging aid).
+  std::string disassemble() const;
+};
+
+}  // namespace fencetrade::sim

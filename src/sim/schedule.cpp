@@ -1,0 +1,94 @@
+#include "sim/schedule.h"
+
+#include "util/check.h"
+
+namespace fencetrade::sim {
+
+bool runSolo(const System& sys, Config& cfg, ProcId p, Execution* out,
+             std::int64_t maxSteps) {
+  for (std::int64_t i = 0; i < maxSteps; ++i) {
+    if (cfg.procs[static_cast<std::size_t>(p)].final) return true;
+    auto step = execElem(sys, cfg, p, kNoReg);
+    FT_CHECK(step.has_value()) << "runSolo: no step for non-final process";
+    if (out) out->push_back(*step);
+  }
+  return cfg.procs[static_cast<std::size_t>(p)].final;
+}
+
+Execution runSequential(const System& sys, Config& cfg,
+                        const std::vector<ProcId>& order,
+                        std::int64_t maxStepsPerProc) {
+  Execution exec;
+  for (ProcId p : order) {
+    const bool done = runSolo(sys, cfg, p, &exec, maxStepsPerProc);
+    FT_CHECK(done) << "runSequential: process " << p
+                   << " did not finish (deadlock or step cap)";
+  }
+  return exec;
+}
+
+namespace {
+
+std::vector<ProcId> nonFinalProcs(const Config& cfg) {
+  std::vector<ProcId> out;
+  for (std::size_t p = 0; p < cfg.procs.size(); ++p) {
+    if (!cfg.procs[p].final) out.push_back(static_cast<ProcId>(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+RunResult runRandom(const System& sys, Config& cfg, util::Rng& rng,
+                    std::int64_t maxSteps, double commitProb) {
+  RunResult res;
+  for (std::int64_t i = 0; i < maxSteps; ++i) {
+    if (allFinal(cfg)) {
+      res.completed = true;
+      return res;
+    }
+    auto candidates = nonFinalProcs(cfg);
+    ProcId p = candidates[rng.below(candidates.size())];
+    Reg r = kNoReg;
+    const auto& wb = cfg.buffers[static_cast<std::size_t>(p)];
+    if (!wb.empty() && rng.uniform01() < commitProb) {
+      auto regs = wb.distinctRegs();
+      // Pick a random buffered register; only committable ones take
+      // effect (under TSO a non-front register falls through to rule 4).
+      Reg candidate = regs[rng.below(regs.size())];
+      if (wb.canCommitReg(candidate)) r = candidate;
+    }
+    auto step = execElem(sys, cfg, p, r);
+    FT_CHECK(step.has_value());
+    res.exec.push_back(*step);
+  }
+  res.completed = allFinal(cfg);
+  return res;
+}
+
+RunResult runRoundRobin(const System& sys, Config& cfg,
+                        std::int64_t maxSteps) {
+  RunResult res;
+  ProcId next = 0;
+  const int n = sys.n();
+  for (std::int64_t i = 0; i < maxSteps; ++i) {
+    if (allFinal(cfg)) {
+      res.completed = true;
+      return res;
+    }
+    // Advance to the next non-final process in cyclic order.
+    int scanned = 0;
+    while (cfg.procs[static_cast<std::size_t>(next)].final) {
+      next = (next + 1) % n;
+      FT_CHECK(++scanned <= n);
+    }
+    auto step = execElem(sys, cfg, next, kNoReg);
+    FT_CHECK(step.has_value());
+    res.exec.push_back(*step);
+    next = (next + 1) % n;
+  }
+  res.completed = allFinal(cfg);
+  return res;
+}
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,41 @@
+// Whole-execution drivers on top of execElem: solo runs, sequential
+// passages (the uncontended cost measurements of EXP-F1/EXP-BT), and
+// randomized / round-robin contended runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+#include "util/rng.h"
+
+namespace fencetrade::sim {
+
+/// Run process p alone (schedule elements (p, ⊥); buffered writes commit
+/// via the forced pre-fence rule).  Appends steps to *out when non-null.
+/// Returns true iff p reached a final state within maxSteps.
+bool runSolo(const System& sys, Config& cfg, ProcId p, Execution* out,
+             std::int64_t maxSteps = 1 << 24);
+
+/// Run the processes to completion one after the other in `order`
+/// (a fully sequential execution).  Throws if any run fails to finish.
+Execution runSequential(const System& sys, Config& cfg,
+                        const std::vector<ProcId>& order,
+                        std::int64_t maxStepsPerProc = 1 << 24);
+
+struct RunResult {
+  Execution exec;
+  bool completed = false;  // all processes final
+};
+
+/// Uniformly random scheduling: each step picks a random non-final
+/// process; with probability commitProb (and a non-empty buffer) the
+/// element names a random committable buffered register, else (p, ⊥).
+RunResult runRandom(const System& sys, Config& cfg, util::Rng& rng,
+                    std::int64_t maxSteps, double commitProb = 0.3);
+
+/// Deterministic round-robin over non-final processes, elements (p, ⊥).
+RunResult runRoundRobin(const System& sys, Config& cfg,
+                        std::int64_t maxSteps);
+
+}  // namespace fencetrade::sim

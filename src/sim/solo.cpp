@@ -1,0 +1,61 @@
+#include "sim/solo.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fencetrade::sim {
+
+namespace {
+
+std::uint64_t soloKey(const Config& cfg, ProcId p) {
+  std::uint64_t h = util::hashMix(0x50105010ULL, static_cast<std::uint64_t>(p));
+  h = util::hashCombine(h, cfg.procs[static_cast<std::size_t>(p)].hash());
+  h = util::hashCombine(h, cfg.buffers[static_cast<std::size_t>(p)].hash());
+  h = util::hashCombine(h, cfg.memHash);
+  return h;
+}
+
+// Generous backstop: reaching it means neither termination nor a state
+// cycle was found, which indicates a machine bug (solo runs are
+// deterministic over a finite state space unless values grow unboundedly).
+constexpr std::int64_t kSoloStepCap = 1 << 22;
+
+}  // namespace
+
+bool SoloTerminationDecider::terminates(const Config& cfg, ProcId p) {
+  ++queries_;
+  if (cfg.procs[static_cast<std::size_t>(p)].final) return true;
+
+  const std::uint64_t key = soloKey(cfg, p);
+  if (auto it = memo_.find(key); it != memo_.end()) {
+    ++memoHits_;
+    return it->second;
+  }
+
+  Config work = cfg;
+  std::unordered_set<std::uint64_t> visited;
+  visited.insert(key);
+
+  bool result = false;
+  for (std::int64_t i = 0;; ++i) {
+    FT_CHECK(i < kSoloStepCap)
+        << "solo run of process " << p
+        << " neither terminated nor cycled — machine bug?";
+    auto step = execElem(*sys_, work, p, kNoReg);
+    FT_CHECK(step.has_value());
+    if (work.procs[static_cast<std::size_t>(p)].final) {
+      result = true;
+      break;
+    }
+    if (!visited.insert(soloKey(work, p)).second) {
+      result = false;  // exact state repetition: p spins forever
+      break;
+    }
+  }
+  memo_.emplace(key, result);
+  return result;
+}
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,39 @@
+// Decides whether a process running alone from a configuration reaches a
+// final state — the predicate behind the decoder's "non-commit enabled"
+// classification (paper, Section 5.1) and weak obstruction-freedom.
+//
+// A p-only run's control flow does not depend on *when* buffered writes
+// commit (reads forward from the buffer and see the same values either
+// way), so the canonical solo schedule (p, ⊥), (p, ⊥), ... decides the
+// predicate exactly.  Solo runs are deterministic, hence divergence is
+// equivalent to a repeated (process state, buffer, memory) snapshot —
+// exact cycle detection, no step-cap heuristics.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/machine.h"
+
+namespace fencetrade::sim {
+
+class SoloTerminationDecider {
+ public:
+  explicit SoloTerminationDecider(const System* sys) : sys_(sys) {}
+
+  /// Does p running alone from cfg reach a final state?
+  bool terminates(const Config& cfg, ProcId p);
+
+  std::uint64_t queries() const { return queries_; }
+  std::uint64_t memoHits() const { return memoHits_; }
+
+ private:
+  const System* sys_;
+  // Keyed by a 64-bit mix of (p, p's state, p's buffer, memory hash);
+  // decoding replays are deterministic so keys repeat heavily.
+  std::unordered_map<std::uint64_t, bool> memo_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t memoHits_ = 0;
+};
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,72 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace fencetrade::sim {
+
+std::string formatExecution(const MemoryLayout& layout, const Execution& e) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    out << i << ": " << e[i].toString(layout) << "\n";
+  }
+  return out.str();
+}
+
+std::string summarizeExecution(const Execution& e) {
+  std::int64_t reads = 0, writes = 0, commits = 0, fences = 0, cas = 0,
+               rmrs = 0;
+  for (const Step& s : e) {
+    switch (s.kind) {
+      case StepKind::Read: ++reads; break;
+      case StepKind::Write: ++writes; break;
+      case StepKind::Commit: ++commits; break;
+      case StepKind::Fence: ++fences; break;
+      case StepKind::Cas: ++cas; break;
+      case StepKind::Return: break;
+    }
+    if (s.remote) ++rmrs;
+  }
+  std::ostringstream out;
+  out << e.size() << " steps, " << reads << " reads, " << writes
+      << " writes, " << commits << " commits, " << fences << " fences, "
+      << cas << " cas, rmr=" << rmrs;
+  return out.str();
+}
+
+std::string executionToCsv(const MemoryLayout& layout, const Execution& e) {
+  std::ostringstream out;
+  out << "step,proc,kind,reg,regName,value,remote,fromBuffer\n";
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    const Step& s = e[i];
+    out << i << "," << s.p << "," << stepKindName(s.kind) << ",";
+    if (s.reg == kNoReg) {
+      out << ",,";
+    } else {
+      out << s.reg << "," << layout.name(s.reg) << ",";
+    }
+    out << s.val << "," << (s.remote ? 1 : 0) << ","
+        << (s.fromBuffer ? 1 : 0) << "\n";
+  }
+  return out.str();
+}
+
+std::string perProcessCostTable(const Execution& e, int n) {
+  StepCounts counts = countSteps(e, n);
+  std::vector<std::int64_t> stepsBy(static_cast<std::size_t>(n), 0);
+  for (const Step& s : e) ++stepsBy[static_cast<std::size_t>(s.p)];
+
+  util::Table table({"proc", "steps", "fences", "RMRs"});
+  for (int p = 0; p < n; ++p) {
+    table.addRow({util::Table::cell(static_cast<std::int64_t>(p)),
+                  util::Table::cell(stepsBy[static_cast<std::size_t>(p)]),
+                  util::Table::cell(
+                      counts.fencesPerProc[static_cast<std::size_t>(p)]),
+                  util::Table::cell(
+                      counts.rmrsPerProc[static_cast<std::size_t>(p)])});
+  }
+  return table.render("per-process costs");
+}
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,29 @@
+// Execution trace formatting and export.
+//
+// Human-readable listings for debugging/witness display, and CSV export
+// so bench output can be plotted externally.
+#pragma once
+
+#include <string>
+
+#include "sim/machine.h"
+
+namespace fencetrade::sim {
+
+/// Multi-line listing: one numbered line per step, with RMR and
+/// forwarding annotations (Step::toString per line).
+std::string formatExecution(const MemoryLayout& layout, const Execution& e);
+
+/// Compact one-line summary: "N steps, R reads, W writes, C commits,
+/// F fences, X cas, rmr=K".
+std::string summarizeExecution(const Execution& e);
+
+/// CSV rows: step,proc,kind,reg,regName,value,remote,fromBuffer
+/// with a header line.
+std::string executionToCsv(const MemoryLayout& layout, const Execution& e);
+
+/// Per-process cost table rendered with util::Table: fences, RMRs and
+/// steps per process.
+std::string perProcessCostTable(const Execution& e, int n);
+
+}  // namespace fencetrade::sim

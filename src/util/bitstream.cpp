@@ -1,0 +1,70 @@
+#include "util/bitstream.h"
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace fencetrade::util {
+
+void BitWriter::writeBit(bool bit) {
+  const std::size_t byteIdx = bits_ / 8;
+  if (byteIdx >= bytes_.size()) bytes_.push_back(0);
+  if (bit) {
+    bytes_[byteIdx] =
+        static_cast<std::uint8_t>(bytes_[byteIdx] | (1u << (7 - bits_ % 8)));
+  }
+  ++bits_;
+}
+
+void BitWriter::writeBits(std::uint64_t value, int count) {
+  FT_CHECK(count >= 0 && count <= 64) << "writeBits: bad count " << count;
+  for (int i = count - 1; i >= 0; --i) {
+    writeBit(((value >> i) & 1u) != 0);
+  }
+}
+
+void BitWriter::writeGamma(std::uint64_t value) {
+  FT_CHECK(value >= 1) << "writeGamma requires value >= 1";
+  const int len = ilog2Floor(value);
+  for (int i = 0; i < len; ++i) writeBit(false);
+  writeBits(value, len + 1);
+}
+
+BitReader::BitReader(const std::vector<std::uint8_t>& bytes,
+                     std::size_t bitCount)
+    : bytes_(bytes), bits_(bitCount) {
+  FT_CHECK(bitCount <= bytes.size() * 8)
+      << "BitReader: bit count exceeds the buffer";
+}
+
+bool BitReader::readBit() {
+  FT_CHECK(pos_ < bits_) << "BitReader: read past the end";
+  const bool bit =
+      (bytes_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+  ++pos_;
+  return bit;
+}
+
+std::uint64_t BitReader::readBits(int count) {
+  FT_CHECK(count >= 0 && count <= 64) << "readBits: bad count " << count;
+  std::uint64_t v = 0;
+  for (int i = 0; i < count; ++i) {
+    v = (v << 1) | (readBit() ? 1u : 0u);
+  }
+  return v;
+}
+
+std::uint64_t BitReader::readGamma() {
+  int zeros = 0;
+  while (!readBit()) {
+    ++zeros;
+    FT_CHECK(zeros < 64) << "readGamma: malformed code";
+  }
+  // The leading 1 already consumed; read the remaining `zeros` bits.
+  std::uint64_t v = 1;
+  for (int i = 0; i < zeros; ++i) {
+    v = (v << 1) | (readBit() ? 1u : 0u);
+  }
+  return v;
+}
+
+}  // namespace fencetrade::util

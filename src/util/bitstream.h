@@ -1,0 +1,48 @@
+// Bit-granular writer/reader with Elias-gamma integer coding.
+//
+// Used by enc::serializeStacks to turn command stacks into literal
+// bitstrings, making the paper's code-length accounting measurable on
+// real bits rather than a formula.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fencetrade::util {
+
+class BitWriter {
+ public:
+  void writeBit(bool bit);
+  /// Write the low `count` bits of `value`, most significant first.
+  void writeBits(std::uint64_t value, int count);
+  /// Elias gamma code for value >= 1: floor(log2 v) zeros, then the
+  /// binary representation of v (which starts with a 1).
+  void writeGamma(std::uint64_t value);
+
+  std::size_t bitCount() const { return bits_; }
+  /// Final byte buffer (last byte zero-padded).
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::vector<std::uint8_t>& bytes, std::size_t bitCount);
+
+  bool readBit();
+  std::uint64_t readBits(int count);
+  std::uint64_t readGamma();
+
+  std::size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ >= bits_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fencetrade::util

@@ -1,0 +1,13 @@
+#include "util/check.h"
+
+namespace fencetrade::util {
+
+void raiseCheckFailure(const char* cond, const char* file, int line,
+                       const std::string& msg) {
+  std::ostringstream out;
+  out << "FT_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) out << " — " << msg;
+  throw CheckError(out.str());
+}
+
+}  // namespace fencetrade::util

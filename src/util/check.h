@@ -1,0 +1,56 @@
+// Checked-assertion macros used throughout the library.
+//
+// FT_CHECK fires in every build type: model/encoder invariants are the whole
+// point of this reproduction, so they are never compiled out.  Violations
+// throw (rather than abort) so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fencetrade::util {
+
+/// Thrown when an FT_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void raiseCheckFailure(const char* cond, const char* file,
+                                    int line, const std::string& msg);
+
+}  // namespace fencetrade::util
+
+/// Always-on invariant check.  Usage: FT_CHECK(x > 0) << "x was " << x;
+#define FT_CHECK(cond)                                                   \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::fencetrade::util::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+namespace fencetrade::util {
+
+/// Collects a streamed message and throws CheckError on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* cond, const char* file, int line)
+      : cond_(cond), file_(file), line_(line) {}
+
+  [[noreturn]] ~CheckFailureStream() noexcept(false) {
+    raiseCheckFailure(cond_, file_, line_, stream_.str());
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* cond_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fencetrade::util

@@ -1,0 +1,48 @@
+#include "util/mathx.h"
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+
+int ilog2Floor(std::uint64_t x) {
+  FT_CHECK(x >= 1) << "ilog2Floor requires x >= 1";
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+int ilog2Ceil(std::uint64_t x) {
+  FT_CHECK(x >= 1) << "ilog2Ceil requires x >= 1";
+  int f = ilog2Floor(x);
+  return (std::uint64_t{1} << f) == x ? f : f + 1;
+}
+
+std::int64_t ceilDiv(std::int64_t a, std::int64_t b) {
+  FT_CHECK(b > 0) << "ceilDiv requires b > 0";
+  return (a + b - 1) / b;
+}
+
+std::int64_t ipow(std::int64_t base, int exp) {
+  FT_CHECK(exp >= 0);
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) {
+    FT_CHECK(base == 0 || r <= INT64_MAX / (base < 0 ? -base : base))
+        << "ipow overflow: " << base << "^" << exp;
+    r *= base;
+  }
+  return r;
+}
+
+int branchingFactor(int n, int f) {
+  FT_CHECK(n >= 1 && f >= 1) << "branchingFactor(n=" << n << ", f=" << f << ")";
+  if (n == 1) return 2;  // degenerate single-process tree
+  for (int b = 2; b <= n; ++b) {
+    // Does b^f >= n?  Computed without overflow via saturation.
+    std::int64_t p = 1;
+    for (int i = 0; i < f && p < n; ++i) p *= b;
+    if (p >= n) return b;
+  }
+  return n;
+}
+
+}  // namespace fencetrade::util

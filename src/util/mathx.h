@@ -1,0 +1,25 @@
+// Small integer-math helpers used by the GT_f tree layout and the
+// tradeoff formulas (Equations (1) and (2) of the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace fencetrade::util {
+
+/// floor(log2(x)) for x >= 1.
+int ilog2Floor(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1; ilog2Ceil(1) == 0.
+int ilog2Ceil(std::uint64_t x);
+
+/// ceil(a / b) for b > 0.
+std::int64_t ceilDiv(std::int64_t a, std::int64_t b);
+
+/// base^exp with overflow check (throws CheckError on overflow).
+std::int64_t ipow(std::int64_t base, int exp);
+
+/// Smallest branching factor b >= 2 with b^f >= n — the arity of the
+/// generalized tournament tree GT_f (paper Section 3: b = ceil(n^{1/f})).
+int branchingFactor(int n, int f);
+
+}  // namespace fencetrade::util

@@ -1,0 +1,60 @@
+#include "util/permutation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+
+Permutation identityPermutation(int n) {
+  FT_CHECK(n >= 0);
+  Permutation pi(static_cast<std::size_t>(n));
+  std::iota(pi.begin(), pi.end(), 0);
+  return pi;
+}
+
+Permutation randomPermutation(int n, Rng& rng) {
+  Permutation pi = identityPermutation(n);
+  rng.shuffle(pi);
+  return pi;
+}
+
+bool isPermutation(const Permutation& pi) {
+  std::vector<bool> seen(pi.size(), false);
+  for (int v : pi) {
+    if (v < 0 || static_cast<std::size_t>(v) >= pi.size() || seen[v]) {
+      return false;
+    }
+    seen[v] = true;
+  }
+  return true;
+}
+
+Permutation inversePermutation(const Permutation& pi) {
+  FT_CHECK(isPermutation(pi)) << "inversePermutation: input not a permutation";
+  Permutation inv(pi.size());
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    inv[pi[i]] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+std::vector<Permutation> allPermutations(int n) {
+  FT_CHECK(n >= 0 && n <= 8) << "allPermutations limited to n <= 8, got " << n;
+  std::vector<Permutation> out;
+  Permutation pi = identityPermutation(n);
+  do {
+    out.push_back(pi);
+  } while (std::next_permutation(pi.begin(), pi.end()));
+  return out;
+}
+
+double log2Factorial(int n) {
+  double bits = 0.0;
+  for (int k = 2; k <= n; ++k) bits += std::log2(static_cast<double>(k));
+  return bits;
+}
+
+}  // namespace fencetrade::util

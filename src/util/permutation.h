@@ -1,0 +1,36 @@
+// Permutations over [n] = {0, ..., n-1}.
+//
+// The lower bound of the paper constructs one execution per permutation of
+// process ids; these helpers generate, validate and enumerate them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fencetrade::util {
+
+using Permutation = std::vector<int>;
+
+/// The identity permutation of [n].
+Permutation identityPermutation(int n);
+
+/// A uniformly random permutation of [n].
+Permutation randomPermutation(int n, Rng& rng);
+
+/// True iff `pi` is a permutation of [pi.size()].
+bool isPermutation(const Permutation& pi);
+
+/// Inverse permutation: result[pi[i]] == i.
+Permutation inversePermutation(const Permutation& pi);
+
+/// All n! permutations of [n] in lexicographic order; n must be small
+/// (n <= 8) — used by exhaustive tests.
+std::vector<Permutation> allPermutations(int n);
+
+/// log2(n!) via the exact sum of logs — the information-theoretic bit
+/// budget the paper's encoding argument compares against.
+double log2Factorial(int n);
+
+}  // namespace fencetrade::util

@@ -1,0 +1,56 @@
+// Deterministic, seedable PRNG (xoshiro256**) for schedules and workloads.
+//
+// std::mt19937 distributions are not reproducible across standard library
+// implementations; every randomized experiment in this repo goes through
+// this generator so results are bit-stable given a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fencetrade::util {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound); bound must be > 0.  Uses rejection sampling,
+  /// so there is no modulo bias.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 step; also used to seed Rng and as a hash mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mix a value into a running 64-bit hash (order-sensitive).
+inline std::uint64_t hashCombine(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t s = h + 0x9e3779b97f4a7c15ULL + v;
+  return splitmix64(s);
+}
+
+/// Stateless mix of two words (order-sensitive).
+std::uint64_t hashMix(std::uint64_t a, std::uint64_t b);
+
+}  // namespace fencetrade::util

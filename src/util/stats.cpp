@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::min() const {
+  FT_CHECK(count_ > 0) << "Accumulator::min on empty accumulator";
+  return min_;
+}
+
+double Accumulator::max() const {
+  FT_CHECK(count_ > 0) << "Accumulator::max on empty accumulator";
+  return max_;
+}
+
+double Accumulator::mean() const {
+  FT_CHECK(count_ > 0) << "Accumulator::mean on empty accumulator";
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  FT_CHECK(count_ > 0) << "Accumulator::variance on empty accumulator";
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string Accumulator::summary() const {
+  std::ostringstream out;
+  if (count_ == 0) {
+    out << "(empty)";
+  } else {
+    out.precision(3);
+    out << std::fixed << mean() << " ± " << stddev() << " [" << min() << ", "
+        << max() << "] (n=" << count_ << ")";
+  }
+  return out.str();
+}
+
+}  // namespace fencetrade::util

@@ -1,0 +1,34 @@
+// Streaming statistics accumulator for benchmark measurements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fencetrade::util {
+
+/// Welford-style accumulator: count, min, max, mean, sample stddev.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// "mean ± stddev [min, max] (n=count)" — for bench table cells.
+  std::string summary() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace fencetrade::util

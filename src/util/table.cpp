@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FT_CHECK(!header_.empty()) << "Table requires at least one column";
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  FT_CHECK(row.size() == header_.size())
+      << "row has " << row.size() << " cells, header has " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::cell(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string Table::cell(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+          << cells[c] << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title.empty()) out << title << '\n';
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return out.str();
+}
+
+}  // namespace fencetrade::util

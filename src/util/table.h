@@ -1,0 +1,34 @@
+// Plain-text table rendering for benchmark output.
+//
+// Every bench binary prints paper-style rows (Section 4 of DESIGN.md) with
+// this printer before running its google-benchmark timing suites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fencetrade::util {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one data row; must have as many cells as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with a fixed precision.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::int64_t v);
+
+  /// Render with box-drawing separators.
+  std::string render(const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fencetrade::util

@@ -1,0 +1,144 @@
+#include "core/bakery.h"
+
+#include <gtest/gtest.h>
+
+#include "core/objects.h"
+#include "sim/explore.h"
+#include "sim/schedule.h"
+
+namespace fencetrade::core {
+namespace {
+
+using sim::MemoryModel;
+
+TEST(BakeryTest, SoloPassageFenceCountMatchesPaper) {
+  // Uncontended Acquire = 3 fences, Release = 1 (paper, Section 3).
+  auto os = buildCountSystem(MemoryModel::PSO, 4, bakeryFactory());
+  sim::Config cfg = sim::initialConfig(os.sys);
+  sim::Execution exec;
+  ASSERT_TRUE(sim::runSolo(os.sys, cfg, 0, &exec));
+  auto counts = sim::countSteps(exec, 4);
+  // 3 (acquire) + 1 (CS) + 1 (release) fences for Count over Bakery.
+  EXPECT_EQ(counts.fencesPerProc[0], 5);
+}
+
+TEST(BakeryTest, SoloPassageRmrsLinearInN) {
+  // Running alone, acquiring still reads all other slots: Θ(n) RMRs.
+  std::vector<std::int64_t> rmrs;
+  for (int n : {4, 8, 16, 32}) {
+    auto os = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+    sim::Config cfg = sim::initialConfig(os.sys);
+    sim::Execution exec;
+    ASSERT_TRUE(sim::runSolo(os.sys, cfg, 0, &exec));
+    rmrs.push_back(sim::countSteps(exec, n).rmrsPerProc[0]);
+  }
+  // Linear growth: doubling n roughly doubles the RMRs.
+  for (std::size_t i = 1; i < rmrs.size(); ++i) {
+    EXPECT_GT(rmrs[i], rmrs[i - 1]);
+    EXPECT_NEAR(static_cast<double>(rmrs[i]) / rmrs[i - 1], 2.0, 0.7)
+        << "step " << i;
+  }
+}
+
+TEST(BakeryTest, SequentialPassagesReturnOrderedValues) {
+  for (int n : {1, 2, 3, 5, 8}) {
+    auto os = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+    sim::Config cfg = sim::initialConfig(os.sys);
+    std::vector<sim::ProcId> order;
+    for (int p = n - 1; p >= 0; --p) order.push_back(p);  // reverse order
+    sim::runSequential(os.sys, cfg, order);
+    for (int k = 0; k < n; ++k) {
+      EXPECT_EQ(cfg.procs[order[k]].retval, k) << "n=" << n;
+    }
+  }
+}
+
+TEST(BakeryTest, MutualExclusionExhaustiveTwoProcsPso) {
+  auto os = buildCountSystem(MemoryModel::PSO, 2, bakeryFactory());
+  auto res = sim::explore(os.sys);
+  EXPECT_FALSE(res.mutexViolation) << "witness length "
+                                   << res.witness.size();
+  EXPECT_FALSE(res.capped);
+  // Every terminal outcome is a permutation of {0, 1}.
+  std::set<std::vector<sim::Value>> expected{{0, 1}, {1, 0}};
+  EXPECT_EQ(res.outcomes, expected);
+}
+
+TEST(BakeryTest, MutualExclusionExhaustiveTwoProcsTso) {
+  auto os = buildCountSystem(MemoryModel::TSO, 2, bakeryFactory());
+  auto res = sim::explore(os.sys);
+  EXPECT_FALSE(res.mutexViolation);
+  EXPECT_FALSE(res.capped);
+}
+
+TEST(BakeryTest, MutualExclusionExhaustiveTwoProcsSc) {
+  auto os = buildCountSystem(MemoryModel::SC, 2, bakeryFactory());
+  auto res = sim::explore(os.sys);
+  EXPECT_FALSE(res.mutexViolation);
+  EXPECT_FALSE(res.capped);
+}
+
+TEST(BakeryTest, PaperListingDoorwayOrderViolatesMutexEvenUnderSc) {
+  // The extended abstract's listing clears C[i] before publishing T[i]
+  // (Algorithm 1, lines 6-7); the explorer finds the race already under
+  // sequential consistency.  See core/bakery.h.
+  auto os = buildCountSystem(MemoryModel::SC, 2,
+                             bakeryFactory(BakeryVariant::PaperListing));
+  auto res = sim::explore(os.sys);
+  EXPECT_TRUE(res.mutexViolation);
+  EXPECT_FALSE(res.witness.empty());
+}
+
+TEST(BakeryTest, PaperListingViolationWitnessReplays) {
+  auto os = buildCountSystem(MemoryModel::PSO, 2,
+                             bakeryFactory(BakeryVariant::PaperListing));
+  auto res = sim::explore(os.sys);
+  ASSERT_TRUE(res.mutexViolation);
+  sim::Config cfg = sim::initialConfig(os.sys);
+  for (auto [p, r] : res.witness) {
+    ASSERT_TRUE(sim::execElem(os.sys, cfg, p, r).has_value());
+  }
+  int occ = 0;
+  for (int p = 0; p < os.sys.n(); ++p) {
+    if (sim::inCriticalSection(os.sys, cfg, p)) ++occ;
+  }
+  EXPECT_GE(occ, 2);
+}
+
+TEST(BakeryTest, RandomContentionStressPreservesMutexAndOrdering) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const int n = 4;
+    auto os = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+    sim::Config cfg = sim::initialConfig(os.sys);
+    util::Rng rng(seed);
+    auto run = sim::runRandom(os.sys, cfg, rng, 1 << 20);
+    ASSERT_TRUE(run.completed) << "seed " << seed;
+    std::set<sim::Value> returns;
+    for (const auto& ps : cfg.procs) returns.insert(ps.retval);
+    EXPECT_EQ(returns.size(), static_cast<std::size_t>(n))
+        << "duplicate Count values => mutual exclusion broken, seed "
+        << seed;
+    EXPECT_EQ(*returns.begin(), 0);
+    EXPECT_EQ(*returns.rbegin(), n - 1);
+  }
+}
+
+TEST(BakeryTest, RoundRobinContentionCompletes) {
+  const int n = 6;
+  auto os = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+  sim::Config cfg = sim::initialConfig(os.sys);
+  auto run = sim::runRoundRobin(os.sys, cfg, 1 << 20);
+  EXPECT_TRUE(run.completed) << "deadlock under round-robin scheduling?";
+}
+
+TEST(BakeryTest, InstanceRegistersBelongToSlotOwners) {
+  sim::MemoryLayout layout;
+  BakeryInstance inst(layout, {3, 1, 4}, "node");
+  EXPECT_EQ(inst.slots(), 3);
+  EXPECT_EQ(layout.owner(inst.doorwayReg(0)), 3);
+  EXPECT_EQ(layout.owner(inst.doorwayReg(1)), 1);
+  EXPECT_EQ(layout.owner(inst.ticketReg(2)), 4);
+}
+
+}  // namespace
+}  // namespace fencetrade::core

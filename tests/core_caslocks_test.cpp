@@ -1,0 +1,130 @@
+#include "core/caslocks.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bakery.h"
+#include "core/objects.h"
+#include "encoding/encoder.h"
+#include "sim/explore.h"
+#include "util/check.h"
+#include "sim/schedule.h"
+#include "util/permutation.h"
+
+namespace fencetrade::core {
+namespace {
+
+using sim::MemoryModel;
+
+class CasLockMutex
+    : public ::testing::TestWithParam<std::tuple<bool, MemoryModel>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    LocksAndModels, CasLockMutex,
+    ::testing::Combine(::testing::Bool(),  // true = TTAS, false = TAS
+                       ::testing::Values(MemoryModel::SC, MemoryModel::TSO,
+                                         MemoryModel::PSO)),
+    [](const auto& paramInfo) {
+      return std::string(std::get<0>(paramInfo.param) ? "ttas" : "tas") +
+             "_" + sim::memoryModelName(std::get<1>(paramInfo.param));
+    });
+
+TEST_P(CasLockMutex, ExhaustiveTwoProcesses) {
+  const auto& [ttas, model] = GetParam();
+  auto os = buildCountSystem(model, 2, ttas ? ttasFactory() : tasFactory());
+  auto res = sim::explore(os.sys);
+  EXPECT_FALSE(res.mutexViolation);
+  EXPECT_FALSE(res.capped);
+  std::set<std::vector<sim::Value>> expected{{0, 1}, {1, 0}};
+  EXPECT_EQ(res.outcomes, expected);
+}
+
+TEST(CasLockTest, ThreeProcessesBoundedPso) {
+  auto os = buildCountSystem(MemoryModel::PSO, 3, ttasFactory());
+  sim::ExploreOptions opts;
+  opts.maxStates = 400'000;
+  auto res = sim::explore(os.sys, opts);
+  EXPECT_FALSE(res.mutexViolation);
+}
+
+TEST(CasLockTest, SequentialOrdering) {
+  for (auto factory : {tasFactory(), ttasFactory()}) {
+    const int n = 6;
+    auto os = buildCountSystem(MemoryModel::PSO, n, factory);
+    sim::Config cfg = sim::initialConfig(os.sys);
+    util::Rng rng(9);
+    auto pi = util::randomPermutation(n, rng);
+    sim::runSequential(os.sys, cfg, pi);
+    for (int k = 0; k < n; ++k) {
+      EXPECT_EQ(cfg.procs[pi[k]].retval, k);
+    }
+  }
+}
+
+TEST(CasLockTest, RandomContentionStress) {
+  for (auto factory : {tasFactory(), ttasFactory()}) {
+    const int n = 4;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      auto os = buildCountSystem(MemoryModel::PSO, n, factory);
+      sim::Config cfg = sim::initialConfig(os.sys);
+      util::Rng rng(seed);
+      auto run = sim::runRandom(os.sys, cfg, rng, 1 << 20);
+      ASSERT_TRUE(run.completed) << "seed " << seed;
+      std::set<sim::Value> returns;
+      for (const auto& ps : cfg.procs) returns.insert(ps.retval);
+      EXPECT_EQ(returns.size(), static_cast<std::size_t>(n));
+    }
+  }
+}
+
+TEST(CasLockTest, SoloCostsConstantRegardlessOfN) {
+  // The whole point of comparison primitives: O(1) synchronization ops
+  // and O(1) RMRs per uncontended passage, at any n — they escape the
+  // read/write fence machinery but pay a CAS instead.
+  for (int n : {2, 16, 128}) {
+    auto os = buildCountSystem(MemoryModel::PSO, n, ttasFactory());
+    sim::Config cfg = sim::initialConfig(os.sys);
+    sim::Execution exec;
+    ASSERT_TRUE(sim::runSolo(os.sys, cfg, 0, &exec));
+    auto counts = sim::countSteps(exec, n);
+    EXPECT_EQ(counts.casSteps, 1) << "n=" << n;
+    EXPECT_LE(counts.rmrsPerProc[0], 4) << "n=" << n;
+    EXPECT_EQ(counts.fencesPerProc[0], 2) << "n=" << n;  // release + CS
+  }
+}
+
+TEST(CasLockTest, TtasSpinsLocallyTasPingPongsTheLine) {
+  // Hold the lock with p0 and let TWO waiters spin, alternating steps.
+  // TAS: each failed CAS steals the line from the other spinner, so
+  // nearly every spin step is remote.  TTAS: both spinners hold the
+  // cached value and spin locally.
+  auto spinRmrs = [](const LockFactory& factory) {
+    auto os = buildCountSystem(MemoryModel::PSO, 3, factory);
+    sim::Config cfg = sim::initialConfig(os.sys);
+    // p0 acquires (runs until inside the CS).
+    while (!sim::inCriticalSection(os.sys, cfg, 0)) {
+      sim::execElem(os.sys, cfg, 0, sim::kNoReg);
+    }
+    // p1 and p2 alternate for 400 elements, spinning on the held lock.
+    std::int64_t remote = 0;
+    for (int i = 0; i < 400; ++i) {
+      auto s = sim::execElem(os.sys, cfg, 1 + (i & 1), sim::kNoReg);
+      if (s && s->remote) ++remote;
+    }
+    return remote;
+  };
+  const auto tasRemote = spinRmrs(tasFactory());
+  const auto ttasRemote = spinRmrs(ttasFactory());
+  EXPECT_LE(ttasRemote, 8) << "TTAS must spin in cache";
+  EXPECT_GE(tasRemote, 100)
+      << "alternating TAS spinners must ping-pong the line";
+}
+
+TEST(CasLockTest, EncoderRejectsCasAlgorithms) {
+  // The Section-5 construction is defined for read/write programs; the
+  // decoder refuses comparison-primitive algorithms explicitly.
+  auto os = buildCountSystem(MemoryModel::PSO, 3, tasFactory());
+  EXPECT_THROW(enc::Encoder enc(&os.sys), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fencetrade::core

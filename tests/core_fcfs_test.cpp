@@ -1,0 +1,161 @@
+// First-come-first-served property of the Bakery lock (Lamport 1974):
+// if p completes its doorway before q enters its doorway, p enters the
+// critical section before q — checked over many random weak-memory
+// schedules.
+#include <gtest/gtest.h>
+
+#include "core/bakery.h"
+#include "core/objects.h"
+#include "sim/builder.h"
+#include "sim/machine.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fencetrade::core {
+namespace {
+
+using sim::MemoryModel;
+
+/// Count over Bakery with a staggered non-critical prefix: process p
+/// performs 30p+1 local reads before entering the doorway, so earlier
+/// processes complete their doorway long before later ones arrive and
+/// FCFS pairs actually occur under random schedules.
+sim::System makeStaggeredBakeryCount(int n, MemoryModel m) {
+  sim::System sys;
+  sys.model = m;
+  sim::Reg c = sys.layout.alloc(sim::kNoOwner, "C");
+  std::vector<sim::ProcId> owners;
+  for (int p = 0; p < n; ++p) owners.push_back(p);
+  sim::Reg pads = sys.layout.allocArray(owners, "pad");
+  BakeryLock lock(sys.layout, n);
+  for (sim::ProcId p = 0; p < n; ++p) {
+    sim::ProgramBuilder b("staggered#" + std::to_string(p));
+    sim::LocalId ret = b.local("ret");
+    sim::LocalId t = b.local("t");
+    for (int i = 0; i <= 30 * p; ++i) b.readReg(t, pads + p);  // NCS delay
+    lock.emitAcquire(b, p);
+    b.csBegin();
+    b.readReg(ret, c);
+    b.writeReg(c, b.add(b.L(ret), b.imm(1)));
+    b.fence();
+    b.csEnd();
+    lock.emitRelease(b, p);
+    b.ret(b.L(ret));
+    sys.programs.push_back(b.build());
+  }
+  return sys;
+}
+
+struct FcfsTrace {
+  // Per process, step indices of the interesting transitions (-1 = never).
+  std::vector<std::int64_t> doorwayEntered;
+  std::vector<std::int64_t> doorwayCompleted;
+  std::vector<std::int64_t> csEntered;
+};
+
+/// Run one random schedule to completion, recording doorway/CS timing.
+FcfsTrace runAndTrace(const sim::System& sys, util::Rng& rng) {
+  const int n = sys.n();
+  FcfsTrace tr;
+  tr.doorwayEntered.assign(n, -1);
+  tr.doorwayCompleted.assign(n, -1);
+  tr.csEntered.assign(n, -1);
+
+  sim::Config cfg = sim::initialConfig(sys);
+  std::int64_t stepIdx = 0;
+  for (std::int64_t guard = 0; guard < (1 << 20); ++guard) {
+    if (sim::allFinal(cfg)) break;
+    // Pick a random non-final process; sometimes commit explicitly.
+    std::vector<sim::ProcId> live;
+    for (int p = 0; p < n; ++p) {
+      if (!cfg.procs[p].final) live.push_back(p);
+    }
+    sim::ProcId p = live[rng.below(live.size())];
+    sim::Reg r = sim::kNoReg;
+    const auto& wb = cfg.buffers[p];
+    if (!wb.empty() && rng.uniform01() < 0.3) {
+      auto regs = wb.distinctRegs();
+      sim::Reg cand = regs[rng.below(regs.size())];
+      if (wb.canCommitReg(cand)) r = cand;
+    }
+    auto step = sim::execElem(sys, cfg, p, r);
+    FT_CHECK(step.has_value());
+    ++stepIdx;
+
+    for (int q = 0; q < n; ++q) {
+      const auto& prog = sys.programs[static_cast<std::size_t>(q)];
+      const auto& ps = cfg.procs[static_cast<std::size_t>(q)];
+      if (ps.final) continue;
+      if (tr.doorwayEntered[q] == -1 && ps.pc >= prog.dwBegin &&
+          ps.pc < prog.dwEnd) {
+        tr.doorwayEntered[q] = stepIdx;
+      }
+      // Doorway complete only once the buffered doorway writes are also
+      // committed (the fence before dwEnd guarantees this when the pc
+      // passes it).
+      if (tr.doorwayCompleted[q] == -1 && ps.pc >= prog.dwEnd) {
+        tr.doorwayCompleted[q] = stepIdx;
+      }
+      if (tr.csEntered[q] == -1 && sim::inCriticalSection(sys, cfg, q)) {
+        tr.csEntered[q] = stepIdx;
+      }
+    }
+  }
+  FT_CHECK(sim::allFinal(cfg)) << "random schedule did not finish";
+  return tr;
+}
+
+TEST(FcfsTest, DoorwayMarkersPresentOnBakeryPrograms) {
+  auto os = buildCountSystem(MemoryModel::PSO, 3, bakeryFactory());
+  for (const auto& prog : os.sys.programs) {
+    EXPECT_GE(prog.dwBegin, 0);
+    EXPECT_GT(prog.dwEnd, prog.dwBegin);
+    EXPECT_LT(prog.dwEnd, prog.csBegin);
+  }
+}
+
+TEST(FcfsTest, BakeryIsFirstComeFirstServedUnderPso) {
+  const int n = 4;
+  std::int64_t orderedPairs = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    auto sys = makeStaggeredBakeryCount(n, MemoryModel::PSO);
+    util::Rng rng(seed);
+    auto tr = runAndTrace(sys, rng);
+    for (int p = 0; p < n; ++p) {
+      for (int q = 0; q < n; ++q) {
+        if (p == q) continue;
+        // p finished its doorway before q entered its doorway?
+        if (tr.doorwayCompleted[p] != -1 && tr.doorwayEntered[q] != -1 &&
+            tr.doorwayCompleted[p] < tr.doorwayEntered[q]) {
+          ++orderedPairs;
+          EXPECT_LT(tr.csEntered[p], tr.csEntered[q])
+              << "FCFS violated: seed " << seed << " p" << p << " -> p"
+              << q;
+        }
+      }
+    }
+  }
+  // The schedules must actually have produced decided pairs.
+  EXPECT_GT(orderedPairs, 50);
+}
+
+TEST(FcfsTest, BakeryIsFirstComeFirstServedUnderTso) {
+  const int n = 3;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto sys = makeStaggeredBakeryCount(n, MemoryModel::TSO);
+    util::Rng rng(seed * 7 + 1);
+    auto tr = runAndTrace(sys, rng);
+    for (int p = 0; p < n; ++p) {
+      for (int q = 0; q < n; ++q) {
+        if (p != q && tr.doorwayCompleted[p] != -1 &&
+            tr.doorwayEntered[q] != -1 &&
+            tr.doorwayCompleted[p] < tr.doorwayEntered[q]) {
+          EXPECT_LT(tr.csEntered[p], tr.csEntered[q]) << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fencetrade::core

@@ -1,0 +1,164 @@
+#include "core/gt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/objects.h"
+#include "core/tradeoff.h"
+#include "sim/schedule.h"
+#include "util/mathx.h"
+
+namespace fencetrade::core {
+namespace {
+
+using sim::MemoryModel;
+
+TEST(GtTest, DegeneratesToBakeryAtHeightOne) {
+  sim::MemoryLayout layout;
+  GeneralizedTournamentLock gt(layout, 8, 1);
+  EXPECT_EQ(gt.height(), 1);
+  EXPECT_EQ(gt.branching(), 8);
+  EXPECT_EQ(gt.fencesPerPassage(), 4);
+}
+
+TEST(GtTest, BinaryTournamentAtFullHeight) {
+  sim::MemoryLayout layout;
+  GeneralizedTournamentLock gt(layout, 8, 3);
+  EXPECT_EQ(gt.height(), 3);
+  EXPECT_EQ(gt.branching(), 2);
+  EXPECT_EQ(gt.fencesPerPassage(), 12);
+}
+
+TEST(GtTest, HeightClampedToLogN) {
+  sim::MemoryLayout layout;
+  GeneralizedTournamentLock gt(layout, 8, 10);
+  EXPECT_EQ(gt.height(), 3);  // ceil(log2 8)
+  EXPECT_EQ(gt.branching(), 2);
+}
+
+TEST(GtTest, IntermediateHeightUsesRootOfN) {
+  sim::MemoryLayout layout;
+  GeneralizedTournamentLock gt(layout, 16, 2);
+  EXPECT_EQ(gt.branching(), 4);  // 16^(1/2)
+}
+
+TEST(GtTest, PathNodeAndSlotConsistent) {
+  sim::MemoryLayout layout;
+  GeneralizedTournamentLock gt(layout, 27, 3);  // b = 3
+  EXPECT_EQ(gt.branching(), 3);
+  for (int p = 0; p < 27; ++p) {
+    // Root: everyone is in node 0; slot = top-level digit.
+    EXPECT_EQ(gt.nodeOf(p, 3), 0);
+    EXPECT_EQ(gt.slotOf(p, 3), p / 9);
+    // Bottom level: node = p/3, slot = p%3.
+    EXPECT_EQ(gt.nodeOf(p, 1), p / 3);
+    EXPECT_EQ(gt.slotOf(p, 1), p % 3);
+  }
+}
+
+TEST(GtTest, SequentialPassagesOrderedForAllHeights) {
+  const int n = 8;
+  for (int f = 1; f <= 3; ++f) {
+    auto os = buildCountSystem(MemoryModel::PSO, n, gtFactory(f));
+    sim::Config cfg = sim::initialConfig(os.sys);
+    std::vector<sim::ProcId> order{5, 2, 7, 0, 3, 6, 1, 4};
+    sim::runSequential(os.sys, cfg, order);
+    for (int k = 0; k < n; ++k) {
+      EXPECT_EQ(cfg.procs[order[k]].retval, k) << "f=" << f;
+    }
+  }
+}
+
+TEST(GtTest, SoloFenceCountIsFourPerLevelPlusCs) {
+  const int n = 16;
+  for (int f = 1; f <= 4; ++f) {
+    auto os = buildCountSystem(MemoryModel::PSO, n, gtFactory(f));
+    sim::Config cfg = sim::initialConfig(os.sys);
+    sim::Execution exec;
+    ASSERT_TRUE(sim::runSolo(os.sys, cfg, 0, &exec));
+    auto counts = sim::countSteps(exec, n);
+    // 4 fences per level + 1 in the Count critical section.
+    EXPECT_EQ(counts.fencesPerProc[0], 4 * f + 1) << "f=" << f;
+  }
+}
+
+TEST(GtTest, SoloRmrsFollowFTimesNthRoot) {
+  const int n = 64;
+  for (int f : {1, 2, 3, 6}) {
+    auto os = buildCountSystem(MemoryModel::PSO, n, gtFactory(f));
+    sim::Config cfg = sim::initialConfig(os.sys);
+    sim::Execution exec;
+    ASSERT_TRUE(sim::runSolo(os.sys, cfg, 0, &exec));
+    const auto rmrs = sim::countSteps(exec, n).rmrsPerProc[0];
+    const auto bound = gtRmrBound(n, f);
+    // Within a small constant factor of f * n^{1/f} (plus the counter).
+    EXPECT_GE(rmrs, bound / 2) << "f=" << f;
+    EXPECT_LE(rmrs, 4 * bound + 8) << "f=" << f;
+  }
+}
+
+TEST(GtTest, RmrsDecreaseWithHeightUncontended) {
+  const int n = 64;
+  std::vector<std::int64_t> rmrs;
+  for (int f : {1, 2, 3, 6}) {
+    auto os = buildCountSystem(MemoryModel::PSO, n, gtFactory(f));
+    sim::Config cfg = sim::initialConfig(os.sys);
+    sim::Execution exec;
+    ASSERT_TRUE(sim::runSolo(os.sys, cfg, 0, &exec));
+    rmrs.push_back(sim::countSteps(exec, n).rmrsPerProc[0]);
+  }
+  // Bakery (f=1) is the RMR-worst; the binary tournament the best.
+  EXPECT_GT(rmrs.front(), rmrs.back());
+  for (std::size_t i = 1; i < rmrs.size(); ++i) {
+    EXPECT_LE(rmrs[i], rmrs[i - 1] + 2) << "non-monotone at " << i;
+  }
+}
+
+TEST(GtTest, RandomContentionStressAllHeights) {
+  const int n = 5;
+  for (int f = 1; f <= 3; ++f) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      auto os = buildCountSystem(MemoryModel::PSO, n, gtFactory(f));
+      sim::Config cfg = sim::initialConfig(os.sys);
+      util::Rng rng(seed * 31 + f);
+      auto run = sim::runRandom(os.sys, cfg, rng, 1 << 20);
+      ASSERT_TRUE(run.completed) << "f=" << f << " seed=" << seed;
+      std::set<sim::Value> returns;
+      for (const auto& ps : cfg.procs) returns.insert(ps.retval);
+      EXPECT_EQ(returns.size(), static_cast<std::size_t>(n))
+          << "f=" << f << " seed=" << seed;
+    }
+  }
+}
+
+TEST(GtTest, TournamentFactoryPicksLogHeight) {
+  sim::MemoryLayout layout;
+  auto lock = tournamentFactory()(layout, 32);
+  auto* gt = dynamic_cast<GeneralizedTournamentLock*>(lock.get());
+  ASSERT_NE(gt, nullptr);
+  EXPECT_EQ(gt->height(), 5);
+  EXPECT_EQ(gt->branching(), 2);
+}
+
+TEST(GtTest, SingleProcessLockWorks) {
+  auto os = buildCountSystem(MemoryModel::PSO, 1, gtFactory(1));
+  sim::Config cfg = sim::initialConfig(os.sys);
+  ASSERT_TRUE(sim::runSolo(os.sys, cfg, 0, nullptr));
+  EXPECT_EQ(cfg.procs[0].retval, 0);
+}
+
+TEST(GtTest, NonPowerBranchingTailNodes) {
+  // n = 10, f = 2 -> b = 4; tail nodes have fewer active slots but the
+  // lock must still order everyone.
+  const int n = 10;
+  auto os = buildCountSystem(MemoryModel::PSO, n, gtFactory(2));
+  sim::Config cfg = sim::initialConfig(os.sys);
+  std::vector<sim::ProcId> order;
+  for (int p = 0; p < n; ++p) order.push_back((p * 7) % n);  // scrambled
+  sim::runSequential(os.sys, cfg, order);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_EQ(cfg.procs[order[k]].retval, k);
+  }
+}
+
+}  // namespace
+}  // namespace fencetrade::core

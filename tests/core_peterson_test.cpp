@@ -1,0 +1,166 @@
+#include "core/peterson.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gt.h"
+#include "core/objects.h"
+#include "sim/explore.h"
+#include "util/check.h"
+#include "sim/schedule.h"
+#include "util/permutation.h"
+
+namespace fencetrade::core {
+namespace {
+
+using sim::MemoryModel;
+
+TEST(PetersonTest, HeightAndFenceFormula) {
+  sim::MemoryLayout layout;
+  PetersonTournamentLock pso(layout, 16);
+  EXPECT_EQ(pso.height(), 4);
+  EXPECT_EQ(pso.fencesPerPassage(), 12);  // 3 per level
+
+  sim::MemoryLayout layout2;
+  PetersonTournamentLock tso(layout2, 16, SegmentPolicy::PerProcess,
+                             PetersonVariant::TsoFence);
+  EXPECT_EQ(tso.fencesPerPassage(), 8);  // 2 per level
+}
+
+TEST(PetersonTest, SoloPassageFenceCountMatchesFormula) {
+  for (auto variant :
+       {PetersonVariant::PsoSafe, PetersonVariant::TsoFence}) {
+    const int n = 8;
+    auto os = buildCountSystem(
+        MemoryModel::PSO, n,
+        petersonTournamentFactory(SegmentPolicy::PerProcess, variant));
+    sim::Config cfg = sim::initialConfig(os.sys);
+    sim::Execution exec;
+    ASSERT_TRUE(sim::runSolo(os.sys, cfg, 0, &exec));
+    const auto counts = sim::countSteps(exec, n);
+    const std::int64_t perLevel =
+        variant == PetersonVariant::PsoSafe ? 3 : 2;
+    EXPECT_EQ(counts.fencesPerProc[0], 3 * perLevel + 1);  // + Count CS
+  }
+}
+
+TEST(PetersonTest, SoloRmrsLogarithmic) {
+  std::vector<std::int64_t> rmrs;
+  for (int n : {8, 64, 512}) {
+    auto os = buildCountSystem(MemoryModel::PSO, n,
+                               petersonTournamentFactory());
+    sim::Config cfg = sim::initialConfig(os.sys);
+    sim::Execution exec;
+    ASSERT_TRUE(sim::runSolo(os.sys, cfg, 0, &exec));
+    rmrs.push_back(sim::countSteps(exec, n).rmrsPerProc[0]);
+  }
+  // Each 8x growth in n adds a constant (3 more levels), far from linear.
+  EXPECT_LE(rmrs[2], rmrs[0] + 30);
+}
+
+TEST(PetersonTest, SequentialOrderingAllSizes) {
+  for (int n : {1, 2, 3, 5, 8, 13}) {
+    auto os = buildCountSystem(MemoryModel::PSO, n,
+                               petersonTournamentFactory());
+    sim::Config cfg = sim::initialConfig(os.sys);
+    util::Rng rng(static_cast<std::uint64_t>(n));
+    auto pi = util::randomPermutation(n, rng);
+    sim::runSequential(os.sys, cfg, pi);
+    for (int k = 0; k < n; ++k) {
+      EXPECT_EQ(cfg.procs[pi[k]].retval, k) << "n=" << n;
+    }
+  }
+}
+
+class PetersonMutex : public ::testing::TestWithParam<MemoryModel> {};
+
+INSTANTIATE_TEST_SUITE_P(Models, PetersonMutex,
+                         ::testing::Values(MemoryModel::SC, MemoryModel::TSO,
+                                           MemoryModel::PSO),
+                         [](const auto& paramInfo) {
+                           return sim::memoryModelName(paramInfo.param);
+                         });
+
+TEST_P(PetersonMutex, PsoSafeVariantCorrectEverywhere) {
+  auto os = buildCountSystem(GetParam(), 2, petersonTournamentFactory());
+  auto res = sim::explore(os.sys);
+  EXPECT_FALSE(res.mutexViolation);
+  EXPECT_FALSE(res.capped);
+  std::set<std::vector<sim::Value>> expected{{0, 1}, {1, 0}};
+  EXPECT_EQ(res.outcomes, expected);
+}
+
+TEST_P(PetersonMutex, TsoFenceVariantSeparatesTheModels) {
+  // THE separation artifact: the single-fence Peterson entry is sound
+  // exactly when the machine keeps stores in order.
+  auto os = buildCountSystem(
+      GetParam(), 2,
+      petersonTournamentFactory(SegmentPolicy::PerProcess,
+                                PetersonVariant::TsoFence));
+  auto res = sim::explore(os.sys);
+  EXPECT_EQ(res.mutexViolation, GetParam() == MemoryModel::PSO)
+      << sim::memoryModelName(GetParam());
+}
+
+TEST(PetersonTest, TsoFencePsoViolationWitnessReplays) {
+  auto os = buildCountSystem(
+      MemoryModel::PSO, 2,
+      petersonTournamentFactory(SegmentPolicy::PerProcess,
+                                PetersonVariant::TsoFence));
+  auto res = sim::explore(os.sys);
+  ASSERT_TRUE(res.mutexViolation);
+  sim::Config cfg = sim::initialConfig(os.sys);
+  for (auto [p, r] : res.witness) {
+    ASSERT_TRUE(sim::execElem(os.sys, cfg, p, r).has_value());
+  }
+  int occ = 0;
+  for (int p = 0; p < os.sys.n(); ++p) {
+    if (sim::inCriticalSection(os.sys, cfg, p)) ++occ;
+  }
+  EXPECT_GE(occ, 2);
+}
+
+TEST(PetersonTest, ThreeProcessesBoundedPso) {
+  auto os = buildCountSystem(MemoryModel::PSO, 3,
+                             petersonTournamentFactory());
+  sim::ExploreOptions opts;
+  opts.maxStates = 400'000;
+  auto res = sim::explore(os.sys, opts);
+  EXPECT_FALSE(res.mutexViolation);
+}
+
+TEST(PetersonTest, RandomContentionStress) {
+  const int n = 5;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    auto os = buildCountSystem(MemoryModel::PSO, n,
+                               petersonTournamentFactory());
+    sim::Config cfg = sim::initialConfig(os.sys);
+    util::Rng rng(seed);
+    auto run = sim::runRandom(os.sys, cfg, rng, 1 << 20);
+    ASSERT_TRUE(run.completed) << "seed " << seed;
+    std::set<sim::Value> returns;
+    for (const auto& ps : cfg.procs) returns.insert(ps.retval);
+    EXPECT_EQ(returns.size(), static_cast<std::size_t>(n))
+        << "seed " << seed;
+  }
+}
+
+TEST(PetersonTest, FewerFencesThanBakeryTournamentSameRmrOrder) {
+  const int n = 64;
+  auto pet = buildCountSystem(MemoryModel::PSO, n,
+                              petersonTournamentFactory());
+  auto gt = buildCountSystem(MemoryModel::PSO, n,
+                             tournamentFactory());
+  auto cost = [&](const sim::System& sys) {
+    sim::Config cfg = sim::initialConfig(sys);
+    sim::Execution exec;
+    FT_CHECK(sim::runSolo(sys, cfg, 0, &exec));
+    return sim::countSteps(exec, n);
+  };
+  const auto cp = cost(pet.sys);
+  const auto cg = cost(gt.sys);
+  EXPECT_LT(cp.fencesPerProc[0], cg.fencesPerProc[0]);
+  EXPECT_LT(cp.rmrsPerProc[0], cg.rmrsPerProc[0] + 8);
+}
+
+}  // namespace
+}  // namespace fencetrade::core

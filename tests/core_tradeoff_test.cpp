@@ -1,0 +1,83 @@
+#include "core/tradeoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace fencetrade::core {
+namespace {
+
+TEST(TradeoffTest, ValueAtEqualFAndR) {
+  // r = f: log term is 0, value is f.
+  EXPECT_DOUBLE_EQ(tradeoffValue(4, 4), 4.0);
+  EXPECT_DOUBLE_EQ(tradeoffValue(1, 1), 1.0);
+}
+
+TEST(TradeoffTest, BakeryPointIsThetaLogN) {
+  // f = O(1), r = n: value = log2(n) + 1 up to the constant f.
+  for (int n : {16, 64, 256, 1024}) {
+    const double v = tradeoffValue(4, n);
+    const double logn = std::log2(static_cast<double>(n));
+    EXPECT_GE(v, logn - 2.0) << n;
+    EXPECT_LE(v, 8.0 * logn) << n;
+  }
+}
+
+TEST(TradeoffTest, TournamentPointIsThetaLogN) {
+  // f = r = Θ(log n): value = f.
+  for (int n : {16, 64, 256, 1024}) {
+    const auto logn = static_cast<std::int64_t>(std::log2(n));
+    const double v = tradeoffValue(4 * logn, 4 * logn);
+    EXPECT_NEAR(v, 4.0 * static_cast<double>(logn), 1e-9);
+  }
+}
+
+TEST(TradeoffTest, GtSpectrumStaysWithinConstantOfLogN) {
+  // Eq. (2): plugging r = f·n^{1/f} into Eq. (1) gives Θ(log n) for
+  // every f in [1, log n] — the whole curve is asymptotically flat.
+  for (int n : {16, 64, 256, 1024, 4096}) {
+    const double logn = std::log2(static_cast<double>(n));
+    const int maxF = util::ilog2Ceil(static_cast<std::uint64_t>(n));
+    for (int f = 1; f <= maxF; ++f) {
+      const double v =
+          tradeoffValue(gtFenceCost(f), gtRmrBound(n, f) + gtFenceCost(f));
+      EXPECT_GE(v, logn / 2.0) << "n=" << n << " f=" << f;
+      EXPECT_LE(v, 16.0 * logn) << "n=" << n << " f=" << f;
+    }
+  }
+}
+
+TEST(TradeoffTest, RmrBoundDecreasesInFUpToLnN) {
+  // f·n^{1/f} is decreasing in f only up to f = ln n (where it attains
+  // its minimum); beyond that the linear factor f dominates.  For
+  // n = 4096, ln n ≈ 8.3.
+  const int n = 4096;
+  EXPECT_EQ(gtRmrBound(n, 1), 4096);  // f=1: one Bakery over n
+  for (int f = 2; f <= 8; ++f) {
+    const double continuous =
+        f * std::pow(static_cast<double>(n), 1.0 / f);
+    const auto cur = static_cast<double>(gtRmrBound(n, f));
+    // Integer ceil rounding keeps the implementation within 2x of the
+    // ideal curve, which itself decreases on [1, ln n].
+    EXPECT_GE(cur, continuous - 1.0) << "f=" << f;
+    EXPECT_LE(cur, 2.0 * continuous) << "f=" << f;
+    EXPECT_LT(cur, static_cast<double>(gtRmrBound(n, 1))) << "f=" << f;
+  }
+  EXPECT_EQ(gtRmrBound(n, 12), 24);  // 12 * 2: the binary tournament
+  // Integer effects make the tail non-monotone (b jumps 2 -> 3):
+  EXPECT_GT(gtRmrBound(n, 10), gtRmrBound(n, 12));
+}
+
+TEST(TradeoffTest, SmallRClampedToF) {
+  EXPECT_DOUBLE_EQ(tradeoffValue(8, 2), 8.0);
+}
+
+TEST(TradeoffTest, InvalidFThrows) {
+  EXPECT_THROW(tradeoffValue(0, 10), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fencetrade::core

@@ -1,0 +1,92 @@
+// Segment-policy behaviour: correctness is layout-independent, RMR
+// accounting is not.
+#include <gtest/gtest.h>
+
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/explore.h"
+#include "sim/schedule.h"
+#include "util/check.h"
+
+namespace fencetrade::core {
+namespace {
+
+using sim::MemoryModel;
+
+TEST(UnownedLayoutTest, MutexHoldsForEveryLockUnderPso) {
+  const std::pair<const char*, LockFactory> locks[] = {
+      {"bakery", bakeryFactory(BakeryVariant::Lamport,
+                               SegmentPolicy::Unowned)},
+      {"gt2",
+       gtFactory(2, BakeryVariant::Lamport, SegmentPolicy::Unowned)},
+      {"peterson",
+       petersonTournamentFactory(SegmentPolicy::Unowned)},
+  };
+  for (const auto& [name, factory] : locks) {
+    auto os = buildCountSystem(MemoryModel::PSO, 2, factory);
+    auto res = sim::explore(os.sys);
+    EXPECT_FALSE(res.mutexViolation) << name;
+    EXPECT_FALSE(res.capped) << name;
+    std::set<std::vector<sim::Value>> expected{{0, 1}, {1, 0}};
+    EXPECT_EQ(res.outcomes, expected) << name;
+  }
+}
+
+TEST(UnownedLayoutTest, SequentialOrderingUnaffectedByLayout) {
+  const int n = 6;
+  for (auto policy :
+       {SegmentPolicy::PerProcess, SegmentPolicy::Unowned}) {
+    auto os = buildCountSystem(
+        MemoryModel::PSO, n,
+        bakeryFactory(BakeryVariant::Lamport, policy));
+    sim::Config cfg = sim::initialConfig(os.sys);
+    sim::runSequential(os.sys, cfg, {5, 0, 3, 1, 4, 2});
+    const std::vector<sim::ProcId> order{5, 0, 3, 1, 4, 2};
+    for (int k = 0; k < n; ++k) {
+      EXPECT_EQ(cfg.procs[order[k]].retval, k);
+    }
+  }
+}
+
+TEST(UnownedLayoutTest, UnownedLayoutHasMoreDsmRemoteSteps) {
+  // With no register in any process's segment, every first access is
+  // DSM-remote; the per-process layout keeps own-slot accesses free.
+  const int n = 8;
+  auto measure = [&](SegmentPolicy policy) {
+    auto os = buildCountSystem(
+        MemoryModel::PSO, n,
+        bakeryFactory(BakeryVariant::Lamport, policy));
+    sim::Config cfg = sim::initialConfig(os.sys);
+    sim::Execution exec;
+    FT_CHECK(sim::runSolo(os.sys, cfg, 0, &exec));
+    return sim::countSteps(exec, n);
+  };
+  const auto perProc = measure(SegmentPolicy::PerProcess);
+  const auto unowned = measure(SegmentPolicy::Unowned);
+  EXPECT_GT(unowned.rmrsDsm, perProc.rmrsDsm);
+  // CC-only accounting does not care about segments.
+  EXPECT_EQ(unowned.rmrsCc, perProc.rmrsCc);
+  // Combined: unowned >= per-process (fewer free segment accesses).
+  EXPECT_GE(unowned.rmrs, perProc.rmrs);
+}
+
+TEST(UnownedLayoutTest, GtStructureIndependentOfPolicy) {
+  sim::MemoryLayout a, b;
+  GeneralizedTournamentLock perProc(a, 27, 3, BakeryVariant::Lamport,
+                                    SegmentPolicy::PerProcess);
+  GeneralizedTournamentLock unowned(b, 27, 3, BakeryVariant::Lamport,
+                                    SegmentPolicy::Unowned);
+  EXPECT_EQ(perProc.height(), unowned.height());
+  EXPECT_EQ(perProc.branching(), unowned.branching());
+  EXPECT_EQ(perProc.fencesPerPassage(), unowned.fencesPerPassage());
+  EXPECT_EQ(a.count(), b.count());
+  // All unowned registers really have no owner.
+  for (sim::Reg r = 0; r < b.count(); ++r) {
+    EXPECT_EQ(b.owner(r), sim::kNoOwner);
+  }
+}
+
+}  // namespace
+}  // namespace fencetrade::core

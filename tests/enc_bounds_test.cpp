@@ -1,0 +1,133 @@
+// Empirical form of Theorem 4.2 and the supporting lemmas: the code
+// length, command counts and value sums of constructed executions relate
+// to β (fences) and ρ (RMRs) the way Section 5.3 proves they must.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "encoding/encoder.h"
+#include "util/permutation.h"
+
+namespace fencetrade::enc {
+namespace {
+
+using core::bakeryFactory;
+using core::buildCountSystem;
+using core::gtFactory;
+using sim::MemoryModel;
+
+EncodeResult encodeCountBakery(int n, const util::Permutation& pi) {
+  auto os = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+  Encoder enc(&os.sys);
+  return enc.encode(pi);
+}
+
+TEST(BoundsTest, CommandCountBoundedByFences) {
+  // Lemma 5.11 (rearranged): each process's stack has at most
+  // ~4·(fences) + O(1) commands, so m <= c1·β + c2·n overall.
+  util::Rng rng(3);
+  for (int n : {3, 5, 8}) {
+    auto res = encodeCountBakery(n, util::randomPermutation(n, rng));
+    EXPECT_LE(res.stackStats.commands, 4 * res.counts.fences + 16 * n)
+        << "n=" << n;
+  }
+}
+
+TEST(BoundsTest, ValueSumBoundedByRemoteSteps) {
+  // Lemmas 5.3 and 5.7: the summed command values are within a constant
+  // factor of ρ(E) (plus one unit per command for the parameterless
+  // ones, which are already covered by the fence bound).
+  util::Rng rng(7);
+  for (int n : {4, 6, 8}) {
+    auto res = encodeCountBakery(n, util::randomPermutation(n, rng));
+    const auto waitValues =
+        res.stackStats.valueSumOf[static_cast<int>(
+            CommandKind::WaitHiddenCommit)] +
+        res.stackStats.valueSumOf[static_cast<int>(
+            CommandKind::WaitReadFinish)] +
+        res.stackStats.valueSumOf[static_cast<int>(
+            CommandKind::WaitLocalFinish)];
+    EXPECT_LE(waitValues, 6 * res.counts.rmrs) << "n=" << n;
+  }
+}
+
+TEST(BoundsTest, CodeBitsWithinPaperFormula) {
+  // B(E) <= c · β(E) · (log2(ρ(E)/β(E)) + 1) + c'·n  (Section 5.3.4).
+  util::Rng rng(11);
+  for (int n : {4, 6, 8, 10}) {
+    auto res = encodeCountBakery(n, util::randomPermutation(n, rng));
+    const double beta = static_cast<double>(res.counts.fences);
+    const double rho = static_cast<double>(res.counts.rmrs);
+    const double formula = beta * (std::log2(std::max(rho, beta) / beta) + 1.0);
+    EXPECT_LE(res.codeBits(), 8.0 * formula + 16.0 * n) << "n=" << n;
+  }
+}
+
+TEST(BoundsTest, InformationContentCoversPermutationEntropy) {
+  // n! distinct codes need >= log2(n!) bits on average; our codes are
+  // honest encodings, so their length must meet that floor.
+  const int n = 4;
+  double totalBits = 0;
+  const auto perms = util::allPermutations(n);
+  for (const auto& pi : perms) {
+    totalBits += encodeCountBakery(n, pi).codeBits();
+  }
+  const double avgBits = totalBits / static_cast<double>(perms.size());
+  EXPECT_GE(avgBits, util::log2Factorial(n));
+}
+
+TEST(BoundsTest, TradeoffLowerBoundHoldsPerProcess) {
+  // Theorem 4.2 divided by n: some process satisfies
+  // f·(log(r/f)+1) = Ω(log n).  Check the *average* against a modest
+  // constant — for Bakery-based Count both β and ρ are well above the
+  // floor.
+  util::Rng rng(13);
+  for (int n : {4, 8, 12}) {
+    auto res = encodeCountBakery(n, util::randomPermutation(n, rng));
+    const double beta = static_cast<double>(res.counts.fences);
+    const double rho = static_cast<double>(res.counts.rmrs);
+    const double perProc =
+        (beta / n) * (std::log2(std::max(rho, beta) / beta) + 1.0);
+    EXPECT_GE(perProc, 0.5 * std::log2(static_cast<double>(n)) - 1.0)
+        << "n=" << n;
+  }
+}
+
+TEST(BoundsTest, FenceCheapAlgorithmPaysInRmrs) {
+  // The concrete tradeoff: Count over Bakery (O(1) fences/process) must
+  // incur Ω(n) RMRs per process in the constructed executions.
+  util::Rng rng(17);
+  for (int n : {4, 8, 12}) {
+    auto res = encodeCountBakery(n, util::randomPermutation(n, rng));
+    const double fencesPerProc =
+        static_cast<double>(res.counts.fences) / n;
+    const double rmrsPerProc = static_cast<double>(res.counts.rmrs) / n;
+    EXPECT_LE(fencesPerProc, 8.0) << "n=" << n;          // O(1)
+    EXPECT_GE(rmrsPerProc, 0.5 * n) << "n=" << n;        // Ω(n)
+  }
+}
+
+TEST(BoundsTest, GtEncodingsShiftWeightTowardFences) {
+  // Moving from Bakery (f=1) to GT_2 halves the exponent: fences per
+  // process go up, RMRs per process go down.
+  const int n = 9;
+  util::Rng rng(19);
+  auto pi = util::randomPermutation(n, rng);
+
+  auto osB = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+  Encoder encB(&osB.sys);
+  auto resB = encB.encode(pi);
+
+  auto osG = buildCountSystem(MemoryModel::PSO, n, gtFactory(2));
+  Encoder encG(&osG.sys);
+  auto resG = encG.encode(pi);
+
+  EXPECT_GT(resG.counts.fences, resB.counts.fences);
+  EXPECT_LT(resG.counts.rmrs, resB.counts.rmrs);
+}
+
+}  // namespace
+}  // namespace fencetrade::enc

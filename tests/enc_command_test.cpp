@@ -1,0 +1,93 @@
+#include "encoding/command.h"
+
+#include <gtest/gtest.h>
+
+#include "encoding/stack.h"
+#include "util/check.h"
+
+namespace fencetrade::enc {
+namespace {
+
+TEST(CommandTest, ValuesPerPaper) {
+  // Section 5.3: proceed and commit have value 1, wait commands value k.
+  EXPECT_EQ(Command::proceed().value(), 1);
+  EXPECT_EQ(Command::commit().value(), 1);
+  EXPECT_EQ(Command::waitHiddenCommit(5).value(), 5);
+  EXPECT_EQ(Command::waitReadFinish(3).value(), 3);
+  EXPECT_EQ(Command::waitLocalFinish(7).value(), 7);
+}
+
+TEST(CommandTest, BitsGrowLogarithmicallyInParameter) {
+  const double b1 = Command::waitHiddenCommit(1).bits();
+  const double b16 = Command::waitHiddenCommit(16).bits();
+  const double b256 = Command::waitHiddenCommit(256).bits();
+  EXPECT_NEAR(b16 - b1, 4.0, 1e-9);
+  EXPECT_NEAR(b256 - b16, 4.0, 1e-9);
+  EXPECT_GT(b1, 0.0);
+}
+
+TEST(CommandTest, ConstantBitsForParameterlessCommands) {
+  EXPECT_DOUBLE_EQ(Command::proceed().bits(), Command::commit().bits());
+  EXPECT_LE(Command::proceed().bits(), 4.0);
+}
+
+TEST(CommandTest, ToStringShowsKindAndParameter) {
+  EXPECT_EQ(Command::proceed().toString(), "proceed");
+  EXPECT_EQ(Command::waitReadFinish(4).toString(), "wait-read-finish(4)");
+  Command c = Command::waitLocalFinish(2);
+  c.waitSet = {1, 3};
+  EXPECT_EQ(c.toString(), "wait-local-finish(2, {1,3})");
+}
+
+TEST(StackTest, PushPopTopBottomDiscipline) {
+  CommandStack st;
+  EXPECT_TRUE(st.empty());
+  st.pushBottom(Command::proceed());
+  st.pushBottom(Command::commit());
+  st.pushTop(Command::waitHiddenCommit(2));
+  ASSERT_EQ(st.size(), 3u);
+  EXPECT_EQ(st.top().kind, CommandKind::WaitHiddenCommit);
+  st.pop();
+  EXPECT_EQ(st.top().kind, CommandKind::Proceed);
+  st.pop();
+  EXPECT_EQ(st.top().kind, CommandKind::Commit);
+  st.pop();
+  EXPECT_TRUE(st.empty());
+  EXPECT_THROW(st.pop(), util::CheckError);
+  EXPECT_THROW(st.top(), util::CheckError);
+}
+
+TEST(StackTest, ValueSumAndBits) {
+  CommandStack st;
+  st.pushBottom(Command::proceed());            // value 1
+  st.pushBottom(Command::waitReadFinish(6));    // value 6
+  st.pushBottom(Command::commit());             // value 1
+  EXPECT_EQ(st.valueSum(), 8);
+  EXPECT_GT(st.bitLength(), 3 * Command::proceed().bits() - 1e-9);
+}
+
+TEST(StackTest, SummarizeAggregatesAcrossStacks) {
+  StackSequence stacks(3);
+  stacks[0].pushBottom(Command::proceed());
+  stacks[0].pushBottom(Command::commit());
+  stacks[1].pushBottom(Command::waitHiddenCommit(4));
+  stacks[2].pushBottom(Command::waitLocalFinish(2));
+
+  auto s = summarize(stacks);
+  EXPECT_EQ(s.commands, 4);
+  EXPECT_EQ(s.valueSum, 1 + 1 + 4 + 2);
+  EXPECT_EQ(s.countOf[static_cast<int>(CommandKind::Proceed)], 1);
+  EXPECT_EQ(s.countOf[static_cast<int>(CommandKind::WaitHiddenCommit)], 1);
+  EXPECT_EQ(s.valueSumOf[static_cast<int>(CommandKind::WaitHiddenCommit)], 4);
+  EXPECT_GT(s.bits, 0.0);
+}
+
+TEST(StackTest, ToStringListsTopToBottom) {
+  CommandStack st;
+  st.pushBottom(Command::proceed());
+  st.pushBottom(Command::commit());
+  EXPECT_EQ(st.toString(), "[proceed | commit]");
+}
+
+}  // namespace
+}  // namespace fencetrade::enc

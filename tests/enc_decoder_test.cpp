@@ -1,0 +1,298 @@
+#include "encoding/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "util/check.h"
+
+namespace fencetrade::enc {
+namespace {
+
+using sim::kNoOwner;
+using sim::kNoReg;
+using sim::LocalId;
+using sim::MemoryModel;
+using sim::ProgramBuilder;
+using sim::Reg;
+using sim::StepKind;
+
+/// One process: write A=1; fence; return 0.
+sim::System singleWriter() {
+  sim::System sys;
+  sys.model = MemoryModel::PSO;
+  Reg a = sys.layout.alloc(kNoOwner, "A");
+  ProgramBuilder b("writer");
+  b.writeRegImm(a, 1);
+  b.fence();
+  b.retImm(0);
+  sys.programs.push_back(b.build());
+  return sys;
+}
+
+TEST(DecoderTest, RequiresPsoModel) {
+  sim::System sys = singleWriter();
+  sys.model = MemoryModel::TSO;
+  EXPECT_THROW(Decoder d(&sys), util::CheckError);
+}
+
+TEST(DecoderTest, EmptyStacksDecodeToEmptyExecution) {
+  sim::System sys = singleWriter();
+  Decoder d(&sys);
+  auto res = d.decode(StackSequence(1));
+  EXPECT_TRUE(res.exec.empty());
+  EXPECT_FALSE(res.config.procs[0].final);
+  EXPECT_EQ(res.firstEmptyStep[0], 0);  // empty from the start
+}
+
+TEST(DecoderTest, ProceedRunsUntilFenceWithPendingWrites) {
+  sim::System sys = singleWriter();
+  Decoder d(&sys);
+  StackSequence stacks(1);
+  stacks[0].pushBottom(Command::proceed());
+  auto res = d.decode(stacks);
+  // The write happens, then the process stalls before its fence.
+  ASSERT_EQ(res.exec.size(), 1u);
+  EXPECT_EQ(res.exec[0].kind, StepKind::Write);
+  EXPECT_TRUE(res.stacks[0].empty());  // proceed consumed (D2a)
+  EXPECT_EQ(res.firstEmptyStep[0], 1);
+  EXPECT_FALSE(res.config.procs[0].final);
+  EXPECT_EQ(res.config.buffers[0].size(), 1u);
+}
+
+TEST(DecoderTest, CommitCommandReleasesTheBatch) {
+  sim::System sys = singleWriter();
+  Decoder d(&sys);
+  StackSequence stacks(1);
+  stacks[0].pushBottom(Command::proceed());
+  stacks[0].pushBottom(Command::commit());
+  auto res = d.decode(stacks);
+  ASSERT_EQ(res.exec.size(), 2u);
+  EXPECT_EQ(res.exec[1].kind, StepKind::Commit);
+  EXPECT_EQ(res.visibleCommits, 1);
+  EXPECT_EQ(res.hiddenCommits, 0);
+  EXPECT_EQ(res.config.readMem(0), 1);
+}
+
+TEST(DecoderTest, FullSingleProcessCode) {
+  // proceed | commit | proceed | proceed drives the writer to its final
+  // state: write, commit, fence, return.
+  sim::System sys = singleWriter();
+  Decoder d(&sys);
+  StackSequence stacks(1);
+  stacks[0].pushBottom(Command::proceed());
+  stacks[0].pushBottom(Command::commit());
+  stacks[0].pushBottom(Command::proceed());
+  stacks[0].pushBottom(Command::proceed());
+  auto res = d.decode(stacks);
+  ASSERT_EQ(res.exec.size(), 4u);
+  EXPECT_EQ(res.exec[0].kind, StepKind::Write);
+  EXPECT_EQ(res.exec[1].kind, StepKind::Commit);
+  EXPECT_EQ(res.exec[2].kind, StepKind::Fence);
+  EXPECT_EQ(res.exec[3].kind, StepKind::Return);
+  EXPECT_TRUE(res.config.procs[0].final);
+  EXPECT_EQ(res.config.procs[0].retval, 0);
+  EXPECT_TRUE(res.stacks[0].empty());
+}
+
+TEST(DecoderTest, ReturnBlockedUntilNbFinalMatches) {
+  // A process poised at return(1) is waiting while NbFinal = 0
+  // (classification condition r = NbFinal(C)).
+  sim::System sys;
+  sys.model = MemoryModel::PSO;
+  sys.layout.alloc(kNoOwner, "A");
+  {
+    ProgramBuilder b("returns-one");
+    b.fence();
+    b.retImm(1);  // claims position 1 although it is alone
+    sys.programs.push_back(b.build());
+  }
+  Decoder d(&sys);
+  StackSequence stacks(1);
+  stacks[0].pushBottom(Command::proceed());
+  stacks[0].pushBottom(Command::proceed());
+  auto res = d.decode(stacks);
+  // The fence executes (empty buffer), but the return never does.
+  ASSERT_EQ(res.exec.size(), 1u);
+  EXPECT_EQ(res.exec[0].kind, StepKind::Fence);
+  EXPECT_FALSE(res.config.procs[0].final);
+  EXPECT_EQ(d.classify(res.config, res.stacks, 0), ProcClass::Waiting);
+}
+
+TEST(DecoderTest, HiddenCommitInterleavesBeforeVisibleOne) {
+  // Both processes write register A.  p0 is *later in π* (it only holds
+  // proceed | wait-hidden-commit(1)): its buffered write must commit
+  // immediately before p1's visible commit, so it is overwritten before
+  // anyone can read it — p0 stays "unaware of" semantics intact.
+  sim::System sys;
+  sys.model = MemoryModel::PSO;
+  Reg a = sys.layout.alloc(kNoOwner, "A");
+  {
+    ProgramBuilder b("later");  // p0: hidden writer, never finishes here
+    b.writeRegImm(a, 20);
+    b.fence();
+    b.retImm(1);
+    sys.programs.push_back(b.build());
+  }
+  {
+    ProgramBuilder b("earlier");  // p1: visible writer, runs to the end
+    b.writeRegImm(a, 11);
+    b.fence();
+    b.retImm(0);
+    sys.programs.push_back(b.build());
+  }
+  Decoder d(&sys);
+  StackSequence stacks(2);
+  stacks[0].pushBottom(Command::proceed());
+  stacks[0].pushBottom(Command::waitHiddenCommit(1));
+  stacks[1].pushBottom(Command::proceed());
+  stacks[1].pushBottom(Command::commit());
+  stacks[1].pushBottom(Command::proceed());
+  stacks[1].pushBottom(Command::proceed());
+
+  auto res = d.decode(stacks);
+  EXPECT_EQ(res.hiddenCommits, 1);
+  EXPECT_EQ(res.visibleCommits, 1);
+
+  int hiddenIdx = -1, visibleIdx = -1;
+  for (std::size_t i = 0; i < res.exec.size(); ++i) {
+    if (res.exec[i].kind != StepKind::Commit) continue;
+    if (res.hidden[i]) {
+      hiddenIdx = static_cast<int>(i);
+    } else {
+      visibleIdx = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(hiddenIdx, 0);
+  ASSERT_GE(visibleIdx, 0);
+  EXPECT_LT(hiddenIdx, visibleIdx);
+  EXPECT_EQ(res.exec[hiddenIdx].p, 0);
+  EXPECT_EQ(res.exec[visibleIdx].p, 1);
+  // The earlier process's value overwrote the hidden one.
+  EXPECT_EQ(res.config.readMem(a), 11);
+  EXPECT_TRUE(res.config.procs[1].final);
+  EXPECT_EQ(res.config.procs[1].retval, 0);
+}
+
+TEST(DecoderTest, WaitReadFinishReleasedByReturn) {
+  // p0 (later in π) buffers a write to A and holds wait-read-finish(1);
+  // p1 (earlier) reads A and returns.  p0's commit must wait for p1's
+  // return so p1 never becomes aware of p0.
+  sim::System sys;
+  sys.model = MemoryModel::PSO;
+  Reg a = sys.layout.alloc(kNoOwner, "A");
+  {
+    ProgramBuilder b("writer");  // p0
+    b.writeRegImm(a, 7);
+    b.fence();
+    b.retImm(1);
+    sys.programs.push_back(b.build());
+  }
+  {
+    ProgramBuilder b("reader");  // p1
+    LocalId x = b.local("x");
+    b.readReg(x, a);
+    b.fence();
+    b.retImm(0);
+    sys.programs.push_back(b.build());
+  }
+  Decoder d(&sys);
+  StackSequence stacks(2);
+  stacks[0].pushBottom(Command::proceed());
+  stacks[0].pushBottom(Command::waitReadFinish(1));
+  stacks[0].pushBottom(Command::commit());
+  stacks[0].pushBottom(Command::proceed());
+  stacks[0].pushBottom(Command::proceed());
+  // Reader: one proceed per phase (read-run, fence, return).
+  stacks[1].pushBottom(Command::proceed());
+  stacks[1].pushBottom(Command::proceed());
+  stacks[1].pushBottom(Command::proceed());
+
+  auto res = d.decode(stacks);
+  ASSERT_TRUE(res.config.procs[0].final);
+  ASSERT_TRUE(res.config.procs[1].final);
+  EXPECT_EQ(res.config.procs[0].retval, 1);
+  EXPECT_EQ(res.config.procs[1].retval, 0);
+
+  int readIdx = -1, commitIdx = -1, returnIdx = -1;
+  for (std::size_t i = 0; i < res.exec.size(); ++i) {
+    if (res.exec[i].kind == StepKind::Read) readIdx = static_cast<int>(i);
+    if (res.exec[i].kind == StepKind::Commit) commitIdx = static_cast<int>(i);
+    if (res.exec[i].kind == StepKind::Return && res.exec[i].p == 1) {
+      returnIdx = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(readIdx, 0);
+  ASSERT_GE(commitIdx, 0);
+  ASSERT_GE(returnIdx, 0);
+  EXPECT_LT(readIdx, commitIdx);
+  EXPECT_EQ(res.exec[readIdx].val, 0) << "p1 must not see p0's write";
+  EXPECT_LT(returnIdx, commitIdx)
+      << "p0 committed before the reader finished";
+}
+
+TEST(DecoderTest, WaitLocalFinishDelaysFirstStep) {
+  // Register A lives in p1's segment.  p0 reads it and returns; p1 may
+  // only start after p0 finished (wait-local-finish(1)).
+  sim::System sys;
+  sys.model = MemoryModel::PSO;
+  Reg a = sys.layout.alloc(1, "A");  // owned by p1
+  {
+    ProgramBuilder b("reader");
+    LocalId x = b.local("x");
+    b.readReg(x, a);
+    b.fence();
+    b.retImm(0);
+    sys.programs.push_back(b.build());
+  }
+  {
+    ProgramBuilder b("owner");
+    LocalId x = b.local("x");
+    b.readReg(x, a);
+    b.fence();
+    b.retImm(1);
+    sys.programs.push_back(b.build());
+  }
+  Decoder d(&sys);
+  StackSequence stacks(2);
+  // Accessor: read-run, fence, return.
+  stacks[0].pushBottom(Command::proceed());
+  stacks[0].pushBottom(Command::proceed());
+  stacks[0].pushBottom(Command::proceed());
+  // Segment owner: blocked until the accessor finishes, then the same
+  // three phases.
+  stacks[1].pushBottom(Command::waitLocalFinish(1));
+  stacks[1].pushBottom(Command::proceed());
+  stacks[1].pushBottom(Command::proceed());
+  stacks[1].pushBottom(Command::proceed());
+
+  auto res = d.decode(stacks);
+  ASSERT_TRUE(res.config.procs[1].final);
+  // p1's first step must come after p0's return.
+  int p0Return = -1, p1First = -1;
+  for (std::size_t i = 0; i < res.exec.size(); ++i) {
+    if (res.exec[i].p == 0 && res.exec[i].kind == StepKind::Return) {
+      p0Return = static_cast<int>(i);
+    }
+    if (res.exec[i].p == 1 && p1First == -1) p1First = static_cast<int>(i);
+  }
+  ASSERT_GE(p0Return, 0);
+  ASSERT_GE(p1First, 0);
+  EXPECT_GT(p1First, p0Return);
+}
+
+TEST(DecoderTest, ClassificationBasics) {
+  sim::System sys = singleWriter();
+  Decoder d(&sys);
+  sim::Config cfg = sim::initialConfig(sys);
+  StackSequence stacks(1);
+  EXPECT_EQ(d.classify(cfg, stacks, 0), ProcClass::Waiting);  // empty stack
+  stacks[0].pushBottom(Command::proceed());
+  EXPECT_EQ(d.classify(cfg, stacks, 0), ProcClass::NonCommitEnabled);
+  stacks[0].pop();
+  stacks[0].pushBottom(Command::commit());
+  // Not poised at a fence with pending writes yet.
+  EXPECT_EQ(d.classify(cfg, stacks, 0), ProcClass::Waiting);
+}
+
+}  // namespace
+}  // namespace fencetrade::enc

@@ -1,0 +1,141 @@
+#include "encoding/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "sim/builder.h"
+#include "util/check.h"
+#include "util/permutation.h"
+
+namespace fencetrade::enc {
+namespace {
+
+using core::bakeryFactory;
+using core::buildCountSystem;
+using core::gtFactory;
+using sim::MemoryModel;
+
+TEST(EncoderTest, SingleWriterProducesCanonicalCode) {
+  // write A; fence; return 0 — the construction yields exactly
+  // proceed | commit | proceed | proceed (hand-derived in
+  // tests/enc_decoder_test.cpp FullSingleProcessCode).
+  sim::System sys;
+  sys.model = MemoryModel::PSO;
+  sim::Reg a = sys.layout.alloc(sim::kNoOwner, "A");
+  sim::ProgramBuilder b("writer");
+  b.writeRegImm(a, 1);
+  b.fence();
+  b.retImm(0);
+  sys.programs.push_back(b.build());
+
+  Encoder enc(&sys);
+  auto res = enc.encode({0});
+  EXPECT_EQ(res.stacks[0].toString(),
+            "[proceed | commit | proceed | proceed]");
+  EXPECT_EQ(res.iterations, 4);
+  EXPECT_TRUE(res.finalDecode.config.procs[0].final);
+}
+
+TEST(EncoderTest, CountOverBakeryIdentityPermutation) {
+  const int n = 3;
+  auto os = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+  Encoder enc(&os.sys);
+  auto res = enc.encode(util::identityPermutation(n));
+  for (int k = 0; k < n; ++k) {
+    EXPECT_EQ(res.finalDecode.config.procs[k].retval, k);
+  }
+  EXPECT_GT(res.stackStats.commands, 0);
+  EXPECT_GT(res.counts.fences, 0);
+}
+
+TEST(EncoderTest, AllPermutationsOfThreeReturnTheirPositions) {
+  const int n = 3;
+  for (const auto& pi : util::allPermutations(n)) {
+    auto os = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+    Encoder enc(&os.sys);
+    auto res = enc.encode(pi);
+    for (int k = 0; k < n; ++k) {
+      EXPECT_EQ(res.finalDecode.config.procs[pi[k]].retval, k);
+    }
+  }
+}
+
+TEST(EncoderTest, DistinctPermutationsYieldDistinctCodes) {
+  // The heart of the counting argument: n! permutations -> n! codes.
+  const int n = 3;
+  std::set<std::string> codes;
+  for (const auto& pi : util::allPermutations(n)) {
+    auto os = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+    Encoder enc(&os.sys);
+    auto res = enc.encode(pi);
+    std::string serialized;
+    for (const auto& st : res.stacks) serialized += st.toString() + ";";
+    codes.insert(serialized);
+  }
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+TEST(EncoderTest, PermutationReconstructibleFromCode) {
+  // Decode the final stacks from scratch; the order of return values
+  // recovers π (the decoder receives only the code, not π).
+  const int n = 4;
+  util::Rng rng(5);
+  for (int rep = 0; rep < 3; ++rep) {
+    auto pi = util::randomPermutation(n, rng);
+    auto os = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+    Encoder enc(&os.sys);
+    auto res = enc.encode(pi);
+
+    Decoder dec(&os.sys);
+    auto replay = dec.decode(res.stacks);
+    util::Permutation recovered(n);
+    for (int p = 0; p < n; ++p) {
+      ASSERT_TRUE(replay.config.procs[p].final);
+      recovered[static_cast<std::size_t>(
+          replay.config.procs[p].retval)] = p;
+    }
+    EXPECT_EQ(recovered, pi) << "rep " << rep;
+  }
+}
+
+TEST(EncoderTest, WorksOverGtAndTournament) {
+  const int n = 4;
+  util::Rng rng(11);
+  auto pi = util::randomPermutation(n, rng);
+  for (int f : {1, 2}) {
+    auto os = buildCountSystem(MemoryModel::PSO, n, gtFactory(f));
+    Encoder enc(&os.sys);
+    auto res = enc.encode(pi);
+    for (int k = 0; k < n; ++k) {
+      EXPECT_EQ(res.finalDecode.config.procs[pi[k]].retval, k)
+          << "f=" << f;
+    }
+  }
+}
+
+TEST(EncoderTest, RejectsNonPermutation) {
+  auto os = buildCountSystem(MemoryModel::PSO, 3, bakeryFactory());
+  Encoder enc(&os.sys);
+  EXPECT_THROW(enc.encode({0, 0, 1}), util::CheckError);
+  EXPECT_THROW(enc.encode({0, 1}), util::CheckError);
+}
+
+TEST(EncoderTest, StatsAccounting) {
+  const int n = 4;
+  auto os = buildCountSystem(MemoryModel::PSO, n, bakeryFactory());
+  Encoder enc(&os.sys);
+  auto res = enc.encode(util::identityPermutation(n));
+  // One command added per iteration.
+  EXPECT_EQ(res.stackStats.commands, res.iterations);
+  // Every execution has fences and remote steps.
+  EXPECT_GT(res.counts.fences, 0);
+  EXPECT_GT(res.counts.rmrs, 0);
+  EXPECT_GT(res.codeBits(), 0.0);
+  // Value sum at least the number of commands (each value >= 1).
+  EXPECT_GE(res.stackStats.valueSum, res.stackStats.commands);
+}
+
+}  // namespace
+}  // namespace fencetrade::enc

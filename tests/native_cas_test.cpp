@@ -1,0 +1,73 @@
+#include "native/cas_locks.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "native/lock.h"
+#include "native/objects.h"
+#include "util/check.h"
+
+namespace fencetrade::native {
+namespace {
+
+template <typename Lock>
+void mutualExclusionStress() {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 3000;
+  Lock lock(kThreads);
+  std::int64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard<Lock> g(lock, t);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(NativeCasLockTest, TasMutualExclusion) {
+  mutualExclusionStress<TasLock>();
+}
+
+TEST(NativeCasLockTest, TtasMutualExclusion) {
+  mutualExclusionStress<TtasLock>();
+}
+
+TEST(NativeCasLockTest, UncontendedCostsOneRmwEach) {
+  TasLock tas(2);
+  resetCasOpCount();
+  tas.lock(0);
+  tas.unlock(0);
+  EXPECT_EQ(casOpCount(), 1u);
+
+  TtasLock ttas(2);
+  resetCasOpCount();
+  ttas.lock(1);
+  ttas.unlock(1);
+  EXPECT_EQ(casOpCount(), 1u);
+}
+
+TEST(NativeCasLockTest, WorksWithLockedObjects) {
+  LockedCounter<TtasLock> counter(4);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(counter.fetchAdd(i % 4), i);
+  }
+  LockedQueue<TasLock> queue(2);
+  EXPECT_EQ(queue.enqueue(0, 42), 0);
+  EXPECT_EQ(queue.dequeue(1).value(), 42);
+}
+
+TEST(NativeCasLockTest, BadParametersRejected) {
+  EXPECT_THROW(TasLock bad(0), util::CheckError);
+  TasLock lock(2);
+  EXPECT_THROW(lock.lock(2), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fencetrade::native

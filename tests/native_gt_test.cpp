@@ -1,0 +1,108 @@
+#include "native/gt_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "native/fences.h"
+#include "native/lock.h"
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace fencetrade::native {
+namespace {
+
+TEST(NativeGtTest, StructureMatchesFormula) {
+  GeneralizedTournamentLock gt(64, 2);
+  EXPECT_EQ(gt.height(), 2);
+  EXPECT_EQ(gt.branching(), 8);
+  EXPECT_EQ(gt.fencesPerPassage(), 8u);
+
+  GeneralizedTournamentLock bin(64, 6);
+  EXPECT_EQ(bin.branching(), 2);
+  EXPECT_EQ(bin.fencesPerPassage(), 24u);
+}
+
+TEST(NativeGtTest, HeightClamped) {
+  GeneralizedTournamentLock gt(8, 100);
+  EXPECT_EQ(gt.height(), 3);
+}
+
+TEST(NativeGtTest, FencesPerPassageMeasuredMatchesFormula) {
+  for (int f : {1, 2, 3, 4}) {
+    GeneralizedTournamentLock gt(16, f);
+    FenceCountScope scope;
+    gt.lock(5);
+    gt.unlock(5);
+    EXPECT_EQ(scope.count(), gt.fencesPerPassage()) << "f=" << f;
+  }
+}
+
+TEST(NativeGtTest, TournamentLockIsBinaryFullHeight) {
+  TournamentLock t(32);
+  EXPECT_EQ(t.height(), 5);
+  EXPECT_EQ(t.branching(), 2);
+  FenceCountScope scope;
+  t.lock(17);
+  t.unlock(17);
+  EXPECT_EQ(scope.count(), 20u);  // 4 fences × 5 levels
+}
+
+TEST(NativeGtTest, MutualExclusionUnderThreadsAllHeights) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1500;
+  for (int f : {1, 2}) {
+    GeneralizedTournamentLock gt(kThreads, f);
+    std::int64_t counter = 0;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          LockGuard<GeneralizedTournamentLock> g(gt, t);
+          ++counter;
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters)
+        << "f=" << f;
+  }
+}
+
+TEST(NativeGtTest, NonPowerCapacityWorks) {
+  // 10 threads, height 2 -> branching 4, tail nodes smaller.
+  constexpr int kThreads = 5;
+  GeneralizedTournamentLock gt(10, 2);
+  std::int64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 800; ++i) {
+        LockGuard<GeneralizedTournamentLock> g(gt, t * 2 + 1);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * 800);
+}
+
+TEST(NativeGtTest, SingleThreadAllSlots) {
+  GeneralizedTournamentLock gt(27, 3);
+  EXPECT_EQ(gt.branching(), 3);
+  for (int id = 0; id < 27; ++id) {
+    gt.lock(id);
+    gt.unlock(id);
+  }
+}
+
+TEST(NativeGtTest, BadParametersRejected) {
+  EXPECT_THROW(GeneralizedTournamentLock(0, 1), util::CheckError);
+  EXPECT_THROW(GeneralizedTournamentLock(4, 0), util::CheckError);
+  GeneralizedTournamentLock gt(4, 2);
+  EXPECT_THROW(gt.lock(4), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fencetrade::native

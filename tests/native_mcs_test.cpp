@@ -1,0 +1,91 @@
+#include "native/mcs_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "native/lock.h"
+#include "native/objects.h"
+
+namespace fencetrade::native {
+namespace {
+
+TEST(McsLockTest, SingleThreadLockUnlock) {
+  McsLock lock(4);
+  for (int id = 0; id < 4; ++id) {
+    lock.lock(id);
+    lock.unlock(id);
+  }
+}
+
+TEST(McsLockTest, UncontendedCostsTwoRmws) {
+  McsLock lock(2);
+  resetCasOpCount();
+  lock.lock(0);
+  lock.unlock(0);
+  EXPECT_EQ(casOpCount(), 2u);  // enqueue exchange + dequeue CAS
+}
+
+TEST(McsLockTest, MutualExclusionUnderThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 4000;
+  McsLock lock(kThreads);
+  std::int64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard<McsLock> g(lock, t);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(McsLockTest, HandoffThroughQueue) {
+  // Force the queued path: t0 holds the lock while t1 enqueues, then t0
+  // releases; t1 must be woken via its own flag.
+  McsLock lock(2);
+  std::atomic<int> stage{0};
+  std::int64_t shared = 0;
+
+  std::thread t0([&] {
+    lock.lock(0);
+    shared = 1;
+    stage.store(1, std::memory_order_release);
+    // Give t1 time to enqueue behind us.
+    while (stage.load(std::memory_order_acquire) < 2) {
+    }
+    shared = 2;
+    lock.unlock(0);
+  });
+  std::thread t1([&] {
+    while (stage.load(std::memory_order_acquire) < 1) {
+    }
+    stage.store(2, std::memory_order_release);
+    lock.lock(1);  // must wait until t0 unlocks
+    EXPECT_EQ(shared, 2);
+    lock.unlock(1);
+  });
+  t0.join();
+  t1.join();
+}
+
+TEST(McsLockTest, WorksWithLockedObjects) {
+  LockedCounter<McsLock> counter(4);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(counter.fetchAdd(i % 4), i);
+  }
+}
+
+TEST(McsLockTest, BadParametersRejected) {
+  EXPECT_THROW(McsLock bad(0), util::CheckError);
+  McsLock lock(2);
+  EXPECT_THROW(lock.lock(3), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fencetrade::native

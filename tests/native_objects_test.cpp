@@ -1,0 +1,107 @@
+#include "native/objects.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "native/bakery_lock.h"
+#include "native/gt_lock.h"
+
+namespace fencetrade::native {
+namespace {
+
+TEST(LockedCounterTest, SequentialFetchAddReturnsOldValues) {
+  LockedCounter<BakeryLock> counter(4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(counter.fetchAdd(i % 4), i);
+  }
+  EXPECT_EQ(counter.read(0), 10);
+}
+
+TEST(LockedCounterTest, FetchAddWithDelta) {
+  LockedCounter<BakeryLock> counter(2);
+  EXPECT_EQ(counter.fetchAdd(0, 5), 0);
+  EXPECT_EQ(counter.fetchAdd(1, 3), 5);
+  EXPECT_EQ(counter.read(0), 8);
+}
+
+TEST(LockedCounterTest, ConcurrentFetchAddIsAnOrderingAlgorithm) {
+  // The Count property (Definition 4.1): every value in [0, total) is
+  // returned exactly once.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  LockedCounter<GeneralizedTournamentLock> counter(kThreads, 2);
+
+  std::vector<std::vector<std::int64_t>> returns(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        returns[t].push_back(counter.fetchAdd(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<std::int64_t> all;
+  for (const auto& v : returns) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kIters);
+  EXPECT_EQ(*all.begin(), 0);
+  EXPECT_EQ(*all.rbegin(), kThreads * kIters - 1);
+}
+
+TEST(LockedQueueTest, FifoOrderSequential) {
+  LockedQueue<BakeryLock> q(2);
+  EXPECT_EQ(q.enqueue(0, 100), 0);
+  EXPECT_EQ(q.enqueue(1, 200), 1);
+  EXPECT_EQ(q.enqueue(0, 300), 2);
+  EXPECT_EQ(q.dequeue(1).value(), 100);
+  EXPECT_EQ(q.dequeue(0).value(), 200);
+  EXPECT_EQ(q.dequeue(1).value(), 300);
+  EXPECT_FALSE(q.dequeue(0).has_value());
+}
+
+TEST(LockedQueueTest, EnqueuePositionsArePermutation) {
+  constexpr int kThreads = 3;
+  constexpr int kIters = 300;
+  LockedQueue<BakeryLock> q(kThreads);
+  std::vector<std::set<std::int64_t>> positions(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        positions[t].insert(q.enqueue(t, t * kIters + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<std::int64_t> all;
+  for (const auto& s : positions) all.insert(s.begin(), s.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kIters);
+}
+
+TEST(LockedQueueTest, ProducerConsumerDrains) {
+  LockedQueue<BakeryLock> q(2);
+  constexpr int kItems = 2000;
+  std::vector<std::int64_t> received;
+
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) q.enqueue(0, i);
+  });
+  std::thread consumer([&] {
+    while (received.size() < kItems) {
+      if (auto v = q.dequeue(1)) received.push_back(*v);
+    }
+  });
+  producer.join();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  // FIFO: the consumer sees 0, 1, 2, ... in order.
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+}
+
+}  // namespace
+}  // namespace fencetrade::native

@@ -1,0 +1,86 @@
+#include "native/peterson_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "native/lock.h"
+#include "native/objects.h"
+#include "util/check.h"
+
+namespace fencetrade::native {
+namespace {
+
+TEST(NativePetersonTest, StructureAndFenceFormula) {
+  PetersonTournamentLock lock(16);
+  EXPECT_EQ(lock.height(), 4);
+  EXPECT_EQ(lock.fencesPerPassage(), 12u);
+
+  PetersonTournamentLock tso(16, PetersonFencing::TsoOnly);
+  EXPECT_EQ(tso.fencesPerPassage(), 8u);
+}
+
+TEST(NativePetersonTest, MeasuredFencesMatchFormula) {
+  for (auto fencing :
+       {PetersonFencing::PsoSafe, PetersonFencing::TsoOnly}) {
+    PetersonTournamentLock lock(32, fencing);
+    FenceCountScope scope;
+    lock.lock(13);
+    lock.unlock(13);
+    EXPECT_EQ(scope.count(), lock.fencesPerPassage());
+  }
+}
+
+TEST(NativePetersonTest, FewerFencesThanBakeryTournament) {
+  // The point of the Peterson tree: 3 fences per level instead of 4.
+  PetersonTournamentLock pet(64);
+  EXPECT_EQ(pet.fencesPerPassage(), 18u);  // vs GT: 24
+}
+
+TEST(NativePetersonTest, MutualExclusionUnderThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  for (auto fencing :
+       {PetersonFencing::PsoSafe, PetersonFencing::TsoOnly}) {
+    PetersonTournamentLock lock(kThreads, fencing);
+    std::int64_t counter = 0;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          LockGuard<PetersonTournamentLock> g(lock, t);
+          ++counter;
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+  }
+}
+
+TEST(NativePetersonTest, WorksAsCounterLock) {
+  LockedCounter<PetersonTournamentLock> counter(8);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(counter.fetchAdd(i % 8), i);
+  }
+}
+
+TEST(NativePetersonTest, NonPowerOfTwoCapacity) {
+  PetersonTournamentLock lock(5);
+  EXPECT_EQ(lock.height(), 3);
+  for (int id = 0; id < 5; ++id) {
+    lock.lock(id);
+    lock.unlock(id);
+  }
+}
+
+TEST(NativePetersonTest, BadSlotThrows) {
+  PetersonTournamentLock lock(4);
+  EXPECT_THROW(lock.lock(4), util::CheckError);
+  EXPECT_THROW(lock.unlock(-1), util::CheckError);
+  EXPECT_THROW(PetersonTournamentLock bad(0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fencetrade::native

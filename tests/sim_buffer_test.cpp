@@ -1,0 +1,123 @@
+#include "sim/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fencetrade::sim {
+namespace {
+
+TEST(PsoBufferTest, StartsEmpty) {
+  WriteBuffer wb(MemoryModel::PSO);
+  EXPECT_TRUE(wb.empty());
+  EXPECT_EQ(wb.size(), 0u);
+  EXPECT_FALSE(wb.containsReg(0));
+  EXPECT_FALSE(wb.forwardValue(0).has_value());
+}
+
+TEST(PsoBufferTest, WriteReplacesPendingWriteToSameRegister) {
+  // The paper: WB gets (WB - {(R, x')}) ∪ {(R, x)} — no duplicates.
+  WriteBuffer wb(MemoryModel::PSO);
+  wb.addWrite(5, 10);
+  wb.addWrite(5, 20);
+  EXPECT_EQ(wb.size(), 1u);
+  EXPECT_EQ(wb.forwardValue(5).value(), 20);
+}
+
+TEST(PsoBufferTest, AnyRegisterIsCommittable) {
+  WriteBuffer wb(MemoryModel::PSO);
+  wb.addWrite(3, 1);
+  wb.addWrite(7, 2);
+  wb.addWrite(1, 3);
+  EXPECT_TRUE(wb.canCommitReg(3));
+  EXPECT_TRUE(wb.canCommitReg(7));
+  EXPECT_TRUE(wb.canCommitReg(1));
+  EXPECT_FALSE(wb.canCommitReg(2));
+}
+
+TEST(PsoBufferTest, ForcedCommitPicksSmallestRegister) {
+  WriteBuffer wb(MemoryModel::PSO);
+  wb.addWrite(9, 1);
+  wb.addWrite(2, 2);
+  wb.addWrite(5, 3);
+  EXPECT_EQ(wb.nextForcedReg(), 2);
+  EXPECT_EQ(wb.commitReg(2), 2);
+  EXPECT_EQ(wb.nextForcedReg(), 5);
+}
+
+TEST(PsoBufferTest, CommitRemovesEntry) {
+  WriteBuffer wb(MemoryModel::PSO);
+  wb.addWrite(4, 44);
+  EXPECT_EQ(wb.commitReg(4), 44);
+  EXPECT_TRUE(wb.empty());
+  EXPECT_THROW(wb.commitReg(4), util::CheckError);
+}
+
+TEST(PsoBufferTest, DistinctRegsSorted) {
+  WriteBuffer wb(MemoryModel::PSO);
+  wb.addWrite(9, 1);
+  wb.addWrite(2, 2);
+  wb.addWrite(9, 3);
+  EXPECT_EQ(wb.distinctRegs(), (std::vector<Reg>{2, 9}));
+}
+
+TEST(TsoBufferTest, FifoOrderOnlyFrontCommittable) {
+  WriteBuffer wb(MemoryModel::TSO);
+  wb.addWrite(5, 1);
+  wb.addWrite(3, 2);
+  EXPECT_TRUE(wb.canCommitReg(5));
+  EXPECT_FALSE(wb.canCommitReg(3));  // not the oldest entry
+  EXPECT_EQ(wb.nextForcedReg(), 5);
+  EXPECT_EQ(wb.commitReg(5), 1);
+  EXPECT_TRUE(wb.canCommitReg(3));
+}
+
+TEST(TsoBufferTest, AllowsMultipleWritesToSameRegisterInOrder) {
+  WriteBuffer wb(MemoryModel::TSO);
+  wb.addWrite(5, 1);
+  wb.addWrite(5, 2);
+  EXPECT_EQ(wb.size(), 2u);
+  // Forwarding returns the newest pending value.
+  EXPECT_EQ(wb.forwardValue(5).value(), 2);
+  EXPECT_EQ(wb.commitReg(5), 1);  // commits the oldest
+  EXPECT_EQ(wb.forwardValue(5).value(), 2);
+}
+
+TEST(TsoBufferTest, ForwardingIgnoresOtherRegisters) {
+  WriteBuffer wb(MemoryModel::TSO);
+  wb.addWrite(1, 10);
+  EXPECT_FALSE(wb.forwardValue(2).has_value());
+}
+
+TEST(ScBufferTest, AddWriteForbidden) {
+  WriteBuffer wb(MemoryModel::SC);
+  EXPECT_THROW(wb.addWrite(1, 1), util::CheckError);
+}
+
+TEST(BufferHashTest, HashReflectsContent) {
+  WriteBuffer a(MemoryModel::PSO), b(MemoryModel::PSO);
+  a.addWrite(1, 2);
+  b.addWrite(1, 2);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_TRUE(a == b);
+  b.addWrite(3, 4);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BufferHashTest, TsoHashIsOrderSensitive) {
+  WriteBuffer a(MemoryModel::TSO), b(MemoryModel::TSO);
+  a.addWrite(1, 1);
+  a.addWrite(2, 2);
+  b.addWrite(2, 2);
+  b.addWrite(1, 1);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BufferTest, NextForcedRegOnEmptyThrows) {
+  WriteBuffer wb(MemoryModel::PSO);
+  EXPECT_THROW(wb.nextForcedReg(), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

@@ -1,0 +1,172 @@
+// Semantics of the comparison primitive (paper, Section 6) on the
+// write-buffer machine.
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "sim/explore.h"
+#include "sim/machine.h"
+#include "sim/schedule.h"
+
+namespace fencetrade::sim {
+namespace {
+
+/// One process: cas(A, expected, desired); return old value.
+System singleCas(MemoryModel m, Value expected, Value desired) {
+  System sys;
+  sys.model = m;
+  Reg a = sys.layout.alloc(kNoOwner, "A");
+  ProgramBuilder b("caser");
+  LocalId old = b.local("old");
+  b.casReg(old, a, b.imm(expected), b.imm(desired));
+  b.fence();
+  b.ret(b.L(old));
+  (void)a;
+  sys.programs.push_back(b.build());
+  return sys;
+}
+
+TEST(CasTest, SuccessfulSwapReturnsOldAndWrites) {
+  System sys = singleCas(MemoryModel::PSO, 0, 7);
+  Config cfg = initialConfig(sys);
+  auto s = execElem(sys, cfg, 0, kNoReg);
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->kind, StepKind::Cas);
+  EXPECT_TRUE(s->casApplied);
+  EXPECT_EQ(s->val, 0);             // old value returned
+  EXPECT_EQ(cfg.readMem(0), 7);     // applied directly to memory
+  EXPECT_TRUE(cfg.buffers[0].empty());
+}
+
+TEST(CasTest, FailedSwapLeavesMemoryUntouched) {
+  System sys = singleCas(MemoryModel::PSO, 5, 7);  // expects 5, finds 0
+  Config cfg = initialConfig(sys);
+  auto s = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s->kind, StepKind::Cas);
+  EXPECT_FALSE(s->casApplied);
+  EXPECT_EQ(s->val, 0);
+  EXPECT_EQ(cfg.readMem(0), 0);
+}
+
+TEST(CasTest, CasDrainsWriteBufferFirst) {
+  // write B; cas A — the pending write must commit before the CAS runs.
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg a = sys.layout.alloc(kNoOwner, "A");
+  Reg bb = sys.layout.alloc(kNoOwner, "B");
+  ProgramBuilder b("wcas");
+  LocalId old = b.local("old");
+  b.writeRegImm(bb, 3);
+  b.casReg(old, a, b.imm(0), b.imm(1));
+  b.fence();
+  b.ret(b.L(old));
+  sys.programs.push_back(b.build());
+
+  Config cfg = initialConfig(sys);
+  execElem(sys, cfg, 0, kNoReg);  // write B (buffered)
+  auto s1 = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s1->kind, StepKind::Commit) << "CAS must drain the buffer";
+  EXPECT_EQ(s1->reg, bb);
+  auto s2 = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s2->kind, StepKind::Cas);
+  EXPECT_TRUE(s2->casApplied);
+  EXPECT_EQ(cfg.readMem(a), 1);
+}
+
+TEST(CasTest, RmrClassification) {
+  // First CAS on an unowned register: remote.  Second CAS by the same
+  // process (owning the line): local.
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg a = sys.layout.alloc(kNoOwner, "A");
+  ProgramBuilder b("cc");
+  LocalId old = b.local("old");
+  b.casReg(old, a, b.imm(0), b.imm(1));
+  b.casReg(old, a, b.imm(1), b.imm(2));
+  b.fence();
+  b.ret(b.L(old));
+  sys.programs.push_back(b.build());
+
+  Config cfg = initialConfig(sys);
+  auto s1 = execElem(sys, cfg, 0, kNoReg);
+  auto s2 = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_TRUE(s1->remote);
+  EXPECT_FALSE(s2->remote) << "line ownership retained";
+}
+
+TEST(CasTest, SegmentLocalCasIsLocal) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg a = sys.layout.alloc(0, "A");  // owned by the casing process
+  ProgramBuilder b("own");
+  LocalId old = b.local("old");
+  b.casReg(old, a, b.imm(0), b.imm(1));
+  b.fence();
+  b.ret(b.L(old));
+  sys.programs.push_back(b.build());
+  Config cfg = initialConfig(sys);
+  auto s = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_FALSE(s->remote);
+}
+
+TEST(CasTest, AtomicityUnderExhaustiveExploration) {
+  // Two processes increment a counter with CAS-retry; every interleaving
+  // (including buffered-write commits) must yield exactly 2.
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg c = sys.layout.alloc(kNoOwner, "C");
+  for (int p = 0; p < 2; ++p) {
+    ProgramBuilder b("inc#" + std::to_string(p));
+    LocalId cur = b.local("cur");
+    LocalId old = b.local("old");
+    b.loop([&] {
+      b.readReg(cur, c);
+      b.cas(old, b.imm(c), b.L(cur), b.add(b.L(cur), b.imm(1)));
+      b.exitIf(b.eq(b.L(old), b.L(cur)));
+    });
+    b.fence();
+    b.ret(b.L(old));
+    sys.programs.push_back(b.build());
+  }
+  auto res = explore(sys);
+  EXPECT_FALSE(res.capped);
+  // Return values are the pre-increment reads: {0,1} in either order —
+  // never {0,0} (that would be a lost update).
+  for (const auto& outcome : res.outcomes) {
+    std::set<Value> vals(outcome.begin(), outcome.end());
+    EXPECT_EQ(vals, (std::set<Value>{0, 1}));
+  }
+}
+
+TEST(CasTest, CountStepsCountsCasSeparately) {
+  System sys = singleCas(MemoryModel::PSO, 0, 1);
+  Config cfg = initialConfig(sys);
+  Execution exec;
+  runSolo(sys, cfg, 0, &exec);
+  auto counts = countSteps(exec, 1);
+  EXPECT_EQ(counts.casSteps, 1);
+  EXPECT_EQ(counts.fences, 1);
+  EXPECT_EQ(counts.writes, 0);
+}
+
+TEST(CasTest, BehaviorIdenticalAcrossModelsSolo) {
+  for (auto m : {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO}) {
+    System sys = singleCas(m, 0, 9);
+    Config cfg = initialConfig(sys);
+    ASSERT_TRUE(runSolo(sys, cfg, 0, nullptr));
+    EXPECT_EQ(cfg.procs[0].retval, 0) << memoryModelName(m);
+    EXPECT_EQ(cfg.readMem(0), 9) << memoryModelName(m);
+  }
+}
+
+TEST(CasTest, UsesCasFlagDetected) {
+  System sys = singleCas(MemoryModel::PSO, 0, 1);
+  EXPECT_TRUE(sys.programs[0].usesCas());
+
+  ProgramBuilder b("plain");
+  b.fence();
+  b.retImm(0);
+  EXPECT_FALSE(b.build().usesCas());
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

@@ -1,0 +1,151 @@
+#include "sim/explore.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+
+namespace fencetrade::sim {
+namespace {
+
+TEST(ExploreTest, SingleProcessHasOneOutcome) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  ProgramBuilder b("solo");
+  LocalId x = b.local("x");
+  b.writeRegImm(r, 3);
+  b.fence();
+  b.readReg(x, r);
+  b.fence();
+  b.ret(b.L(x));
+  sys.programs.push_back(b.build());
+
+  auto res = explore(sys);
+  EXPECT_EQ(res.outcomes.size(), 1u);
+  EXPECT_TRUE(res.outcomes.count({3}));
+  EXPECT_FALSE(res.capped);
+  EXPECT_FALSE(res.mutexViolation);
+}
+
+TEST(ExploreTest, RacingReadersSeeBothValues) {
+  // p0 writes r=1 and returns; p1 reads r once: both 0 and 1 reachable.
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  {
+    ProgramBuilder b("writer");
+    b.writeRegImm(r, 1);
+    b.fence();
+    b.retImm(0);
+    sys.programs.push_back(b.build());
+  }
+  {
+    ProgramBuilder b("reader");
+    LocalId x = b.local("x");
+    b.readReg(x, r);
+    b.fence();
+    b.ret(b.L(x));
+    sys.programs.push_back(b.build());
+  }
+  auto res = explore(sys);
+  EXPECT_TRUE(res.outcomes.count({0, 0}));
+  EXPECT_TRUE(res.outcomes.count({0, 1}));
+  EXPECT_EQ(res.outcomes.size(), 2u);
+}
+
+TEST(ExploreTest, DetectsMutualExclusionViolationOfNoLock) {
+  // Two processes with CS markers and no lock at all: the explorer must
+  // find a state with both inside.
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  for (int p = 0; p < 2; ++p) {
+    ProgramBuilder b("nolock#" + std::to_string(p));
+    LocalId x = b.local("x");
+    b.readReg(x, r);  // one step before the CS so the witness is non-empty
+    b.csBegin();
+    b.readReg(x, r);
+    b.writeReg(r, b.add(b.L(x), b.imm(1)));
+    b.fence();
+    b.csEnd();
+    b.ret(b.L(x));
+    sys.programs.push_back(b.build());
+  }
+  auto res = explore(sys);
+  EXPECT_TRUE(res.mutexViolation);
+  EXPECT_GE(res.maxCsOccupancy, 2);
+  EXPECT_FALSE(res.witness.empty());
+}
+
+TEST(ExploreTest, WitnessReplaysToViolation) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  for (int p = 0; p < 2; ++p) {
+    ProgramBuilder b("nolock#" + std::to_string(p));
+    LocalId x = b.local("x");
+    b.readReg(x, r);  // one step before the CS so the witness is non-empty
+    b.csBegin();
+    b.readReg(x, r);
+    b.writeReg(r, b.add(b.L(x), b.imm(1)));
+    b.fence();
+    b.csEnd();
+    b.ret(b.L(x));
+    sys.programs.push_back(b.build());
+  }
+  auto res = explore(sys);
+  ASSERT_TRUE(res.mutexViolation);
+
+  // Replay the witness schedule and confirm both end up in the CS.
+  Config cfg = initialConfig(sys);
+  for (auto [p, reg] : res.witness) {
+    ASSERT_TRUE(execElem(sys, cfg, p, reg).has_value());
+  }
+  int occ = 0;
+  for (int p = 0; p < sys.n(); ++p) {
+    if (inCriticalSection(sys, cfg, p)) ++occ;
+  }
+  EXPECT_GE(occ, 2);
+}
+
+TEST(ExploreTest, StateCapReportsCapped) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  for (int p = 0; p < 3; ++p) {
+    ProgramBuilder b("w#" + std::to_string(p));
+    LocalId x = b.local("x");
+    b.readReg(x, r);
+    b.writeReg(r, b.add(b.L(x), b.imm(1)));
+    b.fence();
+    b.ret(b.L(x));
+    sys.programs.push_back(b.build());
+  }
+  ExploreOptions opts;
+  opts.maxStates = 10;
+  auto res = explore(sys, opts);
+  EXPECT_TRUE(res.capped);
+  EXPECT_LE(res.statesVisited, 11u);
+}
+
+TEST(ExploreTest, DeterministicAcrossRuns) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  for (int p = 0; p < 2; ++p) {
+    ProgramBuilder b("d#" + std::to_string(p));
+    LocalId x = b.local("x");
+    b.readReg(x, r);
+    b.writeReg(r, b.add(b.L(x), b.imm(1)));
+    b.fence();
+    b.ret(b.L(x));
+    sys.programs.push_back(b.build());
+  }
+  auto a = explore(sys);
+  auto b2 = explore(sys);
+  EXPECT_EQ(a.outcomes, b2.outcomes);
+  EXPECT_EQ(a.statesVisited, b2.statesVisited);
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

@@ -1,0 +1,134 @@
+// Fetch-and-add — the arithmetic RMW that marks the *boundary* of the
+// paper's result: Theorem 4.2 (and its [12] extension to comparison
+// primitives) bounds read/write/CAS implementations of the FAI object,
+// while a hardware FAA implements it wait-free with O(1) steps and no
+// fences at all.
+#include <gtest/gtest.h>
+
+#include "encoding/encoder.h"
+#include "sim/builder.h"
+#include "sim/explore.h"
+#include "sim/schedule.h"
+#include "util/check.h"
+#include "util/permutation.h"
+
+namespace fencetrade::sim {
+namespace {
+
+/// Wait-free FAI object: every process performs ONE faa and returns the
+/// old value — an ordering algorithm with zero fences beyond the final
+/// one and O(1) RMRs per process.
+System waitFreeFai(MemoryModel m, int n) {
+  System sys;
+  sys.model = m;
+  Reg c = sys.layout.alloc(kNoOwner, "C");
+  for (int p = 0; p < n; ++p) {
+    ProgramBuilder b("wf-fai#" + std::to_string(p));
+    LocalId old = b.local("old");
+    b.faaReg(old, c, b.imm(1));
+    b.fence();
+    b.ret(b.L(old));
+  // The return value must equal NbFinal for the process to return in
+  // the decoder's model; under plain schedulers it returns immediately.
+    sys.programs.push_back(b.build());
+  }
+  return sys;
+}
+
+TEST(FaaTest, BasicSemantics) {
+  System sys = waitFreeFai(MemoryModel::PSO, 1);
+  Config cfg = initialConfig(sys);
+  auto s = execElem(sys, cfg, 0, kNoReg);
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->kind, StepKind::Cas);  // accounted as an RMW step
+  EXPECT_EQ(s->val, 0);               // old value
+  EXPECT_EQ(cfg.readMem(0), 1);
+}
+
+TEST(FaaTest, DrainsBufferLikeCas) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg a = sys.layout.alloc(kNoOwner, "A");
+  Reg c = sys.layout.alloc(kNoOwner, "C");
+  ProgramBuilder b("w-faa");
+  LocalId old = b.local("old");
+  b.writeRegImm(a, 9);
+  b.faaReg(old, c, b.imm(1));
+  b.fence();
+  b.ret(b.L(old));
+  sys.programs.push_back(b.build());
+
+  Config cfg = initialConfig(sys);
+  execElem(sys, cfg, 0, kNoReg);  // write A buffered
+  auto s = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s->kind, StepKind::Commit) << "FAA must drain the buffer";
+  auto s2 = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s2->kind, StepKind::Cas);
+}
+
+TEST(FaaTest, WaitFreeFaiIsAtomicExhaustively) {
+  // Every interleaving of two concurrent FAAs yields distinct values —
+  // no lost updates, under every memory model.
+  for (auto m : {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO}) {
+    auto res = explore(waitFreeFai(m, 2));
+    EXPECT_FALSE(res.capped);
+    std::set<std::vector<Value>> expected{{0, 1}, {1, 0}};
+    EXPECT_EQ(res.outcomes, expected) << memoryModelName(m);
+  }
+}
+
+TEST(FaaTest, ConstantCostPerOperationAtAnyN) {
+  // The boundary of the theorem: O(1) RMW steps, O(1) RMRs, 1 trailing
+  // fence — regardless of n.  No read/write (or CAS-only) algorithm can
+  // match this per Theorem 4.2.
+  for (int n : {2, 8, 64}) {
+    System sys = waitFreeFai(MemoryModel::PSO, n);
+    Config cfg = initialConfig(sys);
+    Execution exec;
+    ASSERT_TRUE(runSolo(sys, cfg, 0, &exec));
+    auto counts = countSteps(exec, n);
+    EXPECT_EQ(counts.casSteps, 1) << "n=" << n;
+    EXPECT_LE(counts.rmrsPerProc[0], 1) << "n=" << n;
+    EXPECT_EQ(counts.fencesPerProc[0], 1) << "n=" << n;
+  }
+}
+
+TEST(FaaTest, SequentialRunsReturnIdentity) {
+  const int n = 6;
+  System sys = waitFreeFai(MemoryModel::PSO, n);
+  Config cfg = initialConfig(sys);
+  util::Rng rng(3);
+  auto pi = util::randomPermutation(n, rng);
+  runSequential(sys, cfg, pi);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_EQ(cfg.procs[pi[k]].retval, k);
+  }
+}
+
+TEST(FaaTest, EncoderRejectsFaaPrograms) {
+  System sys = waitFreeFai(MemoryModel::PSO, 3);
+  EXPECT_TRUE(sys.programs[0].usesCas());
+  EXPECT_THROW(enc::Encoder enc(&sys), util::CheckError);
+}
+
+TEST(FaaTest, RepeatFaaKeepsLineOwnership) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg c = sys.layout.alloc(kNoOwner, "C");
+  ProgramBuilder b("faa2");
+  LocalId old = b.local("old");
+  b.faaReg(old, c, b.imm(1));
+  b.faaReg(old, c, b.imm(1));
+  b.fence();
+  b.ret(b.L(old));
+  sys.programs.push_back(b.build());
+  Config cfg = initialConfig(sys);
+  auto s1 = execElem(sys, cfg, 0, kNoReg);
+  auto s2 = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_TRUE(s1->remote);
+  EXPECT_FALSE(s2->remote);
+  EXPECT_EQ(cfg.readMem(c), 2);
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

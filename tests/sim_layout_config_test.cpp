@@ -1,0 +1,137 @@
+// Edge cases of MemoryLayout and Config (hashing canonicalization,
+// memory access helpers).
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "sim/config.h"
+#include "sim/machine.h"
+#include "util/check.h"
+
+namespace fencetrade::sim {
+namespace {
+
+TEST(LayoutTest, AllocAssignsSequentialIds) {
+  MemoryLayout layout;
+  Reg a = layout.alloc(0, "a");
+  Reg b = layout.alloc(1, "b");
+  Reg c = layout.alloc(kNoOwner, "c");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  EXPECT_EQ(layout.count(), 3);
+  EXPECT_EQ(layout.owner(a), 0);
+  EXPECT_EQ(layout.owner(c), kNoOwner);
+  EXPECT_EQ(layout.name(b), "b");
+}
+
+TEST(LayoutTest, AllocArrayNamesElements) {
+  MemoryLayout layout;
+  Reg base = layout.allocArray({5, 6, 7}, "arr");
+  EXPECT_EQ(layout.name(base), "arr[0]");
+  EXPECT_EQ(layout.name(base + 2), "arr[2]");
+  EXPECT_EQ(layout.owner(base + 1), 6);
+}
+
+TEST(LayoutTest, OutOfRangeAccessThrows) {
+  MemoryLayout layout;
+  layout.alloc(0, "a");
+  EXPECT_THROW(layout.owner(1), util::CheckError);
+  EXPECT_THROW(layout.owner(-1), util::CheckError);
+  EXPECT_THROW(layout.name(99), util::CheckError);
+  EXPECT_THROW(layout.allocArray({}, "empty"), util::CheckError);
+}
+
+TEST(ConfigTest, ReadMemDefaultsToInitValue) {
+  Config cfg;
+  EXPECT_EQ(cfg.readMem(42), kInitValue);
+  cfg.writeMem(42, 7);
+  EXPECT_EQ(cfg.readMem(42), 7);
+  cfg.writeMem(42, 9);
+  EXPECT_EQ(cfg.readMem(42), 9);
+}
+
+TEST(ConfigTest, MemHashCanonicalizesInitValue) {
+  // A register explicitly reset to the initial value hashes like a
+  // never-written register.
+  Config a, b;
+  a.writeMem(3, 5);
+  a.writeMem(3, kInitValue);
+  EXPECT_EQ(a.memHash, b.memHash);
+
+  a.writeMem(4, 1);
+  b.writeMem(4, 1);
+  EXPECT_EQ(a.memHash, b.memHash);
+}
+
+TEST(ConfigTest, MemHashOrderInsensitive) {
+  Config a, b;
+  a.writeMem(1, 10);
+  a.writeMem(2, 20);
+  b.writeMem(2, 20);
+  b.writeMem(1, 10);
+  EXPECT_EQ(a.memHash, b.memHash);
+}
+
+TEST(ConfigTest, BehavioralHashIgnoresRmrAccounting) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  ProgramBuilder pb("p");
+  LocalId x = pb.local("x");
+  pb.readReg(x, r);
+  pb.fence();
+  pb.ret(pb.L(x));
+  sys.programs.push_back(pb.build());
+
+  Config a = initialConfig(sys);
+  Config b = a;
+  // Mutating only the accounting state must not change the behavioral
+  // hash (the explorer's state identity).
+  b.seen[0].insert({r, 123});
+  b.lastCommitter[r] = 0;
+  EXPECT_EQ(a.behavioralHash(1), b.behavioralHash(1));
+
+  // Mutating memory must change it.
+  b.writeMem(r, 5);
+  EXPECT_NE(a.behavioralHash(1), b.behavioralHash(1));
+}
+
+TEST(ConfigTest, BehavioralHashSaltMatters) {
+  Config cfg;
+  EXPECT_NE(cfg.behavioralHash(1), cfg.behavioralHash(2));
+}
+
+TEST(ConfigTest, ReturnValuesTracksFinalProcs) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  sys.layout.alloc(kNoOwner, "r");
+  for (int p = 0; p < 2; ++p) {
+    ProgramBuilder pb("p" + std::to_string(p));
+    pb.fence();
+    pb.retImm(p + 10);
+    sys.programs.push_back(pb.build());
+  }
+  Config cfg = initialConfig(sys);
+  EXPECT_EQ(cfg.returnValues(), (std::vector<Value>{-1, -1}));
+  execElem(sys, cfg, 1, kNoReg);  // fence
+  execElem(sys, cfg, 1, kNoReg);  // return
+  EXPECT_EQ(cfg.returnValues(), (std::vector<Value>{-1, 11}));
+}
+
+TEST(ProcStateTest, HashChangesWithState) {
+  ProcState a;
+  a.locals = {1, 2};
+  ProcState b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.locals[1] = 3;
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.pc = 5;
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.final = true;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

@@ -1,0 +1,97 @@
+// Exhaustive litmus outcomes per memory model — the machine-checked
+// model separation (EXP-SEP, DESIGN.md).
+#include "sim/litmus.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/explore.h"
+
+namespace fencetrade::sim {
+namespace {
+
+bool hasOutcome(const ExploreResult& r, std::vector<Value> v) {
+  return r.outcomes.count(v) != 0;
+}
+
+class LitmusPerModel : public ::testing::TestWithParam<MemoryModel> {};
+
+INSTANTIATE_TEST_SUITE_P(Models, LitmusPerModel,
+                         ::testing::Values(MemoryModel::SC, MemoryModel::TSO,
+                                           MemoryModel::PSO),
+                         [](const auto& paramInfo) {
+                           return memoryModelName(paramInfo.param);
+                         });
+
+TEST_P(LitmusPerModel, StoreBufferingBothZeroOnlyWithBuffers) {
+  const MemoryModel m = GetParam();
+  auto res = explore(litmusSB(m, /*fenceAfterWrite=*/false));
+  // (0,0): both reads overtake the other's buffered store.
+  EXPECT_EQ(hasOutcome(res, {0, 0}), m != MemoryModel::SC)
+      << memoryModelName(m);
+  // The "someone wins" outcomes exist everywhere.
+  EXPECT_TRUE(hasOutcome(res, {1, 1}));
+  EXPECT_TRUE(hasOutcome(res, {0, 1}));
+  EXPECT_TRUE(hasOutcome(res, {1, 0}));
+}
+
+TEST_P(LitmusPerModel, StoreBufferingFencedForbidsBothZeroEverywhere) {
+  auto res = explore(litmusSB(GetParam(), /*fenceAfterWrite=*/true));
+  EXPECT_FALSE(hasOutcome(res, {0, 0})) << memoryModelName(GetParam());
+  EXPECT_TRUE(hasOutcome(res, {1, 1}));
+}
+
+TEST_P(LitmusPerModel, MessagePassingStaleDataOnlyUnderPso) {
+  const MemoryModel m = GetParam();
+  auto res = explore(litmusMP(m, /*fenceBetweenWrites=*/false));
+  // Reader outcome 2 = flag observed but data stale (2f + d with f=1,
+  // d=0) — requires the two writes to reach memory out of order.
+  EXPECT_EQ(hasOutcome(res, {0, 2}), m == MemoryModel::PSO)
+      << memoryModelName(m);
+  // Benign outcomes everywhere.
+  EXPECT_TRUE(hasOutcome(res, {0, 0}));  // nothing seen yet
+  EXPECT_TRUE(hasOutcome(res, {0, 3}));  // both seen
+}
+
+TEST_P(LitmusPerModel, MessagePassingFenceRepairsPso) {
+  auto res = explore(litmusMP(GetParam(), /*fenceBetweenWrites=*/true));
+  EXPECT_FALSE(hasOutcome(res, {0, 2})) << memoryModelName(GetParam());
+}
+
+TEST_P(LitmusPerModel, CoherenceOfRepeatedReadsHoldsEverywhere) {
+  auto res = explore(litmusCoRR(GetParam()));
+  // 2 = first read new (1), second read old (0): never allowed.
+  EXPECT_FALSE(hasOutcome(res, {0, 2})) << memoryModelName(GetParam());
+  EXPECT_TRUE(hasOutcome(res, {0, 0}));
+  EXPECT_TRUE(hasOutcome(res, {0, 3}));
+}
+
+TEST_P(LitmusPerModel, WriteBatchReorderingOnlyUnderPso) {
+  const MemoryModel m = GetParam();
+  auto res = explore(litmusWriteBatch(m));
+  // 2 = C (written last) visible while A (written first) stale.
+  EXPECT_EQ(hasOutcome(res, {0, 2}), m == MemoryModel::PSO)
+      << memoryModelName(m);
+}
+
+TEST(LitmusTest, PsoMessagePassingOutcomeSetExactly) {
+  auto res = explore(litmusMP(MemoryModel::PSO, false));
+  // Reader value in {0 = nothing, 1 = data only, 2 = flag only (stale!),
+  // 3 = both}; writer always returns 0.
+  std::set<std::vector<Value>> expected{{0, 0}, {0, 1}, {0, 2}, {0, 3}};
+  EXPECT_EQ(res.outcomes, expected);
+}
+
+TEST(LitmusTest, TsoMessagePassingOutcomeSetExactly) {
+  auto res = explore(litmusMP(MemoryModel::TSO, false));
+  std::set<std::vector<Value>> expected{{0, 0}, {0, 1}, {0, 3}};
+  EXPECT_EQ(res.outcomes, expected);
+}
+
+TEST(LitmusTest, ScStoreBufferingOutcomeSetExactly) {
+  auto res = explore(litmusSB(MemoryModel::SC, false));
+  std::set<std::vector<Value>> expected{{0, 1}, {1, 0}, {1, 1}};
+  EXPECT_EQ(res.outcomes, expected);
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

@@ -1,0 +1,169 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "util/check.h"
+
+namespace fencetrade::sim {
+namespace {
+
+/// Two-register system with one program: write A=1; write B=2; fence;
+/// read x=A; return x.
+System writeTwoThenRead(MemoryModel m) {
+  System sys;
+  sys.model = m;
+  Reg a = sys.layout.alloc(kNoOwner, "A");
+  Reg b = sys.layout.alloc(kNoOwner, "B");
+  ProgramBuilder pb("w2r");
+  LocalId x = pb.local("x");
+  pb.writeRegImm(a, 1);
+  pb.writeRegImm(b, 2);
+  pb.fence();
+  pb.readReg(x, a);
+  pb.fence();
+  pb.ret(pb.L(x));
+  sys.programs.push_back(pb.build());
+  return sys;
+}
+
+TEST(MachineTest, WritesAreBufferedUnderPso) {
+  System sys = writeTwoThenRead(MemoryModel::PSO);
+  Config cfg = initialConfig(sys);
+
+  auto s1 = execElem(sys, cfg, 0, kNoReg);
+  ASSERT_TRUE(s1);
+  EXPECT_EQ(s1->kind, StepKind::Write);
+  EXPECT_EQ(cfg.readMem(0), 0);  // not in shared memory yet
+  EXPECT_TRUE(cfg.buffers[0].containsReg(0));
+
+  auto s2 = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s2->kind, StepKind::Write);
+  EXPECT_EQ(cfg.buffers[0].size(), 2u);
+}
+
+TEST(MachineTest, ScWritesCommitImmediately) {
+  System sys = writeTwoThenRead(MemoryModel::SC);
+  Config cfg = initialConfig(sys);
+  auto s1 = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s1->kind, StepKind::Write);
+  EXPECT_EQ(cfg.readMem(0), 1);  // visible at once
+  EXPECT_TRUE(cfg.buffers[0].empty());
+}
+
+TEST(MachineTest, FenceForcesCommitOfSmallestRegister) {
+  System sys = writeTwoThenRead(MemoryModel::PSO);
+  Config cfg = initialConfig(sys);
+  execElem(sys, cfg, 0, kNoReg);  // write A
+  execElem(sys, cfg, 0, kNoReg);  // write B
+
+  // Poised at fence with two buffered writes: (p, ⊥) commits A first.
+  auto s3 = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s3->kind, StepKind::Commit);
+  EXPECT_EQ(s3->reg, 0);
+  EXPECT_EQ(cfg.readMem(0), 1);
+
+  auto s4 = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s4->kind, StepKind::Commit);
+  EXPECT_EQ(s4->reg, 1);
+
+  // Buffer drained: now the fence step itself executes.
+  auto s5 = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s5->kind, StepKind::Fence);
+}
+
+TEST(MachineTest, ExplicitCommitElementPicksNamedRegister) {
+  System sys = writeTwoThenRead(MemoryModel::PSO);
+  Config cfg = initialConfig(sys);
+  execElem(sys, cfg, 0, kNoReg);  // write A
+  execElem(sys, cfg, 0, kNoReg);  // write B
+
+  // Schedule element (0, B): commit B although A is smaller.
+  auto s = execElem(sys, cfg, 0, 1);
+  EXPECT_EQ(s->kind, StepKind::Commit);
+  EXPECT_EQ(s->reg, 1);
+  EXPECT_EQ(cfg.readMem(1), 2);
+  EXPECT_EQ(cfg.readMem(0), 0);
+}
+
+TEST(MachineTest, ReadForwardsFromOwnBuffer) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg a = sys.layout.alloc(kNoOwner, "A");
+  ProgramBuilder pb("fwd");
+  LocalId x = pb.local("x");
+  pb.writeRegImm(a, 7);
+  pb.readReg(x, a);  // no fence: value must come from the buffer
+  pb.fence();
+  pb.ret(pb.L(x));
+  sys.programs.push_back(pb.build());
+
+  Config cfg = initialConfig(sys);
+  execElem(sys, cfg, 0, kNoReg);  // write
+  auto s = execElem(sys, cfg, 0, kNoReg);
+  EXPECT_EQ(s->kind, StepKind::Read);
+  EXPECT_TRUE(s->fromBuffer);
+  EXPECT_EQ(s->val, 7);
+  EXPECT_EQ(cfg.readMem(a), 0);  // still only in the buffer
+}
+
+TEST(MachineTest, ReturnMarksFinalAndCountsNbFinal) {
+  System sys = writeTwoThenRead(MemoryModel::SC);
+  Config cfg = initialConfig(sys);
+  EXPECT_EQ(cfg.nbFinal, 0);
+  while (!cfg.procs[0].final) {
+    ASSERT_TRUE(execElem(sys, cfg, 0, kNoReg).has_value());
+  }
+  EXPECT_EQ(cfg.nbFinal, 1);
+  EXPECT_EQ(cfg.procs[0].retval, 1);
+  EXPECT_TRUE(allFinal(cfg));
+  // Further elements are no-ops.
+  EXPECT_FALSE(execElem(sys, cfg, 0, kNoReg).has_value());
+}
+
+TEST(MachineTest, NextOpReflectsPendingOperation) {
+  System sys = writeTwoThenRead(MemoryModel::PSO);
+  Config cfg = initialConfig(sys);
+  const Op* op = nextOp(cfg, 0);
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->kind, InstrKind::Write);
+  EXPECT_EQ(op->reg, 0);
+  EXPECT_EQ(op->val, 1);
+}
+
+TEST(MachineTest, CountStepsTallies) {
+  System sys = writeTwoThenRead(MemoryModel::PSO);
+  Config cfg = initialConfig(sys);
+  Execution exec;
+  while (!cfg.procs[0].final) {
+    exec.push_back(*execElem(sys, cfg, 0, kNoReg));
+  }
+  StepCounts c = countSteps(exec, 1);
+  EXPECT_EQ(c.writes, 2);
+  EXPECT_EQ(c.commits, 2);
+  EXPECT_EQ(c.fences, 2);
+  EXPECT_EQ(c.reads, 1);
+  EXPECT_EQ(c.steps, static_cast<std::int64_t>(exec.size()));
+  EXPECT_EQ(c.fencesPerProc[0], 2);
+}
+
+TEST(MachineTest, TsoCommitsInProgramOrder) {
+  System sys = writeTwoThenRead(MemoryModel::TSO);
+  Config cfg = initialConfig(sys);
+  execElem(sys, cfg, 0, kNoReg);  // write A
+  execElem(sys, cfg, 0, kNoReg);  // write B
+
+  // Explicitly naming B must NOT commit it (not the oldest entry);
+  // the element falls through to the forced commit of A.
+  auto s = execElem(sys, cfg, 0, 1);
+  EXPECT_EQ(s->kind, StepKind::Commit);
+  EXPECT_EQ(s->reg, 0);
+}
+
+TEST(MachineTest, SystemWithoutProcessesRejected) {
+  System sys;
+  EXPECT_THROW(initialConfig(sys), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

@@ -1,0 +1,231 @@
+// Case-by-case tests of the combined DSM+CC RMR classification
+// (paper, Section 2, "local/remote steps").
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "sim/machine.h"
+
+namespace fencetrade::sim {
+namespace {
+
+/// Two processes; p0 owns register "mine", nobody owns "shared".
+struct Fixture {
+  System sys;
+  Reg mine;    // in R_0
+  Reg shared;  // unowned
+
+  explicit Fixture(MemoryModel m = MemoryModel::PSO) {
+    sys.model = m;
+    mine = sys.layout.alloc(0, "mine");
+    shared = sys.layout.alloc(kNoOwner, "shared");
+  }
+
+  /// Adds a program; returns its process id.
+  ProcId addProgram(Program p) {
+    sys.programs.push_back(std::move(p));
+    return static_cast<ProcId>(sys.programs.size() - 1);
+  }
+};
+
+Program readTwice(Reg r) {
+  ProgramBuilder b("read-twice");
+  LocalId x = b.local("x");
+  b.readReg(x, r);
+  b.readReg(x, r);
+  b.fence();
+  b.ret(b.L(x));
+  return b.build();
+}
+
+Program writeThenCommit(Reg r, Value v) {
+  ProgramBuilder b("writer");
+  b.writeRegImm(r, v);
+  b.fence();
+  b.retImm(0);
+  return b.build();
+}
+
+TEST(RmrTest, FirstReadOfRemoteRegisterIsRemote) {
+  Fixture f;
+  f.addProgram(readTwice(f.shared));
+  Config cfg = initialConfig(f.sys);
+  auto s1 = execElem(f.sys, cfg, 0, kNoReg);
+  EXPECT_TRUE(s1->remote);
+}
+
+TEST(RmrTest, RereadingSameValueIsLocalCacheHit) {
+  Fixture f;
+  f.addProgram(readTwice(f.shared));
+  Config cfg = initialConfig(f.sys);
+  execElem(f.sys, cfg, 0, kNoReg);               // first read: remote
+  auto s2 = execElem(f.sys, cfg, 0, kNoReg);     // same value again
+  EXPECT_EQ(s2->kind, StepKind::Read);
+  EXPECT_FALSE(s2->remote);
+}
+
+TEST(RmrTest, SegmentLocalReadIsAlwaysLocal) {
+  Fixture f;
+  f.addProgram(readTwice(f.mine));  // p0 reads its own segment
+  Config cfg = initialConfig(f.sys);
+  auto s1 = execElem(f.sys, cfg, 0, kNoReg);
+  EXPECT_FALSE(s1->remote);
+}
+
+TEST(RmrTest, ReadAfterOwnWriteOfSameValueIsLocal) {
+  // "p previously executed write(R, x)" — even before the commit.
+  Fixture f;
+  ProgramBuilder b("wrr");
+  LocalId x = b.local("x");
+  b.writeRegImm(f.shared, 5);
+  b.fence();                 // commit it so the read is served from memory
+  b.readReg(x, f.shared);    // returns 5, which p itself wrote
+  b.fence();
+  b.ret(b.L(x));
+  f.addProgram(b.build());
+
+  Config cfg = initialConfig(f.sys);
+  Execution exec;
+  while (!cfg.procs[0].final) exec.push_back(*execElem(f.sys, cfg, 0, kNoReg));
+  for (const Step& s : exec) {
+    if (s.kind == StepKind::Read) {
+      EXPECT_FALSE(s.remote) << "read of own written value must be local";
+    }
+  }
+}
+
+TEST(RmrTest, ValueChangeMakesReadRemoteAgain) {
+  // p1 spins on "shared"; p0 commits a new value; p1's next read is a
+  // cache miss (remote), after which re-reads are local again.
+  Fixture f;
+  ProcId writer = f.addProgram(writeThenCommit(f.shared, 9));
+  ProgramBuilder b("spin");
+  LocalId x = b.local("x");
+  b.readReg(x, f.shared);  // remote (first), returns 0
+  b.readReg(x, f.shared);  // local (cached 0)
+  b.readReg(x, f.shared);  // after p0's commit: returns 9, remote
+  b.readReg(x, f.shared);  // local again (cached 9)
+  b.fence();
+  b.ret(b.L(x));
+  ProcId reader = f.addProgram(b.build());
+
+  Config cfg = initialConfig(f.sys);
+  auto r1 = execElem(f.sys, cfg, reader, kNoReg);
+  auto r2 = execElem(f.sys, cfg, reader, kNoReg);
+  // Writer commits 9.
+  while (!cfg.procs[writer].final) execElem(f.sys, cfg, writer, kNoReg);
+  auto r3 = execElem(f.sys, cfg, reader, kNoReg);
+  auto r4 = execElem(f.sys, cfg, reader, kNoReg);
+
+  EXPECT_TRUE(r1->remote);
+  EXPECT_FALSE(r2->remote);
+  EXPECT_TRUE(r3->remote);
+  EXPECT_EQ(r3->val, 9);
+  EXPECT_FALSE(r4->remote);
+}
+
+TEST(RmrTest, WriteAndFenceStepsAreLocal) {
+  Fixture f;
+  f.addProgram(writeThenCommit(f.shared, 1));
+  Config cfg = initialConfig(f.sys);
+  auto w = execElem(f.sys, cfg, 0, kNoReg);
+  EXPECT_EQ(w->kind, StepKind::Write);
+  EXPECT_FALSE(w->remote);
+
+  auto c = execElem(f.sys, cfg, 0, kNoReg);  // forced commit
+  EXPECT_EQ(c->kind, StepKind::Commit);
+
+  auto fe = execElem(f.sys, cfg, 0, kNoReg);  // the fence itself
+  EXPECT_EQ(fe->kind, StepKind::Fence);
+  EXPECT_FALSE(fe->remote);
+}
+
+TEST(RmrTest, FirstCommitToRemoteRegisterIsRemote) {
+  Fixture f;
+  f.addProgram(writeThenCommit(f.shared, 1));
+  Config cfg = initialConfig(f.sys);
+  execElem(f.sys, cfg, 0, kNoReg);  // write
+  auto c = execElem(f.sys, cfg, 0, kNoReg);
+  EXPECT_EQ(c->kind, StepKind::Commit);
+  EXPECT_TRUE(c->remote);
+}
+
+TEST(RmrTest, CommitToOwnSegmentIsLocal) {
+  Fixture f;
+  f.addProgram(writeThenCommit(f.mine, 1));  // p0 owns "mine"
+  Config cfg = initialConfig(f.sys);
+  execElem(f.sys, cfg, 0, kNoReg);
+  auto c = execElem(f.sys, cfg, 0, kNoReg);
+  EXPECT_FALSE(c->remote);
+}
+
+TEST(RmrTest, RepeatCommitKeepsLineOwnership) {
+  // p commits to R twice with no interference: second commit local.
+  Fixture f;
+  ProgramBuilder b("w2");
+  b.writeRegImm(f.shared, 1);
+  b.fence();
+  b.writeRegImm(f.shared, 2);
+  b.fence();
+  b.retImm(0);
+  f.addProgram(b.build());
+
+  Config cfg = initialConfig(f.sys);
+  Execution exec;
+  while (!cfg.procs[0].final) exec.push_back(*execElem(f.sys, cfg, 0, kNoReg));
+  std::vector<const Step*> commits;
+  for (const Step& s : exec) {
+    if (s.kind == StepKind::Commit) commits.push_back(&s);
+  }
+  ASSERT_EQ(commits.size(), 2u);
+  EXPECT_TRUE(commits[0]->remote);
+  EXPECT_FALSE(commits[1]->remote);  // still the line owner
+}
+
+TEST(RmrTest, InterveningCommitStealsOwnership) {
+  // p0 commits R, p1 commits R, then p0 again: p0's second commit remote.
+  Fixture f;
+  ProgramBuilder b0("pp0");
+  b0.writeRegImm(f.shared, 1);
+  b0.fence();
+  b0.writeRegImm(f.shared, 3);
+  b0.fence();
+  b0.retImm(0);
+  f.addProgram(b0.build());
+  ProcId p1 = f.addProgram(writeThenCommit(f.shared, 2));
+
+  Config cfg = initialConfig(f.sys);
+  execElem(f.sys, cfg, 0, kNoReg);              // p0 write 1
+  auto c0 = execElem(f.sys, cfg, 0, kNoReg);    // p0 commit 1 (remote)
+  execElem(f.sys, cfg, p1, kNoReg);             // p1 write 2
+  auto c1 = execElem(f.sys, cfg, p1, kNoReg);   // p1 commit 2 (remote)
+  execElem(f.sys, cfg, 0, kNoReg);              // p0 fence
+  execElem(f.sys, cfg, 0, kNoReg);              // p0 write 3
+  auto c2 = execElem(f.sys, cfg, 0, kNoReg);    // p0 commit 3
+
+  ASSERT_EQ(c0->kind, StepKind::Commit);
+  ASSERT_EQ(c1->kind, StepKind::Commit);
+  ASSERT_EQ(c2->kind, StepKind::Commit);
+  EXPECT_TRUE(c0->remote);
+  EXPECT_TRUE(c1->remote);
+  EXPECT_TRUE(c2->remote) << "ownership was stolen by p1's commit";
+}
+
+TEST(RmrTest, BufferServedReadIsLocal) {
+  Fixture f;
+  ProgramBuilder b("buf");
+  LocalId x = b.local("x");
+  b.writeRegImm(f.shared, 4);
+  b.readReg(x, f.shared);  // forwarded from own buffer
+  b.fence();
+  b.ret(b.L(x));
+  f.addProgram(b.build());
+  Config cfg = initialConfig(f.sys);
+  execElem(f.sys, cfg, 0, kNoReg);
+  auto r = execElem(f.sys, cfg, 0, kNoReg);
+  EXPECT_EQ(r->kind, StepKind::Read);
+  EXPECT_TRUE(r->fromBuffer);
+  EXPECT_FALSE(r->remote);
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

@@ -1,0 +1,140 @@
+#include "sim/solo.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "sim/schedule.h"
+
+namespace fencetrade::sim {
+namespace {
+
+TEST(SoloTest, StraightLineProgramTerminates) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  ProgramBuilder b("straight");
+  LocalId x = b.local("x");
+  b.writeRegImm(r, 1);
+  b.fence();
+  b.readReg(x, r);
+  b.fence();
+  b.ret(b.L(x));
+  sys.programs.push_back(b.build());
+
+  Config cfg = initialConfig(sys);
+  SoloTerminationDecider solo(&sys);
+  EXPECT_TRUE(solo.terminates(cfg, 0));
+}
+
+TEST(SoloTest, SpinOnForeignFlagDoesNotTerminate) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg flag = sys.layout.alloc(kNoOwner, "flag");
+  // p0 spins until flag != 0 — alone it spins forever.
+  ProgramBuilder b("spinner");
+  LocalId x = b.local("x");
+  b.loop([&] {
+    b.readReg(x, flag);
+    b.exitIf(b.ne(b.L(x), b.imm(0)));
+  });
+  b.fence();
+  b.retImm(0);
+  sys.programs.push_back(b.build());
+  // p1 would set the flag, but a solo run of p0 never sees it.
+  ProgramBuilder w("writer");
+  w.writeRegImm(flag, 1);
+  w.fence();
+  w.retImm(0);
+  sys.programs.push_back(w.build());
+
+  Config cfg = initialConfig(sys);
+  SoloTerminationDecider solo(&sys);
+  EXPECT_FALSE(solo.terminates(cfg, 0));
+  EXPECT_TRUE(solo.terminates(cfg, 1));
+}
+
+TEST(SoloTest, TerminationDependsOnMemoryContents) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg flag = sys.layout.alloc(kNoOwner, "flag");
+  ProgramBuilder b("spinner");
+  LocalId x = b.local("x");
+  b.loop([&] {
+    b.readReg(x, flag);
+    b.exitIf(b.ne(b.L(x), b.imm(0)));
+  });
+  b.fence();
+  b.retImm(0);
+  sys.programs.push_back(b.build());
+  ProgramBuilder w("writer");
+  w.writeRegImm(flag, 1);
+  w.fence();
+  w.retImm(0);
+  sys.programs.push_back(w.build());
+
+  Config cfg = initialConfig(sys);
+  SoloTerminationDecider solo(&sys);
+  EXPECT_FALSE(solo.terminates(cfg, 0));
+
+  // After the writer publishes the flag, the spinner terminates solo.
+  runSolo(sys, cfg, 1, nullptr);
+  EXPECT_TRUE(solo.terminates(cfg, 0));
+}
+
+TEST(SoloTest, DeciderDoesNotMutateInputConfig) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  ProgramBuilder b("w");
+  b.writeRegImm(r, 5);
+  b.fence();
+  b.retImm(0);
+  sys.programs.push_back(b.build());
+
+  Config cfg = initialConfig(sys);
+  SoloTerminationDecider solo(&sys);
+  EXPECT_TRUE(solo.terminates(cfg, 0));
+  EXPECT_FALSE(cfg.procs[0].final);
+  EXPECT_EQ(cfg.readMem(r), 0);
+  EXPECT_TRUE(cfg.buffers[0].empty());
+}
+
+TEST(SoloTest, MemoizationHitsOnRepeatedQueries) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg flag = sys.layout.alloc(kNoOwner, "flag");
+  ProgramBuilder b("spin");
+  LocalId x = b.local("x");
+  b.loop([&] {
+    b.readReg(x, flag);
+    b.exitIf(b.ne(b.L(x), b.imm(0)));
+  });
+  b.fence();
+  b.retImm(0);
+  sys.programs.push_back(b.build());
+
+  Config cfg = initialConfig(sys);
+  SoloTerminationDecider solo(&sys);
+  EXPECT_FALSE(solo.terminates(cfg, 0));
+  EXPECT_FALSE(solo.terminates(cfg, 0));
+  EXPECT_FALSE(solo.terminates(cfg, 0));
+  EXPECT_EQ(solo.queries(), 3u);
+  EXPECT_EQ(solo.memoHits(), 2u);
+}
+
+TEST(SoloTest, FinalProcessTerminatesTrivially) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  sys.layout.alloc(kNoOwner, "r");
+  ProgramBuilder b("ret");
+  b.fence();
+  b.retImm(0);
+  sys.programs.push_back(b.build());
+  Config cfg = initialConfig(sys);
+  runSolo(sys, cfg, 0, nullptr);
+  SoloTerminationDecider solo(&sys);
+  EXPECT_TRUE(solo.terminates(cfg, 0));
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

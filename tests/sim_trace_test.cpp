@@ -1,0 +1,73 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "sim/schedule.h"
+
+namespace fencetrade::sim {
+namespace {
+
+Execution sampleExecution(System& sys) {
+  sys.model = MemoryModel::PSO;
+  Reg a = sys.layout.alloc(kNoOwner, "alpha");
+  ProgramBuilder b("sample");
+  LocalId x = b.local("x");
+  b.writeRegImm(a, 5);
+  b.fence();
+  b.readReg(x, a);
+  b.fence();
+  b.ret(b.L(x));
+  sys.programs.push_back(b.build());
+  Config cfg = initialConfig(sys);
+  Execution exec;
+  runSolo(sys, cfg, 0, &exec);
+  return exec;
+}
+
+TEST(TraceTest, FormatListsEveryStepNumbered) {
+  System sys;
+  auto exec = sampleExecution(sys);
+  const std::string s = formatExecution(sys.layout, exec);
+  EXPECT_NE(s.find("0: p0 write alpha = 5"), std::string::npos);
+  EXPECT_NE(s.find("commit alpha = 5"), std::string::npos);
+  EXPECT_NE(s.find("fence"), std::string::npos);
+  EXPECT_NE(s.find("return 5"), std::string::npos);
+  // One line per step.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(s.begin(), s.end(), '\n')),
+            exec.size());
+}
+
+TEST(TraceTest, SummaryCountsMatch) {
+  System sys;
+  auto exec = sampleExecution(sys);
+  const std::string s = summarizeExecution(exec);
+  EXPECT_NE(s.find("1 reads"), std::string::npos);
+  EXPECT_NE(s.find("1 writes"), std::string::npos);
+  EXPECT_NE(s.find("1 commits"), std::string::npos);
+  EXPECT_NE(s.find("2 fences"), std::string::npos);
+}
+
+TEST(TraceTest, CsvHasHeaderAndRows) {
+  System sys;
+  auto exec = sampleExecution(sys);
+  const std::string csv = executionToCsv(sys.layout, exec);
+  EXPECT_EQ(csv.find("step,proc,kind,"), 0u);
+  EXPECT_NE(csv.find("write"), std::string::npos);
+  EXPECT_NE(csv.find("alpha"), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            exec.size() + 1);  // header + rows
+}
+
+TEST(TraceTest, PerProcessTableMentionsEachProc) {
+  System sys;
+  auto exec = sampleExecution(sys);
+  const std::string t = perProcessCostTable(exec, 1);
+  EXPECT_NE(t.find("fences"), std::string::npos);
+  EXPECT_NE(t.find("RMRs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

@@ -1,0 +1,113 @@
+#include "util/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/mathx.h"
+#include "util/rng.h"
+
+namespace fencetrade::util {
+namespace {
+
+TEST(BitstreamTest, SingleBitsRoundTrip) {
+  BitWriter w;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (bool b : pattern) w.writeBit(b);
+  EXPECT_EQ(w.bitCount(), 7u);
+
+  BitReader r(w.bytes(), w.bitCount());
+  for (bool b : pattern) EXPECT_EQ(r.readBit(), b);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW(r.readBit(), CheckError);
+}
+
+TEST(BitstreamTest, FixedWidthRoundTrip) {
+  BitWriter w;
+  w.writeBits(0b101, 3);
+  w.writeBits(0xDEADBEEF, 32);
+  w.writeBits(1, 1);
+  BitReader r(w.bytes(), w.bitCount());
+  EXPECT_EQ(r.readBits(3), 0b101u);
+  EXPECT_EQ(r.readBits(32), 0xDEADBEEFu);
+  EXPECT_EQ(r.readBits(1), 1u);
+}
+
+TEST(BitstreamTest, GammaKnownCodes) {
+  // gamma(1) = "1", gamma(2) = "010", gamma(3) = "011",
+  // gamma(4) = "00100".
+  BitWriter w;
+  w.writeGamma(1);
+  EXPECT_EQ(w.bitCount(), 1u);
+  w.writeGamma(2);
+  EXPECT_EQ(w.bitCount(), 4u);
+  w.writeGamma(4);
+  EXPECT_EQ(w.bitCount(), 9u);
+
+  BitReader r(w.bytes(), w.bitCount());
+  EXPECT_EQ(r.readGamma(), 1u);
+  EXPECT_EQ(r.readGamma(), 2u);
+  EXPECT_EQ(r.readGamma(), 4u);
+}
+
+TEST(BitstreamTest, GammaLengthIsLogarithmic) {
+  for (std::uint64_t v : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 20}) {
+    BitWriter w;
+    w.writeGamma(v);
+    EXPECT_EQ(w.bitCount(), 2 * ilog2Floor(v) + 1) << v;
+  }
+}
+
+TEST(BitstreamTest, GammaRejectsZero) {
+  BitWriter w;
+  EXPECT_THROW(w.writeGamma(0), CheckError);
+}
+
+TEST(BitstreamTest, RandomGammaSequencesRoundTrip) {
+  Rng rng(12);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<std::uint64_t> values;
+    BitWriter w;
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t v = 1 + rng.below(1 << 16);
+      values.push_back(v);
+      w.writeGamma(v);
+    }
+    BitReader r(w.bytes(), w.bitCount());
+    for (std::uint64_t v : values) EXPECT_EQ(r.readGamma(), v);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(BitstreamTest, MixedPayloadRoundTrip) {
+  Rng rng(5);
+  BitWriter w;
+  std::vector<std::pair<int, std::uint64_t>> ops;  // (width or 0=gamma, v)
+  for (int i = 0; i < 200; ++i) {
+    if (rng.below(2) == 0) {
+      const int width = static_cast<int>(1 + rng.below(16));
+      const std::uint64_t v = rng.below(1ULL << width);
+      ops.push_back({width, v});
+      w.writeBits(v, width);
+    } else {
+      const std::uint64_t v = 1 + rng.below(1000);
+      ops.push_back({0, v});
+      w.writeGamma(v);
+    }
+  }
+  BitReader r(w.bytes(), w.bitCount());
+  for (auto [width, v] : ops) {
+    if (width == 0) {
+      EXPECT_EQ(r.readGamma(), v);
+    } else {
+      EXPECT_EQ(r.readBits(width), v);
+    }
+  }
+}
+
+TEST(BitstreamTest, ReaderRejectsOversizedBitCount) {
+  std::vector<std::uint8_t> bytes{0xFF};
+  EXPECT_THROW(BitReader(bytes, 9), CheckError);
+}
+
+}  // namespace
+}  // namespace fencetrade::util

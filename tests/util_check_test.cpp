@@ -1,0 +1,40 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace fencetrade::util {
+namespace {
+
+TEST(CheckTest, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(FT_CHECK(1 + 1 == 2) << "never evaluated");
+}
+
+TEST(CheckTest, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(FT_CHECK(false) << "boom", CheckError);
+}
+
+TEST(CheckTest, MessageContainsConditionAndStreamedText) {
+  try {
+    int x = 41;
+    FT_CHECK(x == 42) << "x was " << x;
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x == 42"), std::string::npos);
+    EXPECT_NE(what.find("x was 41"), std::string::npos);
+    EXPECT_NE(what.find("util_check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, StreamedArgumentsNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "side effect";
+  };
+  FT_CHECK(true) << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace fencetrade::util

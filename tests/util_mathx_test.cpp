@@ -1,0 +1,73 @@
+#include "util/mathx.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+namespace {
+
+TEST(MathxTest, Ilog2Floor) {
+  EXPECT_EQ(ilog2Floor(1), 0);
+  EXPECT_EQ(ilog2Floor(2), 1);
+  EXPECT_EQ(ilog2Floor(3), 1);
+  EXPECT_EQ(ilog2Floor(4), 2);
+  EXPECT_EQ(ilog2Floor(1023), 9);
+  EXPECT_EQ(ilog2Floor(1024), 10);
+  EXPECT_THROW(ilog2Floor(0), CheckError);
+}
+
+TEST(MathxTest, Ilog2Ceil) {
+  EXPECT_EQ(ilog2Ceil(1), 0);
+  EXPECT_EQ(ilog2Ceil(2), 1);
+  EXPECT_EQ(ilog2Ceil(3), 2);
+  EXPECT_EQ(ilog2Ceil(4), 2);
+  EXPECT_EQ(ilog2Ceil(5), 3);
+  EXPECT_EQ(ilog2Ceil(1024), 10);
+  EXPECT_EQ(ilog2Ceil(1025), 11);
+}
+
+TEST(MathxTest, CeilDiv) {
+  EXPECT_EQ(ceilDiv(10, 5), 2);
+  EXPECT_EQ(ceilDiv(11, 5), 3);
+  EXPECT_EQ(ceilDiv(0, 5), 0);
+  EXPECT_EQ(ceilDiv(1, 5), 1);
+  EXPECT_THROW(ceilDiv(1, 0), CheckError);
+}
+
+TEST(MathxTest, Ipow) {
+  EXPECT_EQ(ipow(2, 0), 1);
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(3, 4), 81);
+  EXPECT_EQ(ipow(1, 60), 1);
+  EXPECT_THROW(ipow(10, 30), CheckError);  // overflow detected
+}
+
+TEST(MathxTest, BranchingFactorCoversN) {
+  for (int n : {2, 3, 4, 7, 8, 16, 17, 64, 100, 1024}) {
+    for (int f = 1; f <= 10; ++f) {
+      const int b = branchingFactor(n, f);
+      EXPECT_GE(b, 2);
+      // b^f >= n
+      std::int64_t p = 1;
+      for (int i = 0; i < f && p < n; ++i) p *= b;
+      EXPECT_GE(p, n) << "n=" << n << " f=" << f << " b=" << b;
+      // minimality: (b-1)^f < n whenever b > 2
+      if (b > 2) {
+        std::int64_t q = 1;
+        for (int i = 0; i < f && q < n; ++i) q *= (b - 1);
+        EXPECT_LT(q, n) << "n=" << n << " f=" << f << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(MathxTest, BranchingFactorExtremes) {
+  EXPECT_EQ(branchingFactor(16, 1), 16);  // GT_1 = one Bakery over n
+  EXPECT_EQ(branchingFactor(16, 4), 2);   // binary tournament
+  EXPECT_EQ(branchingFactor(16, 2), 4);   // sqrt(n) branching
+  EXPECT_EQ(branchingFactor(1, 3), 2);    // degenerate single process
+}
+
+}  // namespace
+}  // namespace fencetrade::util

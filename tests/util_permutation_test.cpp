@@ -1,0 +1,86 @@
+#include "util/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+namespace {
+
+TEST(PermutationTest, IdentityIsPermutation) {
+  auto pi = identityPermutation(5);
+  EXPECT_TRUE(isPermutation(pi));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(pi[i], i);
+}
+
+TEST(PermutationTest, EmptyPermutationIsValid) {
+  EXPECT_TRUE(isPermutation(identityPermutation(0)));
+}
+
+TEST(PermutationTest, RandomPermutationIsPermutation) {
+  Rng rng(3);
+  for (int n : {1, 2, 5, 17, 64}) {
+    EXPECT_TRUE(isPermutation(randomPermutation(n, rng))) << "n=" << n;
+  }
+}
+
+TEST(PermutationTest, RejectsDuplicates) {
+  EXPECT_FALSE(isPermutation({0, 1, 1}));
+}
+
+TEST(PermutationTest, RejectsOutOfRange) {
+  EXPECT_FALSE(isPermutation({0, 3, 1}));
+  EXPECT_FALSE(isPermutation({-1, 0, 1}));
+}
+
+TEST(PermutationTest, InverseComposesToIdentity) {
+  Rng rng(5);
+  auto pi = randomPermutation(12, rng);
+  auto inv = inversePermutation(pi);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(inv[pi[i]], i);
+    EXPECT_EQ(pi[inv[i]], i);
+  }
+}
+
+TEST(PermutationTest, InverseOfNonPermutationThrows) {
+  EXPECT_THROW(inversePermutation({0, 0}), CheckError);
+}
+
+TEST(PermutationTest, AllPermutationsCountsFactorial) {
+  EXPECT_EQ(allPermutations(0).size(), 1u);
+  EXPECT_EQ(allPermutations(1).size(), 1u);
+  EXPECT_EQ(allPermutations(3).size(), 6u);
+  EXPECT_EQ(allPermutations(5).size(), 120u);
+}
+
+TEST(PermutationTest, AllPermutationsDistinct) {
+  auto perms = allPermutations(4);
+  std::set<Permutation> unique(perms.begin(), perms.end());
+  EXPECT_EQ(unique.size(), 24u);
+}
+
+TEST(PermutationTest, AllPermutationsLargeNThrows) {
+  EXPECT_THROW(allPermutations(9), CheckError);
+}
+
+TEST(PermutationTest, Log2FactorialMatchesDirectComputation) {
+  EXPECT_DOUBLE_EQ(log2Factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(log2Factorial(1), 0.0);
+  EXPECT_NEAR(log2Factorial(4), std::log2(24.0), 1e-9);
+  EXPECT_NEAR(log2Factorial(10), std::log2(3628800.0), 1e-9);
+}
+
+TEST(PermutationTest, Log2FactorialGrowsLikeNLogN) {
+  // Stirling: log2(n!) = n log2 n - n/ln 2 + O(log n).
+  const int n = 256;
+  const double bits = log2Factorial(n);
+  const double stirling = n * std::log2(n) - n / std::log(2.0);
+  EXPECT_NEAR(bits, stirling, 10.0);
+}
+
+}  // namespace
+}  // namespace fencetrade::util

@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+namespace {
+
+TEST(StatsTest, EmptyAccumulatorThrowsOnQueries) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_THROW(a.mean(), CheckError);
+  EXPECT_THROW(a.min(), CheckError);
+  EXPECT_THROW(a.max(), CheckError);
+}
+
+TEST(StatsTest, SingleValue) {
+  Accumulator a;
+  a.add(42.0);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(a.min(), 42.0);
+  EXPECT_DOUBLE_EQ(a.max(), 42.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(StatsTest, KnownMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(StatsTest, NegativeValues) {
+  Accumulator a;
+  a.add(-3.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(StatsTest, SummaryMentionsCount) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(2.0);
+  EXPECT_NE(a.summary().find("n=2"), std::string::npos);
+  Accumulator empty;
+  EXPECT_EQ(empty.summary(), "(empty)");
+}
+
+}  // namespace
+}  // namespace fencetrade::util

@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"n", "fences", "rmrs"});
+  t.addRow({"8", "4", "7"});
+  t.addRow({"16", "4", "15"});
+  const std::string s = t.render("Bakery");
+  EXPECT_NE(s.find("Bakery"), std::string::npos);
+  EXPECT_NE(s.find("fences"), std::string::npos);
+  EXPECT_NE(s.find("16"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"1"}), CheckError);
+  EXPECT_THROW(t.addRow({"1", "2", "3"}), CheckError);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+TEST(TableTest, CellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::cell(std::int64_t{42}), "42");
+}
+
+TEST(TableTest, ColumnsAlignedToWidestCell) {
+  Table t({"x"});
+  t.addRow({"wide-cell-content"});
+  const std::string s = t.render();
+  // Every line between rules has the same length.
+  std::size_t firstLen = s.find('\n');
+  for (std::size_t pos = 0; pos < s.size();) {
+    std::size_t end = s.find('\n', pos);
+    if (end == std::string::npos) break;
+    EXPECT_EQ(end - pos, firstLen);
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace fencetrade::util
