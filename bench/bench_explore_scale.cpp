@@ -1,0 +1,138 @@
+// Scaling of the parallel state-space exploration engine: states/sec
+// versus worker count on the GT_2 (n=3) ordering system under PSO —
+// the heaviest exploration the mutual-exclusion verification runs —
+// with the sequential DFS as the baseline and a built-in differential
+// check that every configuration reproduces the oracle's outcome set
+// and state count exactly.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "sim/explore.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+sim::System makeGtSystem(int f, int n) {
+  return core::buildCountSystem(sim::MemoryModel::PSO, n, core::gtFactory(f))
+      .sys;
+}
+
+sim::ExploreResult timedExplore(const sim::System& sys, int workers,
+                                double& seconds) {
+  sim::ExploreOptions opts;
+  opts.maxStates = 5'000'000;
+  opts.workers = workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto res = sim::explore(sys, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  seconds = std::chrono::duration<double>(t1 - t0).count();
+  return res;
+}
+
+void printScalingTable() {
+  const sim::System sys = makeGtSystem(/*f=*/2, /*n=*/3);
+
+  double seqSeconds = 0;
+  const auto oracle = timedExplore(sys, /*workers=*/1, seqSeconds);
+  FT_CHECK(!oracle.capped) << "GT_2 n=3 exploration unexpectedly capped";
+  FT_CHECK(!oracle.mutexViolation) << "GT_2 must be mutex-correct";
+  const double seqRate =
+      static_cast<double>(oracle.statesVisited) / seqSeconds;
+
+  util::Table table({"engine", "workers", "states", "seconds",
+                     "states/sec", "speedup vs sequential"});
+  table.addRow({"sequential DFS", "1",
+                util::Table::cell(
+                    static_cast<std::int64_t>(oracle.statesVisited)),
+                util::Table::cell(seqSeconds, 3),
+                util::Table::cell(seqRate, 0), util::Table::cell(1.0, 2)});
+
+  for (int workers : {1, 2, 4, 8}) {
+    double seconds = 0;
+    const auto res = timedExplore(sys, workers, seconds);
+    // Differential check: the parallel engine must reproduce the
+    // sequential oracle exactly before its throughput means anything.
+    FT_CHECK(res.outcomes == oracle.outcomes)
+        << "outcome sets diverge at workers=" << workers;
+    FT_CHECK(res.statesVisited == oracle.statesVisited)
+        << "state counts diverge at workers=" << workers;
+    const double rate = static_cast<double>(res.statesVisited) / seconds;
+    table.addRow({workers == 1 ? "parallel (1 worker)" : "parallel",
+                  util::Table::cell(static_cast<std::int64_t>(workers)),
+                  util::Table::cell(
+                      static_cast<std::int64_t>(res.statesVisited)),
+                  util::Table::cell(seconds, 3),
+                  util::Table::cell(rate, 0),
+                  util::Table::cell(rate / seqRate, 2)});
+  }
+  std::printf("%s\n",
+              table.render("EXP-SCALE — parallel exploration of GT_2 "
+                           "(n=3) under PSO, outcomes verified against "
+                           "the sequential oracle")
+                  .c_str());
+}
+
+void BM_ExploreSequentialGt2n3(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(2, 3);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    double seconds = 0;
+    auto res = timedExplore(sys, 1, seconds);
+    states = res.statesVisited;
+    benchmark::DoNotOptimize(res.outcomes);
+  }
+  state.counters["states/sec"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreSequentialGt2n3)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreParallelGt2n3(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(2, 3);
+  const int workers = static_cast<int>(state.range(0));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    double seconds = 0;
+    auto res = timedExplore(sys, workers, seconds);
+    states = res.statesVisited;
+    benchmark::DoNotOptimize(res.outcomes);
+  }
+  state.counters["states/sec"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreParallelGt2n3)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExploreParallelBakeryN3(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(1, 3);
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    double seconds = 0;
+    auto res = timedExplore(sys, workers, seconds);
+    benchmark::DoNotOptimize(res.statesVisited);
+  }
+}
+BENCHMARK(BM_ExploreParallelBakeryN3)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printScalingTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -2,12 +2,13 @@
 // model and report safety (mutual exclusion) and liveness (termination
 // reachability), with a replayable witness schedule on failure.
 //
-//   $ ./lock_doctor [lock] [model] [n]
+//   $ ./lock_doctor [lock] [model] [n] [workers]
 //
-//   lock  ∈ {bakery, bakery-paper, gt2, tournament, peterson,
-//            peterson-tso, tas, ttas}        (default: peterson-tso)
-//   model ∈ {SC, TSO, PSO}                   (default: PSO)
-//   n     ∈ 2..3                             (default: 2)
+//   lock    ∈ {bakery, bakery-paper, gt2, tournament, peterson,
+//              peterson-tso, tas, ttas}        (default: peterson-tso)
+//   model   ∈ {SC, TSO, PSO}                   (default: PSO)
+//   n       ∈ 2..3                             (default: 2)
+//   workers ∈ 1..64 exploration threads        (default: 1)
 #include <cstdio>
 #include <cstring>
 
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   const std::string lockName = argc > 1 ? argv[1] : "peterson-tso";
   const std::string modelName = argc > 2 ? argv[2] : "PSO";
   const int n = argc > 3 ? std::atoi(argv[3]) : 2;
+  const int workers = argc > 4 ? std::atoi(argv[4]) : 1;
 
   bool ok = false;
   auto factory = lockByName(lockName, ok);
@@ -62,20 +64,22 @@ int main(int argc, char** argv) {
     ok = false;
     model = sim::MemoryModel::PSO;
   }
-  if (!ok || n < 2 || n > 3) {
+  if (!ok || n < 2 || n > 3 || workers < 1 || workers > 64) {
     std::fprintf(stderr,
                  "usage: %s [bakery|bakery-paper|gt2|tournament|peterson|"
-                 "peterson-tso|tas|ttas] [SC|TSO|PSO] [2|3]\n",
+                 "peterson-tso|tas|ttas] [SC|TSO|PSO] [2|3] [workers]\n",
                  argv[0]);
     return 2;
   }
 
   auto os = core::buildCountSystem(model, n, factory);
-  std::printf("model-checking %s with n=%d under %s ...\n",
-              lockName.c_str(), n, modelName.c_str());
+  std::printf("model-checking %s with n=%d under %s (%d worker%s) ...\n",
+              lockName.c_str(), n, modelName.c_str(), workers,
+              workers == 1 ? "" : "s");
 
   sim::ExploreOptions opts;
   opts.maxStates = n == 2 ? 5'000'000 : 600'000;
+  opts.workers = workers;
   auto res = sim::explore(os.sys, opts);
 
   std::printf("  states explored : %llu%s\n",
@@ -100,7 +104,9 @@ int main(int argc, char** argv) {
   }
 
   if (n == 2 && !res.capped) {
-    auto live = sim::checkLiveness(os.sys);
+    sim::LivenessOptions lopts;
+    lopts.workers = workers;
+    auto live = sim::checkLiveness(os.sys, lopts);
     if (live.complete) {
       std::printf("  liveness         : %s (%llu states, %llu terminal)\n",
                   live.allCanTerminate

@@ -3,7 +3,11 @@
 // every schedule, and print which outcomes each model admits — including
 // a step-by-step witness of the PSO message-passing anomaly that makes
 // a fence-free queue hand-off unsound.
+//
+//   $ ./weak_memory_playground [workers]   (default 1: sequential DFS;
+//     > 1 runs every exploration on the parallel engine instead)
 #include <cstdio>
+#include <cstdlib>
 
 #include "sim/builder.h"
 #include "sim/explore.h"
@@ -13,6 +17,9 @@
 namespace {
 
 using namespace fencetrade;
+
+// Explorer options shared by every exploration below; set from argv.
+sim::ExploreOptions gOpts;
 
 std::string outcomeCell(const sim::ExploreResult& r,
                         std::vector<sim::Value> probe) {
@@ -46,9 +53,9 @@ void litmusMatrix() {
        "new value then old value"},
   };
   for (const auto& row : rows) {
-    auto sc = sim::explore(row.make(sim::MemoryModel::SC));
-    auto tso = sim::explore(row.make(sim::MemoryModel::TSO));
-    auto pso = sim::explore(row.make(sim::MemoryModel::PSO));
+    auto sc = sim::explore(row.make(sim::MemoryModel::SC), gOpts);
+    auto tso = sim::explore(row.make(sim::MemoryModel::TSO), gOpts);
+    auto pso = sim::explore(row.make(sim::MemoryModel::PSO), gOpts);
     table.addRow({row.name, row.meaning, outcomeCell(sc, row.probe),
                   outcomeCell(tso, row.probe), outcomeCell(pso, row.probe)});
   }
@@ -82,14 +89,14 @@ void mpAnomalyWitness() {
               "reordered.  Under TSO the commit of F before D is "
               "impossible (FIFO buffer), and indeed:\n");
 
-  auto tso = sim::explore(sim::litmusMP(sim::MemoryModel::TSO, false));
+  auto tso = sim::explore(sim::litmusMP(sim::MemoryModel::TSO, false), gOpts);
   std::printf("  TSO outcome set: %s\n",
               sim::outcomesToString(tso.outcomes).c_str());
-  auto pso = sim::explore(sim::litmusMP(sim::MemoryModel::PSO, false));
+  auto pso = sim::explore(sim::litmusMP(sim::MemoryModel::PSO, false), gOpts);
   std::printf("  PSO outcome set: %s   (2 = the anomaly)\n\n",
               sim::outcomesToString(pso.outcomes).c_str());
 
-  auto fixed = sim::explore(sim::litmusMP(sim::MemoryModel::PSO, true));
+  auto fixed = sim::explore(sim::litmusMP(sim::MemoryModel::PSO, true), gOpts);
   std::printf("With one fence between the writes, PSO outcome set: %s — "
               "repaired.\n",
               sim::outcomesToString(fixed.outcomes).c_str());
@@ -100,7 +107,16 @@ void mpAnomalyWitness() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 1;
+  if (workers < 1 || workers > 64) {
+    std::fprintf(stderr, "usage: %s [workers]\n", argv[0]);
+    return 2;
+  }
+  gOpts.workers = workers;
+  if (workers > 1) {
+    std::printf("(parallel exploration engine, %d workers)\n\n", workers);
+  }
   litmusMatrix();
   mpAnomalyWitness();
   return 0;

@@ -87,6 +87,13 @@ std::vector<Reg> WriteBuffer::distinctRegs() const {
   return out;
 }
 
+std::vector<std::pair<Reg, Value>> WriteBuffer::entries() const {
+  if (model_ == MemoryModel::TSO) {
+    return {fifo_.begin(), fifo_.end()};
+  }
+  return {set_.begin(), set_.end()};  // std::map: register-sorted
+}
+
 std::uint64_t WriteBuffer::hash() const {
   std::uint64_t h = 0x42;
   if (model_ == MemoryModel::TSO) {

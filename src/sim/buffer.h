@@ -53,6 +53,13 @@ class WriteBuffer {
   /// Distinct buffered registers, ascending.
   std::vector<Reg> distinctRegs() const;
 
+  /// Buffer content in canonical order: register-sorted under PSO (the
+  /// set holds at most one entry per register), FIFO order under TSO
+  /// (where order is behaviorally relevant).  Two buffers compare equal
+  /// iff their entries() are equal — the explorer's canonical state key
+  /// is built from this.
+  std::vector<std::pair<Reg, Value>> entries() const;
+
   /// Order-insensitive content hash (TSO additionally folds in order).
   std::uint64_t hash() const;
 

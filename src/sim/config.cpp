@@ -11,6 +11,22 @@ inline std::uint64_t entryMix(Reg r, Value v) {
                        static_cast<std::uint64_t>(v));
 }
 
+// LEB128 with zigzag for signed fields: a self-delimiting prefix code,
+// so concatenating fields (with explicit counts for the variable-length
+// sections) yields a canonical, injective serialization.
+inline void appendVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+inline void appendSigned(std::string& out, std::int64_t v) {
+  appendVarint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                        static_cast<std::uint64_t>(v >> 63));
+}
+
 }  // namespace
 
 std::uint64_t ProcState::hash() const {
@@ -54,6 +70,43 @@ std::uint64_t Config::behavioralHash(std::uint64_t salt) const {
     h = util::hashCombine(h, entryMix(r, v));
   }
   return h;
+}
+
+std::string Config::behavioralKey() const {
+  // Mirrors exactly the state behavioralHash() covers: per-process
+  // (pc, final, retval, locals), write-buffer contents in canonical
+  // order, and the non-initial memory entries (std::map: sorted), so
+  // that a register reset to kInitValue keys the same as one never
+  // written.  `pending`/`hasPending` are derived from (program, pc,
+  // locals) and `seen`/`lastCommitter` are RMR accounting — excluded.
+  std::string key;
+  key.reserve(16 * procs.size() + 24);
+  for (const auto& ps : procs) {
+    appendSigned(key, ps.pc);
+    key.push_back(ps.final ? '\1' : '\0');
+    appendSigned(key, ps.retval);
+    appendVarint(key, ps.locals.size());
+    for (Value v : ps.locals) appendSigned(key, v);
+  }
+  for (const auto& wb : buffers) {
+    const auto entries = wb.entries();
+    appendVarint(key, entries.size());
+    for (const auto& [r, v] : entries) {
+      appendVarint(key, static_cast<std::uint64_t>(r));
+      appendSigned(key, v);
+    }
+  }
+  std::size_t live = 0;
+  for (const auto& [r, v] : memory) {
+    if (v != kInitValue) ++live;
+  }
+  appendVarint(key, live);
+  for (const auto& [r, v] : memory) {
+    if (v == kInitValue) continue;
+    appendVarint(key, static_cast<std::uint64_t>(r));
+    appendSigned(key, v);
+  }
+  return key;
 }
 
 std::vector<Value> Config::returnValues() const {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -70,8 +71,17 @@ struct Config {
   /// Hash of behaviorally relevant state only (procs, buffers, memory —
   /// not the RMR accounting), canonicalizing value-0 entries so that a
   /// register explicitly holding 0 equals a never-written register.
-  /// Used as the explorer's visited-set key.
+  /// Cheap key material for memo tables; NOT sound as a visited-set key
+  /// on its own (64-bit collisions silently prune states).
   std::uint64_t behavioralHash(std::uint64_t salt) const;
+
+  /// Canonical serialization of the same behaviorally relevant state
+  /// (procs, buffers, non-initial memory) as a byte string: two configs
+  /// of one system produce equal keys iff they are behaviorally equal.
+  /// This is the explorer's visited-set key — collision-safe where
+  /// behavioralHash() is not.  Varint-coded; typically well under 100
+  /// bytes for the systems model-checked here.
+  std::string behavioralKey() const;
 
   /// Vector of return values, -1 for processes not yet final.
   std::vector<Value> returnValues() const;

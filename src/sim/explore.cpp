@@ -4,16 +4,16 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sim/explore_parallel.h"
 #include "util/check.h"
+#include "util/sharded_set.h"
 
 namespace fencetrade::sim {
 
-namespace {
+namespace detail {
 
-using Elem = std::pair<ProcId, Reg>;
-
-std::vector<Elem> movesOf(const Config& cfg) {
-  std::vector<Elem> moves;
+std::vector<std::pair<ProcId, Reg>> enabledMoves(const Config& cfg) {
+  std::vector<std::pair<ProcId, Reg>> moves;
   for (std::size_t p = 0; p < cfg.procs.size(); ++p) {
     if (cfg.procs[p].final) continue;
     moves.emplace_back(static_cast<ProcId>(p), kNoReg);
@@ -34,6 +34,12 @@ int csOccupancy(const System& sys, const Config& cfg) {
   return occ;
 }
 
+}  // namespace detail
+
+namespace {
+
+using Elem = std::pair<ProcId, Reg>;
+
 struct Frame {
   Config cfg;
   std::vector<Elem> moves;
@@ -43,20 +49,25 @@ struct Frame {
 }  // namespace
 
 ExploreResult explore(const System& sys, const ExploreOptions& opts) {
+  if (opts.workers > 1) return exploreParallel(sys, opts);
+
   ExploreResult res;
-  std::unordered_set<std::uint64_t> visited;
+  // Visited set keyed by the canonical serialized state, not its 64-bit
+  // hash: equality compares full keys, so a hash collision costs a
+  // bucket probe instead of silently pruning a state (soundness).
+  std::unordered_set<std::string, util::StateKeyHash> visited(
+      /*bucket_count=*/1024, util::StateKeyHash{opts.debugStateHash});
   std::vector<Frame> stack;
   std::vector<Elem> path;
 
   auto enter = [&](Config cfg) -> bool {
     // Returns false when the state was seen before or the cap is hit.
-    const std::uint64_t h = cfg.behavioralHash(0xF37CE7ADEULL);
-    if (!visited.insert(h).second) return false;
+    if (!visited.insert(cfg.behavioralKey()).second) return false;
     ++res.statesVisited;
     if (res.statesVisited >= opts.maxStates) res.capped = true;
 
     if (opts.checkMutualExclusion) {
-      const int occ = csOccupancy(sys, cfg);
+      const int occ = detail::csOccupancy(sys, cfg);
       if (occ > res.maxCsOccupancy) res.maxCsOccupancy = occ;
       if (occ >= 2 && !res.mutexViolation) {
         res.mutexViolation = true;
@@ -68,7 +79,7 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
       return false;  // terminal: nothing to expand
     }
     Frame f;
-    f.moves = movesOf(cfg);
+    f.moves = detail::enabledMoves(cfg);
     f.cfg = std::move(cfg);
     stack.push_back(std::move(f));
     return true;
@@ -97,19 +108,21 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
 
 LivenessResult checkLiveness(const System& sys,
                              const LivenessOptions& opts) {
+  if (opts.workers > 1) return checkLivenessParallel(sys, opts);
+
   LivenessResult res;
 
-  // Forward exploration building the reversed edge relation.
-  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  // Forward exploration building the reversed edge relation.  Interning
+  // is keyed by the canonical serialized state (see explore()).
+  std::unordered_map<std::string, std::uint32_t> index;
   std::vector<std::vector<std::uint32_t>> preds;
   std::vector<char> terminal;
   std::vector<Config> frontier;  // configs awaiting expansion
   std::vector<std::uint32_t> frontierIdx;
 
   auto intern = [&](const Config& cfg) -> std::pair<std::uint32_t, bool> {
-    const std::uint64_t h = cfg.behavioralHash(0x11BE11E55ULL);
-    auto [it, inserted] =
-        index.emplace(h, static_cast<std::uint32_t>(preds.size()));
+    auto [it, inserted] = index.emplace(
+        cfg.behavioralKey(), static_cast<std::uint32_t>(preds.size()));
     if (inserted) {
       preds.emplace_back();
       terminal.push_back(allFinal(cfg) ? 1 : 0);
@@ -132,7 +145,7 @@ LivenessResult checkLiveness(const System& sys,
     frontierIdx.pop_back();
     if (terminal[from]) continue;
 
-    for (const auto& [p, r] : movesOf(cfg)) {
+    for (const auto& [p, r] : detail::enabledMoves(cfg)) {
       Config child = cfg;
       auto step = execElem(sys, child, p, r);
       FT_CHECK(step.has_value()) << "liveness: move produced no step";

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -24,6 +25,15 @@ struct ExploreOptions {
   bool checkMutualExclusion = true;
   /// Stop at the first mutual-exclusion violation.
   bool stopOnViolation = true;
+  /// Exploration threads.  1 = the sequential DFS (the differential
+  /// oracle); > 1 delegates to the work-stealing parallel engine in
+  /// explore_parallel.h.  Both key the visited set by the canonical
+  /// serialized state (Config::behavioralKey), so hash collisions can
+  /// never prune states.
+  int workers = 1;
+  /// Test-only override of the visited-set hash, used to force
+  /// collisions and prove the set is key-exact.  nullptr = default.
+  std::uint64_t (*debugStateHash)(const std::string&) = nullptr;
 };
 
 struct ExploreResult {
@@ -57,6 +67,8 @@ std::string outcomesToString(const std::set<std::vector<Value>>& outcomes);
 
 struct LivenessOptions {
   std::uint64_t maxStates = 500'000;
+  /// Graph-construction threads; > 1 delegates to the parallel engine.
+  int workers = 1;
 };
 
 struct LivenessResult {
@@ -71,5 +83,17 @@ struct LivenessResult {
 
 LivenessResult checkLiveness(const System& sys,
                              const LivenessOptions& opts = {});
+
+namespace detail {
+
+/// Schedule elements enabled in `cfg`: (p, ⊥) for every non-final p,
+/// plus (p, R) for every committable buffered register.  Shared by the
+/// sequential and parallel engines so they enumerate identically.
+std::vector<std::pair<ProcId, Reg>> enabledMoves(const Config& cfg);
+
+/// Number of processes currently inside their critical section.
+int csOccupancy(const System& sys, const Config& cfg);
+
+}  // namespace detail
 
 }  // namespace fencetrade::sim

@@ -1,0 +1,421 @@
+#include "sim/explore_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/sharded_set.h"
+
+namespace fencetrade::sim {
+
+namespace {
+
+using Elem = std::pair<ProcId, Reg>;
+
+int shardCountFor(int workers) {
+  // Enough shards that lock contention is negligible even with every
+  // worker inserting on every expansion.
+  return std::clamp(workers * 16, 64, 512);
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing task pool: per-worker mutex-guarded deques.  Local pops
+// take the back (LIFO), steals take the front (FIFO).  `inflight` counts
+// tasks queued or being expanded; it reaching zero is the termination
+// condition — a task's children are pushed (and counted) before the
+// task itself is retired, so the count can never transiently hit zero
+// while work remains.
+// ---------------------------------------------------------------------------
+template <typename Task>
+class WorkPool {
+ public:
+  explicit WorkPool(int workers) {
+    queues_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      queues_.push_back(std::make_unique<Queue>());
+    }
+  }
+
+  void push(int worker, Task&& t) {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    Queue& q = *queues_[static_cast<std::size_t>(worker)];
+    std::lock_guard<std::mutex> lock(q.m);
+    q.d.push_back(std::move(t));
+  }
+
+  bool pop(int worker, Task& out) {
+    const int n = static_cast<int>(queues_.size());
+    {
+      Queue& q = *queues_[static_cast<std::size_t>(worker)];
+      std::lock_guard<std::mutex> lock(q.m);
+      if (!q.d.empty()) {
+        out = std::move(q.d.back());
+        q.d.pop_back();
+        return true;
+      }
+    }
+    for (int k = 1; k < n; ++k) {
+      Queue& q = *queues_[static_cast<std::size_t>((worker + k) % n)];
+      std::lock_guard<std::mutex> lock(q.m);
+      if (!q.d.empty()) {
+        out = std::move(q.d.front());
+        q.d.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Retire one task previously obtained from pop().
+  void retire() { inflight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  bool drained() const {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  struct Queue {
+    std::mutex m;
+    std::deque<Task> d;
+  };
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::atomic<std::int64_t> inflight_{0};
+};
+
+// Immutable shared schedule suffix: O(1) per frontier entry instead of
+// copying the whole path, and safe to share across threads.
+struct PathNode {
+  Elem elem;
+  std::shared_ptr<const PathNode> parent;
+};
+
+std::vector<Elem> unwindPath(const PathNode* tail) {
+  std::vector<Elem> path;
+  for (const PathNode* n = tail; n != nullptr; n = n->parent.get()) {
+    path.push_back(n->elem);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel explore
+// ---------------------------------------------------------------------------
+class ParallelExplorer {
+ public:
+  ParallelExplorer(const System& sys, const ExploreOptions& opts)
+      : sys_(sys),
+        opts_(opts),
+        workers_(std::max(1, opts.workers)),
+        visited_(shardCountFor(workers_), opts.debugStateHash),
+        pool_(workers_),
+        locals_(static_cast<std::size_t>(workers_)) {}
+
+  ExploreResult run() {
+    {
+      Config init = initialConfig(sys_);
+      if (admit(init, nullptr, locals_[0])) {
+        pool_.push(0, Task{std::move(init), nullptr});
+      }
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+      threads.emplace_back([this, w] { workerLoop(w); });
+    }
+    for (auto& t : threads) t.join();
+
+    ExploreResult res;
+    res.statesVisited = statesVisited_.load(std::memory_order_relaxed);
+    res.capped = capped_.load(std::memory_order_relaxed);
+    res.mutexViolation = mutexViolation_.load(std::memory_order_relaxed);
+    res.witness = std::move(witness_);
+    for (const Local& l : locals_) {
+      res.maxCsOccupancy = std::max(res.maxCsOccupancy, l.maxCsOccupancy);
+      res.outcomes.insert(l.outcomes.begin(), l.outcomes.end());
+    }
+    return res;
+  }
+
+ private:
+  struct Task {
+    Config cfg;
+    std::shared_ptr<const PathNode> path;
+  };
+
+  /// Per-worker accumulators, merged deterministically at join.
+  struct Local {
+    std::set<std::vector<Value>> outcomes;
+    int maxCsOccupancy = 0;
+  };
+
+  /// First visit of `cfg`?  Counts it, checks the CS invariant and
+  /// collects terminal outcomes; returns true iff the caller should
+  /// expand the state further.
+  bool admit(const Config& cfg, const std::shared_ptr<const PathNode>& path,
+             Local& local) {
+    if (!visited_.insert(cfg.behavioralKey())) return false;
+    const std::uint64_t count =
+        statesVisited_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (count >= opts_.maxStates) {
+      capped_.store(true, std::memory_order_relaxed);
+      stop_.store(true, std::memory_order_release);
+    }
+    if (opts_.checkMutualExclusion) {
+      const int occ = detail::csOccupancy(sys_, cfg);
+      if (occ > local.maxCsOccupancy) local.maxCsOccupancy = occ;
+      if (occ >= 2) reportViolation(path);
+    }
+    if (allFinal(cfg)) {
+      local.outcomes.insert(cfg.returnValues());
+      return false;
+    }
+    return true;
+  }
+
+  void reportViolation(const std::shared_ptr<const PathNode>& path) {
+    std::lock_guard<std::mutex> lock(witnessMutex_);
+    if (!mutexViolation_.load(std::memory_order_relaxed)) {
+      mutexViolation_.store(true, std::memory_order_relaxed);
+      witness_ = unwindPath(path.get());
+      if (opts_.stopOnViolation) {
+        stop_.store(true, std::memory_order_release);
+      }
+    }
+  }
+
+  void workerLoop(int id) {
+    Local& local = locals_[static_cast<std::size_t>(id)];
+    Task t;
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (!pool_.pop(id, t)) {
+        if (pool_.drained()) break;
+        std::this_thread::yield();
+        continue;
+      }
+      expand(id, t, local);
+      pool_.retire();
+    }
+  }
+
+  void expand(int id, Task& t, Local& local) {
+    for (const Elem& elem : detail::enabledMoves(t.cfg)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      Config child = t.cfg;
+      auto step = execElem(sys_, child, elem.first, elem.second);
+      FT_CHECK(step.has_value()) << "exploreParallel: move produced no step";
+      auto node = std::make_shared<const PathNode>(PathNode{elem, t.path});
+      if (admit(child, node, local)) {
+        pool_.push(id, Task{std::move(child), std::move(node)});
+      }
+    }
+  }
+
+  const System& sys_;
+  const ExploreOptions& opts_;
+  const int workers_;
+
+  util::ShardedStateSet visited_;
+  WorkPool<Task> pool_;
+  std::vector<Local> locals_;
+
+  std::atomic<std::uint64_t> statesVisited_{0};
+  std::atomic<bool> capped_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> mutexViolation_{false};
+  std::mutex witnessMutex_;
+  std::vector<Elem> witness_;
+};
+
+// ---------------------------------------------------------------------------
+// Parallel liveness graph construction
+// ---------------------------------------------------------------------------
+class ParallelLiveness {
+ public:
+  ParallelLiveness(const System& sys, const LivenessOptions& opts)
+      : sys_(sys),
+        opts_(opts),
+        workers_(std::max(1, opts.workers)),
+        pool_(workers_),
+        locals_(static_cast<std::size_t>(workers_)) {
+    const int shards = shardCountFor(workers_);
+    int pow2 = 1;
+    while (pow2 < shards) pow2 <<= 1;
+    shardMask_ = static_cast<std::uint64_t>(pow2 - 1);
+    index_.reserve(static_cast<std::size_t>(pow2));
+    for (int i = 0; i < pow2; ++i) {
+      index_.push_back(std::make_unique<IndexShard>());
+    }
+  }
+
+  LivenessResult run() {
+    {
+      Config init = initialConfig(sys_);
+      const Interned in = intern(init, locals_[0]);
+      if (!in.terminal) pool_.push(0, Task{std::move(init), in.idx});
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+      threads.emplace_back([this, w] { workerLoop(w); });
+    }
+    for (auto& t : threads) t.join();
+
+    LivenessResult res;
+    if (capped_.load(std::memory_order_relaxed)) return res;  // incomplete
+
+    const std::uint32_t n = nextId_.load(std::memory_order_relaxed);
+    res.complete = true;
+    res.states = n;
+
+    // Merge per-worker edge lists into the reversed adjacency and run
+    // the same reverse BFS as the sequential checker.
+    std::vector<std::vector<std::uint32_t>> preds(n);
+    std::vector<char> terminal(n, 0);
+    for (const Local& l : locals_) {
+      for (const auto& [to, from] : l.edges) preds[to].push_back(from);
+      for (std::uint32_t t : l.terminals) terminal[t] = 1;
+    }
+    std::vector<char> canTerminate(n, 0);
+    std::vector<std::uint32_t> queue;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (terminal[s]) {
+        ++res.terminalStates;
+        canTerminate[s] = 1;
+        queue.push_back(s);
+      }
+    }
+    while (!queue.empty()) {
+      const std::uint32_t s = queue.back();
+      queue.pop_back();
+      for (std::uint32_t pre : preds[s]) {
+        if (!canTerminate[pre]) {
+          canTerminate[pre] = 1;
+          queue.push_back(pre);
+        }
+      }
+    }
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (!canTerminate[s]) ++res.stuckStates;
+    }
+    res.allCanTerminate = (res.stuckStates == 0);
+    return res;
+  }
+
+ private:
+  struct Task {
+    Config cfg;
+    std::uint32_t idx = 0;
+  };
+
+  struct Local {
+    /// (to, from) pairs — preds[to] gains from.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    std::vector<std::uint32_t> terminals;
+  };
+
+  struct IndexShard {
+    std::mutex m;
+    std::unordered_map<std::string, std::uint32_t> map;
+  };
+
+  struct Interned {
+    std::uint32_t idx = 0;
+    bool fresh = false;
+    bool terminal = false;
+  };
+
+  /// Global interning: canonical key -> dense id.  Fresh terminal states
+  /// are recorded in the caller's local list; callers must not expand a
+  /// terminal state (mirroring the sequential checker).
+  Interned intern(const Config& cfg, Local& local) {
+    std::string key = cfg.behavioralKey();
+    std::uint64_t h = std::hash<std::string>{}(key);
+    h ^= h >> 33;
+    h *= 0x9E3779B97F4A7C15ULL;
+    IndexShard& shard = *index_[(h >> 17) & shardMask_];
+
+    Interned in;
+    in.terminal = allFinal(cfg);
+    {
+      std::lock_guard<std::mutex> lock(shard.m);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        in.idx = it->second;
+      } else {
+        in.idx = nextId_.fetch_add(1, std::memory_order_relaxed);
+        shard.map.emplace(std::move(key), in.idx);
+        in.fresh = true;
+      }
+    }
+    if (in.fresh) {
+      if (static_cast<std::uint64_t>(in.idx) + 1 >= opts_.maxStates) {
+        capped_.store(true, std::memory_order_relaxed);
+        stop_.store(true, std::memory_order_release);
+      }
+      if (in.terminal) local.terminals.push_back(in.idx);
+    }
+    return in;
+  }
+
+  void workerLoop(int id) {
+    Local& local = locals_[static_cast<std::size_t>(id)];
+    Task t;
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (!pool_.pop(id, t)) {
+        if (pool_.drained()) break;
+        std::this_thread::yield();
+        continue;
+      }
+      expand(id, t, local);
+      pool_.retire();
+    }
+  }
+
+  void expand(int id, Task& t, Local& local) {
+    for (const Elem& elem : detail::enabledMoves(t.cfg)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      Config child = t.cfg;
+      auto step = execElem(sys_, child, elem.first, elem.second);
+      FT_CHECK(step.has_value())
+          << "checkLivenessParallel: move produced no step";
+      const Interned in = intern(child, local);
+      local.edges.emplace_back(in.idx, t.idx);
+      if (in.fresh && !in.terminal) {
+        pool_.push(id, Task{std::move(child), in.idx});
+      }
+    }
+  }
+
+  const System& sys_;
+  const LivenessOptions& opts_;
+  const int workers_;
+
+  WorkPool<Task> pool_;
+  std::vector<Local> locals_;
+  std::vector<std::unique_ptr<IndexShard>> index_;
+  std::uint64_t shardMask_ = 0;
+
+  std::atomic<std::uint32_t> nextId_{0};
+  std::atomic<bool> capped_{false};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace
+
+ExploreResult exploreParallel(const System& sys, const ExploreOptions& opts) {
+  return ParallelExplorer(sys, opts).run();
+}
+
+LivenessResult checkLivenessParallel(const System& sys,
+                                     const LivenessOptions& opts) {
+  return ParallelLiveness(sys, opts).run();
+}
+
+}  // namespace fencetrade::sim

@@ -1,0 +1,42 @@
+// Parallel exhaustive state-space exploration.
+//
+// A work-stealing engine over the same one-step semantics as the
+// sequential DFS in explore.cpp: `workers` threads each keep a local
+// LIFO deque of unexplored configurations (depth-first locally, so the
+// live frontier stays near the sequential stack's size) and steal from
+// the *front* of a victim's deque when idle (breadth-first steals hand
+// over the shallowest — and therefore largest — subtrees).
+//
+// Soundness and determinism:
+//   * the shared visited set (util::ShardedStateSet) is keyed by the
+//     canonical serialized state, Config::behavioralKey(), so two
+//     distinct states can never alias — exactly one worker wins the
+//     insertion race for each reachable state;
+//   * `outcomes` are merged into an ordered set and the per-state
+//     quantities (statesVisited, maxCsOccupancy) are commutative
+//     aggregates, so an uncapped, violation-free run returns results
+//     identical to the sequential explorer regardless of schedule —
+//     the differential tests in tests/sim_explore_parallel_test.cpp
+//     hold the two engines to that;
+//   * each frontier entry carries its schedule as a shared immutable
+//     parent chain, so a mutual-exclusion violation still yields a
+//     complete replayable witness (first reporter wins).
+//
+// explore() / checkLiveness() delegate here when options.workers > 1;
+// call these directly only if you want to bypass that dispatch.
+#pragma once
+
+#include "sim/explore.h"
+
+namespace fencetrade::sim {
+
+/// Requires opts.workers >= 1 (1 degenerates to a single worker thread,
+/// useful for harness testing; explore() only dispatches here for > 1).
+ExploreResult exploreParallel(const System& sys, const ExploreOptions& opts);
+
+/// Parallel construction of the reachable state graph followed by the
+/// same reverse-reachability check as the sequential checkLiveness().
+LivenessResult checkLivenessParallel(const System& sys,
+                                     const LivenessOptions& opts);
+
+}  // namespace fencetrade::sim

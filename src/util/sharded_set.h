@@ -1,0 +1,103 @@
+// Sharded concurrent set of canonical state keys.
+//
+// The exhaustive explorer's visited set must be keyed by the *full*
+// canonical serialization of a state, not by a 64-bit hash: a bare-hash
+// set silently prunes any state whose hash collides with an earlier
+// one, which makes "no violation found" claims unsound.  This set
+// stores the complete key and only uses the hash for shard/bucket
+// placement, so a collision costs time, never soundness.
+//
+// Concurrency: keys are partitioned across 2^k shards by hash; each
+// shard is an independently locked std::unordered_set.  insert() is
+// linearizable per key (exactly one caller wins), which is all the
+// parallel explorer needs.
+//
+// The hash function is runtime-pluggable so tests can force collisions
+// (e.g. a constant hash) and prove that distinct states still both
+// count as visited.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace fencetrade::util {
+
+/// Hasher with an optional runtime override; the default is the
+/// standard library string hash.
+struct StateKeyHash {
+  std::uint64_t (*fn)(const std::string&) = nullptr;
+
+  std::size_t operator()(const std::string& key) const {
+    if (fn) return static_cast<std::size_t>(fn(key));
+    return std::hash<std::string>{}(key);
+  }
+};
+
+class ShardedStateSet {
+ public:
+  /// `shardCount` is rounded up to a power of two; `hashFn` overrides
+  /// the key hash (tests force collisions with a constant function).
+  explicit ShardedStateSet(int shardCount = 64,
+                           std::uint64_t (*hashFn)(const std::string&)
+                           = nullptr)
+      : hash_{hashFn} {
+    int shards = 1;
+    while (shards < shardCount) shards <<= 1;
+    mask_ = static_cast<std::uint64_t>(shards - 1);
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(hash_));
+    }
+  }
+
+  /// Insert; returns true iff the key was not present.  Thread-safe.
+  bool insert(std::string&& key) {
+    Shard& s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.m);
+    return s.set.insert(std::move(key)).second;
+  }
+
+  bool contains(const std::string& key) const {
+    const Shard& s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.m);
+    return s.set.count(key) != 0;
+  }
+
+  /// Total keys across shards.  Only exact when no insert is racing.
+  std::uint64_t size() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->m);
+      total += s->set.size();
+    }
+    return total;
+  }
+
+  int shardCount() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    explicit Shard(StateKeyHash h) : set(/*bucket_count=*/64, h) {}
+    mutable std::mutex m;
+    std::unordered_set<std::string, StateKeyHash> set;
+  };
+
+  Shard& shardFor(const std::string& key) const {
+    // Remix so a weak user hash still spreads across shards no worse
+    // than it spreads across buckets.
+    std::uint64_t h = hash_(key);
+    h ^= h >> 33;
+    h *= 0x9E3779B97F4A7C15ULL;
+    return *shards_[(h >> 17) & mask_];
+  }
+
+  StateKeyHash hash_;
+  std::uint64_t mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fencetrade::util

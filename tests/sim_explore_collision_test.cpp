@@ -1,0 +1,153 @@
+// Regression tests for the visited-set soundness hole: the explorer
+// used to key its visited set on the bare 64-bit behavioralHash, so any
+// two distinct states whose hashes collided were silently merged — one
+// of them (and its whole subtree) was never visited, making "no
+// violation found" claims unsound.  The visited set is now keyed by the
+// canonical serialized state (Config::behavioralKey); these tests force
+// hash collisions and assert that distinct states still all count.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/builder.h"
+#include "sim/explore.h"
+#include "sim/litmus.h"
+#include "util/sharded_set.h"
+
+namespace fencetrade::sim {
+namespace {
+
+// Every key collides: the worst case a 64-bit hash can produce.
+std::uint64_t constantHash(const std::string&) { return 42; }
+
+System racingCountersSystem(MemoryModel m, int procs) {
+  System sys;
+  sys.model = m;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  for (int p = 0; p < procs; ++p) {
+    ProgramBuilder b("w#" + std::to_string(p));
+    LocalId x = b.local("x");
+    b.readReg(x, r);
+    b.writeReg(r, b.add(b.L(x), b.imm(1)));
+    b.fence();
+    b.ret(b.L(x));
+    sys.programs.push_back(b.build());
+  }
+  return sys;
+}
+
+TEST(CollisionTest, ShardedSetKeepsDistinctKeysUnderForcedCollision) {
+  util::ShardedStateSet set(8, &constantHash);
+  EXPECT_TRUE(set.insert("alpha"));
+  EXPECT_TRUE(set.insert("beta"));  // same forced hash, different key
+  EXPECT_FALSE(set.insert("alpha"));
+  EXPECT_FALSE(set.insert("beta"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains("alpha"));
+  EXPECT_FALSE(set.contains("gamma"));
+}
+
+TEST(CollisionTest, DistinctConfigsWithForcedCollisionBothVisited) {
+  // Two behaviorally distinct configs of one system, fed to a visited
+  // set whose hash maps *everything* to the same value: both must be
+  // admitted, where a bare-hash set would drop the second.
+  System sys = racingCountersSystem(MemoryModel::PSO, 2);
+  Config a = initialConfig(sys);
+  Config b = initialConfig(sys);
+  b.writeMem(0, 7);  // distinct memory => distinct behavioral state
+
+  ASSERT_NE(a.behavioralKey(), b.behavioralKey());
+  util::ShardedStateSet visited(4, &constantHash);
+  EXPECT_TRUE(visited.insert(a.behavioralKey()));
+  EXPECT_TRUE(visited.insert(b.behavioralKey()));
+  EXPECT_EQ(visited.size(), 2u);
+}
+
+TEST(CollisionTest, SequentialExploreImmuneToHashCollisions) {
+  // End-to-end: exploring with every state's hash forced equal must
+  // visit exactly the same states and outcomes as the default hash.
+  System sys = racingCountersSystem(MemoryModel::PSO, 2);
+  auto base = explore(sys);
+  ASSERT_GT(base.statesVisited, 2u);  // a hash-keyed set would collapse
+
+  ExploreOptions forced;
+  forced.debugStateHash = &constantHash;
+  auto res = explore(sys, forced);
+  EXPECT_EQ(res.statesVisited, base.statesVisited);
+  EXPECT_EQ(res.outcomes, base.outcomes);
+  EXPECT_EQ(res.maxCsOccupancy, base.maxCsOccupancy);
+}
+
+TEST(CollisionTest, ParallelExploreImmuneToHashCollisions) {
+  System sys = racingCountersSystem(MemoryModel::PSO, 3);
+  auto base = explore(sys);
+
+  ExploreOptions forced;
+  forced.workers = 4;
+  forced.debugStateHash = &constantHash;
+  auto res = explore(sys, forced);
+  EXPECT_EQ(res.statesVisited, base.statesVisited);
+  EXPECT_EQ(res.outcomes, base.outcomes);
+}
+
+TEST(CollisionTest, BehavioralKeyCanonicalizesInitialValueWrites) {
+  // A register explicitly reset to kInitValue keys identically to one
+  // never written — same canonicalization behavioralHash applies.
+  System sys = litmusSB(MemoryModel::PSO, false);
+  Config a = initialConfig(sys);
+  Config b = initialConfig(sys);
+  b.writeMem(0, kInitValue);
+  EXPECT_EQ(a.behavioralKey(), b.behavioralKey());
+  b.writeMem(0, 5);
+  EXPECT_NE(a.behavioralKey(), b.behavioralKey());
+  b.writeMem(0, kInitValue);
+  EXPECT_EQ(a.behavioralKey(), b.behavioralKey());
+}
+
+TEST(CollisionTest, BehavioralKeyRespectsBufferOrderSemantics) {
+  // TSO buffers are FIFO: issue order is behaviorally relevant and must
+  // distinguish keys.  PSO buffers are unordered sets: the same two
+  // writes in either order must key identically.
+  auto twoWrites = [](MemoryModel m, bool swapped) {
+    System sys;
+    sys.model = m;
+    sys.layout.alloc(kNoOwner, "a");
+    sys.layout.alloc(kNoOwner, "b");
+    ProgramBuilder pb("w");
+    pb.writeRegImm(0, 1);
+    pb.writeRegImm(1, 2);
+    pb.fence();
+    pb.retImm(0);
+    sys.programs.push_back(pb.build());
+    Config cfg = initialConfig(sys);
+    if (swapped) {
+      cfg.buffers[0].addWrite(1, 2);
+      cfg.buffers[0].addWrite(0, 1);
+    } else {
+      cfg.buffers[0].addWrite(0, 1);
+      cfg.buffers[0].addWrite(1, 2);
+    }
+    return cfg.behavioralKey();
+  };
+  EXPECT_NE(twoWrites(MemoryModel::TSO, false),
+            twoWrites(MemoryModel::TSO, true));
+  EXPECT_EQ(twoWrites(MemoryModel::PSO, false),
+            twoWrites(MemoryModel::PSO, true));
+}
+
+TEST(CollisionTest, BehavioralKeyMatchesHashCoverage) {
+  // The key must change exactly when behavioralHash's inputs change;
+  // RMR accounting state (seen/lastCommitter) is excluded from both.
+  System sys = litmusSB(MemoryModel::PSO, false);
+  Config a = initialConfig(sys);
+  Config b = initialConfig(sys);
+  b.seen[0].insert({0, 1});
+  b.lastCommitter[0] = 1;
+  EXPECT_EQ(a.behavioralKey(), b.behavioralKey());
+
+  b.procs[0].pc = 3;
+  EXPECT_NE(a.behavioralKey(), b.behavioralKey());
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

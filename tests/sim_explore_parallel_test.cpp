@@ -1,0 +1,234 @@
+// Differential verification of the parallel exploration engine against
+// the sequential DFS oracle: identical outcome sets, state counts and
+// invariant verdicts for every litmus system × memory model and for the
+// GT_f lock family, plus witness-replay checks that a reported
+// mutual-exclusion violation is backed by a genuine replayable schedule
+// (guarding against stale/truncated witnesses from the parallel merge).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/builder.h"
+#include "sim/explore.h"
+#include "sim/explore_parallel.h"
+#include "sim/litmus.h"
+
+namespace fencetrade::sim {
+namespace {
+
+// Sanitizer builds run the heavy n=3 lock explorations with a reduced
+// worker sweep so the TSan/ASan CI jobs stay within time budget.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+void expectSameResult(const ExploreResult& seq, const ExploreResult& par,
+                      const std::string& what) {
+  ASSERT_FALSE(seq.capped) << what;
+  ASSERT_FALSE(par.capped) << what;
+  EXPECT_EQ(par.outcomes, seq.outcomes) << what;
+  EXPECT_EQ(par.statesVisited, seq.statesVisited) << what;
+  EXPECT_EQ(par.mutexViolation, seq.mutexViolation) << what;
+  EXPECT_EQ(par.maxCsOccupancy, seq.maxCsOccupancy) << what;
+}
+
+TEST(ParallelDiffTest, LitmusSystemsAllModelsAllWorkerCounts) {
+  struct Case {
+    const char* name;
+    System (*make)(MemoryModel);
+  };
+  const Case cases[] = {
+      {"SB", [](MemoryModel m) { return litmusSB(m, false); }},
+      {"SB+fence", [](MemoryModel m) { return litmusSB(m, true); }},
+      {"MP", [](MemoryModel m) { return litmusMP(m, false); }},
+      {"MP+fence", [](MemoryModel m) { return litmusMP(m, true); }},
+      {"CoRR", [](MemoryModel m) { return litmusCoRR(m); }},
+      {"WriteBatch", [](MemoryModel m) { return litmusWriteBatch(m); }},
+      {"Seqlock", [](MemoryModel m) { return litmusSeqlock(m); }},
+  };
+  for (MemoryModel m :
+       {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO}) {
+    for (const Case& c : cases) {
+      System sys = c.make(m);
+      auto seq = explore(sys);
+      for (int workers : {2, 4, 8}) {
+        ExploreOptions opts;
+        opts.workers = workers;
+        auto par = explore(sys, opts);
+        expectSameResult(seq, par,
+                         std::string(c.name) + "/" + memoryModelName(m) +
+                             "/w" + std::to_string(workers));
+      }
+    }
+  }
+}
+
+TEST(ParallelDiffTest, GtLockFamilySmallN) {
+  // GT_f ordering systems under PSO (the model the paper's bound is
+  // about): full exploration, engines must agree exactly.
+  struct Case {
+    int f;
+    int n;
+  };
+  const Case cases[] = {{1, 2}, {2, 2}, {1, 3}, {2, 3}};
+  for (const Case& c : cases) {
+    auto os = core::buildCountSystem(MemoryModel::PSO, c.n,
+                                     core::gtFactory(c.f));
+    ExploreOptions opts;
+    opts.maxStates = 5'000'000;
+    auto seq = explore(os.sys, opts);
+
+    std::vector<int> sweep{2, 4, 8};
+    if (kSanitized && c.n == 3) sweep = {2};
+    for (int workers : sweep) {
+      ExploreOptions popts = opts;
+      popts.workers = workers;
+      auto par = explore(os.sys, popts);
+      expectSameResult(seq, par,
+                       "GT_" + std::to_string(c.f) + "/n" +
+                           std::to_string(c.n) + "/w" +
+                           std::to_string(workers));
+      EXPECT_FALSE(par.mutexViolation);
+    }
+  }
+}
+
+TEST(ParallelDiffTest, DirectEntryPointMatchesDispatch) {
+  // exploreParallel() with workers=1 (one worker thread) must agree
+  // with both the dispatcher and the sequential oracle.
+  System sys = litmusMP(MemoryModel::PSO, false);
+  auto seq = explore(sys);
+  ExploreOptions opts;
+  opts.workers = 1;
+  auto par = exploreParallel(sys, opts);
+  expectSameResult(seq, par, "direct/w1");
+}
+
+TEST(ParallelDiffTest, LivenessGraphMatchesSequential) {
+  struct Case {
+    const char* name;
+    System sys;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"MP/PSO", litmusMP(MemoryModel::PSO, false)});
+  cases.push_back({"SB/TSO", litmusSB(MemoryModel::TSO, false)});
+  cases.push_back(
+      {"GT2/n2",
+       core::buildCountSystem(MemoryModel::PSO, 2, core::gtFactory(2)).sys});
+  for (const Case& c : cases) {
+    auto seq = checkLiveness(c.sys);
+    ASSERT_TRUE(seq.complete) << c.name;
+    for (int workers : {2, 4}) {
+      LivenessOptions opts;
+      opts.workers = workers;
+      auto par = checkLiveness(c.sys, opts);
+      ASSERT_TRUE(par.complete) << c.name << "/w" << workers;
+      EXPECT_EQ(par.states, seq.states) << c.name << "/w" << workers;
+      EXPECT_EQ(par.terminalStates, seq.terminalStates)
+          << c.name << "/w" << workers;
+      EXPECT_EQ(par.allCanTerminate, seq.allCanTerminate)
+          << c.name << "/w" << workers;
+      EXPECT_EQ(par.stuckStates, seq.stuckStates)
+          << c.name << "/w" << workers;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Witness replay: a reported violation must come with a schedule that,
+// replayed step-by-step through execElem, actually reaches a state with
+// two processes inside their critical sections.
+// ---------------------------------------------------------------------------
+
+System noLockSystem() {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  for (int p = 0; p < 2; ++p) {
+    ProgramBuilder b("nolock#" + std::to_string(p));
+    LocalId x = b.local("x");
+    b.readReg(x, r);
+    b.csBegin();
+    b.readReg(x, r);
+    b.writeReg(r, b.add(b.L(x), b.imm(1)));
+    b.fence();
+    b.csEnd();
+    b.ret(b.L(x));
+    sys.programs.push_back(b.build());
+  }
+  return sys;
+}
+
+int replayOccupancy(const System& sys,
+                    const std::vector<std::pair<ProcId, Reg>>& witness) {
+  Config cfg = initialConfig(sys);
+  for (auto [p, r] : witness) {
+    EXPECT_TRUE(execElem(sys, cfg, p, r).has_value())
+        << "witness step (" << p << ", " << r << ") produced no step";
+  }
+  int occ = 0;
+  for (int p = 0; p < sys.n(); ++p) {
+    if (inCriticalSection(sys, cfg, p)) ++occ;
+  }
+  return occ;
+}
+
+TEST(WitnessReplayTest, NoLockSystemAllWorkerCounts) {
+  System sys = noLockSystem();
+  for (int workers : {1, 2, 4, 8}) {
+    ExploreOptions opts;
+    opts.workers = workers;
+    auto res = explore(sys, opts);
+    ASSERT_TRUE(res.mutexViolation) << "workers " << workers;
+    ASSERT_FALSE(res.witness.empty()) << "workers " << workers;
+    EXPECT_GE(replayOccupancy(sys, res.witness), 2)
+        << "workers " << workers;
+  }
+}
+
+TEST(WitnessReplayTest, BrokenPetersonUnderPso) {
+  // The TsoFence Peterson variant is genuinely broken under PSO; both
+  // engines must find it and hand back a replayable schedule.
+  auto os = core::buildCountSystem(
+      MemoryModel::PSO, 2,
+      core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
+                                      core::PetersonVariant::TsoFence));
+  for (int workers : {1, 4}) {
+    ExploreOptions opts;
+    opts.workers = workers;
+    auto res = explore(os.sys, opts);
+    ASSERT_TRUE(res.mutexViolation) << "workers " << workers;
+    EXPECT_GE(replayOccupancy(os.sys, res.witness), 2)
+        << "workers " << workers;
+  }
+}
+
+TEST(WitnessReplayTest, ExhaustiveRunWithoutEarlyStopStillReplays) {
+  // stopOnViolation=false keeps exploring after the first violation;
+  // the recorded witness must stay valid (not truncated by later work).
+  System sys = noLockSystem();
+  for (int workers : {1, 4}) {
+    ExploreOptions opts;
+    opts.workers = workers;
+    opts.stopOnViolation = false;
+    auto res = explore(sys, opts);
+    ASSERT_TRUE(res.mutexViolation) << "workers " << workers;
+    EXPECT_GE(replayOccupancy(sys, res.witness), 2)
+        << "workers " << workers;
+  }
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

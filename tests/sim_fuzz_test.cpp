@@ -137,6 +137,35 @@ TEST(FuzzTest, SeqlockLitmusAcceptedStaleOnlyUnderPso) {
   }
 }
 
+TEST(FuzzTest, ParallelMatchesSequentialOnRandomSystems) {
+  // Differential fuzz of the parallel exploration engine against the
+  // sequential oracle: 200 random small programs, identical outcome
+  // sets and state counts required.  On failure the seed is printed;
+  // reproduce with randomSystem(seed, MemoryModel::PSO, 2, 4).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  constexpr std::uint64_t kSeeds = 50;  // sanitizer CI time budget
+#else
+  constexpr std::uint64_t kSeeds = 200;
+#endif
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    System sys = randomSystem(seed, MemoryModel::PSO, 2, 4);
+    auto seq = explore(sys);
+    ASSERT_FALSE(seq.capped) << "seed " << seed;
+
+    ExploreOptions opts;
+    opts.workers = 2 + static_cast<int>(seed % 3);  // 2..4 workers
+    auto par = explore(sys, opts);
+    ASSERT_EQ(par.outcomes, seq.outcomes)
+        << "seed " << seed << ": parallel explorer (workers="
+        << opts.workers << ") missed or invented outcomes; reproduce "
+        << "with randomSystem(" << seed << ", MemoryModel::PSO, 2, 4)";
+    ASSERT_EQ(par.statesVisited, seq.statesVisited)
+        << "seed " << seed << " (workers=" << opts.workers << ")";
+    ASSERT_EQ(par.maxCsOccupancy, seq.maxCsOccupancy)
+        << "seed " << seed << " (workers=" << opts.workers << ")";
+  }
+}
+
 TEST(FuzzTest, ScExplorationsHaveFewerOrEqualStates) {
   // Sanity on the exploration itself: buffering only adds states.
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
