@@ -1,0 +1,163 @@
+// Partial-order reduction effect on the exhaustive explorer (EXP-POR):
+// states visited, wall-clock and reduction factor with
+// ExploreOptions::reduction on versus off, across the GT_f ordering
+// systems and litmus tests, under the three memory models.  Every
+// reduced run is differentially checked against the unreduced oracle —
+// identical outcome sets, mutual-exclusion verdicts and max CS
+// occupancy — before its numbers are reported.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "sim/explore.h"
+#include "sim/litmus.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+sim::System makeGtSystem(sim::MemoryModel m, int f, int n) {
+  return core::buildCountSystem(m, n, core::gtFactory(f)).sys;
+}
+
+sim::ExploreResult timedExplore(const sim::System& sys, bool reduction,
+                                double& seconds) {
+  sim::ExploreOptions opts;
+  opts.maxStates = 5'000'000;
+  opts.reduction = reduction;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto res = sim::explore(sys, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  seconds = std::chrono::duration<double>(t1 - t0).count();
+  return res;
+}
+
+const char* modelName(sim::MemoryModel m) {
+  switch (m) {
+    case sim::MemoryModel::SC: return "SC";
+    case sim::MemoryModel::TSO: return "TSO";
+    default: return "PSO";
+  }
+}
+
+void printReductionTable() {
+  struct Case {
+    std::string name;
+    sim::System sys;
+  };
+  std::vector<Case> cases;
+  for (auto m : {sim::MemoryModel::SC, sim::MemoryModel::TSO,
+                 sim::MemoryModel::PSO}) {
+    cases.push_back({std::string("SB ") + modelName(m),
+                     sim::litmusSB(m, /*fenced=*/false)});
+    cases.push_back({std::string("MP ") + modelName(m),
+                     sim::litmusMP(m, /*fenced=*/false)});
+    cases.push_back({std::string("GT_2 n=2 ") + modelName(m),
+                     makeGtSystem(m, /*f=*/2, /*n=*/2)});
+  }
+  cases.push_back({"GT_1 n=3 PSO",
+                   makeGtSystem(sim::MemoryModel::PSO, 1, 3)});
+  cases.push_back({"GT_2 n=3 PSO",
+                   makeGtSystem(sim::MemoryModel::PSO, 2, 3)});
+
+  util::Table table({"system", "states full", "states reduced", "factor",
+                     "sec full", "sec reduced"});
+  for (const Case& c : cases) {
+    double fullSec = 0, redSec = 0;
+    const auto oracle = timedExplore(c.sys, /*reduction=*/false, fullSec);
+    const auto reduced = timedExplore(c.sys, /*reduction=*/true, redSec);
+    FT_CHECK(!oracle.capped && !reduced.capped)
+        << c.name << ": exploration unexpectedly capped";
+    // Differential soundness gate: the reduced run must reproduce the
+    // oracle's observable behaviour exactly.
+    FT_CHECK(reduced.outcomes == oracle.outcomes)
+        << c.name << ": outcome sets diverge under reduction";
+    FT_CHECK(reduced.mutexViolation == oracle.mutexViolation)
+        << c.name << ": mutex verdicts diverge under reduction";
+    FT_CHECK(reduced.maxCsOccupancy == oracle.maxCsOccupancy)
+        << c.name << ": max CS occupancy diverges under reduction";
+    FT_CHECK(reduced.statesVisited <= oracle.statesVisited)
+        << c.name << ": reduction enlarged the state space";
+    const double factor = static_cast<double>(oracle.statesVisited) /
+                          static_cast<double>(reduced.statesVisited);
+    table.addRow({c.name,
+                  util::Table::cell(
+                      static_cast<std::int64_t>(oracle.statesVisited)),
+                  util::Table::cell(
+                      static_cast<std::int64_t>(reduced.statesVisited)),
+                  util::Table::cell(factor, 2),
+                  util::Table::cell(fullSec, 3),
+                  util::Table::cell(redSec, 3)});
+  }
+  std::printf("%s\n",
+              table.render("EXP-POR — persistent-set reduction, outcomes/"
+                           "mutex/occupancy verified against the "
+                           "unreduced oracle per row")
+                  .c_str());
+}
+
+void BM_ExploreReducedGt2n3Pso(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(sim::MemoryModel::PSO, 2, 3);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    double seconds = 0;
+    auto res = timedExplore(sys, /*reduction=*/true, seconds);
+    states = res.statesVisited;
+    benchmark::DoNotOptimize(res.outcomes);
+  }
+  state.counters["states/sec"] = benchmark::Counter(
+      static_cast<double>(states),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreReducedGt2n3Pso)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreFullGt2n3Pso(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(sim::MemoryModel::PSO, 2, 3);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    double seconds = 0;
+    auto res = timedExplore(sys, /*reduction=*/false, seconds);
+    states = res.statesVisited;
+    benchmark::DoNotOptimize(res.outcomes);
+  }
+  state.counters["states/sec"] = benchmark::Counter(
+      static_cast<double>(states),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreFullGt2n3Pso)->Unit(benchmark::kMillisecond);
+
+void BM_LivenessReducedGt1n3Pso(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(sim::MemoryModel::PSO, 1, 3);
+  const bool reduction = state.range(0) != 0;
+  for (auto _ : state) {
+    sim::LivenessOptions opts;
+    opts.maxStates = 5'000'000;
+    opts.reduction = reduction;
+    auto res = sim::checkLiveness(sys, opts);
+    FT_CHECK(res.complete && res.allCanTerminate)
+        << "GT_1 n=3 liveness verdict wrong (reduction="
+        << (reduction ? 1 : 0) << ")";
+    benchmark::DoNotOptimize(res.states);
+  }
+}
+BENCHMARK(BM_LivenessReducedGt1n3Pso)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printReductionTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

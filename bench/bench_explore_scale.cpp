@@ -4,6 +4,11 @@
 // with the sequential DFS as the baseline and a built-in differential
 // check that every configuration reproduces the oracle's outcome set
 // and state count exactly.
+//
+// Machine-readable runs (the workflow CI's bench-smoke job uses, and
+// the format of the committed bench/baselines/BENCH_explore.json):
+//   bench_explore_scale --benchmark_min_time=0.05 \
+//     --benchmark_out=BENCH_explore.json --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
 #include <chrono>

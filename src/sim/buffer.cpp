@@ -22,7 +22,7 @@ bool WriteBuffer::containsReg(Reg r) const {
     return std::any_of(fifo_.begin(), fifo_.end(),
                        [r](const auto& e) { return e.first == r; });
   }
-  return set_.count(r) != 0;
+  return set_.contains(r);
 }
 
 std::optional<Value> WriteBuffer::forwardValue(Reg r) const {
@@ -44,7 +44,7 @@ void WriteBuffer::addWrite(Reg r, Value x) {
   if (model_ == MemoryModel::TSO) {
     fifo_.emplace_back(r, x);
   } else {
-    set_[r] = x;  // replaces any pending write to r (paper's WB update)
+    set_.insertOrAssign(r, x);  // replaces any pending write to r
   }
 }
 
@@ -60,19 +60,19 @@ Value WriteBuffer::commitReg(Reg r) {
                             << " not committable";
   if (model_ == MemoryModel::TSO) {
     Value v = fifo_.front().second;
-    fifo_.pop_front();
+    fifo_.erase(fifo_.begin());  // tiny queue: shift beats deque blocks
     return v;
   }
   auto it = set_.find(r);
   Value v = it->second;
-  set_.erase(it);
+  set_.erase(r);
   return v;
 }
 
 Reg WriteBuffer::nextForcedReg() const {
   FT_CHECK(!empty()) << "nextForcedReg on empty buffer";
   if (model_ == MemoryModel::TSO) return fifo_.front().first;
-  return set_.begin()->first;  // std::map keeps keys sorted
+  return set_.begin()->first;  // FlatMap keeps keys sorted
 }
 
 std::vector<Reg> WriteBuffer::distinctRegs() const {
@@ -88,26 +88,35 @@ std::vector<Reg> WriteBuffer::distinctRegs() const {
 }
 
 std::vector<std::pair<Reg, Value>> WriteBuffer::entries() const {
-  if (model_ == MemoryModel::TSO) {
-    return {fifo_.begin(), fifo_.end()};
-  }
-  return {set_.begin(), set_.end()};  // std::map: register-sorted
+  return entriesView();
+}
+
+const std::vector<std::pair<Reg, Value>>& WriteBuffer::entriesView() const {
+  // FlatMap's backing store is already the canonical register-sorted
+  // sequence; the TSO queue is canonical in FIFO order.
+  return model_ == MemoryModel::TSO ? fifo_ : set_.items();
 }
 
 std::uint64_t WriteBuffer::hash() const {
   std::uint64_t h = 0x42;
-  if (model_ == MemoryModel::TSO) {
-    for (const auto& [r, v] : fifo_) {
-      h = util::hashCombine(h, util::hashMix(static_cast<std::uint64_t>(r),
-                                             static_cast<std::uint64_t>(v)));
-    }
-  } else {
-    for (const auto& [r, v] : set_) {
-      h = util::hashCombine(h, util::hashMix(static_cast<std::uint64_t>(r),
-                                             static_cast<std::uint64_t>(v)));
-    }
+  for (const auto& [r, v] : entriesView()) {
+    h = util::hashCombine(h, util::hashMix(static_cast<std::uint64_t>(r),
+                                           static_cast<std::uint64_t>(v)));
   }
   return h;
+}
+
+void WriteBuffer::validate() const {
+  if (model_ == MemoryModel::TSO) {
+    FT_CHECK(set_.empty()) << "TSO buffer with PSO-set entries";
+  } else {
+    FT_CHECK(fifo_.empty()) << "non-TSO buffer with FIFO entries";
+    const auto& items = set_.items();
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      FT_CHECK(items[i - 1].first < items[i].first)
+          << "PSO buffer set unsorted or duplicated at entry " << i;
+    }
+  }
 }
 
 bool WriteBuffer::operator==(const WriteBuffer& other) const {

@@ -8,16 +8,20 @@
 //      newest matching entry.
 // SC:  no buffering; the machine commits writes at the write step and
 //      this class is unused for data (kept empty).
+//
+// Both representations are flat contiguous vectors (util::FlatMap for
+// the PSO set, a plain vector for the TSO queue): buffers hold a
+// handful of entries, and the explorer copies every buffer once per
+// successor state, so copy = memcpy beats pointer-chasing node clones.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "sim/ids.h"
+#include "util/flat.h"
 
 namespace fencetrade::sim {
 
@@ -56,19 +60,27 @@ class WriteBuffer {
   /// Buffer content in canonical order: register-sorted under PSO (the
   /// set holds at most one entry per register), FIFO order under TSO
   /// (where order is behaviorally relevant).  Two buffers compare equal
-  /// iff their entries() are equal — the explorer's canonical state key
+  /// iff their entries are equal — the explorer's canonical state key
   /// is built from this.
   std::vector<std::pair<Reg, Value>> entries() const;
 
+  /// Zero-copy view of the same canonical entry sequence (hot path of
+  /// Config::behavioralKeyInto and detail::enabledMoves).
+  const std::vector<std::pair<Reg, Value>>& entriesView() const;
+
   /// Order-insensitive content hash (TSO additionally folds in order).
   std::uint64_t hash() const;
+
+  /// Representation invariants: the PSO set is register-sorted with
+  /// unique keys and the unused container is empty.  Throws CheckError.
+  void validate() const;
 
   bool operator==(const WriteBuffer& other) const;
 
  private:
   MemoryModel model_;
-  std::map<Reg, Value> set_;             // PSO
-  std::deque<std::pair<Reg, Value>> fifo_;  // TSO
+  util::FlatMap<Reg, Value> set_;              // PSO
+  std::vector<std::pair<Reg, Value>> fifo_;    // TSO, front at index 0
 };
 
 }  // namespace fencetrade::sim

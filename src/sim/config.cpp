@@ -1,5 +1,6 @@
 #include "sim/config.h"
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace fencetrade::sim {
@@ -45,18 +46,19 @@ Value Config::readMem(Reg r) const {
 }
 
 void Config::writeMem(Reg r, Value v) {
-  // memHash is the XOR over entries whose value differs from kInitValue,
-  // so a register explicitly reset to the initial value hashes the same
-  // as a never-written one (canonical form).
-  auto contribution = [&](Value x) {
-    return x == kInitValue ? 0 : entryMix(r, x);
-  };
+  // Canonical form: an entry holding the initial value is never stored,
+  // so a register explicitly reset to kInitValue is identical — in the
+  // map, the hash and the serialized key — to a never-written one.
   auto it = memory.find(r);
   if (it == memory.end()) {
-    memHash ^= contribution(v);
-    memory.emplace(r, v);
+    if (v == kInitValue) return;
+    memHash ^= entryMix(r, v);
+    memory.insertOrAssign(r, v);
+  } else if (v == kInitValue) {
+    memHash ^= entryMix(r, it->second);
+    memory.erase(r);
   } else {
-    memHash ^= contribution(it->second) ^ contribution(v);
+    memHash ^= entryMix(r, it->second) ^ entryMix(r, v);
     it->second = v;
   }
 }
@@ -66,46 +68,54 @@ std::uint64_t Config::behavioralHash(std::uint64_t salt) const {
   for (const auto& ps : procs) h = util::hashCombine(h, ps.hash());
   for (const auto& wb : buffers) h = util::hashCombine(h, wb.hash());
   for (const auto& [r, v] : memory) {
-    if (v == kInitValue) continue;  // canonical: 0 == never written
+    if (v == kInitValue) continue;  // defensive: writeMem never stores 0
     h = util::hashCombine(h, entryMix(r, v));
   }
   return h;
 }
 
-std::string Config::behavioralKey() const {
+bool Config::behavioralKeyInto(std::string& out,
+                               std::vector<Value>* terminalRet) const {
   // Mirrors exactly the state behavioralHash() covers: per-process
   // (pc, final, retval, locals), write-buffer contents in canonical
-  // order, and the non-initial memory entries (std::map: sorted), so
+  // order, and the non-initial memory entries (FlatMap: sorted), so
   // that a register reset to kInitValue keys the same as one never
   // written.  `pending`/`hasPending` are derived from (program, pc,
   // locals) and `seen`/`lastCommitter` are RMR accounting — excluded.
-  std::string key;
-  key.reserve(16 * procs.size() + 24);
+  out.clear();
+  const bool terminal = nbFinal == static_cast<int>(procs.size());
+  if (terminal && terminalRet) {
+    terminalRet->clear();
+    terminalRet->reserve(procs.size());
+  }
   for (const auto& ps : procs) {
-    appendSigned(key, ps.pc);
-    key.push_back(ps.final ? '\1' : '\0');
-    appendSigned(key, ps.retval);
-    appendVarint(key, ps.locals.size());
-    for (Value v : ps.locals) appendSigned(key, v);
+    appendSigned(out, ps.pc);
+    out.push_back(ps.final ? '\1' : '\0');
+    appendSigned(out, ps.retval);
+    appendVarint(out, ps.locals.size());
+    for (Value v : ps.locals) appendSigned(out, v);
+    if (terminal && terminalRet) terminalRet->push_back(ps.retval);
   }
   for (const auto& wb : buffers) {
-    const auto entries = wb.entries();
-    appendVarint(key, entries.size());
+    const auto& entries = wb.entriesView();
+    appendVarint(out, entries.size());
     for (const auto& [r, v] : entries) {
-      appendVarint(key, static_cast<std::uint64_t>(r));
-      appendSigned(key, v);
+      appendVarint(out, static_cast<std::uint64_t>(r));
+      appendSigned(out, v);
     }
   }
-  std::size_t live = 0;
+  appendVarint(out, memory.size());  // every stored entry is live
   for (const auto& [r, v] : memory) {
-    if (v != kInitValue) ++live;
+    appendVarint(out, static_cast<std::uint64_t>(r));
+    appendSigned(out, v);
   }
-  appendVarint(key, live);
-  for (const auto& [r, v] : memory) {
-    if (v == kInitValue) continue;
-    appendVarint(key, static_cast<std::uint64_t>(r));
-    appendSigned(key, v);
-  }
+  return terminal;
+}
+
+std::string Config::behavioralKey() const {
+  std::string key;
+  key.reserve(16 * procs.size() + 24);
+  behavioralKeyInto(key);
   return key;
 }
 
@@ -114,6 +124,60 @@ std::vector<Value> Config::returnValues() const {
   out.reserve(procs.size());
   for (const auto& ps : procs) out.push_back(ps.final ? ps.retval : -1);
   return out;
+}
+
+void Config::validate() const {
+  // memory: sorted, unique, canonical (no stored initial values), and
+  // memHash reproducible from scratch.
+  std::uint64_t h = 0;
+  Reg prev = -1;
+  bool first = true;
+  for (const auto& [r, v] : memory) {
+    FT_CHECK(first || prev < r) << "memory map unsorted/duplicated at reg "
+                                << r;
+    FT_CHECK(v != kInitValue)
+        << "memory stores the initial value for reg " << r
+        << " (canonical form violated)";
+    h ^= entryMix(r, v);
+    prev = r;
+    first = false;
+  }
+  FT_CHECK(h == memHash) << "memHash out of sync with memory contents";
+
+  // lastCommitter: sorted, unique.
+  prev = -1;
+  first = true;
+  for (const auto& [r, p] : lastCommitter) {
+    FT_CHECK(first || prev < r) << "lastCommitter unsorted at reg " << r;
+    prev = r;
+    first = false;
+  }
+
+  // seen caches: sorted, unique.
+  for (std::size_t p = 0; p < seen.size(); ++p) {
+    const auto& items = seen[p].items();
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      FT_CHECK(items[i - 1] < items[i])
+          << "seen[" << p << "] unsorted/duplicated at entry " << i;
+    }
+  }
+
+  // buffers: per-model representation invariants.
+  for (const auto& wb : buffers) wb.validate();
+  FT_CHECK(buffers.size() == procs.size())
+      << "buffer count " << buffers.size() << " != process count "
+      << procs.size();
+
+  // nbFinal: matches the actual final-process census.
+  int finals = 0;
+  for (const auto& ps : procs) {
+    if (ps.final) {
+      ++finals;
+      FT_CHECK(!ps.hasPending) << "final process with a pending op";
+    }
+  }
+  FT_CHECK(finals == nbFinal)
+      << "nbFinal " << nbFinal << " != counted finals " << finals;
 }
 
 }  // namespace fencetrade::sim

@@ -5,12 +5,13 @@
 //
 // Config is a plain value type: copyable, comparable and hashable.  The
 // encoder's replay, the solo-termination decider and the exhaustive
-// explorer all rely on this.
+// explorer all rely on this.  Every container inside it is flat
+// (sorted contiguous vectors, util::FlatMap/FlatSet), so copying a
+// Config — the explorer's per-successor cost — is a handful of vector
+// memcpys instead of red-black-tree clones.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "sim/ids.h"
 #include "sim/layout.h"
 #include "sim/program.h"
+#include "util/flat.h"
 
 namespace fencetrade::sim {
 
@@ -49,15 +51,19 @@ struct ProcState {
 struct Config {
   std::vector<ProcState> procs;
   std::vector<WriteBuffer> buffers;
-  std::map<Reg, Value> memory;  ///< absent entries hold kInitValue
+  /// Shared memory; registers absent from the map hold kInitValue.
+  /// Canonical form: writeMem() never stores kInitValue, so a register
+  /// reset to the initial value is indistinguishable from one never
+  /// written (every entry is "live").
+  util::FlatMap<Reg, Value> memory;
 
   // --- RMR accounting state (part of the configuration; copyable) -------
   /// CC-model cache: (R, x) pairs process p has written or read; a read
   /// of R returning x with (R, x) in the set is a cache hit (local).
-  std::vector<std::set<std::pair<Reg, Value>>> seen;
+  std::vector<util::FlatSet<std::pair<Reg, Value>>> seen;
   /// Last process to commit a write to each register ("cache-line owner"
   /// for the commit-locality rule).  Absent = never committed.
-  std::map<Reg, ProcId> lastCommitter;
+  util::FlatMap<Reg, ProcId> lastCommitter;
 
   int nbFinal = 0;  ///< NbFinal(C): number of processes in a final state
 
@@ -75,16 +81,35 @@ struct Config {
   /// on its own (64-bit collisions silently prune states).
   std::uint64_t behavioralHash(std::uint64_t salt) const;
 
-  /// Canonical serialization of the same behaviorally relevant state
-  /// (procs, buffers, non-initial memory) as a byte string: two configs
-  /// of one system produce equal keys iff they are behaviorally equal.
-  /// This is the explorer's visited-set key — collision-safe where
-  /// behavioralHash() is not.  Varint-coded; typically well under 100
-  /// bytes for the systems model-checked here.
+  /// Canonical serialization of the behaviorally relevant state (procs,
+  /// buffers, non-initial memory) appended into the caller-owned buffer
+  /// `out` (cleared first): two configs of one system produce equal
+  /// keys iff they are behaviorally equal.  This is the explorer's
+  /// visited-set key — collision-safe where behavioralHash() is not.
+  /// Varint-coded; typically well under 100 bytes for the systems
+  /// model-checked here.  Reusing `out` across states makes the common
+  /// visited-set probe allocation-free.
+  ///
+  /// Returns true iff the configuration is terminal (every process
+  /// final); when it is and `terminalRet` is non-null, fills it with
+  /// the return-value vector in the same single pass over the
+  /// processes, so a terminal state is serialized exactly once.
+  bool behavioralKeyInto(std::string& out,
+                         std::vector<Value>* terminalRet = nullptr) const;
+
+  /// Convenience allocating form of behavioralKeyInto().
   std::string behavioralKey() const;
 
   /// Vector of return values, -1 for processes not yet final.
   std::vector<Value> returnValues() const;
+
+  /// Debug invariants: flat containers sorted and duplicate-free, no
+  /// kInitValue entry stored in memory, memHash consistent with a full
+  /// recomputation, nbFinal equal to the actual final-process count,
+  /// per-process shapes consistent.  Throws util::CheckError on
+  /// violation.  Cheap enough for test assertions; the sanitizer CI
+  /// builds (FENCETRADE_SANITIZE) assert it throughout the fuzz suite.
+  void validate() const;
 };
 
 }  // namespace fencetrade::sim

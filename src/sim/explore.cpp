@@ -1,10 +1,13 @@
 #include "sim/explore.h"
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "sim/explore_parallel.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/sharded_set.h"
 
@@ -17,8 +20,17 @@ std::vector<std::pair<ProcId, Reg>> enabledMoves(const Config& cfg) {
   for (std::size_t p = 0; p < cfg.procs.size(); ++p) {
     if (cfg.procs[p].final) continue;
     moves.emplace_back(static_cast<ProcId>(p), kNoReg);
-    for (Reg r : cfg.buffers[p].distinctRegs()) {
-      if (cfg.buffers[p].canCommitReg(r)) {
+    const WriteBuffer& wb = cfg.buffers[p];
+    if (wb.model() == MemoryModel::TSO) {
+      // FIFO: only the oldest entry is committable.
+      const auto& entries = wb.entriesView();
+      if (!entries.empty()) {
+        moves.emplace_back(static_cast<ProcId>(p), entries.front().first);
+      }
+    } else {
+      // PSO: every buffered register (entriesView is register-sorted,
+      // one entry per register).  SC buffers are always empty.
+      for (const auto& [r, v] : wb.entriesView()) {
         moves.emplace_back(static_cast<ProcId>(p), r);
       }
     }
@@ -32,6 +44,148 @@ int csOccupancy(const System& sys, const Config& cfg) {
     if (inCriticalSection(sys, cfg, p)) ++occ;
   }
   return occ;
+}
+
+ReductionContext::ReductionContext(const System& sys) {
+  const std::size_t n = sys.programs.size();
+  dynamic_.assign(n, 0);
+  regs_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const Program& prog = sys.programs[p];
+    for (const Instr& ins : prog.code) {
+      switch (ins.kind) {
+        case InstrKind::Read:
+        case InstrKind::Write:
+        case InstrKind::Cas:
+        case InstrKind::Faa: {
+          const ExprNode& addr = prog.exprs[static_cast<std::size_t>(
+              ins.expr0)];
+          if (addr.op == ExprOp::Imm) {
+            regs_[p].push_back(static_cast<Reg>(addr.imm));
+          } else {
+            dynamic_[p] = 1;  // computed address: may touch anything
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    std::sort(regs_[p].begin(), regs_[p].end());
+    regs_[p].erase(std::unique(regs_[p].begin(), regs_[p].end()),
+                   regs_[p].end());
+  }
+}
+
+bool ReductionContext::accessedByOthers(ProcId p, Reg r) const {
+  for (std::size_t q = 0; q < regs_.size(); ++q) {
+    if (static_cast<ProcId>(q) == p) continue;
+    if (dynamic_[q]) return true;
+    if (std::binary_search(regs_[q].begin(), regs_[q].end(), r)) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<ProcId, Reg>> reducedMoves(
+    const System& sys, const Config& cfg, const ReductionContext& rctx,
+    const std::function<bool(std::string_view)>& visitedProbe,
+    std::string& keyScratch, Config& childScratch) {
+  std::vector<std::pair<ProcId, Reg>> moves = enabledMoves(cfg);
+  if (moves.size() <= 1) return moves;
+
+  // Shared tail of every candidate check: execute the move on a scratch
+  // copy, reject it if it changes the candidate process's CS membership
+  // (the move must be invisible to the mutual-exclusion predicate, so
+  // occupancy is preserved across every deferred interleaving), and
+  // reject it if its successor was already visited (cycle proviso: an
+  // ample move closing a cycle of the reduced graph could otherwise
+  // defer the other processes' moves forever around that cycle).
+  auto survives = [&](const std::pair<ProcId, Reg>& elem,
+                      bool membershipCheck) -> bool {
+    childScratch = cfg;
+    auto step = execElem(sys, childScratch, elem.first, elem.second);
+    FT_CHECK(step.has_value()) << "reducedMoves: candidate produced no step";
+    if (membershipCheck &&
+        inCriticalSection(sys, cfg, elem.first) !=
+            inCriticalSection(sys, childScratch, elem.first)) {
+      return false;
+    }
+    childScratch.behavioralKeyInto(keyScratch);
+    return !visitedProbe(keyScratch);
+  };
+
+  for (const auto& elem : moves) {
+    const ProcId p = elem.first;
+    const ProcState& ps = cfg.procs[static_cast<std::size_t>(p)];
+    const WriteBuffer& wb = cfg.buffers[static_cast<std::size_t>(p)];
+
+    if (elem.second == kNoReg) {
+      // Class 1 — local program step.  Candidates touch only p's private
+      // state (pc, locals, buffer), so they are independent of every
+      // move of every other process, and every schedule avoiding (p, ⊥)
+      // contains only p-commits (independent by the same-register
+      // exclusions below) and other-process moves.
+      if (!ps.hasPending) continue;
+      bool candidate = false;
+      switch (ps.pending.kind) {
+        case InstrKind::Write:
+          // Buffered write.  Commutes with p's own enabled commits:
+          // TSO appends at the tail while commits pop the head; PSO
+          // requires the register not already buffered, since
+          // re-buffering *replaces* the entry p's co-enabled commit of
+          // that register would publish.  SC writes hit memory — never.
+          candidate = sys.model != MemoryModel::SC &&
+                      !(sys.model == MemoryModel::PSO &&
+                        wb.containsReg(ps.pending.reg));
+          break;
+        case InstrKind::Fence:
+        case InstrKind::Return:
+          // No memory effect when the buffer is empty (and p then has
+          // no commits to disable).  A return with buffered writes
+          // would freeze them — enabledMoves skips final processes —
+          // losing the commit-first interleavings.
+          candidate = wb.empty();
+          break;
+        default:
+          // Read/Cas/Faa touch shared memory; never local.
+          break;
+      }
+      if (candidate && survives(elem, /*membershipCheck=*/true)) {
+        return {elem};
+      }
+    } else {
+      // Class 2 — commit of a register no other process can ever
+      // access (static footprints).  Unobservable by the others, and
+      // value-invisible to p itself: a read of the register forwards
+      // from the buffer exactly the value the commit publishes.  Does
+      // not move the pc, so CS membership cannot change.
+      bool candidate = !rctx.accessedByOthers(p, elem.second);
+      if (candidate && ps.hasPending) {
+        switch (ps.pending.kind) {
+          case InstrKind::Read:
+            break;  // forwards the same value either side of the commit
+          case InstrKind::Write:
+            // A PSO write to the same register replaces the buffered
+            // entry the commit would publish — order-visible.
+            if (sys.model == MemoryModel::PSO &&
+                ps.pending.reg == elem.second) {
+              candidate = false;
+            }
+            break;
+          default:
+            // Fence/Cas/Faa force commits (in register order) and
+            // Return freezes the buffer — both interact with commit
+            // order; keep the full expansion.
+            candidate = false;
+            break;
+        }
+      }
+      if (candidate && survives(elem, /*membershipCheck=*/false)) {
+        return {elem};
+      }
+    }
+  }
+  return moves;
 }
 
 }  // namespace detail
@@ -54,15 +208,37 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
   ExploreResult res;
   // Visited set keyed by the canonical serialized state, not its 64-bit
   // hash: equality compares full keys, so a hash collision costs a
-  // bucket probe instead of silently pruning a state (soundness).
-  std::unordered_set<std::string, util::StateKeyHash> visited(
+  // bucket probe instead of silently pruning a state (soundness).  The
+  // set holds string_views into an arena; probes go through the reusable
+  // serialization buffer, so the common already-visited case allocates
+  // nothing and a first visit costs one arena bump-copy.
+  std::unordered_set<std::string_view, util::StateKeyHash> visited(
       /*bucket_count=*/1024, util::StateKeyHash{opts.debugStateHash});
+  util::KeyArena arena;
   std::vector<Frame> stack;
   std::vector<Elem> path;
+  std::string keyBuf;
+  std::vector<Value> retvals;
+
+  const bool reduce = opts.reduction;
+  std::unique_ptr<detail::ReductionContext> rctx;
+  std::string porKey;
+  Config porChild;
+  std::function<bool(std::string_view)> probe;
+  if (reduce) {
+    rctx = std::make_unique<detail::ReductionContext>(sys);
+    probe = [&visited](std::string_view k) {
+      return visited.find(k) != visited.end();
+    };
+  }
 
   auto enter = [&](Config cfg) -> bool {
-    // Returns false when the state was seen before or the cap is hit.
-    if (!visited.insert(cfg.behavioralKey()).second) return false;
+    // Returns false when the state was seen before or is terminal.
+    // One serialization pass yields the visited-set key, the terminal
+    // flag and (for terminal states) the outcome vector.
+    const bool terminal = cfg.behavioralKeyInto(keyBuf, &retvals);
+    if (visited.find(keyBuf) != visited.end()) return false;
+    visited.insert(arena.intern(keyBuf));
     ++res.statesVisited;
     if (res.statesVisited >= opts.maxStates) res.capped = true;
 
@@ -74,12 +250,14 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
         res.witness = path;
       }
     }
-    if (allFinal(cfg)) {
-      res.outcomes.insert(cfg.returnValues());
+    if (terminal) {
+      res.outcomes.insert(retvals);
       return false;  // terminal: nothing to expand
     }
     Frame f;
-    f.moves = detail::enabledMoves(cfg);
+    f.moves = reduce ? detail::reducedMoves(sys, cfg, *rctx, probe, porKey,
+                                            porChild)
+                     : detail::enabledMoves(cfg);
     f.cfg = std::move(cfg);
     stack.push_back(std::move(f));
     return true;
@@ -113,21 +291,38 @@ LivenessResult checkLiveness(const System& sys,
   LivenessResult res;
 
   // Forward exploration building the reversed edge relation.  Interning
-  // is keyed by the canonical serialized state (see explore()).
-  std::unordered_map<std::string, std::uint32_t> index;
+  // is keyed by the canonical serialized state (see explore()), stored
+  // as arena-backed string_views probed through a reusable buffer.
+  std::unordered_map<std::string_view, std::uint32_t, util::StateKeyHash>
+      index(/*bucket_count=*/1024, util::StateKeyHash{});
+  util::KeyArena arena;
   std::vector<std::vector<std::uint32_t>> preds;
   std::vector<char> terminal;
   std::vector<Config> frontier;  // configs awaiting expansion
   std::vector<std::uint32_t> frontierIdx;
+  std::string keyBuf;
+
+  const bool reduce = opts.reduction;
+  std::unique_ptr<detail::ReductionContext> rctx;
+  std::string porKey;
+  Config porChild;
+  std::function<bool(std::string_view)> probe;
+  if (reduce) {
+    rctx = std::make_unique<detail::ReductionContext>(sys);
+    probe = [&index](std::string_view k) {
+      return index.find(k) != index.end();
+    };
+  }
 
   auto intern = [&](const Config& cfg) -> std::pair<std::uint32_t, bool> {
-    auto [it, inserted] = index.emplace(
-        cfg.behavioralKey(), static_cast<std::uint32_t>(preds.size()));
-    if (inserted) {
-      preds.emplace_back();
-      terminal.push_back(allFinal(cfg) ? 1 : 0);
-    }
-    return {it->second, inserted};
+    cfg.behavioralKeyInto(keyBuf);
+    auto it = index.find(keyBuf);
+    if (it != index.end()) return {it->second, false};
+    const auto id = static_cast<std::uint32_t>(preds.size());
+    index.emplace(arena.intern(keyBuf), id);
+    preds.emplace_back();
+    terminal.push_back(allFinal(cfg) ? 1 : 0);
+    return {id, true};
   };
 
   {
@@ -145,7 +340,11 @@ LivenessResult checkLiveness(const System& sys,
     frontierIdx.pop_back();
     if (terminal[from]) continue;
 
-    for (const auto& [p, r] : detail::enabledMoves(cfg)) {
+    const std::vector<Elem> moves =
+        reduce ? detail::reducedMoves(sys, cfg, *rctx, probe, porKey,
+                                      porChild)
+               : detail::enabledMoves(cfg);
+    for (const auto& [p, r] : moves) {
       Config child = cfg;
       auto step = execElem(sys, child, p, r);
       FT_CHECK(step.has_value()) << "liveness: move produced no step";

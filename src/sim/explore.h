@@ -6,11 +6,22 @@
 //   * verify mutual exclusion of the lock family under PSO for small n,
 //   * compute the exact outcome sets of litmus tests per memory model,
 //   * search for minimal fence placements (EXP-SEP).
+//
+// With ExploreOptions::reduction the explorer applies a sound
+// persistent-set partial-order reduction (see detail::reducedMoves):
+// it exploits that a commit move (p, R) commutes with every move of a
+// process q ≠ p that does not access R, and that local-only program
+// steps (buffered writes, empty-buffer fences, returns) are invisible
+// to other processes.  The reduction preserves the outcome set, the
+// mutual-exclusion verdict (and max CS occupancy) and the liveness
+// verdict exactly; it shrinks the number of distinct states visited.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -31,9 +42,16 @@ struct ExploreOptions {
   /// serialized state (Config::behavioralKey), so hash collisions can
   /// never prune states.
   int workers = 1;
+  /// Sound partial-order reduction (persistent-set layer over
+  /// detail::enabledMoves).  Off by default: the unreduced engine is
+  /// the differential oracle the reduced one is validated against.
+  /// With reduction on, statesVisited shrinks and — for parallel runs —
+  /// may vary between runs (the reduced graph depends on discovery
+  /// order); outcomes and verdicts never do.
+  bool reduction = false;
   /// Test-only override of the visited-set hash, used to force
   /// collisions and prove the set is key-exact.  nullptr = default.
-  std::uint64_t (*debugStateHash)(const std::string&) = nullptr;
+  std::uint64_t (*debugStateHash)(std::string_view) = nullptr;
 };
 
 struct ExploreResult {
@@ -69,6 +87,10 @@ struct LivenessOptions {
   std::uint64_t maxStates = 500'000;
   /// Graph-construction threads; > 1 delegates to the parallel engine.
   int workers = 1;
+  /// Build the persistent-set-reduced graph instead of the full one.
+  /// The allCanTerminate verdict is preserved exactly (states/
+  /// terminalStates counts refer to the reduced graph).
+  bool reduction = false;
 };
 
 struct LivenessResult {
@@ -93,6 +115,51 @@ std::vector<std::pair<ProcId, Reg>> enabledMoves(const Config& cfg);
 
 /// Number of processes currently inside their critical section.
 int csOccupancy(const System& sys, const Config& cfg);
+
+/// Static per-process register footprints, precomputed once per
+/// exploration: the set of registers a program can name in a
+/// Read/Write/Cas/Faa address expression.  Address expressions that are
+/// not compile-time constants mark the process as possibly touching
+/// every register (sound over-approximation).
+class ReductionContext {
+ public:
+  explicit ReductionContext(const System& sys);
+
+  /// May some process other than `p` ever access register `r`?
+  bool accessedByOthers(ProcId p, Reg r) const;
+
+ private:
+  std::vector<char> dynamic_;           // proc has a non-constant address
+  std::vector<std::vector<Reg>> regs_;  // sorted static footprint per proc
+};
+
+/// Persistent-set partial-order reduction over enabledMoves().
+///
+/// Returns either a singleton *ample* move — a provably independent,
+/// property-invisible move whose deferral of all other enabled moves
+/// cannot hide an outcome, a mutual-exclusion violation or a liveness
+/// verdict — or the full enabled set when no candidate qualifies.
+/// Ample candidates, in order:
+///   1. a local program step of some p: a buffered write (TSO/PSO;
+///      under PSO only if the register is not already buffered, since
+///      re-buffering conflicts with p's own commit of that register),
+///      a fence over an empty buffer, or a return with an empty buffer
+///      (a return with buffered writes would disable p's commits) —
+///      all touching only p's private state;
+///   2. a commit (p, R) of a register R no other process can access
+///      (ReductionContext footprints), provided p's pending operation
+///      does not conflict with the commit.
+/// Every candidate is additionally rejected when it changes p's
+/// critical-section membership (visibility w.r.t. the mutex predicate)
+/// or when its successor is already in the visited set
+/// (`visitedProbe`) — the cycle proviso that prevents a move from
+/// being ignored forever around a loop of the reduced graph.
+///
+/// `keyScratch`/`childScratch` are caller-owned reusable buffers.
+std::vector<std::pair<ProcId, Reg>> reducedMoves(
+    const System& sys, const Config& cfg, const ReductionContext& rctx,
+    const std::function<bool(std::string_view)>& visitedProbe,
+    std::string& keyScratch, Config& childScratch);
 
 }  // namespace detail
 

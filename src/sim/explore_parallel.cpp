@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/sharded_set.h"
 
@@ -115,7 +119,18 @@ class ParallelExplorer {
         workers_(std::max(1, opts.workers)),
         visited_(shardCountFor(workers_), opts.debugStateHash),
         pool_(workers_),
-        locals_(static_cast<std::size_t>(workers_)) {}
+        locals_(static_cast<std::size_t>(workers_)) {
+    if (opts.reduction) {
+      rctx_ = std::make_unique<detail::ReductionContext>(sys);
+      // The cycle proviso probes the shared visited set: contains() is
+      // mutex-guarded per shard, so a reduced worker either sees the
+      // successor already admitted (and falls back to full expansion)
+      // or will admit it itself — no move can be deferred forever.
+      probe_ = [this](std::string_view key) {
+        return visited_.contains(key);
+      };
+    }
+  }
 
   ExploreResult run() {
     {
@@ -149,18 +164,27 @@ class ParallelExplorer {
     std::shared_ptr<const PathNode> path;
   };
 
-  /// Per-worker accumulators, merged deterministically at join.
+  /// Per-worker accumulators and reusable scratch buffers, merged /
+  /// discarded deterministically at join.
   struct Local {
     std::set<std::vector<Value>> outcomes;
     int maxCsOccupancy = 0;
+    std::string keyBuf;          // serialization scratch (admit)
+    std::vector<Value> retvals;  // terminal outcome scratch
+    std::string porKey;          // reduction probe scratch
+    Config porChild;             // reduction successor scratch
   };
 
   /// First visit of `cfg`?  Counts it, checks the CS invariant and
   /// collects terminal outcomes; returns true iff the caller should
-  /// expand the state further.
+  /// expand the state further.  One serialization pass per call, into
+  /// the worker's reusable buffer; the shared set arena-copies the key
+  /// only when this worker wins the insert race.
   bool admit(const Config& cfg, const std::shared_ptr<const PathNode>& path,
              Local& local) {
-    if (!visited_.insert(cfg.behavioralKey())) return false;
+    const bool terminal = cfg.behavioralKeyInto(local.keyBuf,
+                                                &local.retvals);
+    if (!visited_.insert(local.keyBuf)) return false;
     const std::uint64_t count =
         statesVisited_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (count >= opts_.maxStates) {
@@ -172,8 +196,8 @@ class ParallelExplorer {
       if (occ > local.maxCsOccupancy) local.maxCsOccupancy = occ;
       if (occ >= 2) reportViolation(path);
     }
-    if (allFinal(cfg)) {
-      local.outcomes.insert(cfg.returnValues());
+    if (terminal) {
+      local.outcomes.insert(local.retvals);
       return false;
     }
     return true;
@@ -205,7 +229,11 @@ class ParallelExplorer {
   }
 
   void expand(int id, Task& t, Local& local) {
-    for (const Elem& elem : detail::enabledMoves(t.cfg)) {
+    const std::vector<Elem> moves =
+        rctx_ ? detail::reducedMoves(sys_, t.cfg, *rctx_, probe_,
+                                     local.porKey, local.porChild)
+              : detail::enabledMoves(t.cfg);
+    for (const Elem& elem : moves) {
       if (stop_.load(std::memory_order_acquire)) return;
       Config child = t.cfg;
       auto step = execElem(sys_, child, elem.first, elem.second);
@@ -224,6 +252,8 @@ class ParallelExplorer {
   util::ShardedStateSet visited_;
   WorkPool<Task> pool_;
   std::vector<Local> locals_;
+  std::unique_ptr<detail::ReductionContext> rctx_;
+  std::function<bool(std::string_view)> probe_;
 
   std::atomic<std::uint64_t> statesVisited_{0};
   std::atomic<bool> capped_{false};
@@ -251,6 +281,14 @@ class ParallelLiveness {
     index_.reserve(static_cast<std::size_t>(pow2));
     for (int i = 0; i < pow2; ++i) {
       index_.push_back(std::make_unique<IndexShard>());
+    }
+    if (opts.reduction) {
+      rctx_ = std::make_unique<detail::ReductionContext>(sys);
+      probe_ = [this](std::string_view key) {
+        IndexShard& shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.m);
+        return shard.map.find(key) != shard.map.end();
+      };
     }
   }
 
@@ -318,11 +356,19 @@ class ParallelLiveness {
     /// (to, from) pairs — preds[to] gains from.
     std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
     std::vector<std::uint32_t> terminals;
+    std::string keyBuf;  // serialization scratch (intern)
+    std::string porKey;  // reduction probe scratch
+    Config porChild;     // reduction successor scratch
   };
 
+  /// Keys are arena-backed string_views (probed through the worker's
+  /// reusable buffer, copied only on first interning), mirroring the
+  /// explorer's visited set.
   struct IndexShard {
     std::mutex m;
-    std::unordered_map<std::string, std::uint32_t> map;
+    std::unordered_map<std::string_view, std::uint32_t, util::StateKeyHash>
+        map;
+    util::KeyArena arena;
   };
 
   struct Interned {
@@ -331,26 +377,28 @@ class ParallelLiveness {
     bool terminal = false;
   };
 
+  IndexShard& shardFor(std::string_view key) const {
+    std::uint64_t h = util::StateKeyHash{}(key);
+    h ^= h >> 33;
+    h *= 0x9E3779B97F4A7C15ULL;
+    return *index_[(h >> 17) & shardMask_];
+  }
+
   /// Global interning: canonical key -> dense id.  Fresh terminal states
   /// are recorded in the caller's local list; callers must not expand a
   /// terminal state (mirroring the sequential checker).
   Interned intern(const Config& cfg, Local& local) {
-    std::string key = cfg.behavioralKey();
-    std::uint64_t h = std::hash<std::string>{}(key);
-    h ^= h >> 33;
-    h *= 0x9E3779B97F4A7C15ULL;
-    IndexShard& shard = *index_[(h >> 17) & shardMask_];
-
     Interned in;
-    in.terminal = allFinal(cfg);
+    in.terminal = cfg.behavioralKeyInto(local.keyBuf);
+    IndexShard& shard = shardFor(local.keyBuf);
     {
       std::lock_guard<std::mutex> lock(shard.m);
-      auto it = shard.map.find(key);
+      auto it = shard.map.find(local.keyBuf);
       if (it != shard.map.end()) {
         in.idx = it->second;
       } else {
         in.idx = nextId_.fetch_add(1, std::memory_order_relaxed);
-        shard.map.emplace(std::move(key), in.idx);
+        shard.map.emplace(shard.arena.intern(local.keyBuf), in.idx);
         in.fresh = true;
       }
     }
@@ -379,7 +427,11 @@ class ParallelLiveness {
   }
 
   void expand(int id, Task& t, Local& local) {
-    for (const Elem& elem : detail::enabledMoves(t.cfg)) {
+    const std::vector<Elem> moves =
+        rctx_ ? detail::reducedMoves(sys_, t.cfg, *rctx_, probe_,
+                                     local.porKey, local.porChild)
+              : detail::enabledMoves(t.cfg);
+    for (const Elem& elem : moves) {
       if (stop_.load(std::memory_order_acquire)) return;
       Config child = t.cfg;
       auto step = execElem(sys_, child, elem.first, elem.second);
@@ -401,6 +453,8 @@ class ParallelLiveness {
   std::vector<Local> locals_;
   std::vector<std::unique_ptr<IndexShard>> index_;
   std::uint64_t shardMask_ = 0;
+  std::unique_ptr<detail::ReductionContext> rctx_;
+  std::function<bool(std::string_view)> probe_;
 
   std::atomic<std::uint32_t> nextId_{0};
   std::atomic<bool> capped_{false};

@@ -1,0 +1,62 @@
+// Append-only byte arena for interned state keys.
+//
+// The explorers' visited sets hold one canonical serialized state per
+// reachable configuration.  Storing each key as an individual
+// std::string costs a heap allocation (plus malloc metadata) per state;
+// the arena instead packs keys back-to-back into large chunks and hands
+// out std::string_view slices.  Keys are never freed individually —
+// exactly the visited set's lifetime pattern — so the whole store
+// releases in O(#chunks) at destruction.
+//
+// Not thread-safe: each shard/worker owns its arena and synchronizes
+// externally (the sharded set interns under its shard lock).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace fencetrade::util {
+
+class KeyArena {
+ public:
+  /// Copy `s` into the arena and return a stable view of the copy.
+  std::string_view intern(std::string_view s) {
+    if (s.size() > kChunkSize) {
+      // Oversized key: dedicated chunk, still arena-owned.
+      chunks_.emplace_back(Chunk{std::make_unique<char[]>(s.size()), 0});
+      Chunk& c = chunks_.back();
+      std::memcpy(c.data.get(), s.data(), s.size());
+      c.used = s.size();
+      bytes_ += s.size();
+      return {c.data.get(), s.size()};
+    }
+    if (chunks_.empty() || chunks_.back().used + s.size() > kChunkSize) {
+      chunks_.emplace_back(Chunk{std::make_unique<char[]>(kChunkSize), 0});
+    }
+    Chunk& c = chunks_.back();
+    char* dst = c.data.get() + c.used;
+    std::memcpy(dst, s.data(), s.size());
+    c.used += s.size();
+    bytes_ += s.size();
+    return {dst, s.size()};
+  }
+
+  /// Total key bytes interned (excludes chunk slack).
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  static constexpr std::size_t kChunkSize = std::size_t{1} << 16;
+
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t used = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace fencetrade::util

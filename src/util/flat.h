@@ -1,0 +1,144 @@
+// Sorted small-vector ("flat") associative containers.
+//
+// The exploration hot path copies a Config for every successor state, so
+// the containers inside Config and WriteBuffer dominate the cost of a
+// state expansion.  std::map/std::set clone a red-black tree node by
+// node (one allocation per entry); for the handful of entries these
+// simulations hold, a sorted contiguous vector copies with a single
+// memcpy and looks up by binary search in a cache line or two.
+//
+// FlatMap and FlatSet implement the subset of the std::map/std::set
+// interface the simulator uses (find/end iterator probes, operator[],
+// insert/count/erase, ordered iteration) with identical ordering
+// semantics, so they are drop-in replacements for state that must
+// serialize canonically.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fencetrade::util {
+
+/// Sorted-vector map with unique keys.  Iteration is in ascending key
+/// order; iterators are invalidated by any mutation.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return items_.begin(); }
+  iterator end() { return items_.end(); }
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  void clear() { items_.clear(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  iterator find(const K& k) {
+    auto it = lower(k);
+    return (it != items_.end() && it->first == k) ? it : items_.end();
+  }
+  const_iterator find(const K& k) const {
+    auto it = lower(k);
+    return (it != items_.end() && it->first == k) ? it : items_.end();
+  }
+
+  std::size_t count(const K& k) const { return find(k) == end() ? 0 : 1; }
+  bool contains(const K& k) const { return find(k) != end(); }
+
+  /// Insert-or-find with default-constructed value, std::map semantics.
+  V& operator[](const K& k) {
+    auto it = lower(k);
+    if (it == items_.end() || it->first != k) {
+      it = items_.insert(it, value_type(k, V{}));
+    }
+    return it->second;
+  }
+
+  /// Insert if absent; returns (position, inserted).
+  std::pair<iterator, bool> emplace(const K& k, const V& v) {
+    auto it = lower(k);
+    if (it != items_.end() && it->first == k) return {it, false};
+    return {items_.insert(it, value_type(k, v)), true};
+  }
+
+  void insertOrAssign(const K& k, const V& v) {
+    auto it = lower(k);
+    if (it != items_.end() && it->first == k) {
+      it->second = v;
+    } else {
+      items_.insert(it, value_type(k, v));
+    }
+  }
+
+  std::size_t erase(const K& k) {
+    auto it = find(k);
+    if (it == items_.end()) return 0;
+    items_.erase(it);
+    return 1;
+  }
+
+  /// The backing sorted storage (for serialization / span access).
+  const std::vector<value_type>& items() const { return items_; }
+
+  bool operator==(const FlatMap& other) const {
+    return items_ == other.items_;
+  }
+
+ private:
+  iterator lower(const K& k) {
+    return std::lower_bound(
+        items_.begin(), items_.end(), k,
+        [](const value_type& e, const K& key) { return e.first < key; });
+  }
+  const_iterator lower(const K& k) const {
+    return std::lower_bound(
+        items_.begin(), items_.end(), k,
+        [](const value_type& e, const K& key) { return e.first < key; });
+  }
+
+  std::vector<value_type> items_;
+};
+
+/// Sorted-vector set with unique elements (element type needs operator<
+/// and operator==; std::pair works out of the box).
+template <typename T>
+class FlatSet {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  void clear() { items_.clear(); }
+
+  std::pair<const_iterator, bool> insert(const T& v) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), v);
+    if (it != items_.end() && *it == v) return {it, false};
+    return {items_.insert(it, v), true};
+  }
+
+  std::size_t count(const T& v) const { return contains(v) ? 1 : 0; }
+  bool contains(const T& v) const {
+    return std::binary_search(items_.begin(), items_.end(), v);
+  }
+
+  const std::vector<T>& items() const { return items_; }
+
+  bool operator==(const FlatSet& other) const {
+    return items_ == other.items_;
+  }
+
+ private:
+  std::vector<T> items_;
+};
+
+}  // namespace fencetrade::util

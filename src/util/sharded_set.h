@@ -7,10 +7,16 @@
 // stores the complete key and only uses the hash for shard/bucket
 // placement, so a collision costs time, never soundness.
 //
+// Storage: keys live in a per-shard KeyArena and the hash table holds
+// std::string_view slices into it.  Lookups are heterogeneous — callers
+// probe with a string_view over a reusable serialization buffer, so the
+// common already-visited probe performs no allocation at all; a miss
+// costs one arena bump-copy (amortized allocation-free).
+//
 // Concurrency: keys are partitioned across 2^k shards by hash; each
-// shard is an independently locked std::unordered_set.  insert() is
-// linearizable per key (exactly one caller wins), which is all the
-// parallel explorer needs.
+// shard is an independently locked std::unordered_set + arena.
+// insert() is linearizable per key (exactly one caller wins), which is
+// all the parallel explorer needs.
 //
 // The hash function is runtime-pluggable so tests can force collisions
 // (e.g. a constant hash) and prove that distinct states still both
@@ -20,20 +26,22 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
+
+#include "util/arena.h"
 
 namespace fencetrade::util {
 
 /// Hasher with an optional runtime override; the default is the
-/// standard library string hash.
+/// standard library string_view hash.
 struct StateKeyHash {
-  std::uint64_t (*fn)(const std::string&) = nullptr;
+  std::uint64_t (*fn)(std::string_view) = nullptr;
 
-  std::size_t operator()(const std::string& key) const {
+  std::size_t operator()(std::string_view key) const {
     if (fn) return static_cast<std::size_t>(fn(key));
-    return std::hash<std::string>{}(key);
+    return std::hash<std::string_view>{}(key);
   }
 };
 
@@ -42,7 +50,7 @@ class ShardedStateSet {
   /// `shardCount` is rounded up to a power of two; `hashFn` overrides
   /// the key hash (tests force collisions with a constant function).
   explicit ShardedStateSet(int shardCount = 64,
-                           std::uint64_t (*hashFn)(const std::string&)
+                           std::uint64_t (*hashFn)(std::string_view)
                            = nullptr)
       : hash_{hashFn} {
     int shards = 1;
@@ -55,13 +63,17 @@ class ShardedStateSet {
   }
 
   /// Insert; returns true iff the key was not present.  Thread-safe.
-  bool insert(std::string&& key) {
+  /// The key bytes are copied into the shard arena only on first
+  /// insertion; the already-present path allocates nothing.
+  bool insert(std::string_view key) {
     Shard& s = shardFor(key);
     std::lock_guard<std::mutex> lock(s.m);
-    return s.set.insert(std::move(key)).second;
+    if (s.set.find(key) != s.set.end()) return false;
+    s.set.insert(s.arena.intern(key));
+    return true;
   }
 
-  bool contains(const std::string& key) const {
+  bool contains(std::string_view key) const {
     const Shard& s = shardFor(key);
     std::lock_guard<std::mutex> lock(s.m);
     return s.set.count(key) != 0;
@@ -77,16 +89,27 @@ class ShardedStateSet {
     return total;
   }
 
+  /// Total interned key bytes across shards (diagnostics).
+  std::uint64_t keyBytes() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->m);
+      total += s->arena.bytes();
+    }
+    return total;
+  }
+
   int shardCount() const { return static_cast<int>(shards_.size()); }
 
  private:
   struct Shard {
     explicit Shard(StateKeyHash h) : set(/*bucket_count=*/64, h) {}
     mutable std::mutex m;
-    std::unordered_set<std::string, StateKeyHash> set;
+    std::unordered_set<std::string_view, StateKeyHash> set;
+    KeyArena arena;
   };
 
-  Shard& shardFor(const std::string& key) const {
+  Shard& shardFor(std::string_view key) const {
     // Remix so a weak user hash still spreads across shards no worse
     // than it spreads across buckets.
     std::uint64_t h = hash_(key);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 
 #include "sim/builder.h"
 #include "sim/explore.h"
@@ -18,7 +19,7 @@ namespace fencetrade::sim {
 namespace {
 
 // Every key collides: the worst case a 64-bit hash can produce.
-std::uint64_t constantHash(const std::string&) { return 42; }
+std::uint64_t constantHash(std::string_view) { return 42; }
 
 System racingCountersSystem(MemoryModel m, int procs) {
   System sys;

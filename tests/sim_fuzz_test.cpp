@@ -166,6 +166,38 @@ TEST(FuzzTest, ParallelMatchesSequentialOnRandomSystems) {
   }
 }
 
+TEST(FuzzTest, ConfigInvariantsHoldAlongRandomWalks) {
+  // Config::validate() checks the flat-container invariants (sorted,
+  // duplicate-free, canonical memory, consistent memHash/nbFinal) the
+  // explorer's zero-copy serialization relies on.  Walk random
+  // schedules of random systems validating after every single step;
+  // the sanitizer CI builds (FENCETRADE_SANITIZE) run a deeper sweep.
+#ifdef FENCETRADE_SANITIZE
+  constexpr std::uint64_t kSeeds = 30;
+  constexpr int kSteps = 400;
+#else
+  constexpr std::uint64_t kSeeds = 12;
+  constexpr int kSteps = 200;
+#endif
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    for (auto m : {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO}) {
+      System sys = randomSystem(seed, m, 2, 6);
+      Config cfg = initialConfig(sys);
+      ASSERT_NO_THROW(cfg.validate()) << "seed " << seed;
+      util::Rng rng(seed * 31 + static_cast<std::uint64_t>(m));
+      for (int step = 0; step < kSteps; ++step) {
+        auto moves = detail::enabledMoves(cfg);
+        if (moves.empty()) break;
+        const auto& [p, r] = moves[rng.below(moves.size())];
+        ASSERT_TRUE(execElem(sys, cfg, p, r).has_value());
+        ASSERT_NO_THROW(cfg.validate())
+            << "seed " << seed << " model " << memoryModelName(m)
+            << " step " << step;
+      }
+    }
+  }
+}
+
 TEST(FuzzTest, ScExplorationsHaveFewerOrEqualStates) {
   // Sanity on the exploration itself: buffering only adds states.
   for (std::uint64_t seed = 0; seed < 10; ++seed) {

@@ -4,6 +4,7 @@
 
 #include "sim/builder.h"
 #include "sim/config.h"
+#include "sim/explore.h"
 #include "sim/machine.h"
 #include "util/check.h"
 
@@ -116,6 +117,55 @@ TEST(ConfigTest, ReturnValuesTracksFinalProcs) {
   execElem(sys, cfg, 1, kNoReg);  // fence
   execElem(sys, cfg, 1, kNoReg);  // return
   EXPECT_EQ(cfg.returnValues(), (std::vector<Value>{-1, 11}));
+}
+
+TEST(ConfigTest, ValidatePassesOnHealthyConfigs) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  Reg r = sys.layout.alloc(kNoOwner, "r");
+  ProgramBuilder pb("p");
+  pb.writeRegImm(r, 3);
+  pb.fence();
+  pb.retImm(0);
+  sys.programs.push_back(pb.build());
+
+  Config cfg = initialConfig(sys);
+  EXPECT_NO_THROW(cfg.validate());
+  // Drive through buffered-write, commit and final states.
+  while (!allFinal(cfg)) {
+    auto moves = detail::enabledMoves(cfg);
+    ASSERT_FALSE(moves.empty());
+    execElem(sys, cfg, moves.front().first, moves.front().second);
+    EXPECT_NO_THROW(cfg.validate());
+  }
+}
+
+TEST(ConfigTest, ValidateCatchesCorruption) {
+  System sys;
+  sys.model = MemoryModel::PSO;
+  sys.layout.alloc(kNoOwner, "r");
+  ProgramBuilder pb("p");
+  pb.fence();
+  pb.retImm(0);
+  sys.programs.push_back(pb.build());
+  const Config healthy = initialConfig(sys);
+
+  {
+    Config cfg = healthy;
+    cfg.writeMem(0, 7);
+    cfg.memHash ^= 0xDEAD;  // desync the incremental hash
+    EXPECT_THROW(cfg.validate(), util::CheckError);
+  }
+  {
+    Config cfg = healthy;
+    cfg.nbFinal = 1;  // claims a final process that does not exist
+    EXPECT_THROW(cfg.validate(), util::CheckError);
+  }
+  {
+    Config cfg = healthy;
+    cfg.buffers.pop_back();  // buffer/process shape mismatch
+    EXPECT_THROW(cfg.validate(), util::CheckError);
+  }
 }
 
 TEST(ProcStateTest, HashChangesWithState) {
