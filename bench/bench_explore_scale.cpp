@@ -19,6 +19,7 @@
 #include "core/objects.h"
 #include "sim/explore.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/table.h"
 
 namespace fencetrade {
@@ -30,15 +31,25 @@ sim::System makeGtSystem(int f, int n) {
 }
 
 sim::ExploreResult timedExplore(const sim::System& sys, int workers,
-                                double& seconds) {
+                                double& seconds,
+                                util::MetricsSink* sink = nullptr) {
   sim::ExploreOptions opts;
   opts.maxStates = 5'000'000;
   opts.workers = workers;
+  opts.metrics = sink;
   const auto t0 = std::chrono::steady_clock::now();
   auto res = sim::explore(sys, opts);
   const auto t1 = std::chrono::steady_clock::now();
   seconds = std::chrono::duration<double>(t1 - t0).count();
   return res;
+}
+
+/// Sum a per-worker counter out of the telemetry breakdown.
+std::uint64_t sumWorkers(const sim::ExploreResult& res,
+                         std::uint64_t sim::WorkerTelemetry::*field) {
+  std::uint64_t total = 0;
+  for (const auto& w : res.telemetry.workers) total += w.*field;
+  return total;
 }
 
 void printScalingTable() {
@@ -51,13 +62,15 @@ void printScalingTable() {
   const double seqRate =
       static_cast<double>(oracle.statesVisited) / seqSeconds;
 
-  util::Table table({"engine", "workers", "states", "seconds",
-                     "states/sec", "speedup vs sequential"});
+  util::Table table({"engine", "workers", "states", "seconds", "states/sec",
+                     "speedup", "dedup hit%", "steals", "idle spins"});
   table.addRow({"sequential DFS", "1",
                 util::Table::cell(
                     static_cast<std::int64_t>(oracle.statesVisited)),
                 util::Table::cell(seqSeconds, 3),
-                util::Table::cell(seqRate, 0), util::Table::cell(1.0, 2)});
+                util::Table::cell(seqRate, 0), util::Table::cell(1.0, 2),
+                util::Table::cell(100.0 * oracle.telemetry.dedupHitRate(), 1),
+                "0", "0"});
 
   for (int workers : {1, 2, 4, 8}) {
     double seconds = 0;
@@ -68,20 +81,60 @@ void printScalingTable() {
         << "outcome sets diverge at workers=" << workers;
     FT_CHECK(res.statesVisited == oracle.statesVisited)
         << "state counts diverge at workers=" << workers;
+    // Telemetry consistency: per-worker admissions partition the total.
+    FT_CHECK(sumWorkers(res, &sim::WorkerTelemetry::statesAdmitted) ==
+             res.statesVisited)
+        << "per-worker statesAdmitted do not sum to statesVisited at "
+        << "workers=" << workers;
     const double rate = static_cast<double>(res.statesVisited) / seconds;
-    table.addRow({workers == 1 ? "parallel (1 worker)" : "parallel",
-                  util::Table::cell(static_cast<std::int64_t>(workers)),
-                  util::Table::cell(
-                      static_cast<std::int64_t>(res.statesVisited)),
-                  util::Table::cell(seconds, 3),
-                  util::Table::cell(rate, 0),
-                  util::Table::cell(rate / seqRate, 2)});
+    table.addRow(
+        {workers == 1 ? "parallel (1 worker)" : "parallel",
+         util::Table::cell(static_cast<std::int64_t>(workers)),
+         util::Table::cell(static_cast<std::int64_t>(res.statesVisited)),
+         util::Table::cell(seconds, 3), util::Table::cell(rate, 0),
+         util::Table::cell(rate / seqRate, 2),
+         util::Table::cell(100.0 * res.telemetry.dedupHitRate(), 1),
+         util::Table::cell(static_cast<std::int64_t>(
+             sumWorkers(res, &sim::WorkerTelemetry::steals))),
+         util::Table::cell(static_cast<std::int64_t>(
+             sumWorkers(res, &sim::WorkerTelemetry::idleSpins)))});
   }
   std::printf("%s\n",
               table.render("EXP-SCALE — parallel exploration of GT_2 "
                            "(n=3) under PSO, outcomes verified against "
                            "the sequential oracle")
                   .c_str());
+}
+
+/// EXP-OBS: overhead of publishing metrics into a registry during the
+/// sequential GT_2 n=3 exploration (the acceptance gate is < 2%).
+void printMetricsOverhead() {
+  const sim::System sys = makeGtSystem(/*f=*/2, /*n=*/3);
+  // One warm-up run, then alternate off/on to cancel drift.
+  double warm = 0;
+  (void)timedExplore(sys, 1, warm);
+  double offSeconds = 0, onSeconds = 0;
+  constexpr int kReps = 3;
+  for (int i = 0; i < kReps; ++i) {
+    double s = 0;
+    (void)timedExplore(sys, 1, s);
+    offSeconds += s;
+    util::MetricsRegistry reg;
+    const auto res = timedExplore(sys, 1, s, &reg);
+    onSeconds += s;
+#ifndef FENCETRADE_NO_METRICS
+    FT_CHECK(reg.snapshot().counter("explore.states") == res.statesVisited)
+        << "metrics sink disagrees with ExploreResult";
+#else
+    (void)res;
+#endif
+  }
+  const double overhead = (onSeconds - offSeconds) / offSeconds;
+  std::printf(
+      "EXP-OBS — metrics overhead, sequential GT_2 (n=3) PSO, %d reps:\n"
+      "  no sink  : %.3fs total\n  with sink: %.3fs total\n"
+      "  overhead : %+.2f%%\n\n",
+      kReps, offSeconds, onSeconds, 100.0 * overhead);
 }
 
 void BM_ExploreSequentialGt2n3(benchmark::State& state) {
@@ -97,6 +150,24 @@ void BM_ExploreSequentialGt2n3(benchmark::State& state) {
       static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_ExploreSequentialGt2n3)->Unit(benchmark::kMillisecond);
+
+/// Same exploration with a metrics registry attached — compare against
+/// BM_ExploreSequentialGt2n3 to read the instrumentation overhead off a
+/// benchmark_out JSON.
+void BM_ExploreSequentialGt2n3Metrics(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(2, 3);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    util::MetricsRegistry reg;
+    double seconds = 0;
+    auto res = timedExplore(sys, 1, seconds, &reg);
+    states = res.statesVisited;
+    benchmark::DoNotOptimize(res.outcomes);
+  }
+  state.counters["states/sec"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreSequentialGt2n3Metrics)->Unit(benchmark::kMillisecond);
 
 void BM_ExploreParallelGt2n3(benchmark::State& state) {
   const sim::System sys = makeGtSystem(2, 3);
@@ -137,6 +208,7 @@ BENCHMARK(BM_ExploreParallelBakeryN3)
 
 int main(int argc, char** argv) {
   fencetrade::printScalingTable();
+  fencetrade::printMetricsOverhead();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

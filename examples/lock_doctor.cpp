@@ -2,15 +2,27 @@
 // model and report safety (mutual exclusion) and liveness (termination
 // reachability), with a replayable witness schedule on failure.
 //
-//   $ ./lock_doctor [lock] [model] [n] [workers]
+//   $ ./lock_doctor [lock] [model] [n] [workers] [flags]
 //
 //   lock    ∈ {bakery, bakery-paper, gt2, tournament, peterson,
 //              peterson-tso, tas, ttas}        (default: peterson-tso)
 //   model   ∈ {SC, TSO, PSO}                   (default: PSO)
 //   n       ∈ 2..3                             (default: 2)
 //   workers ∈ 1..64 exploration threads        (default: 1)
+//
+//   --json         machine-readable verdict + telemetry on stdout
+//   --trace FILE   write a Chrome trace (Perfetto-loadable) of the
+//                  violation witness, or of a sequential passage when
+//                  the lock is correct
+//   --progress     heartbeat to stderr every 64Ki admitted states
+//
+// Exit codes: 0 correct, 1 mutual-exclusion violation, 2 usage error,
+// 3 inconclusive (exploration capped before exhausting the space).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/bakery.h"
 #include "core/caslocks.h"
@@ -18,7 +30,9 @@
 #include "core/objects.h"
 #include "core/peterson.h"
 #include "sim/explore.h"
+#include "sim/schedule.h"
 #include "sim/trace.h"
+#include "sim/trace_export.h"
 
 namespace {
 
@@ -43,16 +57,136 @@ core::LockFactory lockByName(const std::string& name, bool& ok) {
   return core::bakeryFactory();
 }
 
+void printProgress(const sim::ProgressUpdate& u) {
+  std::fprintf(stderr,
+               "[progress] states=%llu rate=%.0f/s frontier=%llu "
+               "dedup=%.1f%% arena=%.1fMiB steals=%llu idle=%llu\n",
+               static_cast<unsigned long long>(u.statesVisited),
+               u.statesPerSec, static_cast<unsigned long long>(u.frontier),
+               100.0 * u.dedupHitRate(),
+               static_cast<double>(u.arenaBytes) / (1024.0 * 1024.0),
+               static_cast<unsigned long long>(u.steals),
+               static_cast<unsigned long long>(u.idleSpins));
+}
+
+// --- minimal JSON emission helpers (no dependency) ----------------------
+
+void jsonKey(std::string& out, const char* key) {
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+void jsonStr(std::string& out, const char* key, const std::string& v) {
+  jsonKey(out, key);
+  out += '"';
+  for (char c : v) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void jsonU64(std::string& out, const char* key, unsigned long long v) {
+  jsonKey(out, key);
+  out += std::to_string(v);
+}
+
+void jsonBool(std::string& out, const char* key, bool v) {
+  jsonKey(out, key);
+  out += v ? "true" : "false";
+}
+
+void jsonDouble(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  jsonKey(out, key);
+  out += buf;
+}
+
+void jsonTelemetry(std::string& out, const sim::ExploreTelemetry& t,
+                   unsigned long long states) {
+  jsonKey(out, "telemetry");
+  out += '{';
+  jsonDouble(out, "wallSeconds", t.wallSeconds);
+  out += ',';
+  jsonDouble(out, "statesPerSec", t.statesPerSec(states));
+  out += ',';
+  jsonU64(out, "dedupProbes", t.dedupProbes);
+  out += ',';
+  jsonU64(out, "dedupHits", t.dedupHits);
+  out += ',';
+  jsonDouble(out, "dedupHitRate", t.dedupHitRate());
+  out += ',';
+  jsonU64(out, "peakFrontier", t.peakFrontier);
+  out += ',';
+  jsonU64(out, "arenaBytes", t.arenaBytes);
+  out += ',';
+  jsonKey(out, "workers");
+  out += '[';
+  for (std::size_t i = 0; i < t.workers.size(); ++i) {
+    const sim::WorkerTelemetry& w = t.workers[i];
+    if (i) out += ',';
+    out += '{';
+    jsonU64(out, "statesAdmitted", w.statesAdmitted);
+    out += ',';
+    jsonU64(out, "dedupProbes", w.dedupProbes);
+    out += ',';
+    jsonU64(out, "dedupHits", w.dedupHits);
+    out += ',';
+    jsonU64(out, "expansions", w.expansions);
+    out += ',';
+    jsonU64(out, "steals", w.steals);
+    out += ',';
+    jsonU64(out, "idleSpins", w.idleSpins);
+    out += '}';
+  }
+  out += "]}";
+}
+
+bool writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << contents;
+  return static_cast<bool>(f);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string lockName = argc > 1 ? argv[1] : "peterson-tso";
-  const std::string modelName = argc > 2 ? argv[2] : "PSO";
-  const int n = argc > 3 ? std::atoi(argv[3]) : 2;
-  const int workers = argc > 4 ? std::atoi(argv[4]) : 1;
+  std::vector<std::string> pos;
+  bool json = false, progress = false;
+  std::string tracePath;
+  bool usageError = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--progress") {
+      progress = true;
+    } else if (a == "--trace") {
+      if (i + 1 >= argc) {
+        usageError = true;
+        break;
+      }
+      tracePath = argv[++i];
+    } else if (a.rfind("--", 0) == 0) {
+      usageError = true;
+      break;
+    } else {
+      pos.push_back(a);
+    }
+  }
 
-  bool ok = false;
-  auto factory = lockByName(lockName, ok);
+  const std::string lockName = pos.size() > 0 ? pos[0] : "peterson-tso";
+  const std::string modelName = pos.size() > 1 ? pos[1] : "PSO";
+  const int n = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 2;
+  const int workers = pos.size() > 3 ? std::atoi(pos[3].c_str()) : 1;
+
+  bool ok = !usageError && pos.size() <= 4;
+  bool lockOk = false;
+  auto factory = lockByName(lockName, lockOk);
+  ok = ok && lockOk;
   sim::MemoryModel model;
   if (modelName == "SC") {
     model = sim::MemoryModel::SC;
@@ -67,54 +201,152 @@ int main(int argc, char** argv) {
   if (!ok || n < 2 || n > 3 || workers < 1 || workers > 64) {
     std::fprintf(stderr,
                  "usage: %s [bakery|bakery-paper|gt2|tournament|peterson|"
-                 "peterson-tso|tas|ttas] [SC|TSO|PSO] [2|3] [workers]\n",
+                 "peterson-tso|tas|ttas] [SC|TSO|PSO] [2|3] [workers] "
+                 "[--json] [--trace FILE] [--progress]\n",
                  argv[0]);
     return 2;
   }
 
   auto os = core::buildCountSystem(model, n, factory);
-  std::printf("model-checking %s with n=%d under %s (%d worker%s) ...\n",
-              lockName.c_str(), n, modelName.c_str(), workers,
-              workers == 1 ? "" : "s");
+  if (!json) {
+    std::printf("model-checking %s with n=%d under %s (%d worker%s) ...\n",
+                lockName.c_str(), n, modelName.c_str(), workers,
+                workers == 1 ? "" : "s");
+  }
 
   sim::ExploreOptions opts;
   opts.maxStates = n == 2 ? 5'000'000 : 600'000;
   opts.workers = workers;
+  if (progress) opts.progress = printProgress;
   auto res = sim::explore(os.sys, opts);
 
-  std::printf("  states explored : %llu%s\n",
-              static_cast<unsigned long long>(res.statesVisited),
-              res.capped ? " (CAPPED — verdicts are bounded)" : "");
+  // Trace to export: the violation witness, or (correct lock) a
+  // sequential passage so --trace always produces a file.
+  sim::Execution traced;
+  if (res.mutexViolation) {
+    traced = sim::replaySchedule(os.sys, res.witness);
+  } else {
+    sim::Config cfg = sim::initialConfig(os.sys);
+    std::vector<sim::ProcId> order(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) order[static_cast<std::size_t>(p)] = p;
+    traced = sim::runSequential(os.sys, cfg, order);
+  }
+  if (!tracePath.empty()) {
+    const std::string traceJson = sim::executionToChromeTrace(
+        os.sys.layout, traced, n, lockName + " under " + modelName);
+    if (!writeFile(tracePath, traceJson)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   tracePath.c_str());
+      return 2;
+    }
+    if (!json) {
+      std::printf("  trace written    : %s (%zu events)\n", tracePath.c_str(),
+                  traced.size());
+    }
+  }
+
+  // Liveness only when safety is exhaustive and the space is small.
+  bool haveLiveness = false;
+  sim::LivenessResult live;
+  if (!res.mutexViolation && n == 2 && !res.capped) {
+    sim::LivenessOptions lopts;
+    lopts.workers = workers;
+    if (progress) lopts.progress = printProgress;
+    live = sim::checkLiveness(os.sys, lopts);
+    haveLiveness = live.complete;
+  }
+
+  const char* verdict = res.mutexViolation ? "violated"
+                        : res.capped       ? "inconclusive"
+                                           : "correct";
+
+  if (json) {
+    std::string out;
+    out += '{';
+    jsonStr(out, "lock", lockName);
+    out += ',';
+    jsonStr(out, "model", modelName);
+    out += ',';
+    jsonU64(out, "n", static_cast<unsigned long long>(n));
+    out += ',';
+    jsonU64(out, "workers", static_cast<unsigned long long>(workers));
+    out += ',';
+    jsonU64(out, "statesVisited", res.statesVisited);
+    out += ',';
+    jsonBool(out, "capped", res.capped);
+    out += ',';
+    jsonBool(out, "mutexViolation", res.mutexViolation);
+    out += ',';
+    jsonU64(out, "maxCsOccupancy",
+            static_cast<unsigned long long>(res.maxCsOccupancy));
+    out += ',';
+    jsonStr(out, "outcomes", sim::outcomesToString(res.outcomes, res.capped));
+    out += ',';
+    jsonU64(out, "witnessSteps",
+            static_cast<unsigned long long>(res.witness.size()));
+    out += ',';
+    jsonStr(out, "verdict", verdict);
+    out += ',';
+    jsonTelemetry(out, res.telemetry, res.statesVisited);
+    if (haveLiveness) {
+      out += ',';
+      jsonKey(out, "liveness");
+      out += '{';
+      jsonBool(out, "allCanTerminate", live.allCanTerminate);
+      out += ',';
+      jsonU64(out, "states", live.states);
+      out += ',';
+      jsonU64(out, "terminalStates", live.terminalStates);
+      out += ',';
+      jsonU64(out, "stuckStates", live.stuckStates);
+      out += '}';
+    }
+    out += "}\n";
+    std::fputs(out.c_str(), stdout);
+    return res.mutexViolation ? 1 : res.capped ? 3 : 0;
+  }
+
+  std::printf("  states explored : %llu\n",
+              static_cast<unsigned long long>(res.statesVisited));
   std::printf("  terminal outcomes: %s\n",
-              sim::outcomesToString(res.outcomes).c_str());
-  std::printf("  mutual exclusion : %s\n",
-              res.mutexViolation ? "VIOLATED" : "holds");
+              sim::outcomesToString(res.outcomes, res.capped).c_str());
+  std::printf("  mutual exclusion : %s%s\n",
+              res.mutexViolation ? "VIOLATED" : "holds",
+              res.capped && !res.mutexViolation
+                  ? " in the explored prefix only"
+                  : "");
+  std::printf(
+      "  throughput       : %.0f states/s (%.3fs wall, dedup hit %.1f%%, "
+      "peak frontier %llu)\n",
+      res.telemetry.statesPerSec(res.statesVisited),
+      res.telemetry.wallSeconds, 100.0 * res.telemetry.dedupHitRate(),
+      static_cast<unsigned long long>(res.telemetry.peakFrontier));
 
   if (res.mutexViolation) {
     std::printf("\nwitness schedule (replayed):\n");
-    sim::Config cfg = sim::initialConfig(os.sys);
-    for (auto [p, r] : res.witness) {
-      auto step = sim::execElem(os.sys, cfg, p, r);
-      if (step) {
-        std::printf("  %s\n", step->toString(os.sys.layout).c_str());
-      }
+    for (const sim::Step& step : traced) {
+      std::printf("  %s\n", step.toString(os.sys.layout).c_str());
     }
     std::printf("=> both processes are now inside the critical section.\n");
     return 1;
   }
 
-  if (n == 2 && !res.capped) {
-    sim::LivenessOptions lopts;
-    lopts.workers = workers;
-    auto live = sim::checkLiveness(os.sys, lopts);
-    if (live.complete) {
-      std::printf("  liveness         : %s (%llu states, %llu terminal)\n",
-                  live.allCanTerminate
-                      ? "every state can reach completion"
-                      : "STUCK STATES EXIST",
-                  static_cast<unsigned long long>(live.states),
-                  static_cast<unsigned long long>(live.terminalStates));
-    }
+  if (haveLiveness) {
+    std::printf("  liveness         : %s (%llu states, %llu terminal)\n",
+                live.allCanTerminate ? "every state can reach completion"
+                                     : "STUCK STATES EXIST",
+                static_cast<unsigned long long>(live.states),
+                static_cast<unsigned long long>(live.terminalStates));
+  }
+  if (res.capped) {
+    std::printf(
+        "\n*** CAPPED: exploration stopped at the %llu-state limit before "
+        "exhausting the state space.\n*** No violation was found in the "
+        "explored prefix, but states beyond the cap were never checked.\n"
+        "verdict: INCONCLUSIVE for %s under %s at n=%d.\n",
+        static_cast<unsigned long long>(opts.maxStates), lockName.c_str(),
+        modelName.c_str(), n);
+    return 3;
   }
   std::printf("verdict: %s is correct under %s at n=%d.\n", lockName.c_str(),
               modelName.c_str(), n);

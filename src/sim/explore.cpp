@@ -1,11 +1,13 @@
 #include "sim/explore.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sim/explore_metrics.h"
 #include "sim/explore_parallel.h"
 #include "util/arena.h"
 #include "util/check.h"
@@ -193,6 +195,11 @@ std::vector<std::pair<ProcId, Reg>> reducedMoves(
 namespace {
 
 using Elem = std::pair<ProcId, Reg>;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 struct Frame {
   Config cfg;
@@ -205,7 +212,16 @@ struct Frame {
 ExploreResult explore(const System& sys, const ExploreOptions& opts) {
   if (opts.workers > 1) return exploreParallel(sys, opts);
 
+  const auto t0 = Clock::now();
   ExploreResult res;
+  res.telemetry.workers.resize(1);
+  WorkerTelemetry& wt = res.telemetry.workers[0];
+  detail::EngineMetricIds mids;
+  util::MetricsShard* shard = nullptr;
+  if (opts.metrics) {
+    mids = detail::registerEngineMetrics(*opts.metrics);
+    shard = opts.metrics->attach();
+  }
   // Visited set keyed by the canonical serialized state, not its 64-bit
   // hash: equality compares full keys, so a hash collision costs a
   // bucket probe instead of silently pruning a state (soundness).  The
@@ -232,15 +248,50 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     };
   }
 
+  // Shard contents trail the plain wt counters: deltas are flushed only
+  // at heartbeat boundaries and at run end (per-event shard writes cost
+  // a measurable fraction of exploration throughput).
+  WorkerTelemetry flushed;
+  auto fireProgress = [&]() {
+    ProgressUpdate u;
+    u.statesVisited = res.statesVisited;
+    u.elapsedSeconds = secondsSince(t0);
+    u.statesPerSec = u.elapsedSeconds > 0.0
+                         ? static_cast<double>(res.statesVisited) /
+                               u.elapsedSeconds
+                         : 0.0;
+    u.frontier = stack.size();
+    u.dedupProbes = wt.dedupProbes;
+    u.dedupHits = wt.dedupHits;
+    u.arenaBytes = arena.bytes();
+    u.reductionSingletons = wt.reductionSingletons;
+    u.reductionFull = wt.reductionFull;
+    u.workers = 1;
+    if (shard) {
+      detail::flushWorkerMetrics(shard, mids, wt, flushed);
+      shard->set(mids.frontier, static_cast<std::int64_t>(stack.size()));
+      shard->set(mids.arenaBytes, static_cast<std::int64_t>(arena.bytes()));
+    }
+    opts.progress(u);
+  };
+
   auto enter = [&](Config cfg) -> bool {
     // Returns false when the state was seen before or is terminal.
     // One serialization pass yields the visited-set key, the terminal
     // flag and (for terminal states) the outcome vector.
     const bool terminal = cfg.behavioralKeyInto(keyBuf, &retvals);
-    if (visited.find(keyBuf) != visited.end()) return false;
+    ++wt.dedupProbes;
+    if (visited.find(keyBuf) != visited.end()) {
+      ++wt.dedupHits;
+      return false;
+    }
     visited.insert(arena.intern(keyBuf));
     ++res.statesVisited;
+    ++wt.statesAdmitted;
     if (res.statesVisited >= opts.maxStates) res.capped = true;
+    if (opts.progress && res.statesVisited % opts.progressInterval == 0) {
+      fireProgress();
+    }
 
     if (opts.checkMutualExclusion) {
       const int occ = detail::csOccupancy(sys, cfg);
@@ -258,8 +309,19 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     f.moves = reduce ? detail::reducedMoves(sys, cfg, *rctx, probe, porKey,
                                             porChild)
                      : detail::enabledMoves(cfg);
+    ++wt.expansions;
+    if (reduce) {
+      if (f.moves.size() == 1) {
+        ++wt.reductionSingletons;
+      } else {
+        ++wt.reductionFull;
+      }
+    }
     f.cfg = std::move(cfg);
     stack.push_back(std::move(f));
+    if (stack.size() > res.telemetry.peakFrontier) {
+      res.telemetry.peakFrontier = stack.size();
+    }
     return true;
   };
 
@@ -281,6 +343,18 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     path.push_back(elem);
     if (!enter(std::move(child))) path.pop_back();
   }
+
+  res.telemetry.wallSeconds = secondsSince(t0);
+  res.telemetry.dedupProbes = wt.dedupProbes;
+  res.telemetry.dedupHits = wt.dedupHits;
+  res.telemetry.arenaBytes = arena.bytes();
+  res.telemetry.reductionSingletons = wt.reductionSingletons;
+  res.telemetry.reductionFull = wt.reductionFull;
+  if (shard) {
+    detail::flushWorkerMetrics(shard, mids, wt, flushed);
+    shard->set(mids.frontier, 0);
+    shard->set(mids.arenaBytes, static_cast<std::int64_t>(arena.bytes()));
+  }
   return res;
 }
 
@@ -288,7 +362,16 @@ LivenessResult checkLiveness(const System& sys,
                              const LivenessOptions& opts) {
   if (opts.workers > 1) return checkLivenessParallel(sys, opts);
 
+  const auto t0 = Clock::now();
   LivenessResult res;
+  res.telemetry.workers.resize(1);
+  WorkerTelemetry& wt = res.telemetry.workers[0];
+  detail::EngineMetricIds mids;
+  util::MetricsShard* shard = nullptr;
+  if (opts.metrics) {
+    mids = detail::registerEngineMetrics(*opts.metrics);
+    shard = opts.metrics->attach();
+  }
 
   // Forward exploration building the reversed edge relation.  Interning
   // is keyed by the canonical serialized state (see explore()), stored
@@ -314,15 +397,63 @@ LivenessResult checkLiveness(const System& sys,
     };
   }
 
+  // As in explore(): shard deltas are flushed at heartbeat boundaries
+  // and at run end, never per event.
+  WorkerTelemetry flushed;
+  auto fireProgress = [&]() {
+    ProgressUpdate u;
+    u.statesVisited = preds.size();
+    u.elapsedSeconds = secondsSince(t0);
+    u.statesPerSec = u.elapsedSeconds > 0.0
+                         ? static_cast<double>(preds.size()) /
+                               u.elapsedSeconds
+                         : 0.0;
+    u.frontier = frontier.size();
+    u.dedupProbes = wt.dedupProbes;
+    u.dedupHits = wt.dedupHits;
+    u.arenaBytes = arena.bytes();
+    u.reductionSingletons = wt.reductionSingletons;
+    u.reductionFull = wt.reductionFull;
+    u.workers = 1;
+    if (shard) {
+      detail::flushWorkerMetrics(shard, mids, wt, flushed);
+      shard->set(mids.frontier, static_cast<std::int64_t>(frontier.size()));
+      shard->set(mids.arenaBytes, static_cast<std::int64_t>(arena.bytes()));
+    }
+    opts.progress(u);
+  };
+
   auto intern = [&](const Config& cfg) -> std::pair<std::uint32_t, bool> {
     cfg.behavioralKeyInto(keyBuf);
+    ++wt.dedupProbes;
     auto it = index.find(keyBuf);
-    if (it != index.end()) return {it->second, false};
+    if (it != index.end()) {
+      ++wt.dedupHits;
+      return {it->second, false};
+    }
     const auto id = static_cast<std::uint32_t>(preds.size());
     index.emplace(arena.intern(keyBuf), id);
     preds.emplace_back();
     terminal.push_back(allFinal(cfg) ? 1 : 0);
+    ++wt.statesAdmitted;
+    if (opts.progress && preds.size() % opts.progressInterval == 0) {
+      fireProgress();
+    }
     return {id, true};
+  };
+
+  auto finishTelemetry = [&]() {
+    res.telemetry.wallSeconds = secondsSince(t0);
+    res.telemetry.dedupProbes = wt.dedupProbes;
+    res.telemetry.dedupHits = wt.dedupHits;
+    res.telemetry.arenaBytes = arena.bytes();
+    res.telemetry.reductionSingletons = wt.reductionSingletons;
+    res.telemetry.reductionFull = wt.reductionFull;
+    if (shard) {
+      detail::flushWorkerMetrics(shard, mids, wt, flushed);
+      shard->set(mids.frontier, 0);
+      shard->set(mids.arenaBytes, static_cast<std::int64_t>(arena.bytes()));
+    }
   };
 
   {
@@ -333,7 +464,13 @@ LivenessResult checkLiveness(const System& sys,
   }
 
   while (!frontier.empty()) {
-    if (preds.size() >= opts.maxStates) return res;  // capped: incomplete
+    if (preds.size() >= opts.maxStates) {  // capped: incomplete
+      finishTelemetry();
+      return res;
+    }
+    if (frontier.size() > res.telemetry.peakFrontier) {
+      res.telemetry.peakFrontier = frontier.size();
+    }
     Config cfg = std::move(frontier.back());
     frontier.pop_back();
     const std::uint32_t from = frontierIdx.back();
@@ -344,6 +481,14 @@ LivenessResult checkLiveness(const System& sys,
         reduce ? detail::reducedMoves(sys, cfg, *rctx, probe, porKey,
                                       porChild)
                : detail::enabledMoves(cfg);
+    ++wt.expansions;
+    if (reduce) {
+      if (moves.size() == 1) {
+        ++wt.reductionSingletons;
+      } else {
+        ++wt.reductionFull;
+      }
+    }
     for (const auto& [p, r] : moves) {
       Config child = cfg;
       auto step = execElem(sys, child, p, r);
@@ -384,10 +529,12 @@ LivenessResult checkLiveness(const System& sys,
     if (!canTerminate[s]) ++res.stuckStates;
   }
   res.allCanTerminate = (res.stuckStates == 0);
+  finishTelemetry();
   return res;
 }
 
-std::string outcomesToString(const std::set<std::vector<Value>>& outcomes) {
+std::string outcomesToString(const std::set<std::vector<Value>>& outcomes,
+                             bool partial) {
   std::ostringstream out;
   out << "{";
   bool firstVec = true;
@@ -402,6 +549,7 @@ std::string outcomesToString(const std::set<std::vector<Value>>& outcomes) {
     out << ")";
   }
   out << "}";
+  if (partial) out << " [PARTIAL: exploration capped before exhausting the state space]";
   return out.str();
 }
 

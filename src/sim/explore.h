@@ -26,8 +26,96 @@
 #include <vector>
 
 #include "sim/machine.h"
+#include "util/metrics.h"
 
 namespace fencetrade::sim {
+
+// ---------------------------------------------------------------------------
+// Exploration telemetry.
+//
+// Both engines always collect cheap plain-counter telemetry (returned in
+// ExploreResult/LivenessResult); optionally they also publish the same
+// quantities into a util::MetricsSink (counters "explore.*", shared by
+// the liveness checker) and invoke a progress callback every
+// `progressInterval` admitted states.  All of it is diagnostic only —
+// verdicts, outcomes and state counts are unaffected.
+// ---------------------------------------------------------------------------
+
+/// Per-worker engine statistics.  The sequential DFS reports exactly one
+/// worker; the parallel engine one entry per exploration thread.
+struct WorkerTelemetry {
+  std::uint64_t statesAdmitted = 0;  ///< first-visits this worker won
+  std::uint64_t dedupProbes = 0;     ///< visited-set membership attempts
+  std::uint64_t dedupHits = 0;       ///< probes that found the state known
+  std::uint64_t expansions = 0;      ///< states whose moves were expanded
+  std::uint64_t steals = 0;          ///< tasks taken from another worker
+  std::uint64_t idleSpins = 0;       ///< empty pop attempts while draining
+  std::uint64_t reductionSingletons = 0;  ///< expansions via a singleton set
+  std::uint64_t reductionFull = 0;        ///< expansions with the full set
+};
+
+/// End-of-run snapshot carried by ExploreResult / LivenessResult.
+struct ExploreTelemetry {
+  double wallSeconds = 0.0;
+  std::uint64_t dedupProbes = 0;   ///< sum over workers
+  std::uint64_t dedupHits = 0;
+  std::uint64_t peakFrontier = 0;  ///< max pending states (stack/deques)
+  std::uint64_t arenaBytes = 0;    ///< interned visited-set key bytes
+  std::uint64_t reductionSingletons = 0;
+  std::uint64_t reductionFull = 0;
+  std::vector<WorkerTelemetry> workers;
+
+  double statesPerSec(std::uint64_t states) const {
+    return wallSeconds > 0.0 ? static_cast<double>(states) / wallSeconds : 0.0;
+  }
+  double dedupHitRate() const {
+    return dedupProbes ? static_cast<double>(dedupHits) /
+                             static_cast<double>(dedupProbes)
+                       : 0.0;
+  }
+  /// Fraction of expansions the reduction collapsed to one ample move.
+  double singletonRate() const {
+    const std::uint64_t total = reductionSingletons + reductionFull;
+    return total ? static_cast<double>(reductionSingletons) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// Mid-run heartbeat passed to ExploreOptions::progress.  Parallel runs
+/// gather the cross-worker sums with relaxed loads, so the numbers are
+/// slightly stale but never torn.
+struct ProgressUpdate {
+  std::uint64_t statesVisited = 0;
+  double elapsedSeconds = 0.0;
+  double statesPerSec = 0.0;  ///< cumulative, not instantaneous
+  std::uint64_t frontier = 0;
+  std::uint64_t dedupProbes = 0;
+  std::uint64_t dedupHits = 0;
+  std::uint64_t arenaBytes = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t idleSpins = 0;
+  std::uint64_t reductionSingletons = 0;
+  std::uint64_t reductionFull = 0;
+  int workers = 1;
+
+  double dedupHitRate() const {
+    return dedupProbes ? static_cast<double>(dedupHits) /
+                             static_cast<double>(dedupProbes)
+                       : 0.0;
+  }
+  double singletonRate() const {
+    const std::uint64_t total = reductionSingletons + reductionFull;
+    return total ? static_cast<double>(reductionSingletons) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// Invoked from whichever worker crosses the interval; parallel engines
+/// serialize invocations, but the callback must not re-enter the
+/// explorer.
+using ProgressFn = std::function<void(const ProgressUpdate&)>;
 
 struct ExploreOptions {
   /// Abort (capped=true) after visiting this many distinct states.
@@ -52,10 +140,22 @@ struct ExploreOptions {
   /// Test-only override of the visited-set hash, used to force
   /// collisions and prove the set is key-exact.  nullptr = default.
   std::uint64_t (*debugStateHash)(std::string_view) = nullptr;
+  /// Optional metrics registry the engine publishes "explore.*"
+  /// counters/gauges into (one thread shard per worker).  The engine
+  /// registers its metric names on entry, so pass a fresh registry or
+  /// one previously used by these engines (a registry frozen with
+  /// foreign names only is rejected by FT_CHECK).  nullptr = off.
+  util::MetricsSink* metrics = nullptr;
+  /// Heartbeat invoked every `progressInterval` admitted states with
+  /// cumulative rates and engine internals.  Empty = off.
+  ProgressFn progress;
+  std::uint64_t progressInterval = 65536;
 };
 
 struct ExploreResult {
   /// Return-value vectors of every reachable terminal configuration.
+  /// When `capped`, this covers only the explored prefix of the state
+  /// space (render with outcomesToString(outcomes, /*partial=*/true)).
   std::set<std::vector<Value>> outcomes;
   std::uint64_t statesVisited = 0;
   bool capped = false;
@@ -65,12 +165,19 @@ struct ExploreResult {
   std::vector<std::pair<ProcId, Reg>> witness;
   /// Largest number of processes simultaneously inside their CS.
   int maxCsOccupancy = 0;
+
+  /// Always populated: wall time, dedup behaviour, peak frontier and a
+  /// per-worker breakdown (workers sum to statesVisited).
+  ExploreTelemetry telemetry;
 };
 
 ExploreResult explore(const System& sys, const ExploreOptions& opts = {});
 
-/// Pretty-print an outcome set as {(a,b), (c,d), ...}.
-std::string outcomesToString(const std::set<std::vector<Value>>& outcomes);
+/// Pretty-print an outcome set as {(a,b), (c,d), ...}.  With `partial`
+/// (a capped exploration) the rendering says so explicitly, so a
+/// truncated outcome set can never read as a complete one.
+std::string outcomesToString(const std::set<std::vector<Value>>& outcomes,
+                             bool partial = false);
 
 // ---------------------------------------------------------------------------
 // Termination reachability (deadlock/livelock freedom).
@@ -91,6 +198,12 @@ struct LivenessOptions {
   /// The allCanTerminate verdict is preserved exactly (states/
   /// terminalStates counts refer to the reduced graph).
   bool reduction = false;
+  /// Same semantics as the ExploreOptions fields: the graph builder
+  /// publishes the shared "explore.*" metric names and heartbeats on
+  /// interned-state multiples.
+  util::MetricsSink* metrics = nullptr;
+  ProgressFn progress;
+  std::uint64_t progressInterval = 65536;
 };
 
 struct LivenessResult {
@@ -101,6 +214,9 @@ struct LivenessResult {
   /// when `complete`.
   bool allCanTerminate = false;
   std::uint64_t stuckStates = 0;  ///< states with no path to a terminal
+
+  /// Graph-construction telemetry (workers sum to `states` interned).
+  ExploreTelemetry telemetry;
 };
 
 LivenessResult checkLiveness(const System& sys,

@@ -1,0 +1,67 @@
+// Internal: metric names the exploration engines publish.
+//
+// Both explore() and checkLiveness() (sequential and parallel) register
+// the same union of names, so any of them can run first against one
+// long-lived MetricsRegistry — registration of an existing name is a
+// lookup, and a registry frozen by an earlier engine run already
+// contains every name below.  Counters are cumulative across runs that
+// share a registry; gauges are overwritten at each heartbeat.
+#pragma once
+
+#include "sim/explore.h"
+#include "util/metrics.h"
+
+namespace fencetrade::sim::detail {
+
+struct EngineMetricIds {
+  util::MetricId states;        // explore.states: first-visits admitted
+  util::MetricId dedupProbes;   // explore.dedup.probes
+  util::MetricId dedupHits;     // explore.dedup.hits
+  util::MetricId expansions;    // explore.expansions
+  util::MetricId steals;        // explore.steals
+  util::MetricId idleSpins;     // explore.idle_spins
+  util::MetricId porSingleton;  // explore.por.singleton
+  util::MetricId porFull;       // explore.por.full
+  util::MetricId frontier;      // explore.frontier (gauge)
+  util::MetricId arenaBytes;    // explore.arena_bytes (gauge)
+};
+
+/// Publish the delta between `cur` and `prev` into `shard`, then
+/// advance prev.  Engines accumulate plain per-worker counters on the
+/// hot path and flush them here only at heartbeat boundaries and at
+/// run end — a per-event shard write measurably slows exploration,
+/// batched deltas keep the sink's overhead in the noise while totals
+/// after the run are still exact.
+inline void flushWorkerMetrics(util::MetricsShard* shard,
+                               const EngineMetricIds& ids,
+                               const WorkerTelemetry& cur,
+                               WorkerTelemetry& prev) {
+  if (shard == nullptr) return;
+  shard->add(ids.states, cur.statesAdmitted - prev.statesAdmitted);
+  shard->add(ids.dedupProbes, cur.dedupProbes - prev.dedupProbes);
+  shard->add(ids.dedupHits, cur.dedupHits - prev.dedupHits);
+  shard->add(ids.expansions, cur.expansions - prev.expansions);
+  shard->add(ids.steals, cur.steals - prev.steals);
+  shard->add(ids.idleSpins, cur.idleSpins - prev.idleSpins);
+  shard->add(ids.porSingleton,
+             cur.reductionSingletons - prev.reductionSingletons);
+  shard->add(ids.porFull, cur.reductionFull - prev.reductionFull);
+  prev = cur;
+}
+
+inline EngineMetricIds registerEngineMetrics(util::MetricsSink& sink) {
+  EngineMetricIds ids;
+  ids.states = sink.counter("explore.states");
+  ids.dedupProbes = sink.counter("explore.dedup.probes");
+  ids.dedupHits = sink.counter("explore.dedup.hits");
+  ids.expansions = sink.counter("explore.expansions");
+  ids.steals = sink.counter("explore.steals");
+  ids.idleSpins = sink.counter("explore.idle_spins");
+  ids.porSingleton = sink.counter("explore.por.singleton");
+  ids.porFull = sink.counter("explore.por.full");
+  ids.frontier = sink.gauge("explore.frontier");
+  ids.arenaBytes = sink.gauge("explore.arena_bytes");
+  return ids;
+}
+
+}  // namespace fencetrade::sim::detail

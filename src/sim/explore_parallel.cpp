@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -12,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/explore_metrics.h"
 #include "util/arena.h"
 #include "util/check.h"
 #include "util/sharded_set.h"
@@ -21,12 +23,54 @@ namespace fencetrade::sim {
 namespace {
 
 using Elem = std::pair<ProcId, Reg>;
+using Clock = std::chrono::steady_clock;
 
 int shardCountFor(int workers) {
   // Enough shards that lock contention is negligible even with every
   // worker inserting on every expansion.
   return std::clamp(workers * 16, 64, 512);
 }
+
+/// Single-writer counter increment: the owning worker is the only
+/// mutator, so load+store beats a LOCK'd fetch_add; concurrent progress
+/// snapshots read with relaxed loads and can never see a torn value.
+void relaxedInc(std::atomic<std::uint64_t>& c, std::uint64_t d = 1) {
+  c.store(c.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+}
+
+/// Relaxed running maximum (used for the peak-frontier watermark).
+void relaxedMax(std::atomic<std::uint64_t>& m, std::uint64_t v) {
+  std::uint64_t cur = m.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Per-worker telemetry counters, one cache line per worker so the
+/// single-writer increments never contend.
+struct alignas(64) WorkerCounters {
+  std::atomic<std::uint64_t> statesAdmitted{0};
+  std::atomic<std::uint64_t> dedupProbes{0};
+  std::atomic<std::uint64_t> dedupHits{0};
+  std::atomic<std::uint64_t> expansions{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> idleSpins{0};
+  std::atomic<std::uint64_t> porSingleton{0};
+  std::atomic<std::uint64_t> porFull{0};
+
+  WorkerTelemetry toTelemetry() const {
+    WorkerTelemetry t;
+    t.statesAdmitted = statesAdmitted.load(std::memory_order_relaxed);
+    t.dedupProbes = dedupProbes.load(std::memory_order_relaxed);
+    t.dedupHits = dedupHits.load(std::memory_order_relaxed);
+    t.expansions = expansions.load(std::memory_order_relaxed);
+    t.steals = steals.load(std::memory_order_relaxed);
+    t.idleSpins = idleSpins.load(std::memory_order_relaxed);
+    t.reductionSingletons = porSingleton.load(std::memory_order_relaxed);
+    t.reductionFull = porFull.load(std::memory_order_relaxed);
+    return t;
+  }
+};
 
 // ---------------------------------------------------------------------------
 // Work-stealing task pool: per-worker mutex-guarded deques.  Local pops
@@ -47,14 +91,18 @@ class WorkPool {
   }
 
   void push(int worker, Task&& t) {
-    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    const std::int64_t now =
+        inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    relaxedMax(peak_, static_cast<std::uint64_t>(now));
     Queue& q = *queues_[static_cast<std::size_t>(worker)];
     std::lock_guard<std::mutex> lock(q.m);
     q.d.push_back(std::move(t));
   }
 
-  bool pop(int worker, Task& out) {
+  /// `stolen` reports whether the task came from another worker's deque.
+  bool pop(int worker, Task& out, bool& stolen) {
     const int n = static_cast<int>(queues_.size());
+    stolen = false;
     {
       Queue& q = *queues_[static_cast<std::size_t>(worker)];
       std::lock_guard<std::mutex> lock(q.m);
@@ -70,6 +118,7 @@ class WorkPool {
       if (!q.d.empty()) {
         out = std::move(q.d.front());
         q.d.pop_front();
+        stolen = true;
         return true;
       }
     }
@@ -83,6 +132,15 @@ class WorkPool {
     return inflight_.load(std::memory_order_acquire) == 0;
   }
 
+  /// Tasks queued or being expanded right now (the live frontier).
+  std::uint64_t inflight() const {
+    const std::int64_t v = inflight_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  }
+
+  /// High-water mark of inflight().
+  std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
  private:
   struct Queue {
     std::mutex m;
@@ -90,6 +148,7 @@ class WorkPool {
   };
   std::vector<std::unique_ptr<Queue>> queues_;
   std::atomic<std::int64_t> inflight_{0};
+  std::atomic<std::uint64_t> peak_{0};
 };
 
 // Immutable shared schedule suffix: O(1) per frontier entry instead of
@@ -119,7 +178,10 @@ class ParallelExplorer {
         workers_(std::max(1, opts.workers)),
         visited_(shardCountFor(workers_), opts.debugStateHash),
         pool_(workers_),
-        locals_(static_cast<std::size_t>(workers_)) {
+        locals_(static_cast<std::size_t>(workers_)),
+        counters_(static_cast<std::size_t>(workers_)),
+        t0_(Clock::now()) {
+    if (opts.metrics) mids_ = detail::registerEngineMetrics(*opts.metrics);
     if (opts.reduction) {
       rctx_ = std::make_unique<detail::ReductionContext>(sys);
       // The cycle proviso probes the shared visited set: contains() is
@@ -134,8 +196,9 @@ class ParallelExplorer {
 
   ExploreResult run() {
     {
+      if (opts_.metrics) locals_[0].shard = opts_.metrics->attach();
       Config init = initialConfig(sys_);
-      if (admit(init, nullptr, locals_[0])) {
+      if (admit(init, nullptr, locals_[0], counters_[0])) {
         pool_.push(0, Task{std::move(init), nullptr});
       }
     }
@@ -155,6 +218,19 @@ class ParallelExplorer {
       res.maxCsOccupancy = std::max(res.maxCsOccupancy, l.maxCsOccupancy);
       res.outcomes.insert(l.outcomes.begin(), l.outcomes.end());
     }
+
+    res.telemetry.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0_).count();
+    res.telemetry.peakFrontier = pool_.peak();
+    res.telemetry.arenaBytes = visited_.keyBytes();
+    for (const WorkerCounters& wc : counters_) {
+      WorkerTelemetry wt = wc.toTelemetry();
+      res.telemetry.dedupProbes += wt.dedupProbes;
+      res.telemetry.dedupHits += wt.dedupHits;
+      res.telemetry.reductionSingletons += wt.reductionSingletons;
+      res.telemetry.reductionFull += wt.reductionFull;
+      res.telemetry.workers.push_back(wt);
+    }
     return res;
   }
 
@@ -165,7 +241,9 @@ class ParallelExplorer {
   };
 
   /// Per-worker accumulators and reusable scratch buffers, merged /
-  /// discarded deterministically at join.
+  /// discarded deterministically at join.  (The telemetry counters live
+  /// separately in counters_, cache-line padded, because the progress
+  /// heartbeat reads them cross-thread.)
   struct Local {
     std::set<std::vector<Value>> outcomes;
     int maxCsOccupancy = 0;
@@ -173,7 +251,43 @@ class ParallelExplorer {
     std::vector<Value> retvals;  // terminal outcome scratch
     std::string porKey;          // reduction probe scratch
     Config porChild;             // reduction successor scratch
+    util::MetricsShard* shard = nullptr;  // this worker's metrics slab
+    WorkerTelemetry flushedMetrics;       // shard high-water (delta base)
   };
+
+  /// Cross-worker heartbeat: gather relaxed sums of every worker's
+  /// counters.  Slightly stale for workers mid-expansion, never torn.
+  void fireProgress(std::uint64_t count, Local& local, WorkerCounters& wc) {
+    std::lock_guard<std::mutex> lock(progressMutex_);
+    ProgressUpdate u;
+    u.statesVisited = count;
+    u.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - t0_).count();
+    u.statesPerSec = u.elapsedSeconds > 0.0
+                         ? static_cast<double>(count) / u.elapsedSeconds
+                         : 0.0;
+    u.frontier = pool_.inflight();
+    u.arenaBytes = visited_.keyBytes();
+    u.workers = workers_;
+    for (const WorkerCounters& c : counters_) {
+      const WorkerTelemetry wt = c.toTelemetry();
+      u.dedupProbes += wt.dedupProbes;
+      u.dedupHits += wt.dedupHits;
+      u.steals += wt.steals;
+      u.idleSpins += wt.idleSpins;
+      u.reductionSingletons += wt.reductionSingletons;
+      u.reductionFull += wt.reductionFull;
+    }
+    if (local.shard) {
+      detail::flushWorkerMetrics(local.shard, mids_, wc.toTelemetry(),
+                                 local.flushedMetrics);
+      local.shard->set(mids_.frontier,
+                       static_cast<std::int64_t>(u.frontier));
+      local.shard->set(mids_.arenaBytes,
+                       static_cast<std::int64_t>(u.arenaBytes));
+    }
+    opts_.progress(u);
+  }
 
   /// First visit of `cfg`?  Counts it, checks the CS invariant and
   /// collects terminal outcomes; returns true iff the caller should
@@ -181,15 +295,23 @@ class ParallelExplorer {
   /// the worker's reusable buffer; the shared set arena-copies the key
   /// only when this worker wins the insert race.
   bool admit(const Config& cfg, const std::shared_ptr<const PathNode>& path,
-             Local& local) {
+             Local& local, WorkerCounters& wc) {
     const bool terminal = cfg.behavioralKeyInto(local.keyBuf,
                                                 &local.retvals);
-    if (!visited_.insert(local.keyBuf)) return false;
+    relaxedInc(wc.dedupProbes);
+    if (!visited_.insert(local.keyBuf)) {
+      relaxedInc(wc.dedupHits);
+      return false;
+    }
     const std::uint64_t count =
         statesVisited_.fetch_add(1, std::memory_order_relaxed) + 1;
+    relaxedInc(wc.statesAdmitted);
     if (count >= opts_.maxStates) {
       capped_.store(true, std::memory_order_relaxed);
       stop_.store(true, std::memory_order_release);
+    }
+    if (opts_.progress && count % opts_.progressInterval == 0) {
+      fireProgress(count, local, wc);
     }
     if (opts_.checkMutualExclusion) {
       const int occ = detail::csOccupancy(sys_, cfg);
@@ -216,30 +338,49 @@ class ParallelExplorer {
 
   void workerLoop(int id) {
     Local& local = locals_[static_cast<std::size_t>(id)];
+    WorkerCounters& wc = counters_[static_cast<std::size_t>(id)];
+    // Worker 0 reuses the slab the caller thread attached for the
+    // initial admit (the threads never write it concurrently).
+    if (opts_.metrics && !local.shard) local.shard = opts_.metrics->attach();
     Task t;
+    bool stolen = false;
     while (!stop_.load(std::memory_order_acquire)) {
-      if (!pool_.pop(id, t)) {
+      if (!pool_.pop(id, t, stolen)) {
         if (pool_.drained()) break;
+        relaxedInc(wc.idleSpins);
         std::this_thread::yield();
         continue;
       }
-      expand(id, t, local);
+      if (stolen) relaxedInc(wc.steals);
+      expand(id, t, local, wc);
       pool_.retire();
     }
+    // Final flush: after the join the sink totals match the counters
+    // exactly (mid-run the shard trails by the unflushed delta).
+    detail::flushWorkerMetrics(local.shard, mids_, wc.toTelemetry(),
+                               local.flushedMetrics);
   }
 
-  void expand(int id, Task& t, Local& local) {
+  void expand(int id, Task& t, Local& local, WorkerCounters& wc) {
     const std::vector<Elem> moves =
         rctx_ ? detail::reducedMoves(sys_, t.cfg, *rctx_, probe_,
                                      local.porKey, local.porChild)
               : detail::enabledMoves(t.cfg);
+    relaxedInc(wc.expansions);
+    if (rctx_) {
+      if (moves.size() == 1) {
+        relaxedInc(wc.porSingleton);
+      } else {
+        relaxedInc(wc.porFull);
+      }
+    }
     for (const Elem& elem : moves) {
       if (stop_.load(std::memory_order_acquire)) return;
       Config child = t.cfg;
       auto step = execElem(sys_, child, elem.first, elem.second);
       FT_CHECK(step.has_value()) << "exploreParallel: move produced no step";
       auto node = std::make_shared<const PathNode>(PathNode{elem, t.path});
-      if (admit(child, node, local)) {
+      if (admit(child, node, local, wc)) {
         pool_.push(id, Task{std::move(child), std::move(node)});
       }
     }
@@ -252,6 +393,9 @@ class ParallelExplorer {
   util::ShardedStateSet visited_;
   WorkPool<Task> pool_;
   std::vector<Local> locals_;
+  std::vector<WorkerCounters> counters_;
+  Clock::time_point t0_;
+  detail::EngineMetricIds mids_;
   std::unique_ptr<detail::ReductionContext> rctx_;
   std::function<bool(std::string_view)> probe_;
 
@@ -260,6 +404,7 @@ class ParallelExplorer {
   std::atomic<bool> stop_{false};
   std::atomic<bool> mutexViolation_{false};
   std::mutex witnessMutex_;
+  std::mutex progressMutex_;
   std::vector<Elem> witness_;
 };
 
@@ -273,7 +418,10 @@ class ParallelLiveness {
         opts_(opts),
         workers_(std::max(1, opts.workers)),
         pool_(workers_),
-        locals_(static_cast<std::size_t>(workers_)) {
+        locals_(static_cast<std::size_t>(workers_)),
+        counters_(static_cast<std::size_t>(workers_)),
+        t0_(Clock::now()) {
+    if (opts.metrics) mids_ = detail::registerEngineMetrics(*opts.metrics);
     const int shards = shardCountFor(workers_);
     int pow2 = 1;
     while (pow2 < shards) pow2 <<= 1;
@@ -294,8 +442,9 @@ class ParallelLiveness {
 
   LivenessResult run() {
     {
+      if (opts_.metrics) locals_[0].shard = opts_.metrics->attach();
       Config init = initialConfig(sys_);
-      const Interned in = intern(init, locals_[0]);
+      const Interned in = intern(init, locals_[0], counters_[0]);
       if (!in.terminal) pool_.push(0, Task{std::move(init), in.idx});
     }
     std::vector<std::thread> threads;
@@ -306,6 +455,18 @@ class ParallelLiveness {
     for (auto& t : threads) t.join();
 
     LivenessResult res;
+    res.telemetry.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0_).count();
+    res.telemetry.peakFrontier = pool_.peak();
+    res.telemetry.arenaBytes = arenaBytes();
+    for (const WorkerCounters& wc : counters_) {
+      WorkerTelemetry wt = wc.toTelemetry();
+      res.telemetry.dedupProbes += wt.dedupProbes;
+      res.telemetry.dedupHits += wt.dedupHits;
+      res.telemetry.reductionSingletons += wt.reductionSingletons;
+      res.telemetry.reductionFull += wt.reductionFull;
+      res.telemetry.workers.push_back(wt);
+    }
     if (capped_.load(std::memory_order_relaxed)) return res;  // incomplete
 
     const std::uint32_t n = nextId_.load(std::memory_order_relaxed);
@@ -359,6 +520,8 @@ class ParallelLiveness {
     std::string keyBuf;  // serialization scratch (intern)
     std::string porKey;  // reduction probe scratch
     Config porChild;     // reduction successor scratch
+    util::MetricsShard* shard = nullptr;  // this worker's metrics slab
+    WorkerTelemetry flushedMetrics;       // shard high-water (delta base)
   };
 
   /// Keys are arena-backed string_views (probed through the worker's
@@ -384,12 +547,55 @@ class ParallelLiveness {
     return *index_[(h >> 17) & shardMask_];
   }
 
+  /// Total interned key bytes across index shards (telemetry).
+  std::uint64_t arenaBytes() const {
+    std::uint64_t total = 0;
+    for (const auto& s : index_) {
+      std::lock_guard<std::mutex> lock(s->m);
+      total += s->arena.bytes();
+    }
+    return total;
+  }
+
+  void fireProgress(std::uint64_t count, Local& local, WorkerCounters& wc) {
+    std::lock_guard<std::mutex> lock(progressMutex_);
+    ProgressUpdate u;
+    u.statesVisited = count;
+    u.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - t0_).count();
+    u.statesPerSec = u.elapsedSeconds > 0.0
+                         ? static_cast<double>(count) / u.elapsedSeconds
+                         : 0.0;
+    u.frontier = pool_.inflight();
+    u.arenaBytes = arenaBytes();
+    u.workers = workers_;
+    for (const WorkerCounters& c : counters_) {
+      const WorkerTelemetry wt = c.toTelemetry();
+      u.dedupProbes += wt.dedupProbes;
+      u.dedupHits += wt.dedupHits;
+      u.steals += wt.steals;
+      u.idleSpins += wt.idleSpins;
+      u.reductionSingletons += wt.reductionSingletons;
+      u.reductionFull += wt.reductionFull;
+    }
+    if (local.shard) {
+      detail::flushWorkerMetrics(local.shard, mids_, wc.toTelemetry(),
+                                 local.flushedMetrics);
+      local.shard->set(mids_.frontier,
+                       static_cast<std::int64_t>(u.frontier));
+      local.shard->set(mids_.arenaBytes,
+                       static_cast<std::int64_t>(u.arenaBytes));
+    }
+    opts_.progress(u);
+  }
+
   /// Global interning: canonical key -> dense id.  Fresh terminal states
   /// are recorded in the caller's local list; callers must not expand a
   /// terminal state (mirroring the sequential checker).
-  Interned intern(const Config& cfg, Local& local) {
+  Interned intern(const Config& cfg, Local& local, WorkerCounters& wc) {
     Interned in;
     in.terminal = cfg.behavioralKeyInto(local.keyBuf);
+    relaxedInc(wc.dedupProbes);
     IndexShard& shard = shardFor(local.keyBuf);
     {
       std::lock_guard<std::mutex> lock(shard.m);
@@ -403,41 +609,65 @@ class ParallelLiveness {
       }
     }
     if (in.fresh) {
+      relaxedInc(wc.statesAdmitted);
       if (static_cast<std::uint64_t>(in.idx) + 1 >= opts_.maxStates) {
         capped_.store(true, std::memory_order_relaxed);
         stop_.store(true, std::memory_order_release);
       }
       if (in.terminal) local.terminals.push_back(in.idx);
+      if (opts_.progress &&
+          (static_cast<std::uint64_t>(in.idx) + 1) % opts_.progressInterval ==
+              0) {
+        fireProgress(static_cast<std::uint64_t>(in.idx) + 1, local, wc);
+      }
+    } else {
+      relaxedInc(wc.dedupHits);
     }
     return in;
   }
 
   void workerLoop(int id) {
     Local& local = locals_[static_cast<std::size_t>(id)];
+    WorkerCounters& wc = counters_[static_cast<std::size_t>(id)];
+    if (opts_.metrics && !local.shard) local.shard = opts_.metrics->attach();
     Task t;
+    bool stolen = false;
     while (!stop_.load(std::memory_order_acquire)) {
-      if (!pool_.pop(id, t)) {
+      if (!pool_.pop(id, t, stolen)) {
         if (pool_.drained()) break;
+        relaxedInc(wc.idleSpins);
         std::this_thread::yield();
         continue;
       }
-      expand(id, t, local);
+      if (stolen) relaxedInc(wc.steals);
+      expand(id, t, local, wc);
       pool_.retire();
     }
+    // Final flush: after the join the sink totals match the counters.
+    detail::flushWorkerMetrics(local.shard, mids_, wc.toTelemetry(),
+                               local.flushedMetrics);
   }
 
-  void expand(int id, Task& t, Local& local) {
+  void expand(int id, Task& t, Local& local, WorkerCounters& wc) {
     const std::vector<Elem> moves =
         rctx_ ? detail::reducedMoves(sys_, t.cfg, *rctx_, probe_,
                                      local.porKey, local.porChild)
               : detail::enabledMoves(t.cfg);
+    relaxedInc(wc.expansions);
+    if (rctx_) {
+      if (moves.size() == 1) {
+        relaxedInc(wc.porSingleton);
+      } else {
+        relaxedInc(wc.porFull);
+      }
+    }
     for (const Elem& elem : moves) {
       if (stop_.load(std::memory_order_acquire)) return;
       Config child = t.cfg;
       auto step = execElem(sys_, child, elem.first, elem.second);
       FT_CHECK(step.has_value())
           << "checkLivenessParallel: move produced no step";
-      const Interned in = intern(child, local);
+      const Interned in = intern(child, local, wc);
       local.edges.emplace_back(in.idx, t.idx);
       if (in.fresh && !in.terminal) {
         pool_.push(id, Task{std::move(child), in.idx});
@@ -451,6 +681,9 @@ class ParallelLiveness {
 
   WorkPool<Task> pool_;
   std::vector<Local> locals_;
+  std::vector<WorkerCounters> counters_;
+  Clock::time_point t0_;
+  detail::EngineMetricIds mids_;
   std::vector<std::unique_ptr<IndexShard>> index_;
   std::uint64_t shardMask_ = 0;
   std::unique_ptr<detail::ReductionContext> rctx_;
@@ -459,6 +692,7 @@ class ParallelLiveness {
   std::atomic<std::uint32_t> nextId_{0};
   std::atomic<bool> capped_{false};
   std::atomic<bool> stop_{false};
+  std::mutex progressMutex_;
 };
 
 }  // namespace

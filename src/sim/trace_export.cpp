@@ -1,0 +1,161 @@
+#include "sim/trace_export.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fencetrade::sim {
+
+namespace {
+
+/// Append `s` JSON-escaped (quotes, backslashes, control chars).
+void appendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendKV(std::string& out, const char* key, const std::string& value,
+              bool quote) {
+  out += '"';
+  out += key;
+  out += "\":";
+  if (quote) {
+    out += '"';
+    appendEscaped(out, value);
+    out += '"';
+  } else {
+    out += value;
+  }
+}
+
+/// Metadata ("M") event naming a process/thread track.
+void appendMeta(std::string& out, const char* what, int tid,
+                const std::string& value) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"args\":{\"name\":\"";
+  appendEscaped(out, value);
+  out += "\"}}";
+}
+
+const char* boolStr(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+Execution replaySchedule(
+    const System& sys,
+    const std::vector<std::pair<ProcId, Reg>>& schedule) {
+  Config cfg = initialConfig(sys);
+  Execution e;
+  e.reserve(schedule.size());
+  for (const auto& [p, r] : schedule) {
+    auto step = execElem(sys, cfg, p, r);
+    if (step.has_value()) e.push_back(*step);
+  }
+  return e;
+}
+
+std::string executionToChromeTrace(const MemoryLayout& layout,
+                                   const Execution& e, int n,
+                                   const std::string& title) {
+  FT_CHECK(n > 0) << "executionToChromeTrace: need n > 0, got " << n;
+  std::vector<std::int64_t> beta(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> rho(static_cast<std::size_t>(n), 0);
+
+  std::string out;
+  out.reserve(256 + e.size() * 220);
+  out += "{\"traceEvents\":[";
+
+  appendMeta(out, "process_name", 0, title);
+  for (int p = 0; p < n; ++p) {
+    out += ',';
+    appendMeta(out, "thread_name", p, "P" + std::to_string(p));
+  }
+
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    const Step& s = e[i];
+    FT_CHECK(s.p >= 0 && s.p < n)
+        << "executionToChromeTrace: step " << i << " has proc " << s.p
+        << " outside [0," << n << ")";
+    if (s.kind == StepKind::Fence) ++beta[static_cast<std::size_t>(s.p)];
+    if (s.remote) ++rho[static_cast<std::size_t>(s.p)];
+
+    std::string name = stepKindName(s.kind);
+    if (s.reg != kNoReg) {
+      name += ' ';
+      name += layout.name(s.reg);
+    }
+
+    out += ",{";
+    appendKV(out, "name", name, /*quote=*/true);
+    out += ",\"cat\":\"";
+    out += stepKindName(s.kind);
+    if (s.remote) out += ",rmr";
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(10 * i);
+    out += ",\"dur\":8,\"pid\":0,\"tid\":";
+    out += std::to_string(s.p);
+    out += ",\"args\":{";
+    appendKV(out, "step", std::to_string(i), /*quote=*/false);
+    out += ',';
+    appendKV(out, "reg",
+             s.reg == kNoReg ? std::string("-") : layout.name(s.reg),
+             /*quote=*/true);
+    out += ',';
+    appendKV(out, "value", std::to_string(s.val), /*quote=*/false);
+    out += ',';
+    appendKV(out, "remote", boolStr(s.remote), /*quote=*/false);
+    out += ',';
+    appendKV(out, "remoteDsm", boolStr(s.remoteDsm), /*quote=*/false);
+    out += ',';
+    appendKV(out, "remoteCc", boolStr(s.remoteCc), /*quote=*/false);
+    out += ',';
+    appendKV(out, "fromBuffer", boolStr(s.fromBuffer), /*quote=*/false);
+    out += ',';
+    appendKV(out, "casApplied", boolStr(s.casApplied), /*quote=*/false);
+    out += ',';
+    appendKV(out, "beta",
+             std::to_string(beta[static_cast<std::size_t>(s.p)]),
+             /*quote=*/false);
+    out += ',';
+    appendKV(out, "rho", std::to_string(rho[static_cast<std::size_t>(s.p)]),
+             /*quote=*/false);
+    out += "}}";
+  }
+
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  appendKV(out, "generator", "fencetrade trace_export", /*quote=*/true);
+  out += ',';
+  appendKV(out, "steps", std::to_string(e.size()), /*quote=*/false);
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace fencetrade::sim

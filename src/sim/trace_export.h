@@ -1,0 +1,40 @@
+// Chrome trace-event export of executions.
+//
+// Renders an execution as trace-event JSON loadable in Perfetto or
+// chrome://tracing: one track per process, one complete event per step,
+// typed by step kind, with args carrying the register name, value, RMR
+// classification and the per-process running β (fences) and ρ (RMR)
+// totals.  Timestamps are deterministic logical times (step index), so
+// exporting the same execution twice yields byte-identical JSON.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace fencetrade::sim {
+
+/// Replay a schedule — e.g. ExploreResult::witness — from the initial
+/// configuration of `sys`, returning the step sequence it induces.
+/// Schedule elements that produce no step (a final process) are
+/// skipped, mirroring how the explorer treats them.
+Execution replaySchedule(const System& sys,
+                         const std::vector<std::pair<ProcId, Reg>>& schedule);
+
+/// Serialize an execution as Chrome trace-event JSON.
+///
+/// Layout: a single process (pid 0) named `title`, one thread (tid p)
+/// per simulated process.  Each step becomes a complete ("X") event on
+/// its process's track at ts = 10·index µs with dur = 8 µs, so global
+/// order stays visible while per-track events never overlap.  Event
+/// categories are the step kind plus "rmr" for remote steps, letting
+/// Perfetto filter RMR-charged accesses.  args carry: reg, value,
+/// remote/remoteDsm/remoteCc, fromBuffer, casApplied, and the emitting
+/// process's running beta/rho totals *including* this step.
+std::string executionToChromeTrace(const MemoryLayout& layout,
+                                   const Execution& e, int n,
+                                   const std::string& title = "fencetrade");
+
+}  // namespace fencetrade::sim

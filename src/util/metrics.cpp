@@ -1,0 +1,251 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+
+// ---------------------------------------------------------------------------
+// Snapshot helpers (compiled unconditionally: the no-metrics build still
+// links snapshot consumers against empty snapshots).
+// ---------------------------------------------------------------------------
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Estimate: the bucket's upper bound, clamped to the observed
+      // range (the overflow bucket has no bound of its own).
+      const double est = i < bounds.size() ? bounds[i] : max;
+      return std::clamp(est, min, max);
+    }
+  }
+  return max;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::toString() const {
+  std::ostringstream out;
+  for (const auto& [n, v] : counters) out << n << "=" << v << "\n";
+  for (const auto& [n, v] : gauges) out << n << "=" << v << "\n";
+  for (const auto& [n, h] : histograms) {
+    out << n << ": count=" << h.count;
+    if (h.count > 0) {
+      out << " mean=" << h.mean() << " p50=" << h.p50() << " p99=" << h.p99()
+          << " min=" << h.min << " max=" << h.max;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+#ifndef FENCETRADE_NO_METRICS
+
+// ---------------------------------------------------------------------------
+// Registry internals
+// ---------------------------------------------------------------------------
+//
+// Slot layout per metric:
+//   counter / gauge   1 slot: the value
+//   histogram(B bounds)  B+1 bucket-count slots, then sum / min / max
+//                        slots holding double bit patterns.
+namespace {
+
+enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+struct Meta {
+  std::string name;
+  Kind kind = Kind::Counter;
+  std::uint32_t slot = 0;
+  std::vector<double> bounds;  // histograms only
+};
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex m;
+  std::vector<Meta> metrics;
+  std::unordered_map<std::string, std::uint32_t> byName;  // -> metrics index
+  std::vector<std::unique_ptr<MetricsShard>> shards;
+  std::uint32_t nextSlot = 0;
+  bool frozen = false;  // no new names once a shard exists
+
+  MetricId registerMetric(const std::string& name, Kind kind,
+                          std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(m);
+    auto it = byName.find(name);
+    if (it != byName.end()) {
+      const Meta& meta = metrics[it->second];
+      FT_CHECK(meta.kind == kind)
+          << "metric '" << name << "' re-registered with a different kind";
+      return {meta.slot};
+    }
+    FT_CHECK(!frozen) << "metric '" << name
+                      << "' registered after the first attach()";
+    FT_CHECK(std::is_sorted(bounds.begin(), bounds.end()))
+        << "histogram '" << name << "' bounds must be ascending";
+    Meta meta;
+    meta.name = name;
+    meta.kind = kind;
+    meta.slot = nextSlot;
+    meta.bounds = std::move(bounds);
+    nextSlot += kind == Kind::Histogram
+                    ? static_cast<std::uint32_t>(meta.bounds.size()) + 4
+                    : 1;
+    byName.emplace(name, static_cast<std::uint32_t>(metrics.size()));
+    metrics.push_back(std::move(meta));
+    return {metrics.back().slot};
+  }
+
+  /// Bounds of the histogram whose first slot is `slot`.  Only called
+  /// from attached shards, i.e. after the metric list froze — reading
+  /// without the mutex is safe.
+  const Meta& metaBySlot(std::uint32_t slot) const {
+    for (const Meta& meta : metrics) {
+      if (meta.slot == slot) return meta;
+    }
+    FT_CHECK(false) << "no metric at slot " << slot;
+    __builtin_unreachable();
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricId MetricsRegistry::counter(const std::string& name) {
+  return impl_->registerMetric(name, Kind::Counter, {});
+}
+
+MetricId MetricsRegistry::gauge(const std::string& name) {
+  return impl_->registerMetric(name, Kind::Gauge, {});
+}
+
+MetricId MetricsRegistry::histogram(const std::string& name,
+                                    std::vector<double> bounds) {
+  return impl_->registerMetric(name, Kind::Histogram, std::move(bounds));
+}
+
+MetricsShard* MetricsRegistry::attach() {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  impl_->frozen = true;
+  impl_->shards.emplace_back(
+      new MetricsShard(this, impl_->nextSlot == 0 ? 1 : impl_->nextSlot));
+  return impl_->shards.back().get();
+}
+
+void MetricsShard::observe(MetricId id, double value) {
+  const Meta& meta = reg_->impl_->metaBySlot(id.slot);
+  // Bounds are *inclusive* upper limits: bucket i holds values <=
+  // bounds[i] (first match), so lower_bound, not upper_bound.
+  const auto b = static_cast<std::uint32_t>(
+      std::lower_bound(meta.bounds.begin(), meta.bounds.end(), value) -
+      meta.bounds.begin());
+  const auto nb = static_cast<std::uint32_t>(meta.bounds.size()) + 1;
+  // Shard-local count decides whether min/max hold a real observation.
+  std::uint64_t localCount = 0;
+  for (std::uint32_t i = 0; i < nb; ++i) localCount += cell(id.slot + i).load();
+
+  cell(id.slot + b).add(1);
+  Cell& sumCell = cell(id.slot + nb);
+  sumCell.store(std::bit_cast<std::uint64_t>(
+      std::bit_cast<double>(sumCell.load()) + value));
+  Cell& minCell = cell(id.slot + nb + 1);
+  Cell& maxCell = cell(id.slot + nb + 2);
+  if (localCount == 0) {
+    minCell.store(std::bit_cast<std::uint64_t>(value));
+    maxCell.store(std::bit_cast<std::uint64_t>(value));
+  } else {
+    if (value < std::bit_cast<double>(minCell.load())) {
+      minCell.store(std::bit_cast<std::uint64_t>(value));
+    }
+    if (value > std::bit_cast<double>(maxCell.load())) {
+      maxCell.store(std::bit_cast<std::uint64_t>(value));
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  MetricsSnapshot snap;
+  for (const Meta& meta : impl_->metrics) {
+    switch (meta.kind) {
+      case Kind::Counter: {
+        std::uint64_t total = 0;
+        for (const auto& sh : impl_->shards) total += sh->cell(meta.slot).load();
+        snap.counters.emplace_back(meta.name, total);
+        break;
+      }
+      case Kind::Gauge: {
+        std::int64_t total = 0;
+        for (const auto& sh : impl_->shards) {
+          total += static_cast<std::int64_t>(sh->cell(meta.slot).load());
+        }
+        snap.gauges.emplace_back(meta.name, total);
+        break;
+      }
+      case Kind::Histogram: {
+        const auto nb = static_cast<std::uint32_t>(meta.bounds.size()) + 1;
+        HistogramSnapshot h;
+        h.bounds = meta.bounds;
+        h.buckets.assign(nb, 0);
+        bool any = false;
+        for (const auto& sh : impl_->shards) {
+          std::uint64_t shardCount = 0;
+          for (std::uint32_t i = 0; i < nb; ++i) {
+            const std::uint64_t c = sh->cell(meta.slot + i).load();
+            h.buckets[i] += c;
+            shardCount += c;
+          }
+          if (shardCount == 0) continue;  // min/max slots hold no sample
+          h.count += shardCount;
+          h.sum += std::bit_cast<double>(sh->cell(meta.slot + nb).load());
+          const double mn = std::bit_cast<double>(
+              sh->cell(meta.slot + nb + 1).load());
+          const double mx = std::bit_cast<double>(
+              sh->cell(meta.slot + nb + 2).load());
+          if (!any || mn < h.min) h.min = mn;
+          if (!any || mx > h.max) h.max = mx;
+          any = true;
+        }
+        snap.histograms.emplace_back(meta.name, std::move(h));
+        break;
+      }
+    }
+  }
+  auto byName = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), byName);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), byName);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), byName);
+  return snap;
+}
+
+#endif  // FENCETRADE_NO_METRICS
+
+}  // namespace fencetrade::util

@@ -1,0 +1,183 @@
+// Lightweight metrics registry for exploration telemetry.
+//
+// A registry of named counters, gauges and fixed-bucket histograms with
+// thread-local sharding: every participating thread attaches one
+// cache-line-padded slab (a whole number of 64-byte lines, 64-aligned,
+// so no two threads' slabs ever share a line).  A hot-path increment is
+// a relaxed load+store on memory only the owning thread writes — no
+// mutexes, no contention.  Readers (snapshot()) merge all slabs with
+// relaxed loads; each 64-bit slot has exactly one writer, so a
+// concurrent snapshot can never observe a torn value, and totals after
+// the writers join are exact.
+//
+// Registration order is the stable metric identity: MetricId is a dense
+// slot index into every slab.  Register everything up front, then
+// attach threads; registering a *new* name after the first attach() is
+// a checked error (slabs are fixed-size).  Registering an existing name
+// returns the existing id, so one long-lived registry can be handed to
+// repeated exploration runs.
+//
+// Define FENCETRADE_NO_METRICS to compile the whole subsystem down to
+// no-ops (empty types, inlined empty methods) — call sites need no
+// #ifdefs and the exploration fast path carries zero metric code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fencetrade::util {
+
+/// Dense slot handle into every thread slab.  Histograms occupy a
+/// contiguous run of slots; `slot` is the first.
+struct MetricId {
+  std::uint32_t slot = 0;
+};
+
+/// Merged view of one histogram: bucket counts plus streamed sum and
+/// exact min/max, with quantiles estimated from the bucket boundaries
+/// (upper bound of the bucket holding the rank; the overflow bucket is
+/// clamped to the observed max).
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< upper bounds, ascending
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Quantile estimate for q in [0, 1] (0 when empty).
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+};
+
+/// Point-in-time merge of every slab, keyed by metric name (sorted by
+/// name, so rendering is deterministic).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Value by name, 0 if absent (reporting/test convenience).
+  std::uint64_t counter(const std::string& name) const;
+  std::int64_t gauge(const std::string& name) const;
+  /// "name=value" lines, one metric per line, histograms summarized.
+  std::string toString() const;
+};
+
+#ifndef FENCETRADE_NO_METRICS
+
+class MetricsRegistry;
+
+/// One thread's private slab.  add/set/observe may only be called from
+/// the owning thread; the registry reads concurrently with relaxed
+/// loads.  Obtained from MetricsRegistry::attach(); owned by the
+/// registry (valid until the registry is destroyed).
+class MetricsShard {
+ public:
+  void add(MetricId id, std::uint64_t delta) {
+    cell(id.slot).add(delta);
+  }
+  void inc(MetricId id) { add(id, 1); }
+  void set(MetricId id, std::int64_t value) {
+    cell(id.slot).store(static_cast<std::uint64_t>(value));
+  }
+  /// Histogram observation: bumps the value's bucket and the streamed
+  /// sum/min/max slots.
+  void observe(MetricId id, double value);
+
+ private:
+  friend class MetricsRegistry;
+
+  /// Single-writer 64-bit cell over relaxed builtin atomics (the
+  /// builtins keep <atomic> out of this hot-path header and sidestep
+  /// std::atomic's non-copyability inside containers; TSan instruments
+  /// them like std::atomic).
+  struct Cell {
+    std::uint64_t raw = 0;
+
+    std::uint64_t load() const { return __atomic_load_n(&raw, __ATOMIC_RELAXED); }
+    void store(std::uint64_t x) { __atomic_store_n(&raw, x, __ATOMIC_RELAXED); }
+    void add(std::uint64_t d) { store(load() + d); }
+  };
+  /// 64-aligned line of 8 cells: slabs are vectors of whole lines, so a
+  /// slab never shares a cache line with another thread's slab.
+  struct alignas(64) Line {
+    Cell cells[8];
+  };
+
+  MetricsShard(const MetricsRegistry* reg, std::size_t nSlots)
+      : reg_(reg), lines_((nSlots + 7) / 8) {}
+
+  Cell& cell(std::uint32_t slot) { return lines_[slot / 8].cells[slot % 8]; }
+  const Cell& cell(std::uint32_t slot) const {
+    return lines_[slot / 8].cells[slot % 8];
+  }
+
+  const MetricsRegistry* reg_;
+  std::vector<Line> lines_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or look up) a metric.  A *new* name must not be
+  /// introduced after the first attach(); re-registering an existing
+  /// name (with the same kind) returns the existing id.
+  MetricId counter(const std::string& name);
+  MetricId gauge(const std::string& name);
+  /// `bounds` are ascending bucket upper limits; values above the last
+  /// bound land in an implicit overflow bucket.
+  MetricId histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Create a slab for the calling worker and return it.  Thread-safe.
+  /// The shard is owned by the registry — one per worker thread per run
+  /// is the intended pattern; shards live until the registry dies.
+  MetricsShard* attach();
+
+  /// Merge every slab.  Thread-safe; may run concurrently with writers
+  /// (sees each single-writer slot atomically, never a torn value).
+  MetricsSnapshot snapshot() const;
+
+ private:
+  friend class MetricsShard;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+#else  // FENCETRADE_NO_METRICS ------------------------------------------
+
+class MetricsShard {
+ public:
+  void add(MetricId, std::uint64_t) {}
+  void inc(MetricId) {}
+  void set(MetricId, std::int64_t) {}
+  void observe(MetricId, double) {}
+};
+
+class MetricsRegistry {
+ public:
+  MetricId counter(const std::string&) { return {}; }
+  MetricId gauge(const std::string&) { return {}; }
+  MetricId histogram(const std::string&, std::vector<double>) { return {}; }
+  MetricsShard* attach() { return &shard_; }
+  MetricsSnapshot snapshot() const { return {}; }
+
+ private:
+  MetricsShard shard_;
+};
+
+#endif  // FENCETRADE_NO_METRICS
+
+/// The type exploration options carry: a plain registry pointer.
+using MetricsSink = MetricsRegistry;
+
+}  // namespace fencetrade::util

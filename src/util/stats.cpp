@@ -1,5 +1,6 @@
 #include "util/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -19,6 +20,21 @@ void Accumulator::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+  if (sorted_ && !samples_.empty() && x < samples_.back()) sorted_ = false;
+  samples_.push_back(x);
+}
+
+double Accumulator::percentile(double q) const {
+  FT_CHECK(count_ > 0) << "Accumulator::percentile on empty accumulator";
+  FT_CHECK(q >= 0.0 && q <= 1.0) << "percentile q=" << q << " outside [0,1]";
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;  // q = 0: the minimum
+  return samples_[rank - 1];
 }
 
 double Accumulator::min() const {

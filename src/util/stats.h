@@ -3,10 +3,14 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace fencetrade::util {
 
-/// Welford-style accumulator: count, min, max, mean, sample stddev.
+/// Welford-style accumulator: count, min, max, mean, sample stddev,
+/// plus exact order statistics (retains the samples; percentile queries
+/// sort lazily).  All order/moment queries FT_CHECK-throw on an empty
+/// accumulator.
 class Accumulator {
  public:
   void add(double x);
@@ -19,6 +23,12 @@ class Accumulator {
   double stddev() const;
   double sum() const { return sum_; }
 
+  /// Exact nearest-rank percentile, q in [0, 1]: the ceil(q·n)-th
+  /// smallest sample (q = 0 gives the minimum).
+  double percentile(double q) const;
+  double p50() const { return percentile(0.50); }
+  double p99() const { return percentile(0.99); }
+
   /// "mean ± stddev [min, max] (n=count)" — for bench table cells.
   std::string summary() const;
 
@@ -29,6 +39,8 @@ class Accumulator {
   double mean_ = 0.0;
   double m2_ = 0.0;
   double sum_ = 0.0;
+  mutable std::vector<double> samples_;  // sorted lazily by percentile()
+  mutable bool sorted_ = true;
 };
 
 }  // namespace fencetrade::util

@@ -1,0 +1,247 @@
+// Engine telemetry: per-worker breakdowns that sum consistently with
+// the exploration totals, progress heartbeats, and agreement between
+// the always-on telemetry and an attached metrics sink.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/explore.h"
+#include "util/metrics.h"
+
+namespace fencetrade::sim {
+namespace {
+
+sim::System makeGtSystem(int n) {
+  return core::buildCountSystem(sim::MemoryModel::PSO, n,
+                                core::gtFactory(2))
+      .sys;
+}
+
+std::uint64_t sumAdmitted(const ExploreTelemetry& t) {
+  std::uint64_t total = 0;
+  for (const auto& w : t.workers) total += w.statesAdmitted;
+  return total;
+}
+
+TEST(ExploreTelemetry, SequentialBreakdownIsConsistent) {
+  const System sys = makeGtSystem(2);
+  const ExploreResult res = explore(sys);
+  ASSERT_FALSE(res.capped);
+
+  ASSERT_EQ(res.telemetry.workers.size(), 1u);
+  EXPECT_EQ(sumAdmitted(res.telemetry), res.statesVisited);
+  // Sequential DFS: every probe either admits a state or is a dup hit.
+  EXPECT_EQ(res.telemetry.dedupProbes,
+            res.telemetry.dedupHits + res.statesVisited);
+  EXPECT_GT(res.telemetry.peakFrontier, 0u);
+  EXPECT_GT(res.telemetry.arenaBytes, 0u);
+  EXPECT_GE(res.telemetry.wallSeconds, 0.0);
+  EXPECT_EQ(res.telemetry.workers[0].steals, 0u);
+  EXPECT_EQ(res.telemetry.workers[0].idleSpins, 0u);
+}
+
+TEST(ExploreTelemetry, ParallelWorkersSumToStatesVisited) {
+  const System sys = makeGtSystem(3);
+  ExploreOptions opts;
+  opts.workers = 4;
+  const ExploreResult res = explore(sys, opts);
+  ASSERT_FALSE(res.capped);
+
+  ASSERT_EQ(res.telemetry.workers.size(), 4u);
+  EXPECT_EQ(sumAdmitted(res.telemetry), res.statesVisited);
+  std::uint64_t probes = 0, hits = 0;
+  for (const auto& w : res.telemetry.workers) {
+    probes += w.dedupProbes;
+    hits += w.dedupHits;
+  }
+  EXPECT_EQ(probes, res.telemetry.dedupProbes);
+  EXPECT_EQ(hits, res.telemetry.dedupHits);
+  // Parallel dedup: a probe admits, hits, or loses an insert race —
+  // admitted + hits can therefore only undercount probes.
+  EXPECT_LE(res.statesVisited + res.telemetry.dedupHits,
+            res.telemetry.dedupProbes);
+  EXPECT_GT(res.telemetry.peakFrontier, 0u);
+}
+
+TEST(ExploreTelemetry, ProgressHeartbeatFires) {
+  const System sys = makeGtSystem(2);
+  ExploreOptions opts;
+  opts.progressInterval = 64;
+  std::vector<ProgressUpdate> updates;
+  opts.progress = [&updates](const ProgressUpdate& u) {
+    updates.push_back(u);
+  };
+  const ExploreResult res = explore(sys, opts);
+
+  ASSERT_FALSE(updates.empty());
+  EXPECT_GE(res.statesVisited, updates.size() * 64);
+  std::uint64_t prev = 0;
+  for (const ProgressUpdate& u : updates) {
+    EXPECT_EQ(u.statesVisited % 64, 0u);
+    EXPECT_GT(u.statesVisited, prev);
+    prev = u.statesVisited;
+    EXPECT_EQ(u.workers, 1);
+    EXPECT_LE(u.dedupHits, u.dedupProbes);
+  }
+}
+
+TEST(ExploreTelemetry, ParallelProgressHeartbeatFires) {
+  const System sys = makeGtSystem(3);
+  ExploreOptions opts;
+  opts.workers = 4;
+  opts.progressInterval = 1024;
+  std::atomic<int> fired{0};
+  opts.progress = [&fired](const ProgressUpdate& u) {
+    EXPECT_EQ(u.workers, 4);
+    EXPECT_GT(u.statesVisited, 0u);
+    fired.fetch_add(1, std::memory_order_relaxed);
+  };
+  const ExploreResult res = explore(sys, opts);
+  ASSERT_FALSE(res.capped);
+  EXPECT_GT(fired.load(), 0);
+}
+
+TEST(ExploreTelemetry, MetricsSinkMatchesTelemetry) {
+  const System sys = makeGtSystem(2);
+  util::MetricsRegistry reg;
+  ExploreOptions opts;
+  opts.metrics = &reg;
+  const ExploreResult res = explore(sys, opts);
+
+#ifndef FENCETRADE_NO_METRICS
+  const util::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("explore.states"), res.statesVisited);
+  EXPECT_EQ(snap.counter("explore.dedup.probes"),
+            res.telemetry.dedupProbes);
+  EXPECT_EQ(snap.counter("explore.dedup.hits"), res.telemetry.dedupHits);
+  EXPECT_EQ(snap.counter("explore.expansions"),
+            res.telemetry.workers[0].expansions);
+  EXPECT_EQ(snap.gauge("explore.arena_bytes"),
+            static_cast<std::int64_t>(res.telemetry.arenaBytes));
+#else
+  (void)res;
+#endif
+}
+
+TEST(ExploreTelemetry, ParallelMetricsSinkMatchesTelemetry) {
+  const System sys = makeGtSystem(3);
+  util::MetricsRegistry reg;
+  ExploreOptions opts;
+  opts.workers = 4;
+  opts.metrics = &reg;
+  const ExploreResult res = explore(sys, opts);
+  ASSERT_FALSE(res.capped);
+
+#ifndef FENCETRADE_NO_METRICS
+  const util::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("explore.states"), res.statesVisited);
+  EXPECT_EQ(snap.counter("explore.dedup.probes"),
+            res.telemetry.dedupProbes);
+  EXPECT_EQ(snap.counter("explore.dedup.hits"), res.telemetry.dedupHits);
+  std::uint64_t steals = 0;
+  for (const auto& w : res.telemetry.workers) steals += w.steals;
+  EXPECT_EQ(snap.counter("explore.steals"), steals);
+#else
+  (void)res;
+#endif
+}
+
+TEST(ExploreTelemetry, SharedRegistryAccumulatesAcrossRuns) {
+  const System sys = makeGtSystem(2);
+  util::MetricsRegistry reg;
+  ExploreOptions opts;
+  opts.metrics = &reg;
+  const ExploreResult first = explore(sys, opts);
+  const ExploreResult second = explore(sys, opts);
+
+#ifndef FENCETRADE_NO_METRICS
+  EXPECT_EQ(reg.snapshot().counter("explore.states"),
+            first.statesVisited + second.statesVisited);
+#else
+  (void)first;
+  (void)second;
+#endif
+}
+
+TEST(LivenessTelemetry, SequentialBreakdownIsConsistent) {
+  const System sys = makeGtSystem(2);
+  const LivenessResult res = checkLiveness(sys);
+  ASSERT_TRUE(res.complete);
+
+  ASSERT_EQ(res.telemetry.workers.size(), 1u);
+  EXPECT_EQ(sumAdmitted(res.telemetry), res.states);
+  EXPECT_EQ(res.telemetry.dedupProbes,
+            res.telemetry.dedupHits + res.states);
+  EXPECT_GT(res.telemetry.arenaBytes, 0u);
+}
+
+TEST(LivenessTelemetry, ParallelWorkersSumToStates) {
+  const System sys = makeGtSystem(2);
+  LivenessOptions opts;
+  opts.workers = 4;
+  const LivenessResult res = checkLiveness(sys, opts);
+  ASSERT_TRUE(res.complete);
+
+  ASSERT_EQ(res.telemetry.workers.size(), 4u);
+  EXPECT_EQ(sumAdmitted(res.telemetry), res.states);
+}
+
+TEST(LivenessTelemetry, CappedRunStillReportsTelemetry) {
+  const System sys = makeGtSystem(2);
+  LivenessOptions opts;
+  opts.maxStates = 50;
+  const LivenessResult res = checkLiveness(sys, opts);
+  ASSERT_FALSE(res.complete);
+  EXPECT_GT(sumAdmitted(res.telemetry), 0u);
+  EXPECT_GT(res.telemetry.dedupProbes, 0u);
+}
+
+TEST(LivenessTelemetry, MetricsSinkSharedWithExplore) {
+  // One registry serves both engines: the names are a shared union, so
+  // whichever runs first freezes a layout the other can reuse.
+  const System sys = makeGtSystem(2);
+  util::MetricsRegistry reg;
+  ExploreOptions eopts;
+  eopts.metrics = &reg;
+  const ExploreResult er = explore(sys, eopts);
+  LivenessOptions lopts;
+  lopts.metrics = &reg;
+  const LivenessResult lr = checkLiveness(sys, lopts);
+  ASSERT_TRUE(lr.complete);
+
+#ifndef FENCETRADE_NO_METRICS
+  EXPECT_EQ(reg.snapshot().counter("explore.states"),
+            er.statesVisited + lr.states);
+#else
+  (void)er;
+#endif
+}
+
+TEST(OutcomesToString, PartialRenderingIsExplicit) {
+  std::set<std::vector<Value>> outcomes;
+  outcomes.insert({1, 2});
+  const std::string complete = outcomesToString(outcomes);
+  const std::string partial = outcomesToString(outcomes, /*partial=*/true);
+  EXPECT_EQ(complete.find("PARTIAL"), std::string::npos);
+  EXPECT_NE(partial.find("PARTIAL"), std::string::npos);
+  EXPECT_NE(partial.find("{(1,2)}"), std::string::npos);
+}
+
+TEST(OutcomesToString, CappedExploreRendersAsPartial) {
+  const System sys = makeGtSystem(2);
+  ExploreOptions opts;
+  opts.maxStates = 20;
+  opts.checkMutualExclusion = false;
+  const ExploreResult res = explore(sys, opts);
+  ASSERT_TRUE(res.capped);
+  EXPECT_NE(outcomesToString(res.outcomes, res.capped).find("PARTIAL"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

@@ -1,0 +1,278 @@
+// Chrome trace export: deterministic byte-identical output, structural
+// JSON validity (checked by a minimal recursive-descent validator — no
+// JSON dependency), and faithful event content for a replayed witness.
+#include "sim/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/explore.h"
+#include "sim/schedule.h"
+#include "util/check.h"
+
+namespace fencetrade::sim {
+namespace {
+
+// --- minimal JSON validator -------------------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start && s_[start] != '.';
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+int countOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// The Peterson TSO-fence variant violates mutual exclusion under PSO —
+/// the witness schedule the tests export.
+core::OrderingSystem makePetersonPsoSystem() {
+  return core::buildCountSystem(
+      sim::MemoryModel::PSO, 2,
+      core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
+                                      core::PetersonVariant::TsoFence));
+}
+
+TEST(TraceExport, WitnessExportIsByteIdenticalAcrossCalls) {
+  auto os = makePetersonPsoSystem();
+  auto res = explore(os.sys);
+  ASSERT_TRUE(res.mutexViolation) << "peterson-tso must break under PSO";
+  ASSERT_FALSE(res.witness.empty());
+
+  const Execution e1 = replaySchedule(os.sys, res.witness);
+  const Execution e2 = replaySchedule(os.sys, res.witness);
+  ASSERT_EQ(e1.size(), e2.size());
+
+  const std::string json1 = executionToChromeTrace(os.sys.layout, e1, 2);
+  const std::string json2 = executionToChromeTrace(os.sys.layout, e2, 2);
+  EXPECT_EQ(json1, json2) << "same witness must export byte-identically";
+  EXPECT_TRUE(JsonValidator(json1).valid());
+}
+
+TEST(TraceExport, WitnessTraceCarriesTypedEventsAndTracks) {
+  auto os = makePetersonPsoSystem();
+  auto res = explore(os.sys);
+  ASSERT_TRUE(res.mutexViolation);
+  const Execution e = replaySchedule(os.sys, res.witness);
+  const std::string json = executionToChromeTrace(os.sys.layout, e, 2,
+                                                  "peterson-pso-witness");
+  ASSERT_TRUE(JsonValidator(json).valid());
+
+  // Metadata: the named process plus one thread_name track per process.
+  EXPECT_NE(json.find("\"peterson-pso-witness\""), std::string::npos);
+  EXPECT_EQ(countOccurrences(json, "\"thread_name\""), 2);
+  EXPECT_NE(json.find("\"P0\""), std::string::npos);
+  EXPECT_NE(json.find("\"P1\""), std::string::npos);
+
+  // One complete event per step, each with RMR/β/ρ args.
+  EXPECT_EQ(countOccurrences(json, "\"ph\":\"X\""),
+            static_cast<int>(e.size()));
+  EXPECT_EQ(countOccurrences(json, "\"beta\":"), static_cast<int>(e.size()));
+  EXPECT_EQ(countOccurrences(json, "\"rho\":"), static_cast<int>(e.size()));
+}
+
+TEST(TraceExport, SequentialPassageTotalsMatchStepCounts) {
+  auto os = makePetersonPsoSystem();
+  Config cfg = initialConfig(os.sys);
+  const Execution e = runSequential(os.sys, cfg, {0, 1});
+  ASSERT_FALSE(e.empty());
+  const std::string json = executionToChromeTrace(os.sys.layout, e, 2);
+  ASSERT_TRUE(JsonValidator(json).valid());
+
+  const StepCounts counts = countSteps(e, 2);
+  // Every remote step is tagged with the "rmr" category.
+  EXPECT_EQ(countOccurrences(json, ",rmr\""),
+            static_cast<int>(counts.rmrs));
+  EXPECT_EQ(countOccurrences(json, "\"cat\":\"fence\""),
+            static_cast<int>(counts.fences));
+}
+
+TEST(TraceExport, ReplayScheduleMatchesDirectReplay) {
+  auto os = makePetersonPsoSystem();
+  auto res = explore(os.sys);
+  ASSERT_TRUE(res.mutexViolation);
+
+  Config cfg = initialConfig(os.sys);
+  Execution direct;
+  for (auto [p, r] : res.witness) {
+    auto step = execElem(os.sys, cfg, p, r);
+    if (step) direct.push_back(*step);
+  }
+  const Execution replayed = replaySchedule(os.sys, res.witness);
+  ASSERT_EQ(replayed.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(replayed[i].p, direct[i].p) << "step " << i;
+    EXPECT_EQ(replayed[i].kind, direct[i].kind) << "step " << i;
+    EXPECT_EQ(replayed[i].reg, direct[i].reg) << "step " << i;
+    EXPECT_EQ(replayed[i].val, direct[i].val) << "step " << i;
+  }
+}
+
+TEST(TraceExport, RejectsNonPositiveProcessCount) {
+  auto os = makePetersonPsoSystem();
+  EXPECT_THROW(
+      (void)executionToChromeTrace(os.sys.layout, Execution{}, 0),
+      util::CheckError);
+}
+
+TEST(TraceExport, EmptyExecutionStillProducesValidJson) {
+  auto os = makePetersonPsoSystem();
+  const std::string json =
+      executionToChromeTrace(os.sys.layout, Execution{}, 2);
+  EXPECT_TRUE(JsonValidator(json).valid());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

@@ -1,0 +1,200 @@
+// MetricsRegistry: exact multi-threaded totals, tear-free mid-run
+// snapshots, histogram quantiles, registration/freeze semantics and the
+// FENCETRADE_NO_METRICS no-op surface (same API either way).
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+namespace {
+
+#ifndef FENCETRADE_NO_METRICS
+
+TEST(MetricsRegistry, SingleThreadCountersAndGauges) {
+  MetricsRegistry reg;
+  const MetricId hits = reg.counter("hits");
+  const MetricId depth = reg.gauge("depth");
+  MetricsShard* shard = reg.attach();
+  shard->inc(hits);
+  shard->add(hits, 41);
+  shard->set(depth, -7);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("hits"), 42u);
+  EXPECT_EQ(snap.gauge("depth"), -7);
+  EXPECT_EQ(snap.counter("no-such-metric"), 0u);
+}
+
+TEST(MetricsRegistry, ReregisteringAnExistingNameReturnsTheSameSlot) {
+  MetricsRegistry reg;
+  const MetricId a = reg.counter("explore.states");
+  const MetricId b = reg.counter("explore.states");
+  EXPECT_EQ(a.slot, b.slot);
+  // A second "run" can re-register after the freeze, too.
+  (void)reg.attach();
+  const MetricId c = reg.counter("explore.states");
+  EXPECT_EQ(a.slot, c.slot);
+}
+
+TEST(MetricsRegistry, NewNameAfterAttachIsACheckedError) {
+  MetricsRegistry reg;
+  (void)reg.counter("early");
+  (void)reg.attach();
+  EXPECT_THROW((void)reg.counter("late"), CheckError);
+  EXPECT_THROW((void)reg.gauge("also-late"), CheckError);
+}
+
+TEST(MetricsRegistry, KindMismatchOnExistingNameIsACheckedError) {
+  MetricsRegistry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), CheckError);
+}
+
+// The tentpole concurrency claim: 8 threads hammer their own shards,
+// totals after the join are exact (every increment is a single-writer
+// relaxed store into a cache-line-padded slab).  Run under TSan in the
+// sanitizer CI configs.
+TEST(MetricsRegistry, EightThreadsMergeToExactTotals) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 200'000;
+  MetricsRegistry reg;
+  const MetricId ops = reg.counter("ops");
+  const MetricId last = reg.gauge("last");
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, ops, last, t] {
+      MetricsShard* shard = reg.attach();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) shard->inc(ops);
+      shard->set(last, t);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("ops"), kThreads * kPerThread);
+  // Gauges merge by sum of shards; each shard wrote its index once.
+  EXPECT_EQ(snap.gauge("last"), 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+}
+
+// Mid-run snapshots race the writers on purpose: every observed value
+// must be a plausible prefix (monotonically readable, never torn into
+// a garbage 64-bit pattern).  With single-writer 64-bit cells the only
+// possible values are 0..kPerThread per shard.
+TEST(MetricsRegistry, MidRunSnapshotNeverTears) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 150'000;
+  MetricsRegistry reg;
+  const MetricId ops = reg.counter("ops");
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg, ops] {
+      MetricsShard* shard = reg.attach();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) shard->inc(ops);
+    });
+  }
+  // Race snapshots against the writers: every merged value must be a
+  // plausible partial total (bounded, monotone) — a torn 64-bit read
+  // would blow past the bound immediately.
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t now = reg.snapshot().counter("ops");
+    ASSERT_LE(now, kThreads * kPerThread);
+    ASSERT_GE(now, prev);
+    prev = now;
+    if (now == kThreads * kPerThread) break;
+    std::this_thread::yield();
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(reg.snapshot().counter("ops"), kThreads * kPerThread);
+}
+
+TEST(MetricsHistogram, BucketsQuantilesAndStreamedStats) {
+  MetricsRegistry reg;
+  const MetricId lat = reg.histogram("latency", {1.0, 10.0, 100.0});
+  MetricsShard* shard = reg.attach();
+  // 4 in (-inf,1], 3 in (1,10], 2 in (10,100], 1 overflow.
+  for (double v : {0.5, 0.6, 0.7, 1.0}) shard->observe(lat, v);
+  for (double v : {2.0, 5.0, 10.0}) shard->observe(lat, v);
+  for (double v : {50.0, 99.0}) shard->observe(lat, v);
+  shard->observe(lat, 1000.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& h = snap.histograms[0].second;
+  EXPECT_EQ(snap.histograms[0].first, "latency");
+  ASSERT_EQ(h.buckets.size(), 4u);
+  EXPECT_EQ(h.buckets[0], 4u);
+  EXPECT_EQ(h.buckets[1], 3u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_EQ(h.count, 10u);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+  EXPECT_NEAR(h.sum, 0.5 + 0.6 + 0.7 + 1.0 + 2.0 + 5.0 + 10.0 + 50.0 +
+                         99.0 + 1000.0,
+              1e-9);
+  // Rank 5 (p50 of 10) lands in the (1,10] bucket -> its upper bound.
+  EXPECT_DOUBLE_EQ(h.p50(), 10.0);
+  // Rank 10 (p99) is the overflow bucket, clamped to the observed max.
+  EXPECT_DOUBLE_EQ(h.p99(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);  // clamped to min
+}
+
+TEST(MetricsHistogram, MergesAcrossShards) {
+  MetricsRegistry reg;
+  const MetricId lat = reg.histogram("latency", {10.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&reg, lat, t] {
+      MetricsShard* shard = reg.attach();
+      shard->observe(lat, static_cast<double>(t + 1));  // 1, 2, 3
+      shard->observe(lat, 100.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot h = reg.snapshot().histograms[0].second;
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_EQ(h.buckets[0], 3u);
+  EXPECT_EQ(h.buckets[1], 3u);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 100.0);
+  EXPECT_NEAR(h.sum, 1.0 + 2.0 + 3.0 + 300.0, 1e-9);
+}
+
+TEST(MetricsSnapshot, ToStringIsDeterministicallySorted) {
+  MetricsRegistry reg;
+  const MetricId b = reg.counter("b.metric");
+  const MetricId a = reg.counter("a.metric");
+  MetricsShard* shard = reg.attach();
+  shard->inc(a);
+  shard->add(b, 2);
+  const std::string s = reg.snapshot().toString();
+  const auto posA = s.find("a.metric=1");
+  const auto posB = s.find("b.metric=2");
+  ASSERT_NE(posA, std::string::npos) << s;
+  ASSERT_NE(posB, std::string::npos) << s;
+  EXPECT_LT(posA, posB);
+}
+
+#else  // FENCETRADE_NO_METRICS
+
+TEST(MetricsRegistry, NoMetricsBuildCompilesToNoops) {
+  MetricsRegistry reg;
+  const MetricId id = reg.counter("anything");
+  MetricsShard* shard = reg.attach();
+  shard->inc(id);
+  EXPECT_EQ(reg.snapshot().counter("anything"), 0u);
+}
+
+#endif  // FENCETRADE_NO_METRICS
+
+}  // namespace
+}  // namespace fencetrade::util

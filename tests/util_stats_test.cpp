@@ -13,6 +13,43 @@ TEST(StatsTest, EmptyAccumulatorThrowsOnQueries) {
   EXPECT_THROW(a.mean(), CheckError);
   EXPECT_THROW(a.min(), CheckError);
   EXPECT_THROW(a.max(), CheckError);
+  EXPECT_THROW(a.percentile(0.5), CheckError);
+  EXPECT_THROW(a.p50(), CheckError);
+  EXPECT_THROW(a.p99(), CheckError);
+}
+
+TEST(StatsTest, PercentilesNearestRank) {
+  Accumulator a;
+  // Insert out of order to force the lazy sort path.
+  for (double x : {30.0, 10.0, 50.0, 20.0, 40.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.percentile(0.0), 10.0);   // q=0 -> minimum
+  EXPECT_DOUBLE_EQ(a.p50(), 30.0);             // ceil(0.5*5) = 3rd
+  EXPECT_DOUBLE_EQ(a.percentile(0.8), 40.0);   // ceil(0.8*5) = 4th
+  EXPECT_DOUBLE_EQ(a.p99(), 50.0);             // ceil(0.99*5) = 5th
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), 50.0);
+  EXPECT_THROW(a.percentile(-0.1), CheckError);
+  EXPECT_THROW(a.percentile(1.1), CheckError);
+}
+
+TEST(StatsTest, PercentileSingleSampleAndInterleavedAdds) {
+  Accumulator a;
+  a.add(7.0);
+  EXPECT_DOUBLE_EQ(a.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(a.p99(), 7.0);
+  // Adding after a percentile query must re-sort correctly.
+  a.add(3.0);
+  a.add(11.0);
+  EXPECT_DOUBLE_EQ(a.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), 11.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+}
+
+TEST(StatsTest, P99OnHundredSamples) {
+  Accumulator a;
+  for (int i = 100; i >= 1; --i) a.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(a.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(a.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), 100.0);
 }
 
 TEST(StatsTest, SingleValue) {
