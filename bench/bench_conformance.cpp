@@ -1,0 +1,146 @@
+// Conformance harness cost (EXP-CONF): what the standing oracle costs
+// per corpus entry and how the reorder-bounded fuzzer's throughput
+// scales with the reorder budget and worker count.  The table reports
+// the quick-corpus differential pass end to end; the timing suites
+// isolate the three hot pieces — one full differential run, raw
+// schedule generation at several reorder budgets, and ddmin witness
+// shrinking on the canonical injected GT_2 bug.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "check/corpus.h"
+#include "check/differential.h"
+#include "check/fuzz.h"
+#include "check/inject.h"
+#include "check/oracles.h"
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "sim/schedule.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+sim::System strippedGt2() {
+  sim::System sys = core::buildCountSystem(sim::MemoryModel::PSO, 2,
+                                           core::gtFactory(2))
+                        .sys;
+  FT_CHECK(check::stripFence(sys, 0) > 0);
+  return sys;
+}
+
+void printCorpusTable() {
+  util::Table t({"entry", "verdict", "conformant", "states", "engines"});
+  for (const check::CorpusEntry& e : check::conformanceCorpus(true)) {
+    check::DifferentialOptions opts;
+    opts.maxStates = e.maxStates;
+    opts.livenessMaxStates = e.livenessMaxStates;
+    const check::DifferentialReport rep =
+        check::runDifferential(e.make(), opts);
+    t.addRow({e.name, check::verdictName(rep.verdict),
+              rep.conformant ? "yes" : "NO",
+              std::to_string(rep.runs.empty()
+                                 ? 0
+                                 : rep.runs[0].res.statesVisited),
+              std::to_string(rep.runs.size())});
+  }
+  std::fputs(
+      t.render("EXP-CONF: quick-corpus differential pass").c_str(),
+      stdout);
+  std::printf("\n");
+}
+
+void BM_DifferentialBakeryPson2(benchmark::State& state) {
+  const sim::System sys = core::buildCountSystem(sim::MemoryModel::PSO, 2,
+                                                 core::bakeryFactory())
+                              .sys;
+  for (auto _ : state) {
+    const check::DifferentialReport rep = check::runDifferential(sys, {});
+    FT_CHECK(rep.conformant) << rep.detail;
+    benchmark::DoNotOptimize(rep.runs.size());
+  }
+}
+BENCHMARK(BM_DifferentialBakeryPson2)->Unit(benchmark::kMillisecond);
+
+void BM_ReorderBoundedSchedules(benchmark::State& state) {
+  const sim::System sys = strippedGt2();
+  const std::int64_t budget = state.range(0);
+  std::uint64_t seed = 1;
+  std::int64_t reorderings = 0;
+  for (auto _ : state) {
+    sim::Config cfg = sim::initialConfig(sys);
+    util::Rng rng(seed++);
+    sim::ReorderBoundOptions opts;
+    opts.reorderBudget = budget;
+    const sim::ScheduleRunResult run =
+        sim::runReorderBounded(sys, cfg, rng, opts);
+    reorderings += run.reorderings;
+    benchmark::DoNotOptimize(run.schedule.size());
+  }
+  state.counters["reorderings/run"] = benchmark::Counter(
+      static_cast<double>(reorderings), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ReorderBoundedSchedules)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(-1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FuzzToFirstViolation(benchmark::State& state) {
+  const sim::System sys = strippedGt2();
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    check::FuzzOptions opts;
+    opts.seeds = 2048;
+    opts.workers = workers;
+    opts.shrink = false;
+    const check::FuzzReport rep = check::fuzzMutualExclusion(sys, opts);
+    FT_CHECK(rep.witness.has_value());
+    benchmark::DoNotOptimize(rep.witness->seed);
+  }
+}
+BENCHMARK(BM_FuzzToFirstViolation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShrinkWitness(benchmark::State& state) {
+  const sim::System sys = strippedGt2();
+  check::FuzzOptions opts;
+  opts.seeds = 2048;
+  opts.shrink = false;
+  const check::FuzzReport rep = check::fuzzMutualExclusion(sys, opts);
+  FT_CHECK(rep.witness.has_value());
+  const auto violates = [&sys](const std::vector<check::ScheduleElem>& s) {
+    return check::maxOccupancyOnReplay(sys, s) >= 2;
+  };
+  std::size_t minimizedSize = 0;
+  for (auto _ : state) {
+    const auto minimized =
+        check::shrinkSchedule(rep.witness->schedule, violates);
+    minimizedSize = minimized.size();
+    benchmark::DoNotOptimize(minimizedSize);
+  }
+  state.counters["minimizedSteps"] =
+      static_cast<double>(minimizedSize);
+  state.counters["inputSteps"] =
+      static_cast<double>(rep.witness->schedule.size());
+}
+BENCHMARK(BM_ShrinkWitness)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printCorpusTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,371 @@
+// Conformance driver: the repo's standing correctness oracle as one
+// binary, runnable by CI and humans alike.
+//
+//   $ ./conformance corpus [--quick] [--json] [--stop-on-fail]
+//       Run every corpus entry (litmus × models, GT_f spectrum,
+//       Peterson variants, CAS locks) through all exploration engines
+//       and assert the verdicts, outcome sets and telemetry agree.
+//
+//   $ ./conformance fuzz [target] [model] [n] [flags]
+//       Reorder-bounded schedule fuzzing of one system, with ddmin
+//       witness shrinking on violation.
+//         target ∈ {bakery, bakery-paper, gt1, gt2, gt3, tournament,
+//                   peterson, peterson-tso, tas, ttas}  (default gt2)
+//         model  ∈ {SC, TSO, PSO}                        (default PSO)
+//         n      ∈ 2..4                                  (default 2)
+//       --seeds N         seeds to scan             (default 256)
+//       --seed-base S     first seed                (default 1)
+//       --budget R        reorder budget, -1 = off  (default 8)
+//       --max-seconds T   wall-clock cap, 0 = none  (default 0)
+//       --workers W       seed-scan threads         (default 1)
+//       --strip-fence K   remove the K-th fence of every program
+//                         before fuzzing (bug injection self-test)
+//       --witness FILE    write the minimized witness as a Chrome
+//                         trace (replayable in Perfetto)
+//
+//   --json on either subcommand emits a machine-readable report.
+//
+// Exit codes (shared with lock_doctor via src/check/verdict.h):
+// 0 pass, 1 violation/conformance failure, 2 usage, 3 inconclusive.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/corpus.h"
+#include "check/differential.h"
+#include "check/fuzz.h"
+#include "check/inject.h"
+#include "check/jsonio.h"
+#include "check/oracles.h"
+#include "check/verdict.h"
+#include "core/bakery.h"
+#include "core/caslocks.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/trace_export.h"
+
+namespace {
+
+using namespace fencetrade;
+using check::Verdict;
+
+bool writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << contents;
+  return static_cast<bool>(f);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s corpus [--quick] [--json] [--stop-on-fail]\n"
+      "       %s fuzz [target] [SC|TSO|PSO] [n] [--seeds N] [--seed-base S]\n"
+      "           [--budget R] [--max-seconds T] [--workers W]\n"
+      "           [--strip-fence K] [--witness FILE] [--json]\n",
+      argv0, argv0);
+  return check::verdictExitCode(Verdict::UsageError);
+}
+
+core::LockFactory fuzzTargetByName(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "bakery") return core::bakeryFactory();
+  if (name == "bakery-paper") {
+    return core::bakeryFactory(core::BakeryVariant::PaperListing);
+  }
+  if (name == "gt1") return core::gtFactory(1);
+  if (name == "gt2") return core::gtFactory(2);
+  if (name == "gt3") return core::gtFactory(3);
+  if (name == "tournament") return core::tournamentFactory();
+  if (name == "peterson") return core::petersonTournamentFactory();
+  if (name == "peterson-tso") {
+    return core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
+                                           core::PetersonVariant::TsoFence);
+  }
+  if (name == "tas") return core::tasFactory();
+  if (name == "ttas") return core::ttasFactory();
+  ok = false;
+  return core::bakeryFactory();
+}
+
+int runCorpus(bool quick, bool json, bool stopOnFail) {
+  const auto corpus = check::conformanceCorpus(quick);
+  Verdict overall = Verdict::Pass;
+  std::string jout;
+  jout += "{\"entries\":[";
+  std::size_t ran = 0, agreed = 0;
+
+  for (const check::CorpusEntry& entry : corpus) {
+    const sim::System sys = entry.make();
+    check::DifferentialOptions dopts;
+    dopts.maxStates = entry.maxStates;
+    dopts.livenessMaxStates = entry.livenessMaxStates;
+    const check::DifferentialReport rep =
+        check::runDifferential(sys, dopts);
+    ++ran;
+    if (rep.conformant) ++agreed;
+
+    // An entry passes when the engines agree AND the agreed property
+    // verdict matches the corpus ground truth — peterson-tso under PSO
+    // is *supposed* to be violated, so reproducing that violation is a
+    // corpus pass.  Anything else (disagreement, oracle failure, or a
+    // verdict flip) fails the entry.
+    std::string detail = rep.detail;
+    Verdict entryStatus = Verdict::Pass;
+    if (!rep.conformant) {
+      entryStatus = Verdict::Violation;
+    } else if (rep.verdict != entry.expected) {
+      entryStatus = Verdict::Violation;
+      detail = std::string("expected ") + check::verdictName(entry.expected) +
+               " but engines agreed on " + check::verdictName(rep.verdict);
+    }
+    overall = check::combineVerdicts(overall, entryStatus);
+
+    if (json) {
+      if (ran > 1) jout += ',';
+      jout += '{';
+      check::jsonStr(jout, "name", entry.name);
+      jout += ',';
+      check::jsonStr(jout, "property", check::verdictName(rep.verdict));
+      jout += ',';
+      check::jsonStr(jout, "expected", check::verdictName(entry.expected));
+      jout += ',';
+      check::jsonBool(jout, "ok", entryStatus == Verdict::Pass);
+      jout += ',';
+      check::jsonBool(jout, "conformant", rep.conformant);
+      jout += ',';
+      check::jsonU64(jout, "engines", rep.runs.size());
+      jout += ',';
+      check::jsonU64(jout, "statesVisited",
+                     rep.runs.empty() ? 0 : rep.runs[0].res.statesVisited);
+      if (!detail.empty()) {
+        jout += ',';
+        check::jsonStr(jout, "detail", detail);
+      }
+      jout += '}';
+    } else {
+      std::printf("%-28s %-12s %-6s %s\n", entry.name.c_str(),
+                  check::verdictName(rep.verdict),
+                  entryStatus == Verdict::Pass ? "ok" : "FAIL",
+                  detail.empty() ? "" : detail.c_str());
+    }
+    if (stopOnFail && entryStatus == Verdict::Violation) break;
+  }
+
+  if (json) {
+    jout += "],";
+    check::jsonU64(jout, "entriesRun", ran);
+    jout += ',';
+    check::jsonU64(jout, "entriesConformant", agreed);
+    jout += ',';
+    check::jsonStr(jout, "verdict", check::verdictName(overall));
+    jout += "}\n";
+    std::fputs(jout.c_str(), stdout);
+  } else {
+    std::printf("corpus: %zu entries, %zu conformant, verdict %s\n", ran,
+                agreed, check::verdictName(overall));
+  }
+  return check::verdictExitCode(overall);
+}
+
+int runFuzz(const std::string& target, const std::string& modelName, int n,
+            const check::FuzzOptions& fopts, int stripFenceIdx, bool json,
+            const std::string& witnessPath, const char* argv0) {
+  bool lockOk = false;
+  const core::LockFactory factory = fuzzTargetByName(target, lockOk);
+  sim::MemoryModel model;
+  bool modelOk = true;
+  if (modelName == "SC") {
+    model = sim::MemoryModel::SC;
+  } else if (modelName == "TSO") {
+    model = sim::MemoryModel::TSO;
+  } else if (modelName == "PSO") {
+    model = sim::MemoryModel::PSO;
+  } else {
+    modelOk = false;
+    model = sim::MemoryModel::PSO;
+  }
+  if (!lockOk || !modelOk || n < 2 || n > 4) return usage(argv0);
+
+  sim::System sys = core::buildCountSystem(model, n, factory).sys;
+  int stripped = 0;
+  if (stripFenceIdx >= 0) {
+    stripped = check::stripFence(sys, stripFenceIdx);
+    if (stripped == 0) {
+      std::fprintf(stderr, "error: no program has a fence #%d to strip\n",
+                   stripFenceIdx);
+      return check::verdictExitCode(Verdict::UsageError);
+    }
+  }
+
+  const check::FuzzReport rep = check::fuzzMutualExclusion(sys, fopts);
+
+  std::string trace;
+  if (rep.witness) {
+    const sim::Execution exec =
+        sim::replaySchedule(sys, rep.witness->minimized);
+    trace = sim::executionToChromeTrace(
+        sys.layout, exec, n,
+        target + " under " + modelName + " (minimized fuzz witness)");
+  }
+  if (!witnessPath.empty() && rep.witness) {
+    if (!writeFile(witnessPath, trace)) {
+      std::fprintf(stderr, "error: cannot write witness to %s\n",
+                   witnessPath.c_str());
+      return check::verdictExitCode(Verdict::UsageError);
+    }
+  }
+
+  if (json) {
+    std::string out;
+    out += '{';
+    check::jsonStr(out, "target", target);
+    out += ',';
+    check::jsonStr(out, "model", modelName);
+    out += ',';
+    check::jsonU64(out, "n", static_cast<unsigned long long>(n));
+    out += ',';
+    check::jsonU64(out, "strippedFences",
+                   static_cast<unsigned long long>(stripped));
+    out += ',';
+    check::jsonU64(out, "seeds", fopts.seeds);
+    out += ',';
+    check::jsonU64(out, "seedBase", fopts.seedBase);
+    out += ',';
+    check::jsonKey(out, "reorderBudget");
+    out += std::to_string(fopts.reorderBudget);
+    out += ',';
+    check::jsonU64(out, "workers",
+                   static_cast<unsigned long long>(fopts.workers));
+    out += ',';
+    check::jsonU64(out, "schedulesRun", rep.schedulesRun);
+    out += ',';
+    check::jsonU64(out, "completedRuns", rep.completedRuns);
+    out += ',';
+    check::jsonU64(out, "violatingSeeds", rep.violatingSeeds);
+    out += ',';
+    check::jsonKey(out, "totalReorderings");
+    out += std::to_string(rep.totalReorderings);
+    out += ',';
+    check::jsonDouble(out, "wallSeconds", rep.wallSeconds);
+    out += ',';
+    check::jsonBool(out, "violationFound", rep.witness.has_value());
+    if (rep.witness) {
+      out += ',';
+      check::jsonU64(out, "witnessSeed", rep.witness->seed);
+      out += ',';
+      check::jsonU64(out, "witnessSteps", rep.witness->schedule.size());
+      out += ',';
+      check::jsonU64(out, "minimizedSteps", rep.witness->minimized.size());
+      out += ',';
+      check::jsonU64(out, "witnessOccupancy",
+                     static_cast<unsigned long long>(rep.witness->occupancy));
+      out += ',';
+      check::jsonStr(out, "minimizedSchedule",
+                     check::scheduleToString(sys, rep.witness->minimized));
+    }
+    out += ',';
+    check::jsonStr(out, "verdict", check::verdictName(rep.verdict));
+    out += "}\n";
+    std::fputs(out.c_str(), stdout);
+  } else {
+    std::printf("fuzzing %s under %s, n=%d%s: %llu schedules "
+                "(%llu completed), %lld reorderings, %.2fs\n",
+                target.c_str(), modelName.c_str(), n,
+                stripped ? " [fence stripped]" : "",
+                static_cast<unsigned long long>(rep.schedulesRun),
+                static_cast<unsigned long long>(rep.completedRuns),
+                static_cast<long long>(rep.totalReorderings),
+                rep.wallSeconds);
+    if (rep.witness) {
+      std::printf(
+          "MUTUAL EXCLUSION VIOLATED: seed %llu, schedule %zu elements, "
+          "minimized to %zu (occupancy %d)\n",
+          static_cast<unsigned long long>(rep.witness->seed),
+          rep.witness->schedule.size(), rep.witness->minimized.size(),
+          rep.witness->occupancy);
+      std::printf("minimized witness:\n%s",
+                  check::scheduleToString(sys, rep.witness->minimized)
+                      .c_str());
+      if (!witnessPath.empty()) {
+        std::printf("witness trace written to %s\n", witnessPath.c_str());
+      }
+    } else {
+      std::printf("verdict: %s\n", check::verdictName(rep.verdict));
+    }
+  }
+  return check::verdictExitCode(rep.verdict);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string mode = argv[1];
+
+  bool json = false, quick = false, stopOnFail = false;
+  check::FuzzOptions fopts;
+  int stripFenceIdx = -1;
+  std::string witnessPath;
+  std::vector<std::string> pos;
+
+  auto needValue = [&](int& i) -> const char* {
+    return i + 1 < argc ? argv[++i] : nullptr;
+  };
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--quick") {
+      quick = true;
+    } else if (a == "--stop-on-fail") {
+      stopOnFail = true;
+    } else if (a == "--seeds") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      fopts.seeds = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seed-base") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      fopts.seedBase = std::strtoull(v, nullptr, 10);
+    } else if (a == "--budget") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      fopts.reorderBudget = std::strtoll(v, nullptr, 10);
+    } else if (a == "--max-seconds") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      fopts.maxSeconds = std::strtod(v, nullptr);
+    } else if (a == "--workers") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      fopts.workers = std::atoi(v);
+      if (fopts.workers < 1 || fopts.workers > 64) return usage(argv[0]);
+    } else if (a == "--strip-fence") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      stripFenceIdx = std::atoi(v);
+      if (stripFenceIdx < 0) return usage(argv[0]);
+    } else if (a == "--witness") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      witnessPath = v;
+    } else if (a.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      pos.push_back(a);
+    }
+  }
+
+  if (mode == "corpus") {
+    if (!pos.empty()) return usage(argv[0]);
+    return runCorpus(quick, json, stopOnFail);
+  }
+  if (mode == "fuzz") {
+    if (pos.size() > 3) return usage(argv[0]);
+    const std::string target = pos.size() > 0 ? pos[0] : "gt2";
+    const std::string model = pos.size() > 1 ? pos[1] : "PSO";
+    const int n = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 2;
+    return runFuzz(target, model, n, fopts, stripFenceIdx, json,
+                   witnessPath, argv[0]);
+  }
+  return usage(argv[0]);
+}

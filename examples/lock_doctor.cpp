@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "check/jsonio.h"
+#include "check/verdict.h"
 #include "core/bakery.h"
 #include "core/caslocks.h"
 #include "core/gt.h"
@@ -69,40 +71,13 @@ void printProgress(const sim::ProgressUpdate& u) {
                static_cast<unsigned long long>(u.idleSpins));
 }
 
-// --- minimal JSON emission helpers (no dependency) ----------------------
-
-void jsonKey(std::string& out, const char* key) {
-  out += '"';
-  out += key;
-  out += "\":";
-}
-
-void jsonStr(std::string& out, const char* key, const std::string& v) {
-  jsonKey(out, key);
-  out += '"';
-  for (char c : v) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
-}
-
-void jsonU64(std::string& out, const char* key, unsigned long long v) {
-  jsonKey(out, key);
-  out += std::to_string(v);
-}
-
-void jsonBool(std::string& out, const char* key, bool v) {
-  jsonKey(out, key);
-  out += v ? "true" : "false";
-}
-
-void jsonDouble(std::string& out, const char* key, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6f", v);
-  jsonKey(out, key);
-  out += buf;
-}
+// JSON emission + verdict/exit-code contract shared with the
+// conformance CLI (src/check/jsonio.h, src/check/verdict.h).
+using check::jsonBool;
+using check::jsonDouble;
+using check::jsonKey;
+using check::jsonStr;
+using check::jsonU64;
 
 void jsonTelemetry(std::string& out, const sim::ExploreTelemetry& t,
                    unsigned long long states) {
@@ -204,7 +179,7 @@ int main(int argc, char** argv) {
                  "peterson-tso|tas|ttas] [SC|TSO|PSO] [2|3] [workers] "
                  "[--json] [--trace FILE] [--progress]\n",
                  argv[0]);
-    return 2;
+    return check::verdictExitCode(check::Verdict::UsageError);
   }
 
   auto os = core::buildCountSystem(model, n, factory);
@@ -237,7 +212,7 @@ int main(int argc, char** argv) {
     if (!writeFile(tracePath, traceJson)) {
       std::fprintf(stderr, "error: cannot write trace to %s\n",
                    tracePath.c_str());
-      return 2;
+      return check::verdictExitCode(check::Verdict::UsageError);
     }
     if (!json) {
       std::printf("  trace written    : %s (%zu events)\n", tracePath.c_str(),
@@ -256,9 +231,9 @@ int main(int argc, char** argv) {
     haveLiveness = live.complete;
   }
 
-  const char* verdict = res.mutexViolation ? "violated"
-                        : res.capped       ? "inconclusive"
-                                           : "correct";
+  const check::Verdict verdict = res.mutexViolation ? check::Verdict::Violation
+                                 : res.capped ? check::Verdict::Inconclusive
+                                              : check::Verdict::Pass;
 
   if (json) {
     std::string out;
@@ -285,7 +260,7 @@ int main(int argc, char** argv) {
     jsonU64(out, "witnessSteps",
             static_cast<unsigned long long>(res.witness.size()));
     out += ',';
-    jsonStr(out, "verdict", verdict);
+    jsonStr(out, "verdict", check::verdictName(verdict));
     out += ',';
     jsonTelemetry(out, res.telemetry, res.statesVisited);
     if (haveLiveness) {
@@ -303,7 +278,7 @@ int main(int argc, char** argv) {
     }
     out += "}\n";
     std::fputs(out.c_str(), stdout);
-    return res.mutexViolation ? 1 : res.capped ? 3 : 0;
+    return check::verdictExitCode(verdict);
   }
 
   std::printf("  states explored : %llu\n",
@@ -328,7 +303,7 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", step.toString(os.sys.layout).c_str());
     }
     std::printf("=> both processes are now inside the critical section.\n");
-    return 1;
+    return check::verdictExitCode(verdict);
   }
 
   if (haveLiveness) {
@@ -346,9 +321,9 @@ int main(int argc, char** argv) {
         "verdict: INCONCLUSIVE for %s under %s at n=%d.\n",
         static_cast<unsigned long long>(opts.maxStates), lockName.c_str(),
         modelName.c_str(), n);
-    return 3;
+    return check::verdictExitCode(verdict);
   }
   std::printf("verdict: %s is correct under %s at n=%d.\n", lockName.c_str(),
               modelName.c_str(), n);
-  return 0;
+  return check::verdictExitCode(verdict);
 }

@@ -1,0 +1,121 @@
+#include "check/corpus.h"
+
+#include "core/caslocks.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/litmus.h"
+
+namespace fencetrade::check {
+
+namespace {
+
+using sim::MemoryModel;
+
+const MemoryModel kModels[] = {MemoryModel::SC, MemoryModel::TSO,
+                               MemoryModel::PSO};
+
+std::string modelSuffix(MemoryModel m) {
+  return std::string("/") + sim::memoryModelName(m);
+}
+
+void addLitmus(std::vector<CorpusEntry>& out) {
+  struct Shape {
+    const char* name;
+    sim::System (*make)(MemoryModel);
+  };
+  const Shape shapes[] = {
+      {"sb", [](MemoryModel m) { return sim::litmusSB(m, false); }},
+      {"sb-fence", [](MemoryModel m) { return sim::litmusSB(m, true); }},
+      {"mp", [](MemoryModel m) { return sim::litmusMP(m, false); }},
+      {"mp-fence", [](MemoryModel m) { return sim::litmusMP(m, true); }},
+      {"corr", [](MemoryModel m) { return sim::litmusCoRR(m); }},
+      {"writebatch", [](MemoryModel m) { return sim::litmusWriteBatch(m); }},
+      {"seqlock", [](MemoryModel m) { return sim::litmusSeqlock(m); }},
+  };
+  for (const Shape& s : shapes) {
+    for (MemoryModel m : kModels) {
+      CorpusEntry e;
+      e.name = std::string(s.name) + modelSuffix(m);
+      auto make = s.make;
+      e.make = [make, m]() { return make(m); };
+      e.maxStates = 200'000;
+      e.livenessMaxStates = 100'000;
+      out.push_back(std::move(e));
+    }
+  }
+}
+
+void addLock(std::vector<CorpusEntry>& out, const std::string& name,
+             const core::LockFactory& factory, MemoryModel m, int n,
+             std::uint64_t maxStates, std::uint64_t livenessMaxStates,
+             Verdict expected) {
+  CorpusEntry e;
+  e.name = name + modelSuffix(m) + "/n" + std::to_string(n);
+  e.make = [factory, m, n]() {
+    return core::buildCountSystem(m, n, factory).sys;
+  };
+  e.maxStates = maxStates;
+  e.livenessMaxStates = livenessMaxStates;
+  e.expected = expected;
+  out.push_back(std::move(e));
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> conformanceCorpus(bool quick) {
+  std::vector<CorpusEntry> out;
+  addLitmus(out);
+
+  // n=2 lock family under every model: cheap, fully explored, with a
+  // liveness leg.  peterson-tso is the known separation case — correct
+  // under SC/TSO, violated under PSO.
+  struct NamedFactory {
+    const char* name;
+    core::LockFactory factory;
+  };
+  const NamedFactory smallLocks[] = {
+      {"bakery", core::bakeryFactory()},
+      {"gt2", core::gtFactory(2)},
+      {"tournament", core::tournamentFactory()},
+      {"peterson", core::petersonTournamentFactory()},
+      {"tas", core::tasFactory()},
+      {"ttas", core::ttasFactory()},
+  };
+  for (const NamedFactory& nf : smallLocks) {
+    for (MemoryModel m : kModels) {
+      addLock(out, nf.name, nf.factory, m, 2, 3'000'000,
+              quick ? 0 : 400'000, Verdict::Pass);
+    }
+  }
+  const core::LockFactory petersonTso = core::petersonTournamentFactory(
+      core::SegmentPolicy::PerProcess, core::PetersonVariant::TsoFence);
+  addLock(out, "peterson-tso", petersonTso, MemoryModel::SC, 2, 3'000'000,
+          quick ? 0 : 400'000, Verdict::Pass);
+  addLock(out, "peterson-tso", petersonTso, MemoryModel::TSO, 2, 3'000'000,
+          quick ? 0 : 400'000, Verdict::Pass);
+  addLock(out, "peterson-tso", petersonTso, MemoryModel::PSO, 2, 3'000'000,
+          0, Verdict::Violation);
+
+  if (quick) return out;
+
+  // The GT_f spectrum under PSO (the model the paper's bound is proved
+  // in).  gtFactory clamps f to ceil(log2 n), so gt3 coincides with gt2
+  // at these n — the corpus keeps the named entries anyway so a future
+  // clamp regression shows up as a differential, not silently.  n=4
+  // entries are deliberately capped smoke: every engine must agree to
+  // be inconclusive under the budget.
+  for (int f = 1; f <= 3; ++f) {
+    const std::string name = "gt" + std::to_string(f);
+    const core::LockFactory factory = core::gtFactory(f);
+    addLock(out, name, factory, MemoryModel::PSO, 2, 3'000'000, 0,
+            Verdict::Pass);
+    addLock(out, name, factory, MemoryModel::PSO, 3, 1'000'000, 0,
+            Verdict::Pass);
+    addLock(out, name, factory, MemoryModel::PSO, 4, 120'000, 0,
+            Verdict::Inconclusive);
+  }
+  return out;
+}
+
+}  // namespace fencetrade::check

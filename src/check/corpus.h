@@ -1,0 +1,38 @@
+// The standing conformance corpus: every litmus shape × memory model,
+// the GT_f lock family, the Peterson tournament (in both fence
+// disciplines), and the CAS spin locks — each entry a System factory
+// plus a state budget and the expected verdict, consumed by the
+// differential driver (differential.h) and the conformance CLI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/verdict.h"
+#include "sim/machine.h"
+
+namespace fencetrade::check {
+
+struct CorpusEntry {
+  std::string name;
+  std::function<sim::System()> make;
+  std::uint64_t maxStates = 2'000'000;
+  /// 0 = skip the liveness leg for this entry.
+  std::uint64_t livenessMaxStates = 0;
+  /// The entry's known ground truth.  Inconclusive marks entries whose
+  /// budget deliberately caps the space (n=4 smoke entries): engines
+  /// must then *agree* to be inconclusive, or soundly complete via the
+  /// reduction.
+  Verdict expected = Verdict::Pass;
+};
+
+/// The full corpus: 21 litmus entries (7 shapes × {SC,TSO,PSO}),
+/// GT_f f∈{1,2,3} × n∈{2,3,4} under PSO, Peterson/peterson-tso and
+/// TAS/TTAS count systems under all three models at n=2.  With `quick`,
+/// only the cheap entries (litmus + n=2 locks) are emitted — the
+/// sanitizer-CI subset.
+std::vector<CorpusEntry> conformanceCorpus(bool quick = false);
+
+}  // namespace fencetrade::check

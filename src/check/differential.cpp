@@ -1,0 +1,159 @@
+#include "check/differential.h"
+
+#include <algorithm>
+
+#include "check/oracles.h"
+
+namespace fencetrade::check {
+
+std::vector<EngineSpec> defaultEngines() {
+  return {
+      {"seq", 1, false},      {"par2", 2, false},    {"par4", 4, false},
+      {"por", 1, true},       {"por-par4", 4, true},
+  };
+}
+
+namespace {
+
+void flag(DifferentialReport& rep, const std::string& detail) {
+  if (rep.conformant) {
+    rep.conformant = false;
+    rep.verdict = Verdict::Violation;
+    rep.detail = detail;
+  }
+}
+
+}  // namespace
+
+DifferentialReport runDifferential(const sim::System& sys,
+                                   const DifferentialOptions& opts) {
+  DifferentialReport rep;
+  const std::vector<EngineSpec> engines =
+      opts.engines.empty() ? defaultEngines() : opts.engines;
+
+  for (const EngineSpec& spec : engines) {
+    sim::ExploreOptions eo;
+    eo.maxStates = opts.maxStates;
+    eo.workers = spec.workers;
+    eo.reduction = spec.reduction;
+    rep.runs.push_back({spec, sim::explore(sys, eo)});
+  }
+
+  // Per-engine oracles first: telemetry invariants and witness-backed
+  // violation claims.  A claimed violation that does not replay is a
+  // conformance failure regardless of what the other engines say.
+  bool anyViolation = false;
+  bool anyCompletedClean = false;
+  for (const EngineRun& run : rep.runs) {
+    const auto tele =
+        checkTelemetryConsistency(run.res.telemetry, run.res.statesVisited);
+    if (!tele.holds) {
+      flag(rep, run.spec.name + ": " + tele.property + ": " + tele.detail);
+    }
+    const auto mutex = checkMutualExclusionResult(sys, run.res);
+    if (!mutex.holds && !mutex.verifiedViolation) {
+      flag(rep, run.spec.name + ": " + mutex.property + ": " + mutex.detail);
+    }
+    if (run.res.mutexViolation) anyViolation = true;
+    if (!run.res.capped && !run.res.mutexViolation) anyCompletedClean = true;
+  }
+
+  // An engine that exhausted the space without a violation contradicts
+  // any engine that found one — both claims cannot be sound.
+  if (anyViolation && anyCompletedClean) {
+    flag(rep, "one engine found a mutual-exclusion violation while another "
+              "exhausted the space violation-free");
+  }
+
+  // Outcome sets, occupancy and state counts across completed engines.
+  const EngineRun* completedRef = nullptr;
+  const EngineRun* completedUnreducedRef = nullptr;
+  for (const EngineRun& run : rep.runs) {
+    if (run.res.capped || run.res.mutexViolation) continue;
+    if (!completedRef) completedRef = &run;
+    if (!run.spec.reduction && !completedUnreducedRef) {
+      completedUnreducedRef = &run;
+    }
+  }
+  if (completedRef) {
+    std::vector<NamedOutcomes> sets;
+    for (const EngineRun& run : rep.runs) {
+      if (run.res.capped || run.res.mutexViolation) continue;
+      sets.push_back({run.spec.name, &run.res.outcomes});
+      if (run.res.maxCsOccupancy != completedRef->res.maxCsOccupancy) {
+        flag(rep, run.spec.name + " reports maxCsOccupancy " +
+                      std::to_string(run.res.maxCsOccupancy) + " but " +
+                      completedRef->spec.name + " reports " +
+                      std::to_string(completedRef->res.maxCsOccupancy));
+      }
+    }
+    const auto eq = checkOutcomeSetEquality(sets);
+    if (!eq.holds) flag(rep, eq.property + ": " + eq.detail);
+  }
+  if (completedUnreducedRef) {
+    for (const EngineRun& run : rep.runs) {
+      if (run.res.capped || run.res.mutexViolation) continue;
+      if (!run.spec.reduction &&
+          run.res.statesVisited != completedUnreducedRef->res.statesVisited) {
+        flag(rep, run.spec.name + " visited " +
+                      std::to_string(run.res.statesVisited) + " states but " +
+                      completedUnreducedRef->spec.name + " visited " +
+                      std::to_string(
+                          completedUnreducedRef->res.statesVisited));
+      }
+      if (run.spec.reduction &&
+          run.res.statesVisited >
+              completedUnreducedRef->res.statesVisited) {
+        flag(rep, run.spec.name + " visited more states (" +
+                      std::to_string(run.res.statesVisited) +
+                      ") than the unreduced engine (" +
+                      std::to_string(
+                          completedUnreducedRef->res.statesVisited) +
+                      ")");
+      }
+    }
+  }
+
+  // Liveness leg: every complete graph construction must agree.
+  if (opts.livenessMaxStates > 0) {
+    struct LivenessSpec {
+      int workers;
+      bool reduction;
+    };
+    const LivenessSpec lspecs[] = {{1, false}, {4, false}, {1, true}};
+    for (const LivenessSpec& ls : lspecs) {
+      sim::LivenessOptions lo;
+      lo.maxStates = opts.livenessMaxStates;
+      lo.workers = ls.workers;
+      lo.reduction = ls.reduction;
+      rep.liveness.push_back(sim::checkLiveness(sys, lo));
+    }
+    const sim::LivenessResult* ref = nullptr;
+    for (const sim::LivenessResult& lr : rep.liveness) {
+      if (!lr.complete) continue;
+      if (!ref) {
+        ref = &lr;
+      } else if (lr.allCanTerminate != ref->allCanTerminate) {
+        flag(rep, "liveness engines disagree on allCanTerminate");
+      }
+      const auto tele = checkTelemetryConsistency(lr.telemetry, lr.states);
+      if (!tele.holds) {
+        flag(rep, "liveness: " + tele.property + ": " + tele.detail);
+      }
+    }
+  }
+
+  if (!rep.conformant) return rep;
+
+  // Conformant: derive the entry verdict from the strongest sound claim.
+  if (anyViolation) {
+    rep.verdict = Verdict::Violation;
+  } else if (anyCompletedClean) {
+    rep.verdict = Verdict::Pass;
+  } else {
+    rep.verdict = Verdict::Inconclusive;  // capped everywhere
+  }
+  return rep;
+}
+
+}  // namespace fencetrade::check

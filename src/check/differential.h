@@ -1,0 +1,69 @@
+// Cross-engine differential driver: one entry point that runs a System
+// through every exploration engine the repo has — the sequential DFS,
+// the work-stealing parallel engine at several worker counts, and the
+// POR-reduced engine — plus the liveness checker, and checks that all
+// sound claims agree.
+//
+// Agreement is defined soundly, not naively:
+//   * any claimed mutual-exclusion violation must replay (oracles.h);
+//   * an engine that found a violation contradicts an engine that
+//     exhausted the space violation-free — that is a conformance bug;
+//   * outcome sets and maxCsOccupancy must be identical across all
+//     engines that completed (capped prefixes legitimately differ);
+//   * statesVisited must be identical across completed *unreduced*
+//     engines, and the reduced engine must never visit more;
+//   * telemetry must satisfy checkTelemetryConsistency per engine;
+//   * all complete liveness runs must agree on allCanTerminate.
+// A capped-everywhere entry is Inconclusive; the reduction completing a
+// space the full engines cap on upgrades the entry to a real verdict
+// (the reduction preserves verdicts exactly — that is its contract).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/verdict.h"
+#include "sim/explore.h"
+#include "sim/machine.h"
+
+namespace fencetrade::check {
+
+struct EngineSpec {
+  std::string name;
+  int workers = 1;
+  bool reduction = false;
+};
+
+/// The default engine matrix: seq, par2, par4, por, por-par4.
+std::vector<EngineSpec> defaultEngines();
+
+struct DifferentialOptions {
+  std::uint64_t maxStates = 2'000'000;
+  /// 0 disables the liveness leg; otherwise its state cap.  Liveness
+  /// runs at 1 and 4 workers plus the reduced graph builder.
+  std::uint64_t livenessMaxStates = 0;
+  std::vector<EngineSpec> engines;  ///< empty = defaultEngines()
+};
+
+struct EngineRun {
+  EngineSpec spec;
+  sim::ExploreResult res;
+};
+
+struct DifferentialReport {
+  Verdict verdict = Verdict::Pass;
+  /// False iff the engines disagreed or an oracle failed — the
+  /// conformance failure the harness exists to catch.  A genuine,
+  /// replay-verified property violation that every engine agrees on
+  /// leaves conformant=true with verdict=Violation.
+  bool conformant = true;
+  std::string detail;  ///< first disagreement / oracle failure
+  std::vector<EngineRun> runs;
+  std::vector<sim::LivenessResult> liveness;  ///< empty when disabled
+};
+
+DifferentialReport runDifferential(const sim::System& sys,
+                                   const DifferentialOptions& opts = {});
+
+}  // namespace fencetrade::check

@@ -1,0 +1,90 @@
+// Reorder-bounded schedule fuzzing with witness shrinking.
+//
+// The fuzzer drives sim::runReorderBounded over a seed range: each seed
+// generates one random schedule whose scheduler-chosen commits may
+// overtake at most `reorderBudget` earlier buffered writes in total
+// (reorder-bounded search à la Joshi & Kroening, arXiv:1407.7443 —
+// weak-memory bugs need few reorderings, so small budgets concentrate
+// the search).  Any schedule reaching a configuration with two
+// processes inside their critical sections is a mutual-exclusion
+// violation; the violating schedule is then shrunk with a ddmin-style
+// delta debugger to a locally-minimal witness — removing any single
+// element no longer violates — and can be exported as a replayable
+// Chrome trace (sim/trace_export.h).
+//
+// Determinism: with no wall-clock budget, the reported witness is a
+// pure function of (system, options) — seeds are always effectively
+// scanned in ascending order, the *smallest* violating seed is shrunk,
+// and shrinking itself is deterministic — so the minimized witness is
+// byte-identical across runs and across worker counts.  A wall-clock
+// budget (maxSeconds) trades that determinism for bounded latency in
+// CI smoke jobs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/verdict.h"
+#include "sim/machine.h"
+
+namespace fencetrade::check {
+
+using ScheduleElem = std::pair<sim::ProcId, sim::Reg>;
+
+struct FuzzOptions {
+  std::uint64_t seeds = 256;      ///< number of seeds to scan
+  std::uint64_t seedBase = 1;     ///< first seed (inclusive)
+  /// Total write-overtake budget per schedule; < 0 = unlimited.
+  std::int64_t reorderBudget = 8;
+  std::int64_t maxSteps = 1 << 14;  ///< per-schedule step cap
+  double commitProb = 0.35;
+  int workers = 1;  ///< seed-scan threads (witness stays deterministic)
+  /// Wall-clock cap; 0 = none.  When set, seeds not started in time
+  /// are skipped and the verdict degrades to Inconclusive if nothing
+  /// was found (non-deterministic — CI smoke only).
+  double maxSeconds = 0.0;
+  bool shrink = true;
+};
+
+struct FuzzWitness {
+  std::uint64_t seed = 0;
+  /// The generated schedule, truncated at the violating step.
+  std::vector<ScheduleElem> schedule;
+  /// ddmin-minimized: locally minimal (1-minimal) under replay.
+  std::vector<ScheduleElem> minimized;
+  int occupancy = 0;  ///< CS occupancy the minimized witness reaches
+};
+
+struct FuzzReport {
+  std::uint64_t schedulesRun = 0;
+  std::uint64_t completedRuns = 0;  ///< schedules that ran all procs final
+  std::uint64_t violatingSeeds = 0;  ///< found, not exhaustive (skipping)
+  std::int64_t totalReorderings = 0;
+  double wallSeconds = 0.0;
+  std::optional<FuzzWitness> witness;  ///< smallest violating seed
+  Verdict verdict = Verdict::Pass;
+};
+
+/// Scan seeds for a mutual-exclusion violation and shrink the first
+/// (smallest-seed) violating schedule.
+FuzzReport fuzzMutualExclusion(const sim::System& sys,
+                               const FuzzOptions& opts = {});
+
+/// ddmin over schedule elements: returns a subsequence of `schedule`
+/// on which `violates` still returns true and from which no single
+/// element can be removed without losing the violation.  `violates`
+/// must hold for `schedule` itself.  Deterministic.
+std::vector<ScheduleElem> shrinkSchedule(
+    const std::vector<ScheduleElem>& schedule,
+    const std::function<bool(const std::vector<ScheduleElem>&)>& violates);
+
+/// Render a schedule as one element per line: "p3 commit R7" / "p0 step"
+/// (stable across runs — the witness artifact format).
+std::string scheduleToString(const sim::System& sys,
+                             const std::vector<ScheduleElem>& schedule);
+
+}  // namespace fencetrade::check

@@ -1,0 +1,36 @@
+#include "check/inject.h"
+
+#include "sim/program.h"
+
+namespace fencetrade::check {
+
+int stripFence(sim::System& sys, int fenceIndex) {
+  int removed = 0;
+  for (sim::Program& prog : sys.programs) {
+    int seen = 0;
+    for (std::size_t pc = 0; pc < prog.code.size(); ++pc) {
+      sim::Instr& ins = prog.code[pc];
+      if (ins.kind != sim::InstrKind::Fence) continue;
+      if (seen++ == fenceIndex) {
+        ins.kind = sim::InstrKind::Jmp;
+        ins.a = static_cast<std::int32_t>(pc + 1);
+        ins.expr0 = ins.expr1 = ins.expr2 = -1;
+        ++removed;
+        break;
+      }
+    }
+  }
+  return removed;
+}
+
+int countFences(const sim::System& sys) {
+  int count = 0;
+  for (const sim::Program& prog : sys.programs) {
+    for (const sim::Instr& ins : prog.code) {
+      if (ins.kind == sim::InstrKind::Fence) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace fencetrade::check

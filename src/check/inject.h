@@ -1,0 +1,22 @@
+// Fault injection for harness self-tests: weaken a System in a known
+// way and confirm the conformance machinery catches it.  The canonical
+// use is stripping a fence from GT_2 under PSO — the doorway-publish
+// fence is exactly what the paper trades against RMRs, and removing it
+// re-opens the write-reordering window the fuzzer is tuned to find.
+#pragma once
+
+#include "sim/machine.h"
+
+namespace fencetrade::check {
+
+/// Replace the `fenceIndex`-th Fence instruction (0-based, in code
+/// order) of every program with a jump to the next instruction — a
+/// free local no-op, so program counters, jump targets and CS/doorway
+/// markers all stay valid.  Returns the number of fences removed
+/// across all programs (0 when no program has that many fences).
+int stripFence(sim::System& sys, int fenceIndex);
+
+/// Total Fence instructions across all programs (injection sizing aid).
+int countFences(const sim::System& sys);
+
+}  // namespace fencetrade::check

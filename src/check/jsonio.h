@@ -1,0 +1,61 @@
+// Minimal dependency-free JSON emission helpers shared by the CLI
+// binaries' --json modes (lock_doctor, conformance).  Append-style:
+// callers assemble objects by interleaving these with raw '{', ',', '}'
+// characters, which keeps the emitted key order exactly as written —
+// the CI jq assertions rely on stable shapes, not stable order, but
+// byte-stable output also makes golden tests possible.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace fencetrade::check {
+
+inline void jsonKey(std::string& out, const char* key) {
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+inline void jsonStr(std::string& out, const char* key, const std::string& v) {
+  jsonKey(out, key);
+  out += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline void jsonU64(std::string& out, const char* key,
+                    unsigned long long v) {
+  jsonKey(out, key);
+  out += std::to_string(v);
+}
+
+inline void jsonBool(std::string& out, const char* key, bool v) {
+  jsonKey(out, key);
+  out += v ? "true" : "false";
+}
+
+inline void jsonDouble(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  jsonKey(out, key);
+  out += buf;
+}
+
+}  // namespace fencetrade::check

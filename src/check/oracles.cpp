@@ -1,0 +1,323 @@
+#include "check/oracles.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fencetrade::check {
+
+namespace {
+
+PropertyReport fail(std::string property, std::string detail) {
+  PropertyReport r;
+  r.property = std::move(property);
+  r.holds = false;
+  r.detail = std::move(detail);
+  return r;
+}
+
+PropertyReport pass(std::string property) {
+  PropertyReport r;
+  r.property = std::move(property);
+  return r;
+}
+
+PropertyReport notApplicable(std::string property, std::string why) {
+  PropertyReport r;
+  r.property = std::move(property);
+  r.applicable = false;
+  r.detail = std::move(why);
+  return r;
+}
+
+}  // namespace
+
+int maxOccupancyOnReplay(
+    const sim::System& sys,
+    const std::vector<std::pair<sim::ProcId, sim::Reg>>& schedule) {
+  sim::Config cfg = sim::initialConfig(sys);
+  int maxOcc = sim::detail::csOccupancy(sys, cfg);
+  for (const auto& [p, r] : schedule) {
+    sim::execElem(sys, cfg, p, r);  // final-process elements are no-ops
+    const int occ = sim::detail::csOccupancy(sys, cfg);
+    if (occ > maxOcc) maxOcc = occ;
+  }
+  return maxOcc;
+}
+
+PropertyReport checkMutualExclusionResult(const sim::System& sys,
+                                          const sim::ExploreResult& res) {
+  const char* prop = "mutual-exclusion";
+  if (!res.mutexViolation) {
+    if (res.maxCsOccupancy > 1) {
+      return fail(prop, "no violation claimed but maxCsOccupancy = " +
+                            std::to_string(res.maxCsOccupancy));
+    }
+    if (!res.witness.empty()) {
+      return fail(prop, "no violation claimed but a witness of " +
+                            std::to_string(res.witness.size()) +
+                            " elements was reported");
+    }
+    return pass(prop);
+  }
+  if (res.maxCsOccupancy < 2) {
+    return fail(prop, "violation claimed with maxCsOccupancy = " +
+                          std::to_string(res.maxCsOccupancy));
+  }
+  const int replayed = maxOccupancyOnReplay(sys, res.witness);
+  if (replayed < 2) {
+    return fail(prop,
+                "witness of " + std::to_string(res.witness.size()) +
+                    " elements replays to max occupancy " +
+                    std::to_string(replayed) + " — stale or truncated");
+  }
+  // A genuine, replay-verified violation: the property does not hold
+  // for the system, and the report is sound.
+  PropertyReport r;
+  r.property = prop;
+  r.holds = false;
+  r.verifiedViolation = true;
+  r.detail = "witness of " + std::to_string(res.witness.size()) +
+             " elements replays to occupancy " + std::to_string(replayed);
+  return r;
+}
+
+PropertyReport checkDeadlockFreedom(const sim::LivenessResult& res) {
+  const char* prop = "deadlock-freedom";
+  if (!res.complete) {
+    return notApplicable(prop, "liveness graph construction was capped");
+  }
+  if (!res.allCanTerminate) {
+    return fail(prop, std::to_string(res.stuckStates) + " of " +
+                          std::to_string(res.states) +
+                          " states cannot reach a terminal state");
+  }
+  if (res.stuckStates != 0) {
+    return fail(prop, "allCanTerminate with stuckStates = " +
+                          std::to_string(res.stuckStates));
+  }
+  return pass(prop);
+}
+
+PropertyReport checkOutcomeSetEquality(
+    const std::vector<NamedOutcomes>& sets) {
+  const char* prop = "outcome-set-equality";
+  if (sets.size() < 2) return pass(prop);
+  for (std::size_t i = 1; i < sets.size(); ++i) {
+    FT_CHECK(sets[i].outcomes && sets[0].outcomes)
+        << "checkOutcomeSetEquality: null outcome set";
+    if (*sets[i].outcomes != *sets[0].outcomes) {
+      return fail(prop,
+                  sets[0].name + " has " +
+                      sim::outcomesToString(*sets[0].outcomes) + " but " +
+                      sets[i].name + " has " +
+                      sim::outcomesToString(*sets[i].outcomes));
+    }
+  }
+  return pass(prop);
+}
+
+PropertyReport checkTelemetryConsistency(const sim::ExploreTelemetry& t,
+                                         std::uint64_t statesVisited) {
+  const char* prop = "telemetry-consistency";
+  if (t.workers.empty()) return fail(prop, "no per-worker telemetry");
+  std::uint64_t admitted = 0, probes = 0, hits = 0, expansions = 0;
+  for (std::size_t w = 0; w < t.workers.size(); ++w) {
+    const sim::WorkerTelemetry& wt = t.workers[w];
+    if (wt.dedupHits > wt.dedupProbes) {
+      return fail(prop, "worker " + std::to_string(w) + " has dedupHits " +
+                            std::to_string(wt.dedupHits) + " > probes " +
+                            std::to_string(wt.dedupProbes));
+    }
+    admitted += wt.statesAdmitted;
+    probes += wt.dedupProbes;
+    hits += wt.dedupHits;
+    expansions += wt.expansions;
+  }
+  if (admitted != statesVisited) {
+    return fail(prop, "worker admissions sum to " + std::to_string(admitted) +
+                          " but statesVisited = " +
+                          std::to_string(statesVisited));
+  }
+  if (probes != t.dedupProbes || hits != t.dedupHits) {
+    return fail(prop, "aggregate dedup counters disagree with worker sums");
+  }
+  if (expansions > admitted) {
+    return fail(prop, "expansions " + std::to_string(expansions) +
+                          " exceed admissions " + std::to_string(admitted));
+  }
+  if (t.wallSeconds < 0.0) return fail(prop, "negative wall time");
+  return pass(prop);
+}
+
+PropertyReport checkAccounting(const sim::System& sys,
+                               const sim::Execution& exec, int n,
+                               bool completed) {
+  const char* prop = "rmr-accounting";
+  std::vector<std::int64_t> writes(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> commits(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> fences(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> rmrs(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> returns(static_cast<std::size_t>(n), 0);
+  std::vector<std::size_t> lastStep(static_cast<std::size_t>(n), 0);
+  std::int64_t totalReturns = 0;
+
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const sim::Step& s = exec[i];
+    const auto where = " at step " + std::to_string(i);
+    if (s.p < 0 || s.p >= n) return fail(prop, "proc out of range" + where);
+    const auto p = static_cast<std::size_t>(s.p);
+    lastStep[p] = i;
+    if (s.remote != (s.remoteDsm && s.remoteCc)) {
+      return fail(prop, "remote != (remoteDsm && remoteCc)" + where);
+    }
+    if (s.fromBuffer && s.kind != sim::StepKind::Read) {
+      return fail(prop, "fromBuffer on a non-read step" + where);
+    }
+    if (s.fromBuffer && s.remoteCc) {
+      return fail(prop, "buffer-forwarded read marked a cache miss" + where);
+    }
+    if (sys.model == sim::MemoryModel::SC) {
+      if (s.kind == sim::StepKind::Commit) {
+        return fail(prop, "commit step under SC" + where);
+      }
+      if (s.fromBuffer) {
+        return fail(prop, "buffer forwarding under SC" + where);
+      }
+    }
+    if (s.remote) ++rmrs[p];
+    switch (s.kind) {
+      case sim::StepKind::Write: ++writes[p]; break;
+      case sim::StepKind::Commit: ++commits[p]; break;
+      case sim::StepKind::Fence:
+        ++fences[p];
+        if (s.remote || s.remoteDsm || s.remoteCc) {
+          return fail(prop, "fence classified remote" + where);
+        }
+        break;
+      case sim::StepKind::Return:
+        ++returns[p];
+        ++totalReturns;
+        if (s.remote || s.remoteDsm || s.remoteCc) {
+          return fail(prop, "return classified remote" + where);
+        }
+        break;
+      default: break;
+    }
+  }
+
+  const sim::StepCounts counted = sim::countSteps(exec, n);
+  std::int64_t fenceSum = 0, rmrSum = 0;
+  for (int p = 0; p < n; ++p) {
+    const auto up = static_cast<std::size_t>(p);
+    if (counted.fencesPerProc[up] != fences[up] ||
+        counted.rmrsPerProc[up] != rmrs[up]) {
+      return fail(prop, "countSteps per-proc totals disagree with a direct "
+                        "recount for p" + std::to_string(p));
+    }
+    // Buffered writes can be replaced (PSO) before committing, so
+    // commits never exceed writes; under SC nothing is buffered.
+    if (commits[up] > writes[up]) {
+      return fail(prop, "p" + std::to_string(p) + " committed " +
+                            std::to_string(commits[up]) +
+                            " writes but buffered only " +
+                            std::to_string(writes[up]));
+    }
+    fenceSum += fences[up];
+    rmrSum += rmrs[up];
+  }
+  if (counted.fences != fenceSum || counted.rmrs != rmrSum) {
+    return fail(prop, "countSteps aggregate β/ρ disagree with per-proc sums");
+  }
+  if (completed) {
+    if (totalReturns != n) {
+      return fail(prop, "completed run has " + std::to_string(totalReturns) +
+                            " returns for " + std::to_string(n) +
+                            " processes");
+    }
+    for (int p = 0; p < n; ++p) {
+      const auto up = static_cast<std::size_t>(p);
+      if (returns[up] != 1) {
+        return fail(prop, "p" + std::to_string(p) + " returned " +
+                              std::to_string(returns[up]) + " times");
+      }
+      if (exec[lastStep[up]].kind != sim::StepKind::Return) {
+        return fail(prop, "p" + std::to_string(p) +
+                              "'s last step is not its return");
+      }
+    }
+  }
+  return pass(prop);
+}
+
+PropertyReport checkBoundedBypass(
+    const sim::System& sys,
+    const std::vector<std::pair<sim::ProcId, sim::Reg>>& schedule,
+    int maxBypass) {
+  const char* prop = "bounded-bypass";
+  const int n = sys.n();
+  for (const sim::Program& prog : sys.programs) {
+    if (prog.dwBegin < 0 || prog.dwEnd <= prog.dwBegin) {
+      return notApplicable(prop, "program " + prog.name +
+                                     " carries no doorway markers");
+    }
+  }
+
+  // Replay, recording the first step index at which each process enters
+  // its doorway, completes it (pc past dwEnd), and enters its CS.
+  std::vector<std::int64_t> dwEntered(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> dwDone(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> csEntered(static_cast<std::size_t>(n), -1);
+  sim::Config cfg = sim::initialConfig(sys);
+  std::int64_t stepIdx = 0;
+  auto observe = [&]() {
+    for (int q = 0; q < n; ++q) {
+      const auto uq = static_cast<std::size_t>(q);
+      const sim::Program& prog = sys.programs[uq];
+      const sim::ProcState& ps = cfg.procs[uq];
+      if (ps.final) continue;
+      if (dwEntered[uq] == -1 && ps.pc >= prog.dwBegin &&
+          ps.pc < prog.dwEnd) {
+        dwEntered[uq] = stepIdx;
+      }
+      if (dwDone[uq] == -1 && ps.pc >= prog.dwEnd) dwDone[uq] = stepIdx;
+      if (csEntered[uq] == -1 && sim::inCriticalSection(sys, cfg, q)) {
+        csEntered[uq] = stepIdx;
+      }
+    }
+  };
+  observe();
+  for (const auto& [p, r] : schedule) {
+    auto step = sim::execElem(sys, cfg, p, r);
+    if (!step.has_value()) continue;
+    ++stepIdx;
+    observe();
+  }
+
+  for (int p = 0; p < n; ++p) {
+    const auto up = static_cast<std::size_t>(p);
+    if (dwDone[up] == -1 || csEntered[up] == -1) continue;
+    int bypasses = 0;
+    for (int q = 0; q < n; ++q) {
+      if (q == p) continue;
+      const auto uq = static_cast<std::size_t>(q);
+      if (csEntered[uq] == -1) continue;
+      // p completed its doorway before q entered its doorway...
+      const bool pFirst =
+          dwEntered[uq] == -1 || dwDone[up] < dwEntered[uq];
+      // ...yet q entered the critical section before p.
+      if (pFirst && csEntered[uq] < csEntered[up]) ++bypasses;
+    }
+    if (bypasses > maxBypass) {
+      std::ostringstream msg;
+      msg << "p" << p << " completed its doorway first but was bypassed "
+          << bypasses << " times (bound " << maxBypass << ")";
+      PropertyReport r = fail(prop, msg.str());
+      r.verifiedViolation = true;  // derived from the replay itself
+      return r;
+    }
+  }
+  return pass(prop);
+}
+
+}  // namespace fencetrade::check

@@ -1,0 +1,92 @@
+// Reusable property oracles over engine results and executions.
+//
+// Each oracle takes a System plus an artifact some engine produced — an
+// ExploreResult, a LivenessResult, an Execution, a schedule — and
+// checks one property, returning a PropertyReport rather than
+// asserting, so the differential driver, the fuzzer, the CLIs and the
+// unit tests all share one notion of "mutual exclusion holds" or "the
+// β/ρ accounting is consistent".  Oracles never trust an engine's own
+// verdict where they can re-derive it: a claimed mutual-exclusion
+// violation is accepted only if its witness schedule actually replays
+// to a configuration with two processes inside their critical sections.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/explore.h"
+#include "sim/machine.h"
+
+namespace fencetrade::check {
+
+struct PropertyReport {
+  std::string property;
+  /// False when the system lacks what the property needs (e.g. no
+  /// doorway markers for FCFS); `holds` is then vacuously true.
+  bool applicable = true;
+  bool holds = true;
+  /// Set (with holds=false) when the property is genuinely violated
+  /// and the oracle re-derived the violation from evidence (e.g. a
+  /// witness replay).  holds=false with verifiedViolation=false means
+  /// the *report being checked* is inconsistent — a harness bug, not a
+  /// property violation.
+  bool verifiedViolation = false;
+  std::string detail;  ///< human-readable reason when !holds
+};
+
+/// Mutual exclusion, cross-checked against the result's own claims:
+///   * no violation claimed  -> maxCsOccupancy <= 1 and empty witness;
+///   * violation claimed     -> the witness schedule must replay from
+///     the initial configuration to a state with >= 2 processes in
+///     their critical sections (stale/truncated witnesses fail here).
+PropertyReport checkMutualExclusionResult(const sim::System& sys,
+                                          const sim::ExploreResult& res);
+
+/// Deadlock-freedom (termination reachability).  Not applicable when
+/// the liveness graph construction was capped.
+PropertyReport checkDeadlockFreedom(const sim::LivenessResult& res);
+
+/// Outcome-set equality across engines.  Each entry is (engine name,
+/// outcome set); the report names the first disagreeing pair.
+struct NamedOutcomes {
+  std::string name;
+  const std::set<std::vector<sim::Value>>* outcomes = nullptr;
+};
+PropertyReport checkOutcomeSetEquality(const std::vector<NamedOutcomes>& sets);
+
+/// Telemetry invariants every engine must satisfy: per-worker
+/// statesAdmitted sum to statesVisited, aggregate dedup counters equal
+/// the per-worker sums, hits never exceed probes, expansions never
+/// exceed admissions.
+PropertyReport checkTelemetryConsistency(const sim::ExploreTelemetry& t,
+                                         std::uint64_t statesVisited);
+
+/// β/ρ accounting consistency of an execution under the combined
+/// DSM+CC model: remote == (remoteDsm && remoteCc) stepwise, buffer
+/// forwarding implies a CC-local read, SC executions never buffer,
+/// commits never outnumber writes, per-process fence/RMR vectors sum to
+/// the totals, and a completed run returns exactly once per process,
+/// as its last step.
+PropertyReport checkAccounting(const sim::System& sys,
+                               const sim::Execution& exec, int n,
+                               bool completed);
+
+/// First-come-first-served / bounded bypass over one schedule, by
+/// replay: if p completes its doorway before q enters its doorway, q
+/// may enter the critical section ahead of p at most `maxBypass` times
+/// (0 = Lamport's FCFS).  Applicable only when every program carries
+/// doorway markers.
+PropertyReport checkBoundedBypass(
+    const sim::System& sys,
+    const std::vector<std::pair<sim::ProcId, sim::Reg>>& schedule,
+    int maxBypass = 0);
+
+/// Replay `schedule` and report the maximum critical-section occupancy
+/// seen at any point (the fuzzer's and the witness verifier's core).
+int maxOccupancyOnReplay(const sim::System& sys,
+                         const std::vector<std::pair<sim::ProcId,
+                                                     sim::Reg>>& schedule);
+
+}  // namespace fencetrade::check

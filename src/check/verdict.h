@@ -1,0 +1,55 @@
+// Shared verdict vocabulary and exit-code mapping of the model-checking
+// CLIs (examples/lock_doctor, examples/conformance).
+//
+// Both binaries expose the same contract to CI and to humans:
+//   exit 0 — the checked property holds for everything that ran
+//   exit 1 — a genuine violation was found (witness-backed)
+//   exit 2 — usage error
+//   exit 3 — inconclusive: a search was capped before exhausting its
+//            budget and no violation was found in the explored prefix
+// Keeping the mapping in one header keeps the binaries from drifting;
+// before this header the INCONCLUSIVE=3 convention lived only in
+// lock_doctor.cpp.
+#pragma once
+
+namespace fencetrade::check {
+
+enum class Verdict {
+  Pass = 0,
+  Violation = 1,
+  UsageError = 2,
+  Inconclusive = 3,
+};
+
+/// The process exit code a CLI reporting `v` must return.
+inline int verdictExitCode(Verdict v) { return static_cast<int>(v); }
+
+/// Stable string form used in --json output ("correct", "violated",
+/// "usage-error", "inconclusive") — lock_doctor's historical vocabulary.
+inline const char* verdictName(Verdict v) {
+  switch (v) {
+    case Verdict::Pass: return "correct";
+    case Verdict::Violation: return "violated";
+    case Verdict::UsageError: return "usage-error";
+    case Verdict::Inconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+/// Combine per-entry verdicts into a whole-run verdict.  Severity:
+/// Violation > UsageError > Inconclusive > Pass — one violated corpus
+/// entry makes the run exit 1 even if every other entry passed.
+inline Verdict combineVerdicts(Verdict a, Verdict b) {
+  auto rank = [](Verdict v) {
+    switch (v) {
+      case Verdict::Violation: return 3;
+      case Verdict::UsageError: return 2;
+      case Verdict::Inconclusive: return 1;
+      case Verdict::Pass: return 0;
+    }
+    return 0;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+}  // namespace fencetrade::check

@@ -1,5 +1,7 @@
 #include "sim/schedule.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace fencetrade::sim {
@@ -61,6 +63,83 @@ RunResult runRandom(const System& sys, Config& cfg, util::Rng& rng,
     auto step = execElem(sys, cfg, p, r);
     FT_CHECK(step.has_value());
     res.exec.push_back(*step);
+  }
+  res.completed = allFinal(cfg);
+  return res;
+}
+
+ScheduleRunResult runReorderBounded(const System& sys, Config& cfg,
+                                    util::Rng& rng,
+                                    const ReorderBoundOptions& opts) {
+  ScheduleRunResult res;
+  const int n = sys.n();
+  // Per-process buffered registers in first-buffered order.  Committing
+  // order[p][i] overtakes the i registers buffered before it; a PSO
+  // write replacing a pending entry keeps the entry's position (the
+  // paper's WB update rule replaces the value in place).  TSO only ever
+  // commits the front, so its overtake cost is always 0, and SC buffers
+  // nothing.
+  std::vector<std::vector<Reg>> order(static_cast<std::size_t>(n));
+  std::int64_t remaining = opts.reorderBudget;
+
+  auto overtakeCost = [&](ProcId p, Reg r) -> std::int64_t {
+    const auto& ord = order[static_cast<std::size_t>(p)];
+    for (std::size_t i = 0; i < ord.size(); ++i) {
+      if (ord[i] == r) return static_cast<std::int64_t>(i);
+    }
+    return 0;  // TSO front / untracked: no overtake
+  };
+
+  auto noteStep = [&](const Step& s) {
+    auto& ord = order[static_cast<std::size_t>(s.p)];
+    if (s.kind == StepKind::Write && sys.model != MemoryModel::SC) {
+      if (sys.model == MemoryModel::TSO ||
+          std::find(ord.begin(), ord.end(), s.reg) == ord.end()) {
+        ord.push_back(s.reg);
+      }
+    } else if (s.kind == StepKind::Commit) {
+      auto it = std::find(ord.begin(), ord.end(), s.reg);
+      if (it != ord.end()) {
+        const auto cost = static_cast<std::int64_t>(it - ord.begin());
+        res.reorderings += cost;
+        if (remaining >= 0) remaining -= cost;  // may go negative: forced
+        ord.erase(it);
+      }
+    }
+  };
+
+  for (std::int64_t i = 0; i < opts.maxSteps; ++i) {
+    if (allFinal(cfg)) {
+      res.completed = true;
+      return res;
+    }
+    std::vector<ProcId> live;
+    for (int p = 0; p < n; ++p) {
+      if (!cfg.procs[static_cast<std::size_t>(p)].final) live.push_back(p);
+    }
+    const ProcId p = live[rng.below(live.size())];
+    Reg r = kNoReg;
+    const WriteBuffer& wb = cfg.buffers[static_cast<std::size_t>(p)];
+    if (!wb.empty() && rng.uniform01() < opts.commitProb) {
+      // Pick uniformly among the committable registers whose overtake
+      // cost fits the remaining budget; none fitting = program step.
+      std::vector<Reg> fits;
+      for (Reg cand : wb.distinctRegs()) {
+        if (!wb.canCommitReg(cand)) continue;
+        if (remaining >= 0 && overtakeCost(p, cand) > remaining) continue;
+        fits.push_back(cand);
+      }
+      if (!fits.empty()) r = fits[rng.below(fits.size())];
+    }
+    auto step = execElem(sys, cfg, p, r);
+    FT_CHECK(step.has_value());
+    noteStep(*step);
+    res.schedule.emplace_back(p, r);
+    res.exec.push_back(*step);
+    if (opts.stopWhen && opts.stopWhen(cfg)) {
+      res.stopped = true;
+      return res;
+    }
   }
   res.completed = allFinal(cfg);
   return res;

@@ -1,9 +1,12 @@
 // Whole-execution drivers on top of execElem: solo runs, sequential
-// passages (the uncontended cost measurements of EXP-F1/EXP-BT), and
-// randomized / round-robin contended runs.
+// passages (the uncontended cost measurements of EXP-F1/EXP-BT),
+// randomized / round-robin contended runs, and the reorder-bounded
+// schedule generator backing the conformance fuzzer (src/check/fuzz.h).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/machine.h"
@@ -37,5 +40,50 @@ RunResult runRandom(const System& sys, Config& cfg, util::Rng& rng,
 /// Deterministic round-robin over non-final processes, elements (p, ⊥).
 RunResult runRoundRobin(const System& sys, Config& cfg,
                         std::int64_t maxSteps);
+
+// ---------------------------------------------------------------------------
+// Reorder-bounded schedule generation.
+//
+// Following reorder-bounded model checking (Joshi & Kroening,
+// arXiv:1407.7443), the generator bounds the number of *write
+// reorderings* a schedule performs: a commit of a buffered write that
+// overtakes k writes buffered earlier by the same process costs k units
+// of a global budget.  Budget 0 restricted to scheduler-chosen commits
+// makes a PSO machine commit in program order (TSO-like); small budgets
+// concentrate the search on the few reorderings weak-memory bugs need.
+// ---------------------------------------------------------------------------
+
+struct ReorderBoundOptions {
+  std::int64_t maxSteps = 1 << 14;
+  /// Total write-reordering budget for the run; < 0 = unlimited.
+  /// Scheduler-chosen commits that would exceed the remaining budget
+  /// are not picked.  Forced drains (a fence/CAS committing the
+  /// smallest register first) follow the machine semantics regardless
+  /// and are charged but never blocked.
+  std::int64_t reorderBudget = -1;
+  /// Probability a step tries to commit a buffered register instead of
+  /// taking a program step.
+  double commitProb = 0.35;
+  /// Invoked after every executed step; returning true stops the run
+  /// (ScheduleRunResult::stopped) with the schedule so far — the
+  /// fuzzer's property-violation hook.
+  std::function<bool(const Config&)> stopWhen;
+};
+
+struct ScheduleRunResult {
+  Execution exec;
+  /// The exact elements passed to execElem, replayable via
+  /// replaySchedule() (trace_export.h) for a byte-stable witness.
+  std::vector<std::pair<ProcId, Reg>> schedule;
+  bool completed = false;  ///< all processes final
+  bool stopped = false;    ///< stopWhen fired
+  std::int64_t reorderings = 0;  ///< write-overtake units actually spent
+};
+
+/// Uniformly random schedule whose commit choices respect the reorder
+/// budget.  Deterministic given (sys, cfg, rng state, opts).
+ScheduleRunResult runReorderBounded(const System& sys, Config& cfg,
+                                    util::Rng& rng,
+                                    const ReorderBoundOptions& opts = {});
 
 }  // namespace fencetrade::sim

@@ -26,15 +26,17 @@ class KeyArena {
   std::string_view intern(std::string_view s) {
     if (s.size() > kChunkSize) {
       // Oversized key: dedicated chunk, still arena-owned.
-      chunks_.emplace_back(Chunk{std::make_unique<char[]>(s.size()), 0});
+      chunks_.emplace_back(
+          Chunk{std::make_unique<char[]>(s.size()), 0, s.size()});
       Chunk& c = chunks_.back();
       std::memcpy(c.data.get(), s.data(), s.size());
       c.used = s.size();
       bytes_ += s.size();
       return {c.data.get(), s.size()};
     }
-    if (chunks_.empty() || chunks_.back().used + s.size() > kChunkSize) {
-      chunks_.emplace_back(Chunk{std::make_unique<char[]>(kChunkSize), 0});
+    if (chunks_.empty() || chunks_.back().used + s.size() > chunks_.back().cap) {
+      chunks_.emplace_back(
+          Chunk{std::make_unique<char[]>(kChunkSize), 0, kChunkSize});
     }
     Chunk& c = chunks_.back();
     char* dst = c.data.get() + c.used;
@@ -47,12 +49,24 @@ class KeyArena {
   /// Total key bytes interned (excludes chunk slack).
   std::size_t bytes() const { return bytes_; }
 
+  /// Drop every interned key but keep the first chunk's storage for
+  /// reuse — the repeated-exploration pattern (one exploration per
+  /// engine in the conformance driver) resets its visited set between
+  /// runs without re-paying the first chunk allocation.  All previously
+  /// returned views dangle after this.
+  void clear() {
+    if (chunks_.size() > 1) chunks_.resize(1);
+    if (!chunks_.empty()) chunks_.front().used = 0;
+    bytes_ = 0;
+  }
+
  private:
   static constexpr std::size_t kChunkSize = std::size_t{1} << 16;
 
   struct Chunk {
     std::unique_ptr<char[]> data;
     std::size_t used = 0;
+    std::size_t cap = 0;
   };
 
   std::vector<Chunk> chunks_;

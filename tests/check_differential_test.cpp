@@ -1,0 +1,132 @@
+#include "check/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "check/corpus.h"
+#include "check/inject.h"
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/litmus.h"
+
+namespace fencetrade::check {
+namespace {
+
+using sim::MemoryModel;
+
+TEST(DifferentialTest, CorrectLockIsConformantAndPasses) {
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  DifferentialOptions opts;
+  opts.livenessMaxStates = 200'000;
+  const DifferentialReport rep = runDifferential(sys, opts);
+  EXPECT_TRUE(rep.conformant) << rep.detail;
+  EXPECT_EQ(rep.verdict, Verdict::Pass) << rep.detail;
+  EXPECT_EQ(rep.runs.size(), defaultEngines().size());
+  EXPECT_FALSE(rep.liveness.empty());
+}
+
+TEST(DifferentialTest, GenuineViolationIsConformantViolated) {
+  const sim::System sys =
+      core::buildCountSystem(
+          MemoryModel::PSO, 2,
+          core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
+                                          core::PetersonVariant::TsoFence))
+          .sys;
+  const DifferentialReport rep = runDifferential(sys, {});
+  // Every engine agrees the lock is broken: a conformant violation.
+  EXPECT_TRUE(rep.conformant) << rep.detail;
+  EXPECT_EQ(rep.verdict, Verdict::Violation);
+}
+
+TEST(DifferentialTest, InjectedBugIsAgreedViolatedByAllEngines) {
+  sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::gtFactory(2)).sys;
+  ASSERT_GT(stripFence(sys, 0), 0);
+  const DifferentialReport rep = runDifferential(sys, {});
+  EXPECT_TRUE(rep.conformant) << rep.detail;
+  EXPECT_EQ(rep.verdict, Verdict::Violation);
+  for (const EngineRun& run : rep.runs) {
+    EXPECT_TRUE(run.res.mutexViolation) << run.spec.name;
+  }
+}
+
+TEST(DifferentialTest, CappedEverywhereIsInconclusive) {
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 3, core::bakeryFactory()).sys;
+  DifferentialOptions opts;
+  opts.maxStates = 100;  // far below the reachable space
+  const DifferentialReport rep = runDifferential(sys, opts);
+  EXPECT_TRUE(rep.conformant) << rep.detail;
+  EXPECT_EQ(rep.verdict, Verdict::Inconclusive);
+}
+
+TEST(DifferentialTest, LitmusOutcomeSetsAgreeAcrossEngines) {
+  for (MemoryModel m :
+       {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO}) {
+    const sim::System sys = sim::litmusSB(m, false);
+    const DifferentialReport rep = runDifferential(sys, {});
+    ASSERT_TRUE(rep.conformant)
+        << "model " << static_cast<int>(m) << ": " << rep.detail;
+    EXPECT_EQ(rep.verdict, Verdict::Pass);
+    // All engines completed; their outcome sets must literally match.
+    const std::set<std::vector<sim::Value>>& first =
+        rep.runs.front().res.outcomes;
+    for (const EngineRun& run : rep.runs) {
+      EXPECT_EQ(run.res.outcomes, first) << run.spec.name;
+    }
+  }
+}
+
+TEST(DifferentialTest, ReductionNeverVisitsMoreStates) {
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  const DifferentialReport rep = runDifferential(sys, {});
+  ASSERT_TRUE(rep.conformant) << rep.detail;
+  std::uint64_t unreduced = 0, reduced = 0;
+  for (const EngineRun& run : rep.runs) {
+    if (run.spec.reduction) {
+      reduced = run.res.statesVisited;
+    } else {
+      unreduced = run.res.statesVisited;
+    }
+  }
+  ASSERT_GT(unreduced, 0u);
+  ASSERT_GT(reduced, 0u);
+  EXPECT_LE(reduced, unreduced);
+}
+
+TEST(CorpusTest, QuickCorpusIsSubsetOfFullAndWellFormed) {
+  const auto quick = conformanceCorpus(true);
+  const auto full = conformanceCorpus(false);
+  EXPECT_GT(quick.size(), 30u);
+  EXPECT_GT(full.size(), quick.size());
+  for (const CorpusEntry& e : full) {
+    EXPECT_FALSE(e.name.empty());
+    ASSERT_TRUE(static_cast<bool>(e.make)) << e.name;
+    EXPECT_GT(e.maxStates, 0u) << e.name;
+    const sim::System sys = e.make();
+    EXPECT_GE(sys.n(), 2) << e.name;
+  }
+}
+
+TEST(CorpusTest, QuickCorpusEntriesMatchExpectations) {
+  // The sanitizer-CI subset must hold its ground truth under the
+  // default engine matrix; this is the same loop the conformance CLI
+  // runs, kept here so plain ctest exercises it too.
+  for (const CorpusEntry& e : conformanceCorpus(true)) {
+    DifferentialOptions opts;
+    opts.maxStates = e.maxStates;
+    opts.livenessMaxStates = e.livenessMaxStates;
+    const DifferentialReport rep = runDifferential(e.make(), opts);
+    EXPECT_TRUE(rep.conformant) << e.name << ": " << rep.detail;
+    EXPECT_EQ(rep.verdict, e.expected) << e.name << ": " << rep.detail;
+  }
+}
+
+}  // namespace
+}  // namespace fencetrade::check

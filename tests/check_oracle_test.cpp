@@ -1,0 +1,208 @@
+#include "check/oracles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/inject.h"
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/explore.h"
+#include "sim/litmus.h"
+#include "sim/schedule.h"
+#include "util/rng.h"
+
+namespace fencetrade::check {
+namespace {
+
+using sim::MemoryModel;
+
+sim::System petersonTso(MemoryModel m) {
+  return core::buildCountSystem(
+             m, 2,
+             core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
+                                             core::PetersonVariant::TsoFence))
+      .sys;
+}
+
+TEST(MutexOracleTest, CleanResultHolds) {
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  const sim::ExploreResult res = sim::explore(sys, {});
+  ASSERT_FALSE(res.capped);
+  ASSERT_FALSE(res.mutexViolation);
+  const PropertyReport rep = checkMutualExclusionResult(sys, res);
+  EXPECT_TRUE(rep.applicable);
+  EXPECT_TRUE(rep.holds) << rep.detail;
+  EXPECT_FALSE(rep.verifiedViolation);
+}
+
+TEST(MutexOracleTest, GenuineViolationIsVerifiedByReplay) {
+  const sim::System sys = petersonTso(MemoryModel::PSO);
+  const sim::ExploreResult res = sim::explore(sys, {});
+  ASSERT_TRUE(res.mutexViolation);
+  const PropertyReport rep = checkMutualExclusionResult(sys, res);
+  EXPECT_FALSE(rep.holds);
+  EXPECT_TRUE(rep.verifiedViolation) << rep.detail;
+}
+
+TEST(MutexOracleTest, FabricatedViolationIsFlaggedAsHarnessBug) {
+  const sim::System sys = petersonTso(MemoryModel::SC);
+  sim::ExploreResult res = sim::explore(sys, {});
+  ASSERT_FALSE(res.mutexViolation);
+  // Forge a violation claim with no replayable witness behind it.
+  res.mutexViolation = true;
+  const PropertyReport rep = checkMutualExclusionResult(sys, res);
+  EXPECT_FALSE(rep.holds);
+  EXPECT_FALSE(rep.verifiedViolation)
+      << "a non-replaying witness must not count as a verified violation";
+}
+
+TEST(MutexOracleTest, StaleWitnessFromOtherSystemFails) {
+  // A witness from the violating PSO system must not validate against
+  // the (correct) SC build of the same lock.
+  const sim::System pso = petersonTso(MemoryModel::PSO);
+  const sim::ExploreResult violating = sim::explore(pso, {});
+  ASSERT_TRUE(violating.mutexViolation);
+
+  const sim::System sc = petersonTso(MemoryModel::SC);
+  sim::ExploreResult forged = sim::explore(sc, {});
+  forged.mutexViolation = true;
+  forged.witness = violating.witness;
+  forged.maxCsOccupancy = violating.maxCsOccupancy;
+  const PropertyReport rep = checkMutualExclusionResult(sc, forged);
+  EXPECT_FALSE(rep.holds);
+  EXPECT_FALSE(rep.verifiedViolation);
+}
+
+TEST(DeadlockOracleTest, CompleteLivenessResultHolds) {
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  const sim::LivenessResult live = sim::checkLiveness(sys, {});
+  ASSERT_TRUE(live.complete);
+  const PropertyReport rep = checkDeadlockFreedom(live);
+  EXPECT_TRUE(rep.applicable);
+  EXPECT_TRUE(rep.holds) << rep.detail;
+}
+
+TEST(DeadlockOracleTest, CappedLivenessIsNotApplicable) {
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  sim::LivenessOptions opts;
+  opts.maxStates = 4;
+  const sim::LivenessResult live = sim::checkLiveness(sys, opts);
+  ASSERT_FALSE(live.complete);
+  const PropertyReport rep = checkDeadlockFreedom(live);
+  EXPECT_FALSE(rep.applicable);
+  EXPECT_TRUE(rep.holds);
+}
+
+TEST(OutcomeOracleTest, EqualSetsHold) {
+  const std::set<std::vector<sim::Value>> a{{0, 1}, {1, 0}};
+  std::set<std::vector<sim::Value>> b = a;
+  const PropertyReport rep = checkOutcomeSetEquality(
+      {{"seq", &a}, {"par", &b}});
+  EXPECT_TRUE(rep.holds) << rep.detail;
+}
+
+TEST(OutcomeOracleTest, DisagreementNamesTheEngines) {
+  const std::set<std::vector<sim::Value>> a{{0, 1}, {1, 0}};
+  const std::set<std::vector<sim::Value>> b{{0, 1}};
+  const PropertyReport rep = checkOutcomeSetEquality(
+      {{"seq", &a}, {"par", &b}});
+  EXPECT_FALSE(rep.holds);
+  EXPECT_NE(rep.detail.find("seq"), std::string::npos);
+  EXPECT_NE(rep.detail.find("par"), std::string::npos);
+}
+
+TEST(TelemetryOracleTest, RealEngineTelemetryIsConsistent) {
+  const sim::System sys = sim::litmusMP(MemoryModel::PSO, false);
+  for (int workers : {1, 2, 4}) {
+    sim::ExploreOptions opts;
+    opts.workers = workers;
+    const sim::ExploreResult res = sim::explore(sys, opts);
+    const PropertyReport rep =
+        checkTelemetryConsistency(res.telemetry, res.statesVisited);
+    EXPECT_TRUE(rep.holds) << "workers=" << workers << ": " << rep.detail;
+  }
+}
+
+TEST(TelemetryOracleTest, CorruptedWorkerSumsAreCaught) {
+  const sim::System sys = sim::litmusMP(MemoryModel::PSO, false);
+  sim::ExploreResult res = sim::explore(sys, {});
+  ASSERT_FALSE(res.telemetry.workers.empty());
+  res.telemetry.workers[0].statesAdmitted += 1;
+  const PropertyReport rep =
+      checkTelemetryConsistency(res.telemetry, res.statesVisited);
+  EXPECT_FALSE(rep.holds);
+}
+
+TEST(AccountingOracleTest, CompletedExecutionsAreConsistentAcrossModels) {
+  for (MemoryModel m :
+       {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO}) {
+    const sim::System sys =
+        core::buildCountSystem(m, 2, core::bakeryFactory()).sys;
+    sim::Config cfg = sim::initialConfig(sys);
+    util::Rng rng(11);
+    const sim::ScheduleRunResult run = sim::runReorderBounded(sys, cfg, rng);
+    ASSERT_TRUE(run.completed);
+    const PropertyReport rep =
+        checkAccounting(sys, run.exec, sys.n(), run.completed);
+    EXPECT_TRUE(rep.holds)
+        << "model " << static_cast<int>(m) << ": " << rep.detail;
+  }
+}
+
+TEST(AccountingOracleTest, TamperedStepIsCaught) {
+  const sim::System sys = sim::litmusSB(MemoryModel::PSO, true);
+  sim::Config cfg = sim::initialConfig(sys);
+  util::Rng rng(3);
+  sim::ScheduleRunResult run = sim::runReorderBounded(sys, cfg, rng);
+  ASSERT_TRUE(run.completed);
+  ASSERT_FALSE(run.exec.empty());
+  // remote must equal remoteDsm && remoteCc; break that invariant.
+  run.exec.front().remote = !run.exec.front().remote;
+  const PropertyReport rep =
+      checkAccounting(sys, run.exec, sys.n(), run.completed);
+  EXPECT_FALSE(rep.holds);
+}
+
+TEST(BoundedBypassOracleTest, BakeryIsFcfsOnRandomSchedules) {
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Config cfg = sim::initialConfig(sys);
+    util::Rng rng(seed);
+    const sim::ScheduleRunResult run = sim::runReorderBounded(sys, cfg, rng);
+    ASSERT_TRUE(run.completed);
+    const PropertyReport rep = checkBoundedBypass(sys, run.schedule, 0);
+    EXPECT_TRUE(rep.applicable);
+    EXPECT_TRUE(rep.holds) << "seed " << seed << ": " << rep.detail;
+  }
+}
+
+TEST(BoundedBypassOracleTest, NotApplicableWithoutDoorwayMarkers) {
+  const sim::System sys = sim::litmusMP(MemoryModel::PSO, false);
+  sim::Config cfg = sim::initialConfig(sys);
+  util::Rng rng(1);
+  const sim::ScheduleRunResult run = sim::runReorderBounded(sys, cfg, rng);
+  const PropertyReport rep = checkBoundedBypass(sys, run.schedule, 0);
+  EXPECT_FALSE(rep.applicable);
+  EXPECT_TRUE(rep.holds);
+}
+
+TEST(ReplayOccupancyTest, ViolationWitnessReachesOccupancyTwo) {
+  sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::gtFactory(2)).sys;
+  ASSERT_GT(stripFence(sys, 0), 0);
+  const sim::ExploreResult res = sim::explore(sys, {});
+  ASSERT_TRUE(res.mutexViolation);
+  EXPECT_GE(maxOccupancyOnReplay(sys, res.witness), 2);
+}
+
+}  // namespace
+}  // namespace fencetrade::check

@@ -1,0 +1,119 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fencetrade::util {
+namespace {
+
+TEST(KeyArenaTest, InternReturnsStableEqualCopy) {
+  KeyArena arena;
+  std::string original = "hello, arena";
+  std::string_view v = arena.intern(original);
+  // Mutating (and even destroying) the source must not affect the copy.
+  original.assign(original.size(), 'x');
+  original.clear();
+  EXPECT_EQ(v, "hello, arena");
+  EXPECT_EQ(arena.bytes(), 12u);
+}
+
+TEST(KeyArenaTest, ViewsStayValidAcrossManyInterns) {
+  // Growing past multiple 64 KiB chunks must never move earlier keys —
+  // the visited sets hold views for the whole exploration.
+  KeyArena arena;
+  std::vector<std::string_view> views;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 5000; ++i) {
+    keys.push_back("key-" + std::to_string(i) +
+                   std::string(static_cast<std::size_t>(i % 97), 'p'));
+  }
+  std::size_t total = 0;
+  for (const std::string& k : keys) {
+    views.push_back(arena.intern(k));
+    total += k.size();
+  }
+  EXPECT_EQ(arena.bytes(), total);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(views[i], keys[i]) << "key " << i << " moved or corrupted";
+  }
+}
+
+TEST(KeyArenaTest, EmptyKeyIsInternable) {
+  KeyArena arena;
+  std::string_view v = arena.intern("");
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(arena.bytes(), 0u);
+}
+
+TEST(KeyArenaTest, OversizedKeyGetsDedicatedStorage) {
+  KeyArena arena;
+  const std::string big(std::size_t{1} << 17, 'b');  // 128 KiB > chunk
+  const std::string small = "after-the-big-one";
+  std::string_view bigView = arena.intern(big);
+  std::string_view smallView = arena.intern(small);
+  EXPECT_EQ(bigView, big);
+  EXPECT_EQ(smallView, small);
+  EXPECT_EQ(arena.bytes(), big.size() + small.size());
+}
+
+TEST(KeyArenaTest, ClearResetsAccountingAndAllowsReuse) {
+  KeyArena arena;
+  for (int i = 0; i < 1000; ++i) {
+    arena.intern("some reasonably long state key #" + std::to_string(i));
+  }
+  EXPECT_GT(arena.bytes(), 0u);
+  arena.clear();
+  EXPECT_EQ(arena.bytes(), 0u);
+  // Reuse after clear: fresh interns are intact and accounted from zero.
+  std::string_view v = arena.intern("fresh");
+  EXPECT_EQ(v, "fresh");
+  EXPECT_EQ(arena.bytes(), 5u);
+}
+
+TEST(KeyArenaTest, ClearAfterOversizedFirstKeyStaysInBounds) {
+  // Regression guard: when the *first* chunk is an oversized dedicated
+  // chunk, clear() keeps it for reuse — subsequent interns must respect
+  // that chunk's real capacity, not assume the default chunk size.
+  KeyArena arena;
+  const std::string big(std::size_t{1} << 17, 'z');
+  arena.intern(big);
+  arena.clear();
+  std::vector<std::string_view> views;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 3000; ++i) {
+    keys.push_back("post-clear-key-" + std::to_string(i) +
+                   std::string(static_cast<std::size_t>(i % 113), 'q'));
+    views.push_back(arena.intern(keys.back()));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(views[i], keys[i]);
+  }
+}
+
+TEST(KeyArenaTest, ClearAfterTinyFirstChunkStillReusesIt) {
+  KeyArena arena;
+  arena.intern("a");
+  arena.intern("b");
+  arena.clear();
+  std::string_view v1 = arena.intern("cc");
+  std::string_view v2 = arena.intern("dd");
+  EXPECT_EQ(v1, "cc");
+  EXPECT_EQ(v2, "dd");
+  EXPECT_EQ(arena.bytes(), 4u);
+}
+
+TEST(KeyArenaTest, BinaryKeysWithEmbeddedNulSurvive) {
+  // State keys are raw serialized bytes, not C strings.
+  KeyArena arena;
+  std::string key("ab\0cd\0\0e", 8);
+  std::string_view v = arena.intern(key);
+  ASSERT_EQ(v.size(), 8u);
+  EXPECT_EQ(std::string(v), key);
+}
+
+}  // namespace
+}  // namespace fencetrade::util

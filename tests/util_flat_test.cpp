@@ -1,0 +1,187 @@
+#include "util/flat.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fencetrade::util {
+namespace {
+
+TEST(FlatMapTest, EmptyBasics) {
+  FlatMap<int, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(7), m.end());
+  EXPECT_EQ(m.count(7), 0u);
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_EQ(m.erase(7), 0u);
+}
+
+TEST(FlatMapTest, SubscriptInsertsDefaultAndFinds) {
+  FlatMap<int, int> m;
+  m[3] = 30;
+  m[1] = 10;
+  m[2] = 20;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[1], 10);
+  EXPECT_EQ(m[2], 20);
+  EXPECT_EQ(m[3], 30);
+  // operator[] on a missing key default-constructs, like std::map.
+  EXPECT_EQ(m[4], 0);
+  EXPECT_EQ(m.size(), 4u);
+}
+
+TEST(FlatMapTest, IterationIsAscendingKeyOrder) {
+  FlatMap<int, std::string> m;
+  for (int k : {5, 1, 4, 2, 3}) m[k] = std::to_string(k);
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) {
+    keys.push_back(k);
+    EXPECT_EQ(v, std::to_string(k));
+  }
+  EXPECT_EQ(keys, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(FlatMapTest, EmplaceDoesNotOverwrite) {
+  FlatMap<int, int> m;
+  auto [it1, inserted1] = m.emplace(1, 100);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(it1->second, 100);
+  auto [it2, inserted2] = m.emplace(1, 999);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, 100);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, InsertOrAssignOverwrites) {
+  FlatMap<int, int> m;
+  m.insertOrAssign(1, 100);
+  m.insertOrAssign(1, 200);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[1], 200);
+}
+
+TEST(FlatMapTest, EraseKeepsOrder) {
+  FlatMap<int, int> m;
+  for (int k : {1, 2, 3, 4}) m[k] = k * 10;
+  EXPECT_EQ(m.erase(2), 1u);
+  EXPECT_EQ(m.erase(2), 0u);
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(FlatMapTest, EqualityIsValueEquality) {
+  FlatMap<int, int> a, b;
+  a[1] = 10;
+  a[2] = 20;
+  b[2] = 20;  // different insertion order, same content
+  b[1] = 10;
+  EXPECT_TRUE(a == b);
+  b[3] = 30;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FlatMapTest, MatchesStdMapUnderRandomWorkload) {
+  // Differential test against std::map: same operation stream, same
+  // observable state — the property the simulator relies on when it
+  // serializes Config contents canonically.
+  std::mt19937 rng(42);
+  FlatMap<int, int> flat;
+  std::map<int, int> ref;
+  for (int step = 0; step < 2000; ++step) {
+    const int k = static_cast<int>(rng() % 50);
+    switch (rng() % 4) {
+      case 0:
+        flat[k] = step;
+        ref[k] = step;
+        break;
+      case 1:
+        flat.insertOrAssign(k, -step);
+        ref[k] = -step;
+        break;
+      case 2:
+        flat.emplace(k, step);
+        ref.emplace(k, step);
+        break;
+      default:
+        EXPECT_EQ(flat.erase(k), ref.erase(k));
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  auto it = ref.begin();
+  for (const auto& [k, v] : flat) {
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+  EXPECT_EQ(it, ref.end());
+}
+
+TEST(FlatMapTest, ItemsExposesSortedBackingStorage) {
+  FlatMap<int, int> m;
+  m[2] = 20;
+  m[1] = 10;
+  const auto& items = m.items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], (std::pair<int, int>{1, 10}));
+  EXPECT_EQ(items[1], (std::pair<int, int>{2, 20}));
+}
+
+TEST(FlatSetTest, InsertDeduplicatesAndSorts) {
+  FlatSet<int> s;
+  EXPECT_TRUE(s.insert(3).second);
+  EXPECT_TRUE(s.insert(1).second);
+  EXPECT_FALSE(s.insert(3).second);
+  EXPECT_TRUE(s.insert(2).second);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.items(), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_EQ(s.count(2), 1u);
+  EXPECT_FALSE(s.contains(9));
+  EXPECT_EQ(s.count(9), 0u);
+}
+
+TEST(FlatSetTest, WorksWithPairElements) {
+  // (ProcId, Reg) schedule elements are stored in FlatSets by the
+  // reduction machinery; pairs must order lexicographically.
+  FlatSet<std::pair<int, int>> s;
+  s.insert({1, 2});
+  s.insert({0, 9});
+  s.insert({1, 0});
+  std::vector<std::pair<int, int>> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<std::pair<int, int>>{{0, 9}, {1, 0}, {1, 2}}));
+}
+
+TEST(FlatSetTest, MatchesStdSetUnderRandomWorkload) {
+  std::mt19937 rng(7);
+  FlatSet<std::uint32_t> flat;
+  std::set<std::uint32_t> ref;
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint32_t v = rng() % 100;
+    EXPECT_EQ(flat.insert(v).second, ref.insert(v).second);
+  }
+  std::vector<std::uint32_t> got(flat.begin(), flat.end());
+  std::vector<std::uint32_t> want(ref.begin(), ref.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(FlatSetTest, ClearEmpties) {
+  FlatSet<int> s;
+  s.insert(1);
+  s.insert(2);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.insert(1).second);
+}
+
+}  // namespace
+}  // namespace fencetrade::util
