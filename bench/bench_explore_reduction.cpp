@@ -73,7 +73,7 @@ void printReductionTable() {
     double fullSec = 0, redSec = 0;
     const auto oracle = timedExplore(c.sys, /*reduction=*/false, fullSec);
     const auto reduced = timedExplore(c.sys, /*reduction=*/true, redSec);
-    FT_CHECK(!oracle.capped && !reduced.capped)
+    FT_CHECK(!oracle.capped() && !reduced.capped())
         << c.name << ": exploration unexpectedly capped";
     // Differential soundness gate: the reduced run must reproduce the
     // oracle's observable behaviour exactly.
@@ -141,7 +141,7 @@ void BM_LivenessReducedGt1n3Pso(benchmark::State& state) {
     opts.maxStates = 5'000'000;
     opts.reduction = reduction;
     auto res = sim::checkLiveness(sys, opts);
-    FT_CHECK(res.complete && res.allCanTerminate)
+    FT_CHECK(res.complete() && res.allCanTerminate)
         << "GT_1 n=3 liveness verdict wrong (reduction="
         << (reduction ? 1 : 0) << ")";
     benchmark::DoNotOptimize(res.states);

@@ -57,7 +57,7 @@ void printScalingTable() {
 
   double seqSeconds = 0;
   const auto oracle = timedExplore(sys, /*workers=*/1, seqSeconds);
-  FT_CHECK(!oracle.capped) << "GT_2 n=3 exploration unexpectedly capped";
+  FT_CHECK(!oracle.capped()) << "GT_2 n=3 exploration unexpectedly capped";
   FT_CHECK(!oracle.mutexViolation) << "GT_2 must be mutex-correct";
   const double seqRate =
       static_cast<double>(oracle.statesVisited) / seqSeconds;

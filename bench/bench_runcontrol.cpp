@@ -1,0 +1,171 @@
+// EXP-ROBUST: cost of the cooperative run-control checks (cancel token,
+// deadline, memory budget) on the exploration hot path, measured on the
+// GT_2 (n=3) ordering system under PSO — the heaviest exploration the
+// verification pipeline runs.  The engines poll the control every 1024
+// admissions, so an attached-but-never-firing control must be free: the
+// built-in gate fails the binary if the states/sec overhead exceeds 1%.
+//
+// Machine-readable runs:
+//   bench_runcontrol --benchmark_min_time=0.05 \
+//     --benchmark_out=BENCH_runcontrol.json --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "sim/explore.h"
+#include "util/check.h"
+#include "util/runcontrol.h"
+
+namespace fencetrade {
+namespace {
+
+sim::System makeGtSystem(int f, int n) {
+  return core::buildCountSystem(sim::MemoryModel::PSO, n, core::gtFactory(f))
+      .sys;
+}
+
+/// A control that is fully armed (token + deadline + memory budget) but
+/// never fires during the run — the overhead of checking, not stopping.
+util::RunControl armedControl(util::CancelToken* tok) {
+  util::RunControl control;
+  control.cancel = tok;
+  control.deadline = util::RunControl::deadlineIn(3600.0);
+  control.memBudgetBytes = ~std::uint64_t{0};
+  return control;
+}
+
+sim::ExploreResult timedExplore(const sim::System& sys,
+                                const util::RunControl& control,
+                                double& seconds) {
+  sim::ExploreOptions opts;
+  opts.maxStates = 5'000'000;
+  opts.workers = 1;
+  opts.control = control;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto res = sim::explore(sys, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  seconds = std::chrono::duration<double>(t1 - t0).count();
+  return res;
+}
+
+/// Overhead gate: alternate control-off / control-on runs, form the
+/// per-rep paired ratio (on - off) / off, and gate on the median.
+/// Pairing cancels slow machine drift and the median discards the odd
+/// rep a shared CI box steals cycles from.
+void printControlOverhead() {
+  const sim::System sys = makeGtSystem(/*f=*/2, /*n=*/3);
+  util::CancelToken tok;
+
+  // Warm-up run to populate caches before either arm is timed.
+  double warm = 0;
+  const auto oracle = timedExplore(sys, {}, warm);
+  FT_CHECK(oracle.stopReason == util::StopReason::Complete)
+      << "GT_2 n=3 exploration unexpectedly stopped early";
+  FT_CHECK(!oracle.mutexViolation) << "GT_2 must be mutex-correct";
+
+  constexpr int kReps = 9;
+  std::vector<double> ratios;
+  double offTotal = 0, onTotal = 0;
+  for (int i = 0; i < kReps; ++i) {
+    double offSec = 0, onSec = 0;
+    const auto off = timedExplore(sys, {}, offSec);
+    const auto on = timedExplore(sys, armedControl(&tok), onSec);
+    offTotal += offSec;
+    onTotal += onSec;
+    ratios.push_back((onSec - offSec) / offSec);
+    // The armed control must not change what the engine computes.
+    FT_CHECK(on.statesVisited == off.statesVisited)
+        << "armed control changed the state count";
+    FT_CHECK(on.outcomes == off.outcomes)
+        << "armed control changed the outcome set";
+    FT_CHECK(on.stopReason == util::StopReason::Complete)
+        << "armed control fired during a run it should never stop";
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double overhead = ratios[ratios.size() / 2];
+
+  const double rateOff =
+      static_cast<double>(oracle.statesVisited) * kReps / offTotal;
+  const double rateOn =
+      static_cast<double>(oracle.statesVisited) * kReps / onTotal;
+  std::printf(
+      "EXP-ROBUST — run-control overhead, sequential GT_2 (n=3) PSO, "
+      "median of %d paired reps:\n"
+      "  control off: %.3fs total  (%.0f states/sec)\n"
+      "  control on : %.3fs total  (%.0f states/sec)\n"
+      "  overhead   : %+.2f%%  (gate: < 1%%)\n\n",
+      kReps, offTotal, rateOff, onTotal, rateOn, 100.0 * overhead);
+  FT_CHECK(overhead < 0.01)
+      << "run-control polling costs " << 100.0 * overhead
+      << "% states/sec — the 1% overhead gate failed";
+}
+
+void BM_ExploreGt2n3NoControl(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(2, 3);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    double seconds = 0;
+    auto res = timedExplore(sys, {}, seconds);
+    states = res.statesVisited;
+    benchmark::DoNotOptimize(res.outcomes);
+  }
+  state.counters["states/sec"] = benchmark::Counter(
+      static_cast<double>(states),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreGt2n3NoControl)->Unit(benchmark::kMillisecond);
+
+/// Same exploration with the fully armed control attached — compare
+/// against BM_ExploreGt2n3NoControl in a benchmark_out JSON to read the
+/// polling overhead.
+void BM_ExploreGt2n3ArmedControl(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(2, 3);
+  util::CancelToken tok;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    double seconds = 0;
+    auto res = timedExplore(sys, armedControl(&tok), seconds);
+    states = res.statesVisited;
+    benchmark::DoNotOptimize(res.outcomes);
+  }
+  state.counters["states/sec"] = benchmark::Counter(
+      static_cast<double>(states),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreGt2n3ArmedControl)->Unit(benchmark::kMillisecond);
+
+/// Checkpoint-armed run: the engine additionally serializes its full
+/// frontier + visited set into the checkpoint slot on early stops; on a
+/// run that completes, the only cost is the cleared slot.
+void BM_ExploreGt2n3CheckpointSlot(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(2, 3);
+  util::CancelToken tok;
+  for (auto _ : state) {
+    sim::ExploreOptions opts;
+    opts.maxStates = 5'000'000;
+    opts.workers = 1;
+    opts.control = armedControl(&tok);
+    std::string blob;
+    opts.checkpointOut = &blob;
+    auto res = sim::explore(sys, opts);
+    benchmark::DoNotOptimize(res.statesVisited);
+    benchmark::DoNotOptimize(blob);
+  }
+}
+BENCHMARK(BM_ExploreGt2n3CheckpointSlot)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printControlOverhead();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

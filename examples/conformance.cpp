@@ -22,14 +22,30 @@
 //                         before fuzzing (bug injection self-test)
 //       --witness FILE    write the minimized witness as a Chrome
 //                         trace (replayable in Perfetto)
+//       --checkpoint FILE write a resumable seed-scan checkpoint when
+//                         the scan stops early (fuzz only)
+//       --resume FILE     resume a prior early-stopped scan; the
+//                         resumed run reports the same witness as an
+//                         uninterrupted one (fuzz only)
+//
+//   Both subcommands accept --deadline SECS (wall-clock budget) and
+//   --mem-budget BYTES (visited-set arena budget, corpus legs only).
 //
 //   --json on either subcommand emits a machine-readable report.
 //
+// SIGINT/SIGTERM cancel the run cooperatively: the report for the
+// finished prefix is still emitted as valid JSON (with a stopReason),
+// the fuzz checkpoint is written when requested, and the process
+// exits 4.
+//
 // Exit codes (shared with lock_doctor via src/check/verdict.h):
-// 0 pass, 1 violation/conformance failure, 2 usage, 3 inconclusive.
+// 0 pass, 1 violation/conformance failure, 2 usage, 3 inconclusive,
+// 4 interrupted.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +62,8 @@
 #include "core/objects.h"
 #include "core/peterson.h"
 #include "sim/trace_export.h"
+#include "util/checkpoint.h"
+#include "util/runcontrol.h"
 
 namespace {
 
@@ -63,9 +81,11 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s corpus [--quick] [--json] [--stop-on-fail]\n"
+      "           [--deadline SECS] [--mem-budget BYTES]\n"
       "       %s fuzz [target] [SC|TSO|PSO] [n] [--seeds N] [--seed-base S]\n"
       "           [--budget R] [--max-seconds T] [--workers W]\n"
-      "           [--strip-fence K] [--witness FILE] [--json]\n",
+      "           [--strip-fence K] [--witness FILE] [--json]\n"
+      "           [--deadline SECS] [--checkpoint FILE] [--resume FILE]\n",
       argv0, argv0);
   return check::verdictExitCode(Verdict::UsageError);
 }
@@ -91,20 +111,32 @@ core::LockFactory fuzzTargetByName(const std::string& name, bool& ok) {
   return core::bakeryFactory();
 }
 
-int runCorpus(bool quick, bool json, bool stopOnFail) {
+int runCorpus(bool quick, bool json, bool stopOnFail,
+              const util::RunControl& control) {
   const auto corpus = check::conformanceCorpus(quick);
   Verdict overall = Verdict::Pass;
+  util::StopReason runStop = util::StopReason::Complete;
   std::string jout;
   jout += "{\"entries\":[";
   std::size_t ran = 0, agreed = 0;
 
   for (const check::CorpusEntry& entry : corpus) {
+    // Cancellation between entries: emit the finished prefix and stop.
+    if (control.cancelled()) {
+      runStop = util::StopReason::Cancelled;
+      overall = check::combineVerdicts(overall, Verdict::Interrupted);
+      break;
+    }
     const sim::System sys = entry.make();
     check::DifferentialOptions dopts;
     dopts.maxStates = entry.maxStates;
     dopts.livenessMaxStates = entry.livenessMaxStates;
+    dopts.control = control;
     const check::DifferentialReport rep =
         check::runDifferential(sys, dopts);
+    if (rep.stopReason == util::StopReason::Cancelled) {
+      runStop = util::StopReason::Cancelled;
+    }
     ++ran;
     if (rep.conformant) ++agreed;
 
@@ -117,6 +149,11 @@ int runCorpus(bool quick, bool json, bool stopOnFail) {
     Verdict entryStatus = Verdict::Pass;
     if (!rep.conformant) {
       entryStatus = Verdict::Violation;
+    } else if (rep.verdict == Verdict::Interrupted) {
+      // A cancelled entry proved nothing either way: not a corpus
+      // failure, but the run as a whole is Interrupted (exit 4).
+      entryStatus = Verdict::Interrupted;
+      detail = "entry cancelled before the engine matrix finished";
     } else if (rep.verdict != entry.expected) {
       entryStatus = Verdict::Violation;
       detail = std::string("expected ") + check::verdictName(entry.expected) +
@@ -141,6 +178,9 @@ int runCorpus(bool quick, bool json, bool stopOnFail) {
       jout += ',';
       check::jsonU64(jout, "statesVisited",
                      rep.runs.empty() ? 0 : rep.runs[0].res.statesVisited);
+      jout += ',';
+      check::jsonStr(jout, "stopReason",
+                     util::stopReasonName(rep.stopReason));
       if (!detail.empty()) {
         jout += ',';
         check::jsonStr(jout, "detail", detail);
@@ -161,19 +201,23 @@ int runCorpus(bool quick, bool json, bool stopOnFail) {
     jout += ',';
     check::jsonU64(jout, "entriesConformant", agreed);
     jout += ',';
+    check::jsonStr(jout, "stopReason", util::stopReasonName(runStop));
+    jout += ',';
     check::jsonStr(jout, "verdict", check::verdictName(overall));
     jout += "}\n";
     std::fputs(jout.c_str(), stdout);
   } else {
-    std::printf("corpus: %zu entries, %zu conformant, verdict %s\n", ran,
-                agreed, check::verdictName(overall));
+    std::printf("corpus: %zu entries, %zu conformant, stop %s, verdict %s\n",
+                ran, agreed, util::stopReasonName(runStop),
+                check::verdictName(overall));
   }
   return check::verdictExitCode(overall);
 }
 
 int runFuzz(const std::string& target, const std::string& modelName, int n,
-            const check::FuzzOptions& fopts, int stripFenceIdx, bool json,
-            const std::string& witnessPath, const char* argv0) {
+            check::FuzzOptions fopts, int stripFenceIdx, bool json,
+            const std::string& witnessPath, const std::string& checkpointPath,
+            const std::string& resumePath, const char* argv0) {
   bool lockOk = false;
   const core::LockFactory factory = fuzzTargetByName(target, lockOk);
   sim::MemoryModel model;
@@ -201,7 +245,30 @@ int runFuzz(const std::string& target, const std::string& modelName, int n,
     }
   }
 
+  std::string resumeBlob, checkpointBlob;
+  if (!resumePath.empty()) {
+    std::optional<std::string> bytes = util::readFileBytes(resumePath);
+    if (!bytes) {
+      std::fprintf(stderr, "error: cannot read checkpoint %s\n",
+                   resumePath.c_str());
+      return check::verdictExitCode(Verdict::UsageError);
+    }
+    resumeBlob = std::move(*bytes);
+    fopts.resumeFrom = &resumeBlob;
+  }
+  if (!checkpointPath.empty()) fopts.checkpointOut = &checkpointBlob;
+
   const check::FuzzReport rep = check::fuzzMutualExclusion(sys, fopts);
+
+  bool checkpointWritten = false;
+  if (!checkpointPath.empty() && !checkpointBlob.empty()) {
+    if (!util::writeFileAtomic(checkpointPath, checkpointBlob)) {
+      std::fprintf(stderr, "error: cannot write checkpoint to %s\n",
+                   checkpointPath.c_str());
+      return check::verdictExitCode(Verdict::UsageError);
+    }
+    checkpointWritten = true;
+  }
 
   std::string trace;
   if (rep.witness) {
@@ -252,6 +319,10 @@ int runFuzz(const std::string& target, const std::string& modelName, int n,
     out += ',';
     check::jsonDouble(out, "wallSeconds", rep.wallSeconds);
     out += ',';
+    check::jsonStr(out, "stopReason", util::stopReasonName(rep.stopReason));
+    out += ',';
+    check::jsonBool(out, "checkpointWritten", checkpointWritten);
+    out += ',';
     check::jsonBool(out, "violationFound", rep.witness.has_value());
     if (rep.witness) {
       out += ',';
@@ -294,7 +365,11 @@ int runFuzz(const std::string& target, const std::string& modelName, int n,
         std::printf("witness trace written to %s\n", witnessPath.c_str());
       }
     } else {
-      std::printf("verdict: %s\n", check::verdictName(rep.verdict));
+      std::printf("verdict: %s (stop: %s)\n", check::verdictName(rep.verdict),
+                  util::stopReasonName(rep.stopReason));
+    }
+    if (checkpointWritten) {
+      std::printf("checkpoint written to %s\n", checkpointPath.c_str());
     }
   }
   return check::verdictExitCode(rep.verdict);
@@ -309,7 +384,9 @@ int main(int argc, char** argv) {
   bool json = false, quick = false, stopOnFail = false;
   check::FuzzOptions fopts;
   int stripFenceIdx = -1;
-  std::string witnessPath;
+  std::string witnessPath, checkpointPath, resumePath;
+  double deadlineSeconds = 0.0;
+  std::uint64_t memBudget = 0;
   std::vector<std::string> pos;
 
   auto needValue = [&](int& i) -> const char* {
@@ -348,6 +425,18 @@ int main(int argc, char** argv) {
     } else if (a == "--witness") {
       if (!(v = needValue(i))) return usage(argv[0]);
       witnessPath = v;
+    } else if (a == "--deadline") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      deadlineSeconds = std::strtod(v, nullptr);
+    } else if (a == "--mem-budget") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      memBudget = std::strtoull(v, nullptr, 10);
+    } else if (a == "--checkpoint") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      checkpointPath = v;
+    } else if (a == "--resume") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      resumePath = v;
     } else if (a.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else {
@@ -355,17 +444,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Run control shared by both subcommands: SIGINT/SIGTERM trip the
+  // token; the engines stop at their next poll and the report for the
+  // finished prefix is still emitted before exit 4.
+  static util::CancelToken cancelToken;
+  util::cancelOnTerminationSignals(&cancelToken);
+  util::RunControl control;
+  control.cancel = &cancelToken;
+  if (deadlineSeconds > 0.0) {
+    control.deadline = util::RunControl::deadlineIn(deadlineSeconds);
+  }
+  control.memBudgetBytes = memBudget;
+
   if (mode == "corpus") {
     if (!pos.empty()) return usage(argv[0]);
-    return runCorpus(quick, json, stopOnFail);
+    if (!checkpointPath.empty() || !resumePath.empty()) {
+      std::fprintf(stderr,
+                   "error: --checkpoint/--resume only apply to fuzz\n");
+      return usage(argv[0]);
+    }
+    return runCorpus(quick, json, stopOnFail, control);
   }
   if (mode == "fuzz") {
     if (pos.size() > 3) return usage(argv[0]);
     const std::string target = pos.size() > 0 ? pos[0] : "gt2";
     const std::string model = pos.size() > 1 ? pos[1] : "PSO";
     const int n = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 2;
+    fopts.control = control;
     return runFuzz(target, model, n, fopts, stripFenceIdx, json,
-                   witnessPath, argv[0]);
+                   witnessPath, checkpointPath, resumePath, argv[0]);
   }
   return usage(argv[0]);
 }

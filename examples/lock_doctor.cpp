@@ -10,17 +10,30 @@
 //   n       ∈ 2..3                             (default: 2)
 //   workers ∈ 1..64 exploration threads        (default: 1)
 //
-//   --json         machine-readable verdict + telemetry on stdout
-//   --trace FILE   write a Chrome trace (Perfetto-loadable) of the
-//                  violation witness, or of a sequential passage when
-//                  the lock is correct
-//   --progress     heartbeat to stderr every 64Ki admitted states
+//   --json            machine-readable verdict + telemetry on stdout
+//   --trace FILE      write a Chrome trace (Perfetto-loadable) of the
+//                     violation witness, or of a sequential passage when
+//                     the lock is correct
+//   --progress        heartbeat to stderr every 64Ki admitted states
+//   --max-states N    exploration state cap (default 5M at n=2, 600K at 3)
+//   --deadline SECS   wall-clock budget for the exploration
+//   --mem-budget B    byte budget on the visited-set key arena
+//   --checkpoint FILE write a resumable checkpoint on early stop
+//                     (sequential exploration, workers == 1)
+//   --resume FILE     resume a prior early-stopped sequential run
+//
+// SIGINT/SIGTERM cancel the run cooperatively: the full (valid) JSON
+// verdict for the explored prefix is still emitted, the checkpoint is
+// written when requested, and the process exits 4.
 //
 // Exit codes: 0 correct, 1 mutual-exclusion violation, 2 usage error,
-// 3 inconclusive (exploration capped before exhausting the space).
+// 3 inconclusive (exploration stopped at a budget before exhausting the
+// space), 4 interrupted (SIGINT/SIGTERM).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +48,8 @@
 #include "sim/schedule.h"
 #include "sim/trace.h"
 #include "sim/trace_export.h"
+#include "util/checkpoint.h"
+#include "util/runcontrol.h"
 
 namespace {
 
@@ -114,6 +129,8 @@ void jsonTelemetry(std::string& out, const sim::ExploreTelemetry& t,
     jsonU64(out, "steals", w.steals);
     out += ',';
     jsonU64(out, "idleSpins", w.idleSpins);
+    out += ',';
+    jsonBool(out, "stalled", w.stalled);
     out += '}';
   }
   out += "]}";
@@ -131,8 +148,17 @@ bool writeFile(const std::string& path, const std::string& contents) {
 int main(int argc, char** argv) {
   std::vector<std::string> pos;
   bool json = false, progress = false;
-  std::string tracePath;
+  std::string tracePath, checkpointPath, resumePath;
+  std::uint64_t maxStates = 0, memBudget = 0;
+  double deadlineSeconds = 0.0;
   bool usageError = false;
+  auto needValue = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      usageError = true;
+      return "";
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--json") {
@@ -140,17 +166,24 @@ int main(int argc, char** argv) {
     } else if (a == "--progress") {
       progress = true;
     } else if (a == "--trace") {
-      if (i + 1 >= argc) {
-        usageError = true;
-        break;
-      }
-      tracePath = argv[++i];
+      tracePath = needValue(i);
+    } else if (a == "--max-states") {
+      maxStates = std::strtoull(needValue(i), nullptr, 10);
+    } else if (a == "--deadline") {
+      deadlineSeconds = std::atof(needValue(i));
+    } else if (a == "--mem-budget") {
+      memBudget = std::strtoull(needValue(i), nullptr, 10);
+    } else if (a == "--checkpoint") {
+      checkpointPath = needValue(i);
+    } else if (a == "--resume") {
+      resumePath = needValue(i);
     } else if (a.rfind("--", 0) == 0) {
       usageError = true;
       break;
     } else {
       pos.push_back(a);
     }
+    if (usageError) break;
   }
 
   const std::string lockName = pos.size() > 0 ? pos[0] : "peterson-tso";
@@ -173,11 +206,20 @@ int main(int argc, char** argv) {
     ok = false;
     model = sim::MemoryModel::PSO;
   }
+  // Checkpoint/resume is a sequential-exploration feature: the parallel
+  // engine's visited set is not resumable.
+  if ((!checkpointPath.empty() || !resumePath.empty()) && workers != 1) {
+    std::fprintf(stderr,
+                 "error: --checkpoint/--resume require workers == 1\n");
+    return check::verdictExitCode(check::Verdict::UsageError);
+  }
   if (!ok || n < 2 || n > 3 || workers < 1 || workers > 64) {
     std::fprintf(stderr,
                  "usage: %s [bakery|bakery-paper|gt2|tournament|peterson|"
                  "peterson-tso|tas|ttas] [SC|TSO|PSO] [2|3] [workers] "
-                 "[--json] [--trace FILE] [--progress]\n",
+                 "[--json] [--trace FILE] [--progress] [--max-states N] "
+                 "[--deadline SECS] [--mem-budget BYTES] "
+                 "[--checkpoint FILE] [--resume FILE]\n",
                  argv[0]);
     return check::verdictExitCode(check::Verdict::UsageError);
   }
@@ -190,10 +232,49 @@ int main(int argc, char** argv) {
   }
 
   sim::ExploreOptions opts;
-  opts.maxStates = n == 2 ? 5'000'000 : 600'000;
+  opts.maxStates = maxStates > 0 ? maxStates
+                                 : (n == 2 ? 5'000'000 : 600'000);
   opts.workers = workers;
   if (progress) opts.progress = printProgress;
+
+  // Run control: SIGINT/SIGTERM trip the token cooperatively, so the
+  // run still emits its full JSON verdict and checkpoint before exit 4.
+  static util::CancelToken cancelToken;
+  util::cancelOnTerminationSignals(&cancelToken);
+  opts.control.cancel = &cancelToken;
+  if (deadlineSeconds > 0.0) {
+    opts.control.deadline = util::RunControl::deadlineIn(deadlineSeconds);
+  }
+  opts.control.memBudgetBytes = memBudget;
+
+  std::string resumeBlob, checkpointBlob;
+  if (!resumePath.empty()) {
+    std::optional<std::string> bytes = util::readFileBytes(resumePath);
+    if (!bytes) {
+      std::fprintf(stderr, "error: cannot read checkpoint %s\n",
+                   resumePath.c_str());
+      return check::verdictExitCode(check::Verdict::UsageError);
+    }
+    resumeBlob = std::move(*bytes);
+    opts.resumeFrom = &resumeBlob;
+  }
+  if (!checkpointPath.empty()) opts.checkpointOut = &checkpointBlob;
+
   auto res = sim::explore(os.sys, opts);
+
+  bool checkpointWritten = false;
+  if (!checkpointPath.empty() && !checkpointBlob.empty()) {
+    if (!util::writeFileAtomic(checkpointPath, checkpointBlob)) {
+      std::fprintf(stderr, "error: cannot write checkpoint to %s\n",
+                   checkpointPath.c_str());
+      return check::verdictExitCode(check::Verdict::UsageError);
+    }
+    checkpointWritten = true;
+    if (!json) {
+      std::printf("  checkpoint       : %s (%zu bytes)\n",
+                  checkpointPath.c_str(), checkpointBlob.size());
+    }
+  }
 
   // Trace to export: the violation witness, or (correct lock) a
   // sequential passage so --trace always produces a file.
@@ -223,17 +304,25 @@ int main(int argc, char** argv) {
   // Liveness only when safety is exhaustive and the space is small.
   bool haveLiveness = false;
   sim::LivenessResult live;
-  if (!res.mutexViolation && n == 2 && !res.capped) {
+  if (!res.mutexViolation && n == 2 && !res.capped()) {
     sim::LivenessOptions lopts;
     lopts.workers = workers;
+    lopts.control = opts.control;
     if (progress) lopts.progress = printProgress;
     live = sim::checkLiveness(os.sys, lopts);
-    haveLiveness = live.complete;
+    haveLiveness = live.complete();
   }
 
-  const check::Verdict verdict = res.mutexViolation ? check::Verdict::Violation
-                                 : res.capped ? check::Verdict::Inconclusive
-                                              : check::Verdict::Pass;
+  // Interrupted when either leg was token-cancelled (a never-run
+  // liveness leg keeps its StateCap default and cannot trigger this).
+  const bool cancelled =
+      res.stopReason == util::StopReason::Cancelled ||
+      live.stopReason == util::StopReason::Cancelled;
+  const check::Verdict verdict =
+      res.mutexViolation ? check::Verdict::Violation
+      : cancelled        ? check::Verdict::Interrupted
+      : res.capped()     ? check::Verdict::Inconclusive
+                         : check::Verdict::Pass;
 
   if (json) {
     std::string out;
@@ -248,14 +337,20 @@ int main(int argc, char** argv) {
     out += ',';
     jsonU64(out, "statesVisited", res.statesVisited);
     out += ',';
-    jsonBool(out, "capped", res.capped);
+    jsonBool(out, "capped", res.capped());
+    out += ',';
+    jsonStr(out, "stopReason", util::stopReasonName(res.stopReason));
+    out += ',';
+    jsonU64(out, "peakArenaBytes", res.telemetry.arenaBytes);
+    out += ',';
+    jsonBool(out, "checkpointWritten", checkpointWritten);
     out += ',';
     jsonBool(out, "mutexViolation", res.mutexViolation);
     out += ',';
     jsonU64(out, "maxCsOccupancy",
             static_cast<unsigned long long>(res.maxCsOccupancy));
     out += ',';
-    jsonStr(out, "outcomes", sim::outcomesToString(res.outcomes, res.capped));
+    jsonStr(out, "outcomes", sim::outcomesToString(res.outcomes, res.capped()));
     out += ',';
     jsonU64(out, "witnessSteps",
             static_cast<unsigned long long>(res.witness.size()));
@@ -283,11 +378,13 @@ int main(int argc, char** argv) {
 
   std::printf("  states explored : %llu\n",
               static_cast<unsigned long long>(res.statesVisited));
+  std::printf("  stop reason      : %s\n",
+              util::stopReasonName(res.stopReason));
   std::printf("  terminal outcomes: %s\n",
-              sim::outcomesToString(res.outcomes, res.capped).c_str());
+              sim::outcomesToString(res.outcomes, res.capped()).c_str());
   std::printf("  mutual exclusion : %s%s\n",
               res.mutexViolation ? "VIOLATED" : "holds",
-              res.capped && !res.mutexViolation
+              res.capped() && !res.mutexViolation
                   ? " in the explored prefix only"
                   : "");
   std::printf(
@@ -313,13 +410,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(live.states),
                 static_cast<unsigned long long>(live.terminalStates));
   }
-  if (res.capped) {
+  if (res.capped()) {
     std::printf(
-        "\n*** CAPPED: exploration stopped at the %llu-state limit before "
-        "exhausting the state space.\n*** No violation was found in the "
-        "explored prefix, but states beyond the cap were never checked.\n"
-        "verdict: INCONCLUSIVE for %s under %s at n=%d.\n",
-        static_cast<unsigned long long>(opts.maxStates), lockName.c_str(),
+        "\n*** STOPPED EARLY (%s): exploration ended before exhausting the "
+        "state space.\n*** No violation was found in the explored prefix, "
+        "but states beyond the stop were never checked.\nverdict: %s for %s "
+        "under %s at n=%d.\n",
+        util::stopReasonName(res.stopReason),
+        cancelled ? "INTERRUPTED" : "INCONCLUSIVE", lockName.c_str(),
         modelName.c_str(), n);
     return check::verdictExitCode(verdict);
   }

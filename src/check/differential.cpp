@@ -32,11 +32,33 @@ DifferentialReport runDifferential(const sim::System& sys,
       opts.engines.empty() ? defaultEngines() : opts.engines;
 
   for (const EngineSpec& spec : engines) {
+    if (opts.control.cancelled()) {
+      rep.stopReason = util::StopReason::Cancelled;
+      break;
+    }
     sim::ExploreOptions eo;
     eo.maxStates = opts.maxStates;
     eo.workers = spec.workers;
     eo.reduction = spec.reduction;
-    rep.runs.push_back({spec, sim::explore(sys, eo)});
+    eo.control = opts.control;
+    EngineRun run;
+    run.spec = spec;
+    run.res = sim::explore(sys, eo);
+    // Bounded retry: one more attempt with a doubled state cap when a
+    // budget (not the user) stopped the leg.  If the retry early-stops
+    // too, its result stands and the capped-prefix rules exclude it.
+    if (opts.retryEscalation &&
+        (run.res.stopReason == util::StopReason::Deadline ||
+         run.res.stopReason == util::StopReason::MemoryCap)) {
+      run.retried = true;
+      run.firstStop = run.res.stopReason;
+      eo.maxStates = opts.maxStates * 2;
+      run.res = sim::explore(sys, eo);
+    }
+    if (run.res.stopReason == util::StopReason::Cancelled) {
+      rep.stopReason = util::StopReason::Cancelled;
+    }
+    rep.runs.push_back(std::move(run));
   }
 
   // Per-engine oracles first: telemetry invariants and witness-backed
@@ -55,7 +77,7 @@ DifferentialReport runDifferential(const sim::System& sys,
       flag(rep, run.spec.name + ": " + mutex.property + ": " + mutex.detail);
     }
     if (run.res.mutexViolation) anyViolation = true;
-    if (!run.res.capped && !run.res.mutexViolation) anyCompletedClean = true;
+    if (!run.res.capped() && !run.res.mutexViolation) anyCompletedClean = true;
   }
 
   // An engine that exhausted the space without a violation contradicts
@@ -69,7 +91,7 @@ DifferentialReport runDifferential(const sim::System& sys,
   const EngineRun* completedRef = nullptr;
   const EngineRun* completedUnreducedRef = nullptr;
   for (const EngineRun& run : rep.runs) {
-    if (run.res.capped || run.res.mutexViolation) continue;
+    if (run.res.capped() || run.res.mutexViolation) continue;
     if (!completedRef) completedRef = &run;
     if (!run.spec.reduction && !completedUnreducedRef) {
       completedUnreducedRef = &run;
@@ -78,7 +100,7 @@ DifferentialReport runDifferential(const sim::System& sys,
   if (completedRef) {
     std::vector<NamedOutcomes> sets;
     for (const EngineRun& run : rep.runs) {
-      if (run.res.capped || run.res.mutexViolation) continue;
+      if (run.res.capped() || run.res.mutexViolation) continue;
       sets.push_back({run.spec.name, &run.res.outcomes});
       if (run.res.maxCsOccupancy != completedRef->res.maxCsOccupancy) {
         flag(rep, run.spec.name + " reports maxCsOccupancy " +
@@ -92,7 +114,7 @@ DifferentialReport runDifferential(const sim::System& sys,
   }
   if (completedUnreducedRef) {
     for (const EngineRun& run : rep.runs) {
-      if (run.res.capped || run.res.mutexViolation) continue;
+      if (run.res.capped() || run.res.mutexViolation) continue;
       if (!run.spec.reduction &&
           run.res.statesVisited != completedUnreducedRef->res.statesVisited) {
         flag(rep, run.spec.name + " visited " +
@@ -122,15 +144,20 @@ DifferentialReport runDifferential(const sim::System& sys,
     };
     const LivenessSpec lspecs[] = {{1, false}, {4, false}, {1, true}};
     for (const LivenessSpec& ls : lspecs) {
+      if (opts.control.cancelled()) {
+        rep.stopReason = util::StopReason::Cancelled;
+        break;
+      }
       sim::LivenessOptions lo;
       lo.maxStates = opts.livenessMaxStates;
       lo.workers = ls.workers;
       lo.reduction = ls.reduction;
+      lo.control = opts.control;
       rep.liveness.push_back(sim::checkLiveness(sys, lo));
     }
     const sim::LivenessResult* ref = nullptr;
     for (const sim::LivenessResult& lr : rep.liveness) {
-      if (!lr.complete) continue;
+      if (!lr.complete()) continue;
       if (!ref) {
         ref = &lr;
       } else if (lr.allCanTerminate != ref->allCanTerminate) {
@@ -150,6 +177,8 @@ DifferentialReport runDifferential(const sim::System& sys,
     rep.verdict = Verdict::Violation;
   } else if (anyCompletedClean) {
     rep.verdict = Verdict::Pass;
+  } else if (rep.stopReason == util::StopReason::Cancelled) {
+    rep.verdict = Verdict::Interrupted;  // user stopped it, nothing proven
   } else {
     rep.verdict = Verdict::Inconclusive;  // capped everywhere
   }

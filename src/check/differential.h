@@ -44,11 +44,24 @@ struct DifferentialOptions {
   /// runs at 1 and 4 workers plus the reduced graph builder.
   std::uint64_t livenessMaxStates = 0;
   std::vector<EngineSpec> engines;  ///< empty = defaultEngines()
+  /// Shared cancellation/deadline/memory control threaded into every
+  /// engine leg; also checked between legs, so one SIGINT stops the
+  /// whole matrix within one leg's poll interval.
+  util::RunControl control;
+  /// Graceful degradation: a leg stopped by Deadline/MemoryCap is
+  /// retried once with a doubled state cap before being excluded under
+  /// the capped-prefix agreement rules (transient pressure should not
+  /// silently shrink the engine matrix).  Cancelled legs never retry.
+  bool retryEscalation = true;
 };
 
 struct EngineRun {
   EngineSpec spec;
   sim::ExploreResult res;
+  /// Bounded-retry bookkeeping: did this leg re-run with an escalated
+  /// cap, and what stopped the first attempt?
+  bool retried = false;
+  util::StopReason firstStop = util::StopReason::Complete;
 };
 
 struct DifferentialReport {
@@ -61,6 +74,10 @@ struct DifferentialReport {
   std::string detail;  ///< first disagreement / oracle failure
   std::vector<EngineRun> runs;
   std::vector<sim::LivenessResult> liveness;  ///< empty when disabled
+  /// Why the matrix ended.  Cancelled means legs were skipped (the
+  /// token tripped between legs); agreement was still checked over the
+  /// legs that did run.
+  util::StopReason stopReason = util::StopReason::Complete;
 };
 
 DifferentialReport runDifferential(const sim::System& sys,

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "check/oracles.h"
 #include "sim/explore.h"
 #include "sim/schedule.h"
 #include "util/check.h"
+#include "util/checkpoint.h"
 #include "util/rng.h"
 
 namespace fencetrade::check {
@@ -18,6 +20,31 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr std::uint64_t kNoSeed = ~std::uint64_t{0};
+
+/// Payload tag of the seed-scan checkpoint; bump on schema changes.
+constexpr std::string_view kFuzzCkptKind = "fuzz-scan/1";
+
+/// Binds a checkpoint to the system and every option that shapes the
+/// scan.  `workers` is included deliberately: the per-worker stride
+/// positions only mean something at the same worker count.
+std::uint64_t fuzzFingerprint(const sim::System& sys,
+                              const FuzzOptions& opts, int workers) {
+  std::string key;
+  sim::initialConfig(sys).behavioralKeyInto(key);
+  util::CheckpointWriter tag;
+  tag.putBytes(key);
+  tag.putU64(opts.seeds);
+  tag.putU64(opts.seedBase);
+  tag.putI64(opts.reorderBudget);
+  tag.putI64(opts.maxSteps);
+  // commitProb shapes every generated schedule; hash its exact bits.
+  std::uint64_t probBits = 0;
+  static_assert(sizeof(probBits) == sizeof(opts.commitProb));
+  std::memcpy(&probBits, &opts.commitProb, sizeof(probBits));
+  tag.putU64(probBits);
+  tag.putI64(workers);
+  return util::fnv1a64(tag.payload());
+}
 
 /// One seed's schedule, truncated at the first violating step (empty
 /// schedule when the seed does not violate).
@@ -92,31 +119,96 @@ std::vector<ScheduleElem> shrinkSchedule(
 FuzzReport fuzzMutualExclusion(const sim::System& sys,
                                const FuzzOptions& opts) {
   const auto t0 = Clock::now();
+  // Monotonic elapsed seconds, through the injected clock when present
+  // (fake-clock tests of the timeout path) or steady_clock otherwise.
+  const double c0 = opts.clock ? opts.clock() : 0.0;
+  auto elapsed = [&]() -> double {
+    return opts.clock
+               ? opts.clock() - c0
+               : std::chrono::duration<double>(Clock::now() - t0).count();
+  };
   FuzzReport rep;
   const int workers = std::max(1, opts.workers);
+  const std::uint64_t fingerprint = fuzzFingerprint(sys, opts, workers);
+  if (opts.checkpointOut) opts.checkpointOut->clear();
 
   std::atomic<std::uint64_t> bestSeed{kNoSeed};
   std::atomic<std::uint64_t> schedulesRun{0}, completedRuns{0},
       violatingSeeds{0};
   std::atomic<std::int64_t> totalReorderings{0};
-  std::atomic<bool> timedOut{false};
+  // First-tripped early-stop reason (0 = Complete = ran to the end).
+  std::atomic<int> stopRaw{0};
+  auto tripStop = [&](util::StopReason r) {
+    int expected = 0;
+    stopRaw.compare_exchange_strong(expected, static_cast<int>(r),
+                                    std::memory_order_relaxed);
+  };
+
+  // Per-worker stride cursor: the next seed *index* worker w would
+  // process.  Published only at iteration boundaries — all early-stop
+  // checks run before a seed's work starts — so at join time the
+  // cursors plus the counters are exactly the resumable scan state: no
+  // seed is ever double-counted or lost across an interrupt.
+  std::vector<std::atomic<std::uint64_t>> nextIdx(
+      static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    nextIdx[static_cast<std::size_t>(w)].store(
+        static_cast<std::uint64_t>(w), std::memory_order_relaxed);
+  }
+
+  if (opts.resumeFrom) {
+    util::CheckpointReader ck =
+        util::CheckpointReader::open(*opts.resumeFrom, kFuzzCkptKind);
+    FT_CHECK(ck.getU64() == fingerprint)
+        << "fuzz: checkpoint was taken on a different system or with "
+           "different scan options (including the worker count)";
+    bestSeed.store(ck.getU64(), std::memory_order_relaxed);
+    schedulesRun.store(ck.getU64(), std::memory_order_relaxed);
+    completedRuns.store(ck.getU64(), std::memory_order_relaxed);
+    violatingSeeds.store(ck.getU64(), std::memory_order_relaxed);
+    totalReorderings.store(ck.getI64(), std::memory_order_relaxed);
+    const std::uint64_t n = ck.getU64();
+    FT_CHECK(n == static_cast<std::uint64_t>(workers))
+        << "fuzz: checkpoint worker count mismatch";
+    for (std::uint64_t w = 0; w < n; ++w) {
+      nextIdx[w].store(ck.getU64(), std::memory_order_relaxed);
+    }
+    FT_CHECK(ck.atEnd()) << "fuzz: trailing bytes in checkpoint";
+  }
 
   auto scan = [&](int worker) {
     // Strided ascending seed order per worker; combined with the
     // min-seed reduction below this keeps the reported witness
     // independent of the worker count.
-    for (std::uint64_t i = static_cast<std::uint64_t>(worker);
-         i < opts.seeds; i += static_cast<std::uint64_t>(workers)) {
+    std::atomic<std::uint64_t>& cursor =
+        nextIdx[static_cast<std::size_t>(worker)];
+    const auto stride = static_cast<std::uint64_t>(workers);
+    for (std::uint64_t i = cursor.load(std::memory_order_relaxed);
+         i < opts.seeds; i += stride) {
+      // Early-stop checks, strictly before this seed's work begins.
+      if (stopRaw.load(std::memory_order_relaxed) != 0) return;
+      if (opts.control.cancelled()) {
+        tripStop(util::StopReason::Cancelled);
+        return;
+      }
+      if (opts.control.active()) {
+        const util::StopReason rsn = opts.control.poll(/*memBytes=*/0);
+        if (rsn != util::StopReason::Complete) {
+          tripStop(rsn);
+          return;
+        }
+      }
+      if (opts.maxSeconds > 0.0 && elapsed() > opts.maxSeconds) {
+        tripStop(util::StopReason::Deadline);
+        return;
+      }
       const std::uint64_t seed = opts.seedBase + i;
       // A violating seed has been found already and every seed below it
       // in this worker's stride has been scanned: nothing smaller can
       // come from here.
-      if (seed >= bestSeed.load(std::memory_order_acquire)) continue;
-      if (opts.maxSeconds > 0.0 &&
-          std::chrono::duration<double>(Clock::now() - t0).count() >
-              opts.maxSeconds) {
-        timedOut.store(true, std::memory_order_relaxed);
-        return;
+      if (seed >= bestSeed.load(std::memory_order_acquire)) {
+        cursor.store(i + stride, std::memory_order_relaxed);
+        continue;
       }
       const sim::ScheduleRunResult run = generate(sys, seed, opts);
       schedulesRun.fetch_add(1, std::memory_order_relaxed);
@@ -134,6 +226,7 @@ FuzzReport fuzzMutualExclusion(const sim::System& sys,
                                  cur, seed, std::memory_order_acq_rel)) {
         }
       }
+      cursor.store(i + stride, std::memory_order_relaxed);
     }
   };
 
@@ -150,6 +243,22 @@ FuzzReport fuzzMutualExclusion(const sim::System& sys,
   rep.completedRuns = completedRuns.load();
   rep.violatingSeeds = violatingSeeds.load();
   rep.totalReorderings = totalReorderings.load();
+  rep.stopReason = static_cast<util::StopReason>(stopRaw.load());
+
+  if (opts.checkpointOut && rep.capped()) {
+    util::CheckpointWriter w;
+    w.putU64(fingerprint);
+    w.putU64(bestSeed.load());
+    w.putU64(rep.schedulesRun);
+    w.putU64(rep.completedRuns);
+    w.putU64(rep.violatingSeeds);
+    w.putI64(rep.totalReorderings);
+    w.putU64(static_cast<std::uint64_t>(workers));
+    for (const auto& c : nextIdx) {
+      w.putU64(c.load(std::memory_order_relaxed));
+    }
+    *opts.checkpointOut = w.finish(kFuzzCkptKind);
+  }
 
   const std::uint64_t found = bestSeed.load();
   if (found != kNoSeed) {
@@ -168,12 +277,17 @@ FuzzReport fuzzMutualExclusion(const sim::System& sys,
     w.occupancy = maxOccupancyOnReplay(sys, w.minimized);
     rep.witness = std::move(w);
     rep.verdict = Verdict::Violation;
-  } else if (timedOut.load() && rep.schedulesRun < opts.seeds) {
-    rep.verdict = Verdict::Inconclusive;
+  } else if (rep.capped() && rep.schedulesRun < opts.seeds) {
+    // Early stop with no witness: degrade honestly instead of claiming
+    // Pass over an unfinished scan.  A cancelled run is Interrupted
+    // (resumable from the checkpoint); a blown budget is Inconclusive.
+    rep.verdict = rep.stopReason == util::StopReason::Cancelled
+                      ? Verdict::Interrupted
+                      : Verdict::Inconclusive;
   } else {
     rep.verdict = Verdict::Pass;
   }
-  rep.wallSeconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  rep.wallSeconds = elapsed();
   return rep;
 }
 

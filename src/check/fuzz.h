@@ -30,6 +30,7 @@
 
 #include "check/verdict.h"
 #include "sim/machine.h"
+#include "util/runcontrol.h"
 
 namespace fencetrade::check {
 
@@ -48,6 +49,24 @@ struct FuzzOptions {
   /// was found (non-deterministic — CI smoke only).
   double maxSeconds = 0.0;
   bool shrink = true;
+  /// Injected monotonic clock (seconds) used for maxSeconds and
+  /// wallSeconds; empty = std::chrono::steady_clock.  Tests drive the
+  /// timeout → Inconclusive degradation deterministically by stepping a
+  /// fake clock; it is consulted once per scanned seed.
+  std::function<double()> clock;
+  /// Cancellation / deadline / stall control shared with the other
+  /// engines.  The memory budget is a no-op here (the scan holds no
+  /// per-seed state).
+  util::RunControl control;
+  /// Checkpoint blob from a prior early-stopped scan with identical
+  /// options (including `workers` — the per-worker stride positions are
+  /// part of the state).  The resumed scan reports the same smallest
+  /// violating seed and byte-identical minimized witness as an
+  /// uninterrupted run.
+  const std::string* resumeFrom = nullptr;
+  /// When non-null and the scan stops early, filled with a resumable
+  /// checkpoint blob; cleared otherwise.  File IO is the caller's job.
+  std::string* checkpointOut = nullptr;
 };
 
 struct FuzzWitness {
@@ -67,6 +86,14 @@ struct FuzzReport {
   double wallSeconds = 0.0;
   std::optional<FuzzWitness> witness;  ///< smallest violating seed
   Verdict verdict = Verdict::Pass;
+  /// Why the scan ended: Complete (all seeds scanned, or a violation
+  /// found and the scan wound down), Deadline (maxSeconds or the
+  /// RunControl deadline), or Cancelled.  Witness-less early stops
+  /// degrade the verdict (Deadline → Inconclusive, Cancelled →
+  /// Interrupted) instead of lying with Pass.
+  util::StopReason stopReason = util::StopReason::Complete;
+  /// Derived: did the scan stop before exhausting its seed range?
+  bool capped() const { return stopReason != util::StopReason::Complete; }
 };
 
 /// Scan seeds for a mutual-exclusion violation and shrink the first

@@ -84,7 +84,7 @@ PropertyReport checkMutualExclusionResult(const sim::System& sys,
 
 PropertyReport checkDeadlockFreedom(const sim::LivenessResult& res) {
   const char* prop = "deadlock-freedom";
-  if (!res.complete) {
+  if (!res.complete()) {
     return notApplicable(prop, "liveness graph construction was capped");
   }
   if (!res.allCanTerminate) {

@@ -7,6 +7,10 @@
 //   exit 2 — usage error
 //   exit 3 — inconclusive: a search was capped before exhausting its
 //            budget and no violation was found in the explored prefix
+//   exit 4 — interrupted: the run was cancelled (SIGINT/SIGTERM or a
+//            tripped CancelToken) before finishing; the emitted JSON is
+//            still valid and carries the partial results plus a
+//            stopReason, and a checkpoint may have been written
 // Keeping the mapping in one header keeps the binaries from drifting;
 // before this header the INCONCLUSIVE=3 convention lived only in
 // lock_doctor.cpp.
@@ -19,31 +23,37 @@ enum class Verdict {
   Violation = 1,
   UsageError = 2,
   Inconclusive = 3,
+  Interrupted = 4,
 };
 
 /// The process exit code a CLI reporting `v` must return.
 inline int verdictExitCode(Verdict v) { return static_cast<int>(v); }
 
 /// Stable string form used in --json output ("correct", "violated",
-/// "usage-error", "inconclusive") — lock_doctor's historical vocabulary.
+/// "usage-error", "inconclusive", "interrupted") — lock_doctor's
+/// historical vocabulary plus the run-control addition.
 inline const char* verdictName(Verdict v) {
   switch (v) {
     case Verdict::Pass: return "correct";
     case Verdict::Violation: return "violated";
     case Verdict::UsageError: return "usage-error";
     case Verdict::Inconclusive: return "inconclusive";
+    case Verdict::Interrupted: return "interrupted";
   }
   return "?";
 }
 
 /// Combine per-entry verdicts into a whole-run verdict.  Severity:
-/// Violation > UsageError > Inconclusive > Pass — one violated corpus
-/// entry makes the run exit 1 even if every other entry passed.
+/// Violation > UsageError > Interrupted > Inconclusive > Pass — one
+/// violated corpus entry makes the run exit 1 even if every other entry
+/// passed, and an interrupted entry outranks a merely-capped one (the
+/// user asked the run to stop; the result set is known-incomplete).
 inline Verdict combineVerdicts(Verdict a, Verdict b) {
   auto rank = [](Verdict v) {
     switch (v) {
-      case Verdict::Violation: return 3;
-      case Verdict::UsageError: return 2;
+      case Verdict::Violation: return 4;
+      case Verdict::UsageError: return 3;
+      case Verdict::Interrupted: return 2;
       case Verdict::Inconclusive: return 1;
       case Verdict::Pass: return 0;
     }

@@ -11,6 +11,7 @@
 #include "sim/explore_parallel.h"
 #include "util/arena.h"
 #include "util/check.h"
+#include "util/checkpoint.h"
 #include "util/sharded_set.h"
 
 namespace fencetrade::sim {
@@ -207,10 +208,36 @@ struct Frame {
   std::size_t next = 0;
 };
 
+/// Budget-poll cadence (admitted states between deadline/memory checks).
+/// Well under one progress interval, so every engine honors its budgets
+/// within one interval; cancellation is checked on every admission.
+constexpr std::uint64_t kBudgetPollPeriod = 1024;
+
+/// Payload tag of the sequential-DFS checkpoint; bump on any schema
+/// change so stale files are rejected instead of misparsed.
+constexpr std::string_view kExploreCkptKind = "explore-dfs/1";
+
+/// Fingerprint binding a checkpoint to the system and the exploration
+/// flags that shape the traversal.  Resuming under different flags (or
+/// a different lock/model/n) would silently diverge, so the engine
+/// refuses instead.
+std::uint64_t exploreFingerprint(const ExploreOptions& opts,
+                                 std::string_view initKey) {
+  std::string tag(initKey);
+  tag.push_back(opts.checkMutualExclusion ? '\1' : '\0');
+  tag.push_back(opts.stopOnViolation ? '\1' : '\0');
+  tag.push_back(opts.reduction ? '\1' : '\0');
+  return util::fnv1a64(tag);
+}
+
 }  // namespace
 
 ExploreResult explore(const System& sys, const ExploreOptions& opts) {
-  if (opts.workers > 1) return exploreParallel(sys, opts);
+  if (opts.workers > 1) {
+    FT_CHECK(opts.resumeFrom == nullptr && opts.checkpointOut == nullptr)
+        << "explore: checkpoint/resume is sequential-only (workers == 1)";
+    return exploreParallel(sys, opts);
+  }
 
   const auto t0 = Clock::now();
   ExploreResult res;
@@ -288,7 +315,18 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     visited.insert(arena.intern(keyBuf));
     ++res.statesVisited;
     ++wt.statesAdmitted;
-    if (res.statesVisited >= opts.maxStates) res.capped = true;
+    if (res.stopReason == util::StopReason::Complete) {
+      // First trip wins; cancellation is checked on every admission,
+      // the clock/memory budgets at kBudgetPollPeriod cadence.
+      if (res.statesVisited >= opts.maxStates) {
+        res.stopReason = util::StopReason::StateCap;
+      } else if (opts.control.cancelled()) {
+        res.stopReason = util::StopReason::Cancelled;
+      } else if (opts.control.active() &&
+                 res.statesVisited % kBudgetPollPeriod == 0) {
+        res.stopReason = opts.control.poll(arena.bytes());
+      }
+    }
     if (opts.progress && res.statesVisited % opts.progressInterval == 0) {
       fireProgress();
     }
@@ -325,10 +363,130 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     return true;
   };
 
-  enter(initialConfig(sys));
+  // --- checkpoint/resume (sequential DFS only) -----------------------
+  //
+  // At every loop-top the traversal state is exactly: the visited key
+  // set, the DFS stack of (moves, next) frames, and the accumulated
+  // result/telemetry counters.  Frame configs are NOT serialized — they
+  // are rebuilt by replaying each frame's chosen move (moves[next-1])
+  // from the initial configuration.  The moves vectors themselves ARE
+  // serialized verbatim: under reduction they depend on the visited-set
+  // contents at expansion time (cycle proviso), so recomputing them on
+  // resume could diverge from the uninterrupted run.
+  Config init = initialConfig(sys);
+  init.behavioralKeyInto(keyBuf);
+  const std::uint64_t fingerprint = exploreFingerprint(opts, keyBuf);
+  if (opts.checkpointOut) opts.checkpointOut->clear();
+
+  if (opts.resumeFrom) {
+    util::CheckpointReader ck =
+        util::CheckpointReader::open(*opts.resumeFrom, kExploreCkptKind);
+    FT_CHECK(ck.getU64() == fingerprint)
+        << "explore: checkpoint was taken on a different system or with "
+           "different exploration flags";
+    res.statesVisited = ck.getU64();
+    res.maxCsOccupancy = static_cast<int>(ck.getI64());
+    res.mutexViolation = ck.getBool();
+    const std::uint64_t wlen = ck.getU64();
+    res.witness.reserve(wlen);
+    for (std::uint64_t i = 0; i < wlen; ++i) {
+      const auto p = static_cast<ProcId>(ck.getI64());
+      const auto r = static_cast<Reg>(ck.getI64());
+      res.witness.emplace_back(p, r);
+    }
+    const std::uint64_t outcomeCount = ck.getU64();
+    for (std::uint64_t i = 0; i < outcomeCount; ++i) {
+      std::vector<Value> v(ck.getU64());
+      for (Value& x : v) x = ck.getI64();
+      res.outcomes.insert(std::move(v));
+    }
+    wt.statesAdmitted = ck.getU64();
+    wt.dedupProbes = ck.getU64();
+    wt.dedupHits = ck.getU64();
+    wt.expansions = ck.getU64();
+    wt.reductionSingletons = ck.getU64();
+    wt.reductionFull = ck.getU64();
+    res.telemetry.peakFrontier = ck.getU64();
+    const std::uint64_t keyCount = ck.getU64();
+    visited.reserve(keyCount);
+    for (std::uint64_t i = 0; i < keyCount; ++i) {
+      visited.insert(arena.intern(ck.getBytes()));
+    }
+    const std::uint64_t frameCount = ck.getU64();
+    stack.reserve(frameCount);
+    for (std::uint64_t i = 0; i < frameCount; ++i) {
+      Frame f;
+      const std::uint64_t moveCount = ck.getU64();
+      f.moves.reserve(moveCount);
+      for (std::uint64_t m = 0; m < moveCount; ++m) {
+        const auto p = static_cast<ProcId>(ck.getI64());
+        const auto r = static_cast<Reg>(ck.getI64());
+        f.moves.emplace_back(p, r);
+      }
+      f.next = ck.getU64();
+      stack.push_back(std::move(f));
+    }
+    FT_CHECK(ck.atEnd()) << "explore: trailing bytes in checkpoint";
+    // Rebuild frame configs (and the shared path) by replaying each
+    // frame's last-chosen move.  Every frame below the top must have
+    // chosen one (that is how its successor got pushed).
+    if (!stack.empty()) {
+      stack[0].cfg = std::move(init);
+      for (std::size_t k = 0; k + 1 < stack.size(); ++k) {
+        FT_CHECK(stack[k].next >= 1 && stack[k].next <= stack[k].moves.size())
+            << "explore: corrupt frame cursor in checkpoint";
+        const Elem chosen = stack[k].moves[stack[k].next - 1];
+        Config child = stack[k].cfg;
+        auto step = execElem(sys, child, chosen.first, chosen.second);
+        FT_CHECK(step.has_value())
+            << "explore: checkpointed move no longer executable";
+        path.push_back(chosen);
+        stack[k + 1].cfg = std::move(child);
+      }
+    }
+  } else {
+    enter(std::move(init));
+  }
+
+  auto writeCheckpoint = [&]() {
+    util::CheckpointWriter w;
+    w.putU64(fingerprint);
+    w.putU64(res.statesVisited);
+    w.putI64(res.maxCsOccupancy);
+    w.putBool(res.mutexViolation);
+    w.putU64(res.witness.size());
+    for (const auto& [p, r] : res.witness) {
+      w.putI64(p);
+      w.putI64(r);
+    }
+    w.putU64(res.outcomes.size());
+    for (const auto& v : res.outcomes) {
+      w.putU64(v.size());
+      for (const Value x : v) w.putI64(x);
+    }
+    w.putU64(wt.statesAdmitted);
+    w.putU64(wt.dedupProbes);
+    w.putU64(wt.dedupHits);
+    w.putU64(wt.expansions);
+    w.putU64(wt.reductionSingletons);
+    w.putU64(wt.reductionFull);
+    w.putU64(res.telemetry.peakFrontier);
+    w.putU64(visited.size());
+    for (const std::string_view k : visited) w.putBytes(k);
+    w.putU64(stack.size());
+    for (const Frame& f : stack) {
+      w.putU64(f.moves.size());
+      for (const auto& [p, r] : f.moves) {
+        w.putI64(p);
+        w.putI64(r);
+      }
+      w.putU64(f.next);
+    }
+    *opts.checkpointOut = w.finish(kExploreCkptKind);
+  };
 
   while (!stack.empty()) {
-    if (res.capped) break;
+    if (res.stopReason != util::StopReason::Complete) break;
     if (res.mutexViolation && opts.stopOnViolation) break;
     Frame& top = stack.back();
     if (top.next >= top.moves.size()) {
@@ -342,6 +500,12 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     FT_CHECK(step.has_value()) << "explore: move produced no step";
     path.push_back(elem);
     if (!enter(std::move(child))) path.pop_back();
+  }
+
+  if (opts.checkpointOut && res.stopReason != util::StopReason::Complete) {
+    // The loop only exits at a frame boundary, so the serialized
+    // (visited, stack, counters) triple is exactly the resumable state.
+    writeCheckpoint();
   }
 
   res.telemetry.wallSeconds = secondsSince(t0);
@@ -463,10 +627,25 @@ LivenessResult checkLiveness(const System& sys,
     frontierIdx.push_back(idx);
   }
 
+  std::uint64_t pollCounter = 0;
   while (!frontier.empty()) {
     if (preds.size() >= opts.maxStates) {  // capped: incomplete
+      res.stopReason = util::StopReason::StateCap;
       finishTelemetry();
       return res;
+    }
+    if (opts.control.cancelled()) {
+      res.stopReason = util::StopReason::Cancelled;
+      finishTelemetry();
+      return res;
+    }
+    if (opts.control.active() && ++pollCounter % kBudgetPollPeriod == 0) {
+      const util::StopReason rsn = opts.control.poll(arena.bytes());
+      if (rsn != util::StopReason::Complete) {
+        res.stopReason = rsn;
+        finishTelemetry();
+        return res;
+      }
     }
     if (frontier.size() > res.telemetry.peakFrontier) {
       res.telemetry.peakFrontier = frontier.size();
@@ -502,7 +681,7 @@ LivenessResult checkLiveness(const System& sys,
     }
   }
 
-  res.complete = true;
+  res.stopReason = util::StopReason::Complete;
   res.states = preds.size();
 
   // Reverse BFS from terminal states.

@@ -27,6 +27,7 @@
 
 #include "sim/machine.h"
 #include "util/metrics.h"
+#include "util/runcontrol.h"
 
 namespace fencetrade::sim {
 
@@ -52,6 +53,10 @@ struct WorkerTelemetry {
   std::uint64_t idleSpins = 0;       ///< empty pop attempts while draining
   std::uint64_t reductionSingletons = 0;  ///< expansions via a singleton set
   std::uint64_t reductionFull = 0;        ///< expansions with the full set
+  /// Set by the heartbeat-staleness watchdog (RunControl::
+  /// stallTimeoutSeconds) when this worker stopped making progress and
+  /// the run was cancelled instead of hanging.  Always false otherwise.
+  bool stalled = false;
 };
 
 /// End-of-run snapshot carried by ExploreResult / LivenessResult.
@@ -150,15 +155,36 @@ struct ExploreOptions {
   /// cumulative rates and engine internals.  Empty = off.
   ProgressFn progress;
   std::uint64_t progressInterval = 65536;
+  /// Cooperative cancellation, wall-clock deadline, memory budget
+  /// (checked against the visited-set key bytes — the same number the
+  /// telemetry reports as arenaBytes) and the parallel watchdog.  A
+  /// default control is free on the hot path.
+  util::RunControl control;
+  /// Sequential engine (workers == 1) only: checkpoint blob from a
+  /// prior early-stopped run on the same system and exploration flags.
+  /// The resumed run continues the DFS exactly where it stopped and
+  /// produces a byte-identical verdict/witness/outcome set to an
+  /// uninterrupted run.  File IO is the caller's job (see
+  /// util::writeFileAtomic / util::readFileBytes).
+  const std::string* resumeFrom = nullptr;
+  /// Sequential engine only: when non-null and the run stops early
+  /// (stopReason != Complete, violation stops excluded), filled with a
+  /// resumable checkpoint blob; cleared otherwise.
+  std::string* checkpointOut = nullptr;
 };
 
 struct ExploreResult {
   /// Return-value vectors of every reachable terminal configuration.
-  /// When `capped`, this covers only the explored prefix of the state
+  /// When `capped()`, this covers only the explored prefix of the state
   /// space (render with outcomesToString(outcomes, /*partial=*/true)).
   std::set<std::vector<Value>> outcomes;
   std::uint64_t statesVisited = 0;
-  bool capped = false;
+  /// Why the run ended.  Complete covers both exhaustion and a
+  /// stop-on-violation stop (the engine finished its job); every other
+  /// value means the outcome set is a prefix.
+  util::StopReason stopReason = util::StopReason::Complete;
+  /// Derived: did the run stop before exhausting the state space?
+  bool capped() const { return stopReason != util::StopReason::Complete; }
 
   bool mutexViolation = false;
   /// Schedule reaching a violating configuration (replayable witness).
@@ -204,10 +230,19 @@ struct LivenessOptions {
   util::MetricsSink* metrics = nullptr;
   ProgressFn progress;
   std::uint64_t progressInterval = 65536;
+  /// Same semantics as ExploreOptions::control (memory budget checked
+  /// against the interning arenas).
+  util::RunControl control;
 };
 
 struct LivenessResult {
-  bool complete = false;        ///< graph fully built (not capped)
+  /// Why graph construction ended; StateCap until proven Complete.
+  util::StopReason stopReason = util::StopReason::StateCap;
+  /// Derived: graph fully built (not capped/cancelled).  The
+  /// allCanTerminate verdict is only meaningful when complete().
+  bool complete() const {
+    return stopReason == util::StopReason::Complete;
+  }
   std::uint64_t states = 0;
   std::uint64_t terminalStates = 0;
   /// Every reachable state can reach a terminal state.  Only meaningful

@@ -57,6 +57,11 @@ struct alignas(64) WorkerCounters {
   std::atomic<std::uint64_t> idleSpins{0};
   std::atomic<std::uint64_t> porSingleton{0};
   std::atomic<std::uint64_t> porFull{0};
+  /// Heartbeat: bumped once per workerLoop iteration (including idle
+  /// spins), so a worker wedged inside an expansion or a blocked
+  /// progress callback stops beating and the stall watchdog sees it.
+  std::atomic<std::uint64_t> beat{0};
+  std::atomic<bool> stalled{false};
 
   WorkerTelemetry toTelemetry() const {
     WorkerTelemetry t;
@@ -68,8 +73,70 @@ struct alignas(64) WorkerCounters {
     t.idleSpins = idleSpins.load(std::memory_order_relaxed);
     t.reductionSingletons = porSingleton.load(std::memory_order_relaxed);
     t.reductionFull = porFull.load(std::memory_order_relaxed);
+    t.stalled = stalled.load(std::memory_order_relaxed);
     return t;
   }
+};
+
+/// Budget-poll cadence for the parallel engines (admitted states
+/// between deadline/memory sweeps); cancellation is checked every
+/// workerLoop iteration.  Mirrors the sequential engine's period and
+/// stays far below one progress interval.
+constexpr std::uint64_t kBudgetPollPeriod = 1024;
+
+/// Heartbeat-staleness watchdog (RunControl::stallTimeoutSeconds).  A
+/// worker that stops beating for the timeout is marked stalled in its
+/// counters and `trip` is invoked — which cancels the run (and the
+/// shared token, so sibling engines stop too) instead of letting a
+/// wedged worker hang the join forever.  Runs in its own thread; does
+/// nothing when the timeout is 0.
+class StallWatchdog {
+ public:
+  StallWatchdog(double timeoutSeconds, std::vector<WorkerCounters>& counters,
+                std::function<bool()> stopping, std::function<void()> trip) {
+    if (timeoutSeconds <= 0.0) return;
+    thread_ = std::thread([this, timeoutSeconds, &counters,
+                           stopping = std::move(stopping),
+                           trip = std::move(trip)] {
+      const auto timeout = std::chrono::duration<double>(timeoutSeconds);
+      std::vector<std::uint64_t> lastBeat(counters.size(), 0);
+      std::vector<Clock::time_point> lastChange(counters.size(),
+                                                Clock::now());
+      while (!done_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        if (stopping()) continue;  // run already winding down
+        const auto now = Clock::now();
+        bool anyStalled = false;
+        for (std::size_t w = 0; w < counters.size(); ++w) {
+          const std::uint64_t b =
+              counters[w].beat.load(std::memory_order_relaxed);
+          if (b != lastBeat[w]) {
+            lastBeat[w] = b;
+            lastChange[w] = now;
+            continue;
+          }
+          if (now - lastChange[w] >= timeout) {
+            counters[w].stalled.store(true, std::memory_order_relaxed);
+            anyStalled = true;
+          }
+        }
+        if (anyStalled) trip();
+      }
+    });
+  }
+
+  /// Idempotent; must run after the worker join (so a late trip cannot
+  /// race result assembly).
+  void finish() {
+    done_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  ~StallWatchdog() { finish(); }
+
+ private:
+  std::thread thread_;
+  std::atomic<bool> done_{false};
 };
 
 // ---------------------------------------------------------------------------
@@ -207,11 +274,20 @@ class ParallelExplorer {
     for (int w = 0; w < workers_; ++w) {
       threads.emplace_back([this, w] { workerLoop(w); });
     }
+    StallWatchdog watchdog(
+        opts_.control.stallTimeoutSeconds, counters_,
+        [this] { return stop_.load(std::memory_order_acquire); },
+        [this] {
+          if (opts_.control.cancel) opts_.control.cancel->cancel();
+          trip(util::StopReason::Cancelled);
+        });
     for (auto& t : threads) t.join();
+    watchdog.finish();
 
     ExploreResult res;
     res.statesVisited = statesVisited_.load(std::memory_order_relaxed);
-    res.capped = capped_.load(std::memory_order_relaxed);
+    res.stopReason = static_cast<util::StopReason>(
+        stopReasonRaw_.load(std::memory_order_relaxed));
     res.mutexViolation = mutexViolation_.load(std::memory_order_relaxed);
     res.witness = std::move(witness_);
     for (const Local& l : locals_) {
@@ -307,8 +383,13 @@ class ParallelExplorer {
         statesVisited_.fetch_add(1, std::memory_order_relaxed) + 1;
     relaxedInc(wc.statesAdmitted);
     if (count >= opts_.maxStates) {
-      capped_.store(true, std::memory_order_relaxed);
-      stop_.store(true, std::memory_order_release);
+      trip(util::StopReason::StateCap);
+    } else if (opts_.control.active() && count % kBudgetPollPeriod == 0) {
+      // keyBytes() sweeps the shard locks, so keep it off the per-state
+      // path; at this cadence it is noise (cancellation is caught every
+      // workerLoop iteration regardless).
+      const util::StopReason rsn = opts_.control.poll(visited_.keyBytes());
+      if (rsn != util::StopReason::Complete) trip(rsn);
     }
     if (opts_.progress && count % opts_.progressInterval == 0) {
       fireProgress(count, local, wc);
@@ -336,6 +417,17 @@ class ParallelExplorer {
     }
   }
 
+  /// CAS-once early-stop: the first tripped reason wins (later trips,
+  /// including the inevitable StateCap pile-up once stop_ is out, are
+  /// dropped), then the release store on stop_ fans the stop out.
+  void trip(util::StopReason reason) {
+    int expected = 0;
+    stopReasonRaw_.compare_exchange_strong(expected,
+                                           static_cast<int>(reason),
+                                           std::memory_order_relaxed);
+    stop_.store(true, std::memory_order_release);
+  }
+
   void workerLoop(int id) {
     Local& local = locals_[static_cast<std::size_t>(id)];
     WorkerCounters& wc = counters_[static_cast<std::size_t>(id)];
@@ -345,6 +437,11 @@ class ParallelExplorer {
     Task t;
     bool stolen = false;
     while (!stop_.load(std::memory_order_acquire)) {
+      relaxedInc(wc.beat);
+      if (opts_.control.cancelled()) {
+        trip(util::StopReason::Cancelled);
+        break;
+      }
       if (!pool_.pop(id, t, stolen)) {
         if (pool_.drained()) break;
         relaxedInc(wc.idleSpins);
@@ -400,7 +497,8 @@ class ParallelExplorer {
   std::function<bool(std::string_view)> probe_;
 
   std::atomic<std::uint64_t> statesVisited_{0};
-  std::atomic<bool> capped_{false};
+  /// First-tripped StopReason (0 = Complete = still running clean).
+  std::atomic<int> stopReasonRaw_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> mutexViolation_{false};
   std::mutex witnessMutex_;
@@ -452,7 +550,15 @@ class ParallelLiveness {
     for (int w = 0; w < workers_; ++w) {
       threads.emplace_back([this, w] { workerLoop(w); });
     }
+    StallWatchdog watchdog(
+        opts_.control.stallTimeoutSeconds, counters_,
+        [this] { return stop_.load(std::memory_order_acquire); },
+        [this] {
+          if (opts_.control.cancel) opts_.control.cancel->cancel();
+          trip(util::StopReason::Cancelled);
+        });
     for (auto& t : threads) t.join();
+    watchdog.finish();
 
     LivenessResult res;
     res.telemetry.wallSeconds =
@@ -467,10 +573,14 @@ class ParallelLiveness {
       res.telemetry.reductionFull += wt.reductionFull;
       res.telemetry.workers.push_back(wt);
     }
-    if (capped_.load(std::memory_order_relaxed)) return res;  // incomplete
+    const int raw = stopReasonRaw_.load(std::memory_order_relaxed);
+    if (raw != 0) {  // early stop: graph incomplete
+      res.stopReason = static_cast<util::StopReason>(raw);
+      return res;
+    }
 
     const std::uint32_t n = nextId_.load(std::memory_order_relaxed);
-    res.complete = true;
+    res.stopReason = util::StopReason::Complete;
     res.states = n;
 
     // Merge per-worker edge lists into the reversed adjacency and run
@@ -610,9 +720,12 @@ class ParallelLiveness {
     }
     if (in.fresh) {
       relaxedInc(wc.statesAdmitted);
-      if (static_cast<std::uint64_t>(in.idx) + 1 >= opts_.maxStates) {
-        capped_.store(true, std::memory_order_relaxed);
-        stop_.store(true, std::memory_order_release);
+      const auto count = static_cast<std::uint64_t>(in.idx) + 1;
+      if (count >= opts_.maxStates) {
+        trip(util::StopReason::StateCap);
+      } else if (opts_.control.active() && count % kBudgetPollPeriod == 0) {
+        const util::StopReason rsn = opts_.control.poll(arenaBytes());
+        if (rsn != util::StopReason::Complete) trip(rsn);
       }
       if (in.terminal) local.terminals.push_back(in.idx);
       if (opts_.progress &&
@@ -626,6 +739,15 @@ class ParallelLiveness {
     return in;
   }
 
+  /// Same CAS-once early-stop as the parallel explorer.
+  void trip(util::StopReason reason) {
+    int expected = 0;
+    stopReasonRaw_.compare_exchange_strong(expected,
+                                           static_cast<int>(reason),
+                                           std::memory_order_relaxed);
+    stop_.store(true, std::memory_order_release);
+  }
+
   void workerLoop(int id) {
     Local& local = locals_[static_cast<std::size_t>(id)];
     WorkerCounters& wc = counters_[static_cast<std::size_t>(id)];
@@ -633,6 +755,11 @@ class ParallelLiveness {
     Task t;
     bool stolen = false;
     while (!stop_.load(std::memory_order_acquire)) {
+      relaxedInc(wc.beat);
+      if (opts_.control.cancelled()) {
+        trip(util::StopReason::Cancelled);
+        break;
+      }
       if (!pool_.pop(id, t, stolen)) {
         if (pool_.drained()) break;
         relaxedInc(wc.idleSpins);
@@ -690,7 +817,8 @@ class ParallelLiveness {
   std::function<bool(std::string_view)> probe_;
 
   std::atomic<std::uint32_t> nextId_{0};
-  std::atomic<bool> capped_{false};
+  /// First-tripped StopReason (0 = Complete = still running clean).
+  std::atomic<int> stopReasonRaw_{0};
   std::atomic<bool> stop_{false};
   std::mutex progressMutex_;
 };

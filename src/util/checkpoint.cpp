@@ -1,0 +1,165 @@
+#include "util/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'T', 'C', 'K'};
+
+void appendU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void appendU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t readU32(std::string_view s, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(s[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t readU64(std::string_view s, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(s[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void CheckpointWriter::putU32(std::uint32_t v) { appendU32(bytes_, v); }
+void CheckpointWriter::putU64(std::uint64_t v) { appendU64(bytes_, v); }
+
+void CheckpointWriter::putBytes(std::string_view s) {
+  putU64(s.size());
+  bytes_.append(s.data(), s.size());
+}
+
+std::string CheckpointWriter::finish(std::string_view kind) const {
+  std::string out;
+  out.reserve(4 + 4 + 4 + kind.size() + 8 + 8 + bytes_.size());
+  out.append(kMagic, sizeof(kMagic));
+  appendU32(out, kCheckpointVersion);
+  appendU32(out, static_cast<std::uint32_t>(kind.size()));
+  out.append(kind.data(), kind.size());
+  appendU64(out, bytes_.size());
+  appendU64(out, fnv1a64(bytes_));
+  out += bytes_;
+  return out;
+}
+
+CheckpointReader CheckpointReader::open(std::string_view blob,
+                                        std::string_view kind) {
+  FT_CHECK(blob.size() >= 4 + 4 + 4) << "checkpoint: truncated header";
+  FT_CHECK(std::memcmp(blob.data(), kMagic, sizeof(kMagic)) == 0)
+      << "checkpoint: bad magic (not a checkpoint file)";
+  const std::uint32_t version = readU32(blob, 4);
+  FT_CHECK(version == kCheckpointVersion)
+      << "checkpoint: unsupported container version " << version;
+  const std::uint32_t kindLen = readU32(blob, 8);
+  std::size_t at = 12;
+  FT_CHECK(blob.size() >= at + kindLen + 16)
+      << "checkpoint: truncated framing";
+  const std::string_view gotKind = blob.substr(at, kindLen);
+  FT_CHECK(gotKind == kind)
+      << "checkpoint: kind mismatch (wrong engine or incompatible payload "
+         "schema): got \"" << gotKind << "\", want \"" << kind << "\"";
+  at += kindLen;
+  const std::uint64_t payloadLen = readU64(blob, at);
+  const std::uint64_t checksum = readU64(blob, at + 8);
+  at += 16;
+  FT_CHECK(blob.size() == at + payloadLen)
+      << "checkpoint: payload length does not match file size";
+  const std::string_view payload = blob.substr(at, payloadLen);
+  FT_CHECK(fnv1a64(payload) == checksum)
+      << "checkpoint: checksum mismatch (corrupt or torn file)";
+  return CheckpointReader(std::string(payload));
+}
+
+std::uint8_t CheckpointReader::getU8() {
+  FT_CHECK(pos_ + 1 <= payload_.size()) << "checkpoint: payload overrun";
+  return static_cast<std::uint8_t>(
+      static_cast<unsigned char>(payload_[pos_++]));
+}
+
+std::uint32_t CheckpointReader::getU32() {
+  FT_CHECK(pos_ + 4 <= payload_.size()) << "checkpoint: payload overrun";
+  const std::uint32_t v = readU32(payload_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t CheckpointReader::getU64() {
+  FT_CHECK(pos_ + 8 <= payload_.size()) << "checkpoint: payload overrun";
+  const std::uint64_t v = readU64(payload_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::string CheckpointReader::getBytes() {
+  const std::uint64_t len = getU64();
+  FT_CHECK(pos_ + len <= payload_.size()) << "checkpoint: payload overrun";
+  std::string s = payload_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+bool writeFileAtomic(const std::string& path, std::string_view blob) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      blob.empty() || std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!(wrote && flushed && closed)) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> readFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string out;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, got);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return out;
+}
+
+}  // namespace fencetrade::util

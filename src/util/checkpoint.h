@@ -1,0 +1,89 @@
+// Versioned, checksummed checkpoint container used by the resumable
+// engines (seed-scan fuzzer, sequential explorer).
+//
+// Layout (all integers little-endian, fixed width):
+//
+//   "FTCK"            4-byte magic
+//   u32 version       container format version (kVersion)
+//   u32 kindLen, kind engine-specific payload tag, e.g. "fuzz-scan/1"
+//   u64 payloadLen
+//   u64 checksum      FNV-1a over the payload bytes
+//   payload
+//
+// The payload itself is built/consumed with the primitive putters and
+// getters below; each engine owns its payload schema and bumps its
+// *kind* string when that schema changes, while kVersion only changes
+// if this container framing does.  A reader rejects — via CheckError,
+// never UB — any truncation, bad magic, version/kind mismatch, or
+// checksum failure, so a half-written or foreign file can never be
+// silently resumed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fencetrade::util {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// FNV-1a 64-bit, the same primitive the state-key hashing uses.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Append-only payload builder.
+class CheckpointWriter {
+ public:
+  void putU8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void putU32(std::uint32_t v);
+  void putU64(std::uint64_t v);
+  void putI64(std::int64_t v) { putU64(static_cast<std::uint64_t>(v)); }
+  void putBytes(std::string_view s);      ///< u64 length + raw bytes
+  void putBool(bool v) { putU8(v ? 1 : 0); }
+
+  /// Frame the accumulated payload into a complete checkpoint blob.
+  std::string finish(std::string_view kind) const;
+
+  const std::string& payload() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// Sequential payload reader.  Construct via open(); every getter
+/// FT_CHECKs against overrun, so a malformed payload fails loudly.
+class CheckpointReader {
+ public:
+  /// Validate framing + checksum and position at the payload start.
+  /// Throws util::CheckError on any mismatch, including a `kind` that
+  /// differs from what the resuming engine expects.
+  static CheckpointReader open(std::string_view blob, std::string_view kind);
+
+  std::uint8_t getU8();
+  std::uint32_t getU32();
+  std::uint64_t getU64();
+  std::int64_t getI64() { return static_cast<std::int64_t>(getU64()); }
+  std::string getBytes();
+  bool getBool() { return getU8() != 0; }
+
+  bool atEnd() const { return pos_ == payload_.size(); }
+
+ private:
+  explicit CheckpointReader(std::string payload)
+      : payload_(std::move(payload)) {}
+
+  std::string payload_;
+  std::size_t pos_ = 0;
+};
+
+/// Atomically replace `path` with `blob`: write to `path + ".tmp"`,
+/// flush, rename.  A crash mid-write leaves either the old checkpoint
+/// or none — never a torn file.  Returns false (with no partial file
+/// left behind) if the filesystem refuses.
+bool writeFileAtomic(const std::string& path, std::string_view blob);
+
+/// Whole-file read; nullopt if the file cannot be opened/read.
+std::optional<std::string> readFileBytes(const std::string& path);
+
+}  // namespace fencetrade::util

@@ -1,0 +1,34 @@
+#include "util/runcontrol.h"
+
+#include <csignal>
+
+namespace fencetrade::util {
+namespace {
+
+// The one token termination signals are routed to.  Plain volatile
+// pointer store/load would not be enough under concurrent re-install,
+// so the slot itself is atomic; the handler then only touches the
+// lock-free atomic<bool> inside the token, keeping the whole path
+// async-signal-safe.
+std::atomic<CancelToken*> gSignalToken{nullptr};
+
+extern "C" void onTerminationSignal(int) {
+  if (CancelToken* tok = gSignalToken.load(std::memory_order_acquire)) {
+    tok->cancel();
+  }
+}
+
+}  // namespace
+
+void cancelOnTerminationSignals(CancelToken* token) {
+  gSignalToken.store(token, std::memory_order_release);
+  if (token == nullptr) {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    return;
+  }
+  std::signal(SIGINT, &onTerminationSignal);
+  std::signal(SIGTERM, &onTerminationSignal);
+}
+
+}  // namespace fencetrade::util

@@ -1,0 +1,130 @@
+// Cooperative run control shared by every long-running engine: a
+// cancellation token (tripped by CLI signal handlers, watchdogs or
+// embedding services), a steady-clock deadline, and a memory budget
+// checked against the engines' existing arena/visited-set byte
+// accounting.
+//
+// Engines poll the control at a bounded cadence (at most one progress
+// interval) and stop *cooperatively*: they return a normal result whose
+// StopReason says why the run ended, with whatever partial verdict the
+// explored prefix supports.  Nothing throws, nothing is torn down
+// mid-expansion — that is what makes a SIGINT'd CLI able to flush a
+// valid JSON verdict and a resumable checkpoint instead of losing the
+// whole campaign.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace fencetrade::util {
+
+/// Why a run ended.  `Complete` means the engine finished its job
+/// (exhausted the space, scanned every seed, or stopped at a found
+/// violation); everything else is an early stop that left work undone.
+enum class StopReason : std::uint8_t {
+  Complete = 0,
+  StateCap = 1,   ///< maxStates / seed-count style work cap reached
+  Deadline = 2,   ///< wall-clock deadline passed
+  MemoryCap = 3,  ///< arena/visited-set byte budget exceeded
+  Cancelled = 4,  ///< CancelToken tripped (signal, watchdog, caller)
+};
+
+/// Stable string form used in --json output and telemetry.
+inline const char* stopReasonName(StopReason r) {
+  switch (r) {
+    case StopReason::Complete: return "complete";
+    case StopReason::StateCap: return "state-cap";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::MemoryCap: return "memory-cap";
+    case StopReason::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// Shared cooperative cancellation flag.  Trip-once semantics: cancel()
+/// is idempotent, and engines observing cancelled() stop at their next
+/// poll point.  Safe to trip from any thread and from signal handlers
+/// (std::atomic<bool> is lock-free on every platform we build for).
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+  /// Re-arm for reuse across runs (tests; never mid-run).
+  void reset() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Budget/cancellation bundle accepted by ExploreOptions,
+/// LivenessOptions, FuzzOptions and DifferentialOptions.  All fields
+/// default to "off"; a default RunControl costs the engines nothing on
+/// the hot path beyond one branch per poll.
+struct RunControl {
+  using Clock = std::chrono::steady_clock;
+
+  /// Cooperative cancellation; nullptr = not cancellable.  The token is
+  /// shared: one SIGINT trips every engine the driver threaded it into.
+  /// Non-const so the stall watchdog can trip the same token it guards.
+  CancelToken* cancel = nullptr;
+
+  /// Absolute steady-clock deadline; time_point{} = none.  Absolute so
+  /// one deadline naturally spans a multi-leg run (differential driver,
+  /// explore + liveness in lock_doctor).
+  Clock::time_point deadline{};
+
+  /// Budget on the engine's interned-key/arena byte accounting;
+  /// 0 = none.  Checked against the same numbers the telemetry reports
+  /// as arenaBytes, so the budget and the observability agree.
+  std::uint64_t memBudgetBytes = 0;
+
+  /// Parallel engines only: a worker that has not heartbeat for this
+  /// long is marked stalled in telemetry and the run is cancelled
+  /// instead of hanging.  0 = no watchdog.
+  double stallTimeoutSeconds = 0.0;
+
+  bool hasDeadline() const { return deadline != Clock::time_point{}; }
+
+  /// Anything to poll at all?  (Lets engines skip the clock read when
+  /// the control is entirely default.)
+  bool active() const {
+    return cancel != nullptr || hasDeadline() || memBudgetBytes > 0;
+  }
+
+  /// Cheapest check, suitable once per engine iteration: one pointer
+  /// test plus one relaxed-ish atomic load.
+  bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }
+
+  /// Full budget poll against the engine's current byte accounting.
+  /// Returns Complete when the run may continue.  Precedence:
+  /// Cancelled > Deadline > MemoryCap (a cancelled run reports
+  /// cancelled even if it also blew its deadline).
+  StopReason poll(std::uint64_t memBytes) const {
+    if (cancelled()) return StopReason::Cancelled;
+    if (hasDeadline() && Clock::now() >= deadline) return StopReason::Deadline;
+    if (memBudgetBytes > 0 && memBytes > memBudgetBytes) {
+      return StopReason::MemoryCap;
+    }
+    return StopReason::Complete;
+  }
+
+  /// Convenience for CLIs: a deadline `seconds` from now (<= 0 = none).
+  static Clock::time_point deadlineIn(double seconds) {
+    if (seconds <= 0.0) return {};
+    return Clock::now() +
+           std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(seconds));
+  }
+};
+
+/// Install SIGINT/SIGTERM handlers that trip `token`.  One process-wide
+/// registration (the latest call wins); pass nullptr to detach.  The
+/// handler only performs an atomic store, so it is async-signal-safe;
+/// the CLI's main loop observes the trip at the engine's next poll and
+/// flushes its partial verdict + checkpoint normally.
+void cancelOnTerminationSignals(CancelToken* token);
+
+}  // namespace fencetrade::util

@@ -128,5 +128,76 @@ TEST(CorpusTest, QuickCorpusEntriesMatchExpectations) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Run control through the differential matrix.
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialTest, PreTrippedTokenInterruptsBeforeAnyLegRuns) {
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  util::CancelToken tok;
+  tok.cancel();
+  DifferentialOptions opts;
+  opts.livenessMaxStates = 100'000;
+  opts.control.cancel = &tok;
+  const DifferentialReport rep = runDifferential(sys, opts);
+  EXPECT_EQ(rep.stopReason, util::StopReason::Cancelled);
+  EXPECT_EQ(rep.verdict, Verdict::Interrupted);
+  EXPECT_TRUE(rep.conformant) << rep.detail;
+  EXPECT_TRUE(rep.runs.empty());
+  EXPECT_TRUE(rep.liveness.empty());
+}
+
+TEST(DifferentialTest, BudgetStoppedLegsRetryOnceThenDegradeHonestly) {
+  // A 1-byte memory budget trips every leg's MemoryCap within one poll
+  // interval; each leg must record exactly one escalated retry (with a
+  // doubled state cap) and the whole entry must degrade to Inconclusive
+  // rather than claiming anything about an unexplored space.
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 3, core::bakeryFactory()).sys;
+  DifferentialOptions opts;
+  opts.control.memBudgetBytes = 1;
+  const DifferentialReport rep = runDifferential(sys, opts);
+  EXPECT_TRUE(rep.conformant) << rep.detail;
+  EXPECT_EQ(rep.verdict, Verdict::Inconclusive);
+  ASSERT_EQ(rep.runs.size(), defaultEngines().size());
+  for (const EngineRun& run : rep.runs) {
+    EXPECT_TRUE(run.retried) << run.spec.name;
+    EXPECT_EQ(run.firstStop, util::StopReason::MemoryCap) << run.spec.name;
+    EXPECT_EQ(run.res.stopReason, util::StopReason::MemoryCap)
+        << run.spec.name;
+  }
+}
+
+TEST(DifferentialTest, RetryEscalationCanBeDisabled) {
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 3, core::bakeryFactory()).sys;
+  DifferentialOptions opts;
+  opts.control.memBudgetBytes = 1;
+  opts.retryEscalation = false;
+  const DifferentialReport rep = runDifferential(sys, opts);
+  EXPECT_EQ(rep.verdict, Verdict::Inconclusive);
+  for (const EngineRun& run : rep.runs) {
+    EXPECT_FALSE(run.retried) << run.spec.name;
+    EXPECT_EQ(run.res.stopReason, util::StopReason::MemoryCap)
+        << run.spec.name;
+  }
+}
+
+TEST(DifferentialTest, HarmlessControlDoesNotChangeTheVerdict) {
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  util::CancelToken tok;
+  DifferentialOptions opts;
+  opts.control.cancel = &tok;
+  opts.control.deadline = util::RunControl::deadlineIn(3600.0);
+  opts.control.memBudgetBytes = ~std::uint64_t{0};
+  const DifferentialReport rep = runDifferential(sys, opts);
+  EXPECT_TRUE(rep.conformant) << rep.detail;
+  EXPECT_EQ(rep.verdict, Verdict::Pass);
+  EXPECT_EQ(rep.stopReason, util::StopReason::Complete);
+  for (const EngineRun& run : rep.runs) EXPECT_FALSE(run.retried);
+}
+
 }  // namespace
 }  // namespace fencetrade::check

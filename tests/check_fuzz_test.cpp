@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +17,7 @@
 #include "sim/explore.h"
 #include "sim/litmus.h"
 #include "sim/schedule.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace fencetrade::check {
@@ -250,6 +254,206 @@ TEST(ReorderBoundTest, StopWhenHaltsAtThePredicate) {
     }
   }
   EXPECT_TRUE(tripped);
+}
+
+// ---------------------------------------------------------------------------
+// Run control: injected clock, cancellation, checkpoint/resume.
+// ---------------------------------------------------------------------------
+
+/// Thread-safe fake monotonic clock: every query advances time by one
+/// second, so "elapsed" is exactly the number of queries made.
+std::function<double()> tickingClock() {
+  auto calls = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [calls]() -> double {
+    return static_cast<double>(calls->fetch_add(1));
+  };
+}
+
+TEST(FuzzControlTest, FakeClockDeadlineDegradesToInconclusive) {
+  // Correct GT_2: no witness will be found, so stopping early must
+  // degrade to Inconclusive — never claim Pass over an unfinished scan.
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::gtFactory(2)).sys;
+  FuzzOptions opts;
+  opts.seeds = 500;
+  opts.maxSeconds = 10.0;
+  opts.clock = tickingClock();
+  const FuzzReport rep = fuzzMutualExclusion(sys, opts);
+  EXPECT_EQ(rep.stopReason, util::StopReason::Deadline);
+  EXPECT_EQ(rep.verdict, Verdict::Inconclusive);
+  EXPECT_TRUE(rep.capped());
+  // The clock is consulted exactly once per scanned seed: the scan
+  // stops deterministically after 10 fake seconds = 10 seeds.
+  EXPECT_EQ(rep.schedulesRun, 10u);
+  EXPECT_FALSE(rep.witness.has_value());
+}
+
+TEST(FuzzControlTest, PreTrippedTokenYieldsInterruptedAndACheckpoint) {
+  const sim::System sys = strippedGt2();
+  util::CancelToken tok;
+  tok.cancel();
+  FuzzOptions opts;
+  opts.seeds = 1000;
+  opts.control.cancel = &tok;
+  std::string blob;
+  opts.checkpointOut = &blob;
+  const FuzzReport rep = fuzzMutualExclusion(sys, opts);
+  EXPECT_EQ(rep.stopReason, util::StopReason::Cancelled);
+  EXPECT_EQ(rep.verdict, Verdict::Interrupted);
+  EXPECT_EQ(rep.schedulesRun, 0u);
+  EXPECT_FALSE(blob.empty()) << "cancelled scans must leave a checkpoint";
+
+  // Resuming that checkpoint from scratch matches a never-interrupted
+  // scan exactly.
+  FuzzOptions resume;
+  resume.seeds = 1000;
+  resume.resumeFrom = &blob;
+  const FuzzReport resumed = fuzzMutualExclusion(sys, resume);
+  FuzzOptions clean;
+  clean.seeds = 1000;
+  const FuzzReport ref = fuzzMutualExclusion(sys, clean);
+  ASSERT_TRUE(ref.witness.has_value());
+  ASSERT_TRUE(resumed.witness.has_value());
+  EXPECT_EQ(resumed.witness->seed, ref.witness->seed);
+  EXPECT_EQ(resumed.witness->minimized, ref.witness->minimized);
+  EXPECT_EQ(resumed.schedulesRun, ref.schedulesRun);
+}
+
+/// Interrupt an in-flight scan with a fake-clock deadline, resume it,
+/// and require the resumed run to be indistinguishable from a scan that
+/// was never interrupted: same smallest violating seed, byte-identical
+/// minimized witness, and (single worker) identical counters.
+void fuzzInterruptResumeRoundTrip(int workers) {
+  const sim::System sys = strippedGt2();
+  FuzzOptions base;
+  base.seeds = 4096;
+  base.workers = workers;
+  const FuzzReport ref = fuzzMutualExclusion(sys, base);
+  ASSERT_TRUE(ref.witness.has_value());
+
+  FuzzOptions first = base;
+  first.maxSeconds = 3.0;
+  first.clock = tickingClock();
+  std::string blob;
+  first.checkpointOut = &blob;
+  const FuzzReport partial = fuzzMutualExclusion(sys, first);
+  ASSERT_EQ(partial.stopReason, util::StopReason::Deadline);
+  ASSERT_FALSE(blob.empty());
+  ASSERT_LT(partial.schedulesRun, ref.schedulesRun)
+      << "the interrupt landed after the scan already finished";
+
+  FuzzOptions second = base;
+  second.resumeFrom = &blob;
+  const FuzzReport resumed = fuzzMutualExclusion(sys, second);
+  ASSERT_TRUE(resumed.witness.has_value());
+  EXPECT_EQ(resumed.witness->seed, ref.witness->seed);
+  EXPECT_EQ(resumed.witness->schedule, ref.witness->schedule);
+  EXPECT_EQ(resumed.witness->minimized, ref.witness->minimized);
+  EXPECT_EQ(resumed.verdict, Verdict::Violation);
+  if (workers == 1) {
+    // Ascending single-worker scans are fully deterministic, so every
+    // counter must line up too (multi-worker skipping is timing-
+    // dependent even without interrupts; the witness contract is not).
+    EXPECT_EQ(resumed.schedulesRun, ref.schedulesRun);
+    EXPECT_EQ(resumed.completedRuns, ref.completedRuns);
+    EXPECT_EQ(resumed.violatingSeeds, ref.violatingSeeds);
+    EXPECT_EQ(resumed.totalReorderings, ref.totalReorderings);
+  }
+}
+
+TEST(FuzzControlTest, InterruptResumeIsWitnessIdenticalSingleWorker) {
+  fuzzInterruptResumeRoundTrip(1);
+}
+
+TEST(FuzzControlTest, InterruptResumeIsWitnessIdenticalFourWorkers) {
+  fuzzInterruptResumeRoundTrip(4);
+}
+
+TEST(FuzzControlTest, ResumeRejectsChangedOptionsOrWorkerCount) {
+  const sim::System sys = strippedGt2();
+  util::CancelToken tok;
+  tok.cancel();
+  FuzzOptions opts;
+  opts.seeds = 100;
+  opts.control.cancel = &tok;
+  std::string blob;
+  opts.checkpointOut = &blob;
+  ASSERT_TRUE(fuzzMutualExclusion(sys, opts).capped());
+  ASSERT_FALSE(blob.empty());
+
+  FuzzOptions moreSeeds;
+  moreSeeds.seeds = 200;
+  moreSeeds.resumeFrom = &blob;
+  EXPECT_THROW(fuzzMutualExclusion(sys, moreSeeds), util::CheckError);
+
+  FuzzOptions moreWorkers;
+  moreWorkers.seeds = 100;
+  moreWorkers.workers = 2;  // stride positions are worker-count-specific
+  moreWorkers.resumeFrom = &blob;
+  EXPECT_THROW(fuzzMutualExclusion(sys, moreWorkers), util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// reorderBudget = 0 ⇒ FIFO commit order (TSO-equivalent behaviour).
+// ---------------------------------------------------------------------------
+
+TEST(ReorderBoundTest, ZeroBudgetIsTsoEquivalentOnLitmusMP) {
+  // Message passing is the canonical TSO/PSO separator: with the two
+  // writes unfenced, PSO lets the flag overtake the data while TSO's
+  // FIFO buffer forbids it.  A zero reorder budget must therefore pin
+  // every PSO run inside the exhaustive TSO outcome set, and lifting
+  // the budget must escape it.
+  const sim::System pso = sim::litmusMP(MemoryModel::PSO, false);
+  const auto tsoOutcomes =
+      sim::explore(sim::litmusMP(MemoryModel::TSO, false)).outcomes;
+  const auto psoOutcomes = sim::explore(pso).outcomes;
+  ASSERT_GT(psoOutcomes.size(), tsoOutcomes.size())
+      << "MP no longer separates TSO from PSO; pick another litmus";
+
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    sim::Config cfg = sim::initialConfig(pso);
+    util::Rng rng(seed);
+    sim::ReorderBoundOptions rbo;
+    rbo.reorderBudget = 0;
+    const sim::ScheduleRunResult run =
+        sim::runReorderBounded(pso, cfg, rng, rbo);
+    ASSERT_TRUE(run.completed) << "seed " << seed;
+    EXPECT_EQ(run.reorderings, 0) << "seed " << seed;
+    EXPECT_TRUE(tsoOutcomes.count(cfg.returnValues()))
+        << "seed " << seed << ": budget-0 PSO run escaped the TSO set";
+  }
+
+  // The overtake window is narrow, so escapes are rare (~2-3 per
+  // thousand seeds; the first lies below 1000 for this deterministic
+  // Rng).  One escape is all the discrimination needs.
+  bool escaped = false;
+  for (std::uint64_t seed = 1; seed <= 1000 && !escaped; ++seed) {
+    sim::Config cfg = sim::initialConfig(pso);
+    util::Rng rng(seed);
+    sim::ReorderBoundOptions rbo;
+    rbo.reorderBudget = -1;  // unlimited
+    if (sim::runReorderBounded(pso, cfg, rng, rbo).completed) {
+      escaped = escaped || tsoOutcomes.count(cfg.returnValues()) == 0;
+    }
+  }
+  EXPECT_TRUE(escaped)
+      << "unlimited budget never reached a PSO-only outcome in 1000 seeds";
+}
+
+TEST(ReorderBoundTest, ZeroBudgetStaysInTsoSetOnWriteBatch) {
+  const sim::System pso = sim::litmusWriteBatch(MemoryModel::PSO);
+  const auto tsoOutcomes =
+      sim::explore(sim::litmusWriteBatch(MemoryModel::TSO)).outcomes;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    sim::Config cfg = sim::initialConfig(pso);
+    util::Rng rng(seed);
+    sim::ReorderBoundOptions rbo;
+    rbo.reorderBudget = 0;
+    const sim::ScheduleRunResult run =
+        sim::runReorderBounded(pso, cfg, rng, rbo);
+    ASSERT_TRUE(run.completed) << "seed " << seed;
+    EXPECT_TRUE(tsoOutcomes.count(cfg.returnValues())) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -33,7 +33,7 @@ TEST(MutexOracleTest, CleanResultHolds) {
   const sim::System sys =
       core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
   const sim::ExploreResult res = sim::explore(sys, {});
-  ASSERT_FALSE(res.capped);
+  ASSERT_FALSE(res.capped());
   ASSERT_FALSE(res.mutexViolation);
   const PropertyReport rep = checkMutualExclusionResult(sys, res);
   EXPECT_TRUE(rep.applicable);
@@ -83,7 +83,7 @@ TEST(DeadlockOracleTest, CompleteLivenessResultHolds) {
   const sim::System sys =
       core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
   const sim::LivenessResult live = sim::checkLiveness(sys, {});
-  ASSERT_TRUE(live.complete);
+  ASSERT_TRUE(live.complete());
   const PropertyReport rep = checkDeadlockFreedom(live);
   EXPECT_TRUE(rep.applicable);
   EXPECT_TRUE(rep.holds) << rep.detail;
@@ -95,7 +95,7 @@ TEST(DeadlockOracleTest, CappedLivenessIsNotApplicable) {
   sim::LivenessOptions opts;
   opts.maxStates = 4;
   const sim::LivenessResult live = sim::checkLiveness(sys, opts);
-  ASSERT_FALSE(live.complete);
+  ASSERT_FALSE(live.complete());
   const PropertyReport rep = checkDeadlockFreedom(live);
   EXPECT_FALSE(rep.applicable);
   EXPECT_TRUE(rep.holds);

@@ -58,7 +58,7 @@ TEST(BakeryTest, MutualExclusionExhaustiveTwoProcsPso) {
   auto res = sim::explore(os.sys);
   EXPECT_FALSE(res.mutexViolation) << "witness length "
                                    << res.witness.size();
-  EXPECT_FALSE(res.capped);
+  EXPECT_FALSE(res.capped());
   // Every terminal outcome is a permutation of {0, 1}.
   std::set<std::vector<sim::Value>> expected{{0, 1}, {1, 0}};
   EXPECT_EQ(res.outcomes, expected);
@@ -68,14 +68,14 @@ TEST(BakeryTest, MutualExclusionExhaustiveTwoProcsTso) {
   auto os = buildCountSystem(MemoryModel::TSO, 2, bakeryFactory());
   auto res = sim::explore(os.sys);
   EXPECT_FALSE(res.mutexViolation);
-  EXPECT_FALSE(res.capped);
+  EXPECT_FALSE(res.capped());
 }
 
 TEST(BakeryTest, MutualExclusionExhaustiveTwoProcsSc) {
   auto os = buildCountSystem(MemoryModel::SC, 2, bakeryFactory());
   auto res = sim::explore(os.sys);
   EXPECT_FALSE(res.mutexViolation);
-  EXPECT_FALSE(res.capped);
+  EXPECT_FALSE(res.capped());
 }
 
 TEST(BakeryTest, PaperListingDoorwayOrderViolatesMutexEvenUnderSc) {

@@ -33,7 +33,7 @@ TEST_P(CasLockMutex, ExhaustiveTwoProcesses) {
   auto os = buildCountSystem(model, 2, ttas ? ttasFactory() : tasFactory());
   auto res = sim::explore(os.sys);
   EXPECT_FALSE(res.mutexViolation);
-  EXPECT_FALSE(res.capped);
+  EXPECT_FALSE(res.capped());
   std::set<std::vector<sim::Value>> expected{{0, 1}, {1, 0}};
   EXPECT_EQ(res.outcomes, expected);
 }

@@ -69,7 +69,7 @@ TEST_P(Matrix, ExhaustiveMutexAndOrderingTwoProcs) {
   sim::ExploreOptions opts;
   opts.maxStates = 3'000'000;
   auto res = sim::explore(os.sys, opts);
-  ASSERT_FALSE(res.capped) << res.statesVisited << " states";
+  ASSERT_FALSE(res.capped()) << res.statesVisited << " states";
   EXPECT_FALSE(res.mutexViolation);
   // Ordering property: terminal returns are exactly {0,1} in some order.
   std::set<std::vector<sim::Value>> expected{{0, 1}, {1, 0}};

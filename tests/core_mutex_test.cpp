@@ -42,7 +42,7 @@ TEST_P(MutexExhaustive, TwoProcessesNoViolationAllOutcomes) {
   sim::ExploreOptions opts;
   opts.maxStates = 5'000'000;
   auto res = sim::explore(os.sys, opts);
-  EXPECT_FALSE(res.capped) << "state space larger than expected: "
+  EXPECT_FALSE(res.capped()) << "state space larger than expected: "
                            << res.statesVisited;
   EXPECT_FALSE(res.mutexViolation);
   std::set<std::vector<sim::Value>> expected{{0, 1}, {1, 0}};

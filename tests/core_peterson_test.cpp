@@ -84,7 +84,7 @@ TEST_P(PetersonMutex, PsoSafeVariantCorrectEverywhere) {
   auto os = buildCountSystem(GetParam(), 2, petersonTournamentFactory());
   auto res = sim::explore(os.sys);
   EXPECT_FALSE(res.mutexViolation);
-  EXPECT_FALSE(res.capped);
+  EXPECT_FALSE(res.capped());
   std::set<std::vector<sim::Value>> expected{{0, 1}, {1, 0}};
   EXPECT_EQ(res.outcomes, expected);
 }

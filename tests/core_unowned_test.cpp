@@ -28,7 +28,7 @@ TEST(UnownedLayoutTest, MutexHoldsForEveryLockUnderPso) {
     auto os = buildCountSystem(MemoryModel::PSO, 2, factory);
     auto res = sim::explore(os.sys);
     EXPECT_FALSE(res.mutexViolation) << name;
-    EXPECT_FALSE(res.capped) << name;
+    EXPECT_FALSE(res.capped()) << name;
     std::set<std::vector<sim::Value>> expected{{0, 1}, {1, 0}};
     EXPECT_EQ(res.outcomes, expected) << name;
   }

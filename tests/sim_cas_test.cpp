@@ -128,7 +128,7 @@ TEST(CasTest, AtomicityUnderExhaustiveExploration) {
     sys.programs.push_back(b.build());
   }
   auto res = explore(sys);
-  EXPECT_FALSE(res.capped);
+  EXPECT_FALSE(res.capped());
   // Return values are the pre-increment reads: {0,1} in either order —
   // never {0,0} (that would be a lost update).
   for (const auto& outcome : res.outcomes) {

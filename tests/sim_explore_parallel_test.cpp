@@ -36,8 +36,8 @@ constexpr bool kSanitized = false;
 
 void expectSameResult(const ExploreResult& seq, const ExploreResult& par,
                       const std::string& what) {
-  ASSERT_FALSE(seq.capped) << what;
-  ASSERT_FALSE(par.capped) << what;
+  ASSERT_FALSE(seq.capped()) << what;
+  ASSERT_FALSE(par.capped()) << what;
   EXPECT_EQ(par.outcomes, seq.outcomes) << what;
   EXPECT_EQ(par.statesVisited, seq.statesVisited) << what;
   EXPECT_EQ(par.mutexViolation, seq.mutexViolation) << what;
@@ -129,12 +129,12 @@ TEST(ParallelDiffTest, LivenessGraphMatchesSequential) {
        core::buildCountSystem(MemoryModel::PSO, 2, core::gtFactory(2)).sys});
   for (const Case& c : cases) {
     auto seq = checkLiveness(c.sys);
-    ASSERT_TRUE(seq.complete) << c.name;
+    ASSERT_TRUE(seq.complete()) << c.name;
     for (int workers : {2, 4}) {
       LivenessOptions opts;
       opts.workers = workers;
       auto par = checkLiveness(c.sys, opts);
-      ASSERT_TRUE(par.complete) << c.name << "/w" << workers;
+      ASSERT_TRUE(par.complete()) << c.name << "/w" << workers;
       EXPECT_EQ(par.states, seq.states) << c.name << "/w" << workers;
       EXPECT_EQ(par.terminalStates, seq.terminalStates)
           << c.name << "/w" << workers;

@@ -44,10 +44,10 @@ ExploreResult runExplore(const System& sys, bool reduction, int workers) {
 void expectReductionMatchesOracle(const System& sys,
                                   const std::string& label) {
   const auto oracle = runExplore(sys, /*reduction=*/false, /*workers=*/1);
-  ASSERT_FALSE(oracle.capped) << label;
+  ASSERT_FALSE(oracle.capped()) << label;
   for (int workers : {1, 4}) {
     const auto red = runExplore(sys, /*reduction=*/true, workers);
-    ASSERT_FALSE(red.capped) << label << " workers=" << workers;
+    ASSERT_FALSE(red.capped()) << label << " workers=" << workers;
     EXPECT_EQ(red.outcomes, oracle.outcomes)
         << label << ": outcome sets diverge (workers=" << workers << ")";
     EXPECT_EQ(red.mutexViolation, oracle.mutexViolation)
@@ -113,7 +113,7 @@ TEST(ReductionTest, GtN4CappedSmoke) {
         opts.reduction = reduction;
         opts.workers = workers;
         const auto res = explore(sys, opts);
-        EXPECT_TRUE(res.capped) << memoryModelName(m);
+        EXPECT_TRUE(res.capped()) << memoryModelName(m);
         EXPECT_FALSE(res.mutexViolation)
             << memoryModelName(m) << " reduction=" << reduction
             << " workers=" << workers;
@@ -176,13 +176,13 @@ TEST(ReductionTest, LivenessVerdictPreservedOnLockFamily) {
     auto os = core::buildCountSystem(MemoryModel::PSO, 2, factory);
     LivenessOptions full;
     const auto oracle = checkLiveness(os.sys, full);
-    ASSERT_TRUE(oracle.complete) << name;
+    ASSERT_TRUE(oracle.complete()) << name;
     for (int workers : {1, 4}) {
       LivenessOptions opts;
       opts.reduction = true;
       opts.workers = workers;
       const auto red = checkLiveness(os.sys, opts);
-      ASSERT_TRUE(red.complete) << name << " workers=" << workers;
+      ASSERT_TRUE(red.complete()) << name << " workers=" << workers;
       EXPECT_EQ(red.allCanTerminate, oracle.allCanTerminate)
           << name << ": termination verdict diverges (workers=" << workers
           << ")";
@@ -221,7 +221,7 @@ TEST(ReductionTest, LivenessStillDetectsGenuineDeadlock) {
     opts.reduction = true;
     opts.workers = workers;
     const auto res = checkLiveness(sys, opts);
-    ASSERT_TRUE(res.complete) << "workers=" << workers;
+    ASSERT_TRUE(res.complete()) << "workers=" << workers;
     EXPECT_FALSE(res.allCanTerminate) << "workers=" << workers;
     EXPECT_EQ(res.terminalStates, 0u) << "workers=" << workers;
     EXPECT_GT(res.stuckStates, 0u) << "workers=" << workers;
@@ -281,7 +281,7 @@ TEST(ReductionTest, RandomSystemDifferentialPso) {
   for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
     const System sys = randomSystem(seed, MemoryModel::PSO, 2, 4);
     const auto oracle = runExplore(sys, false, 1);
-    ASSERT_FALSE(oracle.capped) << "seed " << seed;
+    ASSERT_FALSE(oracle.capped()) << "seed " << seed;
     const int multi = 2 + static_cast<int>(seed % 3);  // 2..4 workers
     for (int workers : {1, multi}) {
       const auto red = runExplore(sys, true, workers);

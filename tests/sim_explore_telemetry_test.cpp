@@ -31,7 +31,7 @@ std::uint64_t sumAdmitted(const ExploreTelemetry& t) {
 TEST(ExploreTelemetry, SequentialBreakdownIsConsistent) {
   const System sys = makeGtSystem(2);
   const ExploreResult res = explore(sys);
-  ASSERT_FALSE(res.capped);
+  ASSERT_FALSE(res.capped());
 
   ASSERT_EQ(res.telemetry.workers.size(), 1u);
   EXPECT_EQ(sumAdmitted(res.telemetry), res.statesVisited);
@@ -50,7 +50,7 @@ TEST(ExploreTelemetry, ParallelWorkersSumToStatesVisited) {
   ExploreOptions opts;
   opts.workers = 4;
   const ExploreResult res = explore(sys, opts);
-  ASSERT_FALSE(res.capped);
+  ASSERT_FALSE(res.capped());
 
   ASSERT_EQ(res.telemetry.workers.size(), 4u);
   EXPECT_EQ(sumAdmitted(res.telemetry), res.statesVisited);
@@ -102,7 +102,7 @@ TEST(ExploreTelemetry, ParallelProgressHeartbeatFires) {
     fired.fetch_add(1, std::memory_order_relaxed);
   };
   const ExploreResult res = explore(sys, opts);
-  ASSERT_FALSE(res.capped);
+  ASSERT_FALSE(res.capped());
   EXPECT_GT(fired.load(), 0);
 }
 
@@ -135,7 +135,7 @@ TEST(ExploreTelemetry, ParallelMetricsSinkMatchesTelemetry) {
   opts.workers = 4;
   opts.metrics = &reg;
   const ExploreResult res = explore(sys, opts);
-  ASSERT_FALSE(res.capped);
+  ASSERT_FALSE(res.capped());
 
 #ifndef FENCETRADE_NO_METRICS
   const util::MetricsSnapshot snap = reg.snapshot();
@@ -171,7 +171,7 @@ TEST(ExploreTelemetry, SharedRegistryAccumulatesAcrossRuns) {
 TEST(LivenessTelemetry, SequentialBreakdownIsConsistent) {
   const System sys = makeGtSystem(2);
   const LivenessResult res = checkLiveness(sys);
-  ASSERT_TRUE(res.complete);
+  ASSERT_TRUE(res.complete());
 
   ASSERT_EQ(res.telemetry.workers.size(), 1u);
   EXPECT_EQ(sumAdmitted(res.telemetry), res.states);
@@ -185,7 +185,7 @@ TEST(LivenessTelemetry, ParallelWorkersSumToStates) {
   LivenessOptions opts;
   opts.workers = 4;
   const LivenessResult res = checkLiveness(sys, opts);
-  ASSERT_TRUE(res.complete);
+  ASSERT_TRUE(res.complete());
 
   ASSERT_EQ(res.telemetry.workers.size(), 4u);
   EXPECT_EQ(sumAdmitted(res.telemetry), res.states);
@@ -196,7 +196,7 @@ TEST(LivenessTelemetry, CappedRunStillReportsTelemetry) {
   LivenessOptions opts;
   opts.maxStates = 50;
   const LivenessResult res = checkLiveness(sys, opts);
-  ASSERT_FALSE(res.complete);
+  ASSERT_FALSE(res.complete());
   EXPECT_GT(sumAdmitted(res.telemetry), 0u);
   EXPECT_GT(res.telemetry.dedupProbes, 0u);
 }
@@ -212,7 +212,7 @@ TEST(LivenessTelemetry, MetricsSinkSharedWithExplore) {
   LivenessOptions lopts;
   lopts.metrics = &reg;
   const LivenessResult lr = checkLiveness(sys, lopts);
-  ASSERT_TRUE(lr.complete);
+  ASSERT_TRUE(lr.complete());
 
 #ifndef FENCETRADE_NO_METRICS
   EXPECT_EQ(reg.snapshot().counter("explore.states"),
@@ -238,8 +238,8 @@ TEST(OutcomesToString, CappedExploreRendersAsPartial) {
   opts.maxStates = 20;
   opts.checkMutualExclusion = false;
   const ExploreResult res = explore(sys, opts);
-  ASSERT_TRUE(res.capped);
-  EXPECT_NE(outcomesToString(res.outcomes, res.capped).find("PARTIAL"),
+  ASSERT_TRUE(res.capped());
+  EXPECT_NE(outcomesToString(res.outcomes, res.capped()).find("PARTIAL"),
             std::string::npos);
 }
 

@@ -23,7 +23,7 @@ TEST(ExploreTest, SingleProcessHasOneOutcome) {
   auto res = explore(sys);
   EXPECT_EQ(res.outcomes.size(), 1u);
   EXPECT_TRUE(res.outcomes.count({3}));
-  EXPECT_FALSE(res.capped);
+  EXPECT_FALSE(res.capped());
   EXPECT_FALSE(res.mutexViolation);
 }
 
@@ -124,7 +124,7 @@ TEST(ExploreTest, StateCapReportsCapped) {
   ExploreOptions opts;
   opts.maxStates = 10;
   auto res = explore(sys, opts);
-  EXPECT_TRUE(res.capped);
+  EXPECT_TRUE(res.capped());
   EXPECT_LE(res.statesVisited, 11u);
 }
 

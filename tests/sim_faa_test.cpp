@@ -71,7 +71,7 @@ TEST(FaaTest, WaitFreeFaiIsAtomicExhaustively) {
   // no lost updates, under every memory model.
   for (auto m : {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO}) {
     auto res = explore(waitFreeFai(m, 2));
-    EXPECT_FALSE(res.capped);
+    EXPECT_FALSE(res.capped());
     std::set<std::vector<Value>> expected{{0, 1}, {1, 0}};
     EXPECT_EQ(res.outcomes, expected) << memoryModelName(m);
   }

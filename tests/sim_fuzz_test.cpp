@@ -96,7 +96,7 @@ TEST(FuzzTest, ModelInclusionOnRandomSystems) {
     auto sc = explore(randomSystem(seed, MemoryModel::SC, 2, 5));
     auto tso = explore(randomSystem(seed, MemoryModel::TSO, 2, 5));
     auto pso = explore(randomSystem(seed, MemoryModel::PSO, 2, 5));
-    ASSERT_FALSE(pso.capped) << "seed " << seed;
+    ASSERT_FALSE(pso.capped()) << "seed " << seed;
     for (const auto& o : sc.outcomes) {
       EXPECT_TRUE(tso.outcomes.count(o))
           << "seed " << seed << ": SC outcome missing under TSO";
@@ -112,7 +112,7 @@ TEST(FuzzTest, RandomRunsProduceOnlyExploredOutcomes) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     System sys = randomSystem(seed, MemoryModel::PSO, 2, 5);
     auto all = explore(sys);
-    ASSERT_FALSE(all.capped);
+    ASSERT_FALSE(all.capped());
     for (std::uint64_t run = 0; run < 15; ++run) {
       System sys2 = randomSystem(seed, MemoryModel::PSO, 2, 5);
       Config cfg = initialConfig(sys2);
@@ -150,7 +150,7 @@ TEST(FuzzTest, ParallelMatchesSequentialOnRandomSystems) {
   for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
     System sys = randomSystem(seed, MemoryModel::PSO, 2, 4);
     auto seq = explore(sys);
-    ASSERT_FALSE(seq.capped) << "seed " << seed;
+    ASSERT_FALSE(seq.capped()) << "seed " << seed;
 
     ExploreOptions opts;
     opts.workers = 2 + static_cast<int>(seed % 3);  // 2..4 workers

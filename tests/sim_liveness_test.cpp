@@ -28,7 +28,7 @@ TEST(LivenessTest, SingleProcessTerminates) {
   sys.programs.push_back(b.build());
 
   auto res = checkLiveness(sys);
-  ASSERT_TRUE(res.complete);
+  ASSERT_TRUE(res.complete());
   EXPECT_TRUE(res.allCanTerminate);
   EXPECT_EQ(res.terminalStates, 1u);
   EXPECT_EQ(res.stuckStates, 0u);
@@ -59,7 +59,7 @@ TEST(LivenessTest, DetectsGenuineDeadlock) {
   sys.programs.push_back(prog("p1", f0, f1, 1));
 
   auto res = checkLiveness(sys);
-  ASSERT_TRUE(res.complete);
+  ASSERT_TRUE(res.complete());
   EXPECT_FALSE(res.allCanTerminate);
   EXPECT_EQ(res.terminalStates, 0u);  // nobody ever finishes
   EXPECT_GT(res.stuckStates, 0u);
@@ -86,7 +86,7 @@ TEST(LivenessTest, EveryLockIsDeadlockFreeTwoProcsPso) {
   for (const auto& c : lockCases()) {
     auto os = buildCountSystem(MemoryModel::PSO, 2, c.factory);
     auto res = checkLiveness(os.sys);
-    ASSERT_TRUE(res.complete) << c.name;
+    ASSERT_TRUE(res.complete()) << c.name;
     EXPECT_TRUE(res.allCanTerminate)
         << c.name << ": " << res.stuckStates << " stuck states of "
         << res.states;
@@ -99,7 +99,7 @@ TEST(LivenessTest, EveryLockIsDeadlockFreeTwoProcsTsoAndSc) {
     for (auto m : {MemoryModel::SC, MemoryModel::TSO}) {
       auto os = buildCountSystem(m, 2, c.factory);
       auto res = checkLiveness(os.sys);
-      ASSERT_TRUE(res.complete) << c.name;
+      ASSERT_TRUE(res.complete()) << c.name;
       EXPECT_TRUE(res.allCanTerminate) << c.name << " under "
                                        << memoryModelName(m);
     }
@@ -114,7 +114,7 @@ TEST(LivenessTest, BrokenPetersonStillTerminates) {
       core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
                                       core::PetersonVariant::TsoFence));
   auto res = checkLiveness(os.sys);
-  ASSERT_TRUE(res.complete);
+  ASSERT_TRUE(res.complete());
   EXPECT_TRUE(res.allCanTerminate);
 }
 
@@ -123,7 +123,7 @@ TEST(LivenessTest, CapReportsIncomplete) {
   LivenessOptions opts;
   opts.maxStates = 10;
   auto res = checkLiveness(os.sys, opts);
-  EXPECT_FALSE(res.complete);
+  EXPECT_FALSE(res.complete());
 }
 
 }  // namespace

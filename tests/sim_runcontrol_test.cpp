@@ -1,0 +1,335 @@
+// Run-control behaviour of the exploration engines: budgets and
+// cancellation produce the right StopReason within one poll interval,
+// sequential checkpoint/resume is verdict- and witness-identical to an
+// uninterrupted run, and the parallel watchdog cancels a stalled run
+// instead of hanging it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "check/inject.h"
+#include "core/bakery.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/explore.h"
+#include "util/check.h"
+#include "util/runcontrol.h"
+
+namespace fencetrade::sim {
+namespace {
+
+using util::CancelToken;
+using util::RunControl;
+using util::StopReason;
+
+System bakery2() {
+  return core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory())
+      .sys;
+}
+
+/// ~72k states under PSO: big enough that the 1024-admission budget
+/// poll cadence fires many times before completion.
+System bakery3() {
+  return core::buildCountSystem(MemoryModel::PSO, 3, core::bakeryFactory())
+      .sys;
+}
+
+System tournament3() {
+  return core::buildCountSystem(MemoryModel::PSO, 3,
+                                core::tournamentFactory())
+      .sys;
+}
+
+/// GT_2 with one fence stripped: a genuine PSO mutual-exclusion bug the
+/// explorer finds, used to prove witness-identical resume.
+System strippedGt2() {
+  System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::gtFactory(2)).sys;
+  EXPECT_GT(check::stripFence(sys, 0), 0);
+  return sys;
+}
+
+// ---------------------------------------------------------------------------
+// Budgets & cancellation → StopReason, sequential and parallel.
+// ---------------------------------------------------------------------------
+
+TEST(ExploreControlTest, PreTrippedTokenCancelsSequentialRunImmediately) {
+  CancelToken tok;
+  tok.cancel();
+  ExploreOptions opts;
+  opts.control.cancel = &tok;
+  const ExploreResult res = explore(bakery2(), opts);
+  EXPECT_EQ(res.stopReason, StopReason::Cancelled);
+  EXPECT_TRUE(res.capped());
+  EXPECT_LE(res.statesVisited, 2u);  // stops at the first admission
+}
+
+TEST(ExploreControlTest, PassedDeadlineStopsSequentialWithinOnePoll) {
+  ExploreOptions opts;
+  opts.control.deadline = RunControl::Clock::now();
+  const ExploreResult res = explore(bakery3(), opts);
+  EXPECT_EQ(res.stopReason, StopReason::Deadline);
+  // Budget polls run every 1024 admissions — far below one progress
+  // interval (65536), the acceptance bound.
+  EXPECT_LE(res.statesVisited, 2048u);
+}
+
+TEST(ExploreControlTest, TinyMemoryBudgetStopsSequentialWithMemoryCap) {
+  ExploreOptions opts;
+  opts.control.memBudgetBytes = 1;
+  const ExploreResult res = explore(bakery3(), opts);
+  EXPECT_EQ(res.stopReason, StopReason::MemoryCap);
+  EXPECT_LE(res.statesVisited, 2048u);
+  EXPECT_GT(res.telemetry.arenaBytes, 1u);
+}
+
+TEST(ExploreControlTest, ParallelEngineHonoursAllBudgets) {
+  const System sys = tournament3();
+  {
+    CancelToken tok;
+    tok.cancel();
+    ExploreOptions opts;
+    opts.workers = 4;
+    opts.control.cancel = &tok;
+    const ExploreResult res = explore(sys, opts);
+    EXPECT_EQ(res.stopReason, StopReason::Cancelled);
+  }
+  {
+    ExploreOptions opts;
+    opts.workers = 4;
+    opts.control.deadline = RunControl::Clock::now();
+    const ExploreResult res = explore(sys, opts);
+    EXPECT_EQ(res.stopReason, StopReason::Deadline);
+    EXPECT_LT(res.statesVisited, 186151u);  // full space never explored
+  }
+  {
+    ExploreOptions opts;
+    opts.workers = 4;
+    opts.control.memBudgetBytes = 1;
+    const ExploreResult res = explore(sys, opts);
+    EXPECT_EQ(res.stopReason, StopReason::MemoryCap);
+  }
+}
+
+TEST(ExploreControlTest, CompleteRunsReportCompleteWithAHarmlessControl) {
+  // An active control that never trips must not change the result.
+  CancelToken tok;
+  ExploreOptions opts;
+  opts.control.cancel = &tok;
+  opts.control.deadline = RunControl::deadlineIn(3600.0);
+  opts.control.memBudgetBytes = ~std::uint64_t{0};
+  const ExploreResult res = explore(bakery2(), opts);
+  EXPECT_EQ(res.stopReason, StopReason::Complete);
+  EXPECT_FALSE(res.capped());
+  const ExploreResult plain = explore(bakery2());
+  EXPECT_EQ(res.statesVisited, plain.statesVisited);
+  EXPECT_EQ(res.outcomes, plain.outcomes);
+}
+
+TEST(LivenessControlTest, CancellationAndBudgetsStopGraphConstruction) {
+  const System sys = bakery3();
+  {
+    CancelToken tok;
+    tok.cancel();
+    LivenessOptions opts;
+    opts.control.cancel = &tok;
+    const LivenessResult res = checkLiveness(sys, opts);
+    EXPECT_EQ(res.stopReason, StopReason::Cancelled);
+    EXPECT_FALSE(res.complete());
+  }
+  {
+    LivenessOptions opts;
+    opts.control.memBudgetBytes = 1;
+    const LivenessResult res = checkLiveness(sys, opts);
+    EXPECT_EQ(res.stopReason, StopReason::MemoryCap);
+    EXPECT_FALSE(res.complete());
+  }
+  {
+    LivenessOptions opts;  // default control: runs to completion
+    const LivenessResult res = checkLiveness(sys, opts);
+    EXPECT_EQ(res.stopReason, StopReason::Complete);
+    EXPECT_TRUE(res.complete());
+    EXPECT_TRUE(res.allCanTerminate);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential checkpoint/resume.
+// ---------------------------------------------------------------------------
+
+/// Runs sys to a StateCap checkpoint at `stopAt` states, resumes, and
+/// asserts the resumed result is identical to the uninterrupted run in
+/// everything the verdict contract covers.
+void roundTrip(const System& sys, std::uint64_t stopAt, bool reduction) {
+  ExploreOptions full;
+  full.reduction = reduction;
+  const ExploreResult ref = explore(sys, full);
+
+  ExploreOptions first;
+  first.reduction = reduction;
+  first.maxStates = stopAt;
+  std::string blob;
+  first.checkpointOut = &blob;
+  const ExploreResult partial = explore(sys, first);
+  ASSERT_EQ(partial.stopReason, StopReason::StateCap);
+  ASSERT_FALSE(blob.empty());
+  ASSERT_EQ(partial.statesVisited, stopAt);
+
+  ExploreOptions second;
+  second.reduction = reduction;
+  second.resumeFrom = &blob;
+  const ExploreResult resumed = explore(sys, second);
+
+  EXPECT_EQ(resumed.stopReason, ref.stopReason);
+  EXPECT_EQ(resumed.statesVisited, ref.statesVisited);
+  EXPECT_EQ(resumed.outcomes, ref.outcomes);
+  EXPECT_EQ(resumed.mutexViolation, ref.mutexViolation);
+  EXPECT_EQ(resumed.maxCsOccupancy, ref.maxCsOccupancy);
+  EXPECT_EQ(resumed.witness, ref.witness);  // byte-identical schedule
+}
+
+TEST(ExploreCheckpointTest, ResumeMatchesUninterruptedRun) {
+  roundTrip(bakery3(), 5'000, /*reduction=*/false);
+}
+
+TEST(ExploreCheckpointTest, ResumeMatchesUninterruptedRunUnderReduction) {
+  roundTrip(bakery3(), 2'000, /*reduction=*/true);
+}
+
+TEST(ExploreCheckpointTest, ResumeReproducesTheExactViolationWitness) {
+  // Interrupt before the violation is found; the resumed run must find
+  // the same violation with a byte-identical witness schedule.
+  roundTrip(strippedGt2(), 50, /*reduction=*/false);
+}
+
+TEST(ExploreCheckpointTest, ChainedCheckpointsStillConverge) {
+  // Checkpoint → resume → checkpoint again → resume: state survives
+  // multiple interruption generations.
+  const System sys = bakery3();
+  const ExploreResult ref = explore(sys);
+
+  ExploreOptions first;
+  first.maxStates = 3'000;
+  std::string blob1;
+  first.checkpointOut = &blob1;
+  ASSERT_EQ(explore(sys, first).stopReason, StopReason::StateCap);
+
+  ExploreOptions second;
+  second.maxStates = 9'000;
+  second.resumeFrom = &blob1;
+  std::string blob2;
+  second.checkpointOut = &blob2;
+  const ExploreResult mid = explore(sys, second);
+  ASSERT_EQ(mid.stopReason, StopReason::StateCap);
+  ASSERT_EQ(mid.statesVisited, 9'000u);
+  ASSERT_FALSE(blob2.empty());
+
+  ExploreOptions third;
+  third.resumeFrom = &blob2;
+  const ExploreResult done = explore(sys, third);
+  EXPECT_EQ(done.stopReason, StopReason::Complete);
+  EXPECT_EQ(done.statesVisited, ref.statesVisited);
+  EXPECT_EQ(done.outcomes, ref.outcomes);
+}
+
+TEST(ExploreCheckpointTest, CompletedRunClearsTheCheckpointSlot) {
+  ExploreOptions opts;
+  std::string blob = "stale";
+  opts.checkpointOut = &blob;
+  const ExploreResult res = explore(bakery2(), opts);
+  EXPECT_EQ(res.stopReason, StopReason::Complete);
+  EXPECT_TRUE(blob.empty());
+}
+
+TEST(ExploreCheckpointTest, ResumeOnDifferentSystemIsRejected) {
+  ExploreOptions first;
+  first.maxStates = 1'000;
+  std::string blob;
+  first.checkpointOut = &blob;
+  ASSERT_EQ(explore(bakery3(), first).stopReason, StopReason::StateCap);
+
+  ExploreOptions second;
+  second.resumeFrom = &blob;
+  EXPECT_THROW(explore(tournament3(), second), util::CheckError);
+}
+
+TEST(ExploreCheckpointTest, ResumeWithDifferentFlagsIsRejected) {
+  ExploreOptions first;
+  first.maxStates = 1'000;
+  std::string blob;
+  first.checkpointOut = &blob;
+  ASSERT_EQ(explore(bakery3(), first).stopReason, StopReason::StateCap);
+
+  ExploreOptions second;
+  second.resumeFrom = &blob;
+  second.reduction = true;  // a different search graph: must not resume
+  EXPECT_THROW(explore(bakery3(), second), util::CheckError);
+}
+
+TEST(ExploreCheckpointTest, ParallelRunsRejectCheckpointAndResume) {
+  std::string blob;
+  {
+    ExploreOptions opts;
+    opts.workers = 4;
+    opts.checkpointOut = &blob;
+    EXPECT_THROW(explore(bakery3(), opts), util::CheckError);
+  }
+  {
+    ExploreOptions first;
+    first.maxStates = 1'000;
+    first.checkpointOut = &blob;
+    ASSERT_EQ(explore(bakery3(), first).stopReason, StopReason::StateCap);
+    ExploreOptions second;
+    second.workers = 4;
+    second.resumeFrom = &blob;
+    EXPECT_THROW(explore(bakery3(), second), util::CheckError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel heartbeat-staleness watchdog.
+// ---------------------------------------------------------------------------
+
+TEST(StallWatchdogTest, StalledWorkerIsMarkedAndRunCancelled) {
+  // Wedge the workers deliberately: a progress callback that sleeps far
+  // past the stall timeout freezes the calling worker's heartbeat (and
+  // the siblings that pile up on the progress mutex).  The watchdog
+  // must mark a stalled worker and cancel the run instead of hanging.
+  CancelToken tok;
+  ExploreOptions opts;
+  opts.workers = 4;
+  opts.progressInterval = 256;
+  opts.control.cancel = &tok;
+  opts.control.stallTimeoutSeconds = 0.05;
+  std::atomic<bool> slept{false};
+  opts.progress = [&](const ProgressUpdate&) {
+    if (!slept.exchange(true)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
+  };
+  const ExploreResult res = explore(tournament3(), opts);
+  EXPECT_EQ(res.stopReason, StopReason::Cancelled);
+  EXPECT_TRUE(tok.cancelled()) << "watchdog must trip the shared token";
+  bool anyStalled = false;
+  for (const WorkerTelemetry& w : res.telemetry.workers) {
+    anyStalled = anyStalled || w.stalled;
+  }
+  EXPECT_TRUE(anyStalled);
+}
+
+TEST(StallWatchdogTest, HealthyRunNeverTripsTheWatchdog) {
+  ExploreOptions opts;
+  opts.workers = 4;
+  opts.control.stallTimeoutSeconds = 5.0;
+  const ExploreResult res = explore(bakery2(), opts);
+  EXPECT_EQ(res.stopReason, StopReason::Complete);
+  for (const WorkerTelemetry& w : res.telemetry.workers) {
+    EXPECT_FALSE(w.stalled);
+  }
+}
+
+}  // namespace
+}  // namespace fencetrade::sim

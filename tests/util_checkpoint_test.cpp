@@ -1,0 +1,124 @@
+#include "util/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+namespace {
+
+constexpr std::string_view kKind = "test-payload/1";
+
+std::string sampleBlob() {
+  CheckpointWriter w;
+  w.putU8(0xab);
+  w.putU32(0xdeadbeef);
+  w.putU64(~std::uint64_t{0});
+  w.putI64(-42);
+  w.putBytes("hello\0world");  // string_view keeps the embedded NUL out
+  w.putBytes(std::string("bin\0ary", 7));
+  w.putBool(true);
+  w.putBool(false);
+  return w.finish(kKind);
+}
+
+TEST(CheckpointTest, RoundTripsEveryPrimitive) {
+  CheckpointReader r = CheckpointReader::open(sampleBlob(), kKind);
+  EXPECT_EQ(r.getU8(), 0xab);
+  EXPECT_EQ(r.getU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.getU64(), ~std::uint64_t{0});
+  EXPECT_EQ(r.getI64(), -42);
+  EXPECT_EQ(r.getBytes(), "hello");
+  EXPECT_EQ(r.getBytes(), std::string("bin\0ary", 7));
+  EXPECT_TRUE(r.getBool());
+  EXPECT_FALSE(r.getBool());
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(CheckpointTest, EmptyPayloadRoundTrips) {
+  const std::string blob = CheckpointWriter{}.finish("empty/1");
+  CheckpointReader r = CheckpointReader::open(blob, "empty/1");
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(CheckpointTest, KindMismatchIsRejected) {
+  EXPECT_THROW(CheckpointReader::open(sampleBlob(), "other-kind/1"),
+               CheckError);
+}
+
+TEST(CheckpointTest, BadMagicIsRejected) {
+  std::string blob = sampleBlob();
+  blob[0] = 'X';
+  EXPECT_THROW(CheckpointReader::open(blob, kKind), CheckError);
+}
+
+TEST(CheckpointTest, VersionMismatchIsRejected) {
+  std::string blob = sampleBlob();
+  blob[4] = static_cast<char>(blob[4] + 1);  // u32 version little-endian
+  EXPECT_THROW(CheckpointReader::open(blob, kKind), CheckError);
+}
+
+TEST(CheckpointTest, PayloadCorruptionFailsTheChecksum) {
+  std::string blob = sampleBlob();
+  blob.back() = static_cast<char>(blob.back() ^ 0x01);
+  EXPECT_THROW(CheckpointReader::open(blob, kKind), CheckError);
+}
+
+TEST(CheckpointTest, TruncationAnywhereIsRejected) {
+  const std::string blob = sampleBlob();
+  // Every proper prefix must fail framing, length or checksum checks —
+  // a half-written file can never be silently resumed.
+  for (std::size_t len = 0; len < blob.size(); len += 7) {
+    EXPECT_THROW(CheckpointReader::open(blob.substr(0, len), kKind),
+                 CheckError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(CheckpointTest, ReaderOverrunThrowsInsteadOfReadingGarbage) {
+  CheckpointWriter w;
+  w.putU32(7);
+  const std::string blob = w.finish(kKind);
+  CheckpointReader r = CheckpointReader::open(blob, kKind);
+  EXPECT_EQ(r.getU32(), 7u);
+  EXPECT_THROW(r.getU64(), CheckError);
+}
+
+TEST(CheckpointTest, Fnv1a64MatchesKnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(CheckpointFileTest, AtomicWriteThenReadRoundTrips) {
+  const std::string path = testing::TempDir() + "ckpt_roundtrip.bin";
+  const std::string blob = sampleBlob();
+  ASSERT_TRUE(writeFileAtomic(path, blob));
+  const auto back = readFileBytes(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, blob);
+  // Overwrite with different contents: the new blob fully replaces the
+  // old one (rename semantics, no appends or tears).
+  ASSERT_TRUE(writeFileAtomic(path, "short"));
+  EXPECT_EQ(readFileBytes(path).value_or(""), "short");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, MissingFileReadsAsNullopt) {
+  EXPECT_FALSE(
+      readFileBytes(testing::TempDir() + "no_such_checkpoint.bin"));
+}
+
+TEST(CheckpointFileTest, AtomicWriteLeavesNoTempFileBehind) {
+  const std::string path = testing::TempDir() + "ckpt_notmp.bin";
+  ASSERT_TRUE(writeFileAtomic(path, sampleBlob()));
+  EXPECT_FALSE(readFileBytes(path + ".tmp").has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fencetrade::util

@@ -1,0 +1,104 @@
+#include "util/runcontrol.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <thread>
+
+namespace fencetrade::util {
+namespace {
+
+TEST(CancelTokenTest, TripIsStickyAndResettable) {
+  CancelToken tok;
+  EXPECT_FALSE(tok.cancelled());
+  tok.cancel();
+  EXPECT_TRUE(tok.cancelled());
+  tok.cancel();  // idempotent
+  EXPECT_TRUE(tok.cancelled());
+  tok.reset();
+  EXPECT_FALSE(tok.cancelled());
+}
+
+TEST(RunControlTest, DefaultControlIsInactiveAndPollsComplete) {
+  RunControl rc;
+  EXPECT_FALSE(rc.active());
+  EXPECT_FALSE(rc.cancelled());
+  EXPECT_FALSE(rc.hasDeadline());
+  EXPECT_EQ(rc.poll(/*memBytes=*/~std::uint64_t{0}), StopReason::Complete);
+}
+
+TEST(RunControlTest, MemoryBudgetTripsOnlyAboveBudget) {
+  RunControl rc;
+  rc.memBudgetBytes = 1000;
+  EXPECT_TRUE(rc.active());
+  EXPECT_EQ(rc.poll(999), StopReason::Complete);
+  EXPECT_EQ(rc.poll(1000), StopReason::Complete);  // at budget: still ok
+  EXPECT_EQ(rc.poll(1001), StopReason::MemoryCap);
+}
+
+TEST(RunControlTest, PassedDeadlineTripsDeadline) {
+  RunControl rc;
+  rc.deadline = RunControl::Clock::now() - std::chrono::milliseconds(1);
+  EXPECT_TRUE(rc.hasDeadline());
+  EXPECT_EQ(rc.poll(0), StopReason::Deadline);
+}
+
+TEST(RunControlTest, DeadlineInZeroOrNegativeMeansNone) {
+  EXPECT_EQ(RunControl::deadlineIn(0.0), RunControl::Clock::time_point{});
+  EXPECT_EQ(RunControl::deadlineIn(-5.0), RunControl::Clock::time_point{});
+  RunControl rc;
+  rc.deadline = RunControl::deadlineIn(3600.0);
+  EXPECT_TRUE(rc.hasDeadline());
+  EXPECT_EQ(rc.poll(0), StopReason::Complete);
+}
+
+TEST(RunControlTest, PollPrecedenceCancelledBeatsDeadlineBeatsMemory) {
+  CancelToken tok;
+  RunControl rc;
+  rc.cancel = &tok;
+  rc.deadline = RunControl::Clock::now() - std::chrono::seconds(1);
+  rc.memBudgetBytes = 1;
+  // All three tripped: Cancelled wins.
+  tok.cancel();
+  EXPECT_EQ(rc.poll(100), StopReason::Cancelled);
+  // Deadline + memory tripped: Deadline wins.
+  tok.reset();
+  EXPECT_EQ(rc.poll(100), StopReason::Deadline);
+  // Memory alone.
+  rc.deadline = RunControl::deadlineIn(3600.0);
+  EXPECT_EQ(rc.poll(100), StopReason::MemoryCap);
+}
+
+TEST(RunControlTest, StopReasonNamesAreStable) {
+  EXPECT_STREQ(stopReasonName(StopReason::Complete), "complete");
+  EXPECT_STREQ(stopReasonName(StopReason::StateCap), "state-cap");
+  EXPECT_STREQ(stopReasonName(StopReason::Deadline), "deadline");
+  EXPECT_STREQ(stopReasonName(StopReason::MemoryCap), "memory-cap");
+  EXPECT_STREQ(stopReasonName(StopReason::Cancelled), "cancelled");
+}
+
+TEST(RunControlTest, TerminationSignalsTripTheInstalledToken) {
+  static CancelToken tok;  // static: outlives any late-delivered signal
+  cancelOnTerminationSignals(&tok);
+  EXPECT_FALSE(tok.cancelled());
+  std::raise(SIGINT);
+  EXPECT_TRUE(tok.cancelled());
+  tok.reset();
+  std::raise(SIGTERM);
+  EXPECT_TRUE(tok.cancelled());
+  tok.reset();
+  cancelOnTerminationSignals(nullptr);  // restore defaults for the suite
+}
+
+TEST(RunControlTest, CancelIsVisibleAcrossThreads) {
+  CancelToken tok;
+  RunControl rc;
+  rc.cancel = &tok;
+  std::thread t([&] { tok.cancel(); });
+  t.join();
+  EXPECT_TRUE(rc.cancelled());
+  EXPECT_EQ(rc.poll(0), StopReason::Cancelled);
+}
+
+}  // namespace
+}  // namespace fencetrade::util
