@@ -1,0 +1,145 @@
+// Fence-repair cost (EXP-REPAIR): what it costs to synthesize a minimal
+// fence set and the (β, ρ) Pareto frontier for a broken lock.  The
+// table runs the repair end to end on the canonical broken inputs and
+// reports lattice size, candidates evaluated vs screened, and the
+// cheapest repair's β against the hand-placed original; the timing
+// suites isolate the full search and its two hot stages — witness
+// screening (replaying collected counterexamples against a candidate)
+// and candidate verification (exhaustive explore of a surviving
+// candidate).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.h"
+#include "check/inject.h"
+#include "check/oracles.h"
+#include "check/repair.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/explore.h"
+#include "sim/machine.h"
+#include "sim/schedule.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace fencetrade {
+namespace {
+
+sim::System strippedGt(int f) {
+  sim::System sys = core::buildCountSystem(sim::MemoryModel::PSO, 2,
+                                           core::gtFactory(f))
+                        .sys;
+  FT_CHECK(check::stripFence(sys, 0) > 0);
+  return sys;
+}
+
+sim::System petersonTsoUnderPso() {
+  return core::buildCountSystem(
+             sim::MemoryModel::PSO, 2,
+             core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
+                                             core::PetersonVariant::TsoFence))
+      .sys;
+}
+
+std::int64_t passageBeta(const sim::System& sys) {
+  sim::Config cfg = sim::initialConfig(sys);
+  std::vector<sim::ProcId> order;
+  for (int p = 0; p < sys.n(); ++p) order.push_back(p);
+  return sim::countSteps(sim::runSequential(sys, cfg, order), sys.n()).fences;
+}
+
+void printRepairTable() {
+  struct Row {
+    std::string name;
+    sim::System broken;
+    std::int64_t originalBeta;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"gt2/PSO/-fence0", strippedGt(2),
+                  passageBeta(core::buildCountSystem(sim::MemoryModel::PSO, 2,
+                                                     core::gtFactory(2))
+                                  .sys)});
+  rows.push_back({"peterson-tso/PSO", petersonTsoUnderPso(), -1});
+
+  util::Table t({"input", "verdict", "sites", "evaluated", "screened",
+                 "frontier", "beta", "origBeta"});
+  for (const Row& row : rows) {
+    const check::RepairReport rep =
+        check::repairMutualExclusion(row.broken);
+    FT_CHECK(!rep.frontier.empty()) << row.name;
+    const std::int64_t beta = rep.frontier.front().beta;
+    if (row.originalBeta >= 0) {
+      FT_CHECK(beta <= row.originalBeta)
+          << row.name << ": repair spends more fences than the original";
+    }
+    t.addRow({row.name, check::verdictName(rep.verdict),
+              std::to_string(rep.sites.size()),
+              std::to_string(rep.candidatesEvaluated),
+              std::to_string(rep.candidatesScreenedByWitness),
+              std::to_string(rep.frontier.size()), std::to_string(beta),
+              row.originalBeta >= 0 ? std::to_string(row.originalBeta)
+                                    : "-"});
+  }
+  std::fputs(
+      t.render("EXP-REPAIR: fence synthesis on canonical broken locks")
+          .c_str(),
+      stdout);
+  std::printf("\n");
+}
+
+void BM_RepairEndToEnd(benchmark::State& state) {
+  const sim::System broken =
+      state.range(0) == 0 ? strippedGt(2) : petersonTsoUnderPso();
+  for (auto _ : state) {
+    const check::RepairReport rep = check::repairMutualExclusion(broken);
+    FT_CHECK(rep.verdict == check::Verdict::Repaired);
+    benchmark::DoNotOptimize(rep.frontier.size());
+  }
+  state.SetLabel(state.range(0) == 0 ? "gt2-stripped" : "peterson-tso");
+}
+BENCHMARK(BM_RepairEndToEnd)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_WitnessScreenReplay(benchmark::State& state) {
+  // The screening stage in isolation: replay one collected witness
+  // against the broken system (the common reject path).
+  const sim::System broken = strippedGt(2);
+  check::FuzzOptions fo;
+  fo.seeds = 1024;
+  const check::FuzzReport fr = check::fuzzMutualExclusion(broken, fo);
+  FT_CHECK(fr.witness.has_value());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check::maxOccupancyOnReplay(broken, fr.witness->minimized));
+  }
+}
+BENCHMARK(BM_WitnessScreenReplay)->Unit(benchmark::kMicrosecond);
+
+void BM_CandidateExhaustiveVerify(benchmark::State& state) {
+  // The verification stage in isolation: exhaustively explore one safe
+  // candidate (the repaired system itself).
+  const sim::System broken = strippedGt(2);
+  const check::RepairReport rep = check::repairMutualExclusion(broken);
+  FT_CHECK(!rep.frontier.empty());
+  const sim::System fixed =
+      check::applyFenceSites(broken, rep.sites, rep.frontier.front().sites);
+  for (auto _ : state) {
+    const sim::ExploreResult res = sim::explore(fixed, {});
+    FT_CHECK(!res.mutexViolation && !res.capped());
+    benchmark::DoNotOptimize(res.statesVisited);
+  }
+}
+BENCHMARK(BM_CandidateExhaustiveVerify)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fencetrade
+
+int main(int argc, char** argv) {
+  fencetrade::printRepairTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

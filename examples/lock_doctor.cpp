@@ -19,8 +19,24 @@
 //   --deadline SECS   wall-clock budget for the exploration
 //   --mem-budget B    byte budget on the visited-set key arena
 //   --checkpoint FILE write a resumable checkpoint on early stop
-//                     (sequential exploration, workers == 1)
+//                     (sequential exploration, workers == 1; any worker
+//                     count with --repair, whose cursor is independent)
 //   --resume FILE     resume a prior early-stopped sequential run
+//
+// Fence repair (the doctor actually treating the patient):
+//
+//   --repair          instead of just diagnosing, search the
+//                     fence-placement lattice for minimal fence sets
+//                     restoring mutual exclusion and report the (β, ρ)
+//                     Pareto frontier of verified repairs (exit 5 when
+//                     at least one is found)
+//   --strip-fence K   first strip the K-th fence of every program
+//                     (repeatable) — the standard way to manufacture a
+//                     broken patient from a correct lock
+//   --fuzz-seeds N    seeds of each per-candidate fuzz screen
+//                     (default 1024)
+//   --extra-sizes N   keep enumerating N lattice levels past the first
+//                     repair size (widens the frontier; default 0)
 //
 // SIGINT/SIGTERM cancel the run cooperatively: the full (valid) JSON
 // verdict for the explored prefix is still emitted, the checkpoint is
@@ -28,7 +44,9 @@
 //
 // Exit codes: 0 correct, 1 mutual-exclusion violation, 2 usage error,
 // 3 inconclusive (exploration stopped at a budget before exhausting the
-// space), 4 interrupted (SIGINT/SIGTERM).
+// space), 4 interrupted (SIGINT/SIGTERM), 5 repaired (--repair found at
+// least one verified fence set restoring the property).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +55,9 @@
 #include <string>
 #include <vector>
 
+#include "check/inject.h"
 #include "check/jsonio.h"
+#include "check/repair.h"
 #include "check/verdict.h"
 #include "core/bakery.h"
 #include "core/caslocks.h"
@@ -61,7 +81,9 @@ core::LockFactory lockByName(const std::string& name, bool& ok) {
   if (name == "bakery-paper") {
     return core::bakeryFactory(core::BakeryVariant::PaperListing);
   }
+  if (name == "gt1") return core::gtFactory(1);
   if (name == "gt2") return core::gtFactory(2);
+  if (name == "gt3") return core::gtFactory(3);
   if (name == "tournament") return core::tournamentFactory();
   if (name == "peterson") return core::petersonTournamentFactory();
   if (name == "peterson-tso") {
@@ -147,9 +169,11 @@ bool writeFile(const std::string& path, const std::string& contents) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> pos;
-  bool json = false, progress = false;
+  bool json = false, progress = false, repair = false;
   std::string tracePath, checkpointPath, resumePath;
-  std::uint64_t maxStates = 0, memBudget = 0;
+  std::uint64_t maxStates = 0, memBudget = 0, fuzzSeeds = 1024;
+  std::vector<int> stripFences;
+  int extraSizes = 0;
   double deadlineSeconds = 0.0;
   bool usageError = false;
   auto needValue = [&](int& i) -> const char* {
@@ -177,6 +201,14 @@ int main(int argc, char** argv) {
       checkpointPath = needValue(i);
     } else if (a == "--resume") {
       resumePath = needValue(i);
+    } else if (a == "--repair") {
+      repair = true;
+    } else if (a == "--strip-fence") {
+      stripFences.push_back(std::atoi(needValue(i)));
+    } else if (a == "--fuzz-seeds") {
+      fuzzSeeds = std::strtoull(needValue(i), nullptr, 10);
+    } else if (a == "--extra-sizes") {
+      extraSizes = std::atoi(needValue(i));
     } else if (a.rfind("--", 0) == 0) {
       usageError = true;
       break;
@@ -206,25 +238,183 @@ int main(int argc, char** argv) {
     ok = false;
     model = sim::MemoryModel::PSO;
   }
-  // Checkpoint/resume is a sequential-exploration feature: the parallel
-  // engine's visited set is not resumable.
-  if ((!checkpointPath.empty() || !resumePath.empty()) && workers != 1) {
+  // Checkpoint/resume of a plain exploration is a sequential-engine
+  // feature: the parallel engine's visited set is not resumable.  The
+  // repair search's candidate cursor is worker-independent, so --repair
+  // lifts the restriction.
+  if ((!checkpointPath.empty() || !resumePath.empty()) && workers != 1 &&
+      !repair) {
     std::fprintf(stderr,
                  "error: --checkpoint/--resume require workers == 1\n");
     return check::verdictExitCode(check::Verdict::UsageError);
   }
+  for (int k : stripFences) ok = ok && k >= 0;
+  if (!repair && (!stripFences.empty() || extraSizes != 0)) ok = false;
   if (!ok || n < 2 || n > 3 || workers < 1 || workers > 64) {
     std::fprintf(stderr,
-                 "usage: %s [bakery|bakery-paper|gt2|tournament|peterson|"
-                 "peterson-tso|tas|ttas] [SC|TSO|PSO] [2|3] [workers] "
-                 "[--json] [--trace FILE] [--progress] [--max-states N] "
-                 "[--deadline SECS] [--mem-budget BYTES] "
-                 "[--checkpoint FILE] [--resume FILE]\n",
+                 "usage: %s [bakery|bakery-paper|gt1|gt2|gt3|tournament|"
+                 "peterson|peterson-tso|tas|ttas] [SC|TSO|PSO] [2|3] "
+                 "[workers] [--json] [--trace FILE] [--progress] "
+                 "[--max-states N] [--deadline SECS] [--mem-budget BYTES] "
+                 "[--checkpoint FILE] [--resume FILE] [--repair] "
+                 "[--strip-fence K]... [--fuzz-seeds N] [--extra-sizes N]\n",
                  argv[0]);
     return check::verdictExitCode(check::Verdict::UsageError);
   }
 
   auto os = core::buildCountSystem(model, n, factory);
+
+  if (repair) {
+    // Manufacture the broken patient (if asked), then hand it to the
+    // repair engine.  The positional worker count drives the fuzz
+    // screens; the report itself is worker-independent.
+    const int originalFences = check::countFences(os.sys);
+    sim::Config origCfg = sim::initialConfig(os.sys);
+    std::vector<sim::ProcId> order(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) order[static_cast<std::size_t>(p)] = p;
+    const sim::StepCounts origCounts =
+        sim::countSteps(sim::runSequential(os.sys, origCfg, order), n);
+    int strippedCount = 0;
+    for (int k : stripFences) strippedCount += check::stripFence(os.sys, k);
+    if (!json) {
+      std::printf(
+          "repairing %s with n=%d under %s (%d fuzz worker%s, %d fence%s "
+          "stripped) ...\n",
+          lockName.c_str(), n, modelName.c_str(), workers,
+          workers == 1 ? "" : "s", strippedCount,
+          strippedCount == 1 ? "" : "s");
+    }
+
+    check::RepairOptions ropts;
+    ropts.fuzzSeeds = fuzzSeeds;
+    ropts.fuzzWorkers = workers;
+    ropts.extraSizes = extraSizes;
+    if (maxStates > 0) ropts.maxStates = maxStates;
+    static util::CancelToken repairCancel;
+    util::cancelOnTerminationSignals(&repairCancel);
+    ropts.control.cancel = &repairCancel;
+    if (deadlineSeconds > 0.0) {
+      ropts.control.deadline = util::RunControl::deadlineIn(deadlineSeconds);
+    }
+    ropts.control.memBudgetBytes = memBudget;
+
+    std::string resumeBlob, checkpointBlob;
+    if (!resumePath.empty()) {
+      std::optional<std::string> bytes = util::readFileBytes(resumePath);
+      if (!bytes) {
+        std::fprintf(stderr, "error: cannot read checkpoint %s\n",
+                     resumePath.c_str());
+        return check::verdictExitCode(check::Verdict::UsageError);
+      }
+      resumeBlob = std::move(*bytes);
+      ropts.resumeFrom = &resumeBlob;
+    }
+    if (!checkpointPath.empty()) ropts.checkpointOut = &checkpointBlob;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const check::RepairReport rep = check::repairMutualExclusion(os.sys, ropts);
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    bool checkpointWritten = false;
+    if (!checkpointPath.empty() && !checkpointBlob.empty()) {
+      if (!util::writeFileAtomic(checkpointPath, checkpointBlob)) {
+        std::fprintf(stderr, "error: cannot write checkpoint to %s\n",
+                     checkpointPath.c_str());
+        return check::verdictExitCode(check::Verdict::UsageError);
+      }
+      checkpointWritten = true;
+    }
+
+    if (json) {
+      // The "repair" sub-object is the deterministic golden-stable part;
+      // the wrapper adds the run identity plus wall-clock facts.
+      std::string out;
+      out += '{';
+      jsonStr(out, "lock", lockName);
+      out += ',';
+      jsonStr(out, "model", modelName);
+      out += ',';
+      jsonU64(out, "n", static_cast<unsigned long long>(n));
+      out += ',';
+      jsonU64(out, "workers", static_cast<unsigned long long>(workers));
+      out += ',';
+      jsonKey(out, "strippedFences");
+      out += '[';
+      for (std::size_t i = 0; i < stripFences.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(stripFences[i]);
+      }
+      out += "],";
+      jsonU64(out, "originalBeta",
+              static_cast<unsigned long long>(origCounts.fences));
+      out += ',';
+      jsonU64(out, "originalRho",
+              static_cast<unsigned long long>(origCounts.rmrs));
+      out += ',';
+      jsonU64(out, "originalFences",
+              static_cast<unsigned long long>(originalFences));
+      out += ',';
+      jsonKey(out, "repair");
+      out += check::repairReportToJson(rep);
+      out += ',';
+      jsonBool(out, "checkpointWritten", checkpointWritten);
+      out += ',';
+      jsonDouble(out, "wallSeconds", wallSeconds);
+      out += "}\n";
+      std::fputs(out.c_str(), stdout);
+      return check::verdictExitCode(rep.verdict);
+    }
+
+    std::printf("  input            : beta=%lld rho=%lld fences=%d%s\n",
+                static_cast<long long>(rep.inputBeta),
+                static_cast<long long>(rep.inputRho), rep.inputFences,
+                rep.inputViolates ? " (VIOLATES mutual exclusion)"
+                                  : " (already safe)");
+    std::printf("  lattice          : %zu sites, %llu candidates evaluated "
+                "(%llu screened by %llu witnesses)\n",
+                rep.sites.size(),
+                static_cast<unsigned long long>(rep.candidatesEvaluated),
+                static_cast<unsigned long long>(
+                    rep.candidatesScreenedByWitness),
+                static_cast<unsigned long long>(rep.witnessesCollected));
+    if (checkpointWritten) {
+      std::printf("  checkpoint       : %s\n", checkpointPath.c_str());
+    }
+    if (rep.unrepairable) {
+      std::printf("verdict: UNREPAIRABLE — no fence set over the lattice "
+                  "restores mutual exclusion.\n");
+    } else if (rep.frontier.empty()) {
+      std::printf("verdict: %s (%s) — no repair found%s.\n",
+                  check::verdictName(rep.verdict),
+                  util::stopReasonName(rep.stopReason),
+                  rep.detail.empty() ? "" : (" — " + rep.detail).c_str());
+    } else {
+      std::printf("  frontier (beta, rho) of verified minimal repairs:\n");
+      for (const check::RepairPoint& pt : rep.frontier) {
+        std::string siteDesc;
+        for (int idx : pt.sites) {
+          const check::RepairSite& s =
+              rep.sites[static_cast<std::size_t>(idx)];
+          siteDesc += " p" + std::to_string(s.program) + "@" +
+                      std::to_string(s.site.pc) +
+                      (s.site.shift ? "(splice)" : "(slot)");
+        }
+        std::printf("    beta=%lld rho=%lld fences=%d sites:%s\n",
+                    static_cast<long long>(pt.beta),
+                    static_cast<long long>(pt.rho), pt.fenceCount,
+                    siteDesc.c_str());
+      }
+      std::printf("verdict: %s — original lock spends beta=%lld; the "
+                  "cheapest repair spends beta=%lld.\n",
+                  check::verdictName(rep.verdict),
+                  static_cast<long long>(origCounts.fences),
+                  static_cast<long long>(rep.frontier.front().beta));
+    }
+    return check::verdictExitCode(rep.verdict);
+  }
+
   if (!json) {
     std::printf("model-checking %s with n=%d under %s (%d worker%s) ...\n",
                 lockName.c_str(), n, modelName.c_str(), workers,

@@ -23,6 +23,20 @@ int stripFence(sim::System& sys, int fenceIndex) {
   return removed;
 }
 
+bool insertFence(sim::System& sys, int program, std::int32_t pc) {
+  if (program < 0 || static_cast<std::size_t>(program) >= sys.programs.size()) {
+    return false;
+  }
+  sim::Program& prog = sys.programs[static_cast<std::size_t>(program)];
+  if (pc < 0 || static_cast<std::size_t>(pc) >= prog.code.size()) return false;
+  sim::Instr& ins = prog.code[static_cast<std::size_t>(pc)];
+  if (ins.kind != sim::InstrKind::Jmp || ins.a != pc + 1) return false;
+  // The builder's fence shape (ProgramBuilder::fence), so a strip →
+  // insert round trip restores the instruction bytes exactly.
+  ins = sim::Instr{sim::InstrKind::Fence, 0, -1, -1, -1};
+  return true;
+}
+
 int countFences(const sim::System& sys) {
   int count = 0;
   for (const sim::Program& prog : sys.programs) {

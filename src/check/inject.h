@@ -19,4 +19,13 @@ int stripFence(sim::System& sys, int fenceIndex);
 /// Total Fence instructions across all programs (injection sizing aid).
 int countFences(const sim::System& sys);
 
+/// The exact inverse of stripFence for one slot: if `program`'s
+/// instruction at `pc` is a free no-op slot (a Jmp to pc + 1 — what
+/// stripFence leaves behind), rewrite it to the Fence instruction the
+/// builder would have emitted and return true.  Returns false — and
+/// touches nothing — when `program`/`pc` is out of range or the
+/// instruction is not such a slot, so repair search code can probe
+/// candidate sites without pre-validating them.
+bool insertFence(sim::System& sys, int program, std::int32_t pc);
+
 }  // namespace fencetrade::check

@@ -1,0 +1,640 @@
+#include "check/repair.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <string_view>
+
+#include "check/differential.h"
+#include "check/fuzz.h"
+#include "check/inject.h"
+#include "check/jsonio.h"
+#include "check/oracles.h"
+#include "sim/explore.h"
+#include "sim/schedule.h"
+#include "util/check.h"
+#include "util/checkpoint.h"
+
+namespace fencetrade::check {
+
+namespace {
+
+/// Payload tag of the repair-search checkpoint; bump on schema changes.
+constexpr std::string_view kRepairCkptKind = "repair-scan/1";
+
+std::vector<RepairSite> enumerateSites(const sim::System& sys) {
+  std::vector<RepairSite> sites;
+  for (int p = 0; p < sys.n(); ++p) {
+    const sim::Program& prog = sys.programs[static_cast<std::size_t>(p)];
+    for (const sim::FenceSite& s : sim::fenceInsertionSites(prog)) {
+      sites.push_back({p, s});
+    }
+  }
+  return sites;
+}
+
+struct Score {
+  std::int64_t beta = 0;
+  std::int64_t rho = 0;
+};
+
+/// β/ρ of one full sequential passage — the paper's uncontended cost
+/// measure, and deterministic regardless of worker counts.
+Score scorePassage(const sim::System& sys) {
+  sim::Config cfg = sim::initialConfig(sys);
+  std::vector<sim::ProcId> order;
+  for (int p = 0; p < sys.n(); ++p) order.push_back(p);
+  const sim::Execution exec = sim::runSequential(sys, cfg, order);
+  const sim::StepCounts counts = sim::countSteps(exec, sys.n());
+  return {counts.fences, counts.rmrs};
+}
+
+/// Binds a checkpoint to the system and every option that shapes what
+/// the search decides (witnesses, safety verdicts, candidate order).
+/// maxCandidates and extraSizes are deliberately excluded: a resume may
+/// raise the candidate budget or widen the frontier sweep without
+/// invalidating the saved cursor.
+std::uint64_t repairFingerprint(const sim::System& sys,
+                                const RepairOptions& opts) {
+  util::CheckpointWriter tag;
+  std::string key;
+  sim::initialConfig(sys).behavioralKeyInto(key);
+  tag.putBytes(key);
+  tag.putI64(static_cast<std::int64_t>(sys.model));
+  for (const sim::Program& prog : sys.programs) {
+    tag.putBytes(prog.disassemble());
+    tag.putI64(prog.csBegin);
+    tag.putI64(prog.csEnd);
+    tag.putI64(prog.dwBegin);
+    tag.putI64(prog.dwEnd);
+  }
+  tag.putU64(opts.fuzzSeeds);
+  tag.putI64(opts.reorderBudget);
+  tag.putI64(opts.maxSteps);
+  std::uint64_t probBits = 0;
+  static_assert(sizeof(probBits) == sizeof(opts.commitProb));
+  std::memcpy(&probBits, &opts.commitProb, sizeof(probBits));
+  tag.putU64(probBits);
+  tag.putU64(opts.maxStates);
+  tag.putBool(opts.exhaustiveMatrix);
+  return util::fnv1a64(tag.payload());
+}
+
+/// The re-verification matrix of step 4: the differential oracle plus
+/// the parallel and POR engines, so no safe claim rests on one engine.
+std::vector<EngineSpec> repairMatrix(int workers) {
+  std::vector<EngineSpec> m;
+  m.push_back({"seq", 1, false});
+  m.push_back({"par" + std::to_string(workers), workers, false});
+  m.push_back({"por", 1, true});
+  m.push_back({"por-par" + std::to_string(workers), workers, true});
+  return m;
+}
+
+/// First size-k combination (0, 1, ..., k-1); clears when k > s.
+void firstCombo(int k, int s, std::vector<int>& combo) {
+  combo.clear();
+  if (k > s) return;
+  for (int i = 0; i < k; ++i) combo.push_back(i);
+}
+
+/// Lexicographic successor within the same cardinality; false at end.
+bool nextCombo(std::vector<int>& combo, int s) {
+  const int k = static_cast<int>(combo.size());
+  for (int i = k - 1; i >= 0; --i) {
+    if (combo[static_cast<std::size_t>(i)] < s - (k - i)) {
+      ++combo[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j) {
+        combo[static_cast<std::size_t>(j)] =
+            combo[static_cast<std::size_t>(j - 1)] + 1;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Both sorted ascending: does `combo` contain every element of `safe`?
+bool isSuperset(const std::vector<int>& combo, const std::vector<int>& safe) {
+  return std::includes(combo.begin(), combo.end(), safe.begin(), safe.end());
+}
+
+/// Everything the candidate loop accumulates — checkpointed verbatim,
+/// so a resumed search is indistinguishable from an uninterrupted one.
+struct SearchState {
+  int level = 1;
+  std::vector<int> combo;  ///< next candidate to evaluate
+  std::uint64_t evaluated = 0;
+  std::uint64_t screened = 0;
+  std::uint64_t witnessesCollected = 0;
+  std::vector<std::vector<ScheduleElem>> witnesses;
+  std::vector<std::vector<int>> safeSets;
+  std::vector<RepairPoint> repairs;
+  std::int64_t firstSafeSize = -1;
+  bool anyCapped = false;
+};
+
+void saveState(util::CheckpointWriter& w, std::uint64_t fingerprint,
+               bool inputViolates, const SearchState& st) {
+  w.putU64(fingerprint);
+  w.putBool(inputViolates);
+  w.putI64(st.level);
+  w.putU64(st.combo.size());
+  for (int v : st.combo) w.putI64(v);
+  w.putU64(st.evaluated);
+  w.putU64(st.screened);
+  w.putU64(st.witnessesCollected);
+  w.putU64(st.witnesses.size());
+  for (const auto& wit : st.witnesses) {
+    w.putU64(wit.size());
+    for (const auto& [p, r] : wit) {
+      w.putI64(p);
+      w.putI64(r);
+    }
+  }
+  w.putU64(st.safeSets.size());
+  for (const auto& safe : st.safeSets) {
+    w.putU64(safe.size());
+    for (int v : safe) w.putI64(v);
+  }
+  w.putU64(st.repairs.size());
+  for (const RepairPoint& pt : st.repairs) {
+    w.putU64(pt.sites.size());
+    for (int v : pt.sites) w.putI64(v);
+    w.putI64(pt.beta);
+    w.putI64(pt.rho);
+    w.putI64(pt.fenceCount);
+    w.putBool(pt.verified);
+  }
+  w.putI64(st.firstSafeSize);
+  w.putBool(st.anyCapped);
+}
+
+void loadState(util::CheckpointReader& ck, bool* inputViolates,
+               SearchState* st) {
+  *inputViolates = ck.getBool();
+  st->level = static_cast<int>(ck.getI64());
+  st->combo.resize(ck.getU64());
+  for (int& v : st->combo) v = static_cast<int>(ck.getI64());
+  st->evaluated = ck.getU64();
+  st->screened = ck.getU64();
+  st->witnessesCollected = ck.getU64();
+  st->witnesses.resize(ck.getU64());
+  for (auto& wit : st->witnesses) {
+    wit.resize(ck.getU64());
+    for (auto& [p, r] : wit) {
+      p = static_cast<sim::ProcId>(ck.getI64());
+      r = static_cast<sim::Reg>(ck.getI64());
+    }
+  }
+  st->safeSets.resize(ck.getU64());
+  for (auto& safe : st->safeSets) {
+    safe.resize(ck.getU64());
+    for (int& v : safe) v = static_cast<int>(ck.getI64());
+  }
+  st->repairs.resize(ck.getU64());
+  for (RepairPoint& pt : st->repairs) {
+    pt.sites.resize(ck.getU64());
+    for (int& v : pt.sites) v = static_cast<int>(ck.getI64());
+    pt.beta = ck.getI64();
+    pt.rho = ck.getI64();
+    pt.fenceCount = static_cast<int>(ck.getI64());
+    pt.verified = ck.getBool();
+  }
+  st->firstSafeSize = ck.getI64();
+  st->anyCapped = ck.getBool();
+  FT_CHECK(ck.atEnd()) << "repair: trailing bytes in checkpoint";
+}
+
+enum class CandOutcome {
+  Screened,   ///< a known witness still violates on the candidate
+  Violating,  ///< fuzz/exploration found a new violation (witness kept)
+  Capped,     ///< could not be proven safe within the state budget
+  Safe,       ///< survived every stage; scored and recorded
+  Stopped,    ///< the run control tripped mid-candidate — stop the search
+};
+
+CandOutcome evaluateCandidate(const sim::System& broken,
+                              const std::vector<RepairSite>& sites,
+                              const RepairOptions& opts, SearchState& st,
+                              util::StopReason& stop, std::string& detail) {
+  const sim::System cand = applyFenceSites(broken, sites, st.combo);
+
+  // Stage 1: counterexample screen — replay every known witness.  A
+  // candidate that fails to block even one needs no search at all.
+  for (const auto& wit : st.witnesses) {
+    if (maxOccupancyOnReplay(cand, wit) >= 2) {
+      ++st.screened;
+      return CandOutcome::Screened;
+    }
+  }
+
+  // Stage 2: reorder-bounded fuzzing.  A violation found here becomes a
+  // new witness that screens later candidates.
+  FuzzOptions fo;
+  fo.seeds = opts.fuzzSeeds;
+  fo.reorderBudget = opts.reorderBudget;
+  fo.maxSteps = opts.maxSteps;
+  fo.commitProb = opts.commitProb;
+  fo.workers = opts.fuzzWorkers;
+  fo.control = opts.control;
+  const FuzzReport fr = fuzzMutualExclusion(cand, fo);
+  if (fr.witness) {
+    st.witnesses.push_back(fr.witness->minimized.empty()
+                               ? fr.witness->schedule
+                               : fr.witness->minimized);
+    ++st.witnessesCollected;
+    return CandOutcome::Violating;
+  }
+  if (fr.capped()) {
+    stop = fr.stopReason;
+    return CandOutcome::Stopped;
+  }
+
+  // Stage 3: exhaustive sequential exploration (the differential
+  // oracle) — the safety claim a frontier point actually rests on.
+  sim::ExploreOptions eo;
+  eo.maxStates = opts.maxStates;
+  eo.workers = 1;
+  eo.control = opts.control;
+  const sim::ExploreResult er = sim::explore(cand, eo);
+  if (er.mutexViolation) {
+    st.witnesses.push_back(er.witness);
+    ++st.witnessesCollected;
+    return CandOutcome::Violating;
+  }
+  if (er.capped()) {
+    if (er.stopReason != util::StopReason::StateCap) {
+      stop = er.stopReason;
+      return CandOutcome::Stopped;
+    }
+    st.anyCapped = true;
+    if (detail.empty()) {
+      detail = "candidate exploration hit the state cap at " +
+               std::to_string(er.statesVisited) +
+               " states; it cannot be proven safe at this budget";
+    }
+    return CandOutcome::Capped;
+  }
+
+  // Stage 4: cross-engine re-verification of the exhaustive claim.
+  bool verified = false;
+  if (opts.exhaustiveMatrix) {
+    DifferentialOptions dop;
+    dop.maxStates = opts.maxStates;
+    dop.engines = repairMatrix(opts.verifyWorkers);
+    dop.control = opts.control;
+    const DifferentialReport dr = runDifferential(cand, dop);
+    if (dr.stopReason != util::StopReason::Complete) {
+      stop = dr.stopReason;
+      return CandOutcome::Stopped;
+    }
+    if (!dr.conformant) {
+      st.anyCapped = true;
+      if (detail.empty()) {
+        detail = "cross-engine disagreement on a candidate: " + dr.detail;
+      }
+      return CandOutcome::Capped;
+    }
+    if (dr.verdict == Verdict::Violation) {
+      for (const EngineRun& run : dr.runs) {
+        if (run.res.mutexViolation) {
+          st.witnesses.push_back(run.res.witness);
+          ++st.witnessesCollected;
+          break;
+        }
+      }
+      return CandOutcome::Violating;
+    }
+    if (dr.verdict != Verdict::Pass) {
+      st.anyCapped = true;
+      if (detail.empty()) detail = "matrix inconclusive on a candidate";
+      return CandOutcome::Capped;
+    }
+    verified = true;
+  }
+
+  RepairPoint pt;
+  pt.sites = st.combo;
+  const Score s = scorePassage(cand);
+  pt.beta = s.beta;
+  pt.rho = s.rho;
+  pt.fenceCount = countFences(cand);
+  pt.verified = verified;
+  st.repairs.push_back(pt);
+  st.safeSets.push_back(st.combo);
+  if (st.firstSafeSize < 0) {
+    st.firstSafeSize = static_cast<std::int64_t>(st.combo.size());
+  }
+  return CandOutcome::Safe;
+}
+
+bool pointLess(const RepairPoint& a, const RepairPoint& b) {
+  if (a.beta != b.beta) return a.beta < b.beta;
+  if (a.rho != b.rho) return a.rho < b.rho;
+  return a.sites < b.sites;
+}
+
+void pointToJson(std::string& out, const RepairPoint& pt) {
+  out += '{';
+  jsonKey(out, "sites");
+  out += '[';
+  for (std::size_t i = 0; i < pt.sites.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(pt.sites[i]);
+  }
+  out += "],";
+  jsonU64(out, "beta", static_cast<unsigned long long>(pt.beta));
+  out += ',';
+  jsonU64(out, "rho", static_cast<unsigned long long>(pt.rho));
+  out += ',';
+  jsonU64(out, "fences", static_cast<unsigned long long>(pt.fenceCount));
+  out += ',';
+  jsonBool(out, "verified", pt.verified);
+  out += ',';
+  jsonBool(out, "onFrontier", pt.onFrontier);
+  out += '}';
+}
+
+}  // namespace
+
+sim::System applyFenceSites(const sim::System& sys,
+                            const std::vector<RepairSite>& sites,
+                            const std::vector<int>& siteIdxs) {
+  sim::System out = sys;
+  // Descending pc within each program: a splice at pc shifts every site
+  // above it, so applying top-down keeps the remaining coordinates
+  // valid (a Replace slot and a Shift point never share a pc — a pc is
+  // either a no-op Jmp or a model-visible instruction, not both).
+  std::vector<int> order = siteIdxs;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const RepairSite& x = sites[static_cast<std::size_t>(a)];
+    const RepairSite& y = sites[static_cast<std::size_t>(b)];
+    if (x.program != y.program) return x.program < y.program;
+    return x.site.pc > y.site.pc;
+  });
+  for (int idx : order) {
+    FT_CHECK(idx >= 0 && static_cast<std::size_t>(idx) < sites.size())
+        << "applyFenceSites: site index " << idx << " out of range";
+    const RepairSite& s = sites[static_cast<std::size_t>(idx)];
+    if (s.site.shift) {
+      sim::spliceFenceBefore(out.programs[static_cast<std::size_t>(s.program)],
+                             s.site.pc);
+    } else {
+      FT_CHECK(insertFence(out, s.program, s.site.pc))
+          << "applyFenceSites: program " << s.program << " pc " << s.site.pc
+          << " is not a free fence slot";
+    }
+  }
+  return out;
+}
+
+RepairReport repairMutualExclusion(const sim::System& broken,
+                                   const RepairOptions& opts) {
+  RepairReport rep;
+  if (opts.checkpointOut) opts.checkpointOut->clear();
+  rep.sites = enumerateSites(broken);
+  rep.inputFences = countFences(broken);
+  const Score inScore = scorePassage(broken);
+  rep.inputBeta = inScore.beta;
+  rep.inputRho = inScore.rho;
+
+  const std::uint64_t fingerprint = repairFingerprint(broken, opts);
+
+  SearchState st;
+  bool resumed = false;
+  if (opts.resumeFrom != nullptr) {
+    util::CheckpointReader ck =
+        util::CheckpointReader::open(*opts.resumeFrom, kRepairCkptKind);
+    FT_CHECK(ck.getU64() == fingerprint)
+        << "repair: checkpoint was written for a different system or options";
+    loadState(ck, &rep.inputViolates, &st);
+    resumed = true;
+  }
+
+  if (!resumed) {
+    // Establish ground truth on the input: the search may only run (and
+    // REPAIRED may only be reported) against a witness-backed violation.
+    sim::ExploreOptions eo;
+    eo.maxStates = opts.maxStates;
+    eo.workers = 1;
+    eo.control = opts.control;
+    const sim::ExploreResult er = sim::explore(broken, eo);
+    if (er.mutexViolation) {
+      rep.inputViolates = true;
+      st.witnesses.push_back(er.witness);
+      ++st.witnessesCollected;
+    } else if (!er.capped()) {
+      // Already safe: nothing to repair; report the zero-insertion point.
+      rep.verdict = Verdict::Pass;
+      RepairPoint pt;
+      pt.beta = rep.inputBeta;
+      pt.rho = rep.inputRho;
+      pt.fenceCount = rep.inputFences;
+      pt.onFrontier = true;
+      if (opts.exhaustiveMatrix) {
+        DifferentialOptions dop;
+        dop.maxStates = opts.maxStates;
+        dop.engines = repairMatrix(opts.verifyWorkers);
+        dop.control = opts.control;
+        const DifferentialReport dr = runDifferential(broken, dop);
+        pt.verified = dr.conformant && dr.verdict == Verdict::Pass;
+        if (!pt.verified && rep.detail.empty()) {
+          rep.detail = "input passed sequential exploration but not the "
+                       "cross-engine matrix: " +
+                       dr.detail;
+        }
+      }
+      rep.repairs.push_back(pt);
+      rep.frontier.push_back(pt);
+      return rep;
+    } else {
+      // Capped without a violation: let the fuzzer try to establish the
+      // violation the caller presumably expects.
+      FuzzOptions fo;
+      fo.seeds = opts.fuzzSeeds;
+      fo.reorderBudget = opts.reorderBudget;
+      fo.maxSteps = opts.maxSteps;
+      fo.commitProb = opts.commitProb;
+      fo.workers = opts.fuzzWorkers;
+      fo.control = opts.control;
+      const FuzzReport fr = fuzzMutualExclusion(broken, fo);
+      if (fr.witness) {
+        rep.inputViolates = true;
+        st.witnesses.push_back(fr.witness->minimized.empty()
+                                   ? fr.witness->schedule
+                                   : fr.witness->minimized);
+        ++st.witnessesCollected;
+      } else {
+        rep.stopReason = er.stopReason;
+        rep.verdict = er.stopReason == util::StopReason::Cancelled
+                          ? Verdict::Interrupted
+                          : Verdict::Inconclusive;
+        rep.detail =
+            "ground truth on the input could not be established: "
+            "exploration stopped early and fuzzing found no violation";
+        rep.witnessesCollected = st.witnessesCollected;
+        return rep;
+      }
+    }
+    firstCombo(st.level, static_cast<int>(rep.sites.size()), st.combo);
+  }
+
+  const int S = static_cast<int>(rep.sites.size());
+  util::StopReason stop = util::StopReason::Complete;
+  bool earlyStop = false;
+  bool exhausted = false;
+  while (true) {
+    if (opts.control.active()) {
+      const util::StopReason r = opts.control.poll(0);
+      if (r != util::StopReason::Complete) {
+        stop = r;
+        earlyStop = true;
+        break;
+      }
+    }
+    if (st.level > S) {
+      exhausted = true;
+      break;
+    }
+    if (st.firstSafeSize >= 0 &&
+        st.level > static_cast<int>(st.firstSafeSize) + opts.extraSizes) {
+      break;  // frontier sweep done (Complete)
+    }
+    if (opts.maxCandidates != 0 && st.evaluated >= opts.maxCandidates) {
+      stop = util::StopReason::StateCap;
+      earlyStop = true;
+      break;
+    }
+    bool pruned = false;
+    for (const auto& safe : st.safeSets) {
+      if (isSuperset(st.combo, safe)) {
+        pruned = true;
+        break;
+      }
+    }
+    if (!pruned) {
+      ++st.evaluated;
+      util::StopReason candStop = util::StopReason::Complete;
+      const CandOutcome out = evaluateCandidate(broken, rep.sites, opts, st,
+                                                candStop, rep.detail);
+      if (out == CandOutcome::Stopped) {
+        // The candidate was not fully evaluated; uncount it so a
+        // resumed run's counters match an uninterrupted one's.
+        --st.evaluated;
+        stop = candStop;
+        earlyStop = true;
+        break;
+      }
+    }
+    if (!nextCombo(st.combo, S)) {
+      ++st.level;
+      firstCombo(st.level, S, st.combo);
+    }
+  }
+
+  if (earlyStop && opts.checkpointOut != nullptr) {
+    util::CheckpointWriter w;
+    saveState(w, fingerprint, rep.inputViolates, st);
+    *opts.checkpointOut = w.finish(kRepairCkptKind);
+  }
+
+  rep.candidatesEvaluated = st.evaluated;
+  rep.candidatesScreenedByWitness = st.screened;
+  rep.witnessesCollected = st.witnessesCollected;
+
+  std::sort(st.repairs.begin(), st.repairs.end(), pointLess);
+  std::int64_t bestRho = std::numeric_limits<std::int64_t>::max();
+  for (RepairPoint& pt : st.repairs) {
+    if (pt.rho < bestRho) {
+      pt.onFrontier = true;
+      bestRho = pt.rho;
+    }
+  }
+  rep.repairs = std::move(st.repairs);
+  for (const RepairPoint& pt : rep.repairs) {
+    if (pt.onFrontier) rep.frontier.push_back(pt);
+  }
+
+  if (!rep.repairs.empty()) {
+    rep.verdict = Verdict::Repaired;
+    rep.stopReason = earlyStop ? stop : util::StopReason::Complete;
+  } else if (earlyStop) {
+    rep.stopReason = stop;
+    rep.verdict = stop == util::StopReason::Cancelled ? Verdict::Interrupted
+                                                      : Verdict::Inconclusive;
+  } else if (exhausted && !st.anyCapped) {
+    rep.verdict = Verdict::Violation;
+    rep.unrepairable = true;
+    if (rep.detail.empty()) {
+      rep.detail = "lattice exhausted: no fence set over " +
+                   std::to_string(S) + " sites restores mutual exclusion";
+    }
+  } else {
+    // Exhausted, but some candidate could not be proven either way —
+    // UNREPAIRABLE would overclaim.
+    rep.verdict = Verdict::Inconclusive;
+  }
+  return rep;
+}
+
+std::string repairReportToJson(const RepairReport& rep) {
+  std::string out = "{";
+  jsonStr(out, "property", "mutual-exclusion");
+  out += ',';
+  jsonStr(out, "verdict", verdictName(rep.verdict));
+  out += ',';
+  jsonStr(out, "stopReason", util::stopReasonName(rep.stopReason));
+  out += ',';
+  jsonBool(out, "inputViolates", rep.inputViolates);
+  out += ',';
+  jsonBool(out, "unrepairable", rep.unrepairable);
+  out += ',';
+  jsonKey(out, "input");
+  out += '{';
+  jsonU64(out, "beta", static_cast<unsigned long long>(rep.inputBeta));
+  out += ',';
+  jsonU64(out, "rho", static_cast<unsigned long long>(rep.inputRho));
+  out += ',';
+  jsonU64(out, "fences", static_cast<unsigned long long>(rep.inputFences));
+  out += "},";
+  jsonKey(out, "sites");
+  out += '[';
+  for (std::size_t i = 0; i < rep.sites.size(); ++i) {
+    if (i) out += ',';
+    out += '{';
+    jsonU64(out, "program",
+            static_cast<unsigned long long>(rep.sites[i].program));
+    out += ',';
+    jsonU64(out, "pc", static_cast<unsigned long long>(rep.sites[i].site.pc));
+    out += ',';
+    jsonBool(out, "shift", rep.sites[i].site.shift);
+    out += '}';
+  }
+  out += "],";
+  jsonU64(out, "candidatesEvaluated", rep.candidatesEvaluated);
+  out += ',';
+  jsonU64(out, "candidatesScreenedByWitness", rep.candidatesScreenedByWitness);
+  out += ',';
+  jsonU64(out, "witnessesCollected", rep.witnessesCollected);
+  out += ',';
+  jsonKey(out, "repairs");
+  out += '[';
+  for (std::size_t i = 0; i < rep.repairs.size(); ++i) {
+    if (i) out += ',';
+    pointToJson(out, rep.repairs[i]);
+  }
+  out += "],";
+  jsonKey(out, "frontier");
+  out += '[';
+  for (std::size_t i = 0; i < rep.frontier.size(); ++i) {
+    if (i) out += ',';
+    pointToJson(out, rep.frontier[i]);
+  }
+  out += "],";
+  jsonStr(out, "detail", rep.detail);
+  out += '}';
+  return out;
+}
+
+}  // namespace fencetrade::check

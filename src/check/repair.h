@@ -1,0 +1,176 @@
+// Counterexample-guided fence repair: invert check/inject's fence
+// stripper into a synthesizer.
+//
+// Given a System that violates mutual exclusion under its memory model
+// (e.g. a fence-stripped GT_2 under PSO), search the fence-placement
+// lattice — subsets of sim::fenceInsertionSites over all programs — for
+// *minimal* fence sets restoring the property, and score every repaired
+// variant with the paper's two currencies: β (fences per sequential
+// passage) and ρ (RMRs per sequential passage, combined DSM+CC model).
+// The result is the (β, ρ) Pareto frontier of minimal repairs for this
+// system under this model — the paper's trade-off curve, synthesized
+// mechanically instead of hand-derived.
+//
+// The search is the counterexample-guided loop of property-driven fence
+// insertion (Joshi & Kroening, arXiv:1407.7443; cf. the SC-proof
+// inference of Alglave et al., arXiv:1304.2936), built from parts this
+// repo already trusts:
+//   1. every violating schedule found along the way is kept as a
+//      *witness*; a candidate fence set must first block the replay of
+//      every known witness (cheap screen, no search),
+//   2. survivors are fuzzed with the reorder-bounded scanner
+//      (check/fuzz) — a found violation becomes a new witness,
+//   3. fuzz-clean candidates are exhaustively explored (sequential DFS,
+//      the differential oracle), and
+//   4. exhaustively-clean candidates are re-verified by the
+//      cross-engine conformance matrix (check/differential) at 1 and 4
+//      workers, with and without POR, before they may enter the
+//      frontier.
+// Candidates are enumerated in ascending (cardinality, lexicographic)
+// order and supersets of known-safe sets are pruned, so every safe set
+// that reaches step 3 is automatically 1-minimal: all of its
+// single-site subsets were evaluated earlier and found unsafe.
+//
+// Determinism: with no wall-clock budget the whole report — sites,
+// candidate order, witnesses (the fuzzer's minimized witness is a pure
+// function of system and options), scores, frontier — is a pure
+// function of (system, options), independent of fuzzWorkers and
+// verifyWorkers, so the JSON rendering is byte-identical across worker
+// counts (golden-tested).  The candidate cursor is checkpointable: an
+// interrupted search resumes exactly where it stopped and reports the
+// same frontier as an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/verdict.h"
+#include "sim/machine.h"
+#include "sim/program.h"
+#include "util/runcontrol.h"
+
+namespace fencetrade::check {
+
+/// One element of the repair lattice's ground set: a fence-placement
+/// site in one program (sim::FenceSite plus the program index).
+struct RepairSite {
+  int program = 0;
+  sim::FenceSite site;
+
+  bool operator==(const RepairSite&) const = default;
+};
+
+struct RepairOptions {
+  /// Fuzz screen per candidate (step 2): seeds scanned before a
+  /// candidate graduates to exhaustive exploration.
+  std::uint64_t fuzzSeeds = 1024;
+  std::int64_t reorderBudget = 8;
+  std::int64_t maxSteps = 1 << 14;
+  double commitProb = 0.35;
+  /// Seed-scan threads of each fuzz leg.  Does not affect the report
+  /// (the fuzzer's witness contract is worker-independent).
+  int fuzzWorkers = 1;
+  /// State cap of every exhaustive leg (step 3 and the matrix legs).
+  std::uint64_t maxStates = 2'000'000;
+  /// Parallel worker count of the re-verification matrix (step 4 runs
+  /// seq, par-N, por, por-par-N).
+  int verifyWorkers = 4;
+  /// Skip step 4 (the candidate is still exhaustively explored, just
+  /// not cross-engine re-verified).  Screening knob for benches; the
+  /// frontier then admits seq-verified candidates.
+  bool exhaustiveMatrix = true;
+  /// Give up (StopReason::StateCap) after evaluating this many
+  /// candidates; 0 = unlimited.  Witness-screened candidates count.
+  std::uint64_t maxCandidates = 100'000;
+  /// Lattice levels to keep enumerating beyond the cardinality of the
+  /// first safe set found (0 = finish that level and stop).  Larger
+  /// values can add higher-β / lower-ρ frontier points.
+  int extraSizes = 0;
+  /// Cancellation / deadline control, threaded into every fuzz and
+  /// exploration leg (the memory budget applies to the explore legs).
+  util::RunControl control;
+  /// Checkpoint blob from a prior early-stopped search with identical
+  /// options; the resumed search continues at the saved candidate
+  /// cursor and reports the same frontier as an uninterrupted run.
+  const std::string* resumeFrom = nullptr;
+  /// When non-null and the search stops early, filled with a resumable
+  /// checkpoint blob; cleared otherwise.  File IO is the caller's job.
+  std::string* checkpointOut = nullptr;
+};
+
+/// One safe (repaired) variant: a minimal fence set plus its scores.
+struct RepairPoint {
+  /// Ascending indexes into RepairReport::sites.
+  std::vector<int> sites;
+  /// Fence steps of one full sequential passage (all n processes run to
+  /// completion one after the other) — the β this variant spends.
+  std::int64_t beta = 0;
+  /// RMRs of that same passage under the combined DSM+CC accounting.
+  std::int64_t rho = 0;
+  /// Static countFences() of the repaired system.
+  int fenceCount = 0;
+  /// Survived the full cross-engine matrix (always true when
+  /// exhaustiveMatrix is on; such points alone may enter the frontier).
+  bool verified = false;
+  /// This point is on the (β, ρ) Pareto frontier.
+  bool onFrontier = false;
+};
+
+struct RepairReport {
+  /// Pass — the input already satisfies mutual exclusion (nothing to
+  ///   repair; `repairs` holds the zero-insertion point).
+  /// Repaired — the input violates and at least one verified fence set
+  ///   restores the property.
+  /// Violation — the input violates and the lattice was exhausted
+  ///   without finding a repair (`unrepairable`), or ground truth on
+  ///   the input could not be established soundly.
+  /// Inconclusive / Interrupted — the search stopped early (budget /
+  ///   cancellation) before finding any repair.
+  Verdict verdict = Verdict::Pass;
+  util::StopReason stopReason = util::StopReason::Complete;
+  /// The input genuinely violates mutual exclusion (witness-backed).
+  bool inputViolates = false;
+  /// Violates, lattice fully enumerated, nothing repairs it — reported
+  /// honestly instead of looping (fence-free programs land here).
+  bool unrepairable = false;
+  /// The lattice ground set (deterministic order: per program, Replace
+  /// sites then Shift sites, ascending pc).
+  std::vector<RepairSite> sites;
+  std::uint64_t candidatesEvaluated = 0;
+  /// Candidates rejected by replaying an already-known witness (the
+  /// counterexample-guided pruning actually firing).
+  std::uint64_t candidatesScreenedByWitness = 0;
+  std::uint64_t witnessesCollected = 0;
+  /// β/ρ/fence score of the input as given (sequential passage).
+  std::int64_t inputBeta = 0;
+  std::int64_t inputRho = 0;
+  int inputFences = 0;
+  /// Every safe minimal set found, sorted by (β, ρ, sites).
+  std::vector<RepairPoint> repairs;
+  /// The Pareto subset of `repairs` (β ascending, ρ strictly
+  /// descending), duplicates collapsed to the lexicographically
+  /// smallest site set.
+  std::vector<RepairPoint> frontier;
+  /// First oddity worth a human's attention (harness disagreement,
+  /// capped exploration of a candidate, ...); empty when clean.
+  std::string detail;
+};
+
+/// Synthesize minimal fence repairs for `broken` under its memory model.
+RepairReport repairMutualExclusion(const sim::System& broken,
+                                   const RepairOptions& opts = {});
+
+/// Apply the fence sites named by `siteIdxs` (indexes into `sites`) to
+/// a copy of `sys`.  Within each program, sites are applied in
+/// descending pc order so earlier splice points stay valid.
+sim::System applyFenceSites(const sim::System& sys,
+                            const std::vector<RepairSite>& sites,
+                            const std::vector<int>& siteIdxs);
+
+/// Deterministic JSON rendering of a report (stable key order, no
+/// wall-clock fields) — shared by lock_doctor --repair and the
+/// golden-file tests.
+std::string repairReportToJson(const RepairReport& rep);
+
+}  // namespace fencetrade::check

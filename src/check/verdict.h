@@ -11,6 +11,9 @@
 //            tripped CancelToken) before finishing; the emitted JSON is
 //            still valid and carries the partial results plus a
 //            stopReason, and a checkpoint may have been written
+//   exit 5 — repaired: the checked system violates the property as
+//            given, and the run synthesized at least one exhaustively
+//            re-verified fence set restoring it (lock_doctor --repair)
 // Keeping the mapping in one header keeps the binaries from drifting;
 // before this header the INCONCLUSIVE=3 convention lived only in
 // lock_doctor.cpp.
@@ -24,14 +27,16 @@ enum class Verdict {
   UsageError = 2,
   Inconclusive = 3,
   Interrupted = 4,
+  Repaired = 5,
 };
 
 /// The process exit code a CLI reporting `v` must return.
 inline int verdictExitCode(Verdict v) { return static_cast<int>(v); }
 
 /// Stable string form used in --json output ("correct", "violated",
-/// "usage-error", "inconclusive", "interrupted") — lock_doctor's
-/// historical vocabulary plus the run-control addition.
+/// "usage-error", "inconclusive", "interrupted", "repaired") —
+/// lock_doctor's historical vocabulary plus the run-control and repair
+/// additions.
 inline const char* verdictName(Verdict v) {
   switch (v) {
     case Verdict::Pass: return "correct";
@@ -39,22 +44,26 @@ inline const char* verdictName(Verdict v) {
     case Verdict::UsageError: return "usage-error";
     case Verdict::Inconclusive: return "inconclusive";
     case Verdict::Interrupted: return "interrupted";
+    case Verdict::Repaired: return "repaired";
   }
   return "?";
 }
 
 /// Combine per-entry verdicts into a whole-run verdict.  Severity:
-/// Violation > UsageError > Interrupted > Inconclusive > Pass — one
-/// violated corpus entry makes the run exit 1 even if every other entry
-/// passed, and an interrupted entry outranks a merely-capped one (the
-/// user asked the run to stop; the result set is known-incomplete).
+/// Violation > UsageError > Interrupted > Inconclusive > Repaired >
+/// Pass — one violated corpus entry makes the run exit 1 even if every
+/// other entry passed, an interrupted entry outranks a merely-capped
+/// one (the user asked the run to stop; the result set is
+/// known-incomplete), and a repaired entry outranks a clean pass (the
+/// input was broken, even though a fix is in hand).
 inline Verdict combineVerdicts(Verdict a, Verdict b) {
   auto rank = [](Verdict v) {
     switch (v) {
-      case Verdict::Violation: return 4;
-      case Verdict::UsageError: return 3;
-      case Verdict::Interrupted: return 2;
-      case Verdict::Inconclusive: return 1;
+      case Verdict::Violation: return 5;
+      case Verdict::UsageError: return 4;
+      case Verdict::Interrupted: return 3;
+      case Verdict::Inconclusive: return 2;
+      case Verdict::Repaired: return 1;
       case Verdict::Pass: return 0;
     }
     return 0;

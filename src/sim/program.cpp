@@ -181,6 +181,70 @@ std::string exprToString(const Program& p, ExprId e) {
 
 }  // namespace
 
+namespace {
+
+bool isNoOpSlot(const Program& prog, std::size_t pc) {
+  const Instr& ins = prog.code[pc];
+  return ins.kind == InstrKind::Jmp &&
+         ins.a == static_cast<std::int32_t>(pc + 1);
+}
+
+bool isModelVisible(InstrKind k) {
+  switch (k) {
+    case InstrKind::Read:
+    case InstrKind::Write:
+    case InstrKind::Cas:
+    case InstrKind::Faa:
+    case InstrKind::Return:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<FenceSite> fenceInsertionSites(const Program& prog) {
+  std::vector<FenceSite> sites;
+  bool hasWrite = false;
+  for (const Instr& ins : prog.code) {
+    if (ins.kind == InstrKind::Write) hasWrite = true;
+  }
+  for (std::size_t pc = 0; pc < prog.code.size(); ++pc) {
+    if (isNoOpSlot(prog, pc)) {
+      sites.push_back({static_cast<std::int32_t>(pc), /*shift=*/false});
+    }
+  }
+  if (!hasWrite) return sites;
+  for (std::size_t pc = 1; pc < prog.code.size(); ++pc) {
+    if (!isModelVisible(prog.code[pc].kind)) continue;
+    const InstrKind prev = prog.code[pc - 1].kind;
+    if (prev == InstrKind::Fence) continue;   // adjacent fence is redundant
+    if (isNoOpSlot(prog, pc - 1)) continue;   // the Replace site covers this
+    sites.push_back({static_cast<std::int32_t>(pc), /*shift=*/true});
+  }
+  return sites;
+}
+
+void spliceFenceBefore(Program& prog, std::int32_t pc) {
+  FT_CHECK(pc > 0 && static_cast<std::size_t>(pc) < prog.code.size())
+      << "spliceFenceBefore: pc " << pc << " out of range in " << prog.name;
+  for (Instr& ins : prog.code) {
+    if ((ins.kind == InstrKind::Jmp || ins.kind == InstrKind::Jz) &&
+        ins.a >= pc) {
+      ++ins.a;
+    }
+  }
+  // Begin boundaries at pc move past the fence (the fence sits before
+  // the range); end boundaries at pc stay (the fence sits after it).
+  if (prog.csBegin >= pc) ++prog.csBegin;
+  if (prog.csEnd > pc) ++prog.csEnd;
+  if (prog.dwBegin >= pc) ++prog.dwBegin;
+  if (prog.dwEnd > pc) ++prog.dwEnd;
+  prog.code.insert(prog.code.begin() + pc, Instr{InstrKind::Fence, 0, -1, -1, -1});
+  prog.validate();
+}
+
 std::string Program::disassemble() const {
   std::ostringstream out;
   out << "program " << name << " (locals=" << numLocals << ")\n";

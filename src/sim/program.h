@@ -107,4 +107,46 @@ struct Program {
   std::string disassemble() const;
 };
 
+// ---------------------------------------------------------------------------
+// Fence-placement sites (the search lattice of check/repair).
+//
+// A fence can land in a program two ways:
+//   * Replace (shift == false): pc holds a free no-op slot — a Jmp whose
+//     target is pc + 1, which is exactly what check::stripFence leaves
+//     behind — and the slot is rewritten to a Fence in place.  Program
+//     counters, jump targets and CS/doorway markers are untouched, so
+//     this is the exact inverse of stripping.
+//   * Shift (shift == true): a new Fence instruction is spliced in front
+//     of the model-visible instruction at pc, renumbering everything
+//     behind it.  This is how a fence the original program never had
+//     (e.g. the store-store fence peterson-tso lacks under PSO) can be
+//     synthesized.
+// ---------------------------------------------------------------------------
+
+struct FenceSite {
+  std::int32_t pc = -1;
+  bool shift = false;  ///< false: rewrite the no-op at pc; true: splice before pc
+
+  bool operator==(const FenceSite&) const = default;
+};
+
+/// Enumerate every site where a fence can be placed in `prog`:
+///   * each no-op slot (Jmp to the next pc) as a Replace site, and
+///   * — only when the program performs at least one Write, since a
+///     fence can only order buffered writes — a Shift site in front of
+///     each model-visible instruction (Read/Write/Cas/Faa/Return) at
+///     pc >= 1, except where the preceding instruction is already a
+///     Fence or a no-op slot (those placements are covered by the
+///     existing fence / the Replace site).
+/// Replace sites are listed first, then Shift sites, both in ascending
+/// pc order — a deterministic ground set for the repair lattice.
+std::vector<FenceSite> fenceInsertionSites(const Program& prog);
+
+/// Splice a Fence instruction in front of `pc` (0 < pc < code size):
+/// instructions from pc on shift up by one, jump targets >= pc are
+/// renumbered, and the CS/doorway ranges are adjusted so a fence at a
+/// range boundary lands *outside* the range (begin boundaries at pc
+/// move up; end boundaries at pc stay).  The result is validate()d.
+void spliceFenceBefore(Program& prog, std::int32_t pc);
+
 }  // namespace fencetrade::sim

@@ -1,0 +1,611 @@
+// Counterexample-guided fence repair (check/repair.h): insertFence as
+// the exact inverse of stripFence, fence-site enumeration and splicing,
+// the lattice search itself (minimality, frontier shape, determinism),
+// golden-file byte stability of the report JSON, and the checkpointable
+// candidate cursor.
+#include "check/repair.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.h"
+#include "check/inject.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/builder.h"
+#include "sim/explore.h"
+#include "sim/schedule.h"
+#include "util/check.h"
+#include "util/runcontrol.h"
+
+namespace fencetrade::check {
+namespace {
+
+using sim::MemoryModel;
+
+sim::System gtSystem(int f, MemoryModel m = MemoryModel::PSO) {
+  return core::buildCountSystem(m, 2, core::gtFactory(f)).sys;
+}
+
+sim::System strippedGt(int f, MemoryModel m = MemoryModel::PSO) {
+  sim::System sys = gtSystem(f, m);
+  EXPECT_GT(stripFence(sys, 0), 0);
+  return sys;
+}
+
+sim::System petersonTso(MemoryModel m = MemoryModel::PSO) {
+  return core::buildCountSystem(
+             m, 2,
+             core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
+                                             core::PetersonVariant::TsoFence))
+      .sys;
+}
+
+/// Two processes that walk straight into the critical section with no
+/// protocol at all — read-only, so the fence lattice is empty and the
+/// violation is honestly unrepairable.
+sim::System lawlessSystem(bool withWrite) {
+  sim::System sys;
+  sys.model = MemoryModel::PSO;
+  const sim::Reg c = sys.layout.alloc(sim::kNoOwner, "C");
+  for (int p = 0; p < 2; ++p) {
+    sim::ProgramBuilder b("lawless#" + std::to_string(p));
+    const sim::LocalId ret = b.local("ret");
+    b.csBegin();
+    b.readReg(ret, c);
+    if (withWrite) b.writeReg(c, b.imm(p + 1));
+    b.csEnd();
+    b.ret(b.L(ret));
+    sys.programs.push_back(b.build());
+  }
+  return sys;
+}
+
+struct Passage {
+  std::int64_t beta = 0;
+  std::int64_t rho = 0;
+};
+
+Passage passage(const sim::System& sys) {
+  sim::Config cfg = sim::initialConfig(sys);
+  std::vector<sim::ProcId> order;
+  for (int p = 0; p < sys.n(); ++p) order.push_back(p);
+  const sim::StepCounts counts =
+      sim::countSteps(sim::runSequential(sys, cfg, order), sys.n());
+  return {counts.fences, counts.rmrs};
+}
+
+// ---------------------------------------------------------------------------
+// insertFence: the exact inverse of stripFence.
+// ---------------------------------------------------------------------------
+
+TEST(InsertFenceTest, StripInsertRoundTripIsByteIdentical) {
+  const sim::System orig = gtSystem(2);
+  sim::System sys = orig;
+  ASSERT_EQ(stripFence(sys, 0), sys.n());
+
+  // Re-fence every no-op slot the strip left behind.
+  int restored = 0;
+  for (int p = 0; p < sys.n(); ++p) {
+    const sim::Program& prog = sys.programs[static_cast<std::size_t>(p)];
+    for (std::size_t pc = 0; pc < prog.code.size(); ++pc) {
+      sim::System probe = sys;
+      if (insertFence(probe, p, static_cast<std::int32_t>(pc))) {
+        ASSERT_TRUE(insertFence(sys, p, static_cast<std::int32_t>(pc)));
+        ++restored;
+      }
+    }
+  }
+  ASSERT_EQ(restored, orig.n());
+
+  // Instruction-exact: every field of every instruction matches.
+  for (int p = 0; p < sys.n(); ++p) {
+    const sim::Program& a = sys.programs[static_cast<std::size_t>(p)];
+    const sim::Program& b = orig.programs[static_cast<std::size_t>(p)];
+    ASSERT_EQ(a.code.size(), b.code.size());
+    for (std::size_t pc = 0; pc < a.code.size(); ++pc) {
+      EXPECT_EQ(static_cast<int>(a.code[pc].kind),
+                static_cast<int>(b.code[pc].kind))
+          << "p" << p << " pc " << pc;
+      EXPECT_EQ(a.code[pc].a, b.code[pc].a) << "p" << p << " pc " << pc;
+      EXPECT_EQ(a.code[pc].expr0, b.code[pc].expr0);
+      EXPECT_EQ(a.code[pc].expr1, b.code[pc].expr1);
+      EXPECT_EQ(a.code[pc].expr2, b.code[pc].expr2);
+    }
+    EXPECT_EQ(a.disassemble(), b.disassemble());
+  }
+
+  // And behaviourally identical: same exploration verdict, same
+  // outcome set, same state count, same β/ρ per sequential passage.
+  const sim::ExploreResult ra = sim::explore(sys, {});
+  const sim::ExploreResult rb = sim::explore(orig, {});
+  EXPECT_EQ(ra.mutexViolation, rb.mutexViolation);
+  EXPECT_EQ(ra.outcomes, rb.outcomes);
+  EXPECT_EQ(ra.statesVisited, rb.statesVisited);
+  const Passage pa = passage(sys), pb = passage(orig);
+  EXPECT_EQ(pa.beta, pb.beta);
+  EXPECT_EQ(pa.rho, pb.rho);
+  EXPECT_EQ(countFences(sys), countFences(orig));
+}
+
+TEST(InsertFenceTest, RejectsOutOfRangeUntouched) {
+  sim::System sys = strippedGt(2);
+  const std::string before = sys.programs[0].disassemble();
+  EXPECT_FALSE(insertFence(sys, -1, 0));
+  EXPECT_FALSE(insertFence(sys, 99, 0));
+  EXPECT_FALSE(insertFence(sys, 0, -1));
+  EXPECT_FALSE(insertFence(sys, 0, 9999));
+  EXPECT_EQ(sys.programs[0].disassemble(), before);
+}
+
+TEST(InsertFenceTest, RejectsEveryNonSlotInstruction) {
+  // An unstripped system has no free slots, so insertFence must refuse
+  // every single pc and leave the fence count unchanged.
+  sim::System sys = gtSystem(2);
+  const int fences = countFences(sys);
+  for (int p = 0; p < sys.n(); ++p) {
+    const std::size_t len = sys.programs[static_cast<std::size_t>(p)].code.size();
+    for (std::size_t pc = 0; pc < len; ++pc) {
+      EXPECT_FALSE(insertFence(sys, p, static_cast<std::int32_t>(pc)))
+          << "p" << p << " pc " << pc;
+    }
+  }
+  EXPECT_EQ(countFences(sys), fences);
+}
+
+TEST(InsertFenceTest, RestoresBuilderFenceShape) {
+  sim::System sys = strippedGt(2);
+  // Find one slot, refence it, and check the exact instruction bytes.
+  bool found = false;
+  const sim::Program& prog = sys.programs[0];
+  for (std::size_t pc = 0; pc < prog.code.size() && !found; ++pc) {
+    if (prog.code[pc].kind == sim::InstrKind::Jmp &&
+        prog.code[pc].a == static_cast<std::int32_t>(pc + 1)) {
+      ASSERT_TRUE(insertFence(sys, 0, static_cast<std::int32_t>(pc)));
+      const sim::Instr& ins = sys.programs[0].code[pc];
+      EXPECT_EQ(ins.kind, sim::InstrKind::Fence);
+      EXPECT_EQ(ins.a, 0);
+      EXPECT_EQ(ins.expr0, -1);
+      EXPECT_EQ(ins.expr1, -1);
+      EXPECT_EQ(ins.expr2, -1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Fence-site enumeration and splicing (sim/program.h).
+// ---------------------------------------------------------------------------
+
+TEST(FenceSiteTest, StrippedSlotsBecomeReplaceSites) {
+  const sim::System sys = strippedGt(2);
+  for (int p = 0; p < sys.n(); ++p) {
+    const sim::Program& prog = sys.programs[static_cast<std::size_t>(p)];
+    const std::vector<sim::FenceSite> sites = sim::fenceInsertionSites(prog);
+    ASSERT_FALSE(sites.empty());
+    // Replace sites first (ascending pc), then shift sites (ascending).
+    bool seenShift = false;
+    std::int32_t lastReplace = -1, lastShift = -1;
+    int replaceCount = 0;
+    for (const sim::FenceSite& s : sites) {
+      if (s.shift) {
+        seenShift = true;
+        EXPECT_GT(s.pc, lastShift);
+        lastShift = s.pc;
+      } else {
+        EXPECT_FALSE(seenShift) << "replace site after a shift site";
+        EXPECT_GT(s.pc, lastReplace);
+        lastReplace = s.pc;
+        ++replaceCount;
+        // A replace site is exactly a stripped slot.
+        EXPECT_EQ(prog.code[static_cast<std::size_t>(s.pc)].kind,
+                  sim::InstrKind::Jmp);
+        EXPECT_EQ(prog.code[static_cast<std::size_t>(s.pc)].a, s.pc + 1);
+      }
+    }
+    EXPECT_EQ(replaceCount, 1) << "stripFence(.,0) leaves one slot";
+  }
+}
+
+TEST(FenceSiteTest, WriteFreeProgramHasNoSites) {
+  const sim::System sys = lawlessSystem(/*withWrite=*/false);
+  for (const sim::Program& prog : sys.programs) {
+    EXPECT_TRUE(sim::fenceInsertionSites(prog).empty());
+  }
+  // With a write the shift sites appear.
+  const sim::System wsys = lawlessSystem(/*withWrite=*/true);
+  for (const sim::Program& prog : wsys.programs) {
+    const std::vector<sim::FenceSite> sites = sim::fenceInsertionSites(prog);
+    EXPECT_FALSE(sites.empty());
+    for (const sim::FenceSite& s : sites) EXPECT_TRUE(s.shift);
+  }
+}
+
+TEST(FenceSiteTest, SpliceShiftsJumpTargetsAndMarkers) {
+  const sim::System sys = petersonTso();
+  for (const sim::Program& orig : sys.programs) {
+    for (const sim::FenceSite& s : sim::fenceInsertionSites(orig)) {
+      if (!s.shift) continue;
+      sim::Program prog = orig;
+      sim::spliceFenceBefore(prog, s.pc);  // validates internally
+      ASSERT_EQ(prog.code.size(), orig.code.size() + 1);
+      EXPECT_EQ(prog.code[static_cast<std::size_t>(s.pc)].kind,
+                sim::InstrKind::Fence);
+      // Markers that sat at/above the splice moved by exactly one.
+      if (orig.csBegin >= s.pc) {
+        EXPECT_EQ(prog.csBegin, orig.csBegin + 1);
+      } else if (orig.csBegin >= 0) {
+        EXPECT_EQ(prog.csBegin, orig.csBegin);
+      }
+    }
+  }
+}
+
+TEST(FenceSiteTest, SpliceIntoSafeLockPreservesBehaviour) {
+  // Fences only restrict behaviours: splicing one anywhere into a
+  // correct lock must keep mutual exclusion and the outcome set.
+  const sim::System sys = gtSystem(2);
+  const sim::ExploreResult base = sim::explore(sys, {});
+  ASSERT_FALSE(base.mutexViolation);
+  const std::vector<sim::FenceSite> sites =
+      sim::fenceInsertionSites(sys.programs[0]);
+  ASSERT_FALSE(sites.empty());
+  sim::System spliced = sys;
+  sim::spliceFenceBefore(spliced.programs[0], sites.front().pc);
+  const sim::ExploreResult res = sim::explore(spliced, {});
+  EXPECT_FALSE(res.mutexViolation);
+  EXPECT_EQ(res.outcomes, base.outcomes);
+  EXPECT_EQ(countFences(spliced), countFences(sys) + 1);
+}
+
+TEST(FenceSiteTest, ApplyMultipleSitesInOneProgram) {
+  // Applying two shift sites of the same program must land both fences
+  // even though the second splice renumbers everything above it.
+  const sim::System sys = petersonTso();
+  std::vector<RepairSite> all;
+  for (const sim::FenceSite& s : sim::fenceInsertionSites(sys.programs[0])) {
+    if (s.shift) all.push_back({0, s});
+  }
+  ASSERT_GE(all.size(), 2u);
+  const sim::System out =
+      applyFenceSites(sys, all, {0, static_cast<int>(all.size()) - 1});
+  EXPECT_EQ(countFences(out), countFences(sys) + 2);
+  out.programs[0].validate();
+  // Untouched program is untouched.
+  EXPECT_EQ(out.programs[1].disassemble(), sys.programs[1].disassemble());
+}
+
+// ---------------------------------------------------------------------------
+// The repair search.
+// ---------------------------------------------------------------------------
+
+TEST(RepairTest, RepairsStrippedGt2UnderPso) {
+  const sim::System broken = strippedGt(2);
+  const sim::System orig = gtSystem(2);
+  const RepairReport rep = repairMutualExclusion(broken);
+  EXPECT_EQ(rep.verdict, Verdict::Repaired);
+  EXPECT_EQ(rep.stopReason, util::StopReason::Complete);
+  EXPECT_TRUE(rep.inputViolates);
+  EXPECT_FALSE(rep.unrepairable);
+  ASSERT_FALSE(rep.frontier.empty());
+  // Acceptance criterion: the synthesized repair spends no more β than
+  // the hand-placed original.
+  EXPECT_LE(rep.frontier.front().beta, passage(orig).beta);
+  for (const RepairPoint& pt : rep.frontier) {
+    EXPECT_TRUE(pt.verified);
+    EXPECT_TRUE(pt.onFrontier);
+    EXPECT_FALSE(pt.sites.empty());
+  }
+  EXPECT_EQ(verdictExitCode(rep.verdict), 5);
+}
+
+TEST(RepairTest, RepairsStrippedGt1AndGt3UnderPso) {
+  for (int f : {1, 3}) {
+    const sim::System broken = strippedGt(f);
+    const RepairReport rep = repairMutualExclusion(broken);
+    EXPECT_EQ(rep.verdict, Verdict::Repaired) << "GT_" << f;
+    ASSERT_FALSE(rep.frontier.empty()) << "GT_" << f;
+    EXPECT_LE(rep.frontier.front().beta, passage(gtSystem(f)).beta)
+        << "GT_" << f;
+  }
+}
+
+TEST(RepairTest, SafeInputYieldsPassWithZeroInsertionPoint) {
+  const RepairReport rep = repairMutualExclusion(gtSystem(2));
+  EXPECT_EQ(rep.verdict, Verdict::Pass);
+  EXPECT_FALSE(rep.inputViolates);
+  ASSERT_EQ(rep.repairs.size(), 1u);
+  ASSERT_EQ(rep.frontier.size(), 1u);
+  EXPECT_TRUE(rep.frontier.front().sites.empty());
+  EXPECT_EQ(rep.frontier.front().beta, rep.inputBeta);
+  EXPECT_EQ(rep.frontier.front().rho, rep.inputRho);
+  EXPECT_TRUE(rep.frontier.front().verified);
+  EXPECT_EQ(rep.candidatesEvaluated, 0u);
+  EXPECT_EQ(verdictExitCode(rep.verdict), 0);
+}
+
+TEST(RepairTest, PetersonTsoUnderPsoRecoversStoreStoreFence) {
+  // The TsoFence Peterson writes flag then turn with no intervening
+  // fence — safe under TSO, broken under PSO.  The repair must find the
+  // canonical fix: a store-store fence between the two writes (a splice
+  // before pc 1) in *each* program.
+  const RepairReport rep = repairMutualExclusion(petersonTso());
+  ASSERT_EQ(rep.verdict, Verdict::Repaired);
+  ASSERT_FALSE(rep.frontier.empty());
+  const RepairPoint& best = rep.frontier.front();
+  ASSERT_EQ(best.sites.size(), 2u);
+  bool sawP0 = false, sawP1 = false;
+  for (int idx : best.sites) {
+    const RepairSite& s = rep.sites[static_cast<std::size_t>(idx)];
+    EXPECT_TRUE(s.site.shift);
+    EXPECT_EQ(s.site.pc, 1);
+    if (s.program == 0) sawP0 = true;
+    if (s.program == 1) sawP1 = true;
+  }
+  EXPECT_TRUE(sawP0 && sawP1)
+      << "the fix must fence both programs' write pairs";
+}
+
+TEST(RepairTest, EmptyLatticeIsHonestlyUnrepairable) {
+  const RepairReport rep =
+      repairMutualExclusion(lawlessSystem(/*withWrite=*/false));
+  EXPECT_EQ(rep.verdict, Verdict::Violation);
+  EXPECT_TRUE(rep.inputViolates);
+  EXPECT_TRUE(rep.unrepairable);
+  EXPECT_TRUE(rep.sites.empty());
+  EXPECT_TRUE(rep.frontier.empty());
+  EXPECT_EQ(rep.candidatesEvaluated, 0u);
+  EXPECT_EQ(verdictExitCode(rep.verdict), 1);
+}
+
+TEST(RepairTest, ExhaustedLatticeIsHonestlyUnrepairable) {
+  // With writes the lattice is non-empty, but no fence placement can
+  // conjure mutual exclusion out of a protocol-free program — the
+  // search must exhaust every subset and say so.
+  const RepairReport rep =
+      repairMutualExclusion(lawlessSystem(/*withWrite=*/true));
+  EXPECT_EQ(rep.verdict, Verdict::Violation);
+  EXPECT_TRUE(rep.unrepairable);
+  EXPECT_FALSE(rep.sites.empty());
+  EXPECT_GT(rep.candidatesEvaluated, 0u);
+  EXPECT_TRUE(rep.frontier.empty());
+}
+
+TEST(RepairTest, WitnessScreeningPrunesCandidates) {
+  // The counterexample-guided part must actually fire: most candidates
+  // should die on a witness replay, not on a fresh fuzz campaign.
+  const RepairReport rep = repairMutualExclusion(strippedGt(2));
+  EXPECT_GT(rep.witnessesCollected, 0u);
+  EXPECT_GT(rep.candidatesScreenedByWitness, 0u);
+  EXPECT_LT(rep.candidatesScreenedByWitness, rep.candidatesEvaluated);
+}
+
+TEST(RepairTest, FrontierIsSortedAndPareto) {
+  for (const sim::System& broken : {strippedGt(2), petersonTso()}) {
+    const RepairReport rep = repairMutualExclusion(broken);
+    ASSERT_FALSE(rep.frontier.empty());
+    for (std::size_t i = 1; i < rep.frontier.size(); ++i) {
+      EXPECT_GT(rep.frontier[i].beta, rep.frontier[i - 1].beta);
+      EXPECT_LT(rep.frontier[i].rho, rep.frontier[i - 1].rho);
+    }
+    // Every repair is dominated by (or is) a frontier point, and the
+    // onFrontier flags agree between the two lists.
+    for (const RepairPoint& pt : rep.repairs) {
+      bool dominated = false;
+      for (const RepairPoint& f : rep.frontier) {
+        if (f.beta <= pt.beta && f.rho <= pt.rho) dominated = true;
+      }
+      EXPECT_TRUE(dominated);
+    }
+    std::size_t flagged = 0;
+    for (const RepairPoint& pt : rep.repairs) flagged += pt.onFrontier;
+    EXPECT_EQ(flagged, rep.frontier.size());
+  }
+}
+
+/// Satellite acceptance: every frontier point must be exhaustively
+/// mutex-safe on all four engine configurations, and 1-minimal — taking
+/// away any single fence re-opens a fuzzer-findable violation.
+void checkFrontierSafeAndMinimal(const sim::System& broken) {
+  const RepairReport rep = repairMutualExclusion(broken);
+  ASSERT_EQ(rep.verdict, Verdict::Repaired);
+  ASSERT_FALSE(rep.frontier.empty());
+  for (const RepairPoint& pt : rep.frontier) {
+    const sim::System fixed = applyFenceSites(broken, rep.sites, pt.sites);
+    for (int workers : {1, 4}) {
+      for (bool por : {false, true}) {
+        sim::ExploreOptions eo;
+        eo.workers = workers;
+        eo.reduction = por;
+        const sim::ExploreResult res = sim::explore(fixed, eo);
+        EXPECT_FALSE(res.mutexViolation)
+            << "workers=" << workers << " por=" << por;
+        EXPECT_FALSE(res.capped());
+        EXPECT_LE(res.maxCsOccupancy, 1);
+      }
+    }
+    for (std::size_t drop = 0; drop < pt.sites.size(); ++drop) {
+      std::vector<int> sub = pt.sites;
+      sub.erase(sub.begin() + static_cast<std::ptrdiff_t>(drop));
+      const sim::System weakened = applyFenceSites(broken, rep.sites, sub);
+      FuzzOptions fo;
+      fo.seeds = 8192;
+      const FuzzReport fr = fuzzMutualExclusion(weakened, fo);
+      EXPECT_TRUE(fr.witness.has_value())
+          << "dropping site " << pt.sites[drop]
+          << " should re-open a fuzzer-findable violation";
+    }
+  }
+}
+
+TEST(RepairTest, FrontierPointsSafeOnAllEnginesAndOneMinimalGt2) {
+  checkFrontierSafeAndMinimal(strippedGt(2));
+}
+
+TEST(RepairTest, FrontierPointsSafeOnAllEnginesAndOneMinimalPeterson) {
+  checkFrontierSafeAndMinimal(petersonTso());
+}
+
+TEST(RepairTest, ReportIsFuzzWorkerCountInvariant) {
+  const sim::System broken = strippedGt(2);
+  RepairOptions one;
+  one.fuzzWorkers = 1;
+  RepairOptions four;
+  four.fuzzWorkers = 4;
+  const std::string a = repairReportToJson(repairMutualExclusion(broken, one));
+  const std::string b =
+      repairReportToJson(repairMutualExclusion(broken, four));
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Run control: candidate budget, cancellation, checkpoint/resume.
+// ---------------------------------------------------------------------------
+
+TEST(RepairControlTest, MaxCandidatesCapsTheSearch) {
+  RepairOptions opts;
+  opts.maxCandidates = 2;
+  std::string blob;
+  opts.checkpointOut = &blob;
+  const RepairReport rep = repairMutualExclusion(petersonTso(), opts);
+  EXPECT_EQ(rep.stopReason, util::StopReason::StateCap);
+  EXPECT_EQ(rep.verdict, Verdict::Inconclusive);
+  EXPECT_EQ(rep.candidatesEvaluated, 2u);
+  EXPECT_TRUE(rep.frontier.empty());
+  EXPECT_FALSE(blob.empty()) << "capped searches must leave a checkpoint";
+}
+
+TEST(RepairControlTest, PreCancelledTokenYieldsInterrupted) {
+  util::CancelToken tok;
+  tok.cancel();
+  RepairOptions opts;
+  opts.control.cancel = &tok;
+  std::string blob;
+  opts.checkpointOut = &blob;
+  const RepairReport rep = repairMutualExclusion(strippedGt(2), opts);
+  EXPECT_EQ(rep.stopReason, util::StopReason::Cancelled);
+  EXPECT_EQ(rep.verdict, Verdict::Interrupted);
+  EXPECT_EQ(verdictExitCode(rep.verdict), 4);
+}
+
+TEST(RepairControlTest, CheckpointResumeMatchesUninterruptedRun) {
+  const sim::System broken = petersonTso();
+
+  RepairOptions capped;
+  capped.maxCandidates = 5;
+  std::string blob;
+  capped.checkpointOut = &blob;
+  const RepairReport partial = repairMutualExclusion(broken, capped);
+  ASSERT_EQ(partial.stopReason, util::StopReason::StateCap);
+  ASSERT_TRUE(partial.frontier.empty());
+  ASSERT_FALSE(blob.empty());
+
+  RepairOptions resume;
+  resume.resumeFrom = &blob;
+  const RepairReport resumed = repairMutualExclusion(broken, resume);
+  const RepairReport clean = repairMutualExclusion(broken);
+  EXPECT_EQ(resumed.verdict, Verdict::Repaired);
+  // Indistinguishable from a run that was never interrupted — down to
+  // the serialized bytes (counters, witnesses, frontier, everything).
+  EXPECT_EQ(repairReportToJson(resumed), repairReportToJson(clean));
+}
+
+TEST(RepairControlTest, ResumeRejectsDifferentSystemOrOptions) {
+  RepairOptions capped;
+  capped.maxCandidates = 1;
+  std::string blob;
+  capped.checkpointOut = &blob;
+  ASSERT_EQ(repairMutualExclusion(strippedGt(2), capped).stopReason,
+            util::StopReason::StateCap);
+  ASSERT_FALSE(blob.empty());
+
+  // Same options, different system.  (Note gtFactory clamps f to
+  // ceil(log2 n), so at n=2 GT_1 and GT_2 are the *same* system — a
+  // genuinely different one is needed here.)
+  RepairOptions resume;
+  resume.resumeFrom = &blob;
+  EXPECT_THROW(repairMutualExclusion(petersonTso(), resume),
+               util::CheckError);
+
+  // Same system, different witness-shaping options.
+  RepairOptions changed;
+  changed.fuzzSeeds = 77;
+  changed.resumeFrom = &blob;
+  EXPECT_THROW(repairMutualExclusion(strippedGt(2), changed),
+               util::CheckError);
+
+  // Corrupt container.
+  std::string mangled = blob;
+  mangled[mangled.size() / 2] ^= 0x5a;
+  RepairOptions broken2;
+  broken2.resumeFrom = &mangled;
+  EXPECT_THROW(repairMutualExclusion(strippedGt(2), broken2),
+               util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Golden files: the report JSON is a pure function of (system, options)
+// and must stay byte-stable across refactors and worker counts.
+// Regenerate deliberately with FENCETRADE_REGEN_GOLDEN=1.
+// ---------------------------------------------------------------------------
+
+void checkGolden(const sim::System& broken, const std::string& name) {
+  const std::string path = std::string(FENCETRADE_GOLDEN_DIR) + "/" + name;
+  const std::string actual = repairReportToJson(repairMutualExclusion(broken));
+  if (std::getenv("FENCETRADE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual << "\n";
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " (regenerate with FENCETRADE_REGEN_GOLDEN=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), actual + "\n") << "golden drift in " << name;
+}
+
+TEST(RepairGoldenTest, Gt1Pso) { checkGolden(strippedGt(1), "repair_gt1_pso.json"); }
+TEST(RepairGoldenTest, Gt1Tso) {
+  checkGolden(strippedGt(1, MemoryModel::TSO), "repair_gt1_tso.json");
+}
+TEST(RepairGoldenTest, Gt2Pso) { checkGolden(strippedGt(2), "repair_gt2_pso.json"); }
+TEST(RepairGoldenTest, Gt2Tso) {
+  checkGolden(strippedGt(2, MemoryModel::TSO), "repair_gt2_tso.json");
+}
+TEST(RepairGoldenTest, PetersonTsoPso) {
+  checkGolden(petersonTso(), "repair_peterson_tso_pso.json");
+}
+
+// ---------------------------------------------------------------------------
+// Verdict plumbing for the new REPAIRED outcome.
+// ---------------------------------------------------------------------------
+
+TEST(RepairVerdictTest, RepairedMapsToExitFiveAndStableName) {
+  EXPECT_EQ(verdictExitCode(Verdict::Repaired), 5);
+  EXPECT_STREQ(verdictName(Verdict::Repaired), "repaired");
+}
+
+TEST(RepairVerdictTest, CombineRanksRepairedBetweenPassAndInconclusive) {
+  EXPECT_EQ(combineVerdicts(Verdict::Pass, Verdict::Repaired),
+            Verdict::Repaired);
+  EXPECT_EQ(combineVerdicts(Verdict::Repaired, Verdict::Pass),
+            Verdict::Repaired);
+  EXPECT_EQ(combineVerdicts(Verdict::Repaired, Verdict::Inconclusive),
+            Verdict::Inconclusive);
+  EXPECT_EQ(combineVerdicts(Verdict::Repaired, Verdict::Violation),
+            Verdict::Violation);
+  EXPECT_EQ(combineVerdicts(Verdict::Repaired, Verdict::Interrupted),
+            Verdict::Interrupted);
+}
+
+}  // namespace
+}  // namespace fencetrade::check
