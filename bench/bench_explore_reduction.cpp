@@ -1,20 +1,27 @@
-// Partial-order reduction effect on the exhaustive explorer (EXP-POR):
-// states visited, wall-clock and reduction factor with
-// ExploreOptions::reduction on versus off, across the GT_f ordering
-// systems and litmus tests, under the three memory models.  Every
-// reduced run is differentially checked against the unreduced oracle —
-// identical outcome sets, mutual-exclusion verdicts and max CS
-// occupancy — before its numbers are reported.
+// Reduction effect on the exhaustive explorer (EXP-POR / EXP-DPOR):
+// states visited, wall-clock and reduction factor for the persistent-set
+// reduction and the source-DPOR engine against the unreduced oracle,
+// across the GT_f ordering systems and litmus tests, under the three
+// memory models.  Every reduced run is differentially checked against
+// the unreduced oracle — identical outcome sets, mutual-exclusion
+// verdicts and max CS occupancy — before its numbers are reported.
+//
+// Set FT_BENCH_BIG=1 to additionally run the acceptance-scale systems
+// (GT_3 n=5 and tournament-Peterson n=4 under PSO, source-DPOR +
+// compressed visited tier) that are infeasible for the unreduced
+// engine; these report absolute numbers, not differentials.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/common.h"
 #include "core/gt.h"
 #include "core/objects.h"
+#include "core/peterson.h"
 #include "sim/explore.h"
 #include "sim/litmus.h"
 #include "util/check.h"
@@ -27,11 +34,15 @@ sim::System makeGtSystem(sim::MemoryModel m, int f, int n) {
   return core::buildCountSystem(m, n, core::gtFactory(f)).sys;
 }
 
-sim::ExploreResult timedExplore(const sim::System& sys, bool reduction,
-                                double& seconds) {
+sim::ExploreResult timedExplore(const sim::System& sys,
+                                sim::ReductionMode reduction,
+                                double& seconds,
+                                sim::VisitedTier tier =
+                                    sim::VisitedTier::exact) {
   sim::ExploreOptions opts;
-  opts.maxStates = 5'000'000;
+  opts.maxStates = 50'000'000;
   opts.reduction = reduction;
+  opts.visitedTier = tier;
   const auto t0 = std::chrono::steady_clock::now();
   auto res = sim::explore(sys, opts);
   const auto t1 = std::chrono::steady_clock::now();
@@ -45,6 +56,20 @@ const char* modelName(sim::MemoryModel m) {
     case sim::MemoryModel::TSO: return "TSO";
     default: return "PSO";
   }
+}
+
+void checkAgainstOracle(const std::string& name,
+                        const sim::ExploreResult& oracle,
+                        const sim::ExploreResult& red, const char* mode) {
+  FT_CHECK(!red.capped()) << name << ": " << mode << " capped";
+  FT_CHECK(red.outcomes == oracle.outcomes)
+      << name << ": outcome sets diverge under " << mode;
+  FT_CHECK(red.mutexViolation == oracle.mutexViolation)
+      << name << ": mutex verdicts diverge under " << mode;
+  FT_CHECK(red.maxCsOccupancy == oracle.maxCsOccupancy)
+      << name << ": max CS occupancy diverges under " << mode;
+  FT_CHECK(red.statesVisited <= oracle.statesVisited)
+      << name << ": " << mode << " enlarged the state space";
 }
 
 void printReductionTable() {
@@ -67,39 +92,83 @@ void printReductionTable() {
   cases.push_back({"GT_2 n=3 PSO",
                    makeGtSystem(sim::MemoryModel::PSO, 2, 3)});
 
-  util::Table table({"system", "states full", "states reduced", "factor",
-                     "sec full", "sec reduced"});
+  util::Table table({"system", "states full", "states por", "states dpor",
+                     "por x", "dpor x", "sec full", "sec dpor"});
   for (const Case& c : cases) {
-    double fullSec = 0, redSec = 0;
-    const auto oracle = timedExplore(c.sys, /*reduction=*/false, fullSec);
-    const auto reduced = timedExplore(c.sys, /*reduction=*/true, redSec);
-    FT_CHECK(!oracle.capped() && !reduced.capped())
-        << c.name << ": exploration unexpectedly capped";
-    // Differential soundness gate: the reduced run must reproduce the
+    double fullSec = 0, porSec = 0, dporSec = 0;
+    const auto oracle =
+        timedExplore(c.sys, sim::ReductionMode::none, fullSec);
+    FT_CHECK(!oracle.capped()) << c.name << ": oracle capped";
+    const auto por =
+        timedExplore(c.sys, sim::ReductionMode::persistentSet, porSec);
+    const auto dpor =
+        timedExplore(c.sys, sim::ReductionMode::sourceDpor, dporSec);
+    // Differential soundness gate: each reduced run must reproduce the
     // oracle's observable behaviour exactly.
-    FT_CHECK(reduced.outcomes == oracle.outcomes)
-        << c.name << ": outcome sets diverge under reduction";
-    FT_CHECK(reduced.mutexViolation == oracle.mutexViolation)
-        << c.name << ": mutex verdicts diverge under reduction";
-    FT_CHECK(reduced.maxCsOccupancy == oracle.maxCsOccupancy)
-        << c.name << ": max CS occupancy diverges under reduction";
-    FT_CHECK(reduced.statesVisited <= oracle.statesVisited)
-        << c.name << ": reduction enlarged the state space";
-    const double factor = static_cast<double>(oracle.statesVisited) /
-                          static_cast<double>(reduced.statesVisited);
+    checkAgainstOracle(c.name, oracle, por, "persistent-set");
+    checkAgainstOracle(c.name, oracle, dpor, "source-DPOR");
+    const double full = static_cast<double>(oracle.statesVisited);
     table.addRow({c.name,
                   util::Table::cell(
                       static_cast<std::int64_t>(oracle.statesVisited)),
                   util::Table::cell(
-                      static_cast<std::int64_t>(reduced.statesVisited)),
-                  util::Table::cell(factor, 2),
+                      static_cast<std::int64_t>(por.statesVisited)),
+                  util::Table::cell(
+                      static_cast<std::int64_t>(dpor.statesVisited)),
+                  util::Table::cell(
+                      full / static_cast<double>(por.statesVisited), 2),
+                  util::Table::cell(
+                      full / static_cast<double>(dpor.statesVisited), 2),
                   util::Table::cell(fullSec, 3),
-                  util::Table::cell(redSec, 3)});
+                  util::Table::cell(dporSec, 3)});
   }
   std::printf("%s\n",
-              table.render("EXP-POR — persistent-set reduction, outcomes/"
-                           "mutex/occupancy verified against the "
-                           "unreduced oracle per row")
+              table.render("EXP-DPOR — persistent-set vs source-DPOR "
+                           "reduction, outcomes/mutex/occupancy verified "
+                           "against the unreduced oracle per row")
+                  .c_str());
+}
+
+/// The acceptance-scale systems: complete only under source-DPOR with
+/// the compressed visited tier (the unreduced spaces exceed feasible
+/// exploration); absolute numbers, no differential possible.
+void printBigTable() {
+  struct Case {
+    std::string name;
+    sim::System sys;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"GT_3 n=5 PSO",
+                   makeGtSystem(sim::MemoryModel::PSO, 3, 5)});
+  cases.push_back(
+      {"Peterson n=4 PSO",
+       core::buildCountSystem(sim::MemoryModel::PSO, 4,
+                              core::petersonTournamentFactory())
+           .sys});
+  util::Table table({"system", "states", "sec", "states/sec", "complete",
+                     "visited MiB"});
+  for (const Case& c : cases) {
+    double sec = 0;
+    const auto res =
+        timedExplore(c.sys, sim::ReductionMode::sourceDpor, sec,
+                     sim::VisitedTier::compressed);
+    FT_CHECK(!res.mutexViolation) << c.name << ": spurious violation";
+    const double mib =
+        static_cast<double>(res.telemetry.visitedFullKeyBytes +
+                            res.telemetry.visitedDeltaBytes) /
+        (1024.0 * 1024.0);
+    table.addRow({c.name,
+                  util::Table::cell(
+                      static_cast<std::int64_t>(res.statesVisited)),
+                  util::Table::cell(sec, 1),
+                  util::Table::cell(
+                      static_cast<double>(res.statesVisited) / sec, 0),
+                  std::string(res.capped() ? "CAPPED" : "yes"),
+                  util::Table::cell(mib, 1)});
+  }
+  std::printf("%s\n",
+              table.render("EXP-DPOR big — source-DPOR + compressed "
+                           "visited tier on acceptance-scale systems")
                   .c_str());
 }
 
@@ -108,7 +177,8 @@ void BM_ExploreReducedGt2n3Pso(benchmark::State& state) {
   std::uint64_t states = 0;
   for (auto _ : state) {
     double seconds = 0;
-    auto res = timedExplore(sys, /*reduction=*/true, seconds);
+    auto res =
+        timedExplore(sys, sim::ReductionMode::persistentSet, seconds);
     states = res.statesVisited;
     benchmark::DoNotOptimize(res.outcomes);
   }
@@ -123,7 +193,7 @@ void BM_ExploreFullGt2n3Pso(benchmark::State& state) {
   std::uint64_t states = 0;
   for (auto _ : state) {
     double seconds = 0;
-    auto res = timedExplore(sys, /*reduction=*/false, seconds);
+    auto res = timedExplore(sys, sim::ReductionMode::none, seconds);
     states = res.statesVisited;
     benchmark::DoNotOptimize(res.outcomes);
   }
@@ -133,23 +203,57 @@ void BM_ExploreFullGt2n3Pso(benchmark::State& state) {
 }
 BENCHMARK(BM_ExploreFullGt2n3Pso)->Unit(benchmark::kMillisecond);
 
+void BM_ExploreDporGt2n3Pso(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(sim::MemoryModel::PSO, 2, 3);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    double seconds = 0;
+    auto res = timedExplore(sys, sim::ReductionMode::sourceDpor, seconds);
+    states = res.statesVisited;
+    benchmark::DoNotOptimize(res.outcomes);
+  }
+  state.counters["states/sec"] = benchmark::Counter(
+      static_cast<double>(states),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreDporGt2n3Pso)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreDporCompressedGt2n3Pso(benchmark::State& state) {
+  const sim::System sys = makeGtSystem(sim::MemoryModel::PSO, 2, 3);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    double seconds = 0;
+    auto res = timedExplore(sys, sim::ReductionMode::sourceDpor, seconds,
+                            sim::VisitedTier::compressed);
+    states = res.statesVisited;
+    benchmark::DoNotOptimize(res.outcomes);
+  }
+  state.counters["states/sec"] = benchmark::Counter(
+      static_cast<double>(states),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreDporCompressedGt2n3Pso)->Unit(benchmark::kMillisecond);
+
 void BM_LivenessReducedGt1n3Pso(benchmark::State& state) {
   const sim::System sys = makeGtSystem(sim::MemoryModel::PSO, 1, 3);
-  const bool reduction = state.range(0) != 0;
+  sim::ReductionMode mode = sim::ReductionMode::none;
+  if (state.range(0) == 1) mode = sim::ReductionMode::persistentSet;
+  if (state.range(0) == 2) mode = sim::ReductionMode::sourceDpor;
   for (auto _ : state) {
     sim::LivenessOptions opts;
     opts.maxStates = 5'000'000;
-    opts.reduction = reduction;
+    opts.reduction = mode;
     auto res = sim::checkLiveness(sys, opts);
     FT_CHECK(res.complete() && res.allCanTerminate)
-        << "GT_1 n=3 liveness verdict wrong (reduction="
-        << (reduction ? 1 : 0) << ")";
+        << "GT_1 n=3 liveness verdict wrong (mode="
+        << sim::reductionModeName(mode) << ")";
     benchmark::DoNotOptimize(res.states);
   }
 }
 BENCHMARK(BM_LivenessReducedGt1n3Pso)
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
@@ -157,6 +261,8 @@ BENCHMARK(BM_LivenessReducedGt1n3Pso)
 
 int main(int argc, char** argv) {
   fencetrade::printReductionTable();
+  const char* big = std::getenv("FT_BENCH_BIG");
+  if (big != nullptr && big[0] == '1') fencetrade::printBigTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

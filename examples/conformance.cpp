@@ -4,7 +4,9 @@
 //   $ ./conformance corpus [--quick] [--json] [--stop-on-fail]
 //       Run every corpus entry (litmus × models, GT_f spectrum,
 //       Peterson variants, CAS locks) through all exploration engines
-//       and assert the verdicts, outcome sets and telemetry agree.
+//       — sequential, parallel (2 and 4 workers), persistent-set POR
+//       and source-DPOR (exact and compressed visited tiers) — and
+//       assert the verdicts, outcome sets and telemetry agree.
 //
 //   $ ./conformance fuzz [target] [model] [n] [flags]
 //       Reorder-bounded schedule fuzzing of one system, with ddmin

@@ -7,8 +7,20 @@
 //   lock    ∈ {bakery, bakery-paper, gt2, tournament, peterson,
 //              peterson-tso, tas, ttas}        (default: peterson-tso)
 //   model   ∈ {SC, TSO, PSO}                   (default: PSO)
-//   n       ∈ 2..3                             (default: 2)
+//   n       ∈ 2..6                             (default: 2)
 //   workers ∈ 1..64 exploration threads        (default: 1)
+//
+//   --reduction M     exploration reduction: none, por (persistent
+//                     sets), dpor (source sets + sleep sets; default).
+//                     Both reductions preserve outcome sets, the
+//                     mutual-exclusion verdict and max CS occupancy
+//                     exactly.
+//   --visited T       visited-set tier: exact (default), compressed
+//                     (delta-encoded keys, same answers, less memory),
+//                     bloom (lock-free bitstate; LOSSY — a clean pass
+//                     reports complete-lossy and the verdict stays
+//                     INCONCLUSIVE, only violations are trusted)
+//   --bloom-bits N    bloom tier size in bits (default 2^27)
 //
 //   --json            machine-readable verdict + telemetry on stdout
 //   --trace FILE      write a Chrome trace (Perfetto-loadable) of the
@@ -134,6 +146,18 @@ void jsonTelemetry(std::string& out, const sim::ExploreTelemetry& t,
   out += ',';
   jsonU64(out, "arenaBytes", t.arenaBytes);
   out += ',';
+  // Per-tier visited-set byte gauges: exact keys store full bytes only,
+  // compressed splits keyframes vs deltas, bloom is the filter's bits.
+  jsonKey(out, "visitedTiers");
+  out += '{';
+  jsonU64(out, "fullKeyBytes", t.visitedFullKeyBytes);
+  out += ',';
+  jsonU64(out, "deltaBytes", t.visitedDeltaBytes);
+  out += ',';
+  jsonU64(out, "deltaKeys", t.visitedDeltaKeys);
+  out += ',';
+  jsonU64(out, "bloomBytes", t.visitedBloomBytes);
+  out += "},";
   jsonKey(out, "workers");
   out += '[';
   for (std::size_t i = 0; i < t.workers.size(); ++i) {
@@ -147,6 +171,10 @@ void jsonTelemetry(std::string& out, const sim::ExploreTelemetry& t,
     jsonU64(out, "dedupHits", w.dedupHits);
     out += ',';
     jsonU64(out, "expansions", w.expansions);
+    out += ',';
+    jsonU64(out, "sleepPruned", w.sleepPruned);
+    out += ',';
+    jsonU64(out, "provisoWidenings", w.provisoWidenings);
     out += ',';
     jsonU64(out, "steals", w.steals);
     out += ',';
@@ -172,6 +200,9 @@ int main(int argc, char** argv) {
   bool json = false, progress = false, repair = false;
   std::string tracePath, checkpointPath, resumePath;
   std::uint64_t maxStates = 0, memBudget = 0, fuzzSeeds = 1024;
+  std::uint64_t bloomBits = 0;
+  sim::ReductionMode reduction = sim::ReductionMode::sourceDpor;
+  sim::VisitedTier visitedTier = sim::VisitedTier::exact;
   std::vector<int> stripFences;
   int extraSizes = 0;
   double deadlineSeconds = 0.0;
@@ -197,6 +228,30 @@ int main(int argc, char** argv) {
       deadlineSeconds = std::atof(needValue(i));
     } else if (a == "--mem-budget") {
       memBudget = std::strtoull(needValue(i), nullptr, 10);
+    } else if (a == "--reduction") {
+      const std::string v = needValue(i);
+      if (v == "none") {
+        reduction = sim::ReductionMode::none;
+      } else if (v == "por") {
+        reduction = sim::ReductionMode::persistentSet;
+      } else if (v == "dpor") {
+        reduction = sim::ReductionMode::sourceDpor;
+      } else {
+        usageError = true;
+      }
+    } else if (a == "--visited") {
+      const std::string v = needValue(i);
+      if (v == "exact") {
+        visitedTier = sim::VisitedTier::exact;
+      } else if (v == "compressed") {
+        visitedTier = sim::VisitedTier::compressed;
+      } else if (v == "bloom") {
+        visitedTier = sim::VisitedTier::bloom;
+      } else {
+        usageError = true;
+      }
+    } else if (a == "--bloom-bits") {
+      bloomBits = std::strtoull(needValue(i), nullptr, 10);
     } else if (a == "--checkpoint") {
       checkpointPath = needValue(i);
     } else if (a == "--resume") {
@@ -250,11 +305,22 @@ int main(int argc, char** argv) {
   }
   for (int k : stripFences) ok = ok && k >= 0;
   if (!repair && (!stripFences.empty() || extraSizes != 0)) ok = false;
-  if (!ok || n < 2 || n > 3 || workers < 1 || workers > 64) {
+  // Bloom can never prove a candidate safe, so repair rejects it; a
+  // bloom-tier plain exploration cannot checkpoint/resume either.
+  if (visitedTier == sim::VisitedTier::bloom &&
+      (repair || !checkpointPath.empty() || !resumePath.empty())) {
+    std::fprintf(stderr,
+                 "error: --visited bloom is lossy — incompatible with "
+                 "--repair and --checkpoint/--resume\n");
+    return check::verdictExitCode(check::Verdict::UsageError);
+  }
+  if (!ok || n < 2 || n > 6 || workers < 1 || workers > 64) {
     std::fprintf(stderr,
                  "usage: %s [bakery|bakery-paper|gt1|gt2|gt3|tournament|"
-                 "peterson|peterson-tso|tas|ttas] [SC|TSO|PSO] [2|3] "
-                 "[workers] [--json] [--trace FILE] [--progress] "
+                 "peterson|peterson-tso|tas|ttas] [SC|TSO|PSO] [2..6] "
+                 "[workers] [--reduction none|por|dpor] "
+                 "[--visited exact|compressed|bloom] [--bloom-bits N] "
+                 "[--json] [--trace FILE] [--progress] "
                  "[--max-states N] [--deadline SECS] [--mem-budget BYTES] "
                  "[--checkpoint FILE] [--resume FILE] [--repair] "
                  "[--strip-fence K]... [--fuzz-seeds N] [--extra-sizes N]\n",
@@ -289,6 +355,8 @@ int main(int argc, char** argv) {
     ropts.fuzzSeeds = fuzzSeeds;
     ropts.fuzzWorkers = workers;
     ropts.extraSizes = extraSizes;
+    ropts.reduction = reduction;
+    ropts.visitedTier = visitedTier;
     if (maxStates > 0) ropts.maxStates = maxStates;
     static util::CancelToken repairCancel;
     util::cancelOnTerminationSignals(&repairCancel);
@@ -422,9 +490,15 @@ int main(int argc, char** argv) {
   }
 
   sim::ExploreOptions opts;
+  // The unreduced n=3 default was 600K; source-DPOR visits a fraction
+  // of the space, so deeper instances get a real budget by default.
   opts.maxStates = maxStates > 0 ? maxStates
-                                 : (n == 2 ? 5'000'000 : 600'000);
+                   : n <= 3      ? 5'000'000
+                                 : 50'000'000;
   opts.workers = workers;
+  opts.reduction = reduction;
+  opts.visitedTier = visitedTier;
+  if (bloomBits > 0) opts.bloomBits = bloomBits;
   if (progress) opts.progress = printProgress;
 
   // Run control: SIGINT/SIGTERM trip the token cooperatively, so the
@@ -497,6 +571,12 @@ int main(int argc, char** argv) {
   if (!res.mutexViolation && n == 2 && !res.capped()) {
     sim::LivenessOptions lopts;
     lopts.workers = workers;
+    lopts.reduction = reduction;
+    // The liveness graph needs every state exactly once — the lossy
+    // bloom tier is rejected there, so fall back to exact.
+    lopts.visitedTier = visitedTier == sim::VisitedTier::bloom
+                            ? sim::VisitedTier::exact
+                            : visitedTier;
     lopts.control = opts.control;
     if (progress) lopts.progress = printProgress;
     live = sim::checkLiveness(os.sys, lopts);
@@ -524,6 +604,10 @@ int main(int argc, char** argv) {
     jsonU64(out, "n", static_cast<unsigned long long>(n));
     out += ',';
     jsonU64(out, "workers", static_cast<unsigned long long>(workers));
+    out += ',';
+    jsonStr(out, "reduction", sim::reductionModeName(reduction));
+    out += ',';
+    jsonStr(out, "visitedTier", sim::visitedTierName(visitedTier));
     out += ',';
     jsonU64(out, "statesVisited", res.statesVisited);
     out += ',';

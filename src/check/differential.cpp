@@ -7,9 +7,17 @@
 namespace fencetrade::check {
 
 std::vector<EngineSpec> defaultEngines() {
+  using sim::ReductionMode;
+  using sim::VisitedTier;
   return {
-      {"seq", 1, false},      {"par2", 2, false},    {"par4", 4, false},
-      {"por", 1, true},       {"por-par4", 4, true},
+      {"seq", 1, ReductionMode::none, VisitedTier::exact},
+      {"par2", 2, ReductionMode::none, VisitedTier::exact},
+      {"par4", 4, ReductionMode::none, VisitedTier::exact},
+      {"por", 1, ReductionMode::persistentSet, VisitedTier::exact},
+      {"por-par4", 4, ReductionMode::persistentSet, VisitedTier::exact},
+      {"dpor", 1, ReductionMode::sourceDpor, VisitedTier::exact},
+      {"dpor-c", 1, ReductionMode::sourceDpor, VisitedTier::compressed},
+      {"dpor-par4", 4, ReductionMode::sourceDpor, VisitedTier::exact},
   };
 }
 
@@ -40,6 +48,7 @@ DifferentialReport runDifferential(const sim::System& sys,
     eo.maxStates = opts.maxStates;
     eo.workers = spec.workers;
     eo.reduction = spec.reduction;
+    eo.visitedTier = spec.tier;
     eo.control = opts.control;
     EngineRun run;
     run.spec = spec;
@@ -93,7 +102,8 @@ DifferentialReport runDifferential(const sim::System& sys,
   for (const EngineRun& run : rep.runs) {
     if (run.res.capped() || run.res.mutexViolation) continue;
     if (!completedRef) completedRef = &run;
-    if (!run.spec.reduction && !completedUnreducedRef) {
+    if (run.spec.reduction == sim::ReductionMode::none &&
+        !completedUnreducedRef) {
       completedUnreducedRef = &run;
     }
   }
@@ -115,7 +125,7 @@ DifferentialReport runDifferential(const sim::System& sys,
   if (completedUnreducedRef) {
     for (const EngineRun& run : rep.runs) {
       if (run.res.capped() || run.res.mutexViolation) continue;
-      if (!run.spec.reduction &&
+      if (run.spec.reduction == sim::ReductionMode::none &&
           run.res.statesVisited != completedUnreducedRef->res.statesVisited) {
         flag(rep, run.spec.name + " visited " +
                       std::to_string(run.res.statesVisited) + " states but " +
@@ -123,7 +133,7 @@ DifferentialReport runDifferential(const sim::System& sys,
                       std::to_string(
                           completedUnreducedRef->res.statesVisited));
       }
-      if (run.spec.reduction &&
+      if (run.spec.reduction != sim::ReductionMode::none &&
           run.res.statesVisited >
               completedUnreducedRef->res.statesVisited) {
         flag(rep, run.spec.name + " visited more states (" +
@@ -140,9 +150,15 @@ DifferentialReport runDifferential(const sim::System& sys,
   if (opts.livenessMaxStates > 0) {
     struct LivenessSpec {
       int workers;
-      bool reduction;
+      sim::ReductionMode reduction;
+      sim::VisitedTier tier;
     };
-    const LivenessSpec lspecs[] = {{1, false}, {4, false}, {1, true}};
+    const LivenessSpec lspecs[] = {
+        {1, sim::ReductionMode::none, sim::VisitedTier::exact},
+        {4, sim::ReductionMode::none, sim::VisitedTier::exact},
+        {1, sim::ReductionMode::persistentSet, sim::VisitedTier::exact},
+        {1, sim::ReductionMode::sourceDpor, sim::VisitedTier::compressed},
+    };
     for (const LivenessSpec& ls : lspecs) {
       if (opts.control.cancelled()) {
         rep.stopReason = util::StopReason::Cancelled;
@@ -152,6 +168,7 @@ DifferentialReport runDifferential(const sim::System& sys,
       lo.maxStates = opts.livenessMaxStates;
       lo.workers = ls.workers;
       lo.reduction = ls.reduction;
+      lo.visitedTier = ls.tier;
       lo.control = opts.control;
       rep.liveness.push_back(sim::checkLiveness(sys, lo));
     }

@@ -32,10 +32,15 @@ namespace fencetrade::check {
 struct EngineSpec {
   std::string name;
   int workers = 1;
-  bool reduction = false;
+  sim::ReductionMode reduction = sim::ReductionMode::none;
+  sim::VisitedTier tier = sim::VisitedTier::exact;
 };
 
-/// The default engine matrix: seq, par2, par4, por, por-par4.
+/// The default engine matrix: seq, par2, par4, por, por-par4, dpor,
+/// dpor-c (compressed visited tier), dpor-par4.  No bloom leg: a bloom
+/// run can never claim completeness, so it would always be excluded by
+/// the capped-prefix rules — it is exercised by the targeted tests
+/// instead.
 std::vector<EngineSpec> defaultEngines();
 
 struct DifferentialOptions {

@@ -59,7 +59,8 @@ PropertyReport checkOutcomeSetEquality(const std::vector<NamedOutcomes>& sets);
 /// Telemetry invariants every engine must satisfy: per-worker
 /// statesAdmitted sum to statesVisited, aggregate dedup counters equal
 /// the per-worker sums, hits never exceed probes, expansions never
-/// exceed admissions.
+/// exceed admissions plus dedup hits (sleep-set wakeups partially
+/// re-expand an admitted state, consuming a dedup hit each).
 PropertyReport checkTelemetryConsistency(const sim::ExploreTelemetry& t,
                                          std::uint64_t statesVisited);
 

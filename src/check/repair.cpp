@@ -77,17 +77,28 @@ std::uint64_t repairFingerprint(const sim::System& sys,
   tag.putU64(probBits);
   tag.putU64(opts.maxStates);
   tag.putBool(opts.exhaustiveMatrix);
+  tag.putI64(static_cast<std::int64_t>(opts.reduction));
+  tag.putI64(static_cast<std::int64_t>(opts.visitedTier));
   return util::fnv1a64(tag.payload());
 }
 
 /// The re-verification matrix of step 4: the differential oracle plus
-/// the parallel and POR engines, so no safe claim rests on one engine.
+/// the parallel, POR and source-DPOR engines, so no safe claim rests on
+/// one engine — in particular, every reduced claim is crossed against
+/// unreduced legs.
 std::vector<EngineSpec> repairMatrix(int workers) {
+  using sim::ReductionMode;
+  using sim::VisitedTier;
   std::vector<EngineSpec> m;
-  m.push_back({"seq", 1, false});
-  m.push_back({"par" + std::to_string(workers), workers, false});
-  m.push_back({"por", 1, true});
-  m.push_back({"por-par" + std::to_string(workers), workers, true});
+  m.push_back({"seq", 1, ReductionMode::none, VisitedTier::exact});
+  m.push_back({"par" + std::to_string(workers), workers,
+               ReductionMode::none, VisitedTier::exact});
+  m.push_back({"por", 1, ReductionMode::persistentSet, VisitedTier::exact});
+  m.push_back({"por-par" + std::to_string(workers), workers,
+               ReductionMode::persistentSet, VisitedTier::exact});
+  m.push_back({"dpor", 1, ReductionMode::sourceDpor, VisitedTier::exact});
+  m.push_back({"dpor-c", 1, ReductionMode::sourceDpor,
+               VisitedTier::compressed});
   return m;
 }
 
@@ -256,6 +267,8 @@ CandOutcome evaluateCandidate(const sim::System& broken,
   sim::ExploreOptions eo;
   eo.maxStates = opts.maxStates;
   eo.workers = 1;
+  eo.reduction = opts.reduction;
+  eo.visitedTier = opts.visitedTier;
   eo.control = opts.control;
   const sim::ExploreResult er = sim::explore(cand, eo);
   if (er.mutexViolation) {
@@ -418,6 +431,8 @@ RepairReport repairMutualExclusion(const sim::System& broken,
     sim::ExploreOptions eo;
     eo.maxStates = opts.maxStates;
     eo.workers = 1;
+    eo.reduction = opts.reduction;
+    eo.visitedTier = opts.visitedTier;
     eo.control = opts.control;
     const sim::ExploreResult er = sim::explore(broken, eo);
     if (er.mutexViolation) {

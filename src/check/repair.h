@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "check/verdict.h"
+#include "sim/explore.h"
 #include "sim/machine.h"
 #include "sim/program.h"
 #include "util/runcontrol.h"
@@ -73,6 +74,17 @@ struct RepairOptions {
   int fuzzWorkers = 1;
   /// State cap of every exhaustive leg (step 3 and the matrix legs).
   std::uint64_t maxStates = 2'000'000;
+  /// Reduction of the step-3 exhaustive legs (the ground-truth and
+  /// per-candidate explorations).  sourceDpor preserves verdicts,
+  /// outcomes and occupancy exactly while visiting a fraction of the
+  /// states, so candidates that would cap out under full expansion can
+  /// be proven safe.  The step-4 matrix always crosses reduced legs
+  /// against unreduced ones regardless of this setting.
+  sim::ReductionMode reduction = sim::ReductionMode::sourceDpor;
+  /// Visited-set tier of the step-3 legs.  bloom is rejected here: a
+  /// lossy pass can never prove a candidate safe (CompleteLossy counts
+  /// as capped), so it would only waste the search budget.
+  sim::VisitedTier visitedTier = sim::VisitedTier::exact;
   /// Parallel worker count of the re-verification matrix (step 4 runs
   /// seq, par-N, por, por-par-N).
   int verifyWorkers = 4;

@@ -1,0 +1,317 @@
+#include "sim/dpor.h"
+
+#include <algorithm>
+
+#include "sim/explore.h"
+#include "util/check.h"
+
+namespace fencetrade::sim::detail {
+
+DporContext::DporContext(const System& sys) : model_(sys.model) {
+  const std::size_t n = sys.programs.size();
+  FT_CHECK(n <= 32) << "source-DPOR closure uses a 32-bit process mask";
+  dynamic_.assign(n, 0);
+  reads_.resize(n);
+  writes_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const Program& prog = sys.programs[p];
+    for (const Instr& ins : prog.code) {
+      const bool rd = ins.kind == InstrKind::Read ||
+                      ins.kind == InstrKind::Cas || ins.kind == InstrKind::Faa;
+      const bool wr = ins.kind == InstrKind::Write ||
+                      ins.kind == InstrKind::Cas || ins.kind == InstrKind::Faa;
+      if (!rd && !wr) continue;
+      const ExprNode& addr =
+          prog.exprs[static_cast<std::size_t>(ins.expr0)];
+      if (addr.op != ExprOp::Imm) {
+        dynamic_[p] = 1;  // computed address: may touch anything
+        continue;
+      }
+      const Reg r = static_cast<Reg>(addr.imm);
+      if (rd) reads_[p].push_back(r);
+      if (wr) writes_[p].push_back(r);
+    }
+    auto canon = [](std::vector<Reg>& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    canon(reads_[p]);
+    canon(writes_[p]);
+  }
+}
+
+bool DporContext::writesReg(ProcId q, Reg r) const {
+  const auto& w = writes_[static_cast<std::size_t>(q)];
+  return std::binary_search(w.begin(), w.end(), r);
+}
+
+bool DporContext::accessesReg(ProcId q, Reg r) const {
+  const auto& rd = reads_[static_cast<std::size_t>(q)];
+  return writesReg(q, r) || std::binary_search(rd.begin(), rd.end(), r);
+}
+
+MoveFootprint DporContext::footprint(const Config& cfg, Elem m) const {
+  if (m.second != kNoReg) return {m.second, true};  // commit writes memory
+  const ProcState& ps = cfg.procs[static_cast<std::size_t>(m.first)];
+  if (!ps.hasPending) return {kNoReg, false};
+  const WriteBuffer& wb = cfg.buffers[static_cast<std::size_t>(m.first)];
+  switch (ps.pending.kind) {
+    case InstrKind::Read:
+      // Buffer-forwarded reads never touch shared memory.
+      if (wb.containsReg(ps.pending.reg)) return {kNoReg, false};
+      return {ps.pending.reg, false};
+    case InstrKind::Write:
+      // SC writes commit in place; TSO/PSO buffer locally.
+      if (model_ == MemoryModel::SC) return {ps.pending.reg, true};
+      return {kNoReg, false};
+    case InstrKind::Fence:
+      if (wb.empty()) return {kNoReg, false};
+      return {wb.nextForcedReg(), true};  // forced drain commits
+    case InstrKind::Cas:
+    case InstrKind::Faa:
+      if (!wb.empty()) return {wb.nextForcedReg(), true};
+      return {ps.pending.reg, true};  // atomic read-modify-write
+    case InstrKind::Return:
+      return {kNoReg, false};
+    default:
+      break;
+  }
+  return {kNoReg, false};
+}
+
+bool DporContext::independent(const Config& cfg, Elem a, Elem b) const {
+  if (a == b) return false;
+  if (a.first == b.first) {
+    // Same process.  Two distinct commits only co-exist under PSO
+    // (TSO exposes only the head); popping different registers from
+    // the sorted buffer commutes.
+    if (a.second != kNoReg && b.second != kNoReg) return a.second != b.second;
+    // Program step vs own commit.
+    const Elem com = a.second != kNoReg ? a : b;
+    const ProcState& ps = cfg.procs[static_cast<std::size_t>(a.first)];
+    if (!ps.hasPending) return false;
+    switch (ps.pending.kind) {
+      case InstrKind::Read:
+        // Forwards the committed value either side of the commit; the
+        // fromBuffer flag and RMR accounting are outside behavioral
+        // state.
+        return true;
+      case InstrKind::Write:
+        // TSO appends at the tail while the commit pops the head; a
+        // PSO write to the commit's register *replaces* the entry the
+        // commit would publish — order-visible.
+        return !(model_ == MemoryModel::PSO && ps.pending.reg == com.second);
+      default:
+        // Fence/Cas/Faa force drains in register order; Return would
+        // freeze the buffer (disabling the commit).
+        return false;
+    }
+  }
+  const MoveFootprint fa = footprint(cfg, a);
+  if (fa.reg == kNoReg) return true;
+  const MoveFootprint fb = footprint(cfg, b);
+  if (fb.reg == kNoReg) return true;
+  if (fa.reg != fb.reg) return true;
+  return !(fa.writes || fb.writes);  // read-read on one register commutes
+}
+
+bool DporContext::singletonCandidate(const Config& cfg, Elem m) const {
+  const ProcId p = m.first;
+  const std::size_t n = cfg.procs.size();
+  const ProcState& ps = cfg.procs[static_cast<std::size_t>(p)];
+  const WriteBuffer& wb = cfg.buffers[static_cast<std::size_t>(p)];
+
+  if (m.second == kNoReg) {
+    if (!ps.hasPending) return false;
+    switch (ps.pending.kind) {
+      case InstrKind::Write:
+        // Buffered write: local, commutes with p's own commits (PSO
+        // re-buffering of an already-buffered register excepted).
+        return model_ != MemoryModel::SC &&
+               !(model_ == MemoryModel::PSO && wb.containsReg(ps.pending.reg));
+      case InstrKind::Fence:
+      case InstrKind::Return:
+        return wb.empty();
+      case InstrKind::Read: {
+        const Reg r = ps.pending.reg;
+        // A read of a register no other live process can write is a
+        // safe singleton whether it forwards or hits memory: outside
+        // reads commute, and p's own commits leave the observed value
+        // intact (a drained buffer publishes p's own newest value).
+        //
+        // Forwarding alone is NOT enough: p's commits — moves outside
+        // the singleton set — can drain the last entry for r, after
+        // which the read observes memory that another process's write
+        // to r may have changed (persistence fails along the drain).
+        for (std::size_t q = 0; q < n; ++q) {
+          if (static_cast<ProcId>(q) == p || cfg.procs[q].final) continue;
+          if (dynamic_[q] || writesReg(static_cast<ProcId>(q), r)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      default:
+        return false;  // Cas/Faa touch shared memory
+    }
+  }
+
+  // Commit of a register no other live process can access, provided
+  // p's pending operation does not interact with commit order.
+  const Reg r = m.second;
+  for (std::size_t q = 0; q < n; ++q) {
+    if (static_cast<ProcId>(q) == p || cfg.procs[q].final) continue;
+    if (dynamic_[q] || accessesReg(static_cast<ProcId>(q), r)) return false;
+  }
+  if (ps.hasPending) {
+    switch (ps.pending.kind) {
+      case InstrKind::Read:
+        break;  // forwards the same value either side of the commit
+      case InstrKind::Write:
+        if (model_ == MemoryModel::PSO && ps.pending.reg == r) return false;
+        break;
+      default:
+        return false;  // Fence/Cas/Faa force drains; Return freezes
+    }
+  }
+  return true;
+}
+
+void DporContext::selectMoves(const Config& cfg, const std::vector<Elem>& sleep,
+                              std::vector<Elem>& out, bool& reduced,
+                              std::uint64_t& sleptBits) {
+  out.clear();
+  reduced = false;
+  sleptBits = 0;
+  enabledMovesInto(cfg, enabledScratch_);
+  const auto& E = enabledScratch_;
+  FT_CHECK(E.size() <= 64) << "sleep mask limited to 64 enabled moves";
+  auto slept = [&](const Elem& m) {
+    return std::find(sleep.begin(), sleep.end(), m) != sleep.end();
+  };
+  auto emit = [&](std::size_t i) {
+    if (slept(E[i])) {
+      sleptBits |= std::uint64_t{1} << i;
+    } else {
+      out.push_back(E[i]);
+    }
+  };
+
+  if (E.size() <= 1) {
+    for (std::size_t i = 0; i < E.size(); ++i) emit(i);
+    return;
+  }
+
+  // 1. A provably independent singleton.
+  for (std::size_t i = 0; i < E.size(); ++i) {
+    if (singletonCandidate(cfg, E[i])) {
+      reduced = true;
+      emit(i);
+      return;
+    }
+  }
+
+  // 2. Smallest conflict-closure source set over all seed processes.
+  // A process outside the closure can neither write nor observe any
+  // register a closure move touches (its whole static future footprint
+  // is conflict-free against the set's dynamic footprints), so the
+  // closure's enabled moves form a persistent set.
+  const std::size_t n = cfg.procs.size();
+  fpScratch_.resize(E.size());
+  for (std::size_t i = 0; i < E.size(); ++i) {
+    fpScratch_[i] = footprint(cfg, E[i]);
+  }
+  std::uint32_t liveMask = 0;
+  for (std::size_t q = 0; q < n; ++q) {
+    if (!cfg.procs[q].final) liveMask |= std::uint32_t{1} << q;
+  }
+  auto countMoves = [&](std::uint32_t P) {
+    std::size_t c = 0;
+    for (const Elem& m : E) {
+      if ((P >> m.first) & 1u) ++c;
+    }
+    return c;
+  };
+  std::uint32_t bestP = liveMask;
+  std::size_t bestCount = E.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    if (cfg.procs[a].final) continue;
+    std::uint32_t P = std::uint32_t{1} << a;
+    bool changed = true;
+    while (changed && P != liveMask) {
+      changed = false;
+      for (std::size_t i = 0; i < E.size(); ++i) {
+        if (!((P >> E[i].first) & 1u)) continue;
+        const MoveFootprint fp = fpScratch_[i];
+        if (fp.reg == kNoReg) continue;
+        for (std::size_t q = 0; q < n; ++q) {
+          if ((P >> q) & 1u) continue;
+          if (!((liveMask >> q) & 1u)) continue;
+          const auto qq = static_cast<ProcId>(q);
+          if (dynamic_[q] || (fp.writes ? accessesReg(qq, fp.reg)
+                                        : writesReg(qq, fp.reg))) {
+            P |= std::uint32_t{1} << q;
+            changed = true;
+          }
+        }
+      }
+    }
+    const std::size_t c = countMoves(P);
+    if (c < bestCount) {
+      bestCount = c;
+      bestP = P;
+      if (c <= 2) break;  // won't find a smaller non-singleton closure
+    }
+  }
+
+  reduced = bestCount < E.size();
+  for (std::size_t i = 0; i < E.size(); ++i) {
+    if ((bestP >> E[i].first) & 1u) emit(i);
+  }
+}
+
+void DporContext::widen(const Config& cfg, const std::vector<Elem>& sleep,
+                        std::vector<Elem>& out) {
+  enabledMovesInto(cfg, enabledScratch_);
+  for (const Elem& m : enabledScratch_) {
+    if (std::find(out.begin(), out.end(), m) != out.end()) continue;
+    if (std::find(sleep.begin(), sleep.end(), m) != sleep.end()) continue;
+    out.push_back(m);
+  }
+}
+
+void DporContext::childSleep(const Config& cfg,
+                             const std::vector<Elem>& entrySleep,
+                             const Elem* explored, std::size_t exploredCount,
+                             Elem chosen, std::vector<Elem>& out) const {
+  out.clear();
+  for (const Elem& m : entrySleep) {
+    if (m != chosen && independent(cfg, m, chosen)) out.push_back(m);
+  }
+  for (std::size_t i = 0; i < exploredCount; ++i) {
+    const Elem& m = explored[i];
+    if (m != chosen && independent(cfg, m, chosen)) out.push_back(m);
+  }
+}
+
+std::uint64_t DporContext::reawaken(const Config& cfg,
+                                    std::uint64_t storedMask,
+                                    const std::vector<Elem>& sleep,
+                                    std::vector<Elem>& awake) {
+  if (storedMask == 0) return 0;
+  enabledMovesInto(cfg, enabledScratch_);
+  const auto& E = enabledScratch_;
+  std::uint64_t newMask = 0;
+  for (std::size_t i = 0; i < E.size(); ++i) {
+    const std::uint64_t bit = std::uint64_t{1} << i;
+    if (!(storedMask & bit)) continue;
+    if (std::find(sleep.begin(), sleep.end(), E[i]) != sleep.end()) {
+      newMask |= bit;  // still covered by the current sleep set
+    } else {
+      awake.push_back(E[i]);
+    }
+  }
+  return newMask;
+}
+
+}  // namespace fencetrade::sim::detail

@@ -1,0 +1,118 @@
+// Source-DPOR machinery (ReductionMode::sourceDpor).
+//
+// Where the persistent-set layer (explore.h, PR 2) only collapses
+// provably-local steps and sole-accessor commits, this layer computes a
+// *dynamic dependency footprint* for every enabled move — the shared
+// register it reads, writes or commits right now, including the forced
+// buffer drain a fence/CAS performs — and uses it three ways:
+//
+//   1. Singleton ample moves beyond the persistent-set classes: a
+//      buffer-forwarded read and a read of a register no other live
+//      process can write are both independent of every cross-process
+//      move and of the process's own commits.
+//   2. Conflict-closure *source sets*: starting from one process, pull
+//      in every process whose static future footprint conflicts with a
+//      dynamic footprint of the set's currently-enabled moves; the
+//      enabled moves of the closed set form a persistent set (a process
+//      outside the closure can neither affect nor observe anything the
+//      set does before the explorer gets back to it).  The smallest
+//      closure over all seeds is explored.
+//   3. A trace-theoretic independence relation for *sleep sets*
+//      (sequential explore() only): moves proven explored-elsewhere are
+//      pruned, with per-state wakeup masks so a state re-entered under
+//      a smaller sleep set re-expands exactly the difference.
+//
+// The cycle proviso and mutex-predicate visibility are enforced lazily
+// by the engines: a reduced state is *widened* back to its full enabled
+// set the moment one of its explored moves hits an already-visited
+// successor or changes its process's critical-section membership.  This
+// replaces the persistent-set layer's per-candidate execute-and-probe
+// with work the expansion loop was doing anyway.
+//
+// Soundness is established differentially: the 51-entry conformance
+// corpus and the seeded random-program differentials assert identical
+// outcome sets, verdicts and max CS occupancy against the unreduced
+// oracle at every mode x tier x workers combination.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace fencetrade::sim::detail {
+
+/// Dynamic footprint of one enabled move: the shared register the move
+/// touches *right now*, or kNoReg for a provably-local move (buffered
+/// write, buffer-forwarded read, empty-buffer fence/return).
+struct MoveFootprint {
+  Reg reg = kNoReg;
+  bool writes = false;
+};
+
+class DporContext {
+ public:
+  using Elem = std::pair<ProcId, Reg>;
+
+  explicit DporContext(const System& sys);
+
+  /// Select the moves to explore at `cfg`: a singleton independent
+  /// move, the smallest conflict-closure source set, or the full
+  /// enabled set.  Moves in `sleep` are removed from `out` (their
+  /// indices in enabled-move enumeration order are returned in
+  /// `sleptBits` so the engine can store the wakeup mask).  `reduced`
+  /// reports whether deferred moves exist — the engine must call
+  /// widen() on this state if one of the explored moves hits a visited
+  /// successor (cycle proviso) or changes CS membership (visibility).
+  void selectMoves(const Config& cfg, const std::vector<Elem>& sleep,
+                   std::vector<Elem>& out, bool& reduced,
+                   std::uint64_t& sleptBits);
+
+  /// Lazy proviso/visibility widening: append to `out` every enabled
+  /// move of `cfg` not already present and not in `sleep`.
+  void widen(const Config& cfg, const std::vector<Elem>& sleep,
+             std::vector<Elem>& out);
+
+  /// Trace-theoretic independence of two distinct moves enabled at
+  /// `cfg`: they commute (same successor state either order, modulo the
+  /// RMR accounting excluded from behavioral keys) and neither disables
+  /// the other.
+  bool independent(const Config& cfg, Elem a, Elem b) const;
+
+  /// Dynamic footprint of enabled move `m` at `cfg`.
+  MoveFootprint footprint(const Config& cfg, Elem m) const;
+
+  /// Sleep set a child inherits: every move of `entrySleep` and of the
+  /// already-explored prefix `explored[0..exploredCount)` that is
+  /// independent of `chosen` at `cfg`.  Result appended into `out`
+  /// (cleared first).
+  void childSleep(const Config& cfg, const std::vector<Elem>& entrySleep,
+                  const Elem* explored, std::size_t exploredCount, Elem chosen,
+                  std::vector<Elem>& out) const;
+
+  /// Re-entry of a visited state under a new sleep set: moves slept at
+  /// a previous visit (`storedMask`, bits in enabled-move enumeration
+  /// order) but absent from `sleep` are appended to `awake` — their
+  /// subtrees were never explored and are no longer covered elsewhere.
+  /// Returns the new mask to store (old ∩ new).
+  std::uint64_t reawaken(const Config& cfg, std::uint64_t storedMask,
+                         const std::vector<Elem>& sleep,
+                         std::vector<Elem>& awake);
+
+ private:
+  bool writesReg(ProcId q, Reg r) const;
+  bool accessesReg(ProcId q, Reg r) const;
+  /// Singleton candidate check (no visited probe — proviso is lazy).
+  bool singletonCandidate(const Config& cfg, Elem m) const;
+
+  MemoryModel model_;
+  std::vector<char> dynamic_;             // non-constant address exprs
+  std::vector<std::vector<Reg>> reads_;   // sorted static read footprint
+  std::vector<std::vector<Reg>> writes_;  // sorted static write footprint
+  std::vector<Elem> enabledScratch_;
+  std::vector<MoveFootprint> fpScratch_;
+  std::vector<std::uint8_t> ownerScratch_;  // move index -> owning proc
+};
+
+}  // namespace fencetrade::sim::detail

@@ -7,11 +7,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sim/dpor.h"
 #include "sim/explore_metrics.h"
 #include "sim/explore_parallel.h"
 #include "util/arena.h"
 #include "util/check.h"
 #include "util/checkpoint.h"
+#include "util/keystore.h"
 #include "util/sharded_set.h"
 
 namespace fencetrade::sim {
@@ -20,6 +22,13 @@ namespace detail {
 
 std::vector<std::pair<ProcId, Reg>> enabledMoves(const Config& cfg) {
   std::vector<std::pair<ProcId, Reg>> moves;
+  enabledMovesInto(cfg, moves);
+  return moves;
+}
+
+void enabledMovesInto(const Config& cfg,
+                      std::vector<std::pair<ProcId, Reg>>& moves) {
+  moves.clear();
   for (std::size_t p = 0; p < cfg.procs.size(); ++p) {
     if (cfg.procs[p].final) continue;
     moves.emplace_back(static_cast<ProcId>(p), kNoReg);
@@ -38,7 +47,6 @@ std::vector<std::pair<ProcId, Reg>> enabledMoves(const Config& cfg) {
       }
     }
   }
-  return moves;
 }
 
 int csOccupancy(const System& sys, const Config& cfg) {
@@ -89,12 +97,14 @@ bool ReductionContext::accessedByOthers(ProcId p, Reg r) const {
   return false;
 }
 
-std::vector<std::pair<ProcId, Reg>> reducedMoves(
-    const System& sys, const Config& cfg, const ReductionContext& rctx,
+void ReductionContext::reducedMovesInto(
+    const System& sys, const Config& cfg,
     const std::function<bool(std::string_view)>& visitedProbe,
-    std::string& keyScratch, Config& childScratch) {
-  std::vector<std::pair<ProcId, Reg>> moves = enabledMoves(cfg);
-  if (moves.size() <= 1) return moves;
+    std::vector<std::pair<ProcId, Reg>>& moves) {
+  std::string& keyScratch = keyScratch_;
+  Config& childScratch = childScratch_;
+  enabledMovesInto(cfg, moves);
+  if (moves.size() <= 1) return;
 
   // Shared tail of every candidate check: execute the move on a scratch
   // copy, reject it if it changes the candidate process's CS membership
@@ -117,7 +127,8 @@ std::vector<std::pair<ProcId, Reg>> reducedMoves(
     return !visitedProbe(keyScratch);
   };
 
-  for (const auto& elem : moves) {
+  for (std::size_t mi = 0; mi < moves.size(); ++mi) {
+    const std::pair<ProcId, Reg> elem = moves[mi];
     const ProcId p = elem.first;
     const ProcState& ps = cfg.procs[static_cast<std::size_t>(p)];
     const WriteBuffer& wb = cfg.buffers[static_cast<std::size_t>(p)];
@@ -154,7 +165,9 @@ std::vector<std::pair<ProcId, Reg>> reducedMoves(
           break;
       }
       if (candidate && survives(elem, /*membershipCheck=*/true)) {
-        return {elem};
+        moves[0] = elem;
+        moves.resize(1);
+        return;
       }
     } else {
       // Class 2 — commit of a register no other process can ever
@@ -162,7 +175,7 @@ std::vector<std::pair<ProcId, Reg>> reducedMoves(
       // value-invisible to p itself: a read of the register forwards
       // from the buffer exactly the value the commit publishes.  Does
       // not move the pc, so CS membership cannot change.
-      bool candidate = !rctx.accessedByOthers(p, elem.second);
+      bool candidate = !accessedByOthers(p, elem.second);
       if (candidate && ps.hasPending) {
         switch (ps.pending.kind) {
           case InstrKind::Read:
@@ -184,10 +197,19 @@ std::vector<std::pair<ProcId, Reg>> reducedMoves(
         }
       }
       if (candidate && survives(elem, /*membershipCheck=*/false)) {
-        return {elem};
+        moves[0] = elem;
+        moves.resize(1);
+        return;
       }
     }
   }
+}
+
+std::vector<std::pair<ProcId, Reg>> reducedMoves(
+    const System& sys, const Config& cfg, ReductionContext& rctx,
+    const std::function<bool(std::string_view)>& visitedProbe) {
+  std::vector<std::pair<ProcId, Reg>> moves;
+  rctx.reducedMovesInto(sys, cfg, visitedProbe, moves);
   return moves;
 }
 
@@ -205,7 +227,20 @@ double secondsSince(Clock::time_point t0) {
 struct Frame {
   Config cfg;
   std::vector<Elem> moves;
+  /// sourceDpor sequential only: the sleep set this state was entered
+  /// with (moves covered by an exploration elsewhere; pruned here).
+  std::vector<Elem> sleep;
   std::size_t next = 0;
+  /// Dense visited-set id of cfg (DeltaKeyStore); parent id for the
+  /// compressed tier's delta encoding of child keys.  kNoId under the
+  /// bloom tier.
+  std::uint32_t id = util::DeltaKeyStore::kNoId;
+  /// sourceDpor: moves beyond `moves` were deferred by the source-set
+  /// persistence argument; the frame must be widened to the full
+  /// enabled set if an explored move hits a visited successor (cycle
+  /// proviso) or changes CS membership (visibility).  Cleared once
+  /// widened.
+  bool reduced = false;
 };
 
 /// Budget-poll cadence (admitted states between deadline/memory checks).
@@ -214,19 +249,23 @@ struct Frame {
 constexpr std::uint64_t kBudgetPollPeriod = 1024;
 
 /// Payload tag of the sequential-DFS checkpoint; bump on any schema
-/// change so stale files are rejected instead of misparsed.
-constexpr std::string_view kExploreCkptKind = "explore-dfs/1";
+/// change so stale files are rejected instead of misparsed.  v2 added
+/// the reduction-mode/visited-tier fingerprint bytes, dense-id key
+/// ordering, per-frame sleep sets and the sleep wakeup-mask table.
+constexpr std::string_view kExploreCkptKind = "explore-dfs/2";
 
 /// Fingerprint binding a checkpoint to the system and the exploration
 /// flags that shape the traversal.  Resuming under different flags (or
-/// a different lock/model/n) would silently diverge, so the engine
-/// refuses instead.
+/// a different lock/model/n — or a different reduction mode / visited
+/// tier, which walk different graphs) would silently diverge, so the
+/// engine refuses instead.
 std::uint64_t exploreFingerprint(const ExploreOptions& opts,
                                  std::string_view initKey) {
   std::string tag(initKey);
   tag.push_back(opts.checkMutualExclusion ? '\1' : '\0');
   tag.push_back(opts.stopOnViolation ? '\1' : '\0');
-  tag.push_back(opts.reduction ? '\1' : '\0');
+  tag.push_back(static_cast<char>(opts.reduction));
+  tag.push_back(static_cast<char>(opts.visitedTier));
   return util::fnv1a64(tag);
 }
 
@@ -249,30 +288,60 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     mids = detail::registerEngineMetrics(*opts.metrics);
     shard = opts.metrics->attach();
   }
+  const ReductionMode rmode = opts.reduction;
+  const VisitedTier tier = opts.visitedTier;
+  const bool bloomTier = tier == VisitedTier::bloom;
+  const bool compressedTier = tier == VisitedTier::compressed;
+  // Sleep sets need per-state wakeup masks keyed by dense visited ids,
+  // which the lossy bloom tier cannot provide.
+  const bool sleepOn = rmode == ReductionMode::sourceDpor && !bloomTier;
+  FT_CHECK(!bloomTier ||
+           (opts.resumeFrom == nullptr && opts.checkpointOut == nullptr))
+      << "explore: the bloom tier stores no keys, so it cannot be "
+         "checkpointed or resumed";
+
   // Visited set keyed by the canonical serialized state, not its 64-bit
-  // hash: equality compares full keys, so a hash collision costs a
-  // bucket probe instead of silently pruning a state (soundness).  The
-  // set holds string_views into an arena; probes go through the reusable
-  // serialization buffer, so the common already-visited case allocates
-  // nothing and a first visit costs one arena bump-copy.
-  std::unordered_set<std::string_view, util::StateKeyHash> visited(
-      /*bucket_count=*/1024, util::StateKeyHash{opts.debugStateHash});
-  util::KeyArena arena;
+  // hash: under the exact and compressed tiers equality compares full
+  // (reconstructed) keys, so a hash collision costs a bucket probe
+  // instead of silently pruning a state (soundness).  The compressed
+  // tier delta-encodes each key against its DFS parent's key.  The
+  // bloom tier IS allowed to prune on collisions — which is why a clean
+  // drain under it finishes CompleteLossy, not Complete.
+  util::DeltaKeyStore store(opts.debugStateHash);
+  std::unique_ptr<util::AtomicBloomFilter> bloom;
+  if (bloomTier) {
+    bloom = std::make_unique<util::AtomicBloomFilter>(opts.bloomBits,
+                                                      opts.debugStateHash);
+  }
+  auto visitedBytes = [&]() -> std::uint64_t {
+    return bloomTier ? bloom->bytes() : store.bytes();
+  };
+  std::vector<std::uint64_t> sleptMasks;  // by visited id (sleepOn only)
+
+  // DFS stack with slot reuse: frames are never destroyed on pop, so a
+  // re-pushed depth level reuses its vectors' capacity and the per-edge
+  // child construction is a capacity-reusing copy-assign — steady-state
+  // expansion performs no allocation.
   std::vector<Frame> stack;
+  std::size_t depth = 0;
   std::vector<Elem> path;
   std::string keyBuf;
   std::vector<Value> retvals;
+  std::vector<Elem> sleepScratch;  // entry sleep of the child under entry
+  std::vector<Elem> awakeScratch;
 
-  const bool reduce = opts.reduction;
   std::unique_ptr<detail::ReductionContext> rctx;
-  std::string porKey;
-  Config porChild;
+  std::unique_ptr<detail::DporContext> dctx;
   std::function<bool(std::string_view)> probe;
-  if (reduce) {
+  if (rmode == ReductionMode::persistentSet) {
     rctx = std::make_unique<detail::ReductionContext>(sys);
-    probe = [&visited](std::string_view k) {
-      return visited.find(k) != visited.end();
+    probe = [&](std::string_view k) {
+      // Under bloom a maybe-present answer only rejects an ample
+      // candidate — conservative, still sound.
+      return bloomTier ? bloom->contains(k) : store.contains(k);
     };
+  } else if (rmode == ReductionMode::sourceDpor) {
+    dctx = std::make_unique<detail::DporContext>(sys);
   }
 
   // Shard contents trail the plain wt counters: deltas are flushed only
@@ -287,34 +356,86 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
                          ? static_cast<double>(res.statesVisited) /
                                u.elapsedSeconds
                          : 0.0;
-    u.frontier = stack.size();
+    u.frontier = depth;
     u.dedupProbes = wt.dedupProbes;
     u.dedupHits = wt.dedupHits;
-    u.arenaBytes = arena.bytes();
+    u.arenaBytes = visitedBytes();
     u.reductionSingletons = wt.reductionSingletons;
     u.reductionFull = wt.reductionFull;
     u.workers = 1;
     if (shard) {
       detail::flushWorkerMetrics(shard, mids, wt, flushed);
-      shard->set(mids.frontier, static_cast<std::int64_t>(stack.size()));
-      shard->set(mids.arenaBytes, static_cast<std::int64_t>(arena.bytes()));
+      shard->set(mids.frontier, static_cast<std::int64_t>(depth));
+      shard->set(mids.arenaBytes, static_cast<std::int64_t>(visitedBytes()));
+      detail::setTierGauges(shard, mids, bloomTier ? 0 : store.fullBytes(),
+                            bloomTier ? 0 : store.deltaBytes(),
+                            bloomTier ? bloom->bytes() : 0);
     }
     opts.progress(u);
   };
 
-  auto enter = [&](Config cfg) -> bool {
-    // Returns false when the state was seen before or is terminal.
-    // One serialization pass yields the visited-set key, the terminal
-    // flag and (for terminal states) the outcome vector.
-    const bool terminal = cfg.behavioralKeyInto(keyBuf, &retvals);
+  // Enter the candidate child config sitting in stack[depth].cfg (a
+  // reused scratch slot; sleepScratch holds its entry sleep set).
+  // Returns true iff a frame was pushed, i.e. depth advanced.  One
+  // serialization pass yields the visited-set key, the terminal flag
+  // and (for terminal states) the outcome vector.
+  auto enter = [&](bool hasParent) -> bool {
+    Frame& f = stack[depth];
+    const bool terminal = f.cfg.behavioralKeyInto(keyBuf, &retvals);
     ++wt.dedupProbes;
-    if (visited.find(keyBuf) != visited.end()) {
+    bool fresh;
+    std::uint32_t id = util::DeltaKeyStore::kNoId;
+    if (bloomTier) {
+      fresh = bloom->insert(keyBuf);
+    } else {
+      const std::uint32_t parentId =
+          (compressedTier && hasParent) ? stack[depth - 1].id
+                                        : util::DeltaKeyStore::kNoId;
+      const auto r = store.insert(keyBuf, parentId);
+      fresh = r.fresh;
+      id = r.id;
+    }
+    if (!fresh) {
       ++wt.dedupHits;
+      // Lazy cycle proviso: a reduced parent just reached an
+      // already-visited state, so a deferred move could be ignored
+      // forever around a cycle of the reduced graph.  Widen the parent
+      // to its full enabled set (minus its sleep set) — equivalent to
+      // having expanded it fully, and the frame is still on the stack.
+      if (hasParent && stack[depth - 1].reduced) {
+        Frame& par = stack[depth - 1];
+        dctx->widen(par.cfg, par.sleep, par.moves);
+        par.reduced = false;
+        ++wt.provisoWidenings;
+      }
+      // Sleep wakeup (Godefroid state matching): if the state was first
+      // expanded with some moves slept that this entry does NOT sleep,
+      // those subtrees were never explored anywhere — re-expand exactly
+      // the newly awake moves as a fresh frame.
+      if (sleepOn && sleptMasks[id] != 0) {
+        awakeScratch.clear();
+        const std::uint64_t newMask =
+            dctx->reawaken(f.cfg, sleptMasks[id], sleepScratch, awakeScratch);
+        sleptMasks[id] = newMask;
+        if (!awakeScratch.empty()) {
+          f.moves.assign(awakeScratch.begin(), awakeScratch.end());
+          f.sleep.assign(sleepScratch.begin(), sleepScratch.end());
+          f.next = 0;
+          f.id = id;
+          f.reduced = false;
+          ++wt.expansions;
+          ++depth;
+          if (depth > res.telemetry.peakFrontier) {
+            res.telemetry.peakFrontier = depth;
+          }
+          return true;
+        }
+      }
       return false;
     }
-    visited.insert(arena.intern(keyBuf));
     ++res.statesVisited;
     ++wt.statesAdmitted;
+    if (sleepOn) sleptMasks.push_back(0);  // id == sleptMasks.size()-1
     if (res.stopReason == util::StopReason::Complete) {
       // First trip wins; cancellation is checked on every admission,
       // the clock/memory budgets at kBudgetPollPeriod cadence.
@@ -324,7 +445,7 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
         res.stopReason = util::StopReason::Cancelled;
       } else if (opts.control.active() &&
                  res.statesVisited % kBudgetPollPeriod == 0) {
-        res.stopReason = opts.control.poll(arena.bytes());
+        res.stopReason = opts.control.poll(visitedBytes());
       }
     }
     if (opts.progress && res.statesVisited % opts.progressInterval == 0) {
@@ -332,7 +453,7 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     }
 
     if (opts.checkMutualExclusion) {
-      const int occ = detail::csOccupancy(sys, cfg);
+      const int occ = detail::csOccupancy(sys, f.cfg);
       if (occ > res.maxCsOccupancy) res.maxCsOccupancy = occ;
       if (occ >= 2 && !res.mutexViolation) {
         res.mutexViolation = true;
@@ -343,22 +464,42 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
       res.outcomes.insert(retvals);
       return false;  // terminal: nothing to expand
     }
-    Frame f;
-    f.moves = reduce ? detail::reducedMoves(sys, cfg, *rctx, probe, porKey,
-                                            porChild)
-                     : detail::enabledMoves(cfg);
-    ++wt.expansions;
-    if (reduce) {
+    f.next = 0;
+    f.id = id;
+    f.reduced = false;
+    if (rmode == ReductionMode::sourceDpor) {
+      std::uint64_t sleptBits = 0;
+      dctx->selectMoves(f.cfg, sleepScratch, f.moves, f.reduced, sleptBits);
+      if (sleepOn && sleptBits != 0) {
+        sleptMasks[id] = sleptBits;
+        std::uint64_t b = sleptBits;
+        while (b != 0) {
+          ++wt.sleepPruned;
+          b &= b - 1;
+        }
+      }
+      if (f.reduced) {
+        ++wt.reductionSingletons;  // "expansions via a reduced set"
+      } else {
+        ++wt.reductionFull;
+      }
+      f.sleep.assign(sleepScratch.begin(), sleepScratch.end());
+    } else if (rmode == ReductionMode::persistentSet) {
+      rctx->reducedMovesInto(sys, f.cfg, probe, f.moves);
       if (f.moves.size() == 1) {
         ++wt.reductionSingletons;
       } else {
         ++wt.reductionFull;
       }
+      f.sleep.clear();
+    } else {
+      detail::enabledMovesInto(f.cfg, f.moves);
+      f.sleep.clear();
     }
-    f.cfg = std::move(cfg);
-    stack.push_back(std::move(f));
-    if (stack.size() > res.telemetry.peakFrontier) {
-      res.telemetry.peakFrontier = stack.size();
+    ++wt.expansions;
+    ++depth;
+    if (depth > res.telemetry.peakFrontier) {
+      res.telemetry.peakFrontier = depth;
     }
     return true;
   };
@@ -406,46 +547,80 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     wt.expansions = ck.getU64();
     wt.reductionSingletons = ck.getU64();
     wt.reductionFull = ck.getU64();
+    wt.sleepPruned = ck.getU64();
+    wt.provisoWidenings = ck.getU64();
     res.telemetry.peakFrontier = ck.getU64();
+    // Keys are serialized in dense-id order; re-inserting in that order
+    // reproduces every id, so the wakeup masks and frame ids below stay
+    // valid.  Under the compressed tier each key delta-encodes against
+    // the previously inserted one — not the original DFS parent, but a
+    // behaviorally adjacent key, so compression survives resume.
     const std::uint64_t keyCount = ck.getU64();
-    visited.reserve(keyCount);
     for (std::uint64_t i = 0; i < keyCount; ++i) {
-      visited.insert(arena.intern(ck.getBytes()));
+      const std::uint32_t parentId =
+          (compressedTier && i > 0) ? static_cast<std::uint32_t>(i - 1)
+                                    : util::DeltaKeyStore::kNoId;
+      const auto r = store.insert(ck.getBytes(), parentId);
+      FT_CHECK(r.fresh && r.id == i)
+          << "explore: duplicate key in checkpoint";
+    }
+    if (sleepOn) sleptMasks.assign(keyCount, 0);
+    const std::uint64_t maskCount = ck.getU64();
+    for (std::uint64_t i = 0; i < maskCount; ++i) {
+      const std::uint64_t id = ck.getU64();
+      const std::uint64_t mask = ck.getU64();
+      FT_CHECK(sleepOn && id < sleptMasks.size())
+          << "explore: stray wakeup mask in checkpoint";
+      sleptMasks[id] = mask;
     }
     const std::uint64_t frameCount = ck.getU64();
-    stack.reserve(frameCount);
+    stack.resize(frameCount);
     for (std::uint64_t i = 0; i < frameCount; ++i) {
-      Frame f;
+      Frame& f = stack[i];
       const std::uint64_t moveCount = ck.getU64();
+      f.moves.clear();
       f.moves.reserve(moveCount);
       for (std::uint64_t m = 0; m < moveCount; ++m) {
         const auto p = static_cast<ProcId>(ck.getI64());
         const auto r = static_cast<Reg>(ck.getI64());
         f.moves.emplace_back(p, r);
       }
+      const std::uint64_t sleepCount = ck.getU64();
+      f.sleep.clear();
+      f.sleep.reserve(sleepCount);
+      for (std::uint64_t m = 0; m < sleepCount; ++m) {
+        const auto p = static_cast<ProcId>(ck.getI64());
+        const auto r = static_cast<Reg>(ck.getI64());
+        f.sleep.emplace_back(p, r);
+      }
       f.next = ck.getU64();
-      stack.push_back(std::move(f));
+      f.id = static_cast<std::uint32_t>(ck.getU64());
+      f.reduced = ck.getBool();
     }
     FT_CHECK(ck.atEnd()) << "explore: trailing bytes in checkpoint";
     // Rebuild frame configs (and the shared path) by replaying each
     // frame's last-chosen move.  Every frame below the top must have
     // chosen one (that is how its successor got pushed).
-    if (!stack.empty()) {
+    if (frameCount > 0) {
       stack[0].cfg = std::move(init);
-      for (std::size_t k = 0; k + 1 < stack.size(); ++k) {
+      for (std::size_t k = 0; k + 1 < frameCount; ++k) {
         FT_CHECK(stack[k].next >= 1 && stack[k].next <= stack[k].moves.size())
             << "explore: corrupt frame cursor in checkpoint";
         const Elem chosen = stack[k].moves[stack[k].next - 1];
-        Config child = stack[k].cfg;
-        auto step = execElem(sys, child, chosen.first, chosen.second);
+        stack[k + 1].cfg = stack[k].cfg;
+        auto step =
+            execElem(sys, stack[k + 1].cfg, chosen.first, chosen.second);
         FT_CHECK(step.has_value())
             << "explore: checkpointed move no longer executable";
         path.push_back(chosen);
-        stack[k + 1].cfg = std::move(child);
       }
     }
+    depth = frameCount;
   } else {
-    enter(std::move(init));
+    stack.emplace_back();
+    stack[0].cfg = std::move(init);
+    sleepScratch.clear();
+    enter(/*hasParent=*/false);
   }
 
   auto writeCheckpoint = [&]() {
@@ -470,39 +645,92 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     w.putU64(wt.expansions);
     w.putU64(wt.reductionSingletons);
     w.putU64(wt.reductionFull);
+    w.putU64(wt.sleepPruned);
+    w.putU64(wt.provisoWidenings);
     w.putU64(res.telemetry.peakFrontier);
-    w.putU64(visited.size());
-    for (const std::string_view k : visited) w.putBytes(k);
-    w.putU64(stack.size());
-    for (const Frame& f : stack) {
+    w.putU64(store.size());
+    std::string tmp;
+    for (std::uint32_t id = 0; id < store.size(); ++id) {
+      store.reconstruct(id, tmp);
+      w.putBytes(tmp);
+    }
+    std::uint64_t maskCount = 0;
+    for (const std::uint64_t m : sleptMasks) {
+      if (m != 0) ++maskCount;
+    }
+    w.putU64(maskCount);
+    for (std::size_t id = 0; id < sleptMasks.size(); ++id) {
+      if (sleptMasks[id] == 0) continue;
+      w.putU64(id);
+      w.putU64(sleptMasks[id]);
+    }
+    w.putU64(depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+      const Frame& f = stack[i];
       w.putU64(f.moves.size());
       for (const auto& [p, r] : f.moves) {
         w.putI64(p);
         w.putI64(r);
       }
+      w.putU64(f.sleep.size());
+      for (const auto& [p, r] : f.sleep) {
+        w.putI64(p);
+        w.putI64(r);
+      }
       w.putU64(f.next);
+      w.putU64(f.id);
+      w.putBool(f.reduced);
     }
     *opts.checkpointOut = w.finish(kExploreCkptKind);
   };
 
-  while (!stack.empty()) {
+  while (depth > 0) {
     if (res.stopReason != util::StopReason::Complete) break;
     if (res.mutexViolation && opts.stopOnViolation) break;
-    Frame& top = stack.back();
+    if (depth == stack.size()) stack.emplace_back();  // child scratch slot
+    Frame& top = stack[depth - 1];
     if (top.next >= top.moves.size()) {
-      stack.pop_back();
+      --depth;
       if (!path.empty()) path.pop_back();
       continue;
     }
     const Elem elem = top.moves[top.next++];
-    Config child = top.cfg;  // copy, then apply the move
-    auto step = execElem(sys, child, elem.first, elem.second);
+    Frame& child = stack[depth];
+    child.cfg = top.cfg;  // capacity-reusing copy, then apply the move
+    auto step = execElem(sys, child.cfg, elem.first, elem.second);
     FT_CHECK(step.has_value()) << "explore: move produced no step";
+    // Lazy visibility proviso: a reduced source set must not hide a
+    // CS-membership change from the deferred interleavings, or the
+    // occupancy maximum could be under-reported.
+    if (top.reduced && elem.second == kNoReg && opts.checkMutualExclusion &&
+        inCriticalSection(sys, top.cfg, elem.first) !=
+            inCriticalSection(sys, child.cfg, elem.first)) {
+      dctx->widen(top.cfg, top.sleep, top.moves);
+      top.reduced = false;
+      ++wt.provisoWidenings;
+    }
+    if (sleepOn) {
+      dctx->childSleep(top.cfg, top.sleep, top.moves.data(), top.next - 1,
+                       elem, sleepScratch);
+    } else {
+      sleepScratch.clear();
+    }
     path.push_back(elem);
-    if (!enter(std::move(child))) path.pop_back();
+    if (!enter(/*hasParent=*/true)) path.pop_back();
   }
 
-  if (opts.checkpointOut && res.stopReason != util::StopReason::Complete) {
+  if (depth == 0 && bloomTier &&
+      res.stopReason == util::StopReason::Complete) {
+    // The frontier drained, but the bloom tier may have pruned a real
+    // state behind a filter collision: a clean pass is lossy-complete
+    // (INCONCLUSIVE downstream), never Complete.  A violation found
+    // under bloom is still a real, replayable result — only the claim
+    // of having seen *every* state is downgraded.
+    res.stopReason = util::StopReason::CompleteLossy;
+  }
+
+  if (opts.checkpointOut && res.stopReason != util::StopReason::Complete &&
+      res.stopReason != util::StopReason::CompleteLossy) {
     // The loop only exits at a frame boundary, so the serialized
     // (visited, stack, counters) triple is exactly the resumable state.
     writeCheckpoint();
@@ -511,13 +739,22 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
   res.telemetry.wallSeconds = secondsSince(t0);
   res.telemetry.dedupProbes = wt.dedupProbes;
   res.telemetry.dedupHits = wt.dedupHits;
-  res.telemetry.arenaBytes = arena.bytes();
+  res.telemetry.arenaBytes = visitedBytes();
   res.telemetry.reductionSingletons = wt.reductionSingletons;
   res.telemetry.reductionFull = wt.reductionFull;
+  res.telemetry.sleepPruned = wt.sleepPruned;
+  res.telemetry.provisoWidenings = wt.provisoWidenings;
+  res.telemetry.visitedFullKeyBytes = bloomTier ? 0 : store.fullBytes();
+  res.telemetry.visitedDeltaBytes = bloomTier ? 0 : store.deltaBytes();
+  res.telemetry.visitedBloomBytes = bloomTier ? bloom->bytes() : 0;
+  res.telemetry.visitedDeltaKeys = bloomTier ? 0 : store.deltaCount();
   if (shard) {
     detail::flushWorkerMetrics(shard, mids, wt, flushed);
     shard->set(mids.frontier, 0);
-    shard->set(mids.arenaBytes, static_cast<std::int64_t>(arena.bytes()));
+    shard->set(mids.arenaBytes, static_cast<std::int64_t>(visitedBytes()));
+    detail::setTierGauges(shard, mids, res.telemetry.visitedFullKeyBytes,
+                          res.telemetry.visitedDeltaBytes,
+                          res.telemetry.visitedBloomBytes);
   }
   return res;
 }
@@ -537,28 +774,33 @@ LivenessResult checkLiveness(const System& sys,
     shard = opts.metrics->attach();
   }
 
+  const ReductionMode rmode = opts.reduction;
+  FT_CHECK(opts.visitedTier != VisitedTier::bloom)
+      << "checkLiveness: the liveness graph needs exact per-state ids; "
+         "the lossy bloom tier cannot provide them";
+  const bool compressedTier = opts.visitedTier == VisitedTier::compressed;
+
   // Forward exploration building the reversed edge relation.  Interning
-  // is keyed by the canonical serialized state (see explore()), stored
-  // as arena-backed string_views probed through a reusable buffer.
-  std::unordered_map<std::string_view, std::uint32_t, util::StateKeyHash>
-      index(/*bucket_count=*/1024, util::StateKeyHash{});
-  util::KeyArena arena;
+  // is keyed by the canonical serialized state (see explore()); the
+  // store's dense ids double as the graph's node ids, and under the
+  // compressed tier each child key delta-encodes against its BFS
+  // parent's key.
+  util::DeltaKeyStore store;
   std::vector<std::vector<std::uint32_t>> preds;
   std::vector<char> terminal;
   std::vector<Config> frontier;  // configs awaiting expansion
   std::vector<std::uint32_t> frontierIdx;
   std::string keyBuf;
 
-  const bool reduce = opts.reduction;
   std::unique_ptr<detail::ReductionContext> rctx;
-  std::string porKey;
-  Config porChild;
+  std::unique_ptr<detail::DporContext> dctx;
   std::function<bool(std::string_view)> probe;
-  if (reduce) {
+  const std::vector<Elem> noSleep;  // liveness never uses sleep sets
+  if (rmode == ReductionMode::persistentSet) {
     rctx = std::make_unique<detail::ReductionContext>(sys);
-    probe = [&index](std::string_view k) {
-      return index.find(k) != index.end();
-    };
+    probe = [&store](std::string_view k) { return store.contains(k); };
+  } else if (rmode == ReductionMode::sourceDpor) {
+    dctx = std::make_unique<detail::DporContext>(sys);
   }
 
   // As in explore(): shard deltas are flushed at heartbeat boundaries
@@ -575,54 +817,65 @@ LivenessResult checkLiveness(const System& sys,
     u.frontier = frontier.size();
     u.dedupProbes = wt.dedupProbes;
     u.dedupHits = wt.dedupHits;
-    u.arenaBytes = arena.bytes();
+    u.arenaBytes = store.bytes();
     u.reductionSingletons = wt.reductionSingletons;
     u.reductionFull = wt.reductionFull;
     u.workers = 1;
     if (shard) {
       detail::flushWorkerMetrics(shard, mids, wt, flushed);
       shard->set(mids.frontier, static_cast<std::int64_t>(frontier.size()));
-      shard->set(mids.arenaBytes, static_cast<std::int64_t>(arena.bytes()));
+      shard->set(mids.arenaBytes, static_cast<std::int64_t>(store.bytes()));
+      detail::setTierGauges(shard, mids, store.fullBytes(),
+                            store.deltaBytes(), 0);
     }
     opts.progress(u);
   };
 
-  auto intern = [&](const Config& cfg) -> std::pair<std::uint32_t, bool> {
+  auto intern = [&](const Config& cfg,
+                    std::uint32_t parentId) -> std::pair<std::uint32_t, bool> {
     cfg.behavioralKeyInto(keyBuf);
     ++wt.dedupProbes;
-    auto it = index.find(keyBuf);
-    if (it != index.end()) {
+    const auto r =
+        store.insert(keyBuf, compressedTier ? parentId
+                                            : util::DeltaKeyStore::kNoId);
+    if (!r.fresh) {
       ++wt.dedupHits;
-      return {it->second, false};
+      return {r.id, false};
     }
-    const auto id = static_cast<std::uint32_t>(preds.size());
-    index.emplace(arena.intern(keyBuf), id);
+    FT_CHECK(r.id == preds.size()) << "liveness: id/graph desync";
     preds.emplace_back();
     terminal.push_back(allFinal(cfg) ? 1 : 0);
     ++wt.statesAdmitted;
     if (opts.progress && preds.size() % opts.progressInterval == 0) {
       fireProgress();
     }
-    return {id, true};
+    return {r.id, true};
   };
 
   auto finishTelemetry = [&]() {
     res.telemetry.wallSeconds = secondsSince(t0);
     res.telemetry.dedupProbes = wt.dedupProbes;
     res.telemetry.dedupHits = wt.dedupHits;
-    res.telemetry.arenaBytes = arena.bytes();
+    res.telemetry.arenaBytes = store.bytes();
     res.telemetry.reductionSingletons = wt.reductionSingletons;
     res.telemetry.reductionFull = wt.reductionFull;
+    res.telemetry.sleepPruned = wt.sleepPruned;
+    res.telemetry.provisoWidenings = wt.provisoWidenings;
+    res.telemetry.visitedFullKeyBytes = store.fullBytes();
+    res.telemetry.visitedDeltaBytes = store.deltaBytes();
+    res.telemetry.visitedDeltaKeys = store.deltaCount();
     if (shard) {
       detail::flushWorkerMetrics(shard, mids, wt, flushed);
       shard->set(mids.frontier, 0);
-      shard->set(mids.arenaBytes, static_cast<std::int64_t>(arena.bytes()));
+      shard->set(mids.arenaBytes, static_cast<std::int64_t>(store.bytes()));
+      detail::setTierGauges(shard, mids, store.fullBytes(),
+                            store.deltaBytes(), 0);
     }
   };
 
   {
     Config init = initialConfig(sys);
-    auto [idx, fresh] = intern(init);
+    auto [idx, fresh] = intern(init, util::DeltaKeyStore::kNoId);
     frontier.push_back(std::move(init));
     frontierIdx.push_back(idx);
   }
@@ -640,7 +893,7 @@ LivenessResult checkLiveness(const System& sys,
       return res;
     }
     if (opts.control.active() && ++pollCounter % kBudgetPollPeriod == 0) {
-      const util::StopReason rsn = opts.control.poll(arena.bytes());
+      const util::StopReason rsn = opts.control.poll(store.bytes());
       if (rsn != util::StopReason::Complete) {
         res.stopReason = rsn;
         finishTelemetry();
@@ -656,24 +909,43 @@ LivenessResult checkLiveness(const System& sys,
     frontierIdx.pop_back();
     if (terminal[from]) continue;
 
-    const std::vector<Elem> moves =
-        reduce ? detail::reducedMoves(sys, cfg, *rctx, probe, porKey,
-                                      porChild)
-               : detail::enabledMoves(cfg);
-    ++wt.expansions;
-    if (reduce) {
+    std::vector<Elem> moves;
+    bool reduced = false;
+    if (rmode == ReductionMode::sourceDpor) {
+      std::uint64_t sleptBits = 0;  // always 0: noSleep is empty
+      dctx->selectMoves(cfg, noSleep, moves, reduced, sleptBits);
+      if (reduced) {
+        ++wt.reductionSingletons;
+      } else {
+        ++wt.reductionFull;
+      }
+    } else if (rmode == ReductionMode::persistentSet) {
+      rctx->reducedMovesInto(sys, cfg, probe, moves);
       if (moves.size() == 1) {
         ++wt.reductionSingletons;
       } else {
         ++wt.reductionFull;
       }
+    } else {
+      detail::enabledMovesInto(cfg, moves);
     }
-    for (const auto& [p, r] : moves) {
+    ++wt.expansions;
+    // Index loop: the lazy cycle proviso below may append to `moves`.
+    for (std::size_t mi = 0; mi < moves.size(); ++mi) {
+      const Elem elem = moves[mi];
       Config child = cfg;
-      auto step = execElem(sys, child, p, r);
+      auto step = execElem(sys, child, elem.first, elem.second);
       FT_CHECK(step.has_value()) << "liveness: move produced no step";
-      auto [to, fresh] = intern(child);
+      auto [to, fresh] = intern(child, from);
       preds[to].push_back(from);
+      if (!fresh && reduced) {
+        // Lazy cycle proviso (source-DPOR): a reduced expansion reached
+        // an already-interned state; widen this state to its full
+        // enabled set so deferred moves are not ignored around a cycle.
+        dctx->widen(cfg, noSleep, moves);
+        reduced = false;
+        ++wt.provisoWidenings;
+      }
       if (fresh) {
         frontier.push_back(std::move(child));
         frontierIdx.push_back(to);

@@ -8,13 +8,26 @@
 //   * search for minimal fence placements (EXP-SEP).
 //
 // With ExploreOptions::reduction the explorer applies a sound
-// persistent-set partial-order reduction (see detail::reducedMoves):
-// it exploits that a commit move (p, R) commutes with every move of a
-// process q ≠ p that does not access R, and that local-only program
-// steps (buffered writes, empty-buffer fences, returns) are invisible
-// to other processes.  The reduction preserves the outcome set, the
-// mutual-exclusion verdict (and max CS occupancy) and the liveness
-// verdict exactly; it shrinks the number of distinct states visited.
+// partial-order reduction.  Two modes exist (see ReductionMode):
+//   * persistentSet — the PR 2 layer (detail::reducedMoves): singleton
+//     ample sets of provably-local steps and sole-accessor commits.
+//   * sourceDpor — dynamic dependency footprints per enabled move
+//     (variable read/write/commit sets including forced buffer
+//     drains), conflict-closure source sets, and — in the sequential
+//     engine — sleep sets with per-state wakeup masks (see
+//     sim/dpor.h).  The cycle proviso and property visibility are
+//     enforced lazily: when a chosen move's successor is already
+//     visited or the move flips CS membership, the state is re-widened
+//     to its full enabled set before it is popped.
+// Both modes preserve the outcome set, the mutual-exclusion verdict
+// (and max CS occupancy) and the liveness verdict exactly; they shrink
+// the number of distinct states visited.
+//
+// Orthogonally, VisitedTier selects how visited-set keys are stored:
+// exact (arena-interned full keys), compressed (delta-encoded against
+// the DFS parent — exact membership, smaller), or bloom (lossy
+// bitstate; a clean finish reports StopReason::CompleteLossy and can
+// never be a Pass).
 #pragma once
 
 #include <cstdint>
@@ -30,6 +43,41 @@
 #include "util/runcontrol.h"
 
 namespace fencetrade::sim {
+
+/// Partial-order reduction applied by the exploration engines.
+enum class ReductionMode : std::uint8_t {
+  none = 0,           ///< full enabled set at every state (the oracle)
+  persistentSet = 1,  ///< PR 2 singleton ample sets (detail::reducedMoves)
+  sourceDpor = 2,     ///< dynamic footprints + source sets + sleep sets
+};
+
+inline const char* reductionModeName(ReductionMode m) {
+  switch (m) {
+    case ReductionMode::none: return "none";
+    case ReductionMode::persistentSet: return "persistent-set";
+    case ReductionMode::sourceDpor: return "source-dpor";
+  }
+  return "?";
+}
+
+/// Visited-set storage tier.  exact and compressed are both
+/// membership-exact (compressed trades CPU on dedup hits for
+/// delta-encoded key storage); bloom is lossy and demotes a clean
+/// finish to StopReason::CompleteLossy (INCONCLUSIVE, never Pass).
+enum class VisitedTier : std::uint8_t {
+  exact = 0,
+  compressed = 1,
+  bloom = 2,
+};
+
+inline const char* visitedTierName(VisitedTier t) {
+  switch (t) {
+    case VisitedTier::exact: return "exact";
+    case VisitedTier::compressed: return "compressed";
+    case VisitedTier::bloom: return "bloom";
+  }
+  return "?";
+}
 
 // ---------------------------------------------------------------------------
 // Exploration telemetry.
@@ -51,8 +99,10 @@ struct WorkerTelemetry {
   std::uint64_t expansions = 0;      ///< states whose moves were expanded
   std::uint64_t steals = 0;          ///< tasks taken from another worker
   std::uint64_t idleSpins = 0;       ///< empty pop attempts while draining
-  std::uint64_t reductionSingletons = 0;  ///< expansions via a singleton set
+  std::uint64_t reductionSingletons = 0;  ///< expansions via a reduced set
   std::uint64_t reductionFull = 0;        ///< expansions with the full set
+  std::uint64_t sleepPruned = 0;       ///< moves pruned by sleep sets
+  std::uint64_t provisoWidenings = 0;  ///< lazy proviso/visibility widenings
   /// Set by the heartbeat-staleness watchdog (RunControl::
   /// stallTimeoutSeconds) when this worker stopped making progress and
   /// the run was cancelled instead of hanging.  Always false otherwise.
@@ -65,9 +115,24 @@ struct ExploreTelemetry {
   std::uint64_t dedupProbes = 0;   ///< sum over workers
   std::uint64_t dedupHits = 0;
   std::uint64_t peakFrontier = 0;  ///< max pending states (stack/deques)
-  std::uint64_t arenaBytes = 0;    ///< interned visited-set key bytes
+  /// Total visited-set key bytes (sum of the per-tier gauges below;
+  /// this is also what RunControl::memBudgetBytes is checked against).
+  std::uint64_t arenaBytes = 0;
+  /// Per-tier breakdown of arenaBytes: bytes stored as full keyframes,
+  /// as delta hunks against a parent key, and as the bloom bitmap.
+  /// exact tier: everything lands in visitedFullKeyBytes.
+  std::uint64_t visitedFullKeyBytes = 0;
+  std::uint64_t visitedDeltaBytes = 0;
+  std::uint64_t visitedBloomBytes = 0;
+  /// compressed tier: how many keys are delta-encoded (vs keyframes).
+  std::uint64_t visitedDeltaKeys = 0;
   std::uint64_t reductionSingletons = 0;
   std::uint64_t reductionFull = 0;
+  /// sourceDpor only: moves pruned by sleep sets, and states re-widened
+  /// to their full enabled set by the lazy cycle proviso / visibility
+  /// check.
+  std::uint64_t sleepPruned = 0;
+  std::uint64_t provisoWidenings = 0;
   std::vector<WorkerTelemetry> workers;
 
   double statesPerSec(std::uint64_t states) const {
@@ -135,13 +200,19 @@ struct ExploreOptions {
   /// serialized state (Config::behavioralKey), so hash collisions can
   /// never prune states.
   int workers = 1;
-  /// Sound partial-order reduction (persistent-set layer over
-  /// detail::enabledMoves).  Off by default: the unreduced engine is
-  /// the differential oracle the reduced one is validated against.
-  /// With reduction on, statesVisited shrinks and — for parallel runs —
-  /// may vary between runs (the reduced graph depends on discovery
-  /// order); outcomes and verdicts never do.
-  bool reduction = false;
+  /// Sound partial-order reduction.  Off by default: the unreduced
+  /// engine is the differential oracle the reduced ones are validated
+  /// against.  With reduction on, statesVisited shrinks and — for
+  /// parallel runs — may vary between runs (the reduced graph depends
+  /// on discovery order); outcomes and verdicts never do.
+  ReductionMode reduction = ReductionMode::none;
+  /// Visited-set storage tier.  compressed is membership-exact and
+  /// typically several times smaller; bloom is lossy (see VisitedTier)
+  /// and makes a clean finish CompleteLossy.
+  VisitedTier visitedTier = VisitedTier::exact;
+  /// bloom tier only: bitmap size in bits (rounded up to a power of
+  /// two).  128 Mbit = 16 MiB default.
+  std::uint64_t bloomBits = std::uint64_t{1} << 27;
   /// Test-only override of the visited-set hash, used to force
   /// collisions and prove the set is key-exact.  nullptr = default.
   std::uint64_t (*debugStateHash)(std::string_view) = nullptr;
@@ -220,10 +291,15 @@ struct LivenessOptions {
   std::uint64_t maxStates = 500'000;
   /// Graph-construction threads; > 1 delegates to the parallel engine.
   int workers = 1;
-  /// Build the persistent-set-reduced graph instead of the full one.
-  /// The allCanTerminate verdict is preserved exactly (states/
-  /// terminalStates counts refer to the reduced graph).
-  bool reduction = false;
+  /// Build a reduced graph instead of the full one (persistentSet or
+  /// sourceDpor; sourceDpor uses source sets + the cycle proviso but no
+  /// sleep sets — sleep prunes edges, which would corrupt the reverse
+  /// reachability).  The allCanTerminate verdict is preserved exactly
+  /// (states/terminalStates counts refer to the reduced graph).
+  ReductionMode reduction = ReductionMode::none;
+  /// exact or compressed only: the liveness graph needs exact per-state
+  /// ids, so the lossy bloom tier is rejected (FT_CHECK).
+  VisitedTier visitedTier = VisitedTier::exact;
   /// Same semantics as the ExploreOptions fields: the graph builder
   /// publishes the shared "explore.*" metric names and heartbeats on
   /// interned-state multiples.
@@ -264,6 +340,12 @@ namespace detail {
 /// sequential and parallel engines so they enumerate identically.
 std::vector<std::pair<ProcId, Reg>> enabledMoves(const Config& cfg);
 
+/// Allocation-free form: fills the caller-owned vector (cleared first).
+/// The engines keep one scratch per frame slot / worker so steady-state
+/// expansion performs no per-state allocation.
+void enabledMovesInto(const Config& cfg,
+                      std::vector<std::pair<ProcId, Reg>>& out);
+
 /// Number of processes currently inside their critical section.
 int csOccupancy(const System& sys, const Config& cfg);
 
@@ -279,12 +361,27 @@ class ReductionContext {
   /// May some process other than `p` ever access register `r`?
   bool accessedByOthers(ProcId p, Reg r) const;
 
+  /// Persistent-set reduction over enabledMoves() into the caller-owned
+  /// vector (cleared first).  Scratch buffers (child config, key
+  /// buffer, candidate list) are hoisted into this context and reused
+  /// across states, so the steady-state call allocates nothing.
+  void reducedMovesInto(
+      const System& sys, const Config& cfg,
+      const std::function<bool(std::string_view)>& visitedProbe,
+      std::vector<std::pair<ProcId, Reg>>& out);
+
  private:
   std::vector<char> dynamic_;           // proc has a non-constant address
   std::vector<std::vector<Reg>> regs_;  // sorted static footprint per proc
+  // Hoisted per-state scratch (reused across calls; not thread-safe —
+  // each worker owns its context).
+  std::string keyScratch_;
+  Config childScratch_;
 };
 
-/// Persistent-set partial-order reduction over enabledMoves().
+/// Persistent-set partial-order reduction over enabledMoves()
+/// (ReductionMode::persistentSet; the sourceDpor machinery lives in
+/// sim/dpor.h).
 ///
 /// Returns either a singleton *ample* move — a provably independent,
 /// property-invisible move whose deferral of all other enabled moves
@@ -306,11 +403,11 @@ class ReductionContext {
 /// (`visitedProbe`) — the cycle proviso that prevents a move from
 /// being ignored forever around a loop of the reduced graph.
 ///
-/// `keyScratch`/`childScratch` are caller-owned reusable buffers.
+/// Allocating convenience wrapper over
+/// ReductionContext::reducedMovesInto (tests; engines use the member).
 std::vector<std::pair<ProcId, Reg>> reducedMoves(
-    const System& sys, const Config& cfg, const ReductionContext& rctx,
-    const std::function<bool(std::string_view)>& visitedProbe,
-    std::string& keyScratch, Config& childScratch);
+    const System& sys, const Config& cfg, ReductionContext& rctx,
+    const std::function<bool(std::string_view)>& visitedProbe);
 
 }  // namespace detail
 

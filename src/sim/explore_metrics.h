@@ -22,8 +22,14 @@ struct EngineMetricIds {
   util::MetricId idleSpins;     // explore.idle_spins
   util::MetricId porSingleton;  // explore.por.singleton
   util::MetricId porFull;       // explore.por.full
+  util::MetricId sleepPruned;   // explore.dpor.sleep_pruned
+  util::MetricId widenings;     // explore.dpor.widenings
   util::MetricId frontier;      // explore.frontier (gauge)
   util::MetricId arenaBytes;    // explore.arena_bytes (gauge)
+  // Per-tier visited-set byte gauges (sum == arena_bytes).
+  util::MetricId fullKeyBytes;  // explore.visited.full_key_bytes (gauge)
+  util::MetricId deltaBytes;    // explore.visited.delta_bytes (gauge)
+  util::MetricId bloomBytes;    // explore.visited.bloom_bytes (gauge)
 };
 
 /// Publish the delta between `cur` and `prev` into `shard`, then
@@ -46,7 +52,19 @@ inline void flushWorkerMetrics(util::MetricsShard* shard,
   shard->add(ids.porSingleton,
              cur.reductionSingletons - prev.reductionSingletons);
   shard->add(ids.porFull, cur.reductionFull - prev.reductionFull);
+  shard->add(ids.sleepPruned, cur.sleepPruned - prev.sleepPruned);
+  shard->add(ids.widenings, cur.provisoWidenings - prev.provisoWidenings);
   prev = cur;
+}
+
+/// Overwrite the per-tier visited-set byte gauges (heartbeat/run-end).
+inline void setTierGauges(util::MetricsShard* shard,
+                          const EngineMetricIds& ids, std::uint64_t fullBytes,
+                          std::uint64_t deltaBytes, std::uint64_t bloomBytes) {
+  if (shard == nullptr) return;
+  shard->set(ids.fullKeyBytes, static_cast<std::int64_t>(fullBytes));
+  shard->set(ids.deltaBytes, static_cast<std::int64_t>(deltaBytes));
+  shard->set(ids.bloomBytes, static_cast<std::int64_t>(bloomBytes));
 }
 
 inline EngineMetricIds registerEngineMetrics(util::MetricsSink& sink) {
@@ -59,8 +77,13 @@ inline EngineMetricIds registerEngineMetrics(util::MetricsSink& sink) {
   ids.idleSpins = sink.counter("explore.idle_spins");
   ids.porSingleton = sink.counter("explore.por.singleton");
   ids.porFull = sink.counter("explore.por.full");
+  ids.sleepPruned = sink.counter("explore.dpor.sleep_pruned");
+  ids.widenings = sink.counter("explore.dpor.widenings");
   ids.frontier = sink.gauge("explore.frontier");
   ids.arenaBytes = sink.gauge("explore.arena_bytes");
+  ids.fullKeyBytes = sink.gauge("explore.visited.full_key_bytes");
+  ids.deltaBytes = sink.gauge("explore.visited.delta_bytes");
+  ids.bloomBytes = sink.gauge("explore.visited.bloom_bytes");
   return ids;
 }
 

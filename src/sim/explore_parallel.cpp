@@ -13,9 +13,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/dpor.h"
 #include "sim/explore_metrics.h"
 #include "util/arena.h"
 #include "util/check.h"
+#include "util/keystore.h"
 #include "util/sharded_set.h"
 
 namespace fencetrade::sim {
@@ -57,6 +59,9 @@ struct alignas(64) WorkerCounters {
   std::atomic<std::uint64_t> idleSpins{0};
   std::atomic<std::uint64_t> porSingleton{0};
   std::atomic<std::uint64_t> porFull{0};
+  /// Lazy cycle-proviso widenings (sourceDpor; sleep sets are a
+  /// sequential-only refinement, so sleepPruned stays 0 here).
+  std::atomic<std::uint64_t> widenings{0};
   /// Heartbeat: bumped once per workerLoop iteration (including idle
   /// spins), so a worker wedged inside an expansion or a blocked
   /// progress callback stops beating and the stall watchdog sees it.
@@ -73,9 +78,104 @@ struct alignas(64) WorkerCounters {
     t.idleSpins = idleSpins.load(std::memory_order_relaxed);
     t.reductionSingletons = porSingleton.load(std::memory_order_relaxed);
     t.reductionFull = porFull.load(std::memory_order_relaxed);
+    t.provisoWidenings = widenings.load(std::memory_order_relaxed);
     t.stalled = stalled.load(std::memory_order_relaxed);
     return t;
   }
+};
+
+// ---------------------------------------------------------------------------
+// Tiered shared visited set.  exact/compressed: sharded DeltaKeyStores
+// under per-shard mutexes — compressed delta-encodes each key against
+// the *shard's previously inserted* key (cross-shard DFS-parent chains
+// are impossible here, and shard locality keeps behaviorally close keys
+// together often enough for the diffs to pay).  bloom: one shared
+// lock-free AtomicBloomFilter; lossy, so the engines report
+// CompleteLossy on a clean drain.
+// ---------------------------------------------------------------------------
+class TieredVisitedSet {
+ public:
+  TieredVisitedSet(VisitedTier tier, int shards, std::uint64_t bloomBits,
+                   std::uint64_t (*hashFn)(std::string_view))
+      : tier_(tier), hash_(hashFn) {
+    if (tier_ == VisitedTier::bloom) {
+      bloom_ = std::make_unique<util::AtomicBloomFilter>(bloomBits, hashFn);
+      return;
+    }
+    int pow2 = 1;
+    while (pow2 < shards) pow2 <<= 1;
+    mask_ = static_cast<std::uint64_t>(pow2 - 1);
+    shards_.reserve(static_cast<std::size_t>(pow2));
+    for (int i = 0; i < pow2; ++i) {
+      shards_.push_back(std::make_unique<Shard>(hashFn));
+    }
+  }
+
+  /// First sighting of `key`?  (Bloom: *possibly* first — see above.)
+  bool insert(std::string_view key) {
+    if (tier_ == VisitedTier::bloom) return bloom_->insert(key);
+    Shard& s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.m);
+    const std::uint32_t parent = tier_ == VisitedTier::compressed
+                                     ? s.lastId
+                                     : util::DeltaKeyStore::kNoId;
+    const auto r = s.store.insert(key, parent);
+    if (r.fresh) s.lastId = r.id;
+    return r.fresh;
+  }
+
+  bool contains(std::string_view key) const {
+    if (tier_ == VisitedTier::bloom) return bloom_->contains(key);
+    Shard& s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.m);
+    return s.store.contains(key);
+  }
+
+  std::uint64_t bytes() const { return fullBytes() + deltaBytes() + bloomBytes(); }
+
+  std::uint64_t fullBytes() const {
+    return sum([](const util::DeltaKeyStore& st) { return st.fullBytes(); });
+  }
+  std::uint64_t deltaBytes() const {
+    return sum([](const util::DeltaKeyStore& st) { return st.deltaBytes(); });
+  }
+  std::uint64_t deltaKeys() const {
+    return sum([](const util::DeltaKeyStore& st) { return st.deltaCount(); });
+  }
+  std::uint64_t bloomBytes() const { return bloom_ ? bloom_->bytes() : 0; }
+
+ private:
+  struct Shard {
+    explicit Shard(std::uint64_t (*hashFn)(std::string_view))
+        : store(hashFn) {}
+    mutable std::mutex m;
+    util::DeltaKeyStore store;
+    /// Shard-local id of the most recent insert (compressed parent).
+    std::uint32_t lastId = util::DeltaKeyStore::kNoId;
+  };
+
+  Shard& shardFor(std::string_view key) const {
+    std::uint64_t h = util::StateKeyHash{hash_}(key);
+    h ^= h >> 33;
+    h *= 0x9E3779B97F4A7C15ULL;
+    return *shards_[(h >> 17) & mask_];
+  }
+
+  template <typename Fn>
+  std::uint64_t sum(Fn fn) const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->m);
+      total += fn(s->store);
+    }
+    return total;
+  }
+
+  VisitedTier tier_;
+  std::uint64_t (*hash_)(std::string_view) = nullptr;
+  std::uint64_t mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<util::AtomicBloomFilter> bloom_;
 };
 
 /// Budget-poll cadence for the parallel engines (admitted states
@@ -243,21 +343,35 @@ class ParallelExplorer {
       : sys_(sys),
         opts_(opts),
         workers_(std::max(1, opts.workers)),
-        visited_(shardCountFor(workers_), opts.debugStateHash),
+        visited_(opts.visitedTier, shardCountFor(workers_), opts.bloomBits,
+                 opts.debugStateHash),
         pool_(workers_),
         locals_(static_cast<std::size_t>(workers_)),
         counters_(static_cast<std::size_t>(workers_)),
         t0_(Clock::now()) {
     if (opts.metrics) mids_ = detail::registerEngineMetrics(*opts.metrics);
-    if (opts.reduction) {
-      rctx_ = std::make_unique<detail::ReductionContext>(sys);
+    if (opts.reduction == ReductionMode::persistentSet) {
+      // Per worker: the context carries scratch buffers (key/config),
+      // which must not be shared across threads.
+      for (Local& l : locals_) {
+        l.rctx = std::make_unique<detail::ReductionContext>(sys);
+      }
       // The cycle proviso probes the shared visited set: contains() is
       // mutex-guarded per shard, so a reduced worker either sees the
       // successor already admitted (and falls back to full expansion)
       // or will admit it itself — no move can be deferred forever.
+      // (Under bloom the probe may answer "maybe present" for a fresh
+      // state — that only rejects an ample candidate: conservative.)
       probe_ = [this](std::string_view key) {
         return visited_.contains(key);
       };
+    } else if (opts.reduction == ReductionMode::sourceDpor) {
+      // Source sets are computed per worker (the context carries scratch
+      // buffers); the lazy cycle proviso widens inside expand() on a
+      // dedup hit, which is race-safe for the same reason as above.
+      for (Local& l : locals_) {
+        l.dctx = std::make_unique<detail::DporContext>(sys);
+      }
     }
   }
 
@@ -295,16 +409,31 @@ class ParallelExplorer {
       res.outcomes.insert(l.outcomes.begin(), l.outcomes.end());
     }
 
+    if (opts_.visitedTier == VisitedTier::bloom &&
+        res.stopReason == util::StopReason::Complete &&
+        !(res.mutexViolation && opts_.stopOnViolation)) {
+      // Clean drain under the lossy tier: a filter collision may have
+      // pruned a real state, so completeness cannot be claimed.  (An
+      // early stop on a found violation keeps Complete — the violation
+      // itself is real and replayable.)
+      res.stopReason = util::StopReason::CompleteLossy;
+    }
+
     res.telemetry.wallSeconds =
         std::chrono::duration<double>(Clock::now() - t0_).count();
     res.telemetry.peakFrontier = pool_.peak();
-    res.telemetry.arenaBytes = visited_.keyBytes();
+    res.telemetry.arenaBytes = visited_.bytes();
+    res.telemetry.visitedFullKeyBytes = visited_.fullBytes();
+    res.telemetry.visitedDeltaBytes = visited_.deltaBytes();
+    res.telemetry.visitedBloomBytes = visited_.bloomBytes();
+    res.telemetry.visitedDeltaKeys = visited_.deltaKeys();
     for (const WorkerCounters& wc : counters_) {
       WorkerTelemetry wt = wc.toTelemetry();
       res.telemetry.dedupProbes += wt.dedupProbes;
       res.telemetry.dedupHits += wt.dedupHits;
       res.telemetry.reductionSingletons += wt.reductionSingletons;
       res.telemetry.reductionFull += wt.reductionFull;
+      res.telemetry.provisoWidenings += wt.provisoWidenings;
       res.telemetry.workers.push_back(wt);
     }
     return res;
@@ -325,8 +454,10 @@ class ParallelExplorer {
     int maxCsOccupancy = 0;
     std::string keyBuf;          // serialization scratch (admit)
     std::vector<Value> retvals;  // terminal outcome scratch
-    std::string porKey;          // reduction probe scratch
-    Config porChild;             // reduction successor scratch
+    std::vector<Elem> moves;     // expansion scratch
+    std::vector<Elem> noSleep;   // always empty (sleep is sequential-only)
+    std::unique_ptr<detail::DporContext> dctx;       // sourceDpor only
+    std::unique_ptr<detail::ReductionContext> rctx;  // persistentSet only
     util::MetricsShard* shard = nullptr;  // this worker's metrics slab
     WorkerTelemetry flushedMetrics;       // shard high-water (delta base)
   };
@@ -343,7 +474,7 @@ class ParallelExplorer {
                          ? static_cast<double>(count) / u.elapsedSeconds
                          : 0.0;
     u.frontier = pool_.inflight();
-    u.arenaBytes = visited_.keyBytes();
+    u.arenaBytes = visited_.bytes();
     u.workers = workers_;
     for (const WorkerCounters& c : counters_) {
       const WorkerTelemetry wt = c.toTelemetry();
@@ -361,22 +492,27 @@ class ParallelExplorer {
                        static_cast<std::int64_t>(u.frontier));
       local.shard->set(mids_.arenaBytes,
                        static_cast<std::int64_t>(u.arenaBytes));
+      detail::setTierGauges(local.shard, mids_, visited_.fullBytes(),
+                            visited_.deltaBytes(), visited_.bloomBytes());
     }
     opts_.progress(u);
   }
 
   /// First visit of `cfg`?  Counts it, checks the CS invariant and
   /// collects terminal outcomes; returns true iff the caller should
-  /// expand the state further.  One serialization pass per call, into
-  /// the worker's reusable buffer; the shared set arena-copies the key
-  /// only when this worker wins the insert race.
+  /// expand the state further.  `dup` (when non-null) reports a dedup
+  /// hit — the trigger for the sourceDpor lazy cycle proviso.  One
+  /// serialization pass per call, into the worker's reusable buffer;
+  /// the shared set copies the key only when this worker wins the
+  /// insert race.
   bool admit(const Config& cfg, const std::shared_ptr<const PathNode>& path,
-             Local& local, WorkerCounters& wc) {
+             Local& local, WorkerCounters& wc, bool* dup = nullptr) {
     const bool terminal = cfg.behavioralKeyInto(local.keyBuf,
                                                 &local.retvals);
     relaxedInc(wc.dedupProbes);
     if (!visited_.insert(local.keyBuf)) {
       relaxedInc(wc.dedupHits);
+      if (dup) *dup = true;
       return false;
     }
     const std::uint64_t count =
@@ -385,10 +521,10 @@ class ParallelExplorer {
     if (count >= opts_.maxStates) {
       trip(util::StopReason::StateCap);
     } else if (opts_.control.active() && count % kBudgetPollPeriod == 0) {
-      // keyBytes() sweeps the shard locks, so keep it off the per-state
+      // bytes() sweeps the shard locks, so keep it off the per-state
       // path; at this cadence it is noise (cancellation is caught every
       // workerLoop iteration regardless).
-      const util::StopReason rsn = opts_.control.poll(visited_.keyBytes());
+      const util::StopReason rsn = opts_.control.poll(visited_.bytes());
       if (rsn != util::StopReason::Complete) trip(rsn);
     }
     if (opts_.progress && count % opts_.progressInterval == 0) {
@@ -459,26 +595,50 @@ class ParallelExplorer {
   }
 
   void expand(int id, Task& t, Local& local, WorkerCounters& wc) {
-    const std::vector<Elem> moves =
-        rctx_ ? detail::reducedMoves(sys_, t.cfg, *rctx_, probe_,
-                                     local.porKey, local.porChild)
-              : detail::enabledMoves(t.cfg);
-    relaxedInc(wc.expansions);
-    if (rctx_) {
-      if (moves.size() == 1) {
-        relaxedInc(wc.porSingleton);
-      } else {
-        relaxedInc(wc.porFull);
-      }
+    std::vector<Elem>& moves = local.moves;
+    bool reduced = false;
+    if (local.dctx) {
+      std::uint64_t sleptBits = 0;  // always 0: noSleep is empty
+      local.dctx->selectMoves(t.cfg, local.noSleep, moves, reduced,
+                              sleptBits);
+      relaxedInc(reduced ? wc.porSingleton : wc.porFull);
+    } else if (local.rctx) {
+      local.rctx->reducedMovesInto(sys_, t.cfg, probe_, moves);
+      relaxedInc(moves.size() == 1 ? wc.porSingleton : wc.porFull);
+    } else {
+      detail::enabledMovesInto(t.cfg, moves);
     }
-    for (const Elem& elem : moves) {
+    relaxedInc(wc.expansions);
+    // Index loop: the lazy cycle proviso below may append to `moves`.
+    for (std::size_t mi = 0; mi < moves.size(); ++mi) {
+      const Elem elem = moves[mi];
       if (stop_.load(std::memory_order_acquire)) return;
       Config child = t.cfg;
       auto step = execElem(sys_, child, elem.first, elem.second);
       FT_CHECK(step.has_value()) << "exploreParallel: move produced no step";
+      // Lazy visibility proviso: a reduced source set must not hide a
+      // CS-membership change from the deferred interleavings, or the
+      // occupancy maximum could be under-reported.
+      if (reduced && elem.second == kNoReg && opts_.checkMutualExclusion &&
+          inCriticalSection(sys_, t.cfg, elem.first) !=
+              inCriticalSection(sys_, child, elem.first)) {
+        local.dctx->widen(t.cfg, local.noSleep, moves);
+        reduced = false;
+        relaxedInc(wc.widenings);
+      }
       auto node = std::make_shared<const PathNode>(PathNode{elem, t.path});
-      if (admit(child, node, local, wc)) {
+      bool dup = false;
+      if (admit(child, node, local, wc, &dup)) {
         pool_.push(id, Task{std::move(child), std::move(node)});
+      } else if (dup && reduced) {
+        // Lazy cycle proviso: a reduced expansion reached an already
+        // admitted state; widen to the full enabled set so no deferred
+        // move is ignored forever around a cycle.  The dedup answer is
+        // definitive under the exact tiers (insert is atomic per
+        // shard); under bloom a false "hit" only widens — conservative.
+        local.dctx->widen(t.cfg, local.noSleep, moves);
+        reduced = false;
+        relaxedInc(wc.widenings);
       }
     }
   }
@@ -487,13 +647,12 @@ class ParallelExplorer {
   const ExploreOptions& opts_;
   const int workers_;
 
-  util::ShardedStateSet visited_;
+  TieredVisitedSet visited_;
   WorkPool<Task> pool_;
   std::vector<Local> locals_;
   std::vector<WorkerCounters> counters_;
   Clock::time_point t0_;
   detail::EngineMetricIds mids_;
-  std::unique_ptr<detail::ReductionContext> rctx_;
   std::function<bool(std::string_view)> probe_;
 
   std::atomic<std::uint64_t> statesVisited_{0};
@@ -520,6 +679,10 @@ class ParallelLiveness {
         counters_(static_cast<std::size_t>(workers_)),
         t0_(Clock::now()) {
     if (opts.metrics) mids_ = detail::registerEngineMetrics(*opts.metrics);
+    FT_CHECK(opts.visitedTier != VisitedTier::bloom)
+        << "checkLivenessParallel: the liveness graph needs exact "
+           "per-state ids; the lossy bloom tier cannot provide them";
+    compressed_ = opts.visitedTier == VisitedTier::compressed;
     const int shards = shardCountFor(workers_);
     int pow2 = 1;
     while (pow2 < shards) pow2 <<= 1;
@@ -528,13 +691,19 @@ class ParallelLiveness {
     for (int i = 0; i < pow2; ++i) {
       index_.push_back(std::make_unique<IndexShard>());
     }
-    if (opts.reduction) {
-      rctx_ = std::make_unique<detail::ReductionContext>(sys);
+    if (opts.reduction == ReductionMode::persistentSet) {
+      for (Local& l : locals_) {
+        l.rctx = std::make_unique<detail::ReductionContext>(sys);
+      }
       probe_ = [this](std::string_view key) {
         IndexShard& shard = shardFor(key);
         std::lock_guard<std::mutex> lock(shard.m);
-        return shard.map.find(key) != shard.map.end();
+        return shard.store.contains(key);
       };
+    } else if (opts.reduction == ReductionMode::sourceDpor) {
+      for (Local& l : locals_) {
+        l.dctx = std::make_unique<detail::DporContext>(sys);
+      }
     }
   }
 
@@ -565,12 +734,19 @@ class ParallelLiveness {
         std::chrono::duration<double>(Clock::now() - t0_).count();
     res.telemetry.peakFrontier = pool_.peak();
     res.telemetry.arenaBytes = arenaBytes();
+    res.telemetry.visitedFullKeyBytes = sumShards(
+        [](const util::DeltaKeyStore& st) { return st.fullBytes(); });
+    res.telemetry.visitedDeltaBytes = sumShards(
+        [](const util::DeltaKeyStore& st) { return st.deltaBytes(); });
+    res.telemetry.visitedDeltaKeys = sumShards(
+        [](const util::DeltaKeyStore& st) { return st.deltaCount(); });
     for (const WorkerCounters& wc : counters_) {
       WorkerTelemetry wt = wc.toTelemetry();
       res.telemetry.dedupProbes += wt.dedupProbes;
       res.telemetry.dedupHits += wt.dedupHits;
       res.telemetry.reductionSingletons += wt.reductionSingletons;
       res.telemetry.reductionFull += wt.reductionFull;
+      res.telemetry.provisoWidenings += wt.provisoWidenings;
       res.telemetry.workers.push_back(wt);
     }
     const int raw = stopReasonRaw_.load(std::memory_order_relaxed);
@@ -627,21 +803,24 @@ class ParallelLiveness {
     /// (to, from) pairs — preds[to] gains from.
     std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
     std::vector<std::uint32_t> terminals;
-    std::string keyBuf;  // serialization scratch (intern)
-    std::string porKey;  // reduction probe scratch
-    Config porChild;     // reduction successor scratch
+    std::string keyBuf;          // serialization scratch (intern)
+    std::vector<Elem> moves;     // expansion scratch
+    std::vector<Elem> noSleep;   // always empty (sleep is sequential-only)
+    std::unique_ptr<detail::DporContext> dctx;       // sourceDpor only
+    std::unique_ptr<detail::ReductionContext> rctx;  // persistentSet only
     util::MetricsShard* shard = nullptr;  // this worker's metrics slab
     WorkerTelemetry flushedMetrics;       // shard high-water (delta base)
   };
 
-  /// Keys are arena-backed string_views (probed through the worker's
-  /// reusable buffer, copied only on first interning), mirroring the
-  /// explorer's visited set.
+  /// Keys live in a per-shard DeltaKeyStore (compressed: each key
+  /// delta-encodes against the shard's previously interned key); the
+  /// store's shard-local dense ids map to global graph ids through
+  /// `globalIds`.
   struct IndexShard {
     std::mutex m;
-    std::unordered_map<std::string_view, std::uint32_t, util::StateKeyHash>
-        map;
-    util::KeyArena arena;
+    util::DeltaKeyStore store;
+    std::vector<std::uint32_t> globalIds;  // store id -> graph id
+    std::uint32_t lastId = util::DeltaKeyStore::kNoId;  // compressed parent
   };
 
   struct Interned {
@@ -659,10 +838,15 @@ class ParallelLiveness {
 
   /// Total interned key bytes across index shards (telemetry).
   std::uint64_t arenaBytes() const {
+    return sumShards([](const util::DeltaKeyStore& st) { return st.bytes(); });
+  }
+
+  template <typename Fn>
+  std::uint64_t sumShards(Fn fn) const {
     std::uint64_t total = 0;
     for (const auto& s : index_) {
       std::lock_guard<std::mutex> lock(s->m);
-      total += s->arena.bytes();
+      total += fn(s->store);
     }
     return total;
   }
@@ -709,12 +893,17 @@ class ParallelLiveness {
     IndexShard& shard = shardFor(local.keyBuf);
     {
       std::lock_guard<std::mutex> lock(shard.m);
-      auto it = shard.map.find(local.keyBuf);
-      if (it != shard.map.end()) {
-        in.idx = it->second;
+      const std::uint32_t parent =
+          compressed_ ? shard.lastId : util::DeltaKeyStore::kNoId;
+      const auto r = shard.store.insert(local.keyBuf, parent);
+      if (!r.fresh) {
+        in.idx = shard.globalIds[r.id];
       } else {
         in.idx = nextId_.fetch_add(1, std::memory_order_relaxed);
-        shard.map.emplace(shard.arena.intern(local.keyBuf), in.idx);
+        FT_CHECK(r.id == shard.globalIds.size())
+            << "checkLivenessParallel: shard id desync";
+        shard.globalIds.push_back(in.idx);
+        shard.lastId = r.id;
         in.fresh = true;
       }
     }
@@ -776,19 +965,23 @@ class ParallelLiveness {
   }
 
   void expand(int id, Task& t, Local& local, WorkerCounters& wc) {
-    const std::vector<Elem> moves =
-        rctx_ ? detail::reducedMoves(sys_, t.cfg, *rctx_, probe_,
-                                     local.porKey, local.porChild)
-              : detail::enabledMoves(t.cfg);
-    relaxedInc(wc.expansions);
-    if (rctx_) {
-      if (moves.size() == 1) {
-        relaxedInc(wc.porSingleton);
-      } else {
-        relaxedInc(wc.porFull);
-      }
+    std::vector<Elem>& moves = local.moves;
+    bool reduced = false;
+    if (local.dctx) {
+      std::uint64_t sleptBits = 0;  // always 0: noSleep is empty
+      local.dctx->selectMoves(t.cfg, local.noSleep, moves, reduced,
+                              sleptBits);
+      relaxedInc(reduced ? wc.porSingleton : wc.porFull);
+    } else if (local.rctx) {
+      local.rctx->reducedMovesInto(sys_, t.cfg, probe_, moves);
+      relaxedInc(moves.size() == 1 ? wc.porSingleton : wc.porFull);
+    } else {
+      detail::enabledMovesInto(t.cfg, moves);
     }
-    for (const Elem& elem : moves) {
+    relaxedInc(wc.expansions);
+    // Index loop: the lazy cycle proviso below may append to `moves`.
+    for (std::size_t mi = 0; mi < moves.size(); ++mi) {
+      const Elem elem = moves[mi];
       if (stop_.load(std::memory_order_acquire)) return;
       Config child = t.cfg;
       auto step = execElem(sys_, child, elem.first, elem.second);
@@ -796,6 +989,12 @@ class ParallelLiveness {
           << "checkLivenessParallel: move produced no step";
       const Interned in = intern(child, local, wc);
       local.edges.emplace_back(in.idx, t.idx);
+      if (!in.fresh && reduced) {
+        // Lazy cycle proviso (sourceDpor): see ParallelExplorer.
+        local.dctx->widen(t.cfg, local.noSleep, moves);
+        reduced = false;
+        relaxedInc(wc.widenings);
+      }
       if (in.fresh && !in.terminal) {
         pool_.push(id, Task{std::move(child), in.idx});
       }
@@ -813,7 +1012,7 @@ class ParallelLiveness {
   detail::EngineMetricIds mids_;
   std::vector<std::unique_ptr<IndexShard>> index_;
   std::uint64_t shardMask_ = 0;
-  std::unique_ptr<detail::ReductionContext> rctx_;
+  bool compressed_ = false;
   std::function<bool(std::string_view)> probe_;
 
   std::atomic<std::uint32_t> nextId_{0};

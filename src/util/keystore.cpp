@@ -1,0 +1,243 @@
+#include "util/keystore.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+
+namespace {
+
+void appendVarint(std::string& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint32_t readVarint(const char*& p, const char* end) {
+  std::uint32_t v = 0;
+  int shift = 0;
+  while (p < end) {
+    const std::uint8_t b = static_cast<std::uint8_t>(*p++);
+    v |= static_cast<std::uint32_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  FT_CHECK(false) << "truncated varint in delta key store";
+  return 0;
+}
+
+std::uint64_t remix(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DeltaKeyStore
+// ---------------------------------------------------------------------------
+
+DeltaKeyStore::DeltaKeyStore(std::uint64_t (*hashFn)(std::string_view))
+    : hashFn_(hashFn), buckets_(1024, kNoId) {}
+
+std::uint64_t DeltaKeyStore::hashKey(std::string_view key) const {
+  if (hashFn_) return hashFn_(key);
+  return static_cast<std::uint64_t>(std::hash<std::string_view>{}(key));
+}
+
+bool DeltaKeyStore::equalsKey(const Entry& e, std::string_view key) const {
+  if (e.keyLen != key.size()) return false;
+  if (e.parent == kNoId) {
+    return std::memcmp(e.data, key.data(), key.size()) == 0;
+  }
+  reconstruct(static_cast<std::uint32_t>(&e - entries_.data()), scratchA_);
+  return std::memcmp(scratchA_.data(), key.data(), key.size()) == 0;
+}
+
+void DeltaKeyStore::rehash() {
+  const std::size_t newSize = buckets_.size() * 2;
+  buckets_.assign(newSize, kNoId);
+  const std::uint64_t mask = newSize - 1;
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    const std::size_t b = static_cast<std::size_t>(remix(entries_[i].hash) & mask);
+    entries_[i].next = buckets_[b];
+    buckets_[b] = i;
+  }
+}
+
+DeltaKeyStore::InsertResult DeltaKeyStore::insert(std::string_view key,
+                                                  std::uint32_t parentId) {
+  const std::uint64_t h = hashKey(key);
+  const std::size_t b =
+      static_cast<std::size_t>(remix(h) & (buckets_.size() - 1));
+  for (std::uint32_t e = buckets_[b]; e != kNoId; e = entries_[e].next) {
+    if (entries_[e].hash == h && equalsKey(entries_[e], key)) {
+      return {e, false};
+    }
+  }
+
+  Entry entry;
+  entry.hash = h;
+  entry.keyLen = static_cast<std::uint32_t>(key.size());
+
+  // Try the delta encoding against the parent key; fall back to a full
+  // keyframe when the chain is deep or the diff does not pay.
+  bool stored = false;
+  if (parentId != kNoId) {
+    FT_CHECK(parentId < entries_.size())
+        << "delta parent id " << parentId << " out of range";
+    const Entry& parent = entries_[parentId];
+    if (parent.depth + 1 < kMaxDepth) {
+      reconstruct(parentId, scratchB_);
+      const std::string_view pk = scratchB_;
+      const std::size_t maxCommon = std::min(pk.size(), key.size());
+      std::size_t prefix = 0;
+      while (prefix < maxCommon && pk[prefix] == key[prefix]) ++prefix;
+      std::size_t suffix = 0;
+      while (suffix < maxCommon - prefix &&
+             pk[pk.size() - 1 - suffix] == key[key.size() - 1 - suffix]) {
+        ++suffix;
+      }
+      const std::size_t mid = key.size() - prefix - suffix;
+      encodeScratch_.clear();
+      appendVarint(encodeScratch_, static_cast<std::uint32_t>(prefix));
+      appendVarint(encodeScratch_, static_cast<std::uint32_t>(suffix));
+      encodeScratch_.append(key.data() + prefix, mid);
+      // Keyframe when the encoded diff exceeds 3/4 of the key itself.
+      if (encodeScratch_.size() * 4 < key.size() * 3 || key.empty()) {
+        const std::string_view slice = arena_.intern(encodeScratch_);
+        entry.data = slice.data();
+        entry.dataLen = static_cast<std::uint32_t>(slice.size());
+        entry.parent = parentId;
+        entry.depth = static_cast<std::uint8_t>(parent.depth + 1);
+        deltaBytes_ += slice.size();
+        ++deltaCount_;
+        stored = true;
+      }
+    }
+  }
+  if (!stored) {
+    const std::string_view slice = arena_.intern(key);
+    entry.data = slice.data();
+    entry.dataLen = static_cast<std::uint32_t>(slice.size());
+    entry.parent = kNoId;
+    entry.depth = 0;
+    fullBytes_ += slice.size();
+  }
+
+  const std::uint32_t id = static_cast<std::uint32_t>(entries_.size());
+  entry.next = buckets_[b];
+  buckets_[b] = id;
+  entries_.push_back(entry);
+  if (entries_.size() * 4 > buckets_.size() * 3) rehash();
+  return {id, true};
+}
+
+std::uint32_t DeltaKeyStore::find(std::string_view key) const {
+  const std::uint64_t h = hashKey(key);
+  const std::size_t b =
+      static_cast<std::size_t>(remix(h) & (buckets_.size() - 1));
+  for (std::uint32_t e = buckets_[b]; e != kNoId; e = entries_[e].next) {
+    if (entries_[e].hash == h && equalsKey(entries_[e], key)) return e;
+  }
+  return kNoId;
+}
+
+void DeltaKeyStore::reconstruct(std::uint32_t id, std::string& out) const {
+  FT_CHECK(id < entries_.size()) << "reconstruct: id out of range";
+  // Collect the delta chain down from `id` to its keyframe ancestor.
+  std::uint32_t chain[kMaxDepth];
+  int depth = 0;
+  std::uint32_t cur = id;
+  while (entries_[cur].parent != kNoId) {
+    FT_CHECK(depth < kMaxDepth) << "delta chain deeper than kMaxDepth";
+    chain[depth++] = cur;
+    cur = entries_[cur].parent;
+  }
+  const Entry& frame = entries_[cur];
+  out.assign(frame.data, frame.keyLen);
+  // Apply hunks keyframe-first.  `out` holds the parent key at each
+  // step; build the child into the spare buffer and swap.
+  for (int i = depth - 1; i >= 0; --i) {
+    const Entry& e = entries_[chain[i]];
+    const char* p = e.data;
+    const char* end = e.data + e.dataLen;
+    const std::uint32_t prefix = readVarint(p, end);
+    const std::uint32_t suffix = readVarint(p, end);
+    const std::size_t mid = static_cast<std::size_t>(end - p);
+    FT_CHECK(prefix + suffix + mid == e.keyLen)
+        << "corrupt delta hunk for id " << chain[i];
+    FT_CHECK(prefix <= out.size() && suffix <= out.size() - prefix)
+        << "delta hunk exceeds parent key";
+    std::string& next = (&out == &scratchA_) ? scratchB_ : scratchA_;
+    next.clear();
+    next.append(out.data(), prefix);
+    next.append(p, mid);
+    next.append(out.data() + out.size() - suffix, suffix);
+    out.swap(next);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AtomicBloomFilter
+// ---------------------------------------------------------------------------
+
+AtomicBloomFilter::AtomicBloomFilter(std::uint64_t bits,
+                                     std::uint64_t (*hashFn)(std::string_view))
+    : hashFn_(hashFn) {
+  std::uint64_t rounded = 1024;
+  while (rounded < bits) rounded <<= 1;
+  mask_ = rounded - 1;
+  words_ = rounded / 64;
+  bitmap_ = std::make_unique<std::atomic<std::uint64_t>[]>(words_);
+  for (std::uint64_t i = 0; i < words_; ++i) {
+    bitmap_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool AtomicBloomFilter::insert(std::string_view key) {
+  const std::uint64_t h1 =
+      hashFn_ ? hashFn_(key)
+              : static_cast<std::uint64_t>(std::hash<std::string_view>{}(key));
+  // Double hashing: bit_i = h1 + i*h2.  h2 is forced odd so the three
+  // probes stay distinct modulo the power-of-two bitmap.
+  const std::uint64_t h2 = remix(h1) | 1;
+  bool fresh = false;
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) & mask_;
+    const std::uint64_t word = bit >> 6;
+    const std::uint64_t maskBit = std::uint64_t{1} << (bit & 63);
+    const std::uint64_t prev =
+        bitmap_[word].fetch_or(maskBit, std::memory_order_relaxed);
+    if ((prev & maskBit) == 0) fresh = true;
+  }
+  if (fresh) keys_.fetch_add(1, std::memory_order_relaxed);
+  return fresh;
+}
+
+bool AtomicBloomFilter::contains(std::string_view key) const {
+  const std::uint64_t h1 =
+      hashFn_ ? hashFn_(key)
+              : static_cast<std::uint64_t>(std::hash<std::string_view>{}(key));
+  const std::uint64_t h2 = remix(h1) | 1;
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) & mask_;
+    const std::uint64_t word = bit >> 6;
+    const std::uint64_t maskBit = std::uint64_t{1} << (bit & 63);
+    if ((bitmap_[word].load(std::memory_order_relaxed) & maskBit) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fencetrade::util

@@ -1,0 +1,144 @@
+// Visited-set storage tiers beyond the exact arena-interned hash set.
+//
+// DeltaKeyStore — an exact, id-assigning key store with optional
+// structural sharing: a key may be stored as a single-hunk diff
+// (common-prefix / common-suffix / middle bytes) against an already
+// stored *parent* key.  The exploration engines pass the DFS parent of
+// each state, and since one schedule step rewrites only a handful of
+// bytes of the canonical serialized Config, the diff is typically a
+// few bytes where the full key is tens.  Deltas chain parent-to-parent
+// up to a bounded depth; a keyframe (full copy) is forced when the
+// chain would grow too deep or the diff stops paying for itself, so a
+// lookup reconstructs at most kMaxDepth hunks.  Collision-safe exactly
+// like ShardedStateSet: the 64-bit hash only places keys in buckets,
+// equality always compares the full (reconstructed) key bytes.
+//
+// Ids are dense and assigned in insertion order (0, 1, 2, ...), which
+// the sequential engines also use to keep side tables (sleep-set masks,
+// liveness graph nodes) and to serialize the visited set in a
+// deterministic, resume-stable order.
+//
+// Not thread-safe; the parallel engines keep one store per shard under
+// the shard lock (see explore_parallel.cpp).
+//
+// AtomicBloomFilter — the opt-in lossy bitstate tier: k=3 double-hashed
+// bits in one shared atomic bitmap.  A false positive silently prunes a
+// real state, so engines running on this tier must report
+// StopReason::CompleteLossy instead of Complete when they drain their
+// frontier (see runcontrol.h); the verdict layer turns that into
+// INCONCLUSIVE, never a Pass.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace fencetrade::util {
+
+class DeltaKeyStore {
+ public:
+  static constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+  /// Deltas chain at most this deep before a keyframe is forced, so
+  /// reconstruction walks a bounded number of hunks.
+  static constexpr int kMaxDepth = 8;
+
+  struct InsertResult {
+    std::uint32_t id = kNoId;
+    bool fresh = false;
+  };
+
+  /// `hashFn` overrides the bucket-placement hash (tests force
+  /// collisions with a constant function; correctness is unaffected).
+  explicit DeltaKeyStore(std::uint64_t (*hashFn)(std::string_view) = nullptr);
+
+  /// Insert `key`, delta-encoding it against `parentId` when profitable
+  /// (pass kNoId to force a full keyframe — the exact tier does this
+  /// for every key).  Returns the key's dense id and whether it was new.
+  InsertResult insert(std::string_view key, std::uint32_t parentId = kNoId);
+
+  /// Dense id of `key`, or kNoId if absent.
+  std::uint32_t find(std::string_view key) const;
+
+  bool contains(std::string_view key) const { return find(key) != kNoId; }
+
+  /// Rebuild the full key bytes of `id` into `out`.
+  void reconstruct(std::uint32_t id, std::string& out) const;
+
+  std::uint64_t size() const { return entries_.size(); }
+
+  /// Bytes stored as full keyframes / as delta hunks (diagnostics and
+  /// the memory-budget accounting — together they are what KeyArena
+  /// bytes() was for the exact tier).
+  std::uint64_t fullBytes() const { return fullBytes_; }
+  std::uint64_t deltaBytes() const { return deltaBytes_; }
+  std::uint64_t bytes() const { return fullBytes_ + deltaBytes_; }
+
+  /// Of the stored keys, how many are delta-encoded (diagnostics).
+  std::uint64_t deltaCount() const { return deltaCount_; }
+
+ private:
+  struct Entry {
+    const char* data = nullptr;   // arena bytes: full key or encoded diff
+    std::uint32_t dataLen = 0;
+    std::uint32_t keyLen = 0;     // reconstructed key length
+    std::uint64_t hash = 0;       // full 64-bit key hash (chain filter)
+    std::uint32_t parent = kNoId; // kNoId = keyframe
+    std::uint32_t next = kNoId;   // bucket chain
+    std::uint8_t depth = 0;       // delta-chain depth (0 = keyframe)
+  };
+
+  std::uint64_t hashKey(std::string_view key) const;
+  bool equalsKey(const Entry& e, std::string_view key) const;
+  void rehash();
+
+  std::uint64_t (*hashFn_)(std::string_view) = nullptr;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> buckets_;  // power-of-two heads into entries_
+  KeyArena arena_;
+  std::uint64_t fullBytes_ = 0;
+  std::uint64_t deltaBytes_ = 0;
+  std::uint64_t deltaCount_ = 0;
+  mutable std::string scratchA_;  // reconstruction ping-pong buffers
+  mutable std::string scratchB_;
+  std::string encodeScratch_;
+};
+
+class AtomicBloomFilter {
+ public:
+  /// `bits` is rounded up to a power of two (minimum 1024).
+  explicit AtomicBloomFilter(std::uint64_t bits,
+                             std::uint64_t (*hashFn)(std::string_view)
+                             = nullptr);
+
+  /// Set the key's k bits; returns true iff any bit was previously
+  /// unset (the key is *possibly* new).  False means the key is
+  /// *possibly* a duplicate — under this tier that is where soundness
+  /// leaks, hence CompleteLossy.  Thread-safe (fetch_or).
+  bool insert(std::string_view key);
+
+  /// Read-only probe: true iff all the key's k bits are set (the key is
+  /// *possibly* present; false positives possible, false negatives not).
+  bool contains(std::string_view key) const;
+
+  /// Bitmap footprint.
+  std::uint64_t bytes() const { return words_ * sizeof(std::uint64_t); }
+
+  /// Bits set so far (approximate under concurrency; diagnostics).
+  std::uint64_t approxKeys() const {
+    return keys_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t (*hashFn_)(std::string_view) = nullptr;
+  std::uint64_t mask_ = 0;   // bit-index mask (power of two bits - 1)
+  std::uint64_t words_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bitmap_;
+  std::atomic<std::uint64_t> keys_{0};
+};
+
+}  // namespace fencetrade::util

@@ -28,6 +28,12 @@ enum class StopReason : std::uint8_t {
   Deadline = 2,   ///< wall-clock deadline passed
   MemoryCap = 3,  ///< arena/visited-set byte budget exceeded
   Cancelled = 4,  ///< CancelToken tripped (signal, watchdog, caller)
+  /// The engine drained its frontier, but the visited set was a lossy
+  /// bitstate/Bloom filter: a false-positive dedup may have pruned real
+  /// states, so "nothing left" does not mean "everything seen".  A
+  /// violation found under this reason is still real (witnesses are
+  /// replay-verified); a clean finish is INCONCLUSIVE, never a Pass.
+  CompleteLossy = 5,
 };
 
 /// Stable string form used in --json output and telemetry.
@@ -38,6 +44,7 @@ inline const char* stopReasonName(StopReason r) {
     case StopReason::Deadline: return "deadline";
     case StopReason::MemoryCap: return "memory-cap";
     case StopReason::Cancelled: return "cancelled";
+    case StopReason::CompleteLossy: return "complete-lossy";
   }
   return "?";
 }

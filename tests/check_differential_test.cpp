@@ -89,7 +89,7 @@ TEST(DifferentialTest, ReductionNeverVisitsMoreStates) {
   ASSERT_TRUE(rep.conformant) << rep.detail;
   std::uint64_t unreduced = 0, reduced = 0;
   for (const EngineRun& run : rep.runs) {
-    if (run.spec.reduction) {
+    if (run.spec.reduction != sim::ReductionMode::none) {
       reduced = run.res.statesVisited;
     } else {
       unreduced = run.res.statesVisited;

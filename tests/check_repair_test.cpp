@@ -420,13 +420,16 @@ void checkFrontierSafeAndMinimal(const sim::System& broken) {
   for (const RepairPoint& pt : rep.frontier) {
     const sim::System fixed = applyFenceSites(broken, rep.sites, pt.sites);
     for (int workers : {1, 4}) {
-      for (bool por : {false, true}) {
+      for (sim::ReductionMode mode :
+           {sim::ReductionMode::none, sim::ReductionMode::persistentSet,
+            sim::ReductionMode::sourceDpor}) {
         sim::ExploreOptions eo;
         eo.workers = workers;
-        eo.reduction = por;
+        eo.reduction = mode;
         const sim::ExploreResult res = sim::explore(fixed, eo);
         EXPECT_FALSE(res.mutexViolation)
-            << "workers=" << workers << " por=" << por;
+            << "workers=" << workers
+            << " mode=" << sim::reductionModeName(mode);
         EXPECT_FALSE(res.capped());
         EXPECT_LE(res.maxCsOccupancy, 1);
       }

@@ -1,0 +1,248 @@
+// Source-DPOR acceptance tests: the full conformance corpus run through
+// every reduction-mode × visited-tier × worker-count combination, plus
+// the targeted bloom-tier contract — a clean pass over the lossy tier
+// is CompleteLossy (INCONCLUSIVE downstream), never a Pass, while a
+// violation found under bloom still carries a replayable witness.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/corpus.h"
+#include "check/differential.h"
+#include "check/oracles.h"
+#include "core/bakery.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "sim/explore.h"
+
+namespace fencetrade::check {
+namespace {
+
+using sim::MemoryModel;
+using sim::ReductionMode;
+using sim::VisitedTier;
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+
+std::uint64_t constantHash(std::string_view) { return 42; }
+
+/// Every mode × membership-exact tier × worker count — 12 legs.  The
+/// bloom tier is deliberately absent: it can never claim completeness,
+/// so the capped-prefix agreement rules would always exclude it; its
+/// contract is pinned by the targeted tests below instead.
+std::vector<EngineSpec> fullMatrix() {
+  std::vector<EngineSpec> m;
+  for (ReductionMode mode : {ReductionMode::none, ReductionMode::persistentSet,
+                             ReductionMode::sourceDpor}) {
+    for (VisitedTier tier : {VisitedTier::exact, VisitedTier::compressed}) {
+      for (int workers : {1, 4}) {
+        std::string name = std::string(reductionModeName(mode)) + "/" +
+                           sim::visitedTierName(tier) + "/w" +
+                           std::to_string(workers);
+        m.push_back({std::move(name), workers, mode, tier});
+      }
+    }
+  }
+  return m;
+}
+
+TEST(DporMatrixTest, CorpusAgreesAcrossAllModeTierWorkerCombinations) {
+  // The sanitizer builds run the quick subset (litmus + n=2 locks);
+  // plain builds sweep the whole standing corpus.  Entries whose budget
+  // deliberately caps the space (the n=4 smokes) are trimmed further —
+  // the matrix only needs to agree on the capped prefix, and a
+  // reduction that *completes* within the cap legitimately upgrades the
+  // entry to its real verdict.
+  const std::vector<EngineSpec> matrix = fullMatrix();
+  for (const CorpusEntry& e : conformanceCorpus(kSanitized)) {
+    DifferentialOptions opts;
+    opts.maxStates = e.expected == Verdict::Inconclusive
+                         ? std::min<std::uint64_t>(e.maxStates, 150'000)
+                         : e.maxStates;
+    opts.engines = matrix;
+    const DifferentialReport rep = runDifferential(e.make(), opts);
+    EXPECT_TRUE(rep.conformant) << e.name << ": " << rep.detail;
+    EXPECT_EQ(rep.runs.size(), matrix.size()) << e.name;
+    if (e.expected == Verdict::Inconclusive) {
+      EXPECT_TRUE(rep.verdict == Verdict::Inconclusive ||
+                  rep.verdict == Verdict::Pass)
+          << e.name << ": " << rep.detail;
+    } else {
+      EXPECT_EQ(rep.verdict, e.expected) << e.name << ": " << rep.detail;
+    }
+  }
+}
+
+TEST(DporMatrixTest, CompressedTierIsExactUnderForcedHashCollisions) {
+  // A constant placement hash funnels every key into one bucket chain;
+  // the compressed tier must still be membership-exact (collisions may
+  // slow it down, never prune), so the DPOR result matches the oracle.
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  sim::ExploreOptions oracleOpts;
+  const sim::ExploreResult oracle = sim::explore(sys, oracleOpts);
+  ASSERT_FALSE(oracle.capped());
+
+  sim::ExploreOptions opts;
+  opts.reduction = ReductionMode::sourceDpor;
+  opts.visitedTier = VisitedTier::compressed;
+  opts.debugStateHash = &constantHash;
+  const sim::ExploreResult res = sim::explore(sys, opts);
+  ASSERT_FALSE(res.capped());
+  EXPECT_EQ(res.outcomes, oracle.outcomes);
+  EXPECT_EQ(res.mutexViolation, oracle.mutexViolation);
+  EXPECT_EQ(res.maxCsOccupancy, oracle.maxCsOccupancy);
+  EXPECT_LE(res.statesVisited, oracle.statesVisited);
+}
+
+TEST(DporMatrixTest, PerTierByteGaugesAreConsistent) {
+  // The per-tier byte gauges (full keyframes / delta hunks / bloom
+  // bitmap) must always sum to arenaBytes — the number the memory
+  // budget is enforced against — and each tier must populate exactly
+  // its own gauges.
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  for (ReductionMode mode : {ReductionMode::none, ReductionMode::persistentSet,
+                             ReductionMode::sourceDpor}) {
+    for (VisitedTier tier :
+         {VisitedTier::exact, VisitedTier::compressed, VisitedTier::bloom}) {
+      sim::ExploreOptions opts;
+      opts.reduction = mode;
+      opts.visitedTier = tier;
+      const sim::ExploreResult res = sim::explore(sys, opts);
+      const sim::ExploreTelemetry& t = res.telemetry;
+      const std::string ctx = std::string(reductionModeName(mode)) + "/" +
+                              sim::visitedTierName(tier);
+      EXPECT_EQ(t.arenaBytes, t.visitedFullKeyBytes + t.visitedDeltaBytes +
+                                  t.visitedBloomBytes)
+          << ctx;
+      switch (tier) {
+        case VisitedTier::exact:
+          EXPECT_GT(t.visitedFullKeyBytes, 0u) << ctx;
+          EXPECT_EQ(t.visitedDeltaBytes, 0u) << ctx;
+          EXPECT_EQ(t.visitedDeltaKeys, 0u) << ctx;
+          EXPECT_EQ(t.visitedBloomBytes, 0u) << ctx;
+          break;
+        case VisitedTier::compressed:
+          // Delta encoding must engage and pay: total key bytes stay
+          // strictly below an exact run's on the same space.
+          EXPECT_GT(t.visitedDeltaKeys, 0u) << ctx;
+          EXPECT_GT(t.visitedDeltaBytes, 0u) << ctx;
+          EXPECT_EQ(t.visitedBloomBytes, 0u) << ctx;
+          break;
+        case VisitedTier::bloom:
+          EXPECT_EQ(t.visitedFullKeyBytes, 0u) << ctx;
+          EXPECT_EQ(t.visitedDeltaBytes, 0u) << ctx;
+          EXPECT_GT(t.visitedBloomBytes, 0u) << ctx;
+          break;
+      }
+    }
+  }
+  // The compression has to actually compress: same space, same mode,
+  // strictly fewer key bytes than the exact tier.
+  sim::ExploreOptions exactOpts;
+  exactOpts.reduction = ReductionMode::sourceDpor;
+  const auto exact = sim::explore(sys, exactOpts);
+  sim::ExploreOptions compOpts = exactOpts;
+  compOpts.visitedTier = VisitedTier::compressed;
+  const auto comp = sim::explore(sys, compOpts);
+  ASSERT_EQ(exact.statesVisited, comp.statesVisited);
+  EXPECT_LT(comp.telemetry.arenaBytes, exact.telemetry.arenaBytes);
+}
+
+// ---------------------------------------------------------------------------
+// The bloom-tier honesty contract.
+// ---------------------------------------------------------------------------
+
+TEST(BloomTierTest, ForcedTotalCollisionIsLossyNeverPass) {
+  // With a constant hash every state aliases the first one inserted:
+  // the filter prunes the whole space after the initial state.  The
+  // run must come back CompleteLossy — capped, hence INCONCLUSIVE at
+  // the verdict layer — and must not claim a violation it never saw.
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  for (ReductionMode mode : {ReductionMode::none, ReductionMode::sourceDpor}) {
+    sim::ExploreOptions opts;
+    opts.reduction = mode;
+    opts.visitedTier = VisitedTier::bloom;
+    opts.debugStateHash = &constantHash;
+    const sim::ExploreResult res = sim::explore(sys, opts);
+    EXPECT_EQ(res.stopReason, util::StopReason::CompleteLossy)
+        << reductionModeName(mode);
+    EXPECT_TRUE(res.capped()) << reductionModeName(mode);
+    EXPECT_FALSE(res.mutexViolation) << reductionModeName(mode);
+    // Nearly everything was pruned; the explored prefix is tiny.
+    EXPECT_LT(res.statesVisited, 100u) << reductionModeName(mode);
+    EXPECT_GT(res.telemetry.visitedBloomBytes, 0u) << reductionModeName(mode);
+  }
+}
+
+TEST(BloomTierTest, UndersizedFilterDrainsAsCompleteLossy) {
+  // A realistically undersized bitmap (1024-bit minimum against tens of
+  // thousands of states) collides constantly.  However much survives,
+  // the drain must report CompleteLossy and never outgrow the true
+  // space.
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  const sim::ExploreResult oracle = sim::explore(sys, {});
+  ASSERT_FALSE(oracle.capped());
+
+  sim::ExploreOptions opts;
+  opts.visitedTier = VisitedTier::bloom;
+  opts.bloomBits = 1;  // clamps to the 1024-bit minimum
+  const sim::ExploreResult res = sim::explore(sys, opts);
+  EXPECT_EQ(res.stopReason, util::StopReason::CompleteLossy);
+  EXPECT_FALSE(res.mutexViolation);
+  EXPECT_LT(res.statesVisited, oracle.statesVisited);
+}
+
+TEST(BloomTierTest, AdequateFilterStillRefusesToClaimCompleteness) {
+  // Even a filter big enough to (almost surely) hold every state
+  // distinctly must not report Complete: the engine cannot prove the
+  // absence of collisions, so the honest answer stays CompleteLossy and
+  // the explored prefix matches the oracle in practice.
+  const sim::System sys =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::bakeryFactory()).sys;
+  const sim::ExploreResult oracle = sim::explore(sys, {});
+  ASSERT_FALSE(oracle.capped());
+
+  sim::ExploreOptions opts;
+  opts.visitedTier = VisitedTier::bloom;  // default 128 Mbit
+  const sim::ExploreResult res = sim::explore(sys, opts);
+  EXPECT_EQ(res.stopReason, util::StopReason::CompleteLossy);
+  EXPECT_TRUE(res.capped());
+  EXPECT_FALSE(res.mutexViolation);
+  EXPECT_EQ(res.outcomes, oracle.outcomes);
+  EXPECT_EQ(res.statesVisited, oracle.statesVisited);
+}
+
+TEST(BloomTierTest, ViolationFoundUnderBloomStillReplays) {
+  // Lossiness only ever hides states; a violation the bloom run *does*
+  // reach is real and its witness must replay to >= 2 processes in
+  // their critical sections (the oracle re-derives this, it never
+  // trusts the engine's claim).
+  const sim::System sys =
+      core::buildCountSystem(
+          MemoryModel::PSO, 2,
+          core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
+                                          core::PetersonVariant::TsoFence))
+          .sys;
+  sim::ExploreOptions opts;
+  opts.visitedTier = VisitedTier::bloom;
+  const sim::ExploreResult res = sim::explore(sys, opts);
+  ASSERT_TRUE(res.mutexViolation);
+  ASSERT_FALSE(res.witness.empty());
+  const PropertyReport rep = checkMutualExclusionResult(sys, res);
+  EXPECT_FALSE(rep.holds) << rep.detail;
+  EXPECT_TRUE(rep.verifiedViolation) << rep.detail;
+  EXPECT_GE(maxOccupancyOnReplay(sys, res.witness), 2);
+}
+
+}  // namespace
+}  // namespace fencetrade::check

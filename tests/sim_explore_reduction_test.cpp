@@ -30,7 +30,8 @@ constexpr bool kSanitized = true;
 constexpr bool kSanitized = false;
 #endif
 
-ExploreResult runExplore(const System& sys, bool reduction, int workers) {
+ExploreResult runExplore(const System& sys, ReductionMode reduction,
+                         int workers) {
   ExploreOptions opts;
   opts.maxStates = 5'000'000;
   opts.reduction = reduction;
@@ -38,25 +39,30 @@ ExploreResult runExplore(const System& sys, bool reduction, int workers) {
   return explore(sys, opts);
 }
 
-/// Reduced runs (both worker counts) must reproduce the unreduced
-/// sequential oracle's observable results exactly; states may only
-/// shrink (every reduced-graph state is a real reachable state).
+/// Reduced runs (both modes, both worker counts) must reproduce the
+/// unreduced sequential oracle's observable results exactly; states may
+/// only shrink (every reduced-graph state is a real reachable state).
 void expectReductionMatchesOracle(const System& sys,
                                   const std::string& label) {
-  const auto oracle = runExplore(sys, /*reduction=*/false, /*workers=*/1);
+  const auto oracle =
+      runExplore(sys, ReductionMode::none, /*workers=*/1);
   ASSERT_FALSE(oracle.capped()) << label;
-  for (int workers : {1, 4}) {
-    const auto red = runExplore(sys, /*reduction=*/true, workers);
-    ASSERT_FALSE(red.capped()) << label << " workers=" << workers;
-    EXPECT_EQ(red.outcomes, oracle.outcomes)
-        << label << ": outcome sets diverge (workers=" << workers << ")";
-    EXPECT_EQ(red.mutexViolation, oracle.mutexViolation)
-        << label << ": mutex verdicts diverge (workers=" << workers << ")";
-    EXPECT_EQ(red.maxCsOccupancy, oracle.maxCsOccupancy)
-        << label << ": occupancy diverges (workers=" << workers << ")";
-    EXPECT_LE(red.statesVisited, oracle.statesVisited)
-        << label << ": reduction enlarged the space (workers=" << workers
-        << ")";
+  for (ReductionMode mode :
+       {ReductionMode::persistentSet, ReductionMode::sourceDpor}) {
+    for (int workers : {1, 4}) {
+      const auto red = runExplore(sys, mode, workers);
+      ASSERT_FALSE(red.capped()) << label << " workers=" << workers;
+      const std::string ctx = label + " mode=" + reductionModeName(mode) +
+                              " workers=" + std::to_string(workers);
+      EXPECT_EQ(red.outcomes, oracle.outcomes)
+          << ctx << ": outcome sets diverge";
+      EXPECT_EQ(red.mutexViolation, oracle.mutexViolation)
+          << ctx << ": mutex verdicts diverge";
+      EXPECT_EQ(red.maxCsOccupancy, oracle.maxCsOccupancy)
+          << ctx << ": occupancy diverges";
+      EXPECT_LE(red.statesVisited, oracle.statesVisited)
+          << ctx << ": reduction enlarged the space";
+    }
   }
 }
 
@@ -106,7 +112,9 @@ TEST(ReductionTest, GtN4CappedSmoke) {
   const std::uint64_t cap = kSanitized ? 20'000 : 150'000;
   for (auto m : {MemoryModel::SC, MemoryModel::PSO}) {
     const System sys = gtSystem(m, 2, 4);
-    for (bool reduction : {false, true}) {
+    for (ReductionMode reduction :
+         {ReductionMode::none, ReductionMode::persistentSet,
+          ReductionMode::sourceDpor}) {
       for (int workers : {1, 4}) {
         ExploreOptions opts;
         opts.maxStates = cap;
@@ -115,7 +123,8 @@ TEST(ReductionTest, GtN4CappedSmoke) {
         const auto res = explore(sys, opts);
         EXPECT_TRUE(res.capped()) << memoryModelName(m);
         EXPECT_FALSE(res.mutexViolation)
-            << memoryModelName(m) << " reduction=" << reduction
+            << memoryModelName(m)
+            << " reduction=" << reductionModeName(reduction)
             << " workers=" << workers;
       }
     }
@@ -128,20 +137,25 @@ TEST(ReductionTest, StrictlyShrinksPsoStateSpaces) {
   // traversal-order dependent — only the full counts are pinned.)
   {
     const System sys = litmusSB(MemoryModel::PSO, false);
-    const auto full = runExplore(sys, false, 1);
-    const auto red = runExplore(sys, true, 1);
+    const auto full = runExplore(sys, ReductionMode::none, 1);
+    const auto red = runExplore(sys, ReductionMode::persistentSet, 1);
     EXPECT_LT(red.statesVisited, full.statesVisited) << "SB PSO";
   }
   if (!kSanitized) {
     const System sys = gtSystem(MemoryModel::PSO, 2, 3);
-    const auto full = runExplore(sys, false, 1);
-    const auto red = runExplore(sys, true, 1);
+    const auto full = runExplore(sys, ReductionMode::none, 1);
+    const auto red = runExplore(sys, ReductionMode::persistentSet, 1);
     EXPECT_EQ(full.statesVisited, 186151u);  // pinned full-graph size
     EXPECT_LT(red.statesVisited, full.statesVisited) << "GT_2 n=3 PSO";
+    // The DPOR acceptance bar: source sets + sleep sets must beat the
+    // persistent-set reduction by at least 3x on GT_2 n=3 PSO.
+    const auto dpor = runExplore(sys, ReductionMode::sourceDpor, 1);
+    EXPECT_LE(dpor.statesVisited * 3, red.statesVisited)
+        << "GT_2 n=3 PSO: source-DPOR under 3x of persistent-set POR";
   } else {
     const System sys = gtSystem(MemoryModel::PSO, 2, 2);
-    const auto full = runExplore(sys, false, 1);
-    const auto red = runExplore(sys, true, 1);
+    const auto full = runExplore(sys, ReductionMode::none, 1);
+    const auto red = runExplore(sys, ReductionMode::persistentSet, 1);
     EXPECT_LT(red.statesVisited, full.statesVisited) << "GT_2 n=2 PSO";
   }
 }
@@ -150,17 +164,21 @@ TEST(ReductionTest, SoundUnderForcedHashCollisions) {
   // The cycle proviso probes the visited set; a degenerate hash must
   // not change what the reduced exploration observes.
   const System sys = litmusSB(MemoryModel::PSO, false);
-  const auto oracle = runExplore(sys, false, 1);
-  ExploreOptions opts;
-  opts.reduction = true;
-  opts.debugStateHash = [](std::string_view) -> std::uint64_t {
-    return 42;
-  };
-  for (int workers : {1, 4}) {
-    opts.workers = workers;
-    const auto res = explore(sys, opts);
-    EXPECT_EQ(res.outcomes, oracle.outcomes) << "workers=" << workers;
-    EXPECT_EQ(res.mutexViolation, oracle.mutexViolation);
+  const auto oracle = runExplore(sys, ReductionMode::none, 1);
+  for (ReductionMode mode :
+       {ReductionMode::persistentSet, ReductionMode::sourceDpor}) {
+    ExploreOptions opts;
+    opts.reduction = mode;
+    opts.debugStateHash = [](std::string_view) -> std::uint64_t {
+      return 42;
+    };
+    for (int workers : {1, 4}) {
+      opts.workers = workers;
+      const auto res = explore(sys, opts);
+      EXPECT_EQ(res.outcomes, oracle.outcomes)
+          << reductionModeName(mode) << " workers=" << workers;
+      EXPECT_EQ(res.mutexViolation, oracle.mutexViolation);
+    }
   }
 }
 
@@ -177,17 +195,22 @@ TEST(ReductionTest, LivenessVerdictPreservedOnLockFamily) {
     LivenessOptions full;
     const auto oracle = checkLiveness(os.sys, full);
     ASSERT_TRUE(oracle.complete()) << name;
-    for (int workers : {1, 4}) {
-      LivenessOptions opts;
-      opts.reduction = true;
-      opts.workers = workers;
-      const auto red = checkLiveness(os.sys, opts);
-      ASSERT_TRUE(red.complete()) << name << " workers=" << workers;
-      EXPECT_EQ(red.allCanTerminate, oracle.allCanTerminate)
-          << name << ": termination verdict diverges (workers=" << workers
-          << ")";
-      EXPECT_LE(red.states, oracle.states) << name;
-      EXPECT_GE(red.terminalStates, 1u) << name;
+    for (ReductionMode mode :
+         {ReductionMode::persistentSet, ReductionMode::sourceDpor}) {
+      for (int workers : {1, 4}) {
+        LivenessOptions opts;
+        opts.reduction = mode;
+        opts.workers = workers;
+        const auto red = checkLiveness(os.sys, opts);
+        ASSERT_TRUE(red.complete())
+            << name << " " << reductionModeName(mode)
+            << " workers=" << workers;
+        EXPECT_EQ(red.allCanTerminate, oracle.allCanTerminate)
+            << name << " " << reductionModeName(mode)
+            << ": termination verdict diverges (workers=" << workers << ")";
+        EXPECT_LE(red.states, oracle.states) << name;
+        EXPECT_GE(red.terminalStates, 1u) << name;
+      }
     }
   }
 }
@@ -216,15 +239,19 @@ TEST(ReductionTest, LivenessStillDetectsGenuineDeadlock) {
   sys.programs.push_back(prog("p0", f1, f0, 0));
   sys.programs.push_back(prog("p1", f0, f1, 1));
 
-  for (int workers : {1, 4}) {
-    LivenessOptions opts;
-    opts.reduction = true;
-    opts.workers = workers;
-    const auto res = checkLiveness(sys, opts);
-    ASSERT_TRUE(res.complete()) << "workers=" << workers;
-    EXPECT_FALSE(res.allCanTerminate) << "workers=" << workers;
-    EXPECT_EQ(res.terminalStates, 0u) << "workers=" << workers;
-    EXPECT_GT(res.stuckStates, 0u) << "workers=" << workers;
+  for (ReductionMode mode :
+       {ReductionMode::persistentSet, ReductionMode::sourceDpor}) {
+    for (int workers : {1, 4}) {
+      LivenessOptions opts;
+      opts.reduction = mode;
+      opts.workers = workers;
+      const auto res = checkLiveness(sys, opts);
+      ASSERT_TRUE(res.complete())
+          << reductionModeName(mode) << " workers=" << workers;
+      EXPECT_FALSE(res.allCanTerminate) << "workers=" << workers;
+      EXPECT_EQ(res.terminalStates, 0u) << "workers=" << workers;
+      EXPECT_GT(res.stuckStates, 0u) << "workers=" << workers;
+    }
   }
 }
 
@@ -280,20 +307,24 @@ TEST(ReductionTest, RandomSystemDifferentialPso) {
   const std::uint64_t kSeeds = kSanitized ? 20 : 60;
   for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
     const System sys = randomSystem(seed, MemoryModel::PSO, 2, 4);
-    const auto oracle = runExplore(sys, false, 1);
+    const auto oracle = runExplore(sys, ReductionMode::none, 1);
     ASSERT_FALSE(oracle.capped()) << "seed " << seed;
     const int multi = 2 + static_cast<int>(seed % 3);  // 2..4 workers
-    for (int workers : {1, multi}) {
-      const auto red = runExplore(sys, true, workers);
-      ASSERT_EQ(red.outcomes, oracle.outcomes)
-          << "seed " << seed << " workers=" << workers
-          << ": reduced explorer missed or invented outcomes";
-      EXPECT_EQ(red.mutexViolation, oracle.mutexViolation)
-          << "seed " << seed << " workers=" << workers;
-      EXPECT_EQ(red.maxCsOccupancy, oracle.maxCsOccupancy)
-          << "seed " << seed << " workers=" << workers;
-      EXPECT_LE(red.statesVisited, oracle.statesVisited)
-          << "seed " << seed << " workers=" << workers;
+    for (ReductionMode mode :
+         {ReductionMode::persistentSet, ReductionMode::sourceDpor}) {
+      for (int workers : {1, multi}) {
+        const auto red = runExplore(sys, mode, workers);
+        ASSERT_EQ(red.outcomes, oracle.outcomes)
+            << "seed " << seed << " " << reductionModeName(mode)
+            << " workers=" << workers
+            << ": reduced explorer missed or invented outcomes";
+        EXPECT_EQ(red.mutexViolation, oracle.mutexViolation)
+            << "seed " << seed << " workers=" << workers;
+        EXPECT_EQ(red.maxCsOccupancy, oracle.maxCsOccupancy)
+            << "seed " << seed << " workers=" << workers;
+        EXPECT_LE(red.statesVisited, oracle.statesVisited)
+            << "seed " << seed << " workers=" << workers;
+      }
     }
   }
 }

@@ -163,13 +163,17 @@ TEST(LivenessControlTest, CancellationAndBudgetsStopGraphConstruction) {
 /// Runs sys to a StateCap checkpoint at `stopAt` states, resumes, and
 /// asserts the resumed result is identical to the uninterrupted run in
 /// everything the verdict contract covers.
-void roundTrip(const System& sys, std::uint64_t stopAt, bool reduction) {
+void roundTrip(const System& sys, std::uint64_t stopAt,
+               ReductionMode reduction,
+               VisitedTier tier = VisitedTier::exact) {
   ExploreOptions full;
   full.reduction = reduction;
+  full.visitedTier = tier;
   const ExploreResult ref = explore(sys, full);
 
   ExploreOptions first;
   first.reduction = reduction;
+  first.visitedTier = tier;
   first.maxStates = stopAt;
   std::string blob;
   first.checkpointOut = &blob;
@@ -180,6 +184,7 @@ void roundTrip(const System& sys, std::uint64_t stopAt, bool reduction) {
 
   ExploreOptions second;
   second.reduction = reduction;
+  second.visitedTier = tier;
   second.resumeFrom = &blob;
   const ExploreResult resumed = explore(sys, second);
 
@@ -192,17 +197,28 @@ void roundTrip(const System& sys, std::uint64_t stopAt, bool reduction) {
 }
 
 TEST(ExploreCheckpointTest, ResumeMatchesUninterruptedRun) {
-  roundTrip(bakery3(), 5'000, /*reduction=*/false);
+  roundTrip(bakery3(), 5'000, ReductionMode::none);
 }
 
 TEST(ExploreCheckpointTest, ResumeMatchesUninterruptedRunUnderReduction) {
-  roundTrip(bakery3(), 2'000, /*reduction=*/true);
+  roundTrip(bakery3(), 2'000, ReductionMode::persistentSet);
+}
+
+TEST(ExploreCheckpointTest, ResumeMatchesUninterruptedRunUnderDpor) {
+  roundTrip(bakery3(), 2'000, ReductionMode::sourceDpor);
+}
+
+TEST(ExploreCheckpointTest, ResumeMatchesUninterruptedRunDporCompressed) {
+  // Compressed visited tier: the resumed store must rebuild its delta
+  // chains to the exact ids the interrupted run assigned.
+  roundTrip(bakery3(), 2'000, ReductionMode::sourceDpor,
+            VisitedTier::compressed);
 }
 
 TEST(ExploreCheckpointTest, ResumeReproducesTheExactViolationWitness) {
   // Interrupt before the violation is found; the resumed run must find
   // the same violation with a byte-identical witness schedule.
-  roundTrip(strippedGt2(), 50, /*reduction=*/false);
+  roundTrip(strippedGt2(), 50, ReductionMode::none);
 }
 
 TEST(ExploreCheckpointTest, ChainedCheckpointsStillConverge) {
@@ -263,10 +279,27 @@ TEST(ExploreCheckpointTest, ResumeWithDifferentFlagsIsRejected) {
   first.checkpointOut = &blob;
   ASSERT_EQ(explore(bakery3(), first).stopReason, StopReason::StateCap);
 
-  ExploreOptions second;
-  second.resumeFrom = &blob;
-  second.reduction = true;  // a different search graph: must not resume
-  EXPECT_THROW(explore(bakery3(), second), util::CheckError);
+  {
+    ExploreOptions second;
+    second.resumeFrom = &blob;
+    // A different search graph: must not resume.
+    second.reduction = ReductionMode::persistentSet;
+    EXPECT_THROW(explore(bakery3(), second), util::CheckError);
+  }
+  {
+    ExploreOptions second;
+    second.resumeFrom = &blob;
+    second.reduction = ReductionMode::sourceDpor;
+    EXPECT_THROW(explore(bakery3(), second), util::CheckError);
+  }
+  {
+    // Same reduction, different visited tier: also a different search
+    // (the compressed store's parent chains shape resume state).
+    ExploreOptions second;
+    second.resumeFrom = &blob;
+    second.visitedTier = VisitedTier::compressed;
+    EXPECT_THROW(explore(bakery3(), second), util::CheckError);
+  }
 }
 
 TEST(ExploreCheckpointTest, ParallelRunsRejectCheckpointAndResume) {

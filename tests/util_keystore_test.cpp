@@ -1,0 +1,233 @@
+// Unit tests for the visited-set storage tiers (util/keystore.h):
+// DeltaKeyStore delta round-trips, keyframe fallback, forced-collision
+// exactness; AtomicBloomFilter one-sided-error semantics.
+
+#include "util/keystore.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fencetrade::util {
+namespace {
+
+std::uint64_t constantHash(std::string_view) { return 42; }
+
+std::string keyFor(int i) {
+  // Long common prefix/suffix with a small varying middle — the shape
+  // one schedule step leaves on a serialized Config.
+  std::string k(64, 'a');
+  k[20] = static_cast<char>('0' + (i % 10));
+  k[21] = static_cast<char>('A' + ((i / 10) % 26));
+  k[22] = static_cast<char>('A' + ((i / 260) % 26));
+  return k;
+}
+
+TEST(DeltaKeyStoreTest, DenseIdsInInsertionOrder) {
+  DeltaKeyStore store;
+  for (int i = 0; i < 100; ++i) {
+    const DeltaKeyStore::InsertResult r = store.insert(keyFor(i));
+    EXPECT_TRUE(r.fresh) << i;
+    EXPECT_EQ(r.id, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(store.size(), 100u);
+  // Re-inserting returns the original id without growing the store.
+  for (int i = 0; i < 100; ++i) {
+    const DeltaKeyStore::InsertResult r = store.insert(keyFor(i));
+    EXPECT_FALSE(r.fresh) << i;
+    EXPECT_EQ(r.id, static_cast<std::uint32_t>(i));
+    EXPECT_EQ(store.find(keyFor(i)), static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(store.size(), 100u);
+  EXPECT_EQ(store.find("absent"), DeltaKeyStore::kNoId);
+  EXPECT_FALSE(store.contains("absent"));
+}
+
+TEST(DeltaKeyStoreTest, DeltaChainsReconstructExactly) {
+  DeltaKeyStore store;
+  std::vector<std::string> keys;
+  std::uint32_t parent = DeltaKeyStore::kNoId;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back(keyFor(i));
+    const auto r = store.insert(keys.back(), parent);
+    ASSERT_TRUE(r.fresh);
+    parent = r.id;
+  }
+  // Similar keys delta-encode; the per-key storage must be far below
+  // the raw key bytes.
+  EXPECT_GT(store.deltaCount(), 150u);
+  EXPECT_LT(store.bytes(), 200u * 64u / 4u);
+  EXPECT_EQ(store.bytes(), store.fullBytes() + store.deltaBytes());
+  std::string out;
+  for (int i = 0; i < 200; ++i) {
+    store.reconstruct(static_cast<std::uint32_t>(i), out);
+    EXPECT_EQ(out, keys[static_cast<std::size_t>(i)]) << "id " << i;
+  }
+}
+
+TEST(DeltaKeyStoreTest, KeyframesBreakDeepChains) {
+  // A chain far longer than kMaxDepth must be split by forced
+  // keyframes: more than one full key stored, every key still exact.
+  DeltaKeyStore store;
+  std::uint32_t parent = DeltaKeyStore::kNoId;
+  const int count = DeltaKeyStore::kMaxDepth * 6;
+  for (int i = 0; i < count; ++i) {
+    parent = store.insert(keyFor(i), parent).id;
+  }
+  EXPECT_GE(store.fullBytes(), 2u * 64u);
+  EXPECT_GT(store.deltaCount(), 0u);
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    store.reconstruct(static_cast<std::uint32_t>(i), out);
+    EXPECT_EQ(out, keyFor(i)) << "id " << i;
+  }
+}
+
+TEST(DeltaKeyStoreTest, UnprofitableDiffFallsBackToKeyframe) {
+  DeltaKeyStore store;
+  const std::uint32_t p = store.insert(std::string(64, 'x')).id;
+  // Nothing in common with the parent: the diff would not pay, so the
+  // key must be stored as a keyframe (depth 0, no delta bytes).
+  store.insert(std::string(64, 'y'), p);
+  EXPECT_EQ(store.deltaCount(), 0u);
+  EXPECT_EQ(store.deltaBytes(), 0u);
+  EXPECT_EQ(store.fullBytes(), 128u);
+}
+
+TEST(DeltaKeyStoreTest, ExactUnderForcedHashCollisions) {
+  // A constant hash lands every key in one bucket chain; membership
+  // must still be decided by full key bytes, never by hash.
+  DeltaKeyStore store(&constantHash);
+  std::uint32_t parent = DeltaKeyStore::kNoId;
+  for (int i = 0; i < 300; ++i) {
+    const auto r = store.insert(keyFor(i), parent);
+    ASSERT_TRUE(r.fresh) << i;
+    parent = r.id;
+  }
+  EXPECT_EQ(store.size(), 300u);
+  std::string out;
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(store.find(keyFor(i)), static_cast<std::uint32_t>(i));
+    store.reconstruct(static_cast<std::uint32_t>(i), out);
+    EXPECT_EQ(out, keyFor(i));
+  }
+  EXPECT_FALSE(store.contains(std::string(64, 'z')));
+}
+
+TEST(DeltaKeyStoreTest, BinaryAndEmptyKeys) {
+  DeltaKeyStore store;
+  std::string bin(32, '\0');
+  bin[7] = '\x01';
+  bin[15] = '\xff';
+  const auto r0 = store.insert(bin);
+  const auto r1 = store.insert(std::string_view{});
+  EXPECT_TRUE(r0.fresh);
+  EXPECT_TRUE(r1.fresh);
+  EXPECT_NE(r0.id, r1.id);
+  // The empty key may be delta-encoded against any parent.
+  const auto r2 = store.insert(std::string_view{}, r0.id);
+  EXPECT_FALSE(r2.fresh);
+  EXPECT_EQ(r2.id, r1.id);
+  std::string out;
+  store.reconstruct(r0.id, out);
+  EXPECT_EQ(out, bin);
+  store.reconstruct(r1.id, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DeltaKeyStoreTest, SurvivesRehashGrowth) {
+  // 5000 entries force several bucket-table doublings; every key keeps
+  // its id and reconstructs bit-exactly afterwards.
+  DeltaKeyStore store;
+  std::uint32_t parent = DeltaKeyStore::kNoId;
+  for (int i = 0; i < 5000; ++i) {
+    std::string k = keyFor(i % 1000);
+    k += std::to_string(i);
+    parent = store.insert(k, parent).id;
+    ASSERT_EQ(parent, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(store.size(), 5000u);
+  std::string out;
+  for (int i = 0; i < 5000; i += 97) {
+    std::string k = keyFor(i % 1000);
+    k += std::to_string(i);
+    EXPECT_EQ(store.find(k), static_cast<std::uint32_t>(i));
+    store.reconstruct(static_cast<std::uint32_t>(i), out);
+    EXPECT_EQ(out, k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AtomicBloomFilter
+// ---------------------------------------------------------------------------
+
+TEST(AtomicBloomFilterTest, NoFalseNegatives) {
+  AtomicBloomFilter bloom(std::uint64_t{1} << 20);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(bloom.insert(keyFor(i) + std::to_string(i))) << i;
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(bloom.contains(keyFor(i) + std::to_string(i))) << i;
+  }
+  // Re-inserting a present key reports "possibly duplicate".
+  EXPECT_FALSE(bloom.insert(keyFor(0) + "0"));
+}
+
+TEST(AtomicBloomFilterTest, BitsRoundUpToPowerOfTwo) {
+  AtomicBloomFilter tiny(1);  // clamps to the 1024-bit minimum
+  EXPECT_EQ(tiny.bytes(), 1024u / 8u);
+  AtomicBloomFilter odd(3000);  // rounds up to 4096 bits
+  EXPECT_EQ(odd.bytes(), 4096u / 8u);
+}
+
+TEST(AtomicBloomFilterTest, SaturatedFilterReportsFalsePositives) {
+  // 1024 bits with k=3 saturate after a few hundred keys: fresh keys
+  // then read as duplicates.  This is exactly the soundness leak the
+  // CompleteLossy stop reason exists for.
+  AtomicBloomFilter bloom(1);
+  bool falsePositive = false;
+  for (int i = 0; i < 5000 && !falsePositive; ++i) {
+    const std::string k = "key-" + std::to_string(i);
+    if (bloom.contains(k)) falsePositive = true;
+    bloom.insert(k);
+  }
+  EXPECT_TRUE(falsePositive);
+}
+
+TEST(AtomicBloomFilterTest, ConstantHashAliasesEveryKey) {
+  // With a degenerate hash all keys share the same 3 bits: only the
+  // very first insert is "possibly new" — the worst-case collision the
+  // INCONCLUSIVE contract must survive.
+  AtomicBloomFilter bloom(std::uint64_t{1} << 16, &constantHash);
+  EXPECT_TRUE(bloom.insert("first"));
+  EXPECT_FALSE(bloom.insert("second"));
+  EXPECT_TRUE(bloom.contains("never-inserted"));
+}
+
+TEST(AtomicBloomFilterTest, ConcurrentInsertsAreSound) {
+  AtomicBloomFilter bloom(std::uint64_t{1} << 22);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bloom, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        bloom.insert("t" + std::to_string(t) + "-" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // Concurrency must never lose a bit: every inserted key still reads
+  // as present.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; i += 37) {
+      EXPECT_TRUE(
+          bloom.contains("t" + std::to_string(t) + "-" + std::to_string(i)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fencetrade::util
