@@ -34,6 +34,14 @@
 //   --mem-budget BYTES (visited-set arena budget, corpus legs only).
 //
 //   --json on either subcommand emits a machine-readable report.
+//   --ledger FILE on either subcommand appends one single-line JSON
+//   run record (schema fencetrade-run/1) to FILE crash-safely;
+//   $FENCETRADE_LEDGER supplies the default path.
+//
+// The process keeps a flight recorder armed: bounded per-thread event
+// rings are dumped as NDJSON (flight-conformance-<trigger>.ndjson in
+// $FENCETRADE_FLIGHT_DIR, default ".") on worker stalls, FT_CHECK
+// failures, fatal signals, and SIGINT/SIGTERM-cancelled runs.
 //
 // SIGINT/SIGTERM cancel the run cooperatively: the report for the
 // finished prefix is still emitted as valid JSON (with a stopReason),
@@ -43,6 +51,7 @@
 // Exit codes (shared with lock_doctor via src/check/verdict.h):
 // 0 pass, 1 violation/conformance failure, 2 usage, 3 inconclusive,
 // 4 interrupted.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,6 +65,7 @@
 #include "check/fuzz.h"
 #include "check/inject.h"
 #include "check/jsonio.h"
+#include "check/ledger.h"
 #include "check/oracles.h"
 #include "check/verdict.h"
 #include "core/bakery.h"
@@ -65,6 +75,7 @@
 #include "core/peterson.h"
 #include "sim/trace_export.h"
 #include "util/checkpoint.h"
+#include "util/eventlog.h"
 #include "util/runcontrol.h"
 
 namespace {
@@ -79,15 +90,55 @@ bool writeFile(const std::string& path, const std::string& contents) {
   return static_cast<bool>(f);
 }
 
+// Run-ledger context threaded into both subcommands: the --ledger path
+// (possibly empty → no-op), the joined command line for the options
+// fingerprint, and the process start time for total wall seconds.
+struct LedgerCtx {
+  std::string path;
+  std::string argvJoined;
+  std::chrono::steady_clock::time_point start;
+
+  double wallSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+};
+
+void appendLedger(const LedgerCtx& ctx, const std::string& subject,
+                  const std::string& model, int n, int workers,
+                  Verdict verdict, util::StopReason stop,
+                  std::uint64_t states, std::uint64_t arenaBytes) {
+  check::RunLedgerRecord rec;
+  rec.tool = "conformance";
+  rec.subject = subject;
+  rec.model = model;
+  rec.n = n;
+  rec.workers = workers;
+  rec.argv = ctx.argvJoined;
+  rec.verdict = check::verdictName(verdict);
+  rec.exitCode = check::verdictExitCode(verdict);
+  rec.stopReason = util::stopReasonName(stop);
+  rec.wallSeconds = ctx.wallSeconds();
+  rec.statesVisited = states;
+  rec.peakArenaBytes = arenaBytes;
+  rec.profile = util::EventLog::instance().snapshotProfile();
+  if (!check::appendRunLedger(ctx.path, rec)) {
+    std::fprintf(stderr, "warning: cannot append run ledger to %s\n",
+                 ctx.path.c_str());
+  }
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s corpus [--quick] [--json] [--stop-on-fail]\n"
-      "           [--deadline SECS] [--mem-budget BYTES]\n"
+      "           [--deadline SECS] [--mem-budget BYTES] [--ledger FILE]\n"
       "       %s fuzz [target] [SC|TSO|PSO] [n] [--seeds N] [--seed-base S]\n"
       "           [--budget R] [--max-seconds T] [--workers W]\n"
       "           [--strip-fence K] [--witness FILE] [--json]\n"
-      "           [--deadline SECS] [--checkpoint FILE] [--resume FILE]\n",
+      "           [--deadline SECS] [--checkpoint FILE] [--resume FILE]\n"
+      "           [--ledger FILE]\n",
       argv0, argv0);
   return check::verdictExitCode(Verdict::UsageError);
 }
@@ -114,13 +165,14 @@ core::LockFactory fuzzTargetByName(const std::string& name, bool& ok) {
 }
 
 int runCorpus(bool quick, bool json, bool stopOnFail,
-              const util::RunControl& control) {
+              const util::RunControl& control, const LedgerCtx& ledger) {
   const auto corpus = check::conformanceCorpus(quick);
   Verdict overall = Verdict::Pass;
   util::StopReason runStop = util::StopReason::Complete;
   std::string jout;
   jout += "{\"entries\":[";
   std::size_t ran = 0, agreed = 0;
+  std::uint64_t totalStates = 0;
 
   for (const check::CorpusEntry& entry : corpus) {
     // Cancellation between entries: emit the finished prefix and stop.
@@ -141,6 +193,7 @@ int runCorpus(bool quick, bool json, bool stopOnFail,
     }
     ++ran;
     if (rep.conformant) ++agreed;
+    totalStates += rep.runs.empty() ? 0 : rep.runs[0].res.statesVisited;
 
     // An entry passes when the engines agree AND the agreed property
     // verdict matches the corpus ground truth — peterson-tso under PSO
@@ -197,6 +250,13 @@ int runCorpus(bool quick, bool json, bool stopOnFail,
     if (stopOnFail && entryStatus == Verdict::Violation) break;
   }
 
+  // SIGINT'd runs leave a flight dump whose final events carry the
+  // cancelled stop, matching the Interrupted verdict reported below.
+  if (runStop == util::StopReason::Cancelled) {
+    util::EventLog::instance().dump("sigint");
+  }
+  appendLedger(ledger, "corpus", "", 0, 1, overall, runStop, totalStates, 0);
+
   if (json) {
     jout += "],";
     check::jsonU64(jout, "entriesRun", ran);
@@ -206,6 +266,9 @@ int runCorpus(bool quick, bool json, bool stopOnFail,
     check::jsonStr(jout, "stopReason", util::stopReasonName(runStop));
     jout += ',';
     check::jsonStr(jout, "verdict", check::verdictName(overall));
+    jout += ',';
+    check::jsonPhases(jout, util::EventLog::instance().snapshotProfile(),
+                      ledger.wallSeconds());
     jout += "}\n";
     std::fputs(jout.c_str(), stdout);
   } else {
@@ -219,7 +282,8 @@ int runCorpus(bool quick, bool json, bool stopOnFail,
 int runFuzz(const std::string& target, const std::string& modelName, int n,
             check::FuzzOptions fopts, int stripFenceIdx, bool json,
             const std::string& witnessPath, const std::string& checkpointPath,
-            const std::string& resumePath, const char* argv0) {
+            const std::string& resumePath, const char* argv0,
+            const LedgerCtx& ledger) {
   bool lockOk = false;
   const core::LockFactory factory = fuzzTargetByName(target, lockOk);
   sim::MemoryModel model;
@@ -261,6 +325,12 @@ int runFuzz(const std::string& target, const std::string& modelName, int n,
   if (!checkpointPath.empty()) fopts.checkpointOut = &checkpointBlob;
 
   const check::FuzzReport rep = check::fuzzMutualExclusion(sys, fopts);
+
+  if (rep.stopReason == util::StopReason::Cancelled) {
+    util::EventLog::instance().dump("sigint");
+  }
+  appendLedger(ledger, target, modelName, n, fopts.workers, rep.verdict,
+               rep.stopReason, rep.schedulesRun, 0);
 
   bool checkpointWritten = false;
   if (!checkpointPath.empty() && !checkpointBlob.empty()) {
@@ -342,6 +412,9 @@ int runFuzz(const std::string& target, const std::string& modelName, int n,
     }
     out += ',';
     check::jsonStr(out, "verdict", check::verdictName(rep.verdict));
+    out += ',';
+    check::jsonPhases(out, util::EventLog::instance().snapshotProfile(),
+                      ledger.wallSeconds());
     out += "}\n";
     std::fputs(out.c_str(), stdout);
   } else {
@@ -380,6 +453,21 @@ int runFuzz(const std::string& target, const std::string& modelName, int n,
 }  // namespace
 
 int main(int argc, char** argv) {
+  LedgerCtx ledger;
+  ledger.start = std::chrono::steady_clock::now();
+  // Flight recorder: armed for the whole run, dumping NDJSON to
+  // $FENCETRADE_FLIGHT_DIR (default ".") on stalls, FT_CHECK failures,
+  // fatal signals, and SIGINT-cancelled runs.
+  {
+    const char* dir = std::getenv("FENCETRADE_FLIGHT_DIR");
+    util::EventLog::instance().arm(dir != nullptr ? dir : ".", "conformance");
+  }
+  if (const char* env = std::getenv("FENCETRADE_LEDGER")) ledger.path = env;
+  for (int i = 0; i < argc; ++i) {
+    if (i) ledger.argvJoined += ' ';
+    ledger.argvJoined += argv[i];
+  }
+
   if (argc < 2) return usage(argv[0]);
   const std::string mode = argv[1];
 
@@ -439,6 +527,9 @@ int main(int argc, char** argv) {
     } else if (a == "--resume") {
       if (!(v = needValue(i))) return usage(argv[0]);
       resumePath = v;
+    } else if (a == "--ledger") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      ledger.path = v;
     } else if (a.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else {
@@ -465,7 +556,7 @@ int main(int argc, char** argv) {
                    "error: --checkpoint/--resume only apply to fuzz\n");
       return usage(argv[0]);
     }
-    return runCorpus(quick, json, stopOnFail, control);
+    return runCorpus(quick, json, stopOnFail, control, ledger);
   }
   if (mode == "fuzz") {
     if (pos.size() > 3) return usage(argv[0]);
@@ -474,7 +565,7 @@ int main(int argc, char** argv) {
     const int n = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 2;
     fopts.control = control;
     return runFuzz(target, model, n, fopts, stripFenceIdx, json,
-                   witnessPath, checkpointPath, resumePath, argv[0]);
+                   witnessPath, checkpointPath, resumePath, argv[0], ledger);
   }
   return usage(argv[0]);
 }

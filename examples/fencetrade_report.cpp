@@ -1,0 +1,688 @@
+// Fencetrade report: aggregate the run ledger (and optionally the
+// committed google-benchmark baselines) into a markdown dashboard.
+//
+//   $ ./fencetrade_report [--ledger FILE] [--bench-dir DIR]
+//                         [--out FILE] [--threshold PCT] [--selftest]
+//
+//   --ledger FILE     NDJSON run ledger to aggregate (default
+//                     runs.ndjson; $FENCETRADE_LEDGER overrides the
+//                     default).  Lines that fail to parse or carry a
+//                     different schema are counted and skipped, never
+//                     fatal — a ledger written by a fleet of runs with
+//                     mixed tool versions still renders.
+//   --bench-dir DIR   directory holding BENCH_*.json google-benchmark
+//                     exports (e.g. bench/baselines); renders a
+//                     baseline table when given
+//   --out FILE        write the markdown there instead of stdout
+//   --threshold PCT   regression flag threshold in percent (default
+//                     20): the latest run of a (tool, subject, model,
+//                     n) group is flagged when its states/sec drops
+//                     more than PCT below the median of its earlier
+//                     runs
+//   --selftest        hermetic smoke: synthesize a three-run ledger
+//                     (including one inconclusive run) in memory,
+//                     render it, and verify every run's per-phase
+//                     breakdown sums to its wall time within ±5%;
+//                     prints "selftest: PASS" and exits 0 on success
+//
+// The dashboard sections: a runs table (one row per ledger record), a
+// per-run top-level phase breakdown with a wall-time coverage check
+// (phaseSeconds + unattributedSeconds must reconstruct wallSeconds to
+// within 5%), throughput regression flags, and the bench baselines.
+//
+// Exit codes: 0 ok, 1 selftest failure, 2 usage error or unreadable
+// ledger.
+#include <dirent.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/ledger.h"
+#include "util/eventlog.h"
+#include "util/runcontrol.h"
+
+namespace {
+
+using namespace fencetrade;
+
+// ---------------------------------------------------------------------------
+// Tolerant mini JSON parser
+// ---------------------------------------------------------------------------
+//
+// The ledger and the benchmark exports are machine-written, so a full
+// spec-grade parser is overkill; this one accepts everything those
+// writers emit, preserves object key order, and signals failure by
+// returning nullptr rather than throwing.
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  std::string str(const std::string& key, std::string fallback = "") const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::String ? v->string
+                                                   : std::move(fallback);
+  }
+  double num(const std::string& key, double fallback = 0.0) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::Number ? v->number : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  /// Parse one JSON value; returns false on any syntax error.
+  bool parse(JsonValue& out) {
+    skipWs();
+    if (!parseValue(out)) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool lit(const char* word, JsonValue& out, JsonValue::Kind kind, bool b) {
+    const std::size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    out.kind = kind;
+    out.boolean = b;
+    return true;
+  }
+
+  bool parseValue(JsonValue& out) {
+    skipWs();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return parseObject(out);
+      case '[':
+        return parseArray(out);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parseString(out.string);
+      case 't':
+        return lit("true", out, JsonValue::Kind::Bool, true);
+      case 'f':
+        return lit("false", out, JsonValue::Kind::Bool, false);
+      case 'n':
+        return lit("null", out, JsonValue::Kind::Null, false);
+      default:
+        return parseNumber(out);
+    }
+  }
+
+  bool parseObject(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    if (!eat('{')) return false;
+    skipWs();
+    if (eat('}')) return true;
+    for (;;) {
+      skipWs();
+      std::string key;
+      if (!parseString(key)) return false;
+      skipWs();
+      if (!eat(':')) return false;
+      JsonValue v;
+      if (!parseValue(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skipWs();
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool parseArray(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    if (!eat('[')) return false;
+    skipWs();
+    if (eat(']')) return true;
+    for (;;) {
+      JsonValue v;
+      if (!parseValue(v)) return false;
+      out.array.push_back(std::move(v));
+      skipWs();
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  bool parseString(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      char e = s_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // The writers only escape control characters; anything wider
+          // degrades to '?' rather than growing a UTF-8 encoder here.
+          out += cp < 0x80 ? static_cast<char>(cp) : '?';
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parseNumber(JsonValue& out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    out.kind = JsonValue::Kind::Number;
+    out.number = v;
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Ledger model
+// ---------------------------------------------------------------------------
+
+struct PhaseRow {
+  std::string name;
+  bool topLevel = false;
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+  std::string stop;
+};
+
+struct RunRow {
+  std::string tool, subject, model, verdict, stopReason, fingerprint;
+  int n = 0, workers = 0;
+  double wallSeconds = 0.0, phaseSeconds = 0.0, unattributedSeconds = 0.0;
+  double statesPerSec = 0.0;
+  std::uint64_t statesVisited = 0, peakArenaBytes = 0;
+  std::vector<PhaseRow> phases;
+
+  /// Wall-time coverage of the phase breakdown: top-level phase time
+  /// plus the recorded slack, as a fraction of wall.  1.0 when the
+  /// record is self-consistent; the dashboard flags |1 - cov| > 5%.
+  double coverage() const {
+    if (wallSeconds <= 0.0) return 1.0;
+    return (phaseSeconds + unattributedSeconds) / wallSeconds;
+  }
+  std::string group() const {
+    return tool + " " + subject + (model.empty() ? "" : " " + model) +
+           (n > 0 ? " n=" + std::to_string(n) : "");
+  }
+};
+
+bool parseRunLine(const std::string& line, RunRow& out, std::string& whyNot) {
+  JsonValue v;
+  if (!JsonParser(line).parse(v) || v.kind != JsonValue::Kind::Object) {
+    whyNot = "unparseable";
+    return false;
+  }
+  if (v.str("schema") != "fencetrade-run/1") {
+    whyNot = "schema " + v.str("schema", "(missing)");
+    return false;
+  }
+  out.tool = v.str("tool", "?");
+  out.subject = v.str("subject", "?");
+  out.model = v.str("model");
+  out.n = static_cast<int>(v.num("n"));
+  out.workers = static_cast<int>(v.num("workers"));
+  out.fingerprint = v.str("optionsFingerprint");
+  out.verdict = v.str("verdict", "?");
+  out.stopReason = v.str("stopReason", "?");
+  out.wallSeconds = v.num("wallSeconds");
+  out.statesVisited = static_cast<std::uint64_t>(v.num("statesVisited"));
+  out.statesPerSec = v.num("statesPerSec");
+  out.peakArenaBytes = static_cast<std::uint64_t>(v.num("peakArenaBytes"));
+  out.phaseSeconds = v.num("phaseSeconds");
+  out.unattributedSeconds = v.num("unattributedSeconds");
+  if (const JsonValue* phases = v.find("phases");
+      phases != nullptr && phases->kind == JsonValue::Kind::Array) {
+    for (const JsonValue& p : phases->array) {
+      if (p.kind != JsonValue::Kind::Object) continue;
+      PhaseRow row;
+      row.name = p.str("name", "?");
+      const JsonValue* top = p.find("topLevel");
+      row.topLevel = top != nullptr && top->boolean;
+      row.seconds = p.num("seconds");
+      row.count = static_cast<std::uint64_t>(p.num("count"));
+      row.stop = p.str("stop");
+      out.phases.push_back(std::move(row));
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Markdown rendering
+// ---------------------------------------------------------------------------
+
+std::string fmtSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", s);
+  return buf;
+}
+
+std::string fmtRate(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", r);
+  return buf;
+}
+
+void renderRuns(std::ostringstream& md, const std::vector<RunRow>& runs,
+                std::size_t skipped) {
+  md << "## Runs (" << runs.size() << " records";
+  if (skipped > 0) md << ", " << skipped << " skipped";
+  md << ")\n\n";
+  if (runs.empty()) {
+    md << "_no parseable records_\n\n";
+    return;
+  }
+  md << "| # | tool | subject | model | n | workers | verdict | stop | "
+        "wall s | states | states/s | phase cov |\n";
+  md << "|---|------|---------|-------|---|---------|---------|------|"
+        "--------|--------|----------|-----------|\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRow& r = runs[i];
+    const double cov = r.coverage();
+    const bool covOk = std::abs(1.0 - cov) <= 0.05;
+    char covBuf[48];
+    std::snprintf(covBuf, sizeof covBuf, "%.1f%%%s", 100.0 * cov,
+                  covOk ? "" : " ⚠");
+    md << "| " << (i + 1) << " | " << r.tool << " | " << r.subject << " | "
+       << (r.model.empty() ? "-" : r.model) << " | "
+       << (r.n > 0 ? std::to_string(r.n) : "-") << " | "
+       << (r.workers > 0 ? std::to_string(r.workers) : "-") << " | "
+       << r.verdict << " | " << r.stopReason << " | "
+       << fmtSeconds(r.wallSeconds) << " | " << r.statesVisited << " | "
+       << fmtRate(r.statesPerSec) << " | " << covBuf << " |\n";
+  }
+  md << "\n";
+}
+
+void renderPhases(std::ostringstream& md, const std::vector<RunRow>& runs) {
+  md << "## Per-phase breakdown\n\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRow& r = runs[i];
+    md << "### Run " << (i + 1) << ": " << r.group() << " — " << r.verdict
+       << "\n\n";
+    if (r.phases.empty()) {
+      md << "_no phases recorded_\n\n";
+      continue;
+    }
+    md << "| phase | top | count | seconds | % wall | stop |\n";
+    md << "|-------|-----|-------|---------|--------|------|\n";
+    for (const PhaseRow& p : r.phases) {
+      const double pct =
+          r.wallSeconds > 0.0 ? 100.0 * p.seconds / r.wallSeconds : 0.0;
+      char pctBuf[24];
+      std::snprintf(pctBuf, sizeof pctBuf, "%.1f%%", pct);
+      md << "| " << p.name << " | " << (p.topLevel ? "yes" : "") << " | "
+         << p.count << " | " << fmtSeconds(p.seconds) << " | " << pctBuf
+         << " | " << p.stop << " |\n";
+    }
+    const double sum = r.phaseSeconds + r.unattributedSeconds;
+    const bool covOk = std::abs(1.0 - r.coverage()) <= 0.05;
+    md << "\nTop-level phases " << fmtSeconds(r.phaseSeconds)
+       << "s + unattributed " << fmtSeconds(r.unattributedSeconds)
+       << "s = " << fmtSeconds(sum) << "s vs wall "
+       << fmtSeconds(r.wallSeconds) << "s — "
+       << (covOk ? "within 5%" : "OUTSIDE 5% ⚠") << "\n\n";
+  }
+}
+
+std::size_t renderRegressions(std::ostringstream& md,
+                              const std::vector<RunRow>& runs,
+                              double thresholdPct) {
+  md << "## Throughput regressions (threshold " << thresholdPct << "%)\n\n";
+  // Ledger order is append order, so "latest" is the group's last row.
+  std::map<std::string, std::vector<const RunRow*>> groups;
+  for (const RunRow& r : runs) groups[r.group()].push_back(&r);
+  std::size_t flagged = 0;
+  for (const auto& [name, rows] : groups) {
+    if (rows.size() < 2) continue;
+    std::vector<double> prior;
+    for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+      if (rows[i]->statesPerSec > 0.0) prior.push_back(rows[i]->statesPerSec);
+    }
+    const RunRow* latest = rows.back();
+    if (prior.empty() || latest->statesPerSec <= 0.0) continue;
+    std::sort(prior.begin(), prior.end());
+    const double median = prior[prior.size() / 2];
+    const double floor = median * (1.0 - thresholdPct / 100.0);
+    if (latest->statesPerSec < floor) {
+      ++flagged;
+      md << "- **" << name << "**: latest " << fmtRate(latest->statesPerSec)
+         << " states/s vs median " << fmtRate(median) << " — regression ⚠\n";
+    }
+  }
+  if (flagged == 0) md << "_none flagged_\n";
+  md << "\n";
+  return flagged;
+}
+
+void renderBench(std::ostringstream& md, const std::string& dir) {
+  md << "## Bench baselines (" << dir << ")\n\n";
+  std::vector<std::string> files;
+  if (DIR* d = opendir(dir.c_str())) {
+    while (const dirent* e = readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+          name.compare(name.size() - 5, 5, ".json") == 0) {
+        files.push_back(name);
+      }
+    }
+    closedir(d);
+  } else {
+    md << "_cannot open directory_\n\n";
+    return;
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    md << "_no BENCH_*.json files_\n\n";
+    return;
+  }
+  md << "| file | benchmark | real time | unit | states/s |\n";
+  md << "|------|-----------|-----------|------|----------|\n";
+  for (const std::string& f : files) {
+    std::ifstream in(dir + "/" + f, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    JsonValue v;
+    if (!JsonParser(text).parse(v) || v.kind != JsonValue::Kind::Object) {
+      md << "| " << f << " | _unparseable_ | | | |\n";
+      continue;
+    }
+    const JsonValue* benches = v.find("benchmarks");
+    if (benches == nullptr || benches->kind != JsonValue::Kind::Array) {
+      md << "| " << f << " | _no benchmarks array_ | | | |\n";
+      continue;
+    }
+    for (const JsonValue& b : benches->array) {
+      if (b.kind != JsonValue::Kind::Object) continue;
+      const double sps = b.num("states/sec", -1.0);
+      md << "| " << f << " | " << b.str("name", "?") << " | "
+         << fmtSeconds(b.num("real_time")) << " | "
+         << b.str("time_unit", "?") << " | "
+         << (sps >= 0.0 ? fmtRate(sps) : std::string("-")) << " |\n";
+    }
+  }
+  md << "\n";
+}
+
+std::string renderDashboard(const std::vector<RunRow>& runs,
+                            std::size_t skipped, double thresholdPct,
+                            const std::string& benchDir) {
+  std::ostringstream md;
+  md << "# fencetrade run dashboard\n\n";
+  renderRuns(md, runs, skipped);
+  renderPhases(md, runs);
+  renderRegressions(md, runs, thresholdPct);
+  if (!benchDir.empty()) renderBench(md, benchDir);
+  return md.str();
+}
+
+// ---------------------------------------------------------------------------
+// Selftest: ledger writer → parser → dashboard, hermetically
+// ---------------------------------------------------------------------------
+
+check::RunLedgerRecord syntheticRecord(const std::string& subject,
+                                       const std::string& verdict,
+                                       int exitCode,
+                                       const std::string& stopReason,
+                                       double wallSeconds,
+                                       double exploreSeconds,
+                                       double livenessSeconds,
+                                       std::uint64_t states) {
+  check::RunLedgerRecord rec;
+  rec.tool = "lock_doctor";
+  rec.subject = subject;
+  rec.model = "PSO";
+  rec.n = 2;
+  rec.workers = 1;
+  rec.argv = "lock_doctor " + subject + " PSO 2 1 --json";
+  rec.verdict = verdict;
+  rec.exitCode = exitCode;
+  rec.stopReason = stopReason;
+  rec.wallSeconds = wallSeconds;
+  rec.statesVisited = states;
+  rec.peakArenaBytes = 1 << 20;
+  util::PhaseSpan explorePhase;
+  explorePhase.name = "explore.seq[source-dpor]";
+  explorePhase.arg0Label = "states";
+  explorePhase.arg1Label = "arenaBytes";
+  explorePhase.topLevel = true;
+  explorePhase.count = 1;
+  explorePhase.seconds = exploreSeconds;
+  explorePhase.arg0 = static_cast<std::int64_t>(states);
+  explorePhase.arg1 = 1 << 20;
+  explorePhase.firstBeginSeconds = 0.0;
+  explorePhase.lastEndSeconds = exploreSeconds;
+  rec.profile.phases.push_back(explorePhase);
+  if (livenessSeconds > 0.0) {
+    util::PhaseSpan livePhase = explorePhase;
+    livePhase.name = "liveness.seq[source-dpor]";
+    livePhase.seconds = livenessSeconds;
+    livePhase.firstBeginSeconds = exploreSeconds;
+    livePhase.lastEndSeconds = exploreSeconds + livenessSeconds;
+    rec.profile.phases.push_back(livePhase);
+  }
+  return rec;
+}
+
+int selftest(double thresholdPct) {
+  // Three runs, one of them INCONCLUSIVE, phase sums all inside 5% of
+  // wall — the acceptance shape for the dashboard.
+  // Comparable throughputs across the repeated-subject group, so the
+  // regression detector stays quiet on healthy synthetic data.
+  std::vector<check::RunLedgerRecord> recs;
+  recs.push_back(syntheticRecord("bakery", "correct", 0, "complete", 1.00,
+                                 0.70, 0.28, 100000));
+  recs.push_back(syntheticRecord("peterson-tso", "violated", 1, "complete",
+                                 0.50, 0.49, 0.0, 52000));
+  recs.push_back(syntheticRecord("bakery", "inconclusive", 3, "state-cap",
+                                 2.00, 1.97, 0.0, 191000));
+
+  std::vector<RunRow> runs;
+  for (const check::RunLedgerRecord& rec : recs) {
+    const std::string line = check::runLedgerLine(rec);
+    RunRow row;
+    std::string whyNot;
+    if (!parseRunLine(line, row, whyNot)) {
+      std::fprintf(stderr, "selftest: FAIL — cannot re-parse ledger line "
+                           "(%s): %s\n",
+                   whyNot.c_str(), line.c_str());
+      return 1;
+    }
+    runs.push_back(std::move(row));
+  }
+
+  const std::string md = renderDashboard(runs, 0, thresholdPct, "");
+  std::fputs(md.c_str(), stdout);
+
+  bool ok = runs.size() == 3;
+  std::size_t inconclusive = 0;
+  for (const RunRow& r : runs) {
+    if (r.verdict == "inconclusive") ++inconclusive;
+    if (std::abs(1.0 - r.coverage()) > 0.05) {
+      std::fprintf(stderr,
+                   "selftest: FAIL — %s phase sum %.3f+%.3f vs wall %.3f "
+                   "outside 5%%\n",
+                   r.group().c_str(), r.phaseSeconds, r.unattributedSeconds,
+                   r.wallSeconds);
+      ok = false;
+    }
+    if (r.phases.empty()) {
+      std::fprintf(stderr, "selftest: FAIL — %s has no phases\n",
+                   r.group().c_str());
+      ok = false;
+    }
+  }
+  ok = ok && inconclusive == 1;
+  if (md.find("⚠") != std::string::npos) {
+    std::fprintf(stderr, "selftest: FAIL — dashboard flagged a synthetic "
+                         "run\n");
+    ok = false;
+  }
+  std::fprintf(stderr, "selftest: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--ledger FILE] [--bench-dir DIR] [--out FILE] "
+               "[--threshold PCT] [--selftest]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string ledgerPath = "runs.ndjson";
+  if (const char* env = std::getenv("FENCETRADE_LEDGER")) ledgerPath = env;
+  std::string benchDir, outPath;
+  double thresholdPct = 20.0;
+  bool runSelftest = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--ledger") {
+      if (!(v = value())) return usage(argv[0]);
+      ledgerPath = v;
+    } else if (a == "--bench-dir") {
+      if (!(v = value())) return usage(argv[0]);
+      benchDir = v;
+    } else if (a == "--out") {
+      if (!(v = value())) return usage(argv[0]);
+      outPath = v;
+    } else if (a == "--threshold") {
+      if (!(v = value())) return usage(argv[0]);
+      thresholdPct = std::strtod(v, nullptr);
+    } else if (a == "--selftest") {
+      runSelftest = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (runSelftest) return selftest(thresholdPct);
+
+  std::ifstream in(ledgerPath, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read ledger %s\n",
+                 ledgerPath.c_str());
+    return 2;
+  }
+  std::vector<RunRow> runs;
+  std::size_t skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    RunRow row;
+    std::string whyNot;
+    if (parseRunLine(line, row, whyNot)) {
+      runs.push_back(std::move(row));
+    } else {
+      ++skipped;
+    }
+  }
+
+  const std::string md =
+      renderDashboard(runs, skipped, thresholdPct, benchDir);
+  if (outPath.empty()) {
+    std::fputs(md.c_str(), stdout);
+  } else {
+    std::ofstream out(outPath, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", outPath.c_str());
+      return 2;
+    }
+    out << md;
+  }
+  return 0;
+}

@@ -34,6 +34,16 @@
 //                     (sequential exploration, workers == 1; any worker
 //                     count with --repair, whose cursor is independent)
 //   --resume FILE     resume a prior early-stopped sequential run
+//   --ledger FILE     append one single-line JSON run record (schema
+//                     fencetrade-run/1: verdict, stop reason, telemetry
+//                     totals, per-phase timings) to FILE crash-safely;
+//                     $FENCETRADE_LEDGER supplies the default path
+//
+// The process keeps a flight recorder armed: bounded per-thread event
+// rings are dumped as NDJSON (flight-lock_doctor-<trigger>.ndjson in
+// $FENCETRADE_FLIGHT_DIR, default ".") when a parallel worker stalls,
+// an FT_CHECK fails, a fatal signal arrives, or a SIGINT/SIGTERM
+// cancels the run.
 //
 // Fence repair (the doctor actually treating the patient):
 //
@@ -69,6 +79,7 @@
 
 #include "check/inject.h"
 #include "check/jsonio.h"
+#include "check/ledger.h"
 #include "check/repair.h"
 #include "check/verdict.h"
 #include "core/bakery.h"
@@ -81,6 +92,7 @@
 #include "sim/trace.h"
 #include "sim/trace_export.h"
 #include "util/checkpoint.h"
+#include "util/eventlog.h"
 #include "util/runcontrol.h"
 
 namespace {
@@ -196,6 +208,17 @@ bool writeFile(const std::string& path, const std::string& contents) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto runStart = std::chrono::steady_clock::now();
+  // Flight recorder: armed for the whole run.  Dumps land in
+  // $FENCETRADE_FLIGHT_DIR (default: the working directory) on worker
+  // stalls, FT_CHECK failures, fatal signals, and SIGINT-cancelled runs.
+  {
+    const char* dir = std::getenv("FENCETRADE_FLIGHT_DIR");
+    util::EventLog::instance().arm(dir != nullptr ? dir : ".", "lock_doctor");
+  }
+  std::string ledgerPath;
+  if (const char* env = std::getenv("FENCETRADE_LEDGER")) ledgerPath = env;
+
   std::vector<std::string> pos;
   bool json = false, progress = false, repair = false;
   std::string tracePath, checkpointPath, resumePath;
@@ -252,6 +275,8 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--bloom-bits") {
       bloomBits = std::strtoull(needValue(i), nullptr, 10);
+    } else if (a == "--ledger") {
+      ledgerPath = needValue(i);
     } else if (a == "--checkpoint") {
       checkpointPath = needValue(i);
     } else if (a == "--resume") {
@@ -322,11 +347,44 @@ int main(int argc, char** argv) {
                  "[--visited exact|compressed|bloom] [--bloom-bits N] "
                  "[--json] [--trace FILE] [--progress] "
                  "[--max-states N] [--deadline SECS] [--mem-budget BYTES] "
-                 "[--checkpoint FILE] [--resume FILE] [--repair] "
+                 "[--checkpoint FILE] [--resume FILE] [--ledger FILE] "
+                 "[--repair] "
                  "[--strip-fence K]... [--fuzz-seeds N] [--extra-sizes N]\n",
                  argv[0]);
     return check::verdictExitCode(check::Verdict::UsageError);
   }
+
+  std::string argvJoined;
+  for (int i = 0; i < argc; ++i) {
+    if (i) argvJoined += ' ';
+    argvJoined += argv[i];
+  }
+  // One ledger record per run, appended on every exit path that has a
+  // verdict (usage errors never reach this).  Empty path → no-op.
+  auto appendLedger = [&](check::Verdict verdict, util::StopReason stop,
+                          std::uint64_t states, std::uint64_t arenaBytes) {
+    check::RunLedgerRecord rec;
+    rec.tool = "lock_doctor";
+    rec.subject = lockName;
+    rec.model = modelName;
+    rec.n = n;
+    rec.workers = workers;
+    rec.argv = argvJoined;
+    rec.verdict = check::verdictName(verdict);
+    rec.exitCode = check::verdictExitCode(verdict);
+    rec.stopReason = util::stopReasonName(stop);
+    rec.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      runStart)
+            .count();
+    rec.statesVisited = states;
+    rec.peakArenaBytes = arenaBytes;
+    rec.profile = util::EventLog::instance().snapshotProfile();
+    if (!check::appendRunLedger(ledgerPath, rec)) {
+      std::fprintf(stderr, "warning: cannot append run ledger to %s\n",
+                   ledgerPath.c_str());
+    }
+  };
 
   auto os = core::buildCountSystem(model, n, factory);
 
@@ -395,6 +453,13 @@ int main(int argc, char** argv) {
       checkpointWritten = true;
     }
 
+    // A SIGINT-cancelled search leaves a flight dump whose final
+    // span-end events carry stop=cancelled, matching the verdict.
+    if (rep.stopReason == util::StopReason::Cancelled) {
+      util::EventLog::instance().dump("sigint");
+    }
+    appendLedger(rep.verdict, rep.stopReason, 0, 0);
+
     if (json) {
       // The "repair" sub-object is the deterministic golden-stable part;
       // the wrapper adds the run identity plus wall-clock facts.
@@ -430,6 +495,9 @@ int main(int argc, char** argv) {
       jsonBool(out, "checkpointWritten", checkpointWritten);
       out += ',';
       jsonDouble(out, "wallSeconds", wallSeconds);
+      out += ',';
+      check::jsonPhases(out, util::EventLog::instance().snapshotProfile(),
+                        wallSeconds);
       out += "}\n";
       std::fputs(out.c_str(), stdout);
       return check::verdictExitCode(rep.verdict);
@@ -552,8 +620,13 @@ int main(int argc, char** argv) {
     traced = sim::runSequential(os.sys, cfg, order);
   }
   if (!tracePath.empty()) {
+    // Profile tracks ride along on pid 1: the phases observed so far
+    // (the exploration; liveness runs after the trace is written).
+    const util::RunProfileSnapshot traceProfile =
+        util::EventLog::instance().snapshotProfile();
     const std::string traceJson = sim::executionToChromeTrace(
-        os.sys.layout, traced, n, lockName + " under " + modelName);
+        os.sys.layout, traced, n, lockName + " under " + modelName,
+        &traceProfile);
     if (!writeFile(tracePath, traceJson)) {
       std::fprintf(stderr, "error: cannot write trace to %s\n",
                    tracePath.c_str());
@@ -593,6 +666,16 @@ int main(int argc, char** argv) {
       : cancelled        ? check::Verdict::Interrupted
       : res.capped()     ? check::Verdict::Inconclusive
                          : check::Verdict::Pass;
+
+  // A SIGINT'd run leaves a flight dump whose final span-end events
+  // carry stop=cancelled, matching the reported verdict.
+  if (cancelled) util::EventLog::instance().dump("sigint");
+  appendLedger(verdict, res.stopReason, res.statesVisited,
+               res.telemetry.arenaBytes);
+  const double wallTotal =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    runStart)
+          .count();
 
   if (json) {
     std::string out;
@@ -645,6 +728,9 @@ int main(int argc, char** argv) {
       jsonU64(out, "stuckStates", live.stuckStates);
       out += '}';
     }
+    out += ',';
+    check::jsonPhases(out, util::EventLog::instance().snapshotProfile(),
+                      wallTotal);
     out += "}\n";
     std::fputs(out.c_str(), stdout);
     return check::verdictExitCode(verdict);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/oracles.h"
+#include "util/eventlog.h"
 
 namespace fencetrade::check {
 
@@ -52,6 +53,9 @@ DifferentialReport runDifferential(const sim::System& sys,
     eo.control = opts.control;
     EngineRun run;
     run.spec = spec;
+    // Per-leg span (the nested explore.* spans attribute the same time
+    // to the engine flavor; this one attributes it to the leg).
+    util::ScopedSpan leg("diff." + spec.name, "states", "arenaBytes");
     run.res = sim::explore(sys, eo);
     // Bounded retry: one more attempt with a doubled state cap when a
     // budget (not the user) stopped the leg.  If the retry early-stops
@@ -64,6 +68,10 @@ DifferentialReport runDifferential(const sim::System& sys,
       eo.maxStates = opts.maxStates * 2;
       run.res = sim::explore(sys, eo);
     }
+    leg.args(static_cast<std::int64_t>(run.res.statesVisited),
+             static_cast<std::int64_t>(run.res.telemetry.arenaBytes));
+    leg.stop(run.res.stopReason);
+    leg.end();
     if (run.res.stopReason == util::StopReason::Cancelled) {
       rep.stopReason = util::StopReason::Cancelled;
     }
@@ -170,7 +178,12 @@ DifferentialReport runDifferential(const sim::System& sys,
       lo.reduction = ls.reduction;
       lo.visitedTier = ls.tier;
       lo.control = opts.control;
-      rep.liveness.push_back(sim::checkLiveness(sys, lo));
+      util::ScopedSpan leg("diff.liveness", "states", "arenaBytes");
+      const sim::LivenessResult& lr =
+          rep.liveness.emplace_back(sim::checkLiveness(sys, lo));
+      leg.args(static_cast<std::int64_t>(lr.states),
+               static_cast<std::int64_t>(lr.telemetry.arenaBytes));
+      leg.stop(lr.stopReason);
     }
     const sim::LivenessResult* ref = nullptr;
     for (const sim::LivenessResult& lr : rep.liveness) {

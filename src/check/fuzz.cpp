@@ -11,6 +11,7 @@
 #include "sim/schedule.h"
 #include "util/check.h"
 #include "util/checkpoint.h"
+#include "util/eventlog.h"
 #include "util/rng.h"
 
 namespace fencetrade::check {
@@ -230,13 +231,20 @@ FuzzReport fuzzMutualExclusion(const sim::System& sys,
     }
   };
 
-  if (workers == 1) {
-    scan(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(scan, w);
-    for (std::thread& t : pool) t.join();
+  {
+    util::ScopedSpan scanPhase("fuzz.scan", "schedules", "violatingSeeds");
+    if (workers == 1) {
+      scan(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(scan, w);
+      for (std::thread& t : pool) t.join();
+    }
+    scanPhase.args(
+        static_cast<std::int64_t>(schedulesRun.load()),
+        static_cast<std::int64_t>(violatingSeeds.load()));
+    scanPhase.stop(static_cast<util::StopReason>(stopRaw.load()));
   }
 
   rep.schedulesRun = schedulesRun.load();
@@ -272,8 +280,14 @@ FuzzReport fuzzMutualExclusion(const sim::System& sys,
     auto violates = [&sys](const std::vector<ScheduleElem>& s) {
       return maxOccupancyOnReplay(sys, s) >= 2;
     };
-    w.minimized = opts.shrink ? shrinkSchedule(w.schedule, violates)
-                              : w.schedule;
+    if (opts.shrink) {
+      util::ScopedSpan shrinkPhase("fuzz.shrink", "stepsIn", "stepsOut");
+      w.minimized = shrinkSchedule(w.schedule, violates);
+      shrinkPhase.args(static_cast<std::int64_t>(w.schedule.size()),
+                       static_cast<std::int64_t>(w.minimized.size()));
+    } else {
+      w.minimized = w.schedule;
+    }
     w.occupancy = maxOccupancyOnReplay(sys, w.minimized);
     rep.witness = std::move(w);
     rep.verdict = Verdict::Violation;

@@ -1,0 +1,96 @@
+#include "check/ledger.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "check/jsonio.h"
+#include "util/checkpoint.h"
+
+namespace fencetrade::check {
+
+void jsonPhases(std::string& out, const util::RunProfileSnapshot& profile,
+                double wallSeconds) {
+  jsonKey(out, "phases");
+  out += '[';
+  bool first = true;
+  for (const util::PhaseSpan& p : profile.phases) {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+    jsonStr(out, "name", p.name);
+    out += ',';
+    jsonBool(out, "topLevel", p.topLevel);
+    out += ',';
+    jsonU64(out, "count", p.count);
+    out += ',';
+    jsonDouble(out, "seconds", p.seconds);
+    out += ',';
+    jsonStr(out, "stop", util::stopReasonName(p.lastStop));
+    out += ',';
+    jsonKey(out, "args");
+    out += '{';
+    jsonKey(out, p.arg0Label.empty() ? "a0" : p.arg0Label.c_str());
+    out += std::to_string(p.arg0);
+    out += ',';
+    jsonKey(out, p.arg1Label.empty() ? "a1" : p.arg1Label.c_str());
+    out += std::to_string(p.arg1);
+    out += "}}";
+  }
+  out += "],";
+  const double attributed = profile.topLevelSeconds();
+  jsonDouble(out, "phaseSeconds", attributed);
+  out += ',';
+  jsonDouble(out, "unattributedSeconds",
+             std::max(0.0, wallSeconds - attributed));
+}
+
+std::string runLedgerLine(const RunLedgerRecord& rec) {
+  std::string out = "{";
+  jsonStr(out, "schema", "fencetrade-run/1");
+  out += ',';
+  jsonStr(out, "tool", rec.tool);
+  out += ',';
+  jsonStr(out, "subject", rec.subject);
+  out += ',';
+  jsonStr(out, "model", rec.model);
+  out += ',';
+  jsonU64(out, "n", static_cast<unsigned long long>(rec.n < 0 ? 0 : rec.n));
+  out += ',';
+  jsonU64(out, "workers",
+          static_cast<unsigned long long>(rec.workers < 0 ? 0 : rec.workers));
+  out += ',';
+  jsonStr(out, "argv", rec.argv);
+  out += ',';
+  char fp[32];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(util::fnv1a64(rec.argv)));
+  jsonStr(out, "optionsFingerprint", fp);
+  out += ',';
+  jsonStr(out, "verdict", rec.verdict);
+  out += ',';
+  jsonU64(out, "exitCode", static_cast<unsigned long long>(rec.exitCode));
+  out += ',';
+  jsonStr(out, "stopReason", rec.stopReason);
+  out += ',';
+  jsonDouble(out, "wallSeconds", rec.wallSeconds);
+  out += ',';
+  jsonU64(out, "statesVisited", rec.statesVisited);
+  out += ',';
+  jsonDouble(out, "statesPerSec",
+             rec.wallSeconds > 0.0
+                 ? static_cast<double>(rec.statesVisited) / rec.wallSeconds
+                 : 0.0);
+  out += ',';
+  jsonU64(out, "peakArenaBytes", rec.peakArenaBytes);
+  out += ',';
+  jsonPhases(out, rec.profile, rec.wallSeconds);
+  out += '}';
+  return out;
+}
+
+bool appendRunLedger(const std::string& path, const RunLedgerRecord& rec) {
+  if (path.empty()) return true;
+  return util::appendLineAtomic(path, runLedgerLine(rec));
+}
+
+}  // namespace fencetrade::check

@@ -1,0 +1,57 @@
+// Run ledger: one crash-safe single-line JSON record per CLI run.
+//
+// Every lock_doctor / conformance invocation appends a wide record —
+// options fingerprint, subject, verdict, StopReason, telemetry totals,
+// per-phase timings and peak arena bytes — to an NDJSON ledger file
+// (conventionally runs.ndjson) via util::appendLineAtomic, so a fleet
+// of concurrent runs produces one merge-free machine-readable history.
+// examples/fencetrade_report.cpp aggregates a ledger (plus committed
+// bench baselines) into a markdown dashboard.
+//
+// Record schema "fencetrade-run/1" (key order is stable):
+//   schema, tool, subject, model, n, workers, argv, optionsFingerprint
+//   (fnv1a64 of argv, hex), verdict, exitCode, stopReason, wallSeconds,
+//   statesVisited, statesPerSec, peakArenaBytes, phases (array — see
+//   jsonPhases), phaseSeconds, unattributedSeconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/eventlog.h"
+
+namespace fencetrade::check {
+
+struct RunLedgerRecord {
+  std::string tool;     ///< CLI name ("lock_doctor", "conformance")
+  std::string subject;  ///< lock name, "corpus", or fuzz target
+  std::string model;    ///< memory model name, empty when n/a
+  int n = 0;            ///< process count, 0 when n/a
+  int workers = 0;
+  std::string argv;     ///< full command line, space-joined
+  std::string verdict;  ///< check::verdictName spelling
+  int exitCode = 0;
+  std::string stopReason;  ///< util::stopReasonName spelling
+  double wallSeconds = 0.0;
+  std::uint64_t statesVisited = 0;
+  std::uint64_t peakArenaBytes = 0;
+  util::RunProfileSnapshot profile;
+};
+
+/// Append the per-phase breakdown to a JSON object body:
+/// "phases":[{name, topLevel, count, seconds, stop, args:{...}}, ...],
+/// "phaseSeconds":S,"unattributedSeconds":U — where S sums the
+/// top-level phases and U = max(0, wallSeconds - S), so S + U
+/// reconstructs the run's wall time.  Callers supply the surrounding
+/// braces/commas (same contract as the jsonio.h helpers).
+void jsonPhases(std::string& out, const util::RunProfileSnapshot& profile,
+                double wallSeconds);
+
+/// Render the record as one single-line JSON object (no newline).
+std::string runLedgerLine(const RunLedgerRecord& rec);
+
+/// Append the record to `path` crash-safely.  Empty path is a no-op
+/// returning true, so CLIs can call this unconditionally.
+bool appendRunLedger(const std::string& path, const RunLedgerRecord& rec);
+
+}  // namespace fencetrade::check

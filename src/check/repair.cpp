@@ -14,6 +14,7 @@
 #include "sim/schedule.h"
 #include "util/check.h"
 #include "util/checkpoint.h"
+#include "util/eventlog.h"
 
 namespace fencetrade::check {
 
@@ -233,10 +234,17 @@ CandOutcome evaluateCandidate(const sim::System& broken,
 
   // Stage 1: counterexample screen — replay every known witness.  A
   // candidate that fails to block even one needs no search at all.
-  for (const auto& wit : st.witnesses) {
-    if (maxOccupancyOnReplay(cand, wit) >= 2) {
-      ++st.screened;
-      return CandOutcome::Screened;
+  {
+    util::ScopedSpan screen("repair.screen", "witnesses", "screened");
+    screen.args(static_cast<std::int64_t>(st.witnesses.size()),
+                static_cast<std::int64_t>(st.screened));
+    for (const auto& wit : st.witnesses) {
+      if (maxOccupancyOnReplay(cand, wit) >= 2) {
+        ++st.screened;
+        screen.args(static_cast<std::int64_t>(st.witnesses.size()),
+                    static_cast<std::int64_t>(st.screened));
+        return CandOutcome::Screened;
+      }
     }
   }
 
@@ -249,7 +257,12 @@ CandOutcome evaluateCandidate(const sim::System& broken,
   fo.commitProb = opts.commitProb;
   fo.workers = opts.fuzzWorkers;
   fo.control = opts.control;
+  util::ScopedSpan fuzzStage("repair.fuzz", "schedules", "violatingSeeds");
   const FuzzReport fr = fuzzMutualExclusion(cand, fo);
+  fuzzStage.args(static_cast<std::int64_t>(fr.schedulesRun),
+                 static_cast<std::int64_t>(fr.violatingSeeds));
+  fuzzStage.stop(fr.stopReason);
+  fuzzStage.end();
   if (fr.witness) {
     st.witnesses.push_back(fr.witness->minimized.empty()
                                ? fr.witness->schedule
@@ -270,7 +283,12 @@ CandOutcome evaluateCandidate(const sim::System& broken,
   eo.reduction = opts.reduction;
   eo.visitedTier = opts.visitedTier;
   eo.control = opts.control;
+  util::ScopedSpan exhaustStage("repair.exhaustive", "states", "arenaBytes");
   const sim::ExploreResult er = sim::explore(cand, eo);
+  exhaustStage.args(static_cast<std::int64_t>(er.statesVisited),
+                    static_cast<std::int64_t>(er.telemetry.arenaBytes));
+  exhaustStage.stop(er.stopReason);
+  exhaustStage.end();
   if (er.mutexViolation) {
     st.witnesses.push_back(er.witness);
     ++st.witnessesCollected;
@@ -297,7 +315,11 @@ CandOutcome evaluateCandidate(const sim::System& broken,
     dop.maxStates = opts.maxStates;
     dop.engines = repairMatrix(opts.verifyWorkers);
     dop.control = opts.control;
+    util::ScopedSpan matrixStage("repair.matrix", "legs", "");
     const DifferentialReport dr = runDifferential(cand, dop);
+    matrixStage.args(static_cast<std::int64_t>(dr.runs.size()), 0);
+    matrixStage.stop(dr.stopReason);
+    matrixStage.end();
     if (dr.stopReason != util::StopReason::Complete) {
       stop = dr.stopReason;
       return CandOutcome::Stopped;
@@ -404,6 +426,10 @@ sim::System applyFenceSites(const sim::System& sys,
 
 RepairReport repairMutualExclusion(const sim::System& broken,
                                    const RepairOptions& opts) {
+  // Top-level span for the whole lattice search; the per-candidate
+  // stage spans (screen/fuzz/exhaustive/matrix) nest under it and
+  // aggregate across candidates.
+  util::ScopedSpan phase("repair.search", "candidates", "witnesses");
   RepairReport rep;
   if (opts.checkpointOut) opts.checkpointOut->clear();
   rep.sites = enumerateSites(broken);
@@ -428,6 +454,8 @@ RepairReport repairMutualExclusion(const sim::System& broken,
   if (!resumed) {
     // Establish ground truth on the input: the search may only run (and
     // REPAIRED may only be reported) against a witness-backed violation.
+    util::ScopedSpan groundTruth("repair.ground-truth", "states",
+                                 "witnesses");
     sim::ExploreOptions eo;
     eo.maxStates = opts.maxStates;
     eo.workers = 1;
@@ -435,6 +463,9 @@ RepairReport repairMutualExclusion(const sim::System& broken,
     eo.visitedTier = opts.visitedTier;
     eo.control = opts.control;
     const sim::ExploreResult er = sim::explore(broken, eo);
+    groundTruth.args(static_cast<std::int64_t>(er.statesVisited),
+                     er.mutexViolation ? 1 : 0);
+    groundTruth.stop(er.stopReason);
     if (er.mutexViolation) {
       rep.inputViolates = true;
       st.witnesses.push_back(er.witness);
@@ -462,6 +493,7 @@ RepairReport repairMutualExclusion(const sim::System& broken,
       }
       rep.repairs.push_back(pt);
       rep.frontier.push_back(pt);
+      phase.stop(rep.stopReason);
       return rep;
     } else {
       // Capped without a violation: let the fuzzer try to establish the
@@ -489,6 +521,7 @@ RepairReport repairMutualExclusion(const sim::System& broken,
             "ground truth on the input could not be established: "
             "exploration stopped early and fuzzing found no violation";
         rep.witnessesCollected = st.witnessesCollected;
+        phase.stop(rep.stopReason);
         return rep;
       }
     }
@@ -590,6 +623,9 @@ RepairReport repairMutualExclusion(const sim::System& broken,
     // UNREPAIRABLE would overclaim.
     rep.verdict = Verdict::Inconclusive;
   }
+  phase.args(static_cast<std::int64_t>(rep.candidatesEvaluated),
+             static_cast<std::int64_t>(rep.witnessesCollected));
+  phase.stop(rep.stopReason);
   return rep;
 }
 

@@ -13,6 +13,7 @@
 #include "util/arena.h"
 #include "util/check.h"
 #include "util/checkpoint.h"
+#include "util/eventlog.h"
 #include "util/keystore.h"
 #include "util/sharded_set.h"
 
@@ -300,6 +301,16 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
       << "explore: the bloom tier stores no keys, so it cannot be "
          "checkpointed or resumed";
 
+  // Phase span named by reduction mode so a run profile attributes time
+  // to the oracle vs POR vs DPOR engine; heartbeats land in the flight
+  // recorder at budget-poll cadence so a stalled run's rings show how
+  // far it got.
+  util::ScopedSpan phase(
+      std::string("explore.seq[") + reductionModeName(rmode) + "]", "states",
+      "arenaBytes");
+  const std::uint16_t hbName = util::EventLog::instance().internName(
+      "explore.heartbeat", "states", "arenaBytes");
+
   // Visited set keyed by the canonical serialized state, not its 64-bit
   // hash: under the exact and compressed tiers equality compares full
   // (reconstructed) keys, so a hash collision costs a bucket probe
@@ -447,6 +458,11 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
                  res.statesVisited % kBudgetPollPeriod == 0) {
         res.stopReason = opts.control.poll(visitedBytes());
       }
+    }
+    if (res.statesVisited % kBudgetPollPeriod == 0) {
+      util::EventLog::instance().instant(
+          hbName, static_cast<std::int64_t>(res.statesVisited),
+          static_cast<std::int64_t>(visitedBytes()));
     }
     if (opts.progress && res.statesVisited % opts.progressInterval == 0) {
       fireProgress();
@@ -756,6 +772,9 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
                           res.telemetry.visitedDeltaBytes,
                           res.telemetry.visitedBloomBytes);
   }
+  phase.args(static_cast<std::int64_t>(res.statesVisited),
+             static_cast<std::int64_t>(res.telemetry.arenaBytes));
+  phase.stop(res.stopReason);
   return res;
 }
 
@@ -779,6 +798,13 @@ LivenessResult checkLiveness(const System& sys,
       << "checkLiveness: the liveness graph needs exact per-state ids; "
          "the lossy bloom tier cannot provide them";
   const bool compressedTier = opts.visitedTier == VisitedTier::compressed;
+
+  // Outer span for the whole check, nested spans for its two phases:
+  // forward graph construction and the reverse-BFS reachability pass.
+  util::ScopedSpan phase(
+      std::string("liveness.seq[") + reductionModeName(rmode) + "]", "states",
+      "arenaBytes");
+  util::ScopedSpan graphPhase("liveness.graph", "states", "arenaBytes");
 
   // Forward exploration building the reversed edge relation.  Interning
   // is keyed by the canonical serialized state (see explore()); the
@@ -853,6 +879,16 @@ LivenessResult checkLiveness(const System& sys,
   };
 
   auto finishTelemetry = [&]() {
+    // No-ops on the complete path, where the graph span was already
+    // closed before the reverse BFS; on capped/cancelled exits this
+    // stamps both spans with the real stop reason.
+    graphPhase.args(static_cast<std::int64_t>(preds.size()),
+                    static_cast<std::int64_t>(store.bytes()));
+    graphPhase.stop(res.stopReason);
+    graphPhase.end();
+    phase.args(static_cast<std::int64_t>(preds.size()),
+               static_cast<std::int64_t>(store.bytes()));
+    phase.stop(res.stopReason);
     res.telemetry.wallSeconds = secondsSince(t0);
     res.telemetry.dedupProbes = wt.dedupProbes;
     res.telemetry.dedupHits = wt.dedupHits;
@@ -955,29 +991,38 @@ LivenessResult checkLiveness(const System& sys,
 
   res.stopReason = util::StopReason::Complete;
   res.states = preds.size();
+  graphPhase.args(static_cast<std::int64_t>(preds.size()),
+                  static_cast<std::int64_t>(store.bytes()));
+  graphPhase.end();
 
   // Reverse BFS from terminal states.
-  std::vector<char> canTerminate(preds.size(), 0);
-  std::vector<std::uint32_t> queue;
-  for (std::uint32_t s = 0; s < preds.size(); ++s) {
-    if (terminal[s]) {
-      ++res.terminalStates;
-      canTerminate[s] = 1;
-      queue.push_back(s);
-    }
-  }
-  while (!queue.empty()) {
-    const std::uint32_t s = queue.back();
-    queue.pop_back();
-    for (std::uint32_t pre : preds[s]) {
-      if (!canTerminate[pre]) {
-        canTerminate[pre] = 1;
-        queue.push_back(pre);
+  {
+    util::ScopedSpan bfsPhase("liveness.bfs", "terminalStates",
+                              "stuckStates");
+    std::vector<char> canTerminate(preds.size(), 0);
+    std::vector<std::uint32_t> queue;
+    for (std::uint32_t s = 0; s < preds.size(); ++s) {
+      if (terminal[s]) {
+        ++res.terminalStates;
+        canTerminate[s] = 1;
+        queue.push_back(s);
       }
     }
-  }
-  for (std::uint32_t s = 0; s < preds.size(); ++s) {
-    if (!canTerminate[s]) ++res.stuckStates;
+    while (!queue.empty()) {
+      const std::uint32_t s = queue.back();
+      queue.pop_back();
+      for (std::uint32_t pre : preds[s]) {
+        if (!canTerminate[pre]) {
+          canTerminate[pre] = 1;
+          queue.push_back(pre);
+        }
+      }
+    }
+    for (std::uint32_t s = 0; s < preds.size(); ++s) {
+      if (!canTerminate[s]) ++res.stuckStates;
+    }
+    bfsPhase.args(static_cast<std::int64_t>(res.terminalStates),
+                  static_cast<std::int64_t>(res.stuckStates));
   }
   res.allCanTerminate = (res.stuckStates == 0);
   finishTelemetry();

@@ -17,6 +17,7 @@
 #include "sim/explore_metrics.h"
 #include "util/arena.h"
 #include "util/check.h"
+#include "util/eventlog.h"
 #include "util/keystore.h"
 #include "util/sharded_set.h"
 
@@ -26,6 +27,24 @@ namespace {
 
 using Elem = std::pair<ProcId, Reg>;
 using Clock = std::chrono::steady_clock;
+
+// Interned once per process; workers then record heartbeats into their
+// thread-local flight-recorder rings with a single relaxed-store push.
+std::uint16_t workerBeatEvent() {
+  static const std::uint16_t id = util::EventLog::instance().internName(
+      "worker.heartbeat", "beats", "worker");
+  return id;
+}
+std::uint16_t stallEvent() {
+  static const std::uint16_t id =
+      util::EventLog::instance().internName("watchdog.stall");
+  return id;
+}
+
+/// Worker-heartbeat cadence mask: one ring event every 4096 loop
+/// iterations keeps recording cost unmeasurable while a dump still
+/// shows every worker's recent liveness.
+constexpr std::uint64_t kBeatEventMask = 4095;
 
 int shardCountFor(int workers) {
   // Enough shards that lock contention is negligible even with every
@@ -376,6 +395,9 @@ class ParallelExplorer {
   }
 
   ExploreResult run() {
+    util::ScopedSpan phase(std::string("explore.par[") +
+                               reductionModeName(opts_.reduction) + "]",
+                           "states", "arenaBytes");
     {
       if (opts_.metrics) locals_[0].shard = opts_.metrics->attach();
       Config init = initialConfig(sys_);
@@ -392,8 +414,13 @@ class ParallelExplorer {
         opts_.control.stallTimeoutSeconds, counters_,
         [this] { return stop_.load(std::memory_order_acquire); },
         [this] {
+          // Record the trip, cancel, then dump the rings: the dump is
+          // taken at the moment of the stall, so every worker's last
+          // heartbeats and span state are still in its ring.
+          util::EventLog::instance().instant(stallEvent());
           if (opts_.control.cancel) opts_.control.cancel->cancel();
           trip(util::StopReason::Cancelled);
+          util::EventLog::instance().dump("stall");
         });
     for (auto& t : threads) t.join();
     watchdog.finish();
@@ -436,6 +463,9 @@ class ParallelExplorer {
       res.telemetry.provisoWidenings += wt.provisoWidenings;
       res.telemetry.workers.push_back(wt);
     }
+    phase.args(static_cast<std::int64_t>(res.statesVisited),
+               static_cast<std::int64_t>(res.telemetry.arenaBytes));
+    phase.stop(res.stopReason);
     return res;
   }
 
@@ -574,6 +604,11 @@ class ParallelExplorer {
     bool stolen = false;
     while (!stop_.load(std::memory_order_acquire)) {
       relaxedInc(wc.beat);
+      const std::uint64_t beats = wc.beat.load(std::memory_order_relaxed);
+      if ((beats & kBeatEventMask) == 0) {
+        util::EventLog::instance().instant(
+            workerBeatEvent(), static_cast<std::int64_t>(beats), id);
+      }
       if (opts_.control.cancelled()) {
         trip(util::StopReason::Cancelled);
         break;
@@ -708,6 +743,9 @@ class ParallelLiveness {
   }
 
   LivenessResult run() {
+    util::ScopedSpan phase(std::string("liveness.par[") +
+                               reductionModeName(opts_.reduction) + "]",
+                           "states", "arenaBytes");
     {
       if (opts_.metrics) locals_[0].shard = opts_.metrics->attach();
       Config init = initialConfig(sys_);
@@ -723,8 +761,10 @@ class ParallelLiveness {
         opts_.control.stallTimeoutSeconds, counters_,
         [this] { return stop_.load(std::memory_order_acquire); },
         [this] {
+          util::EventLog::instance().instant(stallEvent());
           if (opts_.control.cancel) opts_.control.cancel->cancel();
           trip(util::StopReason::Cancelled);
+          util::EventLog::instance().dump("stall");
         });
     for (auto& t : threads) t.join();
     watchdog.finish();
@@ -752,15 +792,23 @@ class ParallelLiveness {
     const int raw = stopReasonRaw_.load(std::memory_order_relaxed);
     if (raw != 0) {  // early stop: graph incomplete
       res.stopReason = static_cast<util::StopReason>(raw);
+      phase.args(
+          static_cast<std::int64_t>(nextId_.load(std::memory_order_relaxed)),
+          static_cast<std::int64_t>(res.telemetry.arenaBytes));
+      phase.stop(res.stopReason);
       return res;
     }
 
     const std::uint32_t n = nextId_.load(std::memory_order_relaxed);
     res.stopReason = util::StopReason::Complete;
     res.states = n;
+    phase.args(static_cast<std::int64_t>(n),
+               static_cast<std::int64_t>(res.telemetry.arenaBytes));
 
     // Merge per-worker edge lists into the reversed adjacency and run
     // the same reverse BFS as the sequential checker.
+    util::ScopedSpan bfsPhase("liveness.bfs", "terminalStates",
+                              "stuckStates");
     std::vector<std::vector<std::uint32_t>> preds(n);
     std::vector<char> terminal(n, 0);
     for (const Local& l : locals_) {
@@ -790,6 +838,8 @@ class ParallelLiveness {
       if (!canTerminate[s]) ++res.stuckStates;
     }
     res.allCanTerminate = (res.stuckStates == 0);
+    bfsPhase.args(static_cast<std::int64_t>(res.terminalStates),
+                  static_cast<std::int64_t>(res.stuckStates));
     return res;
   }
 
@@ -945,6 +995,11 @@ class ParallelLiveness {
     bool stolen = false;
     while (!stop_.load(std::memory_order_acquire)) {
       relaxedInc(wc.beat);
+      const std::uint64_t beats = wc.beat.load(std::memory_order_relaxed);
+      if ((beats & kBeatEventMask) == 0) {
+        util::EventLog::instance().instant(
+            workerBeatEvent(), static_cast<std::int64_t>(beats), id);
+      }
       if (opts_.control.cancelled()) {
         trip(util::StopReason::Cancelled);
         break;

@@ -85,6 +85,13 @@ Execution replaySchedule(
 std::string executionToChromeTrace(const MemoryLayout& layout,
                                    const Execution& e, int n,
                                    const std::string& title) {
+  return executionToChromeTrace(layout, e, n, title, nullptr);
+}
+
+std::string executionToChromeTrace(const MemoryLayout& layout,
+                                   const Execution& e, int n,
+                                   const std::string& title,
+                                   const util::RunProfileSnapshot* profile) {
   FT_CHECK(n > 0) << "executionToChromeTrace: need n > 0, got " << n;
   std::vector<std::int64_t> beta(static_cast<std::size_t>(n), 0);
   std::vector<std::int64_t> rho(static_cast<std::size_t>(n), 0);
@@ -148,6 +155,47 @@ std::string executionToChromeTrace(const MemoryLayout& layout,
     appendKV(out, "rho", std::to_string(rho[static_cast<std::size_t>(s.p)]),
              /*quote=*/false);
     out += "}}";
+  }
+
+  // "Run profile" tracks (pid 1): one thread per aggregated phase, an
+  // "X" event spanning first-begin → summed duration in real wall-clock
+  // microseconds.  Only emitted when a profile is passed, so the
+  // default witness-only export stays byte-deterministic.
+  if (profile != nullptr && !profile->phases.empty()) {
+    out += ',';
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"run profile\"}}";
+    for (std::size_t i = 0; i < profile->phases.size(); ++i) {
+      const util::PhaseSpan& p = profile->phases[i];
+      out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+      out += std::to_string(i);
+      out += ",\"args\":{\"name\":\"";
+      appendEscaped(out, p.name);
+      out += "\"}}";
+      out += ",{";
+      appendKV(out, "name", p.name, /*quote=*/true);
+      out += ",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":";
+      out += std::to_string(
+          static_cast<std::int64_t>(p.firstBeginSeconds * 1e6));
+      out += ",\"dur\":";
+      out += std::to_string(static_cast<std::int64_t>(p.seconds * 1e6));
+      out += ",\"pid\":1,\"tid\":";
+      out += std::to_string(i);
+      out += ",\"args\":{";
+      appendKV(out, "count", std::to_string(p.count), /*quote=*/false);
+      out += ',';
+      appendKV(out, "topLevel", boolStr(p.topLevel), /*quote=*/false);
+      out += ',';
+      appendKV(out, "stop", util::stopReasonName(p.lastStop),
+               /*quote=*/true);
+      out += ',';
+      appendKV(out, p.arg0Label.empty() ? "a0" : p.arg0Label.c_str(),
+               std::to_string(p.arg0), /*quote=*/false);
+      out += ',';
+      appendKV(out, p.arg1Label.empty() ? "a1" : p.arg1Label.c_str(),
+               std::to_string(p.arg1), /*quote=*/false);
+      out += "}}";
+    }
   }
 
   out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{";

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/machine.h"
+#include "util/eventlog.h"
 
 namespace fencetrade::sim {
 
@@ -36,5 +37,17 @@ Execution replaySchedule(const System& sys,
 std::string executionToChromeTrace(const MemoryLayout& layout,
                                    const Execution& e, int n,
                                    const std::string& title = "fencetrade");
+
+/// As above, plus "run profile" tracks on pid 1: one thread per
+/// aggregated phase span with a complete event at its real first-begin
+/// time and summed duration (microseconds since the process log
+/// epoch), args carrying count/topLevel/stop and the phase's labeled
+/// args.  Passing nullptr is identical to the overload above; the
+/// profile tracks carry wall-clock times, so only the profile-free
+/// export is byte-deterministic across runs.
+std::string executionToChromeTrace(const MemoryLayout& layout,
+                                   const Execution& e, int n,
+                                   const std::string& title,
+                                   const util::RunProfileSnapshot* profile);
 
 }  // namespace fencetrade::sim

@@ -1,9 +1,15 @@
 #include "util/check.h"
 
+#include "util/eventlog.h"
+
 namespace fencetrade::util {
 
 void raiseCheckFailure(const char* cond, const char* file, int line,
                        const std::string& msg) {
+  // Dump the flight recorder (when armed) before unwinding: the ring
+  // contents at the moment an invariant broke are exactly what a
+  // post-mortem needs, and the CheckError may be swallowed upstream.
+  EventLog::noteCheckFailure();
   std::ostringstream out;
   out << "FT_CHECK failed: (" << cond << ") at " << file << ":" << line;
   if (!msg.empty()) out << " — " << msg;

@@ -1,0 +1,553 @@
+#include "util/eventlog.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace fencetrade::util {
+
+namespace {
+
+std::int64_t nowNanosSinceEpoch() {
+  // One steady-clock epoch per process so every ring and profile entry
+  // shares a timeline.  The epoch is captured on first use.
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - kEpoch)
+      .count();
+}
+
+}  // namespace
+
+bool appendLineAtomic(const std::string& path, const std::string& line) {
+  if (path.empty()) return false;
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  std::string record = line;
+  record.push_back('\n');
+  // A single write() to an O_APPEND fd is atomic with respect to other
+  // appenders for regular files, so concurrent runs never interleave.
+  ssize_t wrote = ::write(fd, record.data(), record.size());
+  int rc = ::close(fd);
+  return wrote == static_cast<ssize_t>(record.size()) && rc == 0;
+}
+
+#ifndef FENCETRADE_NO_METRICS
+
+namespace {
+
+constexpr std::uint32_t kMaxNames = 128;
+constexpr std::uint32_t kMaxRings = 128;
+constexpr std::uint32_t kRingCapacity = 512;
+
+// Event kinds, packed with the name id and stop reason into one
+// 32-bit word so a ring slot is filled with four relaxed stores.
+constexpr std::uint32_t kKindInstant = 0;
+constexpr std::uint32_t kKindSpanBegin = 1;
+constexpr std::uint32_t kKindSpanEnd = 2;
+constexpr std::uint8_t kNoStop = 0xff;
+
+struct Event {
+  // Written only by the owning thread, read by dumpers; every field
+  // goes through relaxed __atomic accessors (same discipline as
+  // MetricsShard::Cell) so concurrent dumps are race-free.  A dump
+  // racing the writer can observe a half-updated slot; flight-recorder
+  // output is best-effort by design and the decoder range-checks.
+  std::int64_t tsNanos = 0;
+  std::int64_t a0 = 0;
+  std::int64_t a1 = 0;
+  std::uint32_t meta = 0;  // name(16) | kind(8) | stop(8)
+  std::uint32_t pad = 0;
+
+  static std::uint32_t packMeta(std::uint16_t name, std::uint32_t kind,
+                                std::uint8_t stop) {
+    return (static_cast<std::uint32_t>(name) << 16) | (kind << 8) | stop;
+  }
+};
+static_assert(sizeof(Event) == 32, "ring slots should stay compact");
+
+struct alignas(64) EventRing {
+  Event slots[kRingCapacity];
+  std::uint64_t head = 0;  // next write index; relaxed atomic
+  std::uint32_t id = 0;    // registration order, stable for the process
+};
+
+// Everything the fatal-signal handler touches lives in namespace-scope
+// statics with trivial types: a fixed pointer table published with
+// release stores, interned name strings that are never mutated after
+// registration, and a pre-rendered dump path.
+struct NameRec {
+  std::string name;
+  std::string arg0;
+  std::string arg1;
+};
+NameRec gNames[kMaxNames];
+std::uint32_t gNameCount = 0;  // __atomic; slots < count are immutable
+
+EventRing* gRings[kMaxRings] = {};
+std::uint32_t gRingCount = 0;  // __atomic; slots < count are published
+
+int gEnabled = 1;   // __atomic
+int gArmed = 0;     // __atomic
+char gFatalPath[512] = {};
+char gTag[64] = {};
+
+std::mutex& registryMutex() {
+  static std::mutex m;
+  return m;
+}
+
+struct RingOwner {
+  std::vector<std::unique_ptr<EventRing>> rings;
+};
+RingOwner& ringOwner() {
+  static RingOwner owner;
+  return owner;
+}
+
+std::string gDumpDir;  // registryMutex-protected
+
+// Per-thread recording state.  The ring outlives the thread (owned by
+// ringOwner) so a dump still shows what an exited worker last did.
+thread_local EventRing* tRing = nullptr;
+thread_local std::uint32_t tDepth = 0;
+
+EventRing* threadRing() {
+  EventRing* ring = tRing;
+  if (ring != nullptr) return ring;
+  std::lock_guard<std::mutex> lock(registryMutex());
+  std::uint32_t count = __atomic_load_n(&gRingCount, __ATOMIC_RELAXED);
+  if (count >= kMaxRings) return nullptr;  // recorder full: drop events
+  auto owned = std::make_unique<EventRing>();
+  owned->id = count;
+  ring = owned.get();
+  ringOwner().rings.push_back(std::move(owned));
+  gRings[count] = ring;
+  // Publish the slot before the count so a dumper never reads an
+  // unconstructed ring.
+  __atomic_store_n(&gRingCount, count + 1, __ATOMIC_RELEASE);
+  tRing = ring;
+  return ring;
+}
+
+void ringPush(EventRing* ring, std::uint32_t kind, std::uint16_t nameId,
+              std::int64_t a0, std::int64_t a1, std::uint8_t stop) {
+  std::uint64_t head = __atomic_load_n(&ring->head, __ATOMIC_RELAXED);
+  Event& e = ring->slots[head % kRingCapacity];
+  __atomic_store_n(&e.tsNanos, nowNanosSinceEpoch(), __ATOMIC_RELAXED);
+  __atomic_store_n(&e.a0, a0, __ATOMIC_RELAXED);
+  __atomic_store_n(&e.a1, a1, __ATOMIC_RELAXED);
+  __atomic_store_n(&e.meta, Event::packMeta(nameId, kind, stop),
+                   __ATOMIC_RELAXED);
+  __atomic_store_n(&ring->head, head + 1, __ATOMIC_RELEASE);
+}
+
+// --- async-signal-safe NDJSON writer ------------------------------------
+//
+// Used by both the normal dump() path and the fatal-signal handler so
+// the two produce the same schema: no allocation, no locks, no stdio.
+
+struct FdWriter {
+  int fd = -1;
+  char buf[4096];
+  std::size_t len = 0;
+  bool ok = true;
+
+  void flush() {
+    std::size_t off = 0;
+    while (off < len) {
+      ssize_t n = ::write(fd, buf + off, len - off);
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    len = 0;
+  }
+  void putChar(char c) {
+    if (len == sizeof(buf)) flush();
+    buf[len++] = c;
+  }
+  void put(const char* s) {
+    for (; *s != '\0'; ++s) putChar(*s);
+  }
+  void putU64(std::uint64_t v) {
+    char tmp[24];
+    int n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) putChar(tmp[--n]);
+  }
+  void putI64(std::int64_t v) {
+    if (v < 0) {
+      putChar('-');
+      putU64(static_cast<std::uint64_t>(-(v + 1)) + 1);
+    } else {
+      putU64(static_cast<std::uint64_t>(v));
+    }
+  }
+  // Interned names and triggers are identifier-like; escape defensively
+  // anyway so the output is always valid JSON.
+  void putStr(const char* s) {
+    putChar('"');
+    for (; *s != '\0'; ++s) {
+      char c = *s;
+      if (c == '"' || c == '\\') {
+        putChar('\\');
+        putChar(c);
+      } else if (static_cast<unsigned char>(c) >= 0x20) {
+        putChar(c);
+      } else {
+        putChar('?');
+      }
+    }
+    putChar('"');
+  }
+};
+
+const char* kindName(std::uint32_t kind) {
+  switch (kind) {
+    case kKindSpanBegin:
+      return "span-begin";
+    case kKindSpanEnd:
+      return "span-end";
+    default:
+      return "instant";
+  }
+}
+
+void writeDumpTo(int fd, const char* trigger) {
+  FdWriter w;
+  w.fd = fd;
+  w.put("{\"flight\":");
+  w.putStr(gTag[0] != '\0' ? gTag : "unarmed");
+  w.put(",\"trigger\":");
+  w.putStr(trigger);
+  w.put(",\"pid\":");
+  w.putU64(static_cast<std::uint64_t>(::getpid()));
+  w.put(",\"ringCapacity\":");
+  w.putU64(kRingCapacity);
+  w.put("}\n");
+
+  std::uint32_t ringCount = __atomic_load_n(&gRingCount, __ATOMIC_ACQUIRE);
+  std::uint32_t nameCount = __atomic_load_n(&gNameCount, __ATOMIC_ACQUIRE);
+  if (ringCount > kMaxRings) ringCount = kMaxRings;
+  for (std::uint32_t r = 0; r < ringCount; ++r) {
+    EventRing* ring = gRings[r];
+    if (ring == nullptr) continue;
+    std::uint64_t head = __atomic_load_n(&ring->head, __ATOMIC_ACQUIRE);
+    std::uint64_t available = head < kRingCapacity ? head : kRingCapacity;
+    for (std::uint64_t i = head - available; i < head; ++i) {
+      const Event& e = ring->slots[i % kRingCapacity];
+      std::uint32_t meta = __atomic_load_n(&e.meta, __ATOMIC_RELAXED);
+      std::uint16_t nameId = static_cast<std::uint16_t>(meta >> 16);
+      std::uint32_t kind = (meta >> 8) & 0xff;
+      std::uint8_t stop = static_cast<std::uint8_t>(meta & 0xff);
+      if (nameId >= nameCount) continue;  // racing writer; skip slot
+      const NameRec& rec = gNames[nameId];
+      w.put("{\"ring\":");
+      w.putU64(r);
+      w.put(",\"seq\":");
+      w.putU64(i);
+      w.put(",\"tsNanos\":");
+      w.putI64(__atomic_load_n(&e.tsNanos, __ATOMIC_RELAXED));
+      w.put(",\"kind\":");
+      w.putStr(kindName(kind));
+      w.put(",\"name\":");
+      w.putStr(rec.name.c_str());
+      if (stop != kNoStop && kind == kKindSpanEnd) {
+        w.put(",\"stop\":");
+        w.putStr(stopReasonName(static_cast<StopReason>(stop)));
+      }
+      if (kind != kKindSpanBegin) {
+        w.put(",");
+        w.putStr(rec.arg0.empty() ? "a0" : rec.arg0.c_str());
+        w.put(":");
+        w.putI64(__atomic_load_n(&e.a0, __ATOMIC_RELAXED));
+        w.put(",");
+        w.putStr(rec.arg1.empty() ? "a1" : rec.arg1.c_str());
+        w.put(":");
+        w.putI64(__atomic_load_n(&e.a1, __ATOMIC_RELAXED));
+      }
+      w.put("}\n");
+    }
+  }
+  w.flush();
+}
+
+// --- fatal-signal handler ------------------------------------------------
+
+void onFatalSignal(int sig) {
+  if (__atomic_load_n(&gArmed, __ATOMIC_RELAXED) != 0 &&
+      gFatalPath[0] != '\0') {
+    int fd = ::open(gFatalPath, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      writeDumpTo(fd, "fatal-signal");
+      ::close(fd);
+    }
+  }
+  // Handlers were installed with SA_RESETHAND: re-raising runs the
+  // default disposition (core dump / terminate).
+  ::raise(sig);
+}
+
+void installFatalHandlers() {
+  const int kSignals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
+  for (int sig : kSignals) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &onFatalSignal;
+    sa.sa_flags = SA_RESETHAND;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+// --- profile table -------------------------------------------------------
+
+struct PhaseAgg {
+  std::uint16_t nameId = 0;
+  bool topLevel = false;
+  std::uint64_t count = 0;
+  std::int64_t nanos = 0;
+  std::int64_t a0 = 0;
+  std::int64_t a1 = 0;
+  StopReason lastStop = StopReason::Complete;
+  std::int64_t firstBeginNanos = 0;
+  std::int64_t lastEndNanos = 0;
+};
+
+struct ProfileTable {
+  std::mutex mutex;
+  std::vector<PhaseAgg> entries;
+};
+ProfileTable& profileTable() {
+  static ProfileTable table;
+  return table;
+}
+
+thread_local int tInCheckFailure = 0;
+
+}  // namespace
+
+EventLog& EventLog::instance() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::setEnabled(bool enabled) {
+  __atomic_store_n(&gEnabled, enabled ? 1 : 0, __ATOMIC_RELAXED);
+}
+
+bool EventLog::enabled() const {
+  return __atomic_load_n(&gEnabled, __ATOMIC_RELAXED) != 0;
+}
+
+std::uint16_t EventLog::internName(const std::string& name,
+                                   const char* arg0Label,
+                                   const char* arg1Label) {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  std::uint32_t count = __atomic_load_n(&gNameCount, __ATOMIC_RELAXED);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (gNames[i].name == name) return static_cast<std::uint16_t>(i);
+  }
+  if (count >= kMaxNames) {
+    // Table full: alias onto the last slot, which is registered as an
+    // explicit overflow bucket the first time this happens.
+    if (gNames[kMaxNames - 1].name != "overflow") {
+      gNames[kMaxNames - 1] = NameRec{"overflow", "", ""};
+      __atomic_store_n(&gNameCount, kMaxNames, __ATOMIC_RELEASE);
+    }
+    return static_cast<std::uint16_t>(kMaxNames - 1);
+  }
+  gNames[count].name = name;
+  gNames[count].arg0 = arg0Label != nullptr ? arg0Label : "";
+  gNames[count].arg1 = arg1Label != nullptr ? arg1Label : "";
+  __atomic_store_n(&gNameCount, count + 1, __ATOMIC_RELEASE);
+  return static_cast<std::uint16_t>(count);
+}
+
+void EventLog::instant(std::uint16_t nameId, std::int64_t a0,
+                       std::int64_t a1) {
+  if (!enabled()) return;
+  EventRing* ring = threadRing();
+  if (ring == nullptr) return;
+  ringPush(ring, kKindInstant, nameId, a0, a1, kNoStop);
+}
+
+EventLog::SpanHandle EventLog::beginSpan(std::uint16_t nameId) {
+  SpanHandle h;
+  if (!enabled()) return h;
+  EventRing* ring = threadRing();
+  if (ring == nullptr) return h;
+  h.nameId = nameId;
+  h.topLevel = tDepth == 0;
+  h.active = true;
+  ++tDepth;
+  h.beginNanos = nowNanosSinceEpoch();
+  ringPush(ring, kKindSpanBegin, nameId, 0, 0, kNoStop);
+  return h;
+}
+
+void EventLog::endSpan(SpanHandle& h, std::int64_t a0, std::int64_t a1,
+                       StopReason stop) {
+  if (!h.active) return;
+  h.active = false;
+  if (tDepth > 0) --tDepth;
+  std::int64_t endNanos = nowNanosSinceEpoch();
+  EventRing* ring = threadRing();
+  if (ring != nullptr) {
+    ringPush(ring, kKindSpanEnd, h.nameId, a0, a1,
+             static_cast<std::uint8_t>(stop));
+  }
+  ProfileTable& table = profileTable();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  PhaseAgg* agg = nullptr;
+  for (PhaseAgg& e : table.entries) {
+    if (e.nameId == h.nameId && e.topLevel == h.topLevel) {
+      agg = &e;
+      break;
+    }
+  }
+  if (agg == nullptr) {
+    table.entries.push_back(PhaseAgg{});
+    agg = &table.entries.back();
+    agg->nameId = h.nameId;
+    agg->topLevel = h.topLevel;
+    agg->firstBeginNanos = h.beginNanos;
+  }
+  agg->count += 1;
+  agg->nanos += endNanos - h.beginNanos;
+  agg->a0 += a0;
+  agg->a1 += a1;
+  agg->lastStop = stop;
+  agg->firstBeginNanos = std::min(agg->firstBeginNanos, h.beginNanos);
+  agg->lastEndNanos = std::max(agg->lastEndNanos, endNanos);
+}
+
+RunProfileSnapshot EventLog::snapshotProfile() const {
+  RunProfileSnapshot snap;
+  std::vector<PhaseAgg> entries;
+  {
+    ProfileTable& table = profileTable();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    entries = table.entries;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const PhaseAgg& a, const PhaseAgg& b) {
+              if (a.firstBeginNanos != b.firstBeginNanos) {
+                return a.firstBeginNanos < b.firstBeginNanos;
+              }
+              return a.nameId < b.nameId;
+            });
+  std::uint32_t nameCount = __atomic_load_n(&gNameCount, __ATOMIC_ACQUIRE);
+  snap.phases.reserve(entries.size());
+  for (const PhaseAgg& e : entries) {
+    if (e.nameId >= nameCount) continue;
+    PhaseSpan p;
+    const NameRec& rec = gNames[e.nameId];
+    p.name = rec.name;
+    p.arg0Label = rec.arg0;
+    p.arg1Label = rec.arg1;
+    p.topLevel = e.topLevel;
+    p.count = e.count;
+    p.seconds = static_cast<double>(e.nanos) * 1e-9;
+    p.arg0 = e.a0;
+    p.arg1 = e.a1;
+    p.lastStop = e.lastStop;
+    p.firstBeginSeconds = static_cast<double>(e.firstBeginNanos) * 1e-9;
+    p.lastEndSeconds = static_cast<double>(e.lastEndNanos) * 1e-9;
+    snap.phases.push_back(std::move(p));
+  }
+  return snap;
+}
+
+void EventLog::resetProfile() {
+  ProfileTable& table = profileTable();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  table.entries.clear();
+}
+
+void EventLog::arm(const std::string& dir, const std::string& tag) {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  gDumpDir = dir.empty() ? std::string(".") : dir;
+  std::string safeTag = tag.empty() ? std::string("run") : tag;
+  if (safeTag.size() >= sizeof(gTag)) safeTag.resize(sizeof(gTag) - 1);
+  std::memcpy(gTag, safeTag.c_str(), safeTag.size() + 1);
+  std::string fatalPath = gDumpDir + "/flight-" + safeTag + "-fatal.ndjson";
+  if (fatalPath.size() >= sizeof(gFatalPath)) {
+    gFatalPath[0] = '\0';  // path too long for the static buffer
+  } else {
+    std::memcpy(gFatalPath, fatalPath.c_str(), fatalPath.size() + 1);
+  }
+  installFatalHandlers();
+  __atomic_store_n(&gArmed, 1, __ATOMIC_RELEASE);
+}
+
+void EventLog::disarm() {
+  // Leaves signal dispositions in place (harmless: the handler checks
+  // the armed flag) but stops all dumps.
+  __atomic_store_n(&gArmed, 0, __ATOMIC_RELEASE);
+}
+
+bool EventLog::armed() const {
+  return __atomic_load_n(&gArmed, __ATOMIC_RELAXED) != 0;
+}
+
+std::string EventLog::dump(const char* trigger) {
+  if (!armed()) return {};
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(registryMutex());
+    path = gDumpDir + "/flight-" + gTag + "-" + trigger + ".ndjson";
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return {};
+  writeDumpTo(fd, trigger);
+  int rc = ::close(fd);
+  return rc == 0 ? path : std::string();
+}
+
+void EventLog::noteCheckFailure() {
+  // FT_CHECK failures can cascade (a failing invariant often trips
+  // again while unwinding); only the first failure per thread dumps,
+  // and a failure raised while dumping is ignored entirely.
+  if (tInCheckFailure != 0) return;
+  ++tInCheckFailure;
+  EventLog& log = instance();
+  if (log.armed()) {
+    std::uint16_t nameId = log.internName("check.failure");
+    log.instant(nameId);
+    log.dump("check-failure");
+  }
+  --tInCheckFailure;
+}
+
+#endif  // FENCETRADE_NO_METRICS
+
+double RunProfileSnapshot::topLevelSeconds() const {
+  double total = 0.0;
+  for (const PhaseSpan& p : phases) {
+    if (p.topLevel) total += p.seconds;
+  }
+  return total;
+}
+
+const PhaseSpan* RunProfileSnapshot::find(const std::string& name) const {
+  for (const PhaseSpan& p : phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace fencetrade::util

@@ -1,0 +1,224 @@
+// Structured event/span subsystem: the run profiler, flight recorder
+// and ledger substrate behind every engine and CLI.
+//
+// Three consumers share one low-overhead recording core:
+//
+//   1. Phase-span profiler.  Engines wrap their phases (sequential and
+//      parallel exploration, liveness graph construction, the
+//      differential's legs, fuzz scan/shrink, the repair pipeline's
+//      stages) in ScopedSpans.  Completed spans aggregate into a
+//      per-phase table — count, total seconds, summed args, last stop
+//      reason — snapshot by the CLIs into every --json output, the run
+//      ledger, and the Chrome-trace exporter's "run profile" tracks.
+//      Span nesting is tracked per thread: depth-0 ("top-level") spans
+//      partition the run's wall time without double counting, so a
+//      ledger's per-phase breakdown sums to the wall clock.
+//
+//   2. Flight recorder.  Every recording thread owns a bounded ring of
+//      recent events (span boundaries plus per-worker heartbeats),
+//      written with the same cache-line-padded single-writer relaxed
+//      discipline as util::MetricsShard — recording never takes a lock
+//      and never allocates.  When armed, the rings dump as NDJSON to
+//      disk on a stall-watchdog trip, after a SIGINT'd run, on FT_CHECK
+//      failure, and from an async-signal-safe fatal-signal handler —
+//      so a wedged, interrupted or crashed run stays diagnosable.
+//
+//   3. Run ledger.  appendLineAtomic() is the crash-safe (O_APPEND,
+//      single write) primitive the CLIs use to append one-line JSON
+//      run records to runs.ndjson; see src/check/ledger.h for the
+//      record schema and examples/fencetrade_report.cpp for the
+//      aggregating dashboard.
+//
+// Define FENCETRADE_NO_METRICS to compile the recording core down to
+// no-ops (empty types, inlined empty methods); snapshots and the
+// ledger append primitive stay available so consumers need no #ifdefs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/runcontrol.h"
+
+namespace fencetrade::util {
+
+/// One aggregated phase in a run profile: every completed span with
+/// the same name and nesting class merged together.
+struct PhaseSpan {
+  std::string name;
+  std::string arg0Label;  ///< empty when the phase has no labeled args
+  std::string arg1Label;
+  bool topLevel = true;   ///< began at span depth 0 on its thread
+  std::uint64_t count = 0;
+  double seconds = 0.0;        ///< summed span durations
+  std::int64_t arg0 = 0;       ///< summed arg0 across spans
+  std::int64_t arg1 = 0;
+  StopReason lastStop = StopReason::Complete;
+  double firstBeginSeconds = 0.0;  ///< since the process log epoch
+  double lastEndSeconds = 0.0;
+};
+
+/// Point-in-time merge of the profile table, ordered by first span
+/// begin time (so phase lists read in execution order).
+struct RunProfileSnapshot {
+  std::vector<PhaseSpan> phases;
+
+  /// Sum of top-level phase seconds — the portion of the run's wall
+  /// time attributed to named phases (never double counts nesting).
+  double topLevelSeconds() const;
+  /// First phase with this name (any nesting class), nullptr if absent.
+  const PhaseSpan* find(const std::string& name) const;
+};
+
+/// Crash-safe one-line append: opens `path` with O_APPEND and writes
+/// `line` plus a trailing newline in a single write() call, so
+/// concurrent appenders never interleave partial records.  Returns
+/// false on any IO error.  Compiled unconditionally.
+bool appendLineAtomic(const std::string& path, const std::string& line);
+
+#ifndef FENCETRADE_NO_METRICS
+
+/// Process-wide event log.  All methods are thread-safe; recording
+/// methods (instant(), span begin/end) are lock-free on the hot path.
+class EventLog {
+ public:
+  /// The process-wide instance every engine and CLI records into.
+  static EventLog& instance();
+
+  /// Runtime kill switch (default on): when disabled, recording is a
+  /// single relaxed load and branch.  The bench overhead gate pairs
+  /// enabled vs disabled runs.
+  void setEnabled(bool enabled);
+  bool enabled() const;
+
+  /// Intern an event name with up to two arg labels.  Re-interning an
+  /// existing name returns the existing id; labels are taken from the
+  /// first registration.  Thread-safe, but not async-signal-safe —
+  /// intern from normal context only (span/instant recording with an
+  /// already-interned id is signal-compatible).
+  std::uint16_t internName(const std::string& name,
+                           const char* arg0Label = nullptr,
+                           const char* arg1Label = nullptr);
+
+  /// Record an instant event into the calling thread's ring.
+  void instant(std::uint16_t nameId, std::int64_t a0 = 0,
+               std::int64_t a1 = 0);
+
+  /// Span lifecycle (prefer ScopedSpan).  beginSpan records a ring
+  /// event and bumps the thread's nesting depth; endSpan records the
+  /// closing ring event and folds the span into the profile table.
+  struct SpanHandle {
+    std::int64_t beginNanos = 0;
+    std::uint16_t nameId = 0;
+    bool topLevel = false;
+    bool active = false;
+  };
+  SpanHandle beginSpan(std::uint16_t nameId);
+  void endSpan(SpanHandle& h, std::int64_t a0 = 0, std::int64_t a1 = 0,
+               StopReason stop = StopReason::Complete);
+
+  /// Merge the profile table (thread-safe, may race recorders).
+  RunProfileSnapshot snapshotProfile() const;
+  /// Clear the profile table (between bench reps / CLI sub-runs).
+  void resetProfile();
+
+  /// Arm the flight recorder: dumps become live and fatal-signal
+  /// handlers (SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT) are installed
+  /// that write the rings to `<dir>/flight-<tag>-fatal.ndjson` before
+  /// re-raising.  Non-fatal dumps go to
+  /// `<dir>/flight-<tag>-<trigger>.ndjson`.
+  void arm(const std::string& dir, const std::string& tag);
+  void disarm();
+  bool armed() const;
+
+  /// Dump every ring as NDJSON (header line, then one event per
+  /// line, oldest first per ring).  Returns the written path, or ""
+  /// when disarmed or on IO failure.  Safe from any thread.
+  std::string dump(const char* trigger);
+
+  /// FT_CHECK-failure hook (called by util::raiseCheckFailure before
+  /// throwing): dumps once per failure wave when armed; reentrancy-
+  /// guarded so a failure inside the dump path cannot recurse.
+  static void noteCheckFailure();
+
+ private:
+  EventLog() = default;
+};
+
+/// RAII span: interns the name on construction, ends the span (with
+/// the args and stop reason set so far) on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const std::string& name,
+                      const char* arg0Label = nullptr,
+                      const char* arg1Label = nullptr)
+      : handle_(EventLog::instance().beginSpan(
+            EventLog::instance().internName(name, arg0Label, arg1Label))) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { end(); }
+
+  void args(std::int64_t a0, std::int64_t a1) {
+    a0_ = a0;
+    a1_ = a1;
+  }
+  void stop(StopReason r) { stop_ = r; }
+  /// End early (idempotent; the destructor becomes a no-op).
+  void end() {
+    if (handle_.active) EventLog::instance().endSpan(handle_, a0_, a1_, stop_);
+  }
+
+ private:
+  EventLog::SpanHandle handle_;
+  std::int64_t a0_ = 0;
+  std::int64_t a1_ = 0;
+  StopReason stop_ = StopReason::Complete;
+};
+
+#else  // FENCETRADE_NO_METRICS ------------------------------------------
+
+class EventLog {
+ public:
+  static EventLog& instance() {
+    static EventLog log;
+    return log;
+  }
+  void setEnabled(bool) {}
+  bool enabled() const { return false; }
+  std::uint16_t internName(const std::string&, const char* = nullptr,
+                           const char* = nullptr) {
+    return 0;
+  }
+  void instant(std::uint16_t, std::int64_t = 0, std::int64_t = 0) {}
+  struct SpanHandle {
+    std::int64_t beginNanos = 0;
+    std::uint16_t nameId = 0;
+    bool topLevel = false;
+    bool active = false;
+  };
+  SpanHandle beginSpan(std::uint16_t) { return {}; }
+  void endSpan(SpanHandle&, std::int64_t = 0, std::int64_t = 0,
+               StopReason = StopReason::Complete) {}
+  RunProfileSnapshot snapshotProfile() const { return {}; }
+  void resetProfile() {}
+  void arm(const std::string&, const std::string&) {}
+  void disarm() {}
+  bool armed() const { return false; }
+  std::string dump(const char*) { return {}; }
+  static void noteCheckFailure() {}
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const std::string&, const char* = nullptr,
+                      const char* = nullptr) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  void args(std::int64_t, std::int64_t) {}
+  void stop(StopReason) {}
+  void end() {}
+};
+
+#endif  // FENCETRADE_NO_METRICS
+
+}  // namespace fencetrade::util

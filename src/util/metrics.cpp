@@ -21,8 +21,15 @@ double HistogramSnapshot::quantile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   if (q <= 0.0) return min;
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count)));
+  // Nearest rank = ceil(q·count), with a guard against the product
+  // landing one ulp above the exact value (0.7·10 == 7.000000000000001
+  // in binary, and a bare ceil would overshoot a whole rank), then
+  // clamped into [1, count] so boundary q never indexes outside the
+  // observed samples — with one sample every q maps to rank 1.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count) - 1e-9));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     seen += buckets[i];

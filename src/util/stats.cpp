@@ -31,10 +31,21 @@ double Accumulator::percentile(double q) const {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
+  // Same one-ulp guard as HistogramSnapshot::quantile: q·n can land
+  // just above the exact product (0.7·10 == 7.000000000000001) and a
+  // bare ceil would overshoot a whole rank.
   auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(count_)));
+      std::ceil(q * static_cast<double>(count_) - 1e-9));
   if (rank == 0) rank = 1;  // q = 0: the minimum
+  if (rank > static_cast<std::size_t>(count_)) {
+    rank = static_cast<std::size_t>(count_);
+  }
   return samples_[rank - 1];
+}
+
+double Accumulator::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  return percentile(std::clamp(q, 0.0, 1.0));
 }
 
 double Accumulator::min() const {

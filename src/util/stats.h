@@ -29,6 +29,12 @@ class Accumulator {
   double p50() const { return percentile(0.50); }
   double p99() const { return percentile(0.99); }
 
+  /// Non-throwing variant with HistogramSnapshot::quantile's edge
+  /// contract: q is clamped into [0, 1] and an empty accumulator
+  /// yields 0.0 — for report/aggregation code over possibly-empty
+  /// groups, where percentile()'s strict FT_CHECKs would be noise.
+  double quantile(double q) const;
+
   /// "mean ± stddev [min, max] (n=count)" — for bench table cells.
   std::string summary() const;
 

@@ -9,6 +9,9 @@
 #include <cstddef>
 #include <string>
 
+#include "check/fuzz.h"
+#include "check/inject.h"
+#include "core/gt.h"
 #include "core/objects.h"
 #include "core/peterson.h"
 #include "sim/explore.h"
@@ -257,6 +260,98 @@ TEST(TraceExport, ReplayScheduleMatchesDirectReplay) {
     EXPECT_EQ(replayed[i].reg, direct[i].reg) << "step " << i;
     EXPECT_EQ(replayed[i].val, direct[i].val) << "step " << i;
   }
+}
+
+TEST(TraceExport, DporWitnessExportIsByteIdenticalAcrossRuns) {
+  // Source-DPOR prunes the exploration order, but the witness it finds
+  // — and therefore the exported trace — must be a pure function of
+  // the system: two independent explorations export byte-identically.
+  auto os = makePetersonPsoSystem();
+  ExploreOptions opts;
+  opts.reduction = ReductionMode::sourceDpor;
+  auto res1 = explore(os.sys, opts);
+  auto res2 = explore(os.sys, opts);
+  ASSERT_TRUE(res1.mutexViolation);
+  ASSERT_TRUE(res2.mutexViolation);
+  ASSERT_EQ(res1.witness, res2.witness);
+
+  const std::string json1 = executionToChromeTrace(
+      os.sys.layout, replaySchedule(os.sys, res1.witness), 2);
+  const std::string json2 = executionToChromeTrace(
+      os.sys.layout, replaySchedule(os.sys, res2.witness), 2);
+  EXPECT_EQ(json1, json2);
+  EXPECT_TRUE(JsonValidator(json1).valid());
+}
+
+TEST(TraceExport, FuzzWitnessExportIsByteIdenticalAcrossWorkerCounts) {
+  // The fuzzer's minimized witness is deterministic across worker
+  // counts (min-seed reduction + deterministic shrink), so the
+  // exported Chrome trace of a 1-worker and a 4-worker scan must be
+  // byte-identical.
+  sim::System sys1 =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::gtFactory(2)).sys;
+  ASSERT_GT(check::stripFence(sys1, 0), 0);
+  sim::System sys4 =
+      core::buildCountSystem(MemoryModel::PSO, 2, core::gtFactory(2)).sys;
+  ASSERT_GT(check::stripFence(sys4, 0), 0);
+
+  check::FuzzOptions opts;
+  opts.seeds = 2048;
+  opts.workers = 1;
+  const check::FuzzReport rep1 = check::fuzzMutualExclusion(sys1, opts);
+  opts.workers = 4;
+  const check::FuzzReport rep4 = check::fuzzMutualExclusion(sys4, opts);
+  ASSERT_TRUE(rep1.witness.has_value());
+  ASSERT_TRUE(rep4.witness.has_value());
+  EXPECT_EQ(rep1.witness->seed, rep4.witness->seed);
+
+  const std::string json1 = executionToChromeTrace(
+      sys1.layout, replaySchedule(sys1, rep1.witness->minimized), 2);
+  const std::string json4 = executionToChromeTrace(
+      sys4.layout, replaySchedule(sys4, rep4.witness->minimized), 2);
+  EXPECT_EQ(json1, json4);
+  EXPECT_TRUE(JsonValidator(json1).valid());
+}
+
+TEST(TraceExport, ProfileTracksRenderOnPidOneAndStayAdditive) {
+  auto os = makePetersonPsoSystem();
+  Config cfg = initialConfig(os.sys);
+  const Execution e = runSequential(os.sys, cfg, {0, 1});
+
+  util::RunProfileSnapshot profile;
+  util::PhaseSpan phase;
+  phase.name = "explore.seq[source-dpor]";
+  phase.arg0Label = "states";
+  phase.arg1Label = "arenaBytes";
+  phase.topLevel = true;
+  phase.count = 1;
+  phase.seconds = 0.25;
+  phase.arg0 = 1234;
+  phase.arg1 = 4096;
+  phase.firstBeginSeconds = 0.5;
+  phase.lastEndSeconds = 0.75;
+  profile.phases.push_back(phase);
+
+  const std::string withProfile =
+      executionToChromeTrace(os.sys.layout, e, 2, "fencetrade", &profile);
+  ASSERT_TRUE(JsonValidator(withProfile).valid());
+  EXPECT_NE(withProfile.find("\"run profile\""), std::string::npos);
+  EXPECT_NE(withProfile.find("\"explore.seq[source-dpor]\""),
+            std::string::npos);
+  EXPECT_NE(withProfile.find("\"cat\":\"phase\""), std::string::npos);
+  EXPECT_NE(withProfile.find("\"states\":1234"), std::string::npos);
+
+  // A null profile must render exactly what the 4-arg overload renders
+  // — the profile tracks are strictly additive.
+  const std::string noProfile =
+      executionToChromeTrace(os.sys.layout, e, 2, "fencetrade", nullptr);
+  EXPECT_EQ(noProfile, executionToChromeTrace(os.sys.layout, e, 2));
+  // The profile tracks announce themselves with a pid-1 process_name
+  // meta event before any phase event.
+  const std::size_t metaPos = withProfile.find(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1");
+  ASSERT_NE(metaPos, std::string::npos);
+  EXPECT_LT(metaPos, withProfile.find("\"cat\":\"phase\""));
 }
 
 TEST(TraceExport, RejectsNonPositiveProcessCount) {

@@ -1,0 +1,236 @@
+// EventLog: span aggregation and top-level nesting accounting, profile
+// reset, flight-recorder dumps (armed/disarmed, FT_CHECK hook,
+// multi-threaded), the runtime kill switch, and the crash-safe ledger
+// append primitive.  The no-metrics build keeps the same API surface
+// as no-ops.
+#include "util/eventlog.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fencetrade::util {
+namespace {
+
+std::string makeTempDir() {
+  char tmpl[] = "/tmp/ft_eventlog_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir != nullptr ? dir : "/tmp";
+}
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(AppendLineAtomic, AppendsWholeLinesAndToleratesEmptyPath) {
+  const std::string dir = makeTempDir();
+  const std::string path = dir + "/ledger.ndjson";
+  EXPECT_TRUE(appendLineAtomic(path, "{\"run\":1}"));
+  EXPECT_TRUE(appendLineAtomic(path, "{\"run\":2}"));
+  EXPECT_EQ(readWholeFile(path), "{\"run\":1}\n{\"run\":2}\n");
+  // Unwritable path reports failure instead of throwing.
+  EXPECT_FALSE(appendLineAtomic(dir + "/no/such/dir/x", "line"));
+}
+
+#ifndef FENCETRADE_NO_METRICS
+
+TEST(EventLogTest, SpanAggregationTracksNestingAndStops) {
+  EventLog& log = EventLog::instance();
+  log.resetProfile();
+  {
+    ScopedSpan outer("test.outer", "widgets", "bytes");
+    {
+      ScopedSpan inner("test.inner");
+      inner.args(3, 0);
+    }
+    {
+      ScopedSpan inner("test.inner");
+      inner.args(4, 0);
+    }
+    outer.args(7, 1024);
+    outer.stop(StopReason::StateCap);
+  }
+  const RunProfileSnapshot snap = log.snapshotProfile();
+
+  const PhaseSpan* outer = snap.find("test.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_TRUE(outer->topLevel);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(outer->arg0, 7);
+  EXPECT_EQ(outer->arg1, 1024);
+  EXPECT_EQ(outer->arg0Label, "widgets");
+  EXPECT_EQ(outer->arg1Label, "bytes");
+  EXPECT_EQ(outer->lastStop, StopReason::StateCap);
+  EXPECT_GE(outer->seconds, 0.0);
+  EXPECT_GE(outer->lastEndSeconds, outer->firstBeginSeconds);
+
+  const PhaseSpan* inner = snap.find("test.inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_FALSE(inner->topLevel);  // nested spans never count as wall time
+  EXPECT_EQ(inner->count, 2u);
+  EXPECT_EQ(inner->arg0, 7);  // 3 + 4 summed across spans
+
+  // Only the outer span contributes to the wall-time partition.
+  EXPECT_DOUBLE_EQ(snap.topLevelSeconds(), outer->seconds);
+}
+
+TEST(EventLogTest, ResetProfileClearsTheTable) {
+  EventLog& log = EventLog::instance();
+  log.resetProfile();
+  { ScopedSpan s("test.reset-me"); }
+  EXPECT_NE(log.snapshotProfile().find("test.reset-me"), nullptr);
+  log.resetProfile();
+  EXPECT_EQ(log.snapshotProfile().find("test.reset-me"), nullptr);
+  EXPECT_TRUE(log.snapshotProfile().phases.empty());
+}
+
+TEST(EventLogTest, SetEnabledFalseSuppressesRecording) {
+  EventLog& log = EventLog::instance();
+  log.resetProfile();
+  log.setEnabled(false);
+  EXPECT_FALSE(log.enabled());
+  { ScopedSpan s("test.disabled"); }
+  log.instant(log.internName("test.disabled-instant"));
+  log.setEnabled(true);
+  EXPECT_TRUE(log.enabled());
+  EXPECT_EQ(log.snapshotProfile().find("test.disabled"), nullptr);
+}
+
+TEST(EventLogTest, DisarmedDumpReturnsEmpty) {
+  EventLog& log = EventLog::instance();
+  log.disarm();
+  EXPECT_FALSE(log.armed());
+  EXPECT_EQ(log.dump("unit"), "");
+}
+
+TEST(EventLogTest, ArmedDumpWritesHeaderAndEventLines) {
+  EventLog& log = EventLog::instance();
+  log.resetProfile();
+  const std::string dir = makeTempDir();
+  log.arm(dir, "unittest");
+  EXPECT_TRUE(log.armed());
+
+  const std::uint16_t beat = log.internName("test.beat", "ticks", nullptr);
+  log.instant(beat, 42, 7);
+  {
+    ScopedSpan s("test.dump-span", "states", "bytes");
+    s.args(11, 22);
+    s.stop(StopReason::Deadline);
+  }
+  const std::string path = log.dump("unit");
+  log.disarm();
+  ASSERT_EQ(path, dir + "/flight-unittest-unit.ndjson");
+
+  const std::string text = readWholeFile(path);
+  std::istringstream lines(text);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_NE(header.find("\"flight\":\"unittest\""), std::string::npos);
+  EXPECT_NE(header.find("\"trigger\":\"unit\""), std::string::npos);
+  EXPECT_NE(header.find("\"ringCapacity\""), std::string::npos);
+
+  // The body must contain the instant (with its labeled arg), the span
+  // begin, and the span end carrying the stop reason.
+  EXPECT_NE(text.find("\"kind\":\"instant\",\"name\":\"test.beat\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"ticks\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"span-begin\",\"name\":\"test.dump-span\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"span-end\",\"name\":\"test.dump-span\","
+                      "\"stop\":\"deadline\",\"states\":11,\"bytes\":22"),
+            std::string::npos);
+}
+
+TEST(EventLogTest, CheckFailureDumpsWhenArmed) {
+  EventLog& log = EventLog::instance();
+  const std::string dir = makeTempDir();
+  log.arm(dir, "unittest");
+  EXPECT_THROW(FT_CHECK(false) << "eventlog hook probe", CheckError);
+  log.disarm();
+  const std::string text =
+      readWholeFile(dir + "/flight-unittest-check-failure.ndjson");
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\"trigger\":\"check-failure\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"check.failure\""), std::string::npos);
+}
+
+TEST(EventLogTest, ConcurrentSpansAggregateAndDumpSafely) {
+  EventLog& log = EventLog::instance();
+  log.resetProfile();
+  const std::string dir = makeTempDir();
+  log.arm(dir, "unittest");
+
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan s("test.mt-span", "iters", nullptr);
+        s.args(1, 0);
+        if ((i & 31) == 0) log.instant(log.internName("test.mt-instant"));
+      }
+    });
+  }
+  // Dump while the writers are live: the single-writer relaxed rings
+  // make this race benign (and TSan-clean in the sanitizer configs).
+  (void)log.dump("race");
+  for (auto& t : threads) t.join();
+  const std::string path = log.dump("settled");
+  log.disarm();
+
+  const PhaseSpan* span = log.snapshotProfile().find("test.mt-span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count,
+            static_cast<std::uint64_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(span->arg0, kThreads * kSpansPerThread);
+
+  // Every ring in the settled dump must list its events in seq order.
+  std::istringstream lines(readWholeFile(path));
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));  // header
+  long lastRing = -1, lastSeq = -1;
+  while (std::getline(lines, line)) {
+    long ring = -1, seq = -1;
+    ASSERT_EQ(std::sscanf(line.c_str(), "{\"ring\":%ld,\"seq\":%ld", &ring,
+                          &seq),
+              2)
+        << line;
+    if (ring == lastRing) {
+      EXPECT_EQ(seq, lastSeq + 1) << line;
+    }
+    lastRing = ring;
+    lastSeq = seq;
+  }
+}
+
+#else  // FENCETRADE_NO_METRICS
+
+TEST(EventLogTest, NoMetricsBuildCompilesToNoops) {
+  EventLog& log = EventLog::instance();
+  log.setEnabled(true);
+  EXPECT_FALSE(log.enabled());
+  { ScopedSpan s("anything", "a", "b"); }
+  EXPECT_TRUE(log.snapshotProfile().phases.empty());
+  log.arm("/tmp", "noop");
+  EXPECT_FALSE(log.armed());
+  EXPECT_EQ(log.dump("unit"), "");
+}
+
+#endif  // FENCETRADE_NO_METRICS
+
+}  // namespace
+}  // namespace fencetrade::util

@@ -196,5 +196,43 @@ TEST(MetricsRegistry, NoMetricsBuildCompilesToNoops) {
 
 #endif  // FENCETRADE_NO_METRICS
 
+// HistogramSnapshot is compiled unconditionally (no-metrics builds
+// still link snapshot consumers), so its quantile edge cases are
+// testable in both configurations by building snapshots directly.
+
+TEST(MetricsHistogram, QuantileOnEmptyAndSingleSampleSnapshots) {
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+  // One sample: every q, including clamped out-of-range q, must map to
+  // rank 1 and return the only observation.
+  HistogramSnapshot one;
+  one.bounds = {10.0};
+  one.buckets = {1, 0};
+  one.count = 1;
+  one.sum = one.min = one.max = 7.0;
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(-2.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(3.0), 7.0);
+}
+
+TEST(MetricsHistogram, QuantileRankIsNotSkewedByFloatRounding) {
+  // 0.7 * 10 == 7.000000000000001 in binary: a bare ceil overshoots to
+  // rank 8, which sits in the next bucket.  Rank 7 is correct and lands
+  // on the (1,10] bucket's bound.
+  HistogramSnapshot h;
+  h.bounds = {1.0, 10.0, 100.0};
+  h.buckets = {4, 3, 2, 1};
+  h.count = 10;
+  h.min = 0.5;
+  h.max = 1000.0;
+  EXPECT_DOUBLE_EQ(h.quantile(0.7), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.3), 1.0);  // rank 3, not 4
+}
+
 }  // namespace
 }  // namespace fencetrade::util

@@ -82,6 +82,39 @@ TEST(StatsTest, NegativeValues) {
   EXPECT_DOUBLE_EQ(a.max(), 3.0);
 }
 
+TEST(StatsTest, PercentileRankIsNotSkewedByFloatRounding) {
+  // 0.7 * 10 evaluates to 7.000000000000001 in binary: a bare ceil
+  // would overshoot to rank 8.  The nearest rank for q=0.7, n=10 is 7.
+  Accumulator a;
+  for (int i = 1; i <= 10; ++i) a.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(a.percentile(0.7), 7.0);
+  EXPECT_DOUBLE_EQ(a.percentile(0.3), 3.0);  // 0.3*10 = 3.0000000000000004
+  // And q=1 on rounding-prone counts must stay clamped to the maximum.
+  Accumulator b;
+  for (int i = 1; i <= 7; ++i) b.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(b.percentile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(b.percentile(2.0 / 7.0), 2.0);
+}
+
+TEST(StatsTest, QuantileClampsAndToleratesEmpty) {
+  // quantile() is the non-throwing sibling of percentile(): empty
+  // accumulators yield 0.0 and out-of-range q clamps instead of
+  // throwing — percentile()'s strict contract is pinned above.
+  Accumulator empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  Accumulator one;
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(-3.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(9.0), 42.0);
+  Accumulator a;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(a.quantile(7.0), 40.0);  // clamped to q=1
+}
+
 TEST(StatsTest, SummaryMentionsCount) {
   Accumulator a;
   a.add(1.0);
