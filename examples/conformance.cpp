@@ -12,7 +12,8 @@
 //       Reorder-bounded schedule fuzzing of one system, with ddmin
 //       witness shrinking on violation.
 //         target ∈ {bakery, bakery-paper, gt1, gt2, gt3, tournament,
-//                   peterson, peterson-tso, tas, ttas}  (default gt2)
+//                   peterson, peterson-tso, tas, ttas, rtas,
+//                   rtas-broken, rtournament}            (default gt2)
 //         model  ∈ {SC, TSO, PSO}                        (default PSO)
 //         n      ∈ 2..4                                  (default 2)
 //       --seeds N         seeds to scan             (default 256)
@@ -20,6 +21,11 @@
 //       --budget R        reorder budget, -1 = off  (default 8)
 //       --max-seconds T   wall-clock cap, 0 = none  (default 0)
 //       --workers W       seed-scan threads         (default 1)
+//       --crashes N       per-process crash budget (default 0: the
+//                         failure-free fuzzer, byte-identical schedules)
+//       --crash-prob P    per-step crash probability while budget
+//                         lasts (default 0.05 when --crashes > 0)
+//       --arch A          RMR accountant: combined|cc|dsm
 //       --strip-fence K   remove the K-th fence of every program
 //                         before fuzzing (bug injection self-test)
 //       --witness FILE    write the minimized witness as a Chrome
@@ -73,6 +79,7 @@
 #include "core/gt.h"
 #include "core/objects.h"
 #include "core/peterson.h"
+#include "core/recoverable.h"
 #include "sim/trace_export.h"
 #include "util/checkpoint.h"
 #include "util/eventlog.h"
@@ -136,6 +143,7 @@ int usage(const char* argv0) {
       "           [--deadline SECS] [--mem-budget BYTES] [--ledger FILE]\n"
       "       %s fuzz [target] [SC|TSO|PSO] [n] [--seeds N] [--seed-base S]\n"
       "           [--budget R] [--max-seconds T] [--workers W]\n"
+      "           [--crashes N] [--crash-prob P] [--arch combined|cc|dsm]\n"
       "           [--strip-fence K] [--witness FILE] [--json]\n"
       "           [--deadline SECS] [--checkpoint FILE] [--resume FILE]\n"
       "           [--ledger FILE]\n",
@@ -160,6 +168,9 @@ core::LockFactory fuzzTargetByName(const std::string& name, bool& ok) {
   }
   if (name == "tas") return core::tasFactory();
   if (name == "ttas") return core::ttasFactory();
+  if (name == "rtas") return core::recoverableTasFactory();
+  if (name == "rtas-broken") return core::brokenRecoverableTasFactory();
+  if (name == "rtournament") return core::recoverableTournamentFactory();
   ok = false;
   return core::bakeryFactory();
 }
@@ -221,6 +232,13 @@ int runCorpus(bool quick, bool json, bool stopOnFail,
       jout += '{';
       check::jsonStr(jout, "name", entry.name);
       jout += ',';
+      if (entry.crashBudget > 0 || entry.arch != sim::Arch::Combined) {
+        check::jsonU64(jout, "crashBudget",
+                       static_cast<unsigned long long>(entry.crashBudget));
+        jout += ',';
+        check::jsonStr(jout, "arch", sim::archName(entry.arch));
+        jout += ',';
+      }
       check::jsonStr(jout, "property", check::verdictName(rep.verdict));
       jout += ',';
       check::jsonStr(jout, "expected", check::verdictName(entry.expected));
@@ -280,10 +298,10 @@ int runCorpus(bool quick, bool json, bool stopOnFail,
 }
 
 int runFuzz(const std::string& target, const std::string& modelName, int n,
-            check::FuzzOptions fopts, int stripFenceIdx, bool json,
-            const std::string& witnessPath, const std::string& checkpointPath,
-            const std::string& resumePath, const char* argv0,
-            const LedgerCtx& ledger) {
+            check::FuzzOptions fopts, int stripFenceIdx, int crashes,
+            sim::Arch arch, bool json, const std::string& witnessPath,
+            const std::string& checkpointPath, const std::string& resumePath,
+            const char* argv0, const LedgerCtx& ledger) {
   bool lockOk = false;
   const core::LockFactory factory = fuzzTargetByName(target, lockOk);
   sim::MemoryModel model;
@@ -301,6 +319,8 @@ int runFuzz(const std::string& target, const std::string& modelName, int n,
   if (!lockOk || !modelOk || n < 2 || n > 4) return usage(argv0);
 
   sim::System sys = core::buildCountSystem(model, n, factory).sys;
+  sys.crashBudget = crashes;
+  sys.arch = arch;
   int stripped = 0;
   if (stripFenceIdx >= 0) {
     stripped = check::stripFence(sys, stripFenceIdx);
@@ -370,6 +390,17 @@ int runFuzz(const std::string& target, const std::string& modelName, int n,
     check::jsonU64(out, "strippedFences",
                    static_cast<unsigned long long>(stripped));
     out += ',';
+    // RME/arch keys only off the defaults: failure-free combined-arch
+    // reports stay byte-identical to the pre-crash fuzzer's.
+    if (crashes > 0 || arch != sim::Arch::Combined) {
+      check::jsonU64(out, "crashBudget",
+                     static_cast<unsigned long long>(crashes));
+      out += ',';
+      check::jsonDouble(out, "crashProb", fopts.crashProb);
+      out += ',';
+      check::jsonStr(out, "arch", sim::archName(arch));
+      out += ',';
+    }
     check::jsonU64(out, "seeds", fopts.seeds);
     out += ',';
     check::jsonU64(out, "seedBase", fopts.seedBase);
@@ -474,6 +505,9 @@ int main(int argc, char** argv) {
   bool json = false, quick = false, stopOnFail = false;
   check::FuzzOptions fopts;
   int stripFenceIdx = -1;
+  int crashes = 0;
+  double crashProb = -1.0;  // sentinel: defaulted from --crashes below
+  sim::Arch arch = sim::Arch::Combined;
   std::string witnessPath, checkpointPath, resumePath;
   double deadlineSeconds = 0.0;
   std::uint64_t memBudget = 0;
@@ -512,6 +546,26 @@ int main(int argc, char** argv) {
       if (!(v = needValue(i))) return usage(argv[0]);
       stripFenceIdx = std::atoi(v);
       if (stripFenceIdx < 0) return usage(argv[0]);
+    } else if (a == "--crashes") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      crashes = std::atoi(v);
+      if (crashes < 0) return usage(argv[0]);
+    } else if (a == "--crash-prob") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      crashProb = std::strtod(v, nullptr);
+      if (crashProb < 0.0 || crashProb > 1.0) return usage(argv[0]);
+    } else if (a == "--arch") {
+      if (!(v = needValue(i))) return usage(argv[0]);
+      const std::string av = v;
+      if (av == "combined") {
+        arch = sim::Arch::Combined;
+      } else if (av == "cc") {
+        arch = sim::Arch::CC;
+      } else if (av == "dsm") {
+        arch = sim::Arch::DSM;
+      } else {
+        return usage(argv[0]);
+      }
     } else if (a == "--witness") {
       if (!(v = needValue(i))) return usage(argv[0]);
       witnessPath = v;
@@ -564,8 +618,14 @@ int main(int argc, char** argv) {
     const std::string model = pos.size() > 1 ? pos[1] : "PSO";
     const int n = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 2;
     fopts.control = control;
-    return runFuzz(target, model, n, fopts, stripFenceIdx, json,
-                   witnessPath, checkpointPath, resumePath, argv[0], ledger);
+    // A crash budget without an explicit probability gets a light
+    // default draw; budget 0 keeps the generator byte-identical.
+    fopts.crashProb = crashProb >= 0.0 ? crashProb
+                      : crashes > 0    ? 0.05
+                                       : 0.0;
+    return runFuzz(target, model, n, fopts, stripFenceIdx, crashes, arch,
+                   json, witnessPath, checkpointPath, resumePath, argv[0],
+                   ledger);
   }
   return usage(argv[0]);
 }

@@ -5,10 +5,25 @@
 //   $ ./lock_doctor [lock] [model] [n] [workers] [flags]
 //
 //   lock    ∈ {bakery, bakery-paper, gt2, tournament, peterson,
-//              peterson-tso, tas, ttas}        (default: peterson-tso)
+//              peterson-tso, tas, ttas, rtas, rtas-broken,
+//              rtournament}                    (default: peterson-tso)
 //   model   ∈ {SC, TSO, PSO}                   (default: PSO)
 //   n       ∈ 2..6                             (default: 2)
 //   workers ∈ 1..64 exploration threads        (default: 1)
+//
+//   --crashes N       per-process crash budget (recoverable mutual
+//                     exclusion): the exploration additionally
+//                     enumerates crash moves that wipe a process's
+//                     registers, write buffer and cache and restart it
+//                     at its recovery section.  0 (default) is the
+//                     failure-free machine, byte-identical to the
+//                     pre-crash doctor.
+//   --arch A          RMR accountant feeding the remote-step
+//                     classification: combined (default, the paper's
+//                     merged model), cc (cache-coherent), dsm
+//                     (distributed shared memory).  Transitions are
+//                     identical under every choice; only the
+//                     accounting differs (arXiv:1109.5153).
 //
 //   --reduction M     exploration reduction: none, por (persistent
 //                     sets), dpor (source sets + sleep sets; default).
@@ -87,6 +102,7 @@
 #include "core/gt.h"
 #include "core/objects.h"
 #include "core/peterson.h"
+#include "core/recoverable.h"
 #include "sim/explore.h"
 #include "sim/schedule.h"
 #include "sim/trace.h"
@@ -116,6 +132,9 @@ core::LockFactory lockByName(const std::string& name, bool& ok) {
   }
   if (name == "tas") return core::tasFactory();
   if (name == "ttas") return core::ttasFactory();
+  if (name == "rtas") return core::recoverableTasFactory();
+  if (name == "rtas-broken") return core::brokenRecoverableTasFactory();
+  if (name == "rtournament") return core::recoverableTournamentFactory();
   ok = false;
   return core::bakeryFactory();
 }
@@ -228,6 +247,8 @@ int main(int argc, char** argv) {
   sim::VisitedTier visitedTier = sim::VisitedTier::exact;
   std::vector<int> stripFences;
   int extraSizes = 0;
+  int crashes = 0;
+  sim::Arch arch = sim::Arch::Combined;
   double deadlineSeconds = 0.0;
   bool usageError = false;
   auto needValue = [&](int& i) -> const char* {
@@ -275,6 +296,20 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--bloom-bits") {
       bloomBits = std::strtoull(needValue(i), nullptr, 10);
+    } else if (a == "--crashes") {
+      crashes = std::atoi(needValue(i));
+      if (crashes < 0) usageError = true;
+    } else if (a == "--arch") {
+      const std::string v = needValue(i);
+      if (v == "combined") {
+        arch = sim::Arch::Combined;
+      } else if (v == "cc") {
+        arch = sim::Arch::CC;
+      } else if (v == "dsm") {
+        arch = sim::Arch::DSM;
+      } else {
+        usageError = true;
+      }
     } else if (a == "--ledger") {
       ledgerPath = needValue(i);
     } else if (a == "--checkpoint") {
@@ -342,8 +377,10 @@ int main(int argc, char** argv) {
   if (!ok || n < 2 || n > 6 || workers < 1 || workers > 64) {
     std::fprintf(stderr,
                  "usage: %s [bakery|bakery-paper|gt1|gt2|gt3|tournament|"
-                 "peterson|peterson-tso|tas|ttas] [SC|TSO|PSO] [2..6] "
-                 "[workers] [--reduction none|por|dpor] "
+                 "peterson|peterson-tso|tas|ttas|rtas|rtas-broken|"
+                 "rtournament] [SC|TSO|PSO] [2..6] "
+                 "[workers] [--crashes N] [--arch combined|cc|dsm] "
+                 "[--reduction none|por|dpor] "
                  "[--visited exact|compressed|bloom] [--bloom-bits N] "
                  "[--json] [--trace FILE] [--progress] "
                  "[--max-states N] [--deadline SECS] [--mem-budget BYTES] "
@@ -387,6 +424,8 @@ int main(int argc, char** argv) {
   };
 
   auto os = core::buildCountSystem(model, n, factory);
+  os.sys.crashBudget = crashes;
+  os.sys.arch = arch;
 
   if (repair) {
     // Manufacture the broken patient (if asked), then hand it to the
@@ -555,6 +594,10 @@ int main(int argc, char** argv) {
     std::printf("model-checking %s with n=%d under %s (%d worker%s) ...\n",
                 lockName.c_str(), n, modelName.c_str(), workers,
                 workers == 1 ? "" : "s");
+    if (crashes > 0 || arch != sim::Arch::Combined) {
+      std::printf("  crash budget     : %d per process, %s accounting\n",
+                  crashes, sim::archName(arch));
+    }
   }
 
   sim::ExploreOptions opts;
@@ -688,6 +731,31 @@ int main(int argc, char** argv) {
     out += ',';
     jsonU64(out, "workers", static_cast<unsigned long long>(workers));
     out += ',';
+    // RME/arch keys are emitted only off the defaults so failure-free
+    // combined-arch runs stay byte-identical to the pre-crash doctor
+    // (the golden files pin both shapes).
+    if (crashes > 0 || arch != sim::Arch::Combined) {
+      jsonU64(out, "crashBudget", static_cast<unsigned long long>(crashes));
+      out += ',';
+      jsonStr(out, "arch", sim::archName(arch));
+      out += ',';
+      const sim::StepCounts rmr = sim::countSteps(traced, n);
+      jsonKey(out, "rmrAccounting");
+      out += '{';
+      jsonStr(out, "execution",
+              res.mutexViolation ? "witness" : "sequential");
+      out += ',';
+      jsonU64(out, "rmrsDsm", static_cast<unsigned long long>(rmr.rmrsDsm));
+      out += ',';
+      jsonU64(out, "rmrsCc", static_cast<unsigned long long>(rmr.rmrsCc));
+      out += ',';
+      jsonU64(out, "rmrsSelected",
+              static_cast<unsigned long long>(rmr.rmrs));
+      out += ',';
+      jsonU64(out, "crashSteps",
+              static_cast<unsigned long long>(rmr.crashes));
+      out += "},";
+    }
     jsonStr(out, "reduction", sim::reductionModeName(reduction));
     out += ',';
     jsonStr(out, "visitedTier", sim::visitedTierName(visitedTier));

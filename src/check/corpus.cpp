@@ -4,6 +4,7 @@
 #include "core/gt.h"
 #include "core/objects.h"
 #include "core/peterson.h"
+#include "core/recoverable.h"
 #include "sim/litmus.h"
 
 namespace fencetrade::check {
@@ -61,6 +62,34 @@ void addLock(std::vector<CorpusEntry>& out, const std::string& name,
   out.push_back(std::move(e));
 }
 
+/// A lock entry with a positive crash budget ("/cK" name suffix) and/or
+/// a non-default RMR architecture ("/cc" or "/dsm" suffix), both baked
+/// into the factory-built System and mirrored on the entry.
+void addLockVariant(std::vector<CorpusEntry>& out, const std::string& name,
+                    const core::LockFactory& factory, MemoryModel m, int n,
+                    int crashBudget, sim::Arch arch,
+                    std::uint64_t maxStates,
+                    std::uint64_t livenessMaxStates, Verdict expected) {
+  CorpusEntry e;
+  e.name = name + modelSuffix(m) + "/n" + std::to_string(n);
+  if (crashBudget > 0) e.name += "/c" + std::to_string(crashBudget);
+  if (arch != sim::Arch::Combined) {
+    e.name += std::string("/") + sim::archName(arch);
+  }
+  e.make = [factory, m, n, crashBudget, arch]() {
+    sim::System sys = core::buildCountSystem(m, n, factory).sys;
+    sys.crashBudget = crashBudget;
+    sys.arch = arch;
+    return sys;
+  };
+  e.maxStates = maxStates;
+  e.livenessMaxStates = livenessMaxStates;
+  e.expected = expected;
+  e.crashBudget = crashBudget;
+  e.arch = arch;
+  out.push_back(std::move(e));
+}
+
 }  // namespace
 
 std::vector<CorpusEntry> conformanceCorpus(bool quick) {
@@ -97,7 +126,63 @@ std::vector<CorpusEntry> conformanceCorpus(bool quick) {
   addLock(out, "peterson-tso", petersonTso, MemoryModel::PSO, 2, 3'000'000,
           0, Verdict::Violation);
 
+  // RME tier: recoverable locks explored under positive crash budgets.
+  // rtas stays safe across crashes under every model; the broken
+  // fixture is byte-identical to rtas at budget 0 but its misplaced
+  // recovery section admits a mutex violation the moment one crash is
+  // allowed — the tier's detection canary.  Liveness legs are
+  // deliberately off for the crash entries here: recoverable-lock
+  // termination under crashes is pinned by the focused corpus test
+  // (tests/check_corpus_test.cpp), and plain tas's stranded-lock stuck
+  // states under a crash are pinned there too, not as an entry verdict
+  // (the differential's liveness legs only cross-check agreement).
+  const core::LockFactory rtas = core::recoverableTasFactory();
+  const core::LockFactory rtasBroken = core::brokenRecoverableTasFactory();
+  const core::LockFactory rtour = core::recoverableTournamentFactory();
+  for (MemoryModel m : kModels) {
+    addLockVariant(out, "rtas", rtas, m, 2, /*crashBudget=*/1,
+                   sim::Arch::Combined, 3'000'000, 0, Verdict::Pass);
+  }
+  addLockVariant(out, "rtas", rtas, MemoryModel::PSO, 2, /*crashBudget=*/2,
+                 sim::Arch::Combined, 3'000'000, 0, Verdict::Pass);
+  addLockVariant(out, "rtas-broken", rtasBroken, MemoryModel::SC, 2,
+                 /*crashBudget=*/1, sim::Arch::Combined, 3'000'000, 0,
+                 Verdict::Violation);
+  addLockVariant(out, "rtas-broken", rtasBroken, MemoryModel::PSO, 2,
+                 /*crashBudget=*/1, sim::Arch::Combined, 3'000'000, 0,
+                 Verdict::Violation);
+  addLockVariant(out, "rtournament", rtour, MemoryModel::PSO, 2,
+                 /*crashBudget=*/1, sim::Arch::Combined, 3'000'000, 0,
+                 Verdict::Pass);
+  // tas is mutex-safe under crashes (a crashed holder strands the lock;
+  // nobody *enters* the CS) — safety Pass here, stuck-state liveness
+  // contrast pinned in the corpus test.
+  addLockVariant(out, "tas", core::tasFactory(), MemoryModel::PSO, 2,
+                 /*crashBudget=*/1, sim::Arch::Combined, 3'000'000, 0,
+                 Verdict::Pass);
+
+  // Per-architecture variants: the arch only reclassifies Step::remote,
+  // so verdicts and state counts must match the Combined entries — a
+  // differential over these pins that invariance, and the accounting
+  // oracle checks remote against the selected accounting stepwise.
+  addLockVariant(out, "ttas", core::ttasFactory(), MemoryModel::PSO, 2, 0,
+                 sim::Arch::CC, 3'000'000, 0, Verdict::Pass);
+  addLockVariant(out, "ttas", core::ttasFactory(), MemoryModel::PSO, 2, 0,
+                 sim::Arch::DSM, 3'000'000, 0, Verdict::Pass);
+  addLockVariant(out, "rtas", rtas, MemoryModel::PSO, 2, /*crashBudget=*/1,
+                 sim::Arch::CC, 3'000'000, 0, Verdict::Pass);
+  addLockVariant(out, "rtas", rtas, MemoryModel::PSO, 2, /*crashBudget=*/1,
+                 sim::Arch::DSM, 3'000'000, 0, Verdict::Pass);
+
   if (quick) return out;
+
+  // Full-corpus RME extras: the recoverable tournament at n=3 (a real
+  // tree, two levels) and rtas under TSO with the doubled budget.
+  addLockVariant(out, "rtournament", rtour, MemoryModel::SC, 3,
+                 /*crashBudget=*/1, sim::Arch::Combined, 3'000'000, 0,
+                 Verdict::Pass);
+  addLockVariant(out, "rtas", rtas, MemoryModel::TSO, 2, /*crashBudget=*/2,
+                 sim::Arch::Combined, 3'000'000, 0, Verdict::Pass);
 
   // The GT_f spectrum under PSO (the model the paper's bound is proved
   // in).  gtFactory clamps f to ceil(log2 n), so gt3 coincides with gt2
@@ -108,8 +193,12 @@ std::vector<CorpusEntry> conformanceCorpus(bool quick) {
   for (int f = 1; f <= 3; ++f) {
     const std::string name = "gt" + std::to_string(f);
     const core::LockFactory factory = core::gtFactory(f);
-    addLock(out, name, factory, MemoryModel::PSO, 2, 3'000'000, 0,
-            Verdict::Pass);
+    // gt2/PSO/n2 already sits in the n=2 lock family above; entry names
+    // are unique corpus-wide (pinned by tests/check_corpus_test.cpp).
+    if (f != 2) {
+      addLock(out, name, factory, MemoryModel::PSO, 2, 3'000'000, 0,
+              Verdict::Pass);
+    }
     addLock(out, name, factory, MemoryModel::PSO, 3, 1'000'000, 0,
             Verdict::Pass);
     addLock(out, name, factory, MemoryModel::PSO, 4, 120'000, 0,

@@ -26,13 +26,21 @@ struct CorpusEntry {
   /// must then *agree* to be inconclusive, or soundly complete via the
   /// reduction.
   Verdict expected = Verdict::Pass;
+  /// Crash budget and RMR architecture the factory bakes into the
+  /// returned System, mirrored here so tests and reports can introspect
+  /// them without building the system.  Budget 0 + Combined (the
+  /// defaults) are the legacy failure-free entries.
+  int crashBudget = 0;
+  sim::Arch arch = sim::Arch::Combined;
 };
 
 /// The full corpus: 21 litmus entries (7 shapes × {SC,TSO,PSO}),
 /// GT_f f∈{1,2,3} × n∈{2,3,4} under PSO, Peterson/peterson-tso and
-/// TAS/TTAS count systems under all three models at n=2.  With `quick`,
-/// only the cheap entries (litmus + n=2 locks) are emitted — the
-/// sanitizer-CI subset.
+/// TAS/TTAS count systems under all three models at n=2, the RME tier
+/// (recoverable locks under positive crash budgets, plus the
+/// deliberately-broken recovery fixture), and per-architecture CC/DSM
+/// variants.  With `quick`, only the cheap entries (litmus + n=2 locks
+/// + the n=2 RME/arch tier) are emitted — the sanitizer-CI subset.
 std::vector<CorpusEntry> conformanceCorpus(bool quick = false);
 
 }  // namespace fencetrade::check

@@ -22,8 +22,9 @@ using Clock = std::chrono::steady_clock;
 
 constexpr std::uint64_t kNoSeed = ~std::uint64_t{0};
 
-/// Payload tag of the seed-scan checkpoint; bump on schema changes.
-constexpr std::string_view kFuzzCkptKind = "fuzz-scan/1";
+/// Payload tag of the seed-scan checkpoint; bump on schema changes
+/// (v2: fingerprint covers crashProb, the crash budget, and the arch).
+constexpr std::string_view kFuzzCkptKind = "fuzz-scan/2";
 
 /// Binds a checkpoint to the system and every option that shapes the
 /// scan.  `workers` is included deliberately: the per-worker stride
@@ -38,12 +39,21 @@ std::uint64_t fuzzFingerprint(const sim::System& sys,
   tag.putU64(opts.seedBase);
   tag.putI64(opts.reorderBudget);
   tag.putI64(opts.maxSteps);
-  // commitProb shapes every generated schedule; hash its exact bits.
+  // commitProb/crashProb shape every generated schedule; hash their
+  // exact bits.
   std::uint64_t probBits = 0;
   static_assert(sizeof(probBits) == sizeof(opts.commitProb));
   std::memcpy(&probBits, &opts.commitProb, sizeof(probBits));
   tag.putU64(probBits);
+  std::memcpy(&probBits, &opts.crashProb, sizeof(probBits));
+  tag.putU64(probBits);
   tag.putI64(workers);
+  // The crash budget and architecture are hashed explicitly: different
+  // budgets share the same initial behavioral key (no process has
+  // crashed yet), and the arch only changes RMR classification, which
+  // the key never sees.
+  tag.putI64(sys.crashBudget);
+  tag.putI64(static_cast<std::int64_t>(sys.arch));
   return util::fnv1a64(tag.payload());
 }
 
@@ -57,6 +67,7 @@ sim::ScheduleRunResult generate(const sim::System& sys, std::uint64_t seed,
   rbo.maxSteps = opts.maxSteps;
   rbo.reorderBudget = opts.reorderBudget;
   rbo.commitProb = opts.commitProb;
+  rbo.crashProb = opts.crashProb;
   rbo.stopWhen = [&sys](const sim::Config& c) {
     return sim::detail::csOccupancy(sys, c) >= 2;
   };
@@ -313,6 +324,8 @@ std::string scheduleToString(const sim::System& sys,
     out += std::to_string(p);
     if (r == sim::kNoReg) {
       out += " step";
+    } else if (r == sim::kCrashReg) {
+      out += " crash";
     } else {
       out += " commit ";
       out += sys.layout.name(r);

@@ -43,6 +43,10 @@ struct FuzzOptions {
   std::int64_t reorderBudget = 8;
   std::int64_t maxSteps = 1 << 14;  ///< per-schedule step cap
   double commitProb = 0.35;
+  /// Per-step crash probability (sim::ReorderBoundOptions::crashProb).
+  /// Crashes only fire while the system's crash budget lasts; 0 keeps
+  /// the generated schedules byte-identical to the pre-crash fuzzer.
+  double crashProb = 0.0;
   int workers = 1;  ///< seed-scan threads (witness stays deterministic)
   /// Wall-clock cap; 0 = none.  When set, seeds not started in time
   /// are skipped and the verdict degrades to Inconclusive if nothing

@@ -164,6 +164,7 @@ PropertyReport checkAccounting(const sim::System& sys,
   std::vector<std::int64_t> fences(static_cast<std::size_t>(n), 0);
   std::vector<std::int64_t> rmrs(static_cast<std::size_t>(n), 0);
   std::vector<std::int64_t> returns(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> crashes(static_cast<std::size_t>(n), 0);
   std::vector<std::size_t> lastStep(static_cast<std::size_t>(n), 0);
   std::int64_t totalReturns = 0;
 
@@ -173,8 +174,10 @@ PropertyReport checkAccounting(const sim::System& sys,
     if (s.p < 0 || s.p >= n) return fail(prop, "proc out of range" + where);
     const auto p = static_cast<std::size_t>(s.p);
     lastStep[p] = i;
-    if (s.remote != (s.remoteDsm && s.remoteCc)) {
-      return fail(prop, "remote != (remoteDsm && remoteCc)" + where);
+    if (s.remote != sim::archRemote(sys.arch, s.remoteDsm, s.remoteCc)) {
+      return fail(prop, "remote disagrees with the " +
+                            std::string(sim::archName(sys.arch)) +
+                            " accounting of (remoteDsm, remoteCc)" + where);
     }
     if (s.fromBuffer && s.kind != sim::StepKind::Read) {
       return fail(prop, "fromBuffer on a non-read step" + where);
@@ -205,6 +208,18 @@ PropertyReport checkAccounting(const sim::System& sys,
         ++totalReturns;
         if (s.remote || s.remoteDsm || s.remoteCc) {
           return fail(prop, "return classified remote" + where);
+        }
+        break;
+      case sim::StepKind::Crash:
+        ++crashes[p];
+        if (s.remote || s.remoteDsm || s.remoteCc) {
+          return fail(prop, "crash classified remote" + where);
+        }
+        if (crashes[p] > sys.crashBudget) {
+          return fail(prop, "p" + std::to_string(s.p) + " crashed " +
+                                std::to_string(crashes[p]) +
+                                " times on a budget of " +
+                                std::to_string(sys.crashBudget) + where);
         }
         break;
       default: break;
@@ -253,6 +268,25 @@ PropertyReport checkAccounting(const sim::System& sys,
     }
   }
   return pass(prop);
+}
+
+PropertyReport checkArchSeparation(const sim::Execution& exec) {
+  const char* prop = "cc-dsm-separation";
+  std::int64_t dsm = 0, cc = 0;
+  for (const sim::Step& s : exec) {
+    if (s.remoteDsm) ++dsm;
+    if (s.remoteCc) ++cc;
+  }
+  const std::string counts =
+      "dsm=" + std::to_string(dsm) + " cc=" + std::to_string(cc);
+  if (dsm == cc) {
+    PropertyReport r =
+        fail(prop, "accountings agree on this execution (" + counts + ")");
+    return r;
+  }
+  PropertyReport r = pass(prop);
+  r.detail = counts;
+  return r;
 }
 
 PropertyReport checkBoundedBypass(

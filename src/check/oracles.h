@@ -64,15 +64,23 @@ PropertyReport checkOutcomeSetEquality(const std::vector<NamedOutcomes>& sets);
 PropertyReport checkTelemetryConsistency(const sim::ExploreTelemetry& t,
                                          std::uint64_t statesVisited);
 
-/// β/ρ accounting consistency of an execution under the combined
-/// DSM+CC model: remote == (remoteDsm && remoteCc) stepwise, buffer
-/// forwarding implies a CC-local read, SC executions never buffer,
-/// commits never outnumber writes, per-process fence/RMR vectors sum to
-/// the totals, and a completed run returns exactly once per process,
-/// as its last step.
+/// β/ρ accounting consistency of an execution under the system's
+/// selected architecture: remote == archRemote(sys.arch, remoteDsm,
+/// remoteCc) stepwise, buffer forwarding implies a CC-local read, SC
+/// executions never buffer, commits never outnumber writes, crash
+/// steps are never remote and never exceed the per-process crash
+/// budget, per-process fence/RMR vectors sum to the totals, and a
+/// completed run returns exactly once per process, as its last step.
 PropertyReport checkAccounting(const sim::System& sys,
                                const sim::Execution& exec, int n,
                                bool completed);
+
+/// The classic CC vs DSM accounting separation (arXiv:1109.5153) over
+/// one execution: recounts both per-accounting RMR totals and holds iff
+/// they *differ* (e.g. TTAS's cached read spin is CC-local but
+/// DSM-remote on an unowned lock register).  `detail` always carries
+/// "dsm=<n> cc=<m>" so callers can pin exact counts.
+PropertyReport checkArchSeparation(const sim::Execution& exec);
 
 /// First-come-first-served / bounded bypass over one schedule, by
 /// replay: if p completes its doorway before q enters its doorway, q

@@ -1,0 +1,145 @@
+#include "core/recoverable.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace fencetrade::core {
+
+using sim::LocalId;
+using sim::ProgramBuilder;
+
+namespace {
+
+/// Ownership-checking acquire of one owner-recording node: exit when
+/// the node already names p (crash-recovery re-entry), else spin on
+/// CAS(node, 0, p+1).  The p+1 encoding keeps 0 = free.
+void emitOwnedAcquire(ProgramBuilder& b, sim::ProcId p, sim::Reg node,
+                      LocalId t, LocalId old) {
+  b.loop([&] {
+    b.readReg(t, node);
+    b.exitIf(b.eq(b.L(t), b.imm(p + 1)));
+    b.casReg(old, node, b.imm(0), b.imm(p + 1));
+    b.exitIf(b.eq(b.L(old), b.imm(0)));
+  });
+}
+
+}  // namespace
+
+RecoverableTasLock::RecoverableTasLock(sim::MemoryLayout& layout, int n)
+    : n_(n) {
+  FT_CHECK(n >= 1);
+  lock_ = layout.alloc(sim::kNoOwner, "rtas.L");
+}
+
+void RecoverableTasLock::emitAcquire(ProgramBuilder& b,
+                                     sim::ProcId p) const {
+  LocalId t = b.local("rtas_t");
+  LocalId old = b.local("rtas_old");
+  emitOwnedAcquire(b, p, lock_, t, old);
+}
+
+void RecoverableTasLock::emitRelease(ProgramBuilder& b, sim::ProcId) const {
+  // A crash between the critical section and this write's commit leaves
+  // L naming the crashed holder; its restart re-enters through the
+  // ownership check and performs one more passage — the documented RME
+  // behavior, safe because no one else can acquire until L returns to 0.
+  b.writeRegImm(lock_, 0);
+  b.fence();
+}
+
+BrokenRecoverableTasLock::BrokenRecoverableTasLock(sim::MemoryLayout& layout,
+                                                   int n)
+    : n_(n) {
+  FT_CHECK(n >= 1);
+  lock_ = layout.alloc(sim::kNoOwner, "rtasbrk.L");
+}
+
+void BrokenRecoverableTasLock::emitAcquire(ProgramBuilder& b,
+                                           sim::ProcId p) const {
+  LocalId t = b.local("rtasbrk_t");
+  LocalId old = b.local("rtasbrk_old");
+  emitOwnedAcquire(b, p, lock_, t, old);
+  // THE BUG: declare the recovery section here, after the acquire.  The
+  // recovery protocol assumes a crashed process always held the lock,
+  // but a process that crashes *before* its CAS takes effect restarts
+  // straight into the critical section without owning L.
+  b.recoverHere();
+}
+
+void BrokenRecoverableTasLock::emitRelease(ProgramBuilder& b,
+                                           sim::ProcId) const {
+  b.writeRegImm(lock_, 0);
+  b.fence();
+}
+
+RecoverableTournamentLock::RecoverableTournamentLock(
+    sim::MemoryLayout& layout, int n)
+    : n_(n) {
+  FT_CHECK(n >= 1);
+  levels_ = 1;
+  while ((1 << levels_) < n) ++levels_;
+  const int internal = 1 << levels_;  // nodes 1 .. 2^levels - 1
+  nodes_.resize(static_cast<std::size_t>(internal), sim::kNoReg);
+  for (int i = 1; i < internal; ++i) {
+    nodes_[static_cast<std::size_t>(i)] =
+        layout.alloc(sim::kNoOwner, "rtour.N" + std::to_string(i));
+  }
+}
+
+std::vector<sim::Reg> RecoverableTournamentLock::pathFor(
+    sim::ProcId p) const {
+  // Heap climb from p's leaf slot 2^levels + p to the root node 1; the
+  // returned sequence is leaf-side first, root last.
+  std::vector<sim::Reg> path;
+  for (int i = ((1 << levels_) + p) / 2; i >= 1; i /= 2) {
+    path.push_back(nodes_[static_cast<std::size_t>(i)]);
+  }
+  return path;
+}
+
+void RecoverableTournamentLock::emitAcquire(ProgramBuilder& b,
+                                            sim::ProcId p) const {
+  LocalId t = b.local("rtour_t");
+  LocalId old = b.local("rtour_old");
+  // Climb leaf -> root, acquiring each node like an rtas.  After a
+  // crash the restart re-climbs the whole path; nodes acquired before
+  // the crash still record p in shared memory and are passed by the
+  // ownership check, so the climb resumes where it left off.
+  for (sim::Reg node : pathFor(p)) {
+    emitOwnedAcquire(b, p, node, t, old);
+  }
+}
+
+void RecoverableTournamentLock::emitRelease(ProgramBuilder& b,
+                                            sim::ProcId p) const {
+  // Root first, then down the path: once the root frees, waiters can
+  // progress while the lower nodes drain.  A crash mid-release restarts
+  // the program; still-owned nodes are re-entered via the ownership
+  // check and the extra passage releases them.
+  std::vector<sim::Reg> path = pathFor(p);
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    b.writeRegImm(*it, 0);
+  }
+  b.fence();
+}
+
+LockFactory recoverableTasFactory() {
+  return [](sim::MemoryLayout& layout, int n) {
+    return std::make_unique<RecoverableTasLock>(layout, n);
+  };
+}
+
+LockFactory brokenRecoverableTasFactory() {
+  return [](sim::MemoryLayout& layout, int n) {
+    return std::make_unique<BrokenRecoverableTasLock>(layout, n);
+  };
+}
+
+LockFactory recoverableTournamentFactory() {
+  return [](sim::MemoryLayout& layout, int n) {
+    return std::make_unique<RecoverableTournamentLock>(layout, n);
+  };
+}
+
+}  // namespace fencetrade::core

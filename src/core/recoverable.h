@@ -1,0 +1,116 @@
+// Recoverable mutual exclusion (RME) locks — mutual exclusion that
+// survives crash faults (Golab & Ramaraju, PODC 2016; survey in
+// arXiv:2106.03185).
+//
+// A crash move (sim::kCrashReg) wipes a process's registers, write
+// buffer, and cache, and restarts it at its program's recovery section;
+// shared memory survives.  A recoverable lock must keep mutual
+// exclusion across such restarts.  The locks here make the owner
+// explicit in shared memory so the recovery path can tell whether the
+// pre-crash acquire took effect:
+//
+//   rtas        — owner-recording test-and-set: L holds 0 (free) or
+//                 p+1 (held by p).  The acquire loop first *reads* L
+//                 and exits if it already names the caller, then tries
+//                 CAS(L, 0, p+1).  The ownership check doubles as the
+//                 recovery protocol, so the whole program is
+//                 restartable (recoveryPc = 0) — no separate recovery
+//                 section needed.
+//   rtas-broken — same lock with a classic recovery bug: it declares
+//                 its recovery section *after* the acquire ("a crashed
+//                 process must have held the lock"), so a process that
+//                 crashes before acquiring restarts inside the critical
+//                 section.  Failure-free (crash budget 0) it behaves
+//                 exactly like rtas; any budget >= 1 admits a mutual
+//                 exclusion violation — the conformance tier's
+//                 detection fixture.
+//   rtournament — binary tournament tree of owner-recording CAS nodes.
+//                 Each internal node is an rtas-style lock; a process
+//                 climbs from its leaf to the root, re-checking
+//                 ownership at every node, so a restart resumes the
+//                 climb wherever the crash left it.
+//
+// Contrast: the plain TAS/TTAS locks (core/caslocks.h) are NOT
+// recoverable — a holder that crashes strands L = 1 forever and every
+// other process spins, which the liveness checker reports under any
+// positive crash budget.
+#pragma once
+
+#include <vector>
+
+#include "core/lockspec.h"
+
+namespace fencetrade::core {
+
+/// Owner-recording test-and-set lock; the ownership-checking acquire is
+/// also the recovery protocol.
+class RecoverableTasLock : public LockAlgorithm {
+ public:
+  RecoverableTasLock(sim::MemoryLayout& layout, int n);
+
+  void emitAcquire(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  void emitRelease(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  std::string name() const override { return "rtas"; }
+  int n() const override { return n_; }
+  std::int64_t fencesPerPassage() const override { return 1; }
+  std::int64_t rmrBoundPerPassage() const override { return 3; }  // solo
+
+  sim::Reg lockReg() const { return lock_; }
+
+ private:
+  int n_;
+  sim::Reg lock_;
+};
+
+/// rtas with a deliberately wrong recovery section (placed after the
+/// acquire): correct at crash budget 0, violates mutual exclusion at
+/// any budget >= 1.  Exists so tests can prove the RME tier catches
+/// recovery bugs the failure-free tier cannot see.
+class BrokenRecoverableTasLock : public LockAlgorithm {
+ public:
+  BrokenRecoverableTasLock(sim::MemoryLayout& layout, int n);
+
+  void emitAcquire(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  void emitRelease(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  std::string name() const override { return "rtas-broken"; }
+  int n() const override { return n_; }
+  std::int64_t fencesPerPassage() const override { return 1; }
+  std::int64_t rmrBoundPerPassage() const override { return 3; }  // solo
+
+ private:
+  int n_;
+  sim::Reg lock_;
+};
+
+/// Binary tournament tree of owner-recording CAS nodes with an
+/// ownership-checking climb.
+class RecoverableTournamentLock : public LockAlgorithm {
+ public:
+  RecoverableTournamentLock(sim::MemoryLayout& layout, int n);
+
+  void emitAcquire(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  void emitRelease(sim::ProgramBuilder& b, sim::ProcId p) const override;
+  std::string name() const override { return "rtournament"; }
+  int n() const override { return n_; }
+  std::int64_t fencesPerPassage() const override { return 1; }
+  std::int64_t rmrBoundPerPassage() const override {
+    return 3 * static_cast<std::int64_t>(levels_);
+  }
+
+ private:
+  /// Heap-indexed root-to-leaf path of internal nodes for process p
+  /// (nodes_[1] is the root; leaf slots start at nodes_.size()/... ).
+  std::vector<sim::Reg> pathFor(sim::ProcId p) const;
+
+  int n_;
+  int levels_;  ///< ceil(log2 n), >= 1
+  /// Heap-style complete binary tree: nodes_[i] for 1 <= i < 2^levels_
+  /// (index 0 unused).
+  std::vector<sim::Reg> nodes_;
+};
+
+LockFactory recoverableTasFactory();
+LockFactory brokenRecoverableTasFactory();
+LockFactory recoverableTournamentFactory();
+
+}  // namespace fencetrade::core

@@ -189,6 +189,12 @@ void ProgramBuilder::dwEnd() {
   prog_.dwEnd = static_cast<std::int32_t>(prog_.code.size());
 }
 
+void ProgramBuilder::recoverHere() {
+  FT_CHECK(prog_.recoveryPc == 0)
+      << "recoverHere called twice in " << prog_.name;
+  prog_.recoveryPc = static_cast<std::int32_t>(prog_.code.size());
+}
+
 Program ProgramBuilder::build() {
   FT_CHECK(!built_) << "build() called twice";
   built_ = true;

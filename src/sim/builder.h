@@ -86,6 +86,12 @@ class ProgramBuilder {
   void dwBegin();
   void dwEnd();
 
+  // ---- recovery section (for crash steps) ----------------------------------
+  /// Mark the next emitted instruction as the restart point after a
+  /// crash move (Program::recoveryPc).  At most once per program; when
+  /// never called the program restarts from the top.
+  void recoverHere();
+
   /// Finalize: patch labels, validate, and return the program.
   Program build();
 

@@ -65,7 +65,12 @@ void Config::writeMem(Reg r, Value v) {
 
 std::uint64_t Config::behavioralHash(std::uint64_t salt) const {
   std::uint64_t h = salt;
-  for (const auto& ps : procs) h = util::hashCombine(h, ps.hash());
+  for (const auto& ps : procs) {
+    h = util::hashCombine(h, ps.hash());
+    if (crashBudget > 0) {
+      h = util::hashCombine(h, static_cast<std::uint64_t>(ps.crashes) + 1);
+    }
+  }
   for (const auto& wb : buffers) h = util::hashCombine(h, wb.hash());
   for (const auto& [r, v] : memory) {
     if (v == kInitValue) continue;  // defensive: writeMem never stores 0
@@ -94,6 +99,12 @@ bool Config::behavioralKeyInto(std::string& out,
     appendSigned(out, ps.retval);
     appendVarint(out, ps.locals.size());
     for (Value v : ps.locals) appendSigned(out, v);
+    // Crash counts are behavioral only when crashes exist: two states
+    // differing in remaining budget have different enabled moves.  At
+    // budget 0 the field is omitted entirely, keeping every failure-free
+    // key byte-identical to the pre-crash format (the code stays
+    // injective per system — the field count is fixed given the budget).
+    if (crashBudget > 0) appendVarint(out, static_cast<std::uint64_t>(ps.crashes));
     if (terminal && terminalRet) terminalRet->push_back(ps.retval);
   }
   for (const auto& wb : buffers) {
@@ -175,6 +186,8 @@ void Config::validate() const {
       ++finals;
       FT_CHECK(!ps.hasPending) << "final process with a pending op";
     }
+    FT_CHECK(ps.crashes >= 0 && ps.crashes <= crashBudget)
+        << "crash count " << ps.crashes << " outside budget " << crashBudget;
   }
   FT_CHECK(finals == nbFinal)
       << "nbFinal " << nbFinal << " != counted finals " << finals;

@@ -43,6 +43,8 @@ struct ProcState {
   Value retval = -1;
   bool hasPending = false;
   Op pending{};
+  /// Crash moves taken so far; bounded by the system's crash budget.
+  std::int32_t crashes = 0;
 
   std::uint64_t hash() const;
 };
@@ -66,6 +68,13 @@ struct Config {
   util::FlatMap<Reg, ProcId> lastCommitter;
 
   int nbFinal = 0;  ///< NbFinal(C): number of processes in a final state
+
+  /// Copy of System::crashBudget (set by initialConfig) so move
+  /// enumeration and key serialization — which only see the Config —
+  /// know whether crash moves exist.  0 = failure-free; the serialized
+  /// key then carries no crash fields and is byte-identical to the
+  /// pre-crash format.
+  int crashBudget = 0;
 
   /// Incrementally-maintained hash of `memory` (order-insensitive XOR of
   /// per-entry mixes) — cheap key material for the solo-run memo.

@@ -51,6 +51,9 @@ bool DporContext::accessesReg(ProcId q, Reg r) const {
 }
 
 MoveFootprint DporContext::footprint(const Config& cfg, Elem m) const {
+  // A crash touches only the process's own volatile state; its (total)
+  // dependence with same-process moves is handled in independent().
+  if (m.second == kCrashReg) return {kNoReg, false};
   if (m.second != kNoReg) return {m.second, true};  // commit writes memory
   const ProcState& ps = cfg.procs[static_cast<std::size_t>(m.first)];
   if (!ps.hasPending) return {kNoReg, false};
@@ -82,6 +85,11 @@ MoveFootprint DporContext::footprint(const Config& cfg, Elem m) const {
 bool DporContext::independent(const Config& cfg, Elem a, Elem b) const {
   if (a == b) return false;
   if (a.first == b.first) {
+    // A crash erases the other move's effect (or is survived by it):
+    // order is always visible, so it conflicts with every move of the
+    // same process — including every pending commit, whose buffered
+    // write it drops.
+    if (a.second == kCrashReg || b.second == kCrashReg) return false;
     // Same process.  Two distinct commits only co-exist under PSO
     // (TSO exposes only the head); popping different registers from
     // the sorted buffer commutes.
@@ -120,6 +128,11 @@ bool DporContext::singletonCandidate(const Config& cfg, Elem m) const {
   const std::size_t n = cfg.procs.size();
   const ProcState& ps = cfg.procs[static_cast<std::size_t>(p)];
   const WriteBuffer& wb = cfg.buffers[static_cast<std::size_t>(p)];
+
+  // Crash moves are never singletons, and no move of a process that can
+  // still crash is: its co-enabled crash conflicts with it.
+  if (m.second == kCrashReg) return false;
+  if (cfg.crashBudget > 0 && ps.crashes < cfg.crashBudget) return false;
 
   if (m.second == kNoReg) {
     if (!ps.hasPending) return false;

@@ -47,6 +47,12 @@ void enabledMovesInto(const Config& cfg,
         moves.emplace_back(static_cast<ProcId>(p), r);
       }
     }
+    // Crash move, while the process's budget lasts.  Emitted last so a
+    // budget-0 system enumerates exactly the legacy move list.
+    if (cfg.crashBudget > 0 &&
+        cfg.procs[p].crashes < cfg.crashBudget) {
+      moves.emplace_back(static_cast<ProcId>(p), kCrashReg);
+    }
   }
 }
 
@@ -133,6 +139,13 @@ void ReductionContext::reducedMovesInto(
     const ProcId p = elem.first;
     const ProcState& ps = cfg.procs[static_cast<std::size_t>(p)];
     const WriteBuffer& wb = cfg.buffers[static_cast<std::size_t>(p)];
+
+    // Crash moves are never ample candidates, and no move of a process
+    // that can still crash is: its crash is a co-enabled move dependent
+    // with every move of the same process (it erases their effects), so
+    // a singleton excluding it is not persistent.
+    if (elem.second == kCrashReg) continue;
+    if (cfg.crashBudget > 0 && ps.crashes < cfg.crashBudget) continue;
 
     if (elem.second == kNoReg) {
       // Class 1 — local program step.  Candidates touch only p's private
@@ -252,21 +265,32 @@ constexpr std::uint64_t kBudgetPollPeriod = 1024;
 /// Payload tag of the sequential-DFS checkpoint; bump on any schema
 /// change so stale files are rejected instead of misparsed.  v2 added
 /// the reduction-mode/visited-tier fingerprint bytes, dense-id key
-/// ordering, per-frame sleep sets and the sleep wakeup-mask table.
-constexpr std::string_view kExploreCkptKind = "explore-dfs/2";
+/// ordering, per-frame sleep sets and the sleep wakeup-mask table; v3
+/// added the crash-budget/arch fingerprint bytes (crash moves changed
+/// the move enumeration, so v2 files must be rejected).
+constexpr std::string_view kExploreCkptKind = "explore-dfs/3";
 
 /// Fingerprint binding a checkpoint to the system and the exploration
 /// flags that shape the traversal.  Resuming under different flags (or
 /// a different lock/model/n — or a different reduction mode / visited
 /// tier, which walk different graphs) would silently diverge, so the
-/// engine refuses instead.
-std::uint64_t exploreFingerprint(const ExploreOptions& opts,
+/// engine refuses instead.  crashBudget is hashed explicitly: budgets
+/// 1 and 2 share the initial key (every process starts at 0 crashes)
+/// yet walk different graphs; arch never changes the graph but does
+/// change the reported accounting, so cross-arch resume is rejected
+/// too rather than mislabeling a resumed run's counters.
+std::uint64_t exploreFingerprint(const System& sys,
+                                 const ExploreOptions& opts,
                                  std::string_view initKey) {
   std::string tag(initKey);
   tag.push_back(opts.checkMutualExclusion ? '\1' : '\0');
   tag.push_back(opts.stopOnViolation ? '\1' : '\0');
   tag.push_back(static_cast<char>(opts.reduction));
   tag.push_back(static_cast<char>(opts.visitedTier));
+  tag.push_back(static_cast<char>(sys.arch));
+  for (int i = 0; i < 4; ++i) {
+    tag.push_back(static_cast<char>((sys.crashBudget >> (8 * i)) & 0xff));
+  }
   return util::fnv1a64(tag);
 }
 
@@ -532,7 +556,7 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
   // resume could diverge from the uninterrupted run.
   Config init = initialConfig(sys);
   init.behavioralKeyInto(keyBuf);
-  const std::uint64_t fingerprint = exploreFingerprint(opts, keyBuf);
+  const std::uint64_t fingerprint = exploreFingerprint(sys, opts, keyBuf);
   if (opts.checkpointOut) opts.checkpointOut->clear();
 
   if (opts.resumeFrom) {
@@ -717,8 +741,11 @@ ExploreResult explore(const System& sys, const ExploreOptions& opts) {
     FT_CHECK(step.has_value()) << "explore: move produced no step";
     // Lazy visibility proviso: a reduced source set must not hide a
     // CS-membership change from the deferred interleavings, or the
-    // occupancy maximum could be under-reported.
-    if (top.reduced && elem.second == kNoReg && opts.checkMutualExclusion &&
+    // occupancy maximum could be under-reported.  Program steps and
+    // crash moves are the two move kinds that relocate the pc.
+    if (top.reduced &&
+        (elem.second == kNoReg || elem.second == kCrashReg) &&
+        opts.checkMutualExclusion &&
         inCriticalSection(sys, top.cfg, elem.first) !=
             inCriticalSection(sys, child.cfg, elem.first)) {
       dctx->widen(top.cfg, top.sleep, top.moves);

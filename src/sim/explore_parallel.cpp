@@ -654,7 +654,9 @@ class ParallelExplorer {
       // Lazy visibility proviso: a reduced source set must not hide a
       // CS-membership change from the deferred interleavings, or the
       // occupancy maximum could be under-reported.
-      if (reduced && elem.second == kNoReg && opts_.checkMutualExclusion &&
+      if (reduced &&
+          (elem.second == kNoReg || elem.second == kCrashReg) &&
+          opts_.checkMutualExclusion &&
           inCriticalSection(sys_, t.cfg, elem.first) !=
               inCriticalSection(sys_, child, elem.first)) {
         local.dctx->widen(t.cfg, local.noSleep, moves);

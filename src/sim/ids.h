@@ -21,6 +21,14 @@ using Value = std::int64_t;
 /// Schedule element register slot ⊥ ("take a program step").
 inline constexpr Reg kNoReg = -1;
 
+/// Schedule element register slot for a crash move: the process loses
+/// its local state and write buffer and restarts at its recovery
+/// section (recoverable mutual exclusion, Chan & Woelfel,
+/// arXiv:2106.03185).  Only enabled while the process's crash budget
+/// (System::crashBudget) is not exhausted; budget 0 disables crashes
+/// and reproduces the failure-free machine exactly.
+inline constexpr Reg kCrashReg = -2;
+
 /// Segment owner for registers not local to any process.
 inline constexpr ProcId kNoOwner = -1;
 
@@ -40,5 +48,22 @@ inline constexpr Value kInitValue = 0;
 enum class MemoryModel { SC, TSO, PSO };
 
 const char* memoryModelName(MemoryModel m);
+
+/// Which architecture the RMR accountant charges for (Golab,
+/// arXiv:1109.5153, separates the two models' RMR complexities).
+///
+/// * Combined — a step is remote iff it is remote under *both* rules
+///              (the historical merged counter; preserved as the
+///              default so existing results are byte-identical).
+/// * CC       — cache-coherent: reads miss when the value is not in the
+///              process's cache, commits invalidate other caches.
+/// * DSM      — distributed shared memory: any access to a register
+///              outside the process's own memory segment is remote.
+///
+/// The choice only selects which of the two always-computed per-step
+/// flags feeds Step::remote; transitions and verdicts are unaffected.
+enum class Arch { Combined, CC, DSM };
+
+const char* archName(Arch a);
 
 }  // namespace fencetrade::sim

@@ -16,6 +16,18 @@ const char* memoryModelName(MemoryModel m) {
   return "?";
 }
 
+const char* archName(Arch a) {
+  switch (a) {
+    case Arch::Combined:
+      return "combined";
+    case Arch::CC:
+      return "cc";
+    case Arch::DSM:
+      return "dsm";
+  }
+  return "?";
+}
+
 Reg MemoryLayout::alloc(ProcId owner, std::string name) {
   owners_.push_back(owner);
   names_.push_back(std::move(name));

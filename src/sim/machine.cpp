@@ -1,5 +1,6 @@
 #include "sim/machine.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/check.h"
@@ -85,7 +86,7 @@ Step doCommit(const System& sys, Config& cfg, ProcId p, Reg r) {
   cfg.writeMem(r, v);
   cfg.lastCommitter[r] = p;
   Step s{p, StepKind::Commit, r, v, false, dsmRemote, ccRemote, false};
-  s.remote = dsmRemote && ccRemote;
+  s.remote = archRemote(sys.arch, dsmRemote, ccRemote);
   return s;
 }
 
@@ -99,6 +100,7 @@ const char* stepKindName(StepKind k) {
     case StepKind::Return: return "return";
     case StepKind::Commit: return "commit";
     case StepKind::Cas: return "cas";
+    case StepKind::Crash: return "crash";
   }
   return "?";
 }
@@ -122,6 +124,8 @@ std::string Step::toString(const MemoryLayout& layout) const {
 Config initialConfig(const System& sys) {
   FT_CHECK(sys.n() > 0) << "system has no processes";
   Config cfg;
+  FT_CHECK(sys.crashBudget >= 0) << "negative crash budget";
+  cfg.crashBudget = sys.crashBudget;
   cfg.procs.resize(static_cast<std::size_t>(sys.n()));
   cfg.buffers.assign(static_cast<std::size_t>(sys.n()),
                      WriteBuffer(sys.model));
@@ -156,7 +160,28 @@ std::optional<Step> execElem(const System& sys, Config& cfg, ProcId p,
 
   WriteBuffer& wb = cfg.buffers[static_cast<std::size_t>(p)];
 
-  // Rule 2: an explicitly named committable write commits.
+  // Rule 2: a crash move wipes the process's volatile state — locals,
+  // write buffer (buffered writes are lost), cache contents — and
+  // restarts it at its recovery section.  Shared memory and the crash
+  // counter survive; a step-count accountant sees a local step.
+  if (r == kCrashReg) {
+    FT_CHECK(sys.crashBudget > 0 && ps.crashes < sys.crashBudget)
+        << "execElem: crash move for p" << p << " exceeds the crash budget";
+    const Program& prog = sys.programs[static_cast<std::size_t>(p)];
+    std::fill(ps.locals.begin(), ps.locals.end(), 0);
+    wb = WriteBuffer(sys.model);
+    cfg.seen[static_cast<std::size_t>(p)].clear();
+    ps.pc = prog.recoveryPc;
+    ps.hasPending = false;
+    ++ps.crashes;
+    advanceToOp(prog, ps);
+    Step s{};
+    s.p = p;
+    s.kind = StepKind::Crash;
+    return s;
+  }
+
+  // Rule 2': an explicitly named committable write commits.
   if (r != kNoReg && wb.canCommitReg(r)) {
     return doCommit(sys, cfg, p, r);
   }
@@ -188,7 +213,7 @@ std::optional<Step> execElem(const System& sys, Config& cfg, ProcId p,
       step.fromBuffer = fwd.has_value();
       step.remoteDsm = sys.layout.owner(op.reg) != p;
       step.remoteCc = seen.count({op.reg, v}) == 0;  // value-cache miss
-      step.remote = step.remoteDsm && step.remoteCc;
+      step.remote = archRemote(sys.arch, step.remoteDsm, step.remoteCc);
       seen.insert({op.reg, v});
       ps.locals[static_cast<std::size_t>(op.dst)] = v;
       break;
@@ -205,7 +230,7 @@ std::optional<Step> execElem(const System& sys, Config& cfg, ProcId p,
         step.remoteDsm = sys.layout.owner(op.reg) != p;
         step.remoteCc =
             owner == cfg.lastCommitter.end() || owner->second != p;
-        step.remote = step.remoteDsm && step.remoteCc;
+        step.remote = archRemote(sys.arch, step.remoteDsm, step.remoteCc);
         cfg.writeMem(op.reg, op.val);
         cfg.lastCommitter[op.reg] = p;
       } else {
@@ -235,7 +260,7 @@ std::optional<Step> execElem(const System& sys, Config& cfg, ProcId p,
       auto owner = cfg.lastCommitter.find(op.reg);
       step.remoteCc =
           owner == cfg.lastCommitter.end() || owner->second != p;
-      step.remote = step.remoteDsm && step.remoteCc;
+      step.remote = archRemote(sys.arch, step.remoteDsm, step.remoteCc);
       if (applied) {
         cfg.writeMem(op.reg, op.val);
         seen.insert({op.reg, op.val});
@@ -256,7 +281,7 @@ std::optional<Step> execElem(const System& sys, Config& cfg, ProcId p,
       auto owner = cfg.lastCommitter.find(op.reg);
       step.remoteCc =
           owner == cfg.lastCommitter.end() || owner->second != p;
-      step.remote = step.remoteDsm && step.remoteCc;
+      step.remote = archRemote(sys.arch, step.remoteDsm, step.remoteCc);
       cfg.writeMem(op.reg, cur + op.val);
       cfg.lastCommitter[op.reg] = p;
       seen.insert({op.reg, cur});
@@ -294,6 +319,7 @@ StepCounts countSteps(const Execution& e, int n) {
       case StepKind::Write: ++c.writes; break;
       case StepKind::Commit: ++c.commits; break;
       case StepKind::Cas: ++c.casSteps; break;
+      case StepKind::Crash: ++c.crashes; break;
       case StepKind::Fence:
         ++c.fences;
         ++c.fencesPerProc[static_cast<std::size_t>(s.p)];

@@ -20,8 +20,32 @@ struct System {
   MemoryLayout layout;
   std::vector<Program> programs;
 
+  /// Maximum crash moves per process; 0 (the default) disables the
+  /// crash move entirely and reproduces the failure-free machine
+  /// byte-for-byte (state keys, verdicts, counts).
+  int crashBudget = 0;
+
+  /// Which RMR accountant classifies Step::remote.  Combined (the
+  /// default) keeps the paper's merged DSM+CC model; CC and DSM select
+  /// one classic accounting each (arXiv:1109.5153).  Transitions are
+  /// identical under every choice.
+  Arch arch = Arch::Combined;
+
   int n() const { return static_cast<int>(programs.size()); }
 };
+
+/// Resolve a step's Step::remote flag from the two classic accountings
+/// under the selected architecture: Combined (the paper's model) needs
+/// both, CC/DSM select one each.  The per-accounting flags are computed
+/// identically under every arch.
+inline bool archRemote(Arch arch, bool dsmRemote, bool ccRemote) {
+  switch (arch) {
+    case Arch::CC: return ccRemote;
+    case Arch::DSM: return dsmRemote;
+    case Arch::Combined: break;
+  }
+  return dsmRemote && ccRemote;
+}
 
 enum class StepKind : std::uint8_t {
   Read,
@@ -29,7 +53,8 @@ enum class StepKind : std::uint8_t {
   Fence,
   Return,
   Commit,
-  Cas,  ///< comparison primitive: atomic RMW against shared memory
+  Cas,    ///< comparison primitive: atomic RMW against shared memory
+  Crash,  ///< crash move: locals/buffer wiped, pc -> recovery section
 };
 
 const char* stepKindName(StepKind k);
@@ -70,11 +95,14 @@ bool allFinal(const Config& cfg);
 
 /// Execute one schedule element (p, r) — the paper's Exec semantics:
 ///   1. p final                                  -> no step (nullopt)
-///   2. r names a committable buffered write     -> commit step
-///   3. p poised at a fence OR a CAS with a non-empty buffer -> forced
+///   2. r == kCrashReg (budget permitting)       -> crash step: locals
+///      zeroed, write buffer dropped, pc -> the program's recoveryPc,
+///      cache state cold
+///   3. r names a committable buffered write     -> commit step
+///   4. p poised at a fence OR a CAS with a non-empty buffer -> forced
 ///      commit of the smallest buffered register (TSO: the oldest entry;
 ///      a CAS, like a LOCK'd RMW, drains the buffer before executing)
-///   4. otherwise                                -> p's pending operation
+///   5. otherwise                                -> p's pending operation
 /// Under SC a Write commits immediately (classified by the commit rule).
 std::optional<Step> execElem(const System& sys, Config& cfg, ProcId p,
                              Reg r);
@@ -90,6 +118,7 @@ struct StepCounts {
   std::int64_t writes = 0;
   std::int64_t commits = 0;
   std::int64_t casSteps = 0;  ///< comparison-primitive operations
+  std::int64_t crashes = 0;   ///< crash moves taken
   std::vector<std::int64_t> fencesPerProc;
   std::vector<std::int64_t> rmrsPerProc;
 };

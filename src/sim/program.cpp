@@ -148,6 +148,9 @@ void Program::validate() const {
              static_cast<std::size_t>(csEnd) <= code.size())
         << "validate: bad critical-section range in " << name;
   }
+  FT_CHECK(recoveryPc >= 0 &&
+           static_cast<std::size_t>(recoveryPc) < code.size())
+      << "validate: recovery pc out of range in " << name;
 }
 
 namespace {
@@ -241,6 +244,7 @@ void spliceFenceBefore(Program& prog, std::int32_t pc) {
   if (prog.csEnd > pc) ++prog.csEnd;
   if (prog.dwBegin >= pc) ++prog.dwBegin;
   if (prog.dwEnd > pc) ++prog.dwEnd;
+  if (prog.recoveryPc >= pc) ++prog.recoveryPc;
   prog.code.insert(prog.code.begin() + pc, Instr{InstrKind::Fence, 0, -1, -1, -1});
   prog.validate();
 }

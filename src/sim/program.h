@@ -90,6 +90,13 @@ struct Program {
   std::int32_t dwBegin = -1;
   std::int32_t dwEnd = -1;
 
+  /// Where a crashed process restarts (recoverable mutual exclusion):
+  /// after a crash move the pc is reset here with zeroed locals and an
+  /// empty write buffer.  Default 0 = restart the program from the top,
+  /// which is correct for restartable programs; recoverable locks mark
+  /// a dedicated recovery section instead (ProgramBuilder::recoverHere).
+  std::int32_t recoveryPc = 0;
+
   /// Evaluate expression `e` against `locals`.
   Value eval(ExprId e, const std::vector<Value>& locals) const;
 

@@ -105,6 +105,8 @@ ScheduleRunResult runReorderBounded(const System& sys, Config& cfg,
         if (remaining >= 0) remaining -= cost;  // may go negative: forced
         ord.erase(it);
       }
+    } else if (s.kind == StepKind::Crash) {
+      ord.clear();  // the buffered writes are gone; nothing to overtake
     }
   };
 
@@ -120,7 +122,11 @@ ScheduleRunResult runReorderBounded(const System& sys, Config& cfg,
     const ProcId p = live[rng.below(live.size())];
     Reg r = kNoReg;
     const WriteBuffer& wb = cfg.buffers[static_cast<std::size_t>(p)];
-    if (!wb.empty() && rng.uniform01() < opts.commitProb) {
+    if (opts.crashProb > 0.0 &&
+        cfg.procs[static_cast<std::size_t>(p)].crashes < sys.crashBudget &&
+        rng.uniform01() < opts.crashProb) {
+      r = kCrashReg;
+    } else if (!wb.empty() && rng.uniform01() < opts.commitProb) {
       // Pick uniformly among the committable registers whose overtake
       // cost fits the remaining budget; none fitting = program step.
       std::vector<Reg> fits;

@@ -64,6 +64,11 @@ struct ReorderBoundOptions {
   /// Probability a step tries to commit a buffered register instead of
   /// taking a program step.
   double commitProb = 0.35;
+  /// Probability a step crashes the chosen process instead (evaluated
+  /// before the commit draw; only while the process's crash budget —
+  /// System::crashBudget — is not exhausted).  0 = failure-free runs,
+  /// byte-identical to the pre-crash generator.
+  double crashProb = 0.0;
   /// Invoked after every executed step; returning true stops the run
   /// (ScheduleRunResult::stopped) with the schedule so far — the
   /// fuzzer's property-violation hook.

@@ -16,7 +16,7 @@ std::string formatExecution(const MemoryLayout& layout, const Execution& e) {
 
 std::string summarizeExecution(const Execution& e) {
   std::int64_t reads = 0, writes = 0, commits = 0, fences = 0, cas = 0,
-               rmrs = 0;
+               crashes = 0, rmrs = 0;
   for (const Step& s : e) {
     switch (s.kind) {
       case StepKind::Read: ++reads; break;
@@ -24,6 +24,7 @@ std::string summarizeExecution(const Execution& e) {
       case StepKind::Commit: ++commits; break;
       case StepKind::Fence: ++fences; break;
       case StepKind::Cas: ++cas; break;
+      case StepKind::Crash: ++crashes; break;
       case StepKind::Return: break;
     }
     if (s.remote) ++rmrs;
@@ -32,6 +33,7 @@ std::string summarizeExecution(const Execution& e) {
   out << e.size() << " steps, " << reads << " reads, " << writes
       << " writes, " << commits << " commits, " << fences << " fences, "
       << cas << " cas, rmr=" << rmrs;
+  if (crashes > 0) out << ", crashes=" << crashes;
   return out.str();
 }
 

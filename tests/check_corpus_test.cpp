@@ -1,0 +1,353 @@
+// The standing corpus's own contract (unique entry names, mirrors that
+// match the built systems, budgets that actually reach the expected
+// verdicts) plus the RME tier's focused assertions: crash budget 0 is
+// byte-identical to the legacy failure-free build, positive budgets
+// strictly grow the space without breaking recoverable locks, the arch
+// knob never changes exploration, plain TAS strands the lock under a
+// crash (a liveness contrast, not a safety one), and the deterministic
+// lock_doctor-style RME JSON is golden-stable and worker-invariant.
+#include "check/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/jsonio.h"
+#include "check/verdict.h"
+#include "core/caslocks.h"
+#include "core/objects.h"
+#include "core/recoverable.h"
+#include "sim/explore.h"
+#include "sim/schedule.h"
+#include "sim/trace_export.h"
+
+namespace fencetrade::check {
+namespace {
+
+using sim::MemoryModel;
+
+sim::System rmeSystem(const core::LockFactory& factory, MemoryModel m, int n,
+                      int crashBudget,
+                      sim::Arch arch = sim::Arch::Combined) {
+  sim::System sys = core::buildCountSystem(m, n, factory).sys;
+  sys.crashBudget = crashBudget;
+  sys.arch = arch;
+  return sys;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus shape: names, mirrors, and budget adequacy.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusShapeTest, EntryNamesAreUniqueCorpusWide) {
+  std::set<std::string> seen;
+  for (const CorpusEntry& e : conformanceCorpus(false)) {
+    EXPECT_TRUE(seen.insert(e.name).second) << "duplicate entry " << e.name;
+  }
+}
+
+TEST(CorpusShapeTest, CrashAndArchMirrorsMatchTheBuiltSystem) {
+  // The entry-level crashBudget/arch mirrors exist so reports can
+  // introspect entries without building them — they must never drift
+  // from what the factory actually bakes into the System.
+  for (const CorpusEntry& e : conformanceCorpus(false)) {
+    const sim::System sys = e.make();
+    EXPECT_EQ(sys.crashBudget, e.crashBudget) << e.name;
+    EXPECT_EQ(sys.arch, e.arch) << e.name;
+    if (e.crashBudget == 0 && e.arch == sim::Arch::Combined) {
+      // Legacy entries carry the System defaults untouched.
+      EXPECT_EQ(sys.crashBudget, 0) << e.name;
+      EXPECT_EQ(sys.arch, sim::Arch::Combined) << e.name;
+    }
+  }
+}
+
+TEST(CorpusShapeTest, QuickBudgetsReachTheExpectedVerdict) {
+  // Every quick (sanitizer-CI) entry must be decidable within its own
+  // state budget on the plain sequential engine: Pass entries explore
+  // to completion without a violation, Violation entries actually reach
+  // one.  An entry that needs more states than it budgets is dead
+  // weight in CI.
+  for (const CorpusEntry& e : conformanceCorpus(true)) {
+    sim::ExploreOptions opts;
+    opts.maxStates = e.maxStates;
+    const sim::ExploreResult res = sim::explore(e.make(), opts);
+    switch (e.expected) {
+      case Verdict::Pass:
+        EXPECT_FALSE(res.capped()) << e.name;
+        EXPECT_FALSE(res.mutexViolation) << e.name;
+        break;
+      case Verdict::Violation:
+        EXPECT_TRUE(res.mutexViolation) << e.name;
+        break;
+      default:
+        ADD_FAILURE() << e.name << ": quick corpus must be decisive";
+    }
+  }
+}
+
+TEST(CorpusShapeTest, QuickCorpusCoversTheRmeAndArchTier) {
+  // The sanitizer subset must keep the RME canaries: at least one
+  // positive-budget Pass, the broken-recovery Violation, and both
+  // non-default arch variants.
+  bool crashPass = false, crashViolation = false, cc = false, dsm = false;
+  for (const CorpusEntry& e : conformanceCorpus(true)) {
+    if (e.crashBudget > 0 && e.expected == Verdict::Pass) crashPass = true;
+    if (e.crashBudget > 0 && e.expected == Verdict::Violation) {
+      crashViolation = true;
+    }
+    if (e.arch == sim::Arch::CC) cc = true;
+    if (e.arch == sim::Arch::DSM) dsm = true;
+  }
+  EXPECT_TRUE(crashPass);
+  EXPECT_TRUE(crashViolation);
+  EXPECT_TRUE(cc);
+  EXPECT_TRUE(dsm);
+}
+
+// ---------------------------------------------------------------------------
+// The RME tier's semantic contract.
+// ---------------------------------------------------------------------------
+
+TEST(RmeTierTest, BudgetZeroIsByteIdenticalToTheLegacyFactoryBuild) {
+  // Zeroing the crash budget on a corpus crash entry must reproduce the
+  // never-configured factory build exactly — same states, same
+  // outcomes, same witness bytes (there is none), same stop reason.
+  const sim::System legacy =
+      core::buildCountSystem(MemoryModel::PSO, 2,
+                             core::recoverableTasFactory())
+          .sys;
+  bool found = false;
+  for (const CorpusEntry& e : conformanceCorpus(true)) {
+    if (e.name != "rtas/PSO/n2/c1") continue;
+    found = true;
+    sim::System zeroed = e.make();
+    zeroed.crashBudget = 0;
+    zeroed.arch = sim::Arch::Combined;
+    const sim::ExploreResult a = sim::explore(zeroed, {});
+    const sim::ExploreResult b = sim::explore(legacy, {});
+    EXPECT_EQ(a.statesVisited, b.statesVisited);
+    EXPECT_EQ(a.outcomes, b.outcomes);
+    EXPECT_EQ(a.mutexViolation, b.mutexViolation);
+    EXPECT_EQ(a.maxCsOccupancy, b.maxCsOccupancy);
+    EXPECT_EQ(a.witness, b.witness);
+    EXPECT_EQ(a.stopReason, b.stopReason);
+  }
+  EXPECT_TRUE(found) << "the quick corpus lost its rtas/PSO/n2/c1 entry";
+}
+
+TEST(RmeTierTest, CrashBudgetStrictlyGrowsTheStateSpace) {
+  // Each extra allowed crash adds reachable states (the crash move plus
+  // every post-recovery interleaving) while the lock stays safe.
+  std::uint64_t prev = 0;
+  for (int budget : {0, 1, 2}) {
+    const sim::System sys =
+        rmeSystem(core::recoverableTasFactory(), MemoryModel::PSO, 2, budget);
+    const sim::ExploreResult res = sim::explore(sys, {});
+    ASSERT_FALSE(res.capped()) << "budget " << budget;
+    EXPECT_FALSE(res.mutexViolation) << "budget " << budget;
+    EXPECT_GT(res.statesVisited, prev) << "budget " << budget;
+    prev = res.statesVisited;
+  }
+}
+
+TEST(RmeTierTest, ArchReclassificationNeverChangesExploration) {
+  // Arch selects which RMR accounting Step::remote reports; it must be
+  // invisible to the transition system itself.
+  const sim::ExploreResult ref = sim::explore(
+      rmeSystem(core::recoverableTasFactory(), MemoryModel::PSO, 2, 1), {});
+  ASSERT_FALSE(ref.capped());
+  for (sim::Arch arch : {sim::Arch::CC, sim::Arch::DSM}) {
+    const sim::ExploreResult res = sim::explore(
+        rmeSystem(core::recoverableTasFactory(), MemoryModel::PSO, 2, 1,
+                  arch),
+        {});
+    EXPECT_EQ(res.statesVisited, ref.statesVisited) << sim::archName(arch);
+    EXPECT_EQ(res.outcomes, ref.outcomes) << sim::archName(arch);
+    EXPECT_EQ(res.mutexViolation, ref.mutexViolation) << sim::archName(arch);
+  }
+}
+
+TEST(RmeTierTest, PlainTasStrandsTheLockUnderACrashButStaysMutexSafe) {
+  // A crashed TAS holder never releases, so nobody else can *enter* the
+  // critical section: safety trivially holds, but the stranded lock
+  // shows up as stuck states in the liveness graph.  This is the
+  // contrast that motivates recoverable locks — and exactly why the
+  // corpus keeps tas/PSO/n2/c1 as a safety Pass with its liveness leg
+  // pinned here instead of in the differential.
+  const sim::System crashed =
+      rmeSystem(core::tasFactory(), MemoryModel::PSO, 2, 1);
+  const sim::ExploreResult res = sim::explore(crashed, {});
+  ASSERT_FALSE(res.capped());
+  EXPECT_FALSE(res.mutexViolation);
+
+  const sim::LivenessResult live = sim::checkLiveness(crashed, {});
+  ASSERT_TRUE(live.complete());
+  EXPECT_FALSE(live.allCanTerminate);
+  EXPECT_GT(live.stuckStates, 0u);
+
+  // Failure-free, the same lock terminates from everywhere.
+  const sim::LivenessResult clean = sim::checkLiveness(
+      rmeSystem(core::tasFactory(), MemoryModel::PSO, 2, 0), {});
+  ASSERT_TRUE(clean.complete());
+  EXPECT_TRUE(clean.allCanTerminate);
+  EXPECT_EQ(clean.stuckStates, 0u);
+}
+
+TEST(RmeTierTest, RecoverableLocksTerminateUnderCrashes) {
+  // The recoverable locks' whole point: with crashes allowed, every
+  // reachable state still has a path on which all processes finish.
+  for (const core::LockFactory& factory :
+       {core::recoverableTasFactory(), core::recoverableTournamentFactory()}) {
+    const sim::System sys = rmeSystem(factory, MemoryModel::PSO, 2, 1);
+    const sim::LivenessResult live = sim::checkLiveness(sys, {});
+    ASSERT_TRUE(live.complete());
+    EXPECT_TRUE(live.allCanTerminate);
+    EXPECT_EQ(live.stuckStates, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden files: the deterministic core of lock_doctor's RME JSON (the
+// keys gated behind --crashes/--arch plus the exploration facts) is a
+// pure function of (lock, model, n, budget, arch) — worker-count
+// invariant and byte-stable.  Regenerate with FENCETRADE_REGEN_GOLDEN=1.
+// ---------------------------------------------------------------------------
+
+std::string rmeDoctorJson(const std::string& lockName,
+                          const core::LockFactory& factory, MemoryModel m,
+                          int n, int crashBudget, sim::Arch arch,
+                          int workers) {
+  const sim::System sys = rmeSystem(factory, m, n, crashBudget, arch);
+  sim::ExploreOptions opts;
+  opts.workers = workers;
+  const sim::ExploreResult res = sim::explore(sys, opts);
+
+  // Same trace choice as lock_doctor: the witness if the lock is
+  // broken, a sequential passage otherwise.
+  sim::Execution traced;
+  if (res.mutexViolation) {
+    traced = sim::replaySchedule(sys, res.witness);
+  } else {
+    sim::Config cfg = sim::initialConfig(sys);
+    std::vector<sim::ProcId> order;
+    for (int p = 0; p < n; ++p) order.push_back(p);
+    traced = sim::runSequential(sys, cfg, order);
+  }
+  const sim::StepCounts rmr = sim::countSteps(traced, n);
+  const Verdict verdict = res.mutexViolation ? Verdict::Violation
+                          : res.capped()     ? Verdict::Inconclusive
+                                             : Verdict::Pass;
+
+  std::string out;
+  out += '{';
+  jsonStr(out, "lock", lockName);
+  out += ',';
+  jsonStr(out, "model", sim::memoryModelName(m));
+  out += ',';
+  jsonU64(out, "n", static_cast<unsigned long long>(n));
+  out += ',';
+  jsonU64(out, "crashBudget", static_cast<unsigned long long>(crashBudget));
+  out += ',';
+  jsonStr(out, "arch", sim::archName(arch));
+  out += ',';
+  jsonKey(out, "rmrAccounting");
+  out += '{';
+  jsonStr(out, "execution", res.mutexViolation ? "witness" : "sequential");
+  out += ',';
+  jsonU64(out, "rmrsDsm", static_cast<unsigned long long>(rmr.rmrsDsm));
+  out += ',';
+  jsonU64(out, "rmrsCc", static_cast<unsigned long long>(rmr.rmrsCc));
+  out += ',';
+  jsonU64(out, "rmrsSelected", static_cast<unsigned long long>(rmr.rmrs));
+  out += ',';
+  jsonU64(out, "crashSteps", static_cast<unsigned long long>(rmr.crashes));
+  out += "},";
+  jsonU64(out, "statesVisited", res.statesVisited);
+  out += ',';
+  jsonBool(out, "mutexViolation", res.mutexViolation);
+  out += ',';
+  jsonU64(out, "maxCsOccupancy",
+          static_cast<unsigned long long>(res.maxCsOccupancy));
+  out += ',';
+  jsonStr(out, "outcomes", sim::outcomesToString(res.outcomes, res.capped()));
+  out += ',';
+  jsonStr(out, "verdict", verdictName(verdict));
+  out += '}';
+  return out;
+}
+
+void checkRmeGolden(const std::string& lockName,
+                    const core::LockFactory& factory, sim::Arch arch,
+                    const std::string& goldenName) {
+  // Worker-count invariance first: the pinned keys describe the state
+  // space and the deterministic passage, never the parallel engine.
+  std::string actual;
+  for (int workers : {1, 2, 4}) {
+    const std::string j = rmeDoctorJson(lockName, factory, MemoryModel::PSO,
+                                        2, /*crashBudget=*/1, arch, workers);
+    if (actual.empty()) {
+      actual = j;
+    } else {
+      EXPECT_EQ(j, actual) << goldenName << " with workers=" << workers;
+    }
+  }
+  ASSERT_FALSE(actual.empty());
+
+  const std::string path =
+      std::string(FENCETRADE_GOLDEN_DIR) + "/" + goldenName;
+  if (std::getenv("FENCETRADE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual << "\n";
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " (regenerate with FENCETRADE_REGEN_GOLDEN=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), actual + "\n") << "golden drift in " << goldenName;
+}
+
+TEST(RmeGoldenTest, RtasCrash1Cc) {
+  checkRmeGolden("rtas", core::recoverableTasFactory(), sim::Arch::CC,
+                 "rme_rtas_pso_c1_cc.json");
+}
+
+TEST(RmeGoldenTest, RtasCrash1Dsm) {
+  checkRmeGolden("rtas", core::recoverableTasFactory(), sim::Arch::DSM,
+                 "rme_rtas_pso_c1_dsm.json");
+}
+
+TEST(RmeGoldenTest, RtournamentCrash1Cc) {
+  checkRmeGolden("rtournament", core::recoverableTournamentFactory(),
+                 sim::Arch::CC, "rme_rtournament_pso_c1_cc.json");
+}
+
+TEST(RmeGoldenTest, RtournamentCrash1Dsm) {
+  checkRmeGolden("rtournament", core::recoverableTournamentFactory(),
+                 sim::Arch::DSM, "rme_rtournament_pso_c1_dsm.json");
+}
+
+TEST(RmeGoldenTest, CcAndDsmGoldensActuallySeparate) {
+  // The pair of goldens must disagree on rmrsSelected — otherwise the
+  // split accountant collapsed and the CC/DSM separation is gone.
+  const std::string cc =
+      rmeDoctorJson("rtas", core::recoverableTasFactory(), MemoryModel::PSO,
+                    2, 1, sim::Arch::CC, 1);
+  const std::string dsm =
+      rmeDoctorJson("rtas", core::recoverableTasFactory(), MemoryModel::PSO,
+                    2, 1, sim::Arch::DSM, 1);
+  EXPECT_NE(cc, dsm);
+  EXPECT_NE(cc.find("\"rmrsDsm\""), std::string::npos);
+  EXPECT_NE(dsm.find("\"rmrsCc\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fencetrade::check

@@ -11,6 +11,7 @@
 #include "core/gt.h"
 #include "core/objects.h"
 #include "core/peterson.h"
+#include "core/recoverable.h"
 #include "sim/litmus.h"
 
 namespace fencetrade::check {
@@ -125,6 +126,109 @@ TEST(CorpusTest, QuickCorpusEntriesMatchExpectations) {
     const DifferentialReport rep = runDifferential(e.make(), opts);
     EXPECT_TRUE(rep.conformant) << e.name << ": " << rep.detail;
     EXPECT_EQ(rep.verdict, e.expected) << e.name << ": " << rep.detail;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine crash differentials: the full default engine matrix over
+// the recoverable locks at every budget, with budget 0 byte-identical
+// to a never-configured system and the arch knob invisible to every
+// leg's exploration facts.
+// ---------------------------------------------------------------------------
+
+sim::System rtasSystem(int crashBudget,
+                       sim::Arch arch = sim::Arch::Combined) {
+  sim::System sys = core::buildCountSystem(MemoryModel::PSO, 2,
+                                           core::recoverableTasFactory())
+                        .sys;
+  sys.crashBudget = crashBudget;
+  sys.arch = arch;
+  return sys;
+}
+
+TEST(CrashDifferentialTest, RecoverableTasIsConformantAtEveryBudget) {
+  for (int budget : {0, 1, 2}) {
+    const DifferentialReport rep = runDifferential(rtasSystem(budget), {});
+    EXPECT_TRUE(rep.conformant) << "budget " << budget << ": " << rep.detail;
+    EXPECT_EQ(rep.verdict, Verdict::Pass)
+        << "budget " << budget << ": " << rep.detail;
+    EXPECT_EQ(rep.runs.size(), defaultEngines().size()) << budget;
+    for (const EngineRun& run : rep.runs) {
+      EXPECT_FALSE(run.res.mutexViolation)
+          << "budget " << budget << " engine " << run.spec.name;
+      EXPECT_FALSE(run.res.capped())
+          << "budget " << budget << " engine " << run.spec.name;
+    }
+  }
+}
+
+TEST(CrashDifferentialTest, BudgetZeroLegsMatchTheLegacySystemExactly) {
+  // Explicit budget 0 must be indistinguishable — per engine leg, down
+  // to state counts and outcome sets — from a system the crash
+  // machinery never touched.
+  const sim::System legacy =
+      core::buildCountSystem(MemoryModel::PSO, 2,
+                             core::recoverableTasFactory())
+          .sys;
+  const DifferentialReport a = runDifferential(rtasSystem(0), {});
+  const DifferentialReport b = runDifferential(legacy, {});
+  ASSERT_TRUE(a.conformant) << a.detail;
+  ASSERT_TRUE(b.conformant) << b.detail;
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    ASSERT_EQ(a.runs[i].spec.name, b.runs[i].spec.name);
+    EXPECT_EQ(a.runs[i].res.outcomes, b.runs[i].res.outcomes)
+        << a.runs[i].spec.name;
+    EXPECT_EQ(a.runs[i].res.mutexViolation, b.runs[i].res.mutexViolation)
+        << a.runs[i].spec.name;
+    // Visit counts and witness bytes are only a deterministic contract
+    // on the single-worker legs; reduced parallel runs prune a
+    // timing-dependent subset even between two runs of the same system.
+    if (a.runs[i].spec.workers == 1) {
+      EXPECT_EQ(a.runs[i].res.statesVisited, b.runs[i].res.statesVisited)
+          << a.runs[i].spec.name;
+      EXPECT_EQ(a.runs[i].res.witness, b.runs[i].res.witness)
+          << a.runs[i].spec.name;
+    }
+  }
+  EXPECT_EQ(a.verdict, b.verdict);
+}
+
+TEST(CrashDifferentialTest, ArchVariantsAgreeLegByLegWithCombined) {
+  const DifferentialReport ref =
+      runDifferential(rtasSystem(1, sim::Arch::Combined), {});
+  ASSERT_TRUE(ref.conformant) << ref.detail;
+  ASSERT_EQ(ref.verdict, Verdict::Pass) << ref.detail;
+  for (sim::Arch arch : {sim::Arch::CC, sim::Arch::DSM}) {
+    const DifferentialReport rep =
+        runDifferential(rtasSystem(1, arch), {});
+    EXPECT_TRUE(rep.conformant) << rep.detail;
+    EXPECT_EQ(rep.verdict, Verdict::Pass) << rep.detail;
+    ASSERT_EQ(rep.runs.size(), ref.runs.size());
+    for (std::size_t i = 0; i < rep.runs.size(); ++i) {
+      EXPECT_EQ(rep.runs[i].res.outcomes, ref.runs[i].res.outcomes)
+          << rep.runs[i].spec.name;
+      // Reduced parallel legs prune timing-dependently; exact visit
+      // counts are only comparable on the single-worker legs.
+      if (rep.runs[i].spec.workers == 1) {
+        EXPECT_EQ(rep.runs[i].res.statesVisited,
+                  ref.runs[i].res.statesVisited)
+            << rep.runs[i].spec.name;
+      }
+    }
+  }
+}
+
+TEST(CrashDifferentialTest, BrokenRecoveryViolatesOnEveryEngine) {
+  sim::System sys = core::buildCountSystem(MemoryModel::PSO, 2,
+                                           core::brokenRecoverableTasFactory())
+                        .sys;
+  sys.crashBudget = 1;
+  const DifferentialReport rep = runDifferential(sys, {});
+  EXPECT_TRUE(rep.conformant) << rep.detail;
+  EXPECT_EQ(rep.verdict, Verdict::Violation);
+  for (const EngineRun& run : rep.runs) {
+    EXPECT_TRUE(run.res.mutexViolation) << run.spec.name;
   }
 }
 

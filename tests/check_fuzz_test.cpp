@@ -14,6 +14,7 @@
 #include "core/bakery.h"
 #include "core/gt.h"
 #include "core/objects.h"
+#include "core/recoverable.h"
 #include "sim/builder.h"
 #include "sim/explore.h"
 #include "sim/litmus.h"
@@ -519,6 +520,115 @@ TEST(InjectTest, CountFencesIsZeroOnFenceFreePrograms) {
   }
   EXPECT_EQ(countFences(sys), 0);
   EXPECT_EQ(stripFence(sys, 0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-aware fuzzing: the scan draws crash moves under the budget, the
+// minimized witness keeps its crash element and stays byte-identical
+// across worker counts, and the checkpoint fingerprint pins the crash
+// configuration.
+// ---------------------------------------------------------------------------
+
+sim::System brokenRecoverableSc(int crashBudget) {
+  sim::System sys = core::buildCountSystem(MemoryModel::SC, 2,
+                                           core::brokenRecoverableTasFactory())
+                        .sys;
+  sys.crashBudget = crashBudget;
+  return sys;
+}
+
+TEST(CrashFuzzTest, MinimizedCrashWitnessIsIdenticalAcrossWorkers) {
+  // The broken-recovery lock only violates via a crash, so the witness
+  // must contain one — and ddmin must preserve it while the worker
+  // count must not perturb a single byte of the minimized schedule.
+  const sim::System sys = brokenRecoverableSc(1);
+  std::string reference;
+  std::uint64_t referenceSeed = 0;
+  for (int workers : {1, 2, 4}) {
+    FuzzOptions opts;
+    opts.seeds = 4096;
+    opts.workers = workers;
+    opts.crashProb = 0.05;
+    const FuzzReport rep = fuzzMutualExclusion(sys, opts);
+    ASSERT_TRUE(rep.witness.has_value()) << "workers " << workers;
+    EXPECT_GE(rep.witness->occupancy, 2) << "workers " << workers;
+    const std::string rendered = scheduleToString(sys, rep.witness->minimized);
+    EXPECT_NE(rendered.find("crash"), std::string::npos)
+        << "workers " << workers << ": minimized witness lost its crash:\n"
+        << rendered;
+    EXPECT_GE(maxOccupancyOnReplay(sys, rep.witness->minimized), 2)
+        << "workers " << workers;
+    if (reference.empty()) {
+      reference = rendered;
+      referenceSeed = rep.witness->seed;
+    } else {
+      EXPECT_EQ(rep.witness->seed, referenceSeed) << "workers " << workers;
+      EXPECT_EQ(rendered, reference) << "workers " << workers;
+    }
+  }
+}
+
+TEST(CrashFuzzTest, ZeroCrashProbabilityNeverCrashesAndStaysLegacy) {
+  // With crashProb left at 0 the scan must be byte-identical to a scan
+  // of the legacy (budget-0) system: no crash draw, no witness (the
+  // broken lock is correct failure-free), same schedule counts.
+  const sim::System budgeted = brokenRecoverableSc(1);
+  FuzzOptions opts;
+  opts.seeds = 512;
+  const FuzzReport a = fuzzMutualExclusion(budgeted, opts);
+  EXPECT_EQ(a.verdict, Verdict::Pass);
+  EXPECT_FALSE(a.witness.has_value());
+
+  const FuzzReport b = fuzzMutualExclusion(brokenRecoverableSc(0), opts);
+  EXPECT_EQ(b.verdict, a.verdict);
+  EXPECT_EQ(b.schedulesRun, a.schedulesRun);
+  EXPECT_EQ(b.completedRuns, a.completedRuns);
+  EXPECT_EQ(b.totalReorderings, a.totalReorderings);
+}
+
+TEST(CrashFuzzTest, CheckpointRejectsCrossBudgetArchOrCrashProbResume) {
+  const sim::System sys = brokenRecoverableSc(1);
+  util::CancelToken tok;
+  tok.cancel();
+  FuzzOptions opts;
+  opts.seeds = 256;
+  opts.crashProb = 0.05;
+  opts.control.cancel = &tok;
+  std::string blob;
+  opts.checkpointOut = &blob;
+  ASSERT_EQ(fuzzMutualExclusion(sys, opts).verdict, Verdict::Interrupted);
+  ASSERT_FALSE(blob.empty());
+
+  FuzzOptions resume;
+  resume.seeds = 256;
+  resume.crashProb = 0.05;
+  resume.resumeFrom = &blob;
+
+  // Different crash probability: a different schedule distribution.
+  FuzzOptions changedProb = resume;
+  changedProb.crashProb = 0.25;
+  EXPECT_THROW(fuzzMutualExclusion(sys, changedProb), util::CheckError);
+
+  // Different crash budget or arch: a different system fingerprint.
+  EXPECT_THROW(fuzzMutualExclusion(brokenRecoverableSc(2), resume),
+               util::CheckError);
+  sim::System ccSys = brokenRecoverableSc(1);
+  ccSys.arch = sim::Arch::CC;
+  EXPECT_THROW(fuzzMutualExclusion(ccSys, resume), util::CheckError);
+
+  // The matching configuration resumes cleanly to the reference scan.
+  const FuzzReport resumed = fuzzMutualExclusion(sys, resume);
+  FuzzOptions clean;
+  clean.seeds = 256;
+  clean.crashProb = 0.05;
+  const FuzzReport ref = fuzzMutualExclusion(sys, clean);
+  EXPECT_EQ(resumed.verdict, ref.verdict);
+  EXPECT_EQ(resumed.schedulesRun, ref.schedulesRun);
+  EXPECT_EQ(resumed.witness.has_value(), ref.witness.has_value());
+  if (resumed.witness && ref.witness) {
+    EXPECT_EQ(resumed.witness->seed, ref.witness->seed);
+    EXPECT_EQ(resumed.witness->minimized, ref.witness->minimized);
+  }
 }
 
 }  // namespace

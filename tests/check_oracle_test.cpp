@@ -11,8 +11,11 @@
 #include "core/gt.h"
 #include "core/objects.h"
 #include "core/peterson.h"
+#include "core/recoverable.h"
+#include "sim/builder.h"
 #include "sim/explore.h"
 #include "sim/litmus.h"
+#include "sim/machine.h"
 #include "sim/schedule.h"
 #include "util/rng.h"
 
@@ -193,6 +196,151 @@ TEST(BoundedBypassOracleTest, NotApplicableWithoutDoorwayMarkers) {
   const PropertyReport rep = checkBoundedBypass(sys, run.schedule, 0);
   EXPECT_FALSE(rep.applicable);
   EXPECT_TRUE(rep.holds);
+}
+
+// ---------------------------------------------------------------------------
+// RME: the broken-recovery canary, crash accounting invariants, and the
+// per-architecture RMR split.
+// ---------------------------------------------------------------------------
+
+sim::System recoverableSys(const core::LockFactory& factory, MemoryModel m,
+                           int crashBudget,
+                           sim::Arch arch = sim::Arch::Combined) {
+  sim::System sys = core::buildCountSystem(m, 2, factory).sys;
+  sys.crashBudget = crashBudget;
+  sys.arch = arch;
+  return sys;
+}
+
+TEST(RecoverableOracleTest, BrokenRecoveryViolationIsVerifiedByReplay) {
+  // The misplaced recovery section only misbehaves once a crash is
+  // allowed; the oracle must re-derive the violation from the witness,
+  // crash moves included, not trust the engine's claim.
+  const sim::System sys =
+      recoverableSys(core::brokenRecoverableTasFactory(), MemoryModel::SC, 1);
+  const sim::ExploreResult res = sim::explore(sys, {});
+  ASSERT_TRUE(res.mutexViolation);
+  const PropertyReport rep = checkMutualExclusionResult(sys, res);
+  EXPECT_FALSE(rep.holds);
+  EXPECT_TRUE(rep.verifiedViolation) << rep.detail;
+  EXPECT_GE(maxOccupancyOnReplay(sys, res.witness), 2);
+  bool crashed = false;
+  for (const auto& [p, r] : res.witness) {
+    if (r == sim::kCrashReg) crashed = true;
+  }
+  EXPECT_TRUE(crashed) << "the witness must actually crash somebody";
+}
+
+TEST(RecoverableOracleTest, CorrectRecoverableLockHoldsUnderCrashes) {
+  const sim::System sys =
+      recoverableSys(core::recoverableTasFactory(), MemoryModel::PSO, 1);
+  const sim::ExploreResult res = sim::explore(sys, {});
+  ASSERT_FALSE(res.capped());
+  ASSERT_FALSE(res.mutexViolation);
+  const PropertyReport rep = checkMutualExclusionResult(sys, res);
+  EXPECT_TRUE(rep.holds) << rep.detail;
+}
+
+/// A completed reorder-bounded run on `sys` whose execution contains at
+/// least one crash step (found by scanning seeds deterministically).
+sim::ScheduleRunResult crashRun(const sim::System& sys) {
+  for (std::uint64_t seed = 1; seed <= 2000; ++seed) {
+    sim::Config cfg = sim::initialConfig(sys);
+    util::Rng rng(seed);
+    sim::ReorderBoundOptions rbo;
+    rbo.crashProb = 0.25;
+    sim::ScheduleRunResult run = sim::runReorderBounded(sys, cfg, rng, rbo);
+    if (!run.completed) continue;
+    for (const sim::Step& s : run.exec) {
+      if (s.kind == sim::StepKind::Crash) return run;
+    }
+  }
+  ADD_FAILURE() << "no seed produced a completed run with a crash";
+  return {};
+}
+
+TEST(AccountingOracleTest, CrashStepsAreLocalAndBudgetBounded) {
+  const sim::System sys =
+      recoverableSys(core::recoverableTasFactory(), MemoryModel::PSO, 1);
+  const sim::ScheduleRunResult run = crashRun(sys);
+  ASSERT_TRUE(run.completed);
+  EXPECT_TRUE(checkAccounting(sys, run.exec, sys.n(), run.completed).holds);
+
+  // A crash step carrying any remote flag is a harness bug.
+  sim::Execution tampered = run.exec;
+  for (sim::Step& s : tampered) {
+    if (s.kind == sim::StepKind::Crash) {
+      s.remote = true;
+      break;
+    }
+  }
+  EXPECT_FALSE(checkAccounting(sys, tampered, sys.n(), run.completed).holds);
+
+  // The same execution is over budget against a failure-free system.
+  sim::System zero = sys;
+  zero.crashBudget = 0;
+  EXPECT_FALSE(checkAccounting(zero, run.exec, zero.n(), run.completed).holds);
+}
+
+TEST(AccountingOracleTest, SelectedRemoteMustFollowTheArch) {
+  for (sim::Arch arch : {sim::Arch::CC, sim::Arch::DSM}) {
+    const sim::System sys = recoverableSys(core::recoverableTasFactory(),
+                                           MemoryModel::PSO, 1, arch);
+    sim::Config cfg = sim::initialConfig(sys);
+    sim::Execution exec = sim::runSequential(sys, cfg, {0, 1});
+    EXPECT_TRUE(checkAccounting(sys, exec, sys.n(), true).holds)
+        << sim::archName(arch);
+
+    // Flip `remote` on a step where the two accountings disagree: the
+    // oracle must notice the selected accounting was not honoured.
+    bool flipped = false;
+    for (sim::Step& s : exec) {
+      if (s.remoteDsm != s.remoteCc) {
+        s.remote = !s.remote;
+        flipped = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(flipped)
+        << "rtas passage no longer separates the accountings";
+    EXPECT_FALSE(checkAccounting(sys, exec, sys.n(), true).holds)
+        << sim::archName(arch);
+  }
+}
+
+TEST(ArchSeparationOracleTest, RtasPassageSeparatesCcFromDsm) {
+  // Hand-checked: one uncontended rtas passage per process costs 5 DSM
+  // RMRs (read, cas, release write, plus the second process's) but only
+  // 4 CC RMRs (the release write hits the now-cached line), so the
+  // two-process sequential passage lands at dsm=10, cc=8.
+  const sim::System sys =
+      recoverableSys(core::recoverableTasFactory(), MemoryModel::PSO, 0);
+  sim::Config cfg = sim::initialConfig(sys);
+  const sim::Execution exec = sim::runSequential(sys, cfg, {0, 1});
+  const sim::StepCounts counts = sim::countSteps(exec, sys.n());
+  EXPECT_EQ(counts.rmrsDsm, 10);
+  EXPECT_EQ(counts.rmrsCc, 8);
+  const PropertyReport rep = checkArchSeparation(exec);
+  EXPECT_TRUE(rep.applicable);
+  EXPECT_TRUE(rep.holds) << rep.detail;
+  EXPECT_NE(rep.detail.find("dsm=10"), std::string::npos) << rep.detail;
+  EXPECT_NE(rep.detail.find("cc=8"), std::string::npos) << rep.detail;
+}
+
+TEST(ArchSeparationOracleTest, AccessFreeTraceShowsNoSeparation) {
+  sim::System sys;
+  sys.model = MemoryModel::SC;
+  for (int p = 0; p < 2; ++p) {
+    sim::ProgramBuilder b("idle#" + std::to_string(p));
+    b.ret(b.imm(0));
+    sys.programs.push_back(b.build());
+  }
+  sim::Config cfg = sim::initialConfig(sys);
+  const sim::Execution exec = sim::runSequential(sys, cfg, {0, 1});
+  const PropertyReport rep = checkArchSeparation(exec);
+  EXPECT_FALSE(rep.holds);
+  EXPECT_NE(rep.detail.find("dsm=0"), std::string::npos) << rep.detail;
+  EXPECT_NE(rep.detail.find("cc=0"), std::string::npos) << rep.detail;
 }
 
 TEST(ReplayOccupancyTest, ViolationWitnessReachesOccupancyTwo) {

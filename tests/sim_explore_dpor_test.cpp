@@ -15,7 +15,9 @@
 #include "core/bakery.h"
 #include "core/objects.h"
 #include "core/peterson.h"
+#include "core/recoverable.h"
 #include "sim/explore.h"
+#include "util/check.h"
 
 namespace fencetrade::check {
 namespace {
@@ -242,6 +244,119 @@ TEST(BloomTierTest, ViolationFoundUnderBloomStillReplays) {
   EXPECT_FALSE(rep.holds) << rep.detail;
   EXPECT_TRUE(rep.verifiedViolation) << rep.detail;
   EXPECT_GE(maxOccupancyOnReplay(sys, res.witness), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Crash moves through the reductions: every budget × mode × worker
+// combination agrees with the unreduced sequential oracle, and the
+// broken-recovery canary is found (with a replayable witness) by every
+// combination.
+// ---------------------------------------------------------------------------
+
+sim::System recoverableSystem(const core::LockFactory& factory,
+                              MemoryModel m, int crashBudget,
+                              sim::Arch arch = sim::Arch::Combined) {
+  sim::System sys = core::buildCountSystem(m, 2, factory).sys;
+  sys.crashBudget = crashBudget;
+  sys.arch = arch;
+  return sys;
+}
+
+TEST(CrashMatrixTest, RecoverableTasAgreesAcrossBudgetsModesAndWorkers) {
+  for (int budget : {0, 1, 2}) {
+    const sim::System sys = recoverableSystem(
+        core::recoverableTasFactory(), MemoryModel::PSO, budget);
+    const sim::ExploreResult ref = sim::explore(sys, {});
+    ASSERT_FALSE(ref.capped()) << "budget " << budget;
+    ASSERT_FALSE(ref.mutexViolation) << "budget " << budget;
+    for (ReductionMode mode :
+         {ReductionMode::none, ReductionMode::persistentSet,
+          ReductionMode::sourceDpor}) {
+      for (int workers : {1, 4}) {
+        sim::ExploreOptions opts;
+        opts.reduction = mode;
+        opts.workers = workers;
+        const sim::ExploreResult res = sim::explore(sys, opts);
+        const std::string ctx = std::string("budget ") +
+                                std::to_string(budget) + " " +
+                                reductionModeName(mode) + "/w" +
+                                std::to_string(workers);
+        EXPECT_FALSE(res.capped()) << ctx;
+        EXPECT_FALSE(res.mutexViolation) << ctx;
+        EXPECT_EQ(res.outcomes, ref.outcomes) << ctx;
+        // Reductions may only shrink the space; the unreduced engines
+        // must reproduce it exactly at every worker count.
+        if (mode == ReductionMode::none) {
+          EXPECT_EQ(res.statesVisited, ref.statesVisited) << ctx;
+        } else {
+          EXPECT_LE(res.statesVisited, ref.statesVisited) << ctx;
+        }
+      }
+    }
+  }
+}
+
+TEST(CrashMatrixTest, BrokenRecoveryIsFoundByEveryModeWorkerCombo) {
+  const sim::System sys = recoverableSystem(
+      core::brokenRecoverableTasFactory(), MemoryModel::SC, 1);
+  for (ReductionMode mode :
+       {ReductionMode::none, ReductionMode::persistentSet,
+        ReductionMode::sourceDpor}) {
+    for (int workers : {1, 4}) {
+      sim::ExploreOptions opts;
+      opts.reduction = mode;
+      opts.workers = workers;
+      const sim::ExploreResult res = sim::explore(sys, opts);
+      const std::string ctx = std::string(reductionModeName(mode)) + "/w" +
+                              std::to_string(workers);
+      ASSERT_TRUE(res.mutexViolation) << ctx;
+      ASSERT_FALSE(res.witness.empty()) << ctx;
+      // The witness must replay — and it must actually crash somebody,
+      // because this lock is correct until its recovery section runs.
+      EXPECT_GE(maxOccupancyOnReplay(sys, res.witness), 2) << ctx;
+      bool crashed = false;
+      for (const auto& [p, r] : res.witness) {
+        if (r == sim::kCrashReg) crashed = true;
+      }
+      EXPECT_TRUE(crashed) << ctx << ": witness without a crash move";
+    }
+  }
+}
+
+TEST(CrashMatrixTest, CheckpointFingerprintRejectsCrossBudgetOrArchResume) {
+  // A checkpoint taken under (budget, arch) must refuse to resume into
+  // any other crash configuration — the visited keys and the move set
+  // are budget-shaped, and remote flags are arch-shaped.
+  const sim::System sys = recoverableSystem(core::recoverableTasFactory(),
+                                            MemoryModel::PSO, 1);
+  sim::ExploreOptions first;
+  first.maxStates = 200;
+  std::string blob;
+  first.checkpointOut = &blob;
+  ASSERT_EQ(sim::explore(sys, first).stopReason, util::StopReason::StateCap);
+  ASSERT_FALSE(blob.empty());
+
+  for (const sim::System& other :
+       {recoverableSystem(core::recoverableTasFactory(), MemoryModel::PSO, 0),
+        recoverableSystem(core::recoverableTasFactory(), MemoryModel::PSO, 2),
+        recoverableSystem(core::recoverableTasFactory(), MemoryModel::PSO, 1,
+                          sim::Arch::CC),
+        recoverableSystem(core::recoverableTasFactory(), MemoryModel::PSO, 1,
+                          sim::Arch::DSM)}) {
+    sim::ExploreOptions resume;
+    resume.resumeFrom = &blob;
+    EXPECT_THROW(sim::explore(other, resume), util::CheckError);
+  }
+
+  // The matching configuration resumes to exactly the uninterrupted run.
+  sim::ExploreOptions resume;
+  resume.resumeFrom = &blob;
+  const sim::ExploreResult resumed = sim::explore(sys, resume);
+  const sim::ExploreResult ref = sim::explore(sys, {});
+  EXPECT_EQ(resumed.stopReason, ref.stopReason);
+  EXPECT_EQ(resumed.statesVisited, ref.statesVisited);
+  EXPECT_EQ(resumed.outcomes, ref.outcomes);
+  EXPECT_EQ(resumed.mutexViolation, ref.mutexViolation);
 }
 
 }  // namespace
