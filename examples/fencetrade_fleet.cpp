@@ -1,0 +1,450 @@
+// fencetrade_fleet — the multi-process verification fleet CLI.
+//
+//   fencetrade_fleet run <lock> <model> <n> [crashBudget] [flags]
+//   fencetrade_fleet run --spec jobs.json [flags]
+//   fencetrade_fleet worker            (internal: shard-worker mode)
+//
+// `run` partitions the state space of each job by behavioral-key hash
+// across --workers-proc worker *processes* (the binary re-execs itself
+// in `worker` mode), supervises them — death, stall, and protocol
+// corruption all lead to checkpoint-restore reassignment under a
+// capped-exponential retry budget — and merges the shard reports into
+// one verdict.  --chaos injects those same faults on purpose; the
+// merged verdict, outcome set, state count, and witness are
+// byte-identical to a fault-free run (that's the acceptance bar, and
+// the fleet tests hold it at 1/2/4 workers).
+//
+// A --spec file is a JSON array of jobs:
+//   [{"lock":"gt2","model":"PSO","n":2,"crashBudget":0}, ...]
+//
+// Exit code: the combined verdict over all jobs via the shared
+// verdict/exit-code contract (0 pass, 1 violation, 3 inconclusive —
+// a shard whose retries exhaust degrades the job to inconclusive,
+// never to a silent pass).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/jsonio.h"
+#include "check/ledger.h"
+#include "check/verdict.h"
+#include "fleet/coordinator.h"
+#include "fleet/jobspec.h"
+#include "fleet/worker.h"
+#include "sim/explore.h"
+#include "util/checkpoint.h"
+#include "util/eventlog.h"
+#include "util/subprocess.h"
+
+namespace {
+
+using namespace fencetrade;
+using check::jsonBool;
+using check::jsonDouble;
+using check::jsonKey;
+using check::jsonStr;
+using check::jsonU64;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s run (<lock> <model> <n> [crashBudget] | --spec jobs.json)\n"
+      "          [--workers-proc N] [--retries R] [--stall-timeout SEC]\n"
+      "          [--checkpoint-every K] [--heartbeat-ms MS] [--deadline SEC]\n"
+      "          [--chaos kill-prob=P,stall-prob=Q,corrupt-prob=R]\n"
+      "          [--chaos-seed S] [--max-faults F] [--json] [--ledger FILE]\n"
+      "       %s worker   (internal shard-worker mode)\n",
+      argv0, argv0);
+  return check::verdictExitCode(check::Verdict::UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON job-spec parser: an array of flat objects with string /
+// integer values.  Anything structurally off fails the whole file —
+// job specs are inputs the user wrote, not telemetry to be tolerant of.
+struct SpecParser {
+  const std::string& s;
+  std::size_t at = 0;
+
+  explicit SpecParser(const std::string& text) : s(text) {}
+
+  void ws() {
+    while (at < s.size() && (s[at] == ' ' || s[at] == '\t' || s[at] == '\n' ||
+                             s[at] == '\r')) {
+      ++at;
+    }
+  }
+  bool eat(char c) {
+    ws();
+    if (at < s.size() && s[at] == c) {
+      ++at;
+      return true;
+    }
+    return false;
+  }
+  bool str(std::string& out) {
+    ws();
+    if (at >= s.size() || s[at] != '"') return false;
+    ++at;
+    out.clear();
+    while (at < s.size() && s[at] != '"') {
+      if (s[at] == '\\' && at + 1 < s.size()) ++at;  // keep escaped char
+      out += s[at++];
+    }
+    if (at >= s.size()) return false;
+    ++at;
+    return true;
+  }
+  bool num(long& out) {
+    ws();
+    char* end = nullptr;
+    out = std::strtol(s.c_str() + at, &end, 10);
+    if (end == s.c_str() + at) return false;
+    at = static_cast<std::size_t>(end - s.c_str());
+    return true;
+  }
+
+  bool parse(std::vector<fleet::JobSpec>& jobs) {
+    if (!eat('[')) return false;
+    ws();
+    if (eat(']')) return true;
+    do {
+      if (!eat('{')) return false;
+      fleet::JobSpec job;
+      if (!eat('}')) {
+        do {
+          std::string key;
+          if (!str(key) || !eat(':')) return false;
+          if (key == "lock" || key == "model") {
+            std::string v;
+            if (!str(v)) return false;
+            (key == "lock" ? job.lock : job.model) = v;
+          } else if (key == "n" || key == "crashBudget") {
+            long v = 0;
+            if (!num(v)) return false;
+            (key == "n" ? job.n : job.crashBudget) = static_cast<int>(v);
+          } else {
+            return false;  // unknown key: reject, don't guess
+          }
+        } while (eat(','));
+        if (!eat('}')) return false;
+      }
+      jobs.push_back(std::move(job));
+    } while (eat(','));
+    if (!eat(']')) return false;
+    ws();
+    return at == s.size();
+  }
+};
+
+bool parseChaos(const std::string& arg, fleet::ChaosOptions& chaos) {
+  std::size_t at = 0;
+  while (at < arg.size()) {
+    std::size_t end = arg.find(',', at);
+    if (end == std::string::npos) end = arg.size();
+    const std::string item = arg.substr(at, end - at);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string k = item.substr(0, eq);
+    char* strEnd = nullptr;
+    const double v = std::strtod(item.c_str() + eq + 1, &strEnd);
+    if (strEnd != item.c_str() + item.size() || v < 0.0 || v > 1.0) {
+      return false;
+    }
+    if (k == "kill-prob") {
+      chaos.killProb = v;
+    } else if (k == "stall-prob") {
+      chaos.stallProb = v;
+    } else if (k == "corrupt-prob") {
+      chaos.corruptProb = v;
+    } else {
+      return false;
+    }
+    at = end + 1;
+  }
+  return chaos.killProb + chaos.stallProb + chaos.corruptProb <= 1.0;
+}
+
+std::string witnessToString(const sim::SchedPath& w) {
+  std::string out;
+  for (const auto& [p, r] : w) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(p);
+    out += ':';
+    out += std::to_string(r);
+  }
+  return out;
+}
+
+void printJson(const fleet::JobSpec& job, const fleet::FleetOptions& opts,
+               const fleet::FleetResult& res) {
+  std::string out = "{";
+  jsonStr(out, "tool", "fencetrade_fleet");
+  out += ',';
+  jsonStr(out, "lock", job.lock);
+  out += ',';
+  jsonStr(out, "model", job.model);
+  out += ',';
+  jsonU64(out, "n", static_cast<unsigned long long>(job.n));
+  out += ',';
+  jsonU64(out, "crashBudget", static_cast<unsigned long long>(job.crashBudget));
+  out += ',';
+  jsonU64(out, "workersProc", static_cast<unsigned long long>(opts.workers));
+  out += ',';
+  jsonStr(out, "verdict", check::verdictName(res.verdict));
+  out += ',';
+  jsonU64(out, "exitCode",
+          static_cast<unsigned long long>(check::verdictExitCode(res.verdict)));
+  out += ',';
+  jsonBool(out, "complete", res.complete);
+  out += ',';
+  jsonBool(out, "timedOut", res.timedOut);
+  out += ',';
+  jsonU64(out, "statesVisited", res.statesVisited);
+  out += ',';
+  jsonU64(out, "maxCsOccupancy",
+          static_cast<unsigned long long>(res.maxCsOccupancy));
+  out += ',';
+  jsonBool(out, "mutexViolation", res.mutexViolation);
+  out += ',';
+  jsonStr(out, "outcomes",
+          sim::outcomesToString(res.outcomes, !res.complete));
+  out += ',';
+  jsonStr(out, "witness", witnessToString(res.witness));
+  out += ',';
+  jsonKey(out, "fleet");
+  out += '{';
+  jsonU64(out, "respawns", static_cast<unsigned long long>(res.respawns));
+  out += ',';
+  jsonU64(out, "retriesExhausted",
+          static_cast<unsigned long long>(res.retriesExhausted));
+  out += ',';
+  jsonU64(out, "chaosKills", static_cast<unsigned long long>(res.chaosKills));
+  out += ',';
+  jsonU64(out, "chaosStalls",
+          static_cast<unsigned long long>(res.chaosStalls));
+  out += ',';
+  jsonU64(out, "chaosCorruptions",
+          static_cast<unsigned long long>(res.chaosCorruptions));
+  out += ',';
+  jsonU64(out, "stallsDetected",
+          static_cast<unsigned long long>(res.stallsDetected));
+  out += ',';
+  jsonU64(out, "protocolErrors",
+          static_cast<unsigned long long>(res.protocolErrors));
+  out += "},";
+  jsonKey(out, "shards");
+  out += '[';
+  for (std::size_t i = 0; i < res.shards.size(); ++i) {
+    const fleet::ShardReport& sh = res.shards[i];
+    if (i) out += ',';
+    out += '{';
+    jsonU64(out, "shard", static_cast<unsigned long long>(sh.shard));
+    out += ',';
+    jsonStr(out, "status", sh.failed ? "failed" : "done");
+    out += ',';
+    jsonU64(out, "states", sh.states);
+    out += ',';
+    jsonU64(out, "expanded", sh.expanded);
+    out += ',';
+    jsonU64(out, "forwarded", sh.forwarded);
+    out += ',';
+    jsonU64(out, "respawns", static_cast<unsigned long long>(sh.respawns));
+    out += '}';
+  }
+  out += "],";
+  jsonDouble(out, "elapsedSeconds", res.elapsedSeconds);
+  out += '}';
+  std::printf("%s\n", out.c_str());
+}
+
+void printHuman(const fleet::JobSpec& job, const fleet::FleetOptions& opts,
+                const fleet::FleetResult& res) {
+  std::printf("fleet: %s %s n=%d across %d worker processes\n",
+              job.lock.c_str(), job.model.c_str(), job.n, opts.workers);
+  std::printf("  verdict:        %s%s\n", check::verdictName(res.verdict),
+              res.complete ? "" : " (partial: shard retries exhausted)");
+  std::printf("  states:         %llu\n",
+              static_cast<unsigned long long>(res.statesVisited));
+  std::printf("  outcomes:       %s\n",
+              sim::outcomesToString(res.outcomes, !res.complete).c_str());
+  std::printf("  maxCsOccupancy: %d\n", res.maxCsOccupancy);
+  if (res.mutexViolation) {
+    std::printf("  witness:        %s\n",
+                witnessToString(res.witness).c_str());
+  }
+  for (const fleet::ShardReport& sh : res.shards) {
+    std::printf("  shard %d: %s states=%llu expanded=%llu forwarded=%llu "
+                "respawns=%d\n",
+                sh.shard, sh.failed ? "FAILED" : "done",
+                static_cast<unsigned long long>(sh.states),
+                static_cast<unsigned long long>(sh.expanded),
+                static_cast<unsigned long long>(sh.forwarded), sh.respawns);
+  }
+  if (res.respawns || res.chaosKills || res.chaosStalls ||
+      res.chaosCorruptions || res.stallsDetected || res.protocolErrors) {
+    std::printf("  faults: kills=%d stalls=%d corruptions=%d "
+                "stallsDetected=%d protocolErrors=%d respawns=%d "
+                "retriesExhausted=%d\n",
+                res.chaosKills, res.chaosStalls, res.chaosCorruptions,
+                res.stallsDetected, res.protocolErrors, res.respawns,
+                res.retriesExhausted);
+  }
+  std::printf("  elapsed: %.3fs\n", res.elapsedSeconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
+    return fleet::runWorker(util::kWorkerInFd, util::kWorkerOutFd);
+  }
+  if (argc < 2 || std::strcmp(argv[1], "run") != 0) return usage(argv[0]);
+
+  fleet::FleetOptions opts;
+  opts.workerExe = util::selfExePath(argv[0]);
+  std::vector<fleet::JobSpec> jobs;
+  std::vector<std::string> positional;
+  std::string ledgerPath;
+  bool json = false;
+  bool ok = true;
+  if (const char* env = std::getenv("FENCETRADE_LEDGER")) ledgerPath = env;
+
+  const auto needValue = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      ok = false;
+      return "";
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc && ok; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workers-proc") {
+      opts.workers = std::atoi(needValue(i).c_str());
+    } else if (arg == "--retries") {
+      opts.backoff.maxAttempts = std::atoi(needValue(i).c_str());
+    } else if (arg == "--stall-timeout") {
+      opts.stallTimeoutSeconds = std::atof(needValue(i).c_str());
+    } else if (arg == "--checkpoint-every") {
+      opts.checkpointEvery =
+          static_cast<std::uint64_t>(std::atoll(needValue(i).c_str()));
+    } else if (arg == "--heartbeat-ms") {
+      opts.heartbeatMs = std::atoi(needValue(i).c_str());
+    } else if (arg == "--deadline") {
+      opts.deadlineSeconds = std::atof(needValue(i).c_str());
+    } else if (arg == "--chaos") {
+      ok = parseChaos(needValue(i), opts.chaos);
+    } else if (arg == "--chaos-seed") {
+      opts.chaos.seed =
+          static_cast<std::uint64_t>(std::atoll(needValue(i).c_str()));
+    } else if (arg == "--max-faults") {
+      opts.chaos.maxFaults = std::atoi(needValue(i).c_str());
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--ledger") {
+      ledgerPath = needValue(i);
+    } else if (arg == "--spec") {
+      const std::string path = needValue(i);
+      const auto bytes = util::readFileBytes(path);
+      if (!bytes) {
+        std::fprintf(stderr, "error: cannot read spec file %s\n",
+                     path.c_str());
+        ok = false;
+        break;
+      }
+      SpecParser parser(*bytes);
+      if (!parser.parse(jobs)) {
+        std::fprintf(stderr, "error: malformed job spec %s\n", path.c_str());
+        ok = false;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      ok = false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!positional.empty()) {
+    if (positional.size() < 3 || positional.size() > 4) ok = false;
+    if (ok) {
+      fleet::JobSpec job;
+      job.lock = positional[0];
+      job.model = positional[1];
+      job.n = std::atoi(positional[2].c_str());
+      if (positional.size() == 4) {
+        job.crashBudget = std::atoi(positional[3].c_str());
+      }
+      jobs.push_back(std::move(job));
+    }
+  }
+  if (!ok || jobs.empty() || opts.workers < 1 || opts.workers > 64 ||
+      opts.heartbeatMs < 1 || opts.workerExe.empty()) {
+    return usage(argv[0]);
+  }
+
+  std::string argvJoined;
+  for (int i = 0; i < argc; ++i) {
+    if (i) argvJoined += ' ';
+    argvJoined += argv[i];
+  }
+
+  check::Verdict combined = check::Verdict::Pass;
+  for (const fleet::JobSpec& job : jobs) {
+    std::string err;
+    const auto sys = fleet::buildSystem(job, &err);
+    if (!sys) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return usage(argv[0]);
+    }
+    const auto runStart = std::chrono::steady_clock::now();
+    util::ScopedSpan span("fleet.run", "states", "respawns");
+    const fleet::FleetResult res = fleet::runFleet(*sys, job, opts);
+    span.args(static_cast<std::int64_t>(res.statesVisited),
+              static_cast<std::int64_t>(res.respawns));
+    span.end();
+    if (json) {
+      printJson(job, opts, res);
+    } else {
+      printHuman(job, opts, res);
+    }
+    // One ledger record per job, fleet counters attached.
+    check::RunLedgerRecord rec;
+    rec.tool = "fencetrade_fleet";
+    rec.subject = job.lock;
+    rec.model = job.model;
+    rec.n = job.n;
+    rec.workers = opts.workers;
+    rec.argv = argvJoined;
+    rec.verdict = check::verdictName(res.verdict);
+    rec.exitCode = check::verdictExitCode(res.verdict);
+    rec.stopReason = util::stopReasonName(
+        res.complete ? util::StopReason::Complete
+                     : (res.timedOut ? util::StopReason::Deadline
+                                     : util::StopReason::Cancelled));
+    rec.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      runStart)
+            .count();
+    rec.statesVisited = res.statesVisited;
+    rec.fleet.set = true;
+    rec.fleet.workersProc = opts.workers;
+    rec.fleet.respawns = res.respawns;
+    rec.fleet.retriesExhausted = res.retriesExhausted;
+    rec.fleet.shardsFailed = res.retriesExhausted;
+    rec.fleet.chaosKills = res.chaosKills;
+    rec.fleet.chaosStalls = res.chaosStalls;
+    rec.fleet.chaosCorruptions = res.chaosCorruptions;
+    rec.fleet.stallsDetected = res.stallsDetected;
+    rec.fleet.protocolErrors = res.protocolErrors;
+    rec.profile = util::EventLog::instance().snapshotProfile();
+    if (!check::appendRunLedger(ledgerPath, rec)) {
+      std::fprintf(stderr, "warning: cannot append run ledger to %s\n",
+                   ledgerPath.c_str());
+    }
+    combined = check::combineVerdicts(combined, res.verdict);
+  }
+  return check::verdictExitCode(combined);
+}

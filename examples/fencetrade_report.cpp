@@ -9,7 +9,11 @@
 //                     default).  Lines that fail to parse or carry a
 //                     different schema are counted and skipped, never
 //                     fatal — a ledger written by a fleet of runs with
-//                     mixed tool versions still renders.
+//                     mixed tool versions still renders.  A truncated
+//                     final line (crash mid-append) is likewise skipped
+//                     with its own counted "torn" warning: every record
+//                     before it is intact because appends are a single
+//                     O_APPEND write.
 //   --bench-dir DIR   directory holding BENCH_*.json google-benchmark
 //                     exports (e.g. bench/baselines); renders a
 //                     baseline table when given
@@ -349,10 +353,15 @@ std::string fmtRate(double r) {
 }
 
 void renderRuns(std::ostringstream& md, const std::vector<RunRow>& runs,
-                std::size_t skipped) {
+                std::size_t skipped, int torn = 0) {
   md << "## Runs (" << runs.size() << " records";
   if (skipped > 0) md << ", " << skipped << " skipped";
+  if (torn > 0) md << ", " << torn << " torn tail";
   md << ")\n\n";
+  if (torn > 0) {
+    md << "> warning: the ledger ends in a truncated record (crash "
+          "mid-append); it was skipped.\n\n";
+  }
   if (runs.empty()) {
     md << "_no parseable records_\n\n";
     return;
@@ -492,10 +501,10 @@ void renderBench(std::ostringstream& md, const std::string& dir) {
 
 std::string renderDashboard(const std::vector<RunRow>& runs,
                             std::size_t skipped, double thresholdPct,
-                            const std::string& benchDir) {
+                            const std::string& benchDir, int torn = 0) {
   std::ostringstream md;
   md << "# fencetrade run dashboard\n\n";
-  renderRuns(md, runs, skipped);
+  renderRuns(md, runs, skipped, torn);
   renderPhases(md, runs);
   renderRegressions(md, runs, thresholdPct);
   if (!benchDir.empty()) renderBench(md, benchDir);
@@ -652,16 +661,24 @@ int main(int argc, char** argv) {
 
   if (runSelftest) return selftest(thresholdPct);
 
-  std::ifstream in(ledgerPath, std::ios::binary);
-  if (!in) {
+  // readLedgerLines already splits off a torn (unterminated) final
+  // line: a crash mid-append must dent the dashboard by exactly one
+  // counted warning, not poison the parse or hide intact records.
+  const auto read = check::readLedgerLines(ledgerPath);
+  if (!read) {
     std::fprintf(stderr, "error: cannot read ledger %s\n",
                  ledgerPath.c_str());
     return 2;
   }
+  if (read->tornTailRecords > 0) {
+    std::fprintf(stderr,
+                 "warning: %s ends in a torn record (%zu bytes, crash "
+                 "mid-append) — skipped\n",
+                 ledgerPath.c_str(), read->tornTail.size());
+  }
   std::vector<RunRow> runs;
   std::size_t skipped = 0;
-  std::string line;
-  while (std::getline(in, line)) {
+  for (const std::string& line : read->lines) {
     if (line.empty()) continue;
     RunRow row;
     std::string whyNot;
@@ -672,8 +689,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string md =
-      renderDashboard(runs, skipped, thresholdPct, benchDir);
+  const std::string md = renderDashboard(runs, skipped, thresholdPct,
+                                         benchDir, read->tornTailRecords);
   if (outPath.empty()) {
     std::fputs(md.c_str(), stdout);
   } else {

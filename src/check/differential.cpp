@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/oracles.h"
+#include "util/backoff.h"
 #include "util/eventlog.h"
 
 namespace fencetrade::check {
@@ -57,15 +58,24 @@ DifferentialReport runDifferential(const sim::System& sys,
     // to the engine flavor; this one attributes it to the leg).
     util::ScopedSpan leg("diff." + spec.name, "states", "arenaBytes");
     run.res = sim::explore(sys, eo);
-    // Bounded retry: one more attempt with a doubled state cap when a
-    // budget (not the user) stopped the leg.  If the retry early-stops
-    // too, its result stands and the capped-prefix rules exclude it.
-    if (opts.retryEscalation &&
-        (run.res.stopReason == util::StopReason::Deadline ||
-         run.res.stopReason == util::StopReason::MemoryCap)) {
-      run.retried = true;
-      run.firstStop = run.res.stopReason;
-      eo.maxStates = opts.maxStates * 2;
+    // Bounded retry: re-attempt with a doubled state cap per attempt
+    // when a budget (not the user) stopped the leg, drawing the attempt
+    // budget from the shared Backoff discipline (delays discarded — an
+    // in-process re-run has nothing to wait for).  If the final retry
+    // early-stops too, its result stands and the capped-prefix rules
+    // exclude it.
+    util::BackoffPolicy retryPolicy;
+    retryPolicy.maxAttempts = opts.retryEscalation ? opts.retryAttempts : 0;
+    util::Backoff backoff(retryPolicy);
+    while ((run.res.stopReason == util::StopReason::Deadline ||
+            run.res.stopReason == util::StopReason::MemoryCap) &&
+           backoff.retry()) {
+      if (!run.retried) {
+        run.retried = true;
+        run.firstStop = run.res.stopReason;
+      }
+      run.retries = backoff.attempts();
+      eo.maxStates *= 2;
       run.res = sim::explore(sys, eo);
     }
     leg.args(static_cast<std::int64_t>(run.res.statesVisited),

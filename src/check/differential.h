@@ -54,18 +54,26 @@ struct DifferentialOptions {
   /// whole matrix within one leg's poll interval.
   util::RunControl control;
   /// Graceful degradation: a leg stopped by Deadline/MemoryCap is
-  /// retried once with a doubled state cap before being excluded under
-  /// the capped-prefix agreement rules (transient pressure should not
-  /// silently shrink the engine matrix).  Cancelled legs never retry.
+  /// retried with a doubled state cap per attempt before being excluded
+  /// under the capped-prefix agreement rules (transient pressure should
+  /// not silently shrink the engine matrix).  Cancelled legs never
+  /// retry.  The retry budget comes from a util::Backoff built over
+  /// `retryPolicy` — the same discipline the fleet supervisor uses —
+  /// whose delays the driver discards (an in-process re-run has nothing
+  /// to wait for; only the attempt budget matters here).
   bool retryEscalation = true;
+  /// Per-leg retry budget (BackoffPolicy::maxAttempts semantics).  The
+  /// default preserves the historical behaviour: exactly one retry.
+  int retryAttempts = 1;
 };
 
 struct EngineRun {
   EngineSpec spec;
   sim::ExploreResult res;
   /// Bounded-retry bookkeeping: did this leg re-run with an escalated
-  /// cap, and what stopped the first attempt?
+  /// cap (and how often), and what stopped the first attempt?
   bool retried = false;
+  int retries = 0;
   util::StopReason firstStop = util::StopReason::Complete;
 };
 

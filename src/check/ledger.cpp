@@ -83,6 +83,37 @@ std::string runLedgerLine(const RunLedgerRecord& rec) {
   out += ',';
   jsonU64(out, "peakArenaBytes", rec.peakArenaBytes);
   out += ',';
+  if (rec.fleet.set) {
+    const FleetLedger& fl = rec.fleet;
+    jsonKey(out, "fleet");
+    out += '{';
+    jsonU64(out, "workersProc",
+            static_cast<unsigned long long>(
+                fl.workersProc < 0 ? 0 : fl.workersProc));
+    out += ',';
+    jsonU64(out, "respawns", static_cast<unsigned long long>(fl.respawns));
+    out += ',';
+    jsonU64(out, "retriesExhausted",
+            static_cast<unsigned long long>(fl.retriesExhausted));
+    out += ',';
+    jsonU64(out, "shardsFailed",
+            static_cast<unsigned long long>(fl.shardsFailed));
+    out += ',';
+    jsonU64(out, "chaosKills", static_cast<unsigned long long>(fl.chaosKills));
+    out += ',';
+    jsonU64(out, "chaosStalls",
+            static_cast<unsigned long long>(fl.chaosStalls));
+    out += ',';
+    jsonU64(out, "chaosCorruptions",
+            static_cast<unsigned long long>(fl.chaosCorruptions));
+    out += ',';
+    jsonU64(out, "stallsDetected",
+            static_cast<unsigned long long>(fl.stallsDetected));
+    out += ',';
+    jsonU64(out, "protocolErrors",
+            static_cast<unsigned long long>(fl.protocolErrors));
+    out += "},";
+  }
   jsonPhases(out, rec.profile, rec.wallSeconds);
   out += '}';
   return out;
@@ -91,6 +122,27 @@ std::string runLedgerLine(const RunLedgerRecord& rec) {
 bool appendRunLedger(const std::string& path, const RunLedgerRecord& rec) {
   if (path.empty()) return true;
   return util::appendLineAtomic(path, runLedgerLine(rec));
+}
+
+std::optional<LedgerReadResult> readLedgerLines(const std::string& path) {
+  const std::optional<std::string> bytes = util::readFileBytes(path);
+  if (!bytes) return std::nullopt;
+  LedgerReadResult res;
+  std::size_t at = 0;
+  while (at < bytes->size()) {
+    const std::size_t nl = bytes->find('\n', at);
+    if (nl == std::string::npos) {
+      // Crash mid-append: the final record never got its newline.
+      // Appends are a single O_APPEND write(2), so everything before
+      // this point is intact — skip only the torn tail, loudly.
+      res.tornTailRecords = 1;
+      res.tornTail = bytes->substr(at);
+      break;
+    }
+    res.lines.push_back(bytes->substr(at, nl - at));
+    at = nl + 1;
+  }
+  return res;
 }
 
 }  // namespace fencetrade::check

@@ -16,11 +16,29 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "util/eventlog.h"
 
 namespace fencetrade::check {
+
+/// Fleet supervision counters, attached to a record as an optional
+/// "fleet" sub-object (schema stays "fencetrade-run/1"; readers that
+/// predate it simply ignore the key).  Emitted only when `set`.
+struct FleetLedger {
+  bool set = false;
+  int workersProc = 0;
+  int respawns = 0;
+  int retriesExhausted = 0;
+  int shardsFailed = 0;
+  int chaosKills = 0;
+  int chaosStalls = 0;
+  int chaosCorruptions = 0;
+  int stallsDetected = 0;
+  int protocolErrors = 0;
+};
 
 struct RunLedgerRecord {
   std::string tool;     ///< CLI name ("lock_doctor", "conformance")
@@ -35,6 +53,7 @@ struct RunLedgerRecord {
   double wallSeconds = 0.0;
   std::uint64_t statesVisited = 0;
   std::uint64_t peakArenaBytes = 0;
+  FleetLedger fleet;  ///< optional; emitted when fleet.set
   util::RunProfileSnapshot profile;
 };
 
@@ -53,5 +72,20 @@ std::string runLedgerLine(const RunLedgerRecord& rec);
 /// Append the record to `path` crash-safely.  Empty path is a no-op
 /// returning true, so CLIs can call this unconditionally.
 bool appendRunLedger(const std::string& path, const RunLedgerRecord& rec);
+
+/// A ledger file read with torn-tail tolerance.
+struct LedgerReadResult {
+  std::vector<std::string> lines;  ///< complete ('\n'-terminated) records
+  /// A crash mid-append (writes are O_APPEND + single write(2), so the
+  /// only torn shape is a missing tail) leaves one unterminated final
+  /// line.  It is skipped, counted here, and preserved for diagnostics
+  /// — never parsed, never fatal.
+  int tornTailRecords = 0;
+  std::string tornTail;  ///< the skipped partial record, verbatim
+};
+
+/// Read an NDJSON ledger, skipping (and counting) a truncated final
+/// line.  nullopt only when the file cannot be opened.
+std::optional<LedgerReadResult> readLedgerLines(const std::string& path);
 
 }  // namespace fencetrade::check

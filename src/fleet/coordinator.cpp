@@ -1,0 +1,472 @@
+#include "fleet/coordinator.h"
+
+#include <poll.h>
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <unordered_set>
+
+#include "sim/explore.h"
+#include "util/frame.h"
+#include "util/rng.h"
+#include "util/subprocess.h"
+
+namespace fencetrade::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+enum class Phase {
+  Spawning,   ///< waiting for (re)spawn, possibly in backoff
+  Running,
+  Finishing,  ///< Finish sent, awaiting final Checkpoint + Done
+  Done,
+  Failed,     ///< retry budget exhausted
+};
+
+struct Shard {
+  int index = 0;
+  Phase phase = Phase::Spawning;
+  util::ChildProcess child;
+  util::FrameDecoder dec;
+  std::string outbuf;  ///< queued bytes to the worker (nonblocking fd)
+
+  // Routing/acking state (survives incarnations).
+  std::uint64_t sentSeq = 0;  ///< last Forward seq routed to this shard
+  std::uint64_t ackSeq = 0;   ///< from the latest Checkpoint
+  /// Routed forwards not yet covered by a checkpoint (seq > ackSeq);
+  /// replayed to a respawned incarnation.
+  std::deque<std::pair<std::uint64_t, sim::SchedPath>> wal;
+
+  // Latest heartbeat.
+  std::uint64_t hbSeq = 0;
+  bool hbIdle = false;
+
+  // Accumulated shard state (survives incarnations).
+  std::unordered_set<std::string> keys;
+  std::vector<sim::SchedPath> frontier;
+  int maxCs = 0;
+  /// Cumulative counters: base = closed incarnations, cur = latest
+  /// report of the live one.
+  std::uint64_t expandedBase = 0, expandedCur = 0;
+  std::uint64_t forwardedBase = 0, forwardedCur = 0;
+
+  // Supervision.
+  util::Backoff backoff;
+  Clock::time_point respawnAt{};
+  Clock::time_point lastFrame{};
+  int respawns = 0;
+  bool doneMsg = false;
+
+  explicit Shard(const util::BackoffPolicy& p) : backoff(p) {}
+};
+
+struct Coordinator {
+  const sim::System& sys;
+  const JobSpec& spec;
+  const FleetOptions& opts;
+  std::vector<Shard> shards;
+  std::set<std::vector<sim::Value>> outcomes;
+  util::Rng chaosRng;
+  int faults = 0;
+  FleetResult res;
+  Clock::time_point start = Clock::now();
+
+  Coordinator(const sim::System& s, const JobSpec& js, const FleetOptions& o)
+      : sys(s), spec(js), opts(o), chaosRng(o.chaos.seed) {
+    util::BackoffPolicy policy = o.backoff;
+    for (int i = 0; i < o.workers; ++i) {
+      Shard sh(policy);
+      sh.index = i;
+      sh.respawnAt = Clock::now();  // spawn immediately
+      shards.push_back(std::move(sh));
+    }
+  }
+
+  JobMsg restoreJob(const Shard& s) const {
+    JobMsg m;
+    m.spec = spec;
+    m.shardIndex = s.index;
+    m.shardCount = opts.workers;
+    m.checkpointEvery = opts.checkpointEvery;
+    m.heartbeatMs = opts.heartbeatMs;
+    m.keys.assign(s.keys.begin(), s.keys.end());
+    m.frontier = s.frontier;
+    m.baseSeq = s.ackSeq;
+    return m;
+  }
+
+  void spawn(Shard& s) {
+    auto child = util::spawnChild(opts.workerExe, opts.workerArgs);
+    if (!child) {
+      // Spawn failure counts as an instant incarnation death.
+      incarnationDied(s);
+      return;
+    }
+    s.child = *child;
+    s.dec = util::FrameDecoder();
+    s.outbuf.clear();
+    s.hbIdle = false;
+    s.doneMsg = false;
+    s.expandedCur = 0;
+    s.forwardedCur = 0;
+    s.lastFrame = Clock::now();
+    s.phase = Phase::Running;
+    s.outbuf += encodeJob(restoreJob(s));
+    // Re-deliver every routed forward past the checkpoint horizon, in
+    // seq order (the WAL is ordered by construction).
+    for (const auto& [seq, path] : s.wal) {
+      if (seq > s.ackSeq) {
+        ForwardMsg f;
+        f.seq = seq;
+        f.path = path;
+        s.outbuf += encodeForward(f);
+      }
+    }
+  }
+
+  /// Close the incarnation and schedule a respawn or degrade to Failed.
+  void incarnationDied(Shard& s) {
+    s.expandedBase += s.expandedCur;
+    s.forwardedBase += s.forwardedCur;
+    s.expandedCur = 0;
+    s.forwardedCur = 0;
+    util::killChild(s.child);  // reaps + closes pipes; safe if dead
+    s.dec = util::FrameDecoder();
+    s.outbuf.clear();
+    s.hbIdle = false;
+    double delay = 0.0;
+    if (s.backoff.retry([&](double d) { delay = d; })) {
+      ++s.respawns;
+      ++res.respawns;
+      s.phase = Phase::Spawning;
+      s.respawnAt = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(delay));
+    } else {
+      ++res.retriesExhausted;
+      s.phase = Phase::Failed;
+    }
+  }
+
+  void route(int owner, const sim::SchedPath& path) {
+    Shard& s = shards[static_cast<std::size_t>(owner)];
+    ++s.sentSeq;
+    s.wal.emplace_back(s.sentSeq, path);
+    if (s.phase == Phase::Running || s.phase == Phase::Finishing) {
+      ForwardMsg f;
+      f.seq = s.sentSeq;
+      f.path = path;
+      s.outbuf += encodeForward(f);
+    }
+  }
+
+  void mergeStats(Shard& s, const StatsMsg& m) {
+    if (m.maxCsOccupancy > s.maxCs) s.maxCs = m.maxCsOccupancy;
+    s.expandedCur = m.expanded;
+    s.forwardedCur = m.forwarded;
+  }
+
+  /// Returns false when the frame poisoned the incarnation.
+  bool processFrame(Shard& s, const util::Frame& f) {
+    switch (f.type) {
+      case kMsgForwardOut: {
+        const auto m = decodeForwardOut(f.payload);
+        if (!m || m->ownerShard < 0 || m->ownerShard >= opts.workers) {
+          return false;
+        }
+        route(m->ownerShard, m->path);
+        return true;
+      }
+      case kMsgHeartbeat: {
+        const auto m = decodeHeartbeat(f.payload);
+        if (!m) return false;
+        mergeStats(s, m->stats);
+        s.hbSeq = m->receivedSeq;
+        s.hbIdle = m->idle;
+        return true;
+      }
+      case kMsgCheckpoint: {
+        const auto m = decodeCheckpoint(f.payload);
+        if (!m) return false;
+        for (const std::string& k : m->newKeys) s.keys.insert(k);
+        for (const auto& v : m->newOutcomes) outcomes.insert(v);
+        s.frontier = m->frontier;
+        mergeStats(s, m->stats);
+        if (m->ackSeq > s.ackSeq) s.ackSeq = m->ackSeq;
+        while (!s.wal.empty() && s.wal.front().first <= s.ackSeq) {
+          s.wal.pop_front();
+        }
+        return true;
+      }
+      case kMsgDone: {
+        const auto m = decodeDone(f.payload);
+        if (!m) return false;
+        mergeStats(s, m->stats);
+        s.doneMsg = true;
+        return true;
+      }
+      default:
+        return false;  // protocol violation
+    }
+  }
+
+  /// Chaos verdict for one received frame.
+  enum class ChaosAction { None, Kill, Stall, Corrupt };
+  ChaosAction chaosDraw() {
+    const ChaosOptions& c = opts.chaos;
+    if (!c.enabled() || faults >= c.maxFaults) return ChaosAction::None;
+    const double u = chaosRng.uniform01();
+    if (u < c.killProb) return ChaosAction::Kill;
+    if (u < c.killProb + c.stallProb) return ChaosAction::Stall;
+    if (u < c.killProb + c.stallProb + c.corruptProb) {
+      return ChaosAction::Corrupt;
+    }
+    return ChaosAction::None;
+  }
+
+  /// Drain one shard's pipe; apply chaos per frame.
+  void readShard(Shard& s) {
+    std::string buf;
+    const ssize_t r = util::readSome(s.child.fromChild, buf);
+    if (r > 0) s.dec.feed(buf);
+    // r == -1 is EOF/error: leave it to waitpid-based death detection
+    // (there may still be buffered frames to drain first).
+    util::Frame f;
+    for (;;) {
+      const auto st = s.dec.next(f);
+      if (st == util::FrameDecoder::Status::NeedMore) break;
+      if (st == util::FrameDecoder::Status::Corrupt) {
+        ++res.protocolErrors;
+        incarnationDied(s);
+        return;
+      }
+      s.lastFrame = Clock::now();
+      switch (chaosDraw()) {
+        case ChaosAction::Kill:
+          ++faults;
+          ++res.chaosKills;
+          incarnationDied(s);  // frame dropped with the incarnation
+          return;
+        case ChaosAction::Stall:
+          ++faults;
+          ++res.chaosStalls;
+          // Freeze the worker; the stall watchdog will reap it.  The
+          // already-received frame is still processed — stalling is a
+          // liveness fault, not a corruption fault.
+          if (s.child.valid()) ::kill(s.child.pid, SIGSTOP);
+          break;
+        case ChaosAction::Corrupt: {
+          ++faults;
+          ++res.chaosCorruptions;
+          // Flip a payload byte, then hold the supervisor to its own
+          // rule: garbage poisons the incarnation.
+          ++res.protocolErrors;
+          incarnationDied(s);
+          return;
+        }
+        case ChaosAction::None:
+          break;
+      }
+      if (!processFrame(s, f)) {
+        ++res.protocolErrors;
+        incarnationDied(s);
+        return;
+      }
+    }
+  }
+
+  void flushShard(Shard& s) {
+    while (!s.outbuf.empty()) {
+      const ssize_t n =
+          util::writeSome(s.child.toChild, s.outbuf.data(), s.outbuf.size());
+      if (n <= 0) break;  // EAGAIN or EPIPE; death detection handles the latter
+      s.outbuf.erase(0, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool quiescent() const {
+    for (const Shard& s : shards) {
+      if (s.phase == Phase::Failed) continue;
+      if (s.phase != Phase::Running) return false;
+      if (!s.hbIdle || s.hbSeq != s.sentSeq || !s.outbuf.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool allClosed() const {
+    for (const Shard& s : shards) {
+      if (s.phase != Phase::Done && s.phase != Phase::Failed) return false;
+    }
+    return true;
+  }
+
+  /// FENCETRADE_FLEET_DEBUG=1: dump per-shard supervision state to
+  /// stderr about once a second (for diagnosing convergence issues).
+  void debugDump(Clock::time_point now) {
+    static const bool enabled = std::getenv("FENCETRADE_FLEET_DEBUG");
+    if (!enabled) return;
+    static Clock::time_point last{};
+    if (now - last < std::chrono::seconds(1)) return;
+    last = now;
+    for (const Shard& s : shards) {
+      std::fprintf(stderr,
+                   "[fleet %.1fs] shard %d phase=%d keys=%zu sent=%llu "
+                   "ack=%llu hb=%llu idle=%d wal=%zu outbuf=%zu resp=%d\n",
+                   seconds(start, now), s.index, static_cast<int>(s.phase),
+                   s.keys.size(), static_cast<unsigned long long>(s.sentSeq),
+                   static_cast<unsigned long long>(s.ackSeq),
+                   static_cast<unsigned long long>(s.hbSeq), s.hbIdle ? 1 : 0,
+                   s.wal.size(), s.outbuf.size(), s.respawns);
+    }
+  }
+
+  void runLoop() {
+    const auto stallLimit =
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(opts.stallTimeoutSeconds));
+    while (!allClosed()) {
+      const auto now = Clock::now();
+      debugDump(now);
+      if (opts.deadlineSeconds > 0 &&
+          seconds(start, now) > opts.deadlineSeconds) {
+        res.timedOut = true;
+        for (Shard& s : shards) util::killChild(s.child);
+        break;
+      }
+      // Respawns whose backoff expired.
+      for (Shard& s : shards) {
+        if (s.phase == Phase::Spawning && now >= s.respawnAt) spawn(s);
+      }
+      // Poll every live pipe: reads always, writes when queued.
+      std::vector<struct pollfd> pfds;
+      std::vector<Shard*> owner;
+      for (Shard& s : shards) {
+        if (!s.child.valid()) continue;
+        pfds.push_back({s.child.fromChild, POLLIN, 0});
+        owner.push_back(&s);
+        if (!s.outbuf.empty()) {
+          pfds.push_back({s.child.toChild, POLLOUT, 0});
+          owner.push_back(&s);
+        }
+      }
+      ::poll(pfds.empty() ? nullptr : pfds.data(),
+             static_cast<nfds_t>(pfds.size()), 10);
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        Shard& s = *owner[i];
+        if (!s.child.valid()) continue;  // died earlier this iteration
+        if ((pfds[i].events & POLLOUT) != 0 &&
+            (pfds[i].revents & POLLOUT) != 0) {
+          flushShard(s);
+        }
+        if ((pfds[i].events & POLLIN) != 0 &&
+            (pfds[i].revents & (POLLIN | POLLHUP)) != 0) {
+          readShard(s);
+        }
+      }
+      // Death + stall detection.
+      for (Shard& s : shards) {
+        if (s.phase != Phase::Running && s.phase != Phase::Finishing) {
+          continue;
+        }
+        const util::ChildStatus st = util::pollChild(s.child);
+        if (!st.running) {
+          if (s.phase == Phase::Finishing && s.doneMsg && st.exited &&
+              st.exitCode == 0) {
+            util::killChild(s.child);  // just closes pipes (already reaped)
+            s.phase = Phase::Done;
+          } else {
+            static const bool debugDeath =
+                std::getenv("FENCETRADE_FLEET_DEBUG") != nullptr;
+            if (debugDeath) {
+              std::fprintf(stderr,
+                           "[fleet] shard %d pid %d died: exited=%d code=%d "
+                           "signaled=%d sig=%d\n",
+                           s.index, static_cast<int>(s.child.pid), st.exited,
+                           st.exitCode, st.signaled, st.termSignal);
+            }
+            incarnationDied(s);
+          }
+          continue;
+        }
+        if (Clock::now() - s.lastFrame > stallLimit) {
+          ++res.stallsDetected;
+          incarnationDied(s);
+        }
+      }
+      // Closure: tell every idle, fully-acked worker to finish.
+      if (quiescent()) {
+        bool any = false;
+        for (Shard& s : shards) {
+          if (s.phase == Phase::Running) {
+            s.outbuf += encodeFinish();
+            flushShard(s);
+            s.phase = Phase::Finishing;
+            any = true;
+          }
+        }
+        if (!any) break;  // everything already Failed
+      }
+    }
+  }
+
+  FleetResult finish() {
+    res.elapsedSeconds = seconds(start, Clock::now());
+    bool anyFailed = false;
+    for (Shard& s : shards) {
+      util::killChild(s.child);  // stragglers (deadline/all-failed paths)
+      ShardReport rep;
+      rep.shard = s.index;
+      rep.failed = s.phase != Phase::Done;
+      rep.states = s.keys.size();
+      rep.expanded = s.expandedBase + s.expandedCur;
+      rep.forwarded = s.forwardedBase + s.forwardedCur;
+      rep.respawns = s.respawns;
+      anyFailed = anyFailed || rep.failed;
+      res.statesVisited += rep.states;
+      if (s.maxCs > res.maxCsOccupancy) res.maxCsOccupancy = s.maxCs;
+      res.shards.push_back(std::move(rep));
+    }
+    res.outcomes = std::move(outcomes);
+    res.mutexViolation = res.maxCsOccupancy >= 2;
+    res.complete = !anyFailed && !res.timedOut;
+    if (res.mutexViolation) {
+      // Canonical witness: a deterministic sequential search, so the
+      // reported trace is identical no matter which worker tripped the
+      // invariant or what faults the run absorbed.
+      sim::ExploreOptions eo;
+      eo.checkMutualExclusion = true;
+      eo.stopOnViolation = true;
+      const sim::ExploreResult r = sim::explore(sys, eo);
+      res.witness = r.witness;
+      res.verdict = check::Verdict::Violation;
+    } else if (!res.complete) {
+      res.verdict = check::Verdict::Inconclusive;
+    } else {
+      res.verdict = check::Verdict::Pass;
+    }
+    return std::move(res);
+  }
+};
+
+}  // namespace
+
+FleetResult runFleet(const sim::System& sys, const JobSpec& spec,
+                     const FleetOptions& opts) {
+  util::ignoreSigpipe();
+  util::defaultSigchld();  // an inherited SIG_IGN would break waitpid
+  Coordinator c(sys, spec, opts);
+  c.runLoop();
+  return c.finish();
+}
+
+}  // namespace fencetrade::fleet

@@ -1,0 +1,127 @@
+// The fleet coordinator: spawns N shard-worker processes, routes
+// cross-shard frontier forwards between them, accumulates their
+// checkpoint deltas, and supervises the lot.
+//
+// Supervision model (the robustness layer this module exists for):
+//
+//   detect   worker death     waitpid(WNOHANG) every loop
+//            worker stall     no frame within stallTimeoutSeconds
+//            protocol garbage frame checksum / container decode failure
+//   react    kill the incarnation, then respawn the shard from its
+//            accumulated checkpoint state (visited keys + last frontier
+//            + re-delivery of every routed forward past the shard's
+//            ackSeq) under util::Backoff — capped exponential delay,
+//            seeded jitter, maxAttempts retry budget
+//   degrade  a shard whose retry budget exhausts is marked Failed; the
+//            run completes on the surviving shards and reports
+//            Inconclusive (never a silent Pass), with merged telemetry
+//            still summing every shard's contribution
+//
+// Result identity: because shard state transfer is idempotent (key
+// admission drops duplicates, outcome merge is set-union, occupancy
+// merge is max) and every loss is replayed from checkpoint + forward
+// WAL, the merged outcome set, state count, occupancy, verdict, and
+// witness of a chaos-injected run are byte-identical to a fault-free
+// run — the acceptance bar the chaos tests enforce.
+//
+// Chaos injection is built in: per frame received, a seeded PRNG draw
+// can kill (SIGKILL), stall (SIGSTOP, left for the watchdog), or
+// corrupt (byte-flip before decode) the sending worker, up to maxFaults
+// total so a chaos run always converges while the retry budget holds.
+//
+// Quiescence (= exploration closure) is detectable because ALL
+// forwarding is coordinator-routed: when every live shard's latest
+// heartbeat says idle with receivedSeq equal to everything routed to
+// it, and no output is queued, no state can be in flight anywhere.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/verdict.h"
+#include "fleet/protocol.h"
+#include "util/backoff.h"
+
+namespace fencetrade::fleet {
+
+struct ChaosOptions {
+  double killProb = 0.0;
+  double stallProb = 0.0;
+  double corruptProb = 0.0;
+  std::uint64_t seed = 1;
+  /// Total faults injected across the run; keeping this below the
+  /// per-shard retry budget guarantees convergence.
+  int maxFaults = 8;
+
+  bool enabled() const {
+    return killProb > 0.0 || stallProb > 0.0 || corruptProb > 0.0;
+  }
+};
+
+struct FleetOptions {
+  int workers = 2;
+  /// Worker binary (normally util::selfExePath) and its argv tail; the
+  /// fleet CLI re-execs itself with {"worker"}.
+  std::string workerExe;
+  std::vector<std::string> workerArgs = {"worker"};
+  std::uint64_t checkpointEvery = 64;  ///< admitted states between deltas
+  int heartbeatMs = 15;
+  double stallTimeoutSeconds = 1.0;
+  /// Respawn discipline per shard; maxAttempts IS the retry budget.
+  util::BackoffPolicy backoff{
+      /*initialSeconds=*/0.02, /*multiplier=*/2.0, /*maxSeconds=*/0.25,
+      /*jitterFraction=*/0.25, /*maxAttempts=*/10,
+      /*seed=*/0x5eedbacc};
+  ChaosOptions chaos;
+  /// Whole-run wall-clock safety net; 0 disables.  Tripping it kills
+  /// the fleet and degrades to Inconclusive.
+  double deadlineSeconds = 120.0;
+};
+
+struct ShardReport {
+  int shard = 0;
+  bool failed = false;  ///< retry budget exhausted (or never completed)
+  std::uint64_t states = 0;     ///< distinct keys this shard admitted
+  std::uint64_t expanded = 0;   ///< summed across incarnations
+  std::uint64_t forwarded = 0;  ///< summed across incarnations
+  int respawns = 0;
+};
+
+struct FleetResult {
+  check::Verdict verdict = check::Verdict::Inconclusive;
+  /// Every shard ran to closure (no Failed shards, no deadline trip).
+  bool complete = false;
+  bool timedOut = false;
+
+  // Merged exploration results — deterministic under chaos.
+  std::set<std::vector<sim::Value>> outcomes;
+  std::uint64_t statesVisited = 0;
+  int maxCsOccupancy = 0;
+  bool mutexViolation = false;
+  /// Canonical witness: re-derived by a deterministic sequential
+  /// exploration when the merged occupancy proves a violation, so it
+  /// never depends on which worker saw the violation first.
+  sim::SchedPath witness;
+
+  std::vector<ShardReport> shards;
+
+  // Fault/supervision telemetry.
+  int chaosKills = 0;
+  int chaosStalls = 0;
+  int chaosCorruptions = 0;
+  int stallsDetected = 0;   ///< watchdog trips (includes injected stalls)
+  int protocolErrors = 0;   ///< frame/container decode failures
+  int respawns = 0;         ///< total reassignments
+  int retriesExhausted = 0; ///< shards degraded to Failed
+  double elapsedSeconds = 0.0;
+};
+
+/// Run `spec` across opts.workers shard processes.  `sys` must be the
+/// System `spec` builds (the coordinator uses it only for the canonical
+/// witness re-derivation).
+FleetResult runFleet(const sim::System& sys, const JobSpec& spec,
+                     const FleetOptions& opts);
+
+}  // namespace fencetrade::fleet

@@ -1,0 +1,70 @@
+#include "fleet/jobspec.h"
+
+#include "core/bakery.h"
+#include "core/caslocks.h"
+#include "core/gt.h"
+#include "core/objects.h"
+#include "core/peterson.h"
+#include "core/recoverable.h"
+
+namespace fencetrade::fleet {
+
+namespace {
+
+std::optional<core::LockFactory> lockByName(const std::string& name) {
+  if (name == "bakery") return core::bakeryFactory();
+  if (name == "bakery-paper") {
+    return core::bakeryFactory(core::BakeryVariant::PaperListing);
+  }
+  if (name == "gt1") return core::gtFactory(1);
+  if (name == "gt2") return core::gtFactory(2);
+  if (name == "gt3") return core::gtFactory(3);
+  if (name == "tournament") return core::tournamentFactory();
+  if (name == "peterson") return core::petersonTournamentFactory();
+  if (name == "peterson-tso") {
+    return core::petersonTournamentFactory(core::SegmentPolicy::PerProcess,
+                                           core::PetersonVariant::TsoFence);
+  }
+  if (name == "tas") return core::tasFactory();
+  if (name == "ttas") return core::ttasFactory();
+  if (name == "rtas") return core::recoverableTasFactory();
+  if (name == "rtas-broken") return core::brokenRecoverableTasFactory();
+  if (name == "rtournament") return core::recoverableTournamentFactory();
+  return std::nullopt;
+}
+
+std::optional<sim::MemoryModel> modelByName(const std::string& name) {
+  if (name == "SC") return sim::MemoryModel::SC;
+  if (name == "TSO") return sim::MemoryModel::TSO;
+  if (name == "PSO") return sim::MemoryModel::PSO;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<sim::System> buildSystem(const JobSpec& spec,
+                                       std::string* err) {
+  const auto factory = lockByName(spec.lock);
+  if (!factory) {
+    if (err) *err = "unknown lock: " + spec.lock;
+    return std::nullopt;
+  }
+  const auto model = modelByName(spec.model);
+  if (!model) {
+    if (err) *err = "unknown model: " + spec.model + " (SC|TSO|PSO)";
+    return std::nullopt;
+  }
+  if (spec.n < 2 || spec.n > 6) {
+    if (err) *err = "n out of range [2, 6]";
+    return std::nullopt;
+  }
+  if (spec.crashBudget < 0) {
+    if (err) *err = "crashBudget must be >= 0";
+    return std::nullopt;
+  }
+  sim::System sys = core::buildCountSystem(*model, spec.n, *factory).sys;
+  sys.crashBudget = spec.crashBudget;
+  return sys;
+}
+
+}  // namespace fencetrade::fleet

@@ -1,0 +1,21 @@
+// JobSpec → System: the one place the fleet maps the CLI's lock/model
+// names onto the core factories, shared by the coordinator (witness
+// re-derivation), the worker process (rebuilding the system it was
+// assigned), and the `fleet run` front-end.  The naming matches
+// lock_doctor's so job specs are portable between the two CLIs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fleet/protocol.h"
+#include "sim/machine.h"
+
+namespace fencetrade::fleet {
+
+/// Build the System a JobSpec names.  nullopt (with `err` filled when
+/// non-null) for an unknown lock/model name or out-of-range n.
+std::optional<sim::System> buildSystem(const JobSpec& spec,
+                                       std::string* err = nullptr);
+
+}  // namespace fencetrade::fleet

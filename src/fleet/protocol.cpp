@@ -1,0 +1,205 @@
+#include "fleet/protocol.h"
+
+#include "util/check.h"
+#include "util/checkpoint.h"
+#include "util/frame.h"
+
+namespace fencetrade::fleet {
+
+namespace {
+
+constexpr std::string_view kPayloadKind = "fleet-msg/1";
+
+std::string frame(MsgType type, const util::CheckpointWriter& w) {
+  return util::encodeFrame(type, w.finish(kPayloadKind));
+}
+
+/// Decode shell: validates the container and maps any CheckError —
+/// truncation, checksum, overrun — to nullopt.
+template <typename T, typename Fn>
+std::optional<T> decode(const std::string& payload, Fn&& fill) {
+  try {
+    util::CheckpointReader r =
+        util::CheckpointReader::open(payload, kPayloadKind);
+    T m{};
+    fill(r, m);
+    FT_CHECK(r.atEnd()) << "fleet message: trailing bytes";
+    return m;
+  } catch (const util::CheckError&) {
+    return std::nullopt;
+  }
+}
+
+void putStats(util::CheckpointWriter& w, const StatsMsg& s) {
+  w.putU64(s.admitted);
+  w.putU64(s.expanded);
+  w.putU64(s.forwarded);
+  w.putI64(s.maxCsOccupancy);
+}
+
+StatsMsg getStats(util::CheckpointReader& r) {
+  StatsMsg s;
+  s.admitted = r.getU64();
+  s.expanded = r.getU64();
+  s.forwarded = r.getU64();
+  s.maxCsOccupancy = static_cast<int>(r.getI64());
+  return s;
+}
+
+void putOutcome(util::CheckpointWriter& w, const std::vector<sim::Value>& v) {
+  w.putU32(static_cast<std::uint32_t>(v.size()));
+  for (sim::Value x : v) w.putI64(x);
+}
+
+std::vector<sim::Value> getOutcome(util::CheckpointReader& r) {
+  const std::uint32_t n = r.getU32();
+  std::vector<sim::Value> v;
+  // No reserve: n is untrusted; push_back fails via the reader's
+  // overrun FT_CHECK long before memory is at risk.
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.getI64());
+  return v;
+}
+
+}  // namespace
+
+std::string encodeJob(const JobMsg& m) {
+  util::CheckpointWriter w;
+  w.putBytes(m.spec.lock);
+  w.putBytes(m.spec.model);
+  w.putI64(m.spec.n);
+  w.putI64(m.spec.crashBudget);
+  w.putI64(m.shardIndex);
+  w.putI64(m.shardCount);
+  w.putU64(m.checkpointEvery);
+  w.putI64(m.heartbeatMs);
+  w.putU64(m.baseSeq);
+  w.putU64(m.keys.size());
+  for (const std::string& k : m.keys) w.putBytes(k);
+  w.putU64(m.frontier.size());
+  for (const sim::SchedPath& p : m.frontier) sim::putPath(w, p);
+  return frame(kMsgJob, w);
+}
+
+std::optional<JobMsg> decodeJob(const std::string& payload) {
+  return decode<JobMsg>(payload, [](util::CheckpointReader& r, JobMsg& m) {
+    m.spec.lock = r.getBytes();
+    m.spec.model = r.getBytes();
+    m.spec.n = static_cast<int>(r.getI64());
+    m.spec.crashBudget = static_cast<int>(r.getI64());
+    m.shardIndex = static_cast<int>(r.getI64());
+    m.shardCount = static_cast<int>(r.getI64());
+    m.checkpointEvery = r.getU64();
+    m.heartbeatMs = static_cast<int>(r.getI64());
+    m.baseSeq = r.getU64();
+    const std::uint64_t nk = r.getU64();
+    for (std::uint64_t i = 0; i < nk; ++i) m.keys.push_back(r.getBytes());
+    const std::uint64_t nf = r.getU64();
+    for (std::uint64_t i = 0; i < nf; ++i) {
+      m.frontier.push_back(sim::getPath(r));
+    }
+  });
+}
+
+std::string encodeForward(const ForwardMsg& m) {
+  util::CheckpointWriter w;
+  w.putU64(m.seq);
+  sim::putPath(w, m.path);
+  return frame(kMsgForward, w);
+}
+
+std::optional<ForwardMsg> decodeForward(const std::string& payload) {
+  return decode<ForwardMsg>(payload,
+                            [](util::CheckpointReader& r, ForwardMsg& m) {
+                              m.seq = r.getU64();
+                              m.path = sim::getPath(r);
+                            });
+}
+
+std::string encodeFinish() {
+  util::CheckpointWriter w;
+  return frame(kMsgFinish, w);
+}
+
+std::string encodeStop() {
+  util::CheckpointWriter w;
+  return frame(kMsgStop, w);
+}
+
+std::string encodeForwardOut(const ForwardOutMsg& m) {
+  util::CheckpointWriter w;
+  w.putI64(m.ownerShard);
+  sim::putPath(w, m.path);
+  return frame(kMsgForwardOut, w);
+}
+
+std::optional<ForwardOutMsg> decodeForwardOut(const std::string& payload) {
+  return decode<ForwardOutMsg>(
+      payload, [](util::CheckpointReader& r, ForwardOutMsg& m) {
+        m.ownerShard = static_cast<int>(r.getI64());
+        m.path = sim::getPath(r);
+      });
+}
+
+std::string encodeHeartbeat(const HeartbeatMsg& m) {
+  util::CheckpointWriter w;
+  putStats(w, m.stats);
+  w.putU64(m.receivedSeq);
+  w.putBool(m.idle);
+  return frame(kMsgHeartbeat, w);
+}
+
+std::optional<HeartbeatMsg> decodeHeartbeat(const std::string& payload) {
+  return decode<HeartbeatMsg>(payload,
+                              [](util::CheckpointReader& r, HeartbeatMsg& m) {
+                                m.stats = getStats(r);
+                                m.receivedSeq = r.getU64();
+                                m.idle = r.getBool();
+                              });
+}
+
+std::string encodeCheckpoint(const CheckpointMsg& m) {
+  util::CheckpointWriter w;
+  w.putU64(m.newKeys.size());
+  for (const std::string& k : m.newKeys) w.putBytes(k);
+  w.putU64(m.newOutcomes.size());
+  for (const auto& v : m.newOutcomes) putOutcome(w, v);
+  w.putU64(m.frontier.size());
+  for (const sim::SchedPath& p : m.frontier) sim::putPath(w, p);
+  putStats(w, m.stats);
+  w.putU64(m.ackSeq);
+  return frame(kMsgCheckpoint, w);
+}
+
+std::optional<CheckpointMsg> decodeCheckpoint(const std::string& payload) {
+  return decode<CheckpointMsg>(
+      payload, [](util::CheckpointReader& r, CheckpointMsg& m) {
+        const std::uint64_t nk = r.getU64();
+        for (std::uint64_t i = 0; i < nk; ++i) {
+          m.newKeys.push_back(r.getBytes());
+        }
+        const std::uint64_t no = r.getU64();
+        for (std::uint64_t i = 0; i < no; ++i) {
+          m.newOutcomes.push_back(getOutcome(r));
+        }
+        const std::uint64_t nf = r.getU64();
+        for (std::uint64_t i = 0; i < nf; ++i) {
+          m.frontier.push_back(sim::getPath(r));
+        }
+        m.stats = getStats(r);
+        m.ackSeq = r.getU64();
+      });
+}
+
+std::string encodeDone(const DoneMsg& m) {
+  util::CheckpointWriter w;
+  putStats(w, m.stats);
+  return frame(kMsgDone, w);
+}
+
+std::optional<DoneMsg> decodeDone(const std::string& payload) {
+  return decode<DoneMsg>(payload, [](util::CheckpointReader& r, DoneMsg& m) {
+    m.stats = getStats(r);
+  });
+}
+
+}  // namespace fencetrade::fleet

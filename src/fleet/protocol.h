@@ -1,0 +1,129 @@
+// Wire protocol of the verification fleet: the typed messages the
+// coordinator and its shard workers exchange over util::Frame-framed
+// pipes.
+//
+// Message payloads reuse the FTCK checkpoint container (kind
+// "fleet-msg/1") inside the frame: the frame checksum guards transport
+// corruption, the container guards structural corruption, and every
+// decoder returns nullopt — never UB — on anything malformed.  A
+// decode failure is a protocol violation the supervisor answers by
+// restarting the worker, exactly like a frame-level checksum failure.
+//
+// Flow (seq numbers are per destination shard, assigned by the
+// coordinator; all forwarding is coordinator-routed, which is what
+// makes quiescence detection sound — see coordinator.h):
+//
+//   coordinator -> worker:  Job        assign shard + restore payload
+//                           Forward    seq-stamped cross-shard path
+//                           Finish     flush final delta, report, exit
+//                           Stop       exit immediately
+//   worker -> coordinator:  ForwardOut successor owned by another shard
+//                           Heartbeat  cumulative stats, receivedSeq, idle
+//                           Checkpoint delta: new keys/outcomes, frontier,
+//                                      cumulative stats, ackSeq
+//                           Done       final cumulative stats
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/shard.h"
+
+namespace fencetrade::fleet {
+
+enum MsgType : std::uint32_t {
+  kMsgJob = 1,
+  kMsgForward = 2,
+  kMsgFinish = 3,
+  kMsgStop = 4,
+  kMsgForwardOut = 5,
+  kMsgHeartbeat = 6,
+  kMsgCheckpoint = 7,
+  kMsgDone = 8,
+};
+
+/// What to verify: enough for a worker process to rebuild the System
+/// by itself (core::buildCountSystem over the named lock factory).
+struct JobSpec {
+  std::string lock = "gt2";  ///< lock_doctor naming (gt2, peterson-tso, …)
+  std::string model = "PSO";  ///< SC | TSO | PSO
+  int n = 2;
+  int crashBudget = 0;
+};
+
+/// Shard assignment plus the restore payload for a respawned worker.
+/// A fresh shard has empty keys/frontier and baseSeq 0; the worker
+/// always seeds C_init afterwards (admission is idempotent, so a
+/// restored owner shard whose checkpoint already covers C_init drops
+/// the duplicate).
+struct JobMsg {
+  JobSpec spec;
+  int shardIndex = 0;
+  int shardCount = 1;
+  std::uint64_t checkpointEvery = 64;  ///< admitted states between deltas
+  int heartbeatMs = 20;
+  std::vector<std::string> keys;            ///< accumulated visited keys
+  std::vector<sim::SchedPath> frontier;     ///< last checkpointed frontier
+  std::uint64_t baseSeq = 0;  ///< forwards <= baseSeq are inside keys/frontier
+};
+
+struct ForwardMsg {
+  std::uint64_t seq = 0;
+  sim::SchedPath path;
+};
+
+struct ForwardOutMsg {
+  int ownerShard = 0;
+  sim::SchedPath path;
+};
+
+/// Cumulative per-incarnation counters, embedded in Heartbeat /
+/// Checkpoint / Done.  maxCsOccupancy merges by max, the rest are
+/// informational (the coordinator derives authoritative state counts
+/// from its accumulated key sets).
+struct StatsMsg {
+  std::uint64_t admitted = 0;
+  std::uint64_t expanded = 0;
+  std::uint64_t forwarded = 0;
+  int maxCsOccupancy = 0;
+};
+
+struct HeartbeatMsg {
+  StatsMsg stats;
+  std::uint64_t receivedSeq = 0;  ///< highest Forward seq seen
+  bool idle = false;              ///< frontier empty at send time
+};
+
+struct CheckpointMsg {
+  std::vector<std::string> newKeys;
+  std::vector<std::vector<sim::Value>> newOutcomes;
+  std::vector<sim::SchedPath> frontier;  ///< full current frontier
+  StatsMsg stats;
+  std::uint64_t ackSeq = 0;  ///< receivedSeq at delta time
+};
+
+struct DoneMsg {
+  StatsMsg stats;
+};
+
+// Each encoder returns a complete wire frame (util::encodeFrame
+// applied); each decoder takes the frame payload and returns nullopt on
+// any structural corruption.
+std::string encodeJob(const JobMsg& m);
+std::optional<JobMsg> decodeJob(const std::string& payload);
+std::string encodeForward(const ForwardMsg& m);
+std::optional<ForwardMsg> decodeForward(const std::string& payload);
+std::string encodeFinish();
+std::string encodeStop();
+std::string encodeForwardOut(const ForwardOutMsg& m);
+std::optional<ForwardOutMsg> decodeForwardOut(const std::string& payload);
+std::string encodeHeartbeat(const HeartbeatMsg& m);
+std::optional<HeartbeatMsg> decodeHeartbeat(const std::string& payload);
+std::string encodeCheckpoint(const CheckpointMsg& m);
+std::optional<CheckpointMsg> decodeCheckpoint(const std::string& payload);
+std::string encodeDone(const DoneMsg& m);
+std::optional<DoneMsg> decodeDone(const std::string& payload);
+
+}  // namespace fencetrade::fleet

@@ -1,0 +1,202 @@
+#include "fleet/worker.h"
+
+#include <poll.h>
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "fleet/jobspec.h"
+#include "fleet/protocol.h"
+#include "sim/shard.h"
+#include "util/frame.h"
+#include "util/subprocess.h"
+
+namespace fencetrade::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Blocking full write (the worker's pipe ends stay blocking — the
+/// coordinator drains eagerly, and a worker wedged on a dead pipe is
+/// exactly what the supervisor's stall watchdog exists to reap).
+bool writeAll(int fd, const std::string& bytes) {
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    const ssize_t n =
+        util::writeSome(fd, bytes.data() + at, bytes.size() - at);
+    if (n < 0) return false;
+    at += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// States expanded per slice between protocol polls: small enough that
+/// heartbeats stay timely, big enough that framing isn't the bottleneck.
+constexpr std::size_t kSliceStates = 256;
+
+}  // namespace
+
+int runWorker(int inFd, int outFd) {
+  util::ignoreSigpipe();
+  util::FrameDecoder dec;
+  util::Frame f;
+
+  // Phase 1: block until the JobMsg arrives (nothing else is valid yet).
+  std::optional<JobMsg> job;
+  while (!job) {
+    struct pollfd p = {inFd, POLLIN, 0};
+    if (::poll(&p, 1, -1) < 0) continue;
+    std::string buf;
+    if (util::readSome(inFd, buf) < 0) return kWorkerBadChannel;
+    dec.feed(buf);
+    const auto st = dec.next(f);
+    if (st == util::FrameDecoder::Status::Corrupt) return kWorkerBadChannel;
+    if (st == util::FrameDecoder::Status::Frame) {
+      if (f.type != kMsgJob) return kWorkerBadChannel;
+      job = decodeJob(f.payload);
+      if (!job) return kWorkerBadChannel;
+    }
+  }
+
+  std::string err;
+  std::optional<sim::System> sys = buildSystem(job->spec, &err);
+  if (!sys) return kWorkerBadJob;
+  if (job->shardCount < 1 || job->shardIndex < 0 ||
+      job->shardIndex >= job->shardCount) {
+    return kWorkerBadJob;
+  }
+
+  sim::ShardExplorer shard(*sys, job->shardIndex, job->shardCount);
+  // Restore before seeding: admission is idempotent, so C_init is
+  // re-admitted only when the lost incarnation never checkpointed it.
+  for (std::string& k : job->keys) shard.restoreKey(std::move(k));
+  for (const sim::SchedPath& p : job->frontier) shard.restoreFrontier(p);
+  shard.seedInitial();
+
+  std::uint64_t receivedSeq = job->baseSeq;
+  std::uint64_t lastCkptAdmitted = shard.stats().admitted;
+  bool lastSentIdle = false;
+  auto now = Clock::now();
+  auto lastHeartbeat = now;
+  auto lastCkptTime = now;
+  const auto heartbeatEvery = std::chrono::milliseconds(job->heartbeatMs);
+  const auto ckptFlushEvery =
+      std::chrono::milliseconds(4 * job->heartbeatMs);
+
+  const auto statsMsg = [&] {
+    const sim::ShardStats& s = shard.stats();
+    StatsMsg m;
+    m.admitted = s.admitted;
+    m.expanded = s.expanded;
+    m.forwarded = s.forwarded;
+    m.maxCsOccupancy = s.maxCsOccupancy;
+    return m;
+  };
+  const auto sendHeartbeat = [&]() -> bool {
+    HeartbeatMsg hb;
+    hb.stats = statsMsg();
+    hb.receivedSeq = receivedSeq;
+    hb.idle = shard.idle();
+    lastSentIdle = hb.idle;
+    lastHeartbeat = Clock::now();
+    return writeAll(outFd, encodeHeartbeat(hb));
+  };
+  const auto sendCheckpoint = [&]() -> bool {
+    sim::ShardExplorer::Delta d = shard.takeDelta();
+    CheckpointMsg ck;
+    ck.newKeys = std::move(d.newKeys);
+    ck.newOutcomes = std::move(d.newOutcomes);
+    ck.frontier = std::move(d.frontier);
+    ck.stats = statsMsg();
+    ck.ackSeq = receivedSeq;
+    lastCkptAdmitted = shard.stats().admitted;
+    lastCkptTime = Clock::now();
+    return writeAll(outFd, encodeCheckpoint(ck));
+  };
+  const auto forward = [&](int owner, const sim::SchedPath& path) {
+    ForwardOutMsg m;
+    m.ownerShard = owner;
+    m.path = path;
+    writeAll(outFd, encodeForwardOut(m));
+  };
+
+  // Drain every complete frame already buffered in the decoder.  Called
+  // before each poll as well as after each read: the phase-1 read (or a
+  // WAL-replay burst after a respawn) can leave complete frames behind
+  // the Job with no bytes left on the pipe — poll would never fire for
+  // them, so draining only-after-read deadlocks a restored worker.
+  // Returns the worker's exit code when a frame ends the run.
+  const auto drainFrames = [&]() -> std::optional<int> {
+    for (;;) {
+      const auto st = dec.next(f);
+      if (st == util::FrameDecoder::Status::Corrupt) {
+        return kWorkerBadChannel;
+      }
+      if (st == util::FrameDecoder::Status::NeedMore) return std::nullopt;
+      switch (f.type) {
+        case kMsgForward: {
+          const auto fwd = decodeForward(f.payload);
+          if (!fwd) return kWorkerBadChannel;
+          if (fwd->seq > receivedSeq) receivedSeq = fwd->seq;
+          shard.offer(fwd->path);
+          break;
+        }
+        case kMsgFinish: {
+          // Final flush: the delta carries everything unreported,
+          // then Done closes the incarnation.
+          if (!sendCheckpoint()) return kWorkerBadChannel;
+          DoneMsg done;
+          done.stats = statsMsg();
+          if (!writeAll(outFd, encodeDone(done))) {
+            return kWorkerBadChannel;
+          }
+          return kWorkerOk;
+        }
+        case kMsgStop:
+          return kWorkerOk;
+        default:
+          return kWorkerBadChannel;  // protocol violation
+      }
+    }
+  };
+
+  for (;;) {
+    // Protocol first: a Forward can wake an idle shard, and Finish/Stop
+    // preempt further expansion.
+    if (const auto rc = drainFrames()) return *rc;
+    struct pollfd p = {inFd, POLLIN, 0};
+    const int timeoutMs = shard.idle() ? job->heartbeatMs : 0;
+    const int pr = ::poll(&p, 1, timeoutMs);
+    if (pr > 0 && (p.revents & (POLLIN | POLLHUP)) != 0) {
+      std::string buf;
+      const ssize_t r = util::readSome(inFd, buf);
+      if (r < 0) return kWorkerBadChannel;  // coordinator gone
+      dec.feed(buf);
+      if (const auto rc = drainFrames()) return *rc;
+    }
+
+    shard.step(kSliceStates, forward);
+
+    now = Clock::now();
+    const bool idleNow = shard.idle();
+    // Heartbeat on cadence and on every busy<->idle transition (the
+    // idle edge is what collapses quiescence-detection latency to one
+    // pipe round-trip).
+    if (idleNow != lastSentIdle || now - lastHeartbeat >= heartbeatEvery) {
+      if (!sendHeartbeat()) return kWorkerBadChannel;
+    }
+    // Checkpoint delta by admission count, with a time-based flush so a
+    // slow trickle of states still reaches the coordinator promptly.
+    const bool countDue =
+        shard.stats().admitted - lastCkptAdmitted >= job->checkpointEvery;
+    const bool timeDue = shard.stats().admitted != lastCkptAdmitted &&
+                         now - lastCkptTime >= ckptFlushEvery;
+    if (countDue || timeDue) {
+      if (!sendCheckpoint()) return kWorkerBadChannel;
+    }
+  }
+}
+
+}  // namespace fencetrade::fleet

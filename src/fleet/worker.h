@@ -1,0 +1,26 @@
+// Shard-worker event loop: the body of the `fencetrade_fleet worker`
+// process mode.  Reads a JobMsg off the inherited command pipe, builds
+// the System it names, restores the shard from the embedded checkpoint
+// payload, then interleaves bounded expansion slices with protocol
+// traffic until the coordinator says Finish.
+//
+// The worker is deliberately dumb about faults: it never retries, never
+// reconnects, and exits on the first sign of a broken or corrupt
+// channel.  All robustness lives in the coordinator's supervisor — a
+// worker is cattle, not a pet.
+#pragma once
+
+namespace fencetrade::fleet {
+
+/// Worker process exit codes (distinct from verdict exit codes — the
+/// coordinator only cares about zero/nonzero plus waitpid signals).
+inline constexpr int kWorkerOk = 0;          ///< clean Finish/Stop
+inline constexpr int kWorkerBadJob = 10;     ///< unbuildable job spec
+inline constexpr int kWorkerBadChannel = 11; ///< EOF/corrupt command pipe
+
+/// Run the worker loop over the given pipe descriptors (normally
+/// util::kWorkerInFd / util::kWorkerOutFd).  Returns the process exit
+/// code.
+int runWorker(int inFd, int outFd);
+
+}  // namespace fencetrade::fleet

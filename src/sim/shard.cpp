@@ -1,0 +1,144 @@
+#include "sim/shard.h"
+
+#include "sim/explore.h"
+#include "util/check.h"
+
+namespace fencetrade::sim {
+
+int shardOfKey(std::string_view key, int shardCount) {
+  FT_CHECK(shardCount > 0) << "shardOfKey: shardCount must be positive";
+  return static_cast<int>(util::fnv1a64(key) %
+                          static_cast<std::uint64_t>(shardCount));
+}
+
+void putPath(util::CheckpointWriter& w, const SchedPath& path) {
+  w.putU32(static_cast<std::uint32_t>(path.size()));
+  for (const auto& [p, r] : path) {
+    w.putI64(p);
+    w.putI64(r);
+  }
+}
+
+SchedPath getPath(util::CheckpointReader& r) {
+  const std::uint32_t n = r.getU32();
+  SchedPath path;
+  // No reserve: n is untrusted wire data; a lying count runs into the
+  // reader's overrun FT_CHECK, not a giant allocation.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ProcId p = static_cast<ProcId>(r.getI64());
+    const Reg reg = static_cast<Reg>(r.getI64());
+    path.emplace_back(p, reg);
+  }
+  return path;
+}
+
+std::optional<Config> replayPath(const System& sys, const SchedPath& path) {
+  Config cfg = initialConfig(sys);
+  for (const auto& [p, r] : path) {
+    if (p < 0 || p >= static_cast<ProcId>(cfg.procs.size())) {
+      return std::nullopt;
+    }
+    if (!execElem(sys, cfg, p, r)) return std::nullopt;
+  }
+  return cfg;
+}
+
+ShardExplorer::ShardExplorer(const System& sys, int shardIndex,
+                             int shardCount)
+    : sys_(sys), shardIndex_(shardIndex), shardCount_(shardCount) {
+  FT_CHECK(shardCount > 0 && shardIndex >= 0 && shardIndex < shardCount)
+      << "ShardExplorer: shard index out of range";
+}
+
+void ShardExplorer::seedInitial() {
+  Config init = initialConfig(sys_);
+  init.behavioralKeyInto(keyScratch_);
+  if (shardOfKey(keyScratch_, shardCount_) == shardIndex_) {
+    admit(keyScratch_, SchedPath{}, std::move(init), /*countIt=*/true);
+  }
+}
+
+void ShardExplorer::restoreKey(std::string key) {
+  visited_.insert(std::move(key));
+}
+
+void ShardExplorer::restoreFrontier(const SchedPath& path) {
+  std::optional<Config> cfg = replayPath(sys_, path);
+  if (!cfg) return;  // foreign/corrupt checkpoint; drop, don't crash
+  cfg->behavioralKeyInto(keyScratch_);
+  visited_.insert(keyScratch_);
+  frontier_.push_back(Pending{path, std::move(*cfg)});
+}
+
+bool ShardExplorer::offer(const SchedPath& path) {
+  std::optional<Config> cfg = replayPath(sys_, path);
+  if (!cfg) return false;
+  cfg->behavioralKeyInto(keyScratch_);
+  if (shardOfKey(keyScratch_, shardCount_) != shardIndex_) return false;
+  return admit(keyScratch_, path, std::move(*cfg), /*countIt=*/true);
+}
+
+bool ShardExplorer::admit(const std::string& key, SchedPath path, Config cfg,
+                          bool countIt) {
+  if (!visited_.insert(key).second) return false;
+  if (countIt) {
+    ++stats_.admitted;
+    newKeys_.push_back(key);
+  }
+  frontier_.push_back(Pending{std::move(path), std::move(cfg)});
+  return true;
+}
+
+void ShardExplorer::visit(const Config& cfg, bool terminal,
+                          const std::vector<Value>& retvals) {
+  const int occ = detail::csOccupancy(sys_, cfg);
+  if (occ > stats_.maxCsOccupancy) stats_.maxCsOccupancy = occ;
+  if (terminal && outcomes_.insert(retvals).second) {
+    newOutcomes_.push_back(retvals);
+  }
+}
+
+std::size_t ShardExplorer::step(std::size_t budget, const ForwardFn& forward) {
+  std::size_t done = 0;
+  while (done < budget && !frontier_.empty()) {
+    Pending cur = std::move(frontier_.front());
+    frontier_.pop_front();
+    ++stats_.expanded;
+    ++done;
+    const bool terminal = cur.cfg.behavioralKeyInto(keyScratch_,
+                                                    &retvalScratch_);
+    visit(cur.cfg, terminal, retvalScratch_);
+    if (terminal) continue;  // nothing to expand
+    detail::enabledMovesInto(cur.cfg, moveScratch_);
+    for (std::size_t i = 0; i < moveScratch_.size(); ++i) {
+      const auto [p, r] = moveScratch_[i];
+      Config child = cur.cfg;
+      if (!execElem(sys_, child, p, r)) continue;
+      SchedPath childPath = cur.path;
+      childPath.emplace_back(p, r);
+      child.behavioralKeyInto(keyScratch_);
+      const int owner = shardOfKey(keyScratch_, shardCount_);
+      if (owner == shardIndex_) {
+        admit(keyScratch_, std::move(childPath), std::move(child),
+              /*countIt=*/true);
+      } else {
+        ++stats_.forwarded;
+        forward(owner, childPath);
+      }
+    }
+  }
+  return done;
+}
+
+ShardExplorer::Delta ShardExplorer::takeDelta() {
+  Delta d;
+  d.newKeys = std::move(newKeys_);
+  newKeys_.clear();
+  d.newOutcomes = std::move(newOutcomes_);
+  newOutcomes_.clear();
+  d.frontier.reserve(frontier_.size());
+  for (const Pending& p : frontier_) d.frontier.push_back(p.path);
+  return d;
+}
+
+}  // namespace fencetrade::sim

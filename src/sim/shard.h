@@ -1,0 +1,145 @@
+// Hash-sharded frontier partitioning for the verification fleet
+// (Stern–Dill style distributed reachability): every configuration is
+// owned by exactly one shard — shardOfKey(behavioralKey) — and a worker
+// expands only states it owns, handing successors owned by other shards
+// to a forward callback for the coordinator to route.
+//
+// States travel between processes as *schedule paths* (the same
+// vector<pair<ProcId, Reg>> the replay machinery already speaks), not
+// serialized Configs: a path replayed from C_init through execElem is a
+// complete, canonical description of a state, and stays a few dozen
+// bytes for the systems checked here.
+//
+// Determinism is the design constraint: the closure a ShardExplorer
+// computes — admitted key set, terminal outcomes, max critical-section
+// occupancy — is a function of the reachable state space alone, not of
+// arrival order, worker count, or crash/restore history.  Admission is
+// idempotent (a key is admitted once; duplicates and re-deliveries are
+// dropped), outcome and occupancy merging are set-union and max, and
+// restored keys are marked visited without re-counting.  That is what
+// lets a chaos-injected fleet run produce byte-identical merged results
+// to a fault-free one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.h"
+#include "util/checkpoint.h"
+
+namespace fencetrade::sim {
+
+/// A schedule path from C_init: the fleet's wire format for a state.
+using SchedPath = std::vector<std::pair<ProcId, Reg>>;
+
+/// Owner shard of a behavioral key: FNV-1a of the canonical key bytes
+/// modulo the shard count.  Every process computes the same partition.
+int shardOfKey(std::string_view key, int shardCount);
+
+/// Path (de)serialization over the FTCK primitives, so fleet messages
+/// and checkpoint payloads share one encoding.
+void putPath(util::CheckpointWriter& w, const SchedPath& path);
+SchedPath getPath(util::CheckpointReader& r);
+
+/// Replay `path` from C_init.  nullopt if any element is not executable
+/// (a corrupted or foreign path), never UB.
+std::optional<Config> replayPath(const System& sys, const SchedPath& path);
+
+/// Cumulative per-shard counters.  `admitted` counts keys this
+/// incarnation admitted (restored keys excluded); the coordinator
+/// derives the shard's true state count from its accumulated key set,
+/// which is incarnation-proof.
+struct ShardStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t expanded = 0;
+  std::uint64_t forwarded = 0;
+  int maxCsOccupancy = 0;
+};
+
+/// One shard's closure engine: a visited key set and a frontier of
+/// unexpanded paths, advanced in bounded steps so the owning worker can
+/// interleave expansion with protocol traffic.
+class ShardExplorer {
+ public:
+  /// Successor owned by another shard: (owner shard, path to it).
+  using ForwardFn = std::function<void(int shard, const SchedPath& path)>;
+
+  ShardExplorer(const System& sys, int shardIndex, int shardCount);
+
+  /// Admit C_init if this shard owns it (exactly one shard does, and
+  /// every worker agrees which).  Call once on a fresh — not restored —
+  /// shard.
+  void seedInitial();
+
+  /// Restore a key from a previous incarnation's checkpoint: marked
+  /// visited, not counted, not queued.
+  void restoreKey(std::string key);
+
+  /// Restore a frontier path from a checkpoint.  The path's key is
+  /// (re)marked visited; the path queues for expansion unless a
+  /// duplicate delivery already queued it.
+  void restoreFrontier(const SchedPath& path);
+
+  /// Offer a forwarded path owned by this shard.  Admits and queues it
+  /// iff its key is unseen; duplicate deliveries are dropped.  Returns
+  /// whether it was admitted.  A path that does not replay is dropped
+  /// (returns false) — the coordinator validates frames, so this only
+  /// happens to a corrupted message that also passed its checksum.
+  bool offer(const SchedPath& path);
+
+  /// Expand up to `budget` frontier states, forwarding cross-shard
+  /// successors.  Returns states expanded; 0 means the frontier is
+  /// empty (idle — more work can still arrive via offer()).
+  std::size_t step(std::size_t budget, const ForwardFn& forward);
+
+  bool idle() const { return frontier_.empty(); }
+
+  const ShardStats& stats() const { return stats_; }
+  const std::set<std::vector<Value>>& outcomes() const { return outcomes_; }
+
+  /// Checkpoint delta: keys admitted and outcomes first seen since the
+  /// previous takeDelta(), plus the *full* current frontier (paths
+  /// only).  The coordinator accumulates key/outcome deltas and keeps
+  /// the latest frontier; together they reconstruct this shard exactly.
+  struct Delta {
+    std::vector<std::string> newKeys;
+    std::vector<std::vector<Value>> newOutcomes;
+    std::vector<SchedPath> frontier;
+  };
+  Delta takeDelta();
+
+ private:
+  struct Pending {
+    SchedPath path;
+    Config cfg;
+  };
+
+  /// Shared admission: mark visited, queue, record the delta entry.
+  bool admit(const std::string& key, SchedPath path, Config cfg,
+             bool countIt);
+  void visit(const Config& cfg, bool terminal,
+             const std::vector<Value>& retvals);
+
+  const System& sys_;
+  int shardIndex_;
+  int shardCount_;
+  std::unordered_set<std::string> visited_;
+  std::deque<Pending> frontier_;
+  std::vector<std::string> newKeys_;
+  std::set<std::vector<Value>> outcomes_;
+  std::vector<std::vector<Value>> newOutcomes_;
+  ShardStats stats_;
+  // Expansion scratch, reused across states.
+  std::string keyScratch_;
+  std::vector<Value> retvalScratch_;
+  std::vector<std::pair<ProcId, Reg>> moveScratch_;
+};
+
+}  // namespace fencetrade::sim

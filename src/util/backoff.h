@@ -1,0 +1,102 @@
+// Capped exponential backoff with deterministic seeded jitter and a
+// bounded retry budget — the shared retry discipline of the
+// differential driver's escalation path and the verification fleet's
+// shard supervisor.
+//
+// The delay sequence is a pure function of (policy, seed): attempt k
+// waits base * multiplier^k, capped at maxSeconds, then jittered by a
+// factor drawn from the seeded PRNG in [1 - jitter, 1 + jitter].  Two
+// Backoffs built from the same policy produce byte-identical delay
+// sequences, so a chaos-injected fleet run retries on the same schedule
+// every time — randomized enough to avoid thundering herds, determined
+// enough to reproduce.
+//
+// Time itself is injected: retry() never sleeps; it hands the computed
+// delay to the caller-supplied sleeper (a real clock in the fleet
+// supervisor, a recording fake in the unit tests, nothing at all in the
+// differential driver, whose "retry" is an immediate re-run with an
+// escalated budget).
+#pragma once
+
+#include <functional>
+
+#include "util/rng.h"
+
+namespace fencetrade::util {
+
+struct BackoffPolicy {
+  double initialSeconds = 0.05;  ///< delay before the first retry
+  double multiplier = 2.0;       ///< exponential growth per retry
+  double maxSeconds = 2.0;       ///< cap on the un-jittered delay
+  /// Jitter half-width as a fraction of the capped delay: the actual
+  /// delay is scaled by a seeded uniform draw from [1-j, 1+j].
+  /// 0 disables jitter entirely (and the PRNG is never consulted).
+  double jitterFraction = 0.0;
+  /// Retry budget: how many retries may be consumed before exhausted()
+  /// turns true.  0 means no retries at all; negative means unlimited.
+  int maxAttempts = 4;
+  std::uint64_t seed = 0x5eedbacc;  ///< jitter PRNG seed
+};
+
+class Backoff {
+ public:
+  /// Receives the computed delay; sleeping (or not) is the caller's
+  /// policy, which is what makes the class clock-free and testable.
+  using SleepFn = std::function<void(double seconds)>;
+
+  explicit Backoff(const BackoffPolicy& policy)
+      : policy_(policy), rng_(policy.seed) {}
+
+  /// Retries consumed so far.
+  int attempts() const { return attempts_; }
+
+  /// True once the retry budget is spent (never true when unlimited).
+  bool exhausted() const {
+    return policy_.maxAttempts >= 0 && attempts_ >= policy_.maxAttempts;
+  }
+
+  /// The un-jittered delay the next retry would wait: capped
+  /// exponential over the attempts consumed so far.
+  double peekDelaySeconds() const {
+    double d = policy_.initialSeconds;
+    for (int i = 0; i < attempts_ && d < policy_.maxSeconds; ++i) {
+      d *= policy_.multiplier;
+    }
+    return d < policy_.maxSeconds ? d : policy_.maxSeconds;
+  }
+
+  /// Consume one retry.  Returns false (without sleeping or advancing
+  /// the jitter stream) when the budget is exhausted; otherwise invokes
+  /// `sleeper` (when given) with the jittered delay and returns true.
+  bool retry(const SleepFn& sleeper = {}) {
+    if (exhausted()) return false;
+    double delay = peekDelaySeconds();
+    if (policy_.jitterFraction > 0.0) {
+      const double j = policy_.jitterFraction;
+      delay *= 1.0 - j + 2.0 * j * rng_.uniform01();
+    }
+    ++attempts_;
+    lastDelay_ = delay;
+    if (sleeper) sleeper(delay);
+    return true;
+  }
+
+  /// The jittered delay handed to the most recent retry()'s sleeper.
+  double lastDelaySeconds() const { return lastDelay_; }
+
+  /// Re-arm: attempts return to zero and the jitter stream restarts
+  /// from the seed, so a reset Backoff replays the same schedule.
+  void reset() {
+    attempts_ = 0;
+    lastDelay_ = 0.0;
+    rng_ = Rng(policy_.seed);
+  }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  int attempts_ = 0;
+  double lastDelay_ = 0.0;
+};
+
+}  // namespace fencetrade::util

@@ -82,7 +82,10 @@ CheckpointReader CheckpointReader::open(std::string_view blob,
       << "checkpoint: unsupported container version " << version;
   const std::uint32_t kindLen = readU32(blob, 8);
   std::size_t at = 12;
-  FT_CHECK(blob.size() >= at + kindLen + 16)
+  // Subtraction form: `at + kindLen + 16` with an untrusted kindLen
+  // could wrap and pass a bogus bound.
+  FT_CHECK(kindLen <= blob.size() - at &&
+           blob.size() - at - kindLen >= 16)
       << "checkpoint: truncated framing";
   const std::string_view gotKind = blob.substr(at, kindLen);
   FT_CHECK(gotKind == kind)
@@ -92,7 +95,9 @@ CheckpointReader CheckpointReader::open(std::string_view blob,
   const std::uint64_t payloadLen = readU64(blob, at);
   const std::uint64_t checksum = readU64(blob, at + 8);
   at += 16;
-  FT_CHECK(blob.size() == at + payloadLen)
+  // Subtraction form: an untrusted payloadLen near 2^64 would wrap
+  // `at + payloadLen` right back onto blob.size() and slip through.
+  FT_CHECK(payloadLen == blob.size() - at)
       << "checkpoint: payload length does not match file size";
   const std::string_view payload = blob.substr(at, payloadLen);
   FT_CHECK(fnv1a64(payload) == checksum)
@@ -100,21 +105,26 @@ CheckpointReader CheckpointReader::open(std::string_view blob,
   return CheckpointReader(std::string(payload));
 }
 
+// All bounds checks below are written in subtraction form
+// (`remaining >= need`, with pos_ <= payload_.size() as invariant)
+// because the addition form `pos_ + len <= size` wraps for an untrusted
+// 64-bit length and admits the overrun it is meant to reject.
+
 std::uint8_t CheckpointReader::getU8() {
-  FT_CHECK(pos_ + 1 <= payload_.size()) << "checkpoint: payload overrun";
+  FT_CHECK(payload_.size() - pos_ >= 1) << "checkpoint: payload overrun";
   return static_cast<std::uint8_t>(
       static_cast<unsigned char>(payload_[pos_++]));
 }
 
 std::uint32_t CheckpointReader::getU32() {
-  FT_CHECK(pos_ + 4 <= payload_.size()) << "checkpoint: payload overrun";
+  FT_CHECK(payload_.size() - pos_ >= 4) << "checkpoint: payload overrun";
   const std::uint32_t v = readU32(payload_, pos_);
   pos_ += 4;
   return v;
 }
 
 std::uint64_t CheckpointReader::getU64() {
-  FT_CHECK(pos_ + 8 <= payload_.size()) << "checkpoint: payload overrun";
+  FT_CHECK(payload_.size() - pos_ >= 8) << "checkpoint: payload overrun";
   const std::uint64_t v = readU64(payload_, pos_);
   pos_ += 8;
   return v;
@@ -122,9 +132,9 @@ std::uint64_t CheckpointReader::getU64() {
 
 std::string CheckpointReader::getBytes() {
   const std::uint64_t len = getU64();
-  FT_CHECK(pos_ + len <= payload_.size()) << "checkpoint: payload overrun";
+  FT_CHECK(len <= payload_.size() - pos_) << "checkpoint: payload overrun";
   std::string s = payload_.substr(pos_, len);
-  pos_ += len;
+  pos_ += static_cast<std::size_t>(len);
   return s;
 }
 

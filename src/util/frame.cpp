@@ -1,0 +1,98 @@
+#include "util/frame.h"
+
+#include "util/checkpoint.h"
+
+namespace fencetrade::util {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'T', 'M', 'F'};
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t readU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t readU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string encodeFrame(std::uint32_t type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  putU32(out, type);
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  putU64(out, fnv1a64(payload));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (corrupt_) return;
+  // Compact lazily: drop the consumed prefix once it dominates the
+  // buffer, so a long-lived connection doesn't grow without bound.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (corrupt_) return Status::Corrupt;
+  const std::size_t avail = buf_.size() - consumed_;
+  const char* base = buf_.data() + consumed_;
+  // Validate whatever prefix of the header has arrived; garbage should
+  // poison the stream on the first bad byte, not after a full header.
+  const std::size_t magicHave = avail < sizeof kMagic ? avail : sizeof kMagic;
+  for (std::size_t i = 0; i < magicHave; ++i) {
+    if (base[i] != kMagic[i]) {
+      corrupt_ = true;
+      return Status::Corrupt;
+    }
+  }
+  if (avail < kFrameHeaderBytes) return Status::NeedMore;
+  const std::uint32_t type = readU32(base + 4);
+  const std::uint32_t payloadLen = readU32(base + 8);
+  const std::uint64_t checksum = readU64(base + 12);
+  if (payloadLen > kMaxFramePayloadBytes) {
+    corrupt_ = true;
+    return Status::Corrupt;
+  }
+  if (avail - kFrameHeaderBytes < payloadLen) return Status::NeedMore;
+  const std::string_view payload(base + kFrameHeaderBytes, payloadLen);
+  if (fnv1a64(payload) != checksum) {
+    corrupt_ = true;
+    return Status::Corrupt;
+  }
+  out.type = type;
+  out.payload.assign(payload);
+  consumed_ += kFrameHeaderBytes + payloadLen;
+  return Status::Frame;
+}
+
+}  // namespace fencetrade::util

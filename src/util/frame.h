@@ -1,0 +1,70 @@
+// Length-prefixed, checksummed message framing for the verification
+// fleet's coordinator/worker pipes.
+//
+// Wire layout (all integers little-endian, fixed width):
+//
+//   "FTMF"            4-byte magic
+//   u32 type          message discriminator (fleet/protocol.h owns it)
+//   u32 payloadLen
+//   u64 checksum      FNV-1a over the payload bytes
+//   payload
+//
+// The decoder is incremental: feed it whatever read() returned — a
+// byte, a frame and a half — and drain complete frames with next().
+// Any malformed input (bad magic, oversized length, checksum mismatch)
+// flips the decoder into a *sticky* Corrupt state: a byte stream has no
+// way to resynchronize after garbage, so the supervisor treats the
+// whole connection as poisoned and restarts the worker.  Corruption is
+// a typed status, never a crash — the frame fuzz test holds the decoder
+// to that under ASan/UBSan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fencetrade::util {
+
+/// Serialized frame header size: magic + type + payloadLen + checksum.
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 4 + 8;
+
+/// Upper bound on payloadLen the decoder will accept.  A corrupted
+/// length field must not become a multi-gigabyte allocation; real fleet
+/// messages (checkpoint deltas included) stay far below this.
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+/// Frame `payload` as a complete wire message of the given type.
+std::string encodeFrame(std::uint32_t type, std::string_view payload);
+
+struct Frame {
+  std::uint32_t type = 0;
+  std::string payload;
+};
+
+class FrameDecoder {
+ public:
+  enum class Status {
+    Frame,     ///< `out` holds a validated frame
+    NeedMore,  ///< prefix is consistent but incomplete; feed more bytes
+    Corrupt,   ///< stream poisoned (sticky); discard the connection
+  };
+
+  /// Append raw bytes from the pipe.  Bytes fed after corruption are
+  /// dropped — the stream is already unrecoverable.
+  void feed(std::string_view bytes);
+
+  /// Try to extract the next complete frame from the buffered bytes.
+  Status next(Frame& out);
+
+  bool corrupt() const { return corrupt_; }
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::string buf_;
+  std::size_t consumed_ = 0;  ///< prefix of buf_ already handed out
+  bool corrupt_ = false;
+};
+
+}  // namespace fencetrade::util

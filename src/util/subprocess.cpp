@@ -1,0 +1,197 @@
+#include "util/subprocess.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <cstring>
+
+namespace fencetrade::util {
+
+namespace {
+
+bool setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool setCloExec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+void closeFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+std::optional<ChildProcess> spawnChild(const std::string& exePath,
+                                       const std::vector<std::string>& args) {
+  int down[2];  // coordinator -> worker
+  int up[2];    // worker -> coordinator
+  if (::pipe(down) != 0) return std::nullopt;
+  if (::pipe(up) != 0) {
+    ::close(down[0]);
+    ::close(down[1]);
+    return std::nullopt;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(down[0]);
+    ::close(down[1]);
+    ::close(up[0]);
+    ::close(up[1]);
+    return std::nullopt;
+  }
+
+  if (pid == 0) {
+    // Child: message pipes land on the fixed worker descriptors.  The
+    // raw pipe fds can themselves occupy 3/4 — which fds pipe(2)
+    // returned depends on what the *launcher* left open (a shell
+    // usually has 3 free; ctest does not), so a naive
+    // dup2-then-close-original shuffle closes the freshly installed
+    // target when down[0] == kWorkerOutFd or up[1] == kWorkerInFd.
+    // Park both ends at guaranteed-collision-free fds >= 5 first.
+    ::close(down[1]);
+    ::close(up[0]);
+    const int inTmp = ::fcntl(down[0], F_DUPFD, 5);
+    const int outTmp = ::fcntl(up[1], F_DUPFD, 5);
+    if (inTmp < 0 || outTmp < 0) _exit(127);
+    ::close(down[0]);
+    ::close(up[1]);
+    if (::dup2(inTmp, kWorkerInFd) < 0 || ::dup2(outTmp, kWorkerOutFd) < 0) {
+      _exit(127);
+    }
+    ::close(inTmp);
+    ::close(outTmp);
+#ifdef __linux__
+    // Die with the coordinator: an abandoned worker must never keep
+    // burning CPU after the supervisor is gone.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    // The race where the parent died before prctl took effect: our
+    // parent is now someone else — exit instead of running orphaned.
+    if (::getppid() == 1) _exit(127);
+#endif
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(exePath.c_str()));
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(exePath.c_str(), argv.data());
+    _exit(127);
+  }
+
+  // Coordinator.
+  ::close(down[0]);
+  ::close(up[1]);
+  ChildProcess child;
+  child.pid = pid;
+  child.toChild = down[1];
+  child.fromChild = up[0];
+  if (!setNonBlocking(child.toChild) || !setNonBlocking(child.fromChild) ||
+      !setCloExec(child.toChild) || !setCloExec(child.fromChild)) {
+    killChild(child);
+    return std::nullopt;
+  }
+  return child;
+}
+
+ChildStatus pollChild(const ChildProcess& child) {
+  ChildStatus st;
+  if (!child.valid()) {
+    st.running = false;
+    return st;
+  }
+  int status = 0;
+  const pid_t r = ::waitpid(child.pid, &status, WNOHANG);
+  if (r == 0) return st;  // still running
+  st.running = false;
+  if (r < 0) return st;  // already reaped elsewhere
+  if (WIFEXITED(status)) {
+    st.exited = true;
+    st.exitCode = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    st.signaled = true;
+    st.termSignal = WTERMSIG(status);
+  }
+  return st;
+}
+
+void killChild(ChildProcess& child, int sig) {
+  if (child.valid()) {
+    ::kill(child.pid, sig);
+    // A SIGSTOPped child cannot act on SIGKILL until continued.
+    ::kill(child.pid, SIGCONT);
+    int status = 0;
+    while (::waitpid(child.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    child.pid = -1;
+  }
+  closeChildPipes(child);
+}
+
+void resumeChild(const ChildProcess& child) {
+  if (child.valid()) ::kill(child.pid, SIGCONT);
+}
+
+void closeChildPipes(ChildProcess& child) {
+  closeFd(child.toChild);
+  closeFd(child.fromChild);
+}
+
+void ignoreSigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+void defaultSigchld() { ::signal(SIGCHLD, SIG_DFL); }
+
+ssize_t writeSome(int fd, const char* data, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+ssize_t readSome(int fd, std::string& out) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      return n;
+    }
+    if (n == 0) return -1;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+std::string selfExePath(const char* argv0) {
+#ifdef __linux__
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+#endif
+  return argv0 ? std::string(argv0) : std::string();
+}
+
+}  // namespace fencetrade::util

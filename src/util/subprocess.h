@@ -1,0 +1,93 @@
+// Child-process plumbing for the verification fleet: spawn a worker
+// with a pipe pair on fixed descriptors, poll its liveness without
+// blocking, and kill/reap it when the supervisor decides it is dead.
+//
+// The contract with the worker binary: the child finds the
+// coordinator→worker pipe on fd kWorkerInFd (3) and the
+// worker→coordinator pipe on fd kWorkerOutFd (4).  stdin/stdout/stderr
+// are left alone, so worker diagnostics still reach the terminal and
+// the message channel can never be polluted by a stray printf.
+//
+// All coordinator-side descriptors are nonblocking: a SIGSTOPped worker
+// whose pipe fills must surface as a stalled queue the supervisor can
+// see, never as a coordinator wedged in write(2).
+#pragma once
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fencetrade::util {
+
+/// Descriptors the spawned worker inherits its message pipes on.
+inline constexpr int kWorkerInFd = 3;   ///< child reads commands here
+inline constexpr int kWorkerOutFd = 4;  ///< child writes frames here
+
+struct ChildProcess {
+  pid_t pid = -1;
+  int toChild = -1;    ///< coordinator writes (nonblocking)
+  int fromChild = -1;  ///< coordinator reads (nonblocking)
+
+  bool valid() const { return pid > 0; }
+};
+
+/// What waitpid(WNOHANG) said about a child.
+struct ChildStatus {
+  bool running = true;
+  bool exited = false;    ///< normal _exit; exitCode valid
+  bool signaled = false;  ///< killed by a signal; termSignal valid
+  int exitCode = 0;
+  int termSignal = 0;
+};
+
+/// Fork/exec `exePath` with `args` (argv[1..]); wires the pipe pair
+/// onto kWorkerInFd/kWorkerOutFd in the child and returns the
+/// coordinator ends, already nonblocking and close-on-exec.  On Linux
+/// the child additionally requests SIGKILL on coordinator death
+/// (PR_SET_PDEATHSIG) so an orphaned fleet can never outlive its
+/// supervisor.  nullopt if fork/pipe fails (never throws — the fleet
+/// degrades, it does not crash).
+std::optional<ChildProcess> spawnChild(const std::string& exePath,
+                                       const std::vector<std::string>& args);
+
+/// waitpid(WNOHANG): has the child exited or been killed?
+ChildStatus pollChild(const ChildProcess& child);
+
+/// Deliver `sig` (default SIGKILL) and block until the zombie is
+/// reaped; closes both pipe ends.  Safe on an already-dead child.
+void killChild(ChildProcess& child, int sig = 9 /* SIGKILL */);
+
+/// SIGCONT a SIGSTOPped child (chaos stall recovery in tests).
+void resumeChild(const ChildProcess& child);
+
+/// Close the coordinator's pipe ends without touching the process.
+void closeChildPipes(ChildProcess& child);
+
+/// Process-wide SIGPIPE → SIG_IGN.  A worker dying mid-write must
+/// surface as EPIPE on the coordinator's write(2), never a signal.
+void ignoreSigpipe();
+
+/// Process-wide SIGCHLD → SIG_DFL.  Signal dispositions survive
+/// exec(2), and some launchers (ctest among them) run us with SIGCHLD
+/// set to SIG_IGN — under which the kernel auto-reaps children and
+/// waitpid fails with ECHILD, so the supervisor would misread every
+/// healthy worker as dead.  A process that supervises children must
+/// reset this before the first fork.
+void defaultSigchld();
+
+/// Nonblocking write: bytes consumed (possibly 0 on EAGAIN), or -1 on
+/// a real error (EPIPE included).  Retries EINTR internally.
+ssize_t writeSome(int fd, const char* data, std::size_t len);
+
+/// Nonblocking read into `out` (appends).  Returns bytes appended,
+/// 0 on EAGAIN, -1 on EOF or a real error.  Retries EINTR internally.
+ssize_t readSome(int fd, std::string& out);
+
+/// Absolute path of the running executable (/proc/self/exe), falling
+/// back to `argv0` when the platform cannot say.  The coordinator
+/// re-execs *itself* in worker mode, so this is how it finds itself.
+std::string selfExePath(const char* argv0);
+
+}  // namespace fencetrade::util

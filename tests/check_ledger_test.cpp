@@ -1,0 +1,135 @@
+// Ledger robustness: torn-tail tolerance of the NDJSON reader and the
+// optional fleet sub-object of the run-record writer.
+//
+// The torn-tail scenario is the one a crashed (or chaos-killed) fleet
+// run actually produces: appendLineAtomic writes line+'\n' in a single
+// O_APPEND write(2), so the only partial shape a reader can ever see is
+// a final line missing its newline.  Every complete record before it
+// must survive, and the tear must surface as a *counted warning*, not a
+// parse error and never a crash.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "check/ledger.h"
+#include "util/checkpoint.h"
+
+namespace fencetrade::check {
+namespace {
+
+class LedgerFileTest : public ::testing::Test {
+ protected:
+  std::string path_;
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "ledger_test_" +
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".ndjson";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  RunLedgerRecord record(const char* subject) {
+    RunLedgerRecord rec;
+    rec.tool = "test";
+    rec.subject = subject;
+    rec.model = "PSO";
+    rec.n = 2;
+    rec.argv = "test argv";
+    rec.verdict = "correct";
+    rec.stopReason = "complete";
+    rec.wallSeconds = 0.5;
+    rec.statesVisited = 100;
+    return rec;
+  }
+};
+
+TEST_F(LedgerFileTest, ReadsCompleteRecords) {
+  ASSERT_TRUE(appendRunLedger(path_, record("a")));
+  ASSERT_TRUE(appendRunLedger(path_, record("b")));
+  const auto res = readLedgerLines(path_);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->lines.size(), 2u);
+  EXPECT_EQ(res->tornTailRecords, 0);
+  EXPECT_TRUE(res->tornTail.empty());
+  EXPECT_NE(res->lines[0].find("\"subject\":\"a\""), std::string::npos);
+  EXPECT_NE(res->lines[1].find("\"subject\":\"b\""), std::string::npos);
+}
+
+TEST_F(LedgerFileTest, TornTailIsSkippedCountedAndPreserved) {
+  ASSERT_TRUE(appendRunLedger(path_, record("intact")));
+  // Simulate a crash mid-append: a record whose newline (and tail)
+  // never made it to disk.
+  const std::string full = runLedgerLine(record("torn"));
+  const std::string partial = full.substr(0, full.size() / 2);
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << partial;  // no newline
+  }
+  const auto res = readLedgerLines(path_);
+  ASSERT_TRUE(res.has_value());
+  ASSERT_EQ(res->lines.size(), 1u);
+  EXPECT_NE(res->lines[0].find("\"subject\":\"intact\""), std::string::npos);
+  EXPECT_EQ(res->tornTailRecords, 1);
+  EXPECT_EQ(res->tornTail, partial);
+}
+
+TEST_F(LedgerFileTest, TornTailOnlyFileYieldsZeroRecords) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "{\"schema\":\"fencetrade-run/1\",\"tru";  // no newline
+  }
+  const auto res = readLedgerLines(path_);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->lines.empty());
+  EXPECT_EQ(res->tornTailRecords, 1);
+}
+
+TEST_F(LedgerFileTest, EmptyFileIsCleanlyEmpty) {
+  { std::ofstream out(path_, std::ios::binary); }
+  const auto res = readLedgerLines(path_);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->lines.empty());
+  EXPECT_EQ(res->tornTailRecords, 0);
+}
+
+TEST_F(LedgerFileTest, MissingFileIsNullopt) {
+  EXPECT_FALSE(readLedgerLines(path_ + ".does-not-exist").has_value());
+}
+
+TEST(RunLedgerLineTest, FleetSubObjectEmittedOnlyWhenSet) {
+  RunLedgerRecord rec;
+  rec.tool = "fencetrade_fleet";
+  rec.subject = "gt2";
+  EXPECT_EQ(runLedgerLine(rec).find("\"fleet\""), std::string::npos);
+
+  rec.fleet.set = true;
+  rec.fleet.workersProc = 4;
+  rec.fleet.respawns = 3;
+  rec.fleet.retriesExhausted = 1;
+  rec.fleet.shardsFailed = 1;
+  rec.fleet.chaosKills = 2;
+  rec.fleet.chaosStalls = 1;
+  rec.fleet.chaosCorruptions = 0;
+  rec.fleet.stallsDetected = 1;
+  rec.fleet.protocolErrors = 0;
+  const std::string line = runLedgerLine(rec);
+  EXPECT_NE(
+      line.find("\"fleet\":{\"workersProc\":4,\"respawns\":3,"
+                "\"retriesExhausted\":1,\"shardsFailed\":1,\"chaosKills\":2,"
+                "\"chaosStalls\":1,\"chaosCorruptions\":0,"
+                "\"stallsDetected\":1,\"protocolErrors\":0}"),
+      std::string::npos)
+      << line;
+  // Still one line, still a JSON object.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+}
+
+}  // namespace
+}  // namespace fencetrade::check

@@ -1,0 +1,246 @@
+// Fleet fault-tolerance tests: the acceptance bar of the multi-process
+// verification fleet is *result identity* — a chaos-injected run's
+// merged outcome set, state count, occupancy, verdict, and witness must
+// be byte-identical to a fault-free run, which in turn must match the
+// sequential unreduced explorer (the differential oracle).  On top of
+// that: supervised reassignment must be visible in the telemetry, and a
+// shard whose retry budget exhausts must degrade the run to
+// Inconclusive — never a silent Pass.
+//
+// These tests fork/exec the real worker binary (fencetrade_fleet in
+// `worker` mode); its path is baked in via FENCETRADE_FLEET_EXE.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "fleet/coordinator.h"
+#include "fleet/jobspec.h"
+#include "sim/explore.h"
+
+namespace fencetrade::fleet {
+namespace {
+
+FleetOptions baseOptions(int workers) {
+  FleetOptions o;
+  o.workers = workers;
+  o.workerExe = FENCETRADE_FLEET_EXE;
+  o.heartbeatMs = 10;
+  o.stallTimeoutSeconds = 0.5;
+  o.deadlineSeconds = 60.0;
+  return o;
+}
+
+JobSpec gt2Job() {
+  JobSpec j;
+  j.lock = "gt2";
+  j.model = "PSO";
+  j.n = 2;
+  return j;
+}
+
+sim::ExploreResult sequentialOracle(const sim::System& sys) {
+  sim::ExploreOptions eo;
+  eo.checkMutualExclusion = true;
+  eo.stopOnViolation = false;  // the fleet always runs to closure
+  return sim::explore(sys, eo);
+}
+
+TEST(FleetTest, CleanRunMatchesSequentialOracleAcrossWorkerCounts) {
+  const JobSpec job = gt2Job();
+  std::string err;
+  const auto sys = buildSystem(job, &err);
+  ASSERT_TRUE(sys.has_value()) << err;
+  const sim::ExploreResult oracle = sequentialOracle(*sys);
+  ASSERT_FALSE(oracle.capped());
+
+  for (const int workers : {1, 2, 4}) {
+    const FleetResult res = runFleet(*sys, job, baseOptions(workers));
+    EXPECT_EQ(res.verdict, check::Verdict::Pass) << workers << " workers";
+    EXPECT_TRUE(res.complete) << workers << " workers";
+    EXPECT_EQ(res.statesVisited, oracle.statesVisited)
+        << workers << " workers";
+    EXPECT_EQ(res.outcomes, oracle.outcomes) << workers << " workers";
+    EXPECT_EQ(res.maxCsOccupancy, oracle.maxCsOccupancy)
+        << workers << " workers";
+    EXPECT_EQ(res.respawns, 0) << workers << " workers";
+  }
+}
+
+TEST(FleetTest, ChaosKillsAreInvisibleInTheMergedResult) {
+  const JobSpec job = gt2Job();
+  std::string err;
+  const auto sys = buildSystem(job, &err);
+  ASSERT_TRUE(sys.has_value()) << err;
+
+  FleetOptions clean = baseOptions(2);
+  const FleetResult ref = runFleet(*sys, job, clean);
+  ASSERT_EQ(ref.verdict, check::Verdict::Pass);
+  ASSERT_TRUE(ref.complete);
+
+  // kill-prob 0.1 against this workload reliably lands several kills
+  // before the frontier drains; maxFaults puts a hard ceiling under the
+  // retry budget so the run always converges.
+  FleetOptions chaos = baseOptions(2);
+  chaos.chaos.killProb = 0.1;
+  chaos.chaos.seed = 42;
+  chaos.chaos.maxFaults = 4;
+  const FleetResult res = runFleet(*sys, job, chaos);
+
+  // The acceptance bar: >= 2 worker deaths, result byte-identical.
+  EXPECT_GE(res.chaosKills, 2);
+  // At least one reassignment per kill; a loaded machine may add a few
+  // legitimate watchdog reassignments on top (which must be equally
+  // invisible in the result).
+  EXPECT_GE(res.respawns, res.chaosKills);
+  EXPECT_EQ(res.verdict, ref.verdict);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.statesVisited, ref.statesVisited);
+  EXPECT_EQ(res.outcomes, ref.outcomes);
+  EXPECT_EQ(res.maxCsOccupancy, ref.maxCsOccupancy);
+}
+
+TEST(FleetTest, MixedChaosAcrossSeedsStaysDeterministic) {
+  const JobSpec job = gt2Job();
+  std::string err;
+  const auto sys = buildSystem(job, &err);
+  ASSERT_TRUE(sys.has_value()) << err;
+  const sim::ExploreResult oracle = sequentialOracle(*sys);
+
+  for (const std::uint64_t seed : {3u, 9u, 27u}) {
+    FleetOptions chaos = baseOptions(2);
+    chaos.chaos.killProb = 0.05;
+    chaos.chaos.stallProb = 0.03;
+    chaos.chaos.corruptProb = 0.03;
+    chaos.chaos.seed = seed;
+    chaos.chaos.maxFaults = 5;
+    chaos.stallTimeoutSeconds = 0.25;
+    const FleetResult res = runFleet(*sys, job, chaos);
+    EXPECT_EQ(res.verdict, check::Verdict::Pass) << "seed " << seed;
+    EXPECT_TRUE(res.complete) << "seed " << seed;
+    EXPECT_EQ(res.statesVisited, oracle.statesVisited) << "seed " << seed;
+    EXPECT_EQ(res.outcomes, oracle.outcomes) << "seed " << seed;
+  }
+}
+
+TEST(FleetTest, StallTriggersWatchdogReassignment) {
+  const JobSpec job = gt2Job();
+  std::string err;
+  const auto sys = buildSystem(job, &err);
+  ASSERT_TRUE(sys.has_value()) << err;
+
+  // Stall the very first frames: a SIGSTOPped worker stops heartbeating,
+  // the watchdog must detect the missed heartbeats and reassign.
+  FleetOptions chaos = baseOptions(2);
+  chaos.chaos.stallProb = 1.0;
+  chaos.chaos.seed = 1;
+  chaos.chaos.maxFaults = 2;
+  chaos.stallTimeoutSeconds = 0.2;
+  const FleetResult res = runFleet(*sys, job, chaos);
+
+  EXPECT_EQ(res.chaosStalls, 2);
+  EXPECT_GE(res.stallsDetected, 1);
+  EXPECT_GE(res.respawns, 1);
+  EXPECT_EQ(res.verdict, check::Verdict::Pass);
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(FleetTest, ExhaustedRetriesDegradeToInconclusiveNeverPass) {
+  const JobSpec job = gt2Job();
+  std::string err;
+  const auto sys = buildSystem(job, &err);
+  ASSERT_TRUE(sys.has_value()) << err;
+
+  // Kill every frame with a fault budget far above the retry budget:
+  // both shards must exhaust their retries and the run must degrade
+  // honestly instead of reporting a Pass over a partial state space.
+  FleetOptions opts = baseOptions(2);
+  opts.chaos.killProb = 1.0;
+  opts.chaos.seed = 5;
+  opts.chaos.maxFaults = 50;
+  opts.backoff.maxAttempts = 2;
+  opts.backoff.initialSeconds = 0.01;
+  opts.backoff.maxSeconds = 0.02;
+  const FleetResult res = runFleet(*sys, job, opts);
+
+  EXPECT_EQ(res.verdict, check::Verdict::Inconclusive);
+  EXPECT_FALSE(res.complete);
+  EXPECT_EQ(res.retriesExhausted, 2);
+  for (const ShardReport& sh : res.shards) EXPECT_TRUE(sh.failed);
+}
+
+TEST(FleetTest, ViolationWitnessIsCanonicalUnderChaos) {
+  JobSpec job;
+  job.lock = "peterson-tso";
+  job.model = "PSO";
+  job.n = 2;
+  std::string err;
+  const auto sys = buildSystem(job, &err);
+  ASSERT_TRUE(sys.has_value()) << err;
+
+  // The canonical witness the fleet must reproduce: the deterministic
+  // sequential stop-on-violation search.
+  sim::ExploreOptions eo;
+  eo.checkMutualExclusion = true;
+  eo.stopOnViolation = true;
+  const sim::ExploreResult seq = sim::explore(*sys, eo);
+  ASSERT_TRUE(seq.mutexViolation);
+
+  const FleetResult clean = runFleet(*sys, job, baseOptions(2));
+  EXPECT_EQ(clean.verdict, check::Verdict::Violation);
+  EXPECT_TRUE(clean.mutexViolation);
+  EXPECT_EQ(clean.witness, seq.witness);
+
+  FleetOptions chaos = baseOptions(2);
+  chaos.chaos.killProb = 0.1;
+  chaos.chaos.seed = 13;
+  chaos.chaos.maxFaults = 3;
+  const FleetResult res = runFleet(*sys, job, chaos);
+  EXPECT_EQ(res.verdict, check::Verdict::Violation);
+  EXPECT_EQ(res.witness, seq.witness);
+  EXPECT_EQ(res.statesVisited, clean.statesVisited);
+}
+
+TEST(FleetTest, SpawnsSurviveAHostileLauncherFdLayout) {
+  // Which fds pipe(2) hands the coordinator depends on what the
+  // launcher left open: under a shell fd 3 is usually free, under
+  // ctest it is not, and a pipe end landing exactly on the worker's
+  // fixed fds (3/4) once made the child's dup2 shuffle close its own
+  // freshly installed message pipe — every incarnation died instantly
+  // with exit 11.  Occupy the low fds to force the collision layouts.
+  int held[4];
+  for (int& fd : held) fd = ::open("/dev/null", O_WRONLY);
+  const JobSpec job = gt2Job();
+  std::string err;
+  const auto sys = buildSystem(job, &err);
+  ASSERT_TRUE(sys.has_value()) << err;
+  const FleetResult res = runFleet(*sys, job, baseOptions(2));
+  for (int fd : held) {
+    if (fd >= 0) ::close(fd);
+  }
+  EXPECT_EQ(res.verdict, check::Verdict::Pass);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.respawns, 0);
+  EXPECT_EQ(res.statesVisited, sequentialOracle(*sys).statesVisited);
+}
+
+TEST(FleetTest, BadJobSpecsAreRejected) {
+  std::string err;
+  JobSpec j;
+  j.lock = "no-such-lock";
+  EXPECT_FALSE(buildSystem(j, &err).has_value());
+  EXPECT_FALSE(err.empty());
+
+  j = gt2Job();
+  j.model = "XYZ";
+  EXPECT_FALSE(buildSystem(j, &err).has_value());
+
+  j = gt2Job();
+  j.n = 99;
+  EXPECT_FALSE(buildSystem(j, &err).has_value());
+}
+
+}  // namespace
+}  // namespace fencetrade::fleet

@@ -1,0 +1,138 @@
+// util::Backoff: capped exponential growth, deterministic seeded
+// jitter, retry budgets, and the injectable sleeper (the fake clock
+// that keeps these tests instant).
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fencetrade {
+namespace {
+
+std::vector<double> drain(util::Backoff& b) {
+  std::vector<double> delays;
+  while (b.retry([&](double s) { delays.push_back(s); })) {
+  }
+  return delays;
+}
+
+TEST(BackoffTest, CappedExponentialWithoutJitter) {
+  util::BackoffPolicy p;
+  p.initialSeconds = 0.1;
+  p.multiplier = 2.0;
+  p.maxSeconds = 0.5;
+  p.jitterFraction = 0.0;
+  p.maxAttempts = 6;
+  util::Backoff b(p);
+  const std::vector<double> delays = drain(b);
+  ASSERT_EQ(delays.size(), 6u);
+  EXPECT_DOUBLE_EQ(delays[0], 0.1);
+  EXPECT_DOUBLE_EQ(delays[1], 0.2);
+  EXPECT_DOUBLE_EQ(delays[2], 0.4);
+  EXPECT_DOUBLE_EQ(delays[3], 0.5);  // capped
+  EXPECT_DOUBLE_EQ(delays[4], 0.5);
+  EXPECT_DOUBLE_EQ(delays[5], 0.5);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.attempts(), 6);
+  // An exhausted backoff refuses without consuming or sleeping.
+  bool slept = false;
+  EXPECT_FALSE(b.retry([&](double) { slept = true; }));
+  EXPECT_FALSE(slept);
+  EXPECT_EQ(b.attempts(), 6);
+}
+
+TEST(BackoffTest, ZeroAttemptsNeverRetries) {
+  util::BackoffPolicy p;
+  p.maxAttempts = 0;
+  util::Backoff b(p);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_FALSE(b.retry());
+}
+
+TEST(BackoffTest, NegativeAttemptsIsUnlimited) {
+  util::BackoffPolicy p;
+  p.maxAttempts = -1;
+  util::Backoff b(p);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(b.retry());
+  }
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_EQ(b.attempts(), 1000);
+}
+
+TEST(BackoffTest, JitterIsBoundedAndSeedDeterministic) {
+  util::BackoffPolicy p;
+  p.initialSeconds = 0.1;
+  p.multiplier = 2.0;
+  p.maxSeconds = 1.0;
+  p.jitterFraction = 0.25;
+  p.maxAttempts = 16;
+  p.seed = 1234;
+  util::Backoff a(p), b(p);
+  const std::vector<double> da = drain(a);
+  const std::vector<double> db = drain(b);
+  // Same policy + seed => byte-identical delay schedule.
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_DOUBLE_EQ(da[i], db[i]) << "attempt " << i;
+  }
+  // Every delay stays inside [1-j, 1+j] of the un-jittered value.
+  double base = p.initialSeconds;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_GE(da[i], base * 0.75 - 1e-12) << "attempt " << i;
+    EXPECT_LE(da[i], base * 1.25 + 1e-12) << "attempt " << i;
+    base = std::min(base * p.multiplier, p.maxSeconds);
+  }
+  // A different seed draws a different schedule.
+  p.seed = 4321;
+  util::Backoff c(p);
+  const std::vector<double> dc = drain(c);
+  bool anyDiffer = false;
+  for (std::size_t i = 0; i < dc.size(); ++i) {
+    if (dc[i] != da[i]) anyDiffer = true;
+  }
+  EXPECT_TRUE(anyDiffer);
+}
+
+TEST(BackoffTest, ResetReplaysTheSameSchedule) {
+  util::BackoffPolicy p;
+  p.jitterFraction = 0.5;
+  p.maxAttempts = 8;
+  p.seed = 99;
+  util::Backoff b(p);
+  const std::vector<double> first = drain(b);
+  b.reset();
+  EXPECT_EQ(b.attempts(), 0);
+  EXPECT_FALSE(b.exhausted());
+  const std::vector<double> second = drain(b);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]);
+  }
+}
+
+TEST(BackoffTest, RetryWithoutSleeperStillConsumesBudget) {
+  util::BackoffPolicy p;
+  p.maxAttempts = 2;
+  util::Backoff b(p);
+  EXPECT_TRUE(b.retry());
+  EXPECT_TRUE(b.retry());
+  EXPECT_FALSE(b.retry());
+  EXPECT_EQ(b.attempts(), 2);
+}
+
+TEST(BackoffTest, LastDelayTracksTheSleeperArgument) {
+  util::BackoffPolicy p;
+  p.initialSeconds = 0.3;
+  p.jitterFraction = 0.0;
+  p.maxAttempts = 1;
+  util::Backoff b(p);
+  double seen = -1.0;
+  ASSERT_TRUE(b.retry([&](double s) { seen = s; }));
+  EXPECT_DOUBLE_EQ(seen, 0.3);
+  EXPECT_DOUBLE_EQ(b.lastDelaySeconds(), 0.3);
+}
+
+}  // namespace
+}  // namespace fencetrade

@@ -87,6 +87,128 @@ TEST(CheckpointTest, ReaderOverrunThrowsInsteadOfReadingGarbage) {
   EXPECT_THROW(r.getU64(), CheckError);
 }
 
+// ---------------------------------------------------------------------------
+// Corruption hardening: a checkpoint that took damage — any damage —
+// must be rejected with a typed CheckError, never crash, never read out
+// of bounds (the whole file runs under ASan/UBSan in CI), and never
+// yield silently-wrong data.
+
+// Open the blob and drain every field, so corruption that survives
+// open() (e.g. a payload-length prefix inside the checksummed region)
+// still has to get past the reader's bounds checks.
+void openAndDrain(const std::string& blob) {
+  CheckpointReader r = CheckpointReader::open(blob, kKind);
+  r.getU8();
+  r.getU32();
+  r.getU64();
+  r.getI64();
+  r.getBytes();
+  r.getBytes();
+  r.getBool();
+  r.getBool();
+  FT_CHECK(r.atEnd()) << "trailing bytes";
+}
+
+TEST(CheckpointCorruptionTest, EveryPossibleBitFlipIsRejected) {
+  const std::string blob = sampleBlob();
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = blob;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      EXPECT_THROW(openAndDrain(bad), CheckError)
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(CheckpointCorruptionTest, EveryTruncationLengthIsRejected) {
+  const std::string blob = sampleBlob();
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_THROW(openAndDrain(blob.substr(0, len)), CheckError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(CheckpointCorruptionTest, TrailingGarbageIsRejected) {
+  // The converse of truncation: a short read that got concatenated with
+  // someone else's bytes (or a file appended to twice).
+  for (std::size_t extra : {std::size_t{1}, std::size_t{17}}) {
+    std::string bad = sampleBlob();
+    bad.append(extra, '\xee');
+    EXPECT_THROW(openAndDrain(bad), CheckError) << "extra " << extra;
+  }
+}
+
+TEST(CheckpointCorruptionTest, LyingPayloadLengthIsRejected) {
+  // Rewrite the container's 64-bit payloadLen field (the checksum is
+  // over the payload only, so this is reachable without a checksum
+  // mismatch masking it): any value other than the true remaining size
+  // must fail the length check, including extremes that would overflow
+  // an addition-form bound.
+  const std::string blob = sampleBlob();
+  const std::size_t lenAt = 12 + kKind.size();  // magic+ver+kindLen+kind
+  for (const std::uint64_t lie :
+       {std::uint64_t{0}, std::uint64_t{1} << 40, ~std::uint64_t{0}}) {
+    std::string bad = blob;
+    for (int i = 0; i < 8; ++i) {
+      bad[lenAt + i] = static_cast<char>((lie >> (8 * i)) & 0xff);
+    }
+    EXPECT_THROW(CheckpointReader::open(bad, kKind), CheckError)
+        << "payloadLen lie " << lie;
+  }
+}
+
+TEST(CheckpointCorruptionTest, WrappingBytesLengthPrefixIsRejected) {
+  // A length prefix near 2^64 sits inside the checksummed payload, so
+  // only getBytes' own bounds check stands between it and an overrun:
+  // `pos_ + len` wraps, `len <= remaining` does not.
+  CheckpointWriter w;
+  w.putU64(~std::uint64_t{0});  // reader will take this as a byte count
+  CheckpointReader r = CheckpointReader::open(w.finish(kKind), kKind);
+  EXPECT_THROW(r.getBytes(), CheckError);
+}
+
+TEST(CheckpointCorruptionTest, HugeKindLengthIsRejected) {
+  std::string bad = sampleBlob();
+  for (int i = 0; i < 4; ++i) bad[8 + i] = '\xff';  // kindLen = 2^32-1
+  EXPECT_THROW(CheckpointReader::open(bad, kKind), CheckError);
+}
+
+TEST(CheckpointCorruptionTest, RandomMutationsNeverEscapeCheckError) {
+  // Seeded fuzz: random multi-byte mutations (flips, overwrites,
+  // splices).  Decoding must either succeed (mutation landed on
+  // checksum-colliding bytes — effectively impossible) or throw
+  // CheckError; anything else (crash, other exception, sanitizer trap)
+  // fails the test.
+  const std::string blob = sampleBlob();
+  std::uint64_t state = 0x5eedc0de;
+  auto next = [&] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bad = blob;
+    const int edits = 1 + static_cast<int>(next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t i = next() % bad.size();
+      switch (next() % 3) {
+        case 0: bad[i] = static_cast<char>(bad[i] ^ (1 << (next() % 8))); break;
+        case 1: bad[i] = static_cast<char>(next()); break;
+        default: bad.resize(i); break;  // truncate
+      }
+      if (bad.empty()) break;
+    }
+    if (bad == blob) continue;
+    try {
+      openAndDrain(bad);
+    } catch (const CheckError&) {
+      // expected for essentially every mutation
+    }
+  }
+}
+
 TEST(CheckpointTest, Fnv1a64MatchesKnownVectors) {
   // Standard FNV-1a test vectors.
   EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);

@@ -1,0 +1,151 @@
+// util::FrameDecoder: roundtrip, incremental delivery, typed corruption
+// detection, and the fuzz guarantee — arbitrary byte mutations may
+// poison the stream but never crash the decoder.
+#include "util/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fencetrade {
+namespace {
+
+using util::Frame;
+using util::FrameDecoder;
+
+TEST(FrameTest, EncodeDecodeRoundtrip) {
+  FrameDecoder dec;
+  dec.feed(util::encodeFrame(7, "hello"));
+  Frame f;
+  ASSERT_EQ(dec.next(f), FrameDecoder::Status::Frame);
+  EXPECT_EQ(f.type, 7u);
+  EXPECT_EQ(f.payload, "hello");
+  EXPECT_EQ(dec.next(f), FrameDecoder::Status::NeedMore);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameTest, EmptyPayloadAndBinaryPayload) {
+  FrameDecoder dec;
+  std::string binary("\x00\xff\x00""FTMF\n", 9);
+  dec.feed(util::encodeFrame(0, ""));
+  dec.feed(util::encodeFrame(42, binary));
+  Frame f;
+  ASSERT_EQ(dec.next(f), FrameDecoder::Status::Frame);
+  EXPECT_EQ(f.type, 0u);
+  EXPECT_TRUE(f.payload.empty());
+  ASSERT_EQ(dec.next(f), FrameDecoder::Status::Frame);
+  EXPECT_EQ(f.type, 42u);
+  EXPECT_EQ(f.payload, binary);
+}
+
+TEST(FrameTest, ByteAtATimeDelivery) {
+  const std::string wire =
+      util::encodeFrame(3, "partial delivery") + util::encodeFrame(4, "x");
+  FrameDecoder dec;
+  Frame f;
+  std::vector<Frame> got;
+  for (char c : wire) {
+    dec.feed(std::string_view(&c, 1));
+    while (dec.next(f) == FrameDecoder::Status::Frame) got.push_back(f);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].type, 3u);
+  EXPECT_EQ(got[0].payload, "partial delivery");
+  EXPECT_EQ(got[1].type, 4u);
+  EXPECT_EQ(got[1].payload, "x");
+}
+
+TEST(FrameTest, BadMagicIsCorruptImmediately) {
+  FrameDecoder dec;
+  dec.feed("G");  // first byte already wrong
+  Frame f;
+  EXPECT_EQ(dec.next(f), FrameDecoder::Status::Corrupt);
+  EXPECT_TRUE(dec.corrupt());
+}
+
+TEST(FrameTest, ChecksumMismatchIsCorrupt) {
+  std::string wire = util::encodeFrame(1, "payload");
+  wire.back() ^= 0x01;  // flip a payload bit
+  FrameDecoder dec;
+  dec.feed(wire);
+  Frame f;
+  EXPECT_EQ(dec.next(f), FrameDecoder::Status::Corrupt);
+}
+
+TEST(FrameTest, OversizedLengthIsCorruptNotAllocated) {
+  std::string wire = util::encodeFrame(1, "p");
+  // Rewrite payloadLen (bytes 8..11) to a multi-gigabyte claim.
+  wire[8] = wire[9] = wire[10] = wire[11] = static_cast<char>(0xff);
+  FrameDecoder dec;
+  dec.feed(wire);
+  Frame f;
+  EXPECT_EQ(dec.next(f), FrameDecoder::Status::Corrupt);
+}
+
+TEST(FrameTest, CorruptionIsSticky) {
+  FrameDecoder dec;
+  dec.feed("XXXX");
+  Frame f;
+  EXPECT_EQ(dec.next(f), FrameDecoder::Status::Corrupt);
+  // A valid frame fed afterwards must not resurrect the stream.
+  dec.feed(util::encodeFrame(1, "late"));
+  EXPECT_EQ(dec.next(f), FrameDecoder::Status::Corrupt);
+  EXPECT_TRUE(dec.corrupt());
+}
+
+TEST(FrameTest, TornTrailingFrameStaysNeedMore) {
+  const std::string wire = util::encodeFrame(9, "abcdef");
+  FrameDecoder dec;
+  dec.feed(std::string_view(wire).substr(0, wire.size() - 3));
+  Frame f;
+  EXPECT_EQ(dec.next(f), FrameDecoder::Status::NeedMore);
+  dec.feed(std::string_view(wire).substr(wire.size() - 3));
+  EXPECT_EQ(dec.next(f), FrameDecoder::Status::Frame);
+  EXPECT_EQ(f.payload, "abcdef");
+}
+
+// The fleet-protocol fuzz bar: mutate valid wire bytes at random; the
+// decoder may report Corrupt (usually) or deliver un-mutated frames,
+// but must never crash, hang, or read out of bounds (ASan/UBSan runs
+// this same test).
+TEST(FrameTest, FuzzedMutationsNeverCrashTheDecoder) {
+  util::Rng rng(0xf4a3);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string wire;
+    const int frames = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < frames; ++i) {
+      std::string payload;
+      const std::size_t len = rng.below(64);
+      for (std::size_t j = 0; j < len; ++j) {
+        payload.push_back(static_cast<char>(rng.below(256)));
+      }
+      wire += util::encodeFrame(static_cast<std::uint32_t>(rng.below(16)),
+                                payload);
+    }
+    // 1..4 random byte mutations.
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) {
+      wire[rng.below(wire.size())] ^= static_cast<char>(1 + rng.below(255));
+    }
+    FrameDecoder dec;
+    // Deliver in random-sized chunks to hit resume paths.
+    std::size_t at = 0;
+    Frame f;
+    while (at < wire.size()) {
+      const std::size_t chunk =
+          std::min(wire.size() - at, 1 + rng.below(37));
+      dec.feed(std::string_view(wire).substr(at, chunk));
+      at += chunk;
+      FrameDecoder::Status st;
+      while ((st = dec.next(f)) == FrameDecoder::Status::Frame) {
+      }
+      if (st == FrameDecoder::Status::Corrupt) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fencetrade
